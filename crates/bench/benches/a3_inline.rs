@@ -1,0 +1,15 @@
+//! A3: inlining ablation (§IV calls well-working inlining "the most
+//! important aspect").
+
+use brew_bench::inline_study;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a3_inline");
+    g.sample_size(10);
+    g.bench_function("study", |b| b.iter(|| inline_study(24, 24, 1)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

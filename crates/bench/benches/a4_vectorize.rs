@@ -1,0 +1,31 @@
+//! A4: packed-execution headroom — the hand-scheduled SIMD sweep the
+//! paper's planned vectorization pass would generate.
+
+use brew_emu::{CallArgs, Machine};
+use brew_stencil::{simd::build_packed_sweep, Stencil, Variant};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const XS: i64 = 32;
+const YS: i64 = 32;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a4_vectorize");
+    g.sample_size(10);
+    g.bench_function("scalar_manual_inline", |b| {
+        let mut s = Stencil::new(XS, YS);
+        let mut m = Machine::new();
+        b.iter(|| s.run(&mut m, Variant::ManualInline, 1).unwrap());
+    });
+    g.bench_function("packed_sweep", |b| {
+        let mut s = Stencil::new(XS, YS);
+        let packed = build_packed_sweep(&mut s.img, XS, YS);
+        let mut m = Machine::new();
+        b.iter(|| {
+            m.call(&mut s.img, packed, &CallArgs::new().ptr(s.m1).ptr(s.m2)).unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! A5: guarded specialization dispatch (§III.D).
+
+use brew_bench::guard_study;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a5_guard");
+    g.sample_size(10);
+    g.bench_function("study", |b| b.iter(guard_study));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! A6: the cost of the rewrite itself (the paper argues it is "a delayed
+//! step complementing static compilation" — amortizable).
+
+use brew_stencil::Stencil;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a6_rewrite_cost");
+    g.sample_size(10);
+    g.bench_function("rewrite_apply", |b| {
+        b.iter(|| {
+            let mut s = Stencil::new(32, 32);
+            s.specialize_apply().unwrap()
+        });
+    });
+    g.bench_function("rewrite_grouped", |b| {
+        b.iter(|| {
+            let mut s = Stencil::new(32, 32);
+            s.specialize_apply_grouped().unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E1 (§V.A): generic vs manual vs BREW-specialized stencil — wall-clock of
+//! the emulated sweeps (model-cycle ratios come from the `tables` binary).
+
+use brew_emu::Machine;
+use brew_stencil::{Stencil, Variant};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const XS: i64 = 32;
+const YS: i64 = 32;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_specialize");
+    g.sample_size(10);
+
+    g.bench_function("generic_apply", |b| {
+        let mut s = Stencil::new(XS, YS);
+        let mut m = Machine::new();
+        b.iter(|| s.run(&mut m, Variant::Generic, 1).unwrap());
+    });
+    g.bench_function("manual_fnptr", |b| {
+        let mut s = Stencil::new(XS, YS);
+        let mut m = Machine::new();
+        b.iter(|| s.run(&mut m, Variant::Manual, 1).unwrap());
+    });
+    g.bench_function("brew_specialized", |b| {
+        let mut s = Stencil::new(XS, YS);
+        let spec = s.specialize_apply().unwrap();
+        let mut m = Machine::new();
+        b.iter(|| s.run_with_apply(&mut m, spec.entry, false, 1).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E3 (§V.B): grouped-coefficient stencil, generic vs specialized.
+
+use brew_emu::Machine;
+use brew_stencil::{Stencil, Variant};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const XS: i64 = 32;
+const YS: i64 = 32;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_grouped");
+    g.sample_size(10);
+
+    g.bench_function("grouped_generic", |b| {
+        let mut s = Stencil::new(XS, YS);
+        let mut m = Machine::new();
+        b.iter(|| s.run(&mut m, Variant::Grouped, 1).unwrap());
+    });
+    g.bench_function("grouped_specialized", |b| {
+        let mut s = Stencil::new(XS, YS);
+        let spec = s.specialize_apply_grouped().unwrap();
+        let mut m = Machine::new();
+        b.iter(|| s.run_with_apply(&mut m, spec.entry, true, 1).unwrap());
+    });
+    g.bench_function("manual_inline", |b| {
+        let mut s = Stencil::new(XS, YS);
+        let mut m = Machine::new();
+        b.iter(|| s.run(&mut m, Variant::ManualInline, 1).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E4 (§V.B outlook): whole-sweep rewriting with controlled unrolling.
+
+use brew_emu::Machine;
+use brew_stencil::{Stencil, Variant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const XS: i64 = 32;
+const YS: i64 = 32;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_sweep");
+    g.sample_size(10);
+    for unroll in [1u32, 4] {
+        g.bench_with_input(BenchmarkId::new("sweep_rewrite", unroll), &unroll, |b, &u| {
+            let mut s = Stencil::new(XS, YS);
+            let res = s.specialize_sweep(u).unwrap();
+            let mut m = Machine::new();
+            b.iter(|| s.run(&mut m, Variant::SpecializedSweep(res.entry), 1).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

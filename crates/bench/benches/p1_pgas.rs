@@ -1,0 +1,30 @@
+//! P1: the PGAS global-to-local translation study.
+
+use brew_emu::Machine;
+use brew_pgas::PgasArray;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p1_pgas");
+    g.sample_size(10);
+    g.bench_function("generic_gsum", |b| {
+        let mut p = PgasArray::new(240, 4, 1);
+        let mut m = Machine::new();
+        b.iter(|| p.gsum_generic(&mut m).unwrap());
+    });
+    g.bench_function("specialized_gsum", |b| {
+        let mut p = PgasArray::new(240, 4, 1);
+        let spec = p.specialize_gsum().unwrap();
+        let mut m = Machine::new();
+        b.iter(|| p.gsum_with(&mut m, spec.entry).unwrap());
+    });
+    g.bench_function("manual_lsum", |b| {
+        let mut p = PgasArray::new(240, 4, 1);
+        let mut m = Machine::new();
+        b.iter(|| p.lsum_manual(&mut m).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

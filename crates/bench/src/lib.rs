@@ -1,0 +1,334 @@
+//! # brew-bench — shared experiment drivers
+//!
+//! Each experiment of DESIGN.md §3 is a function here, used both by the
+//! Criterion benches (wall-clock of the emulated runs) and by the `tables`
+//! binary (model-cycle tables, the unit the paper's ratios are compared
+//! against — see EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+
+use brew_core::PassConfig;
+use brew_emu::{Machine, Stats};
+use brew_pgas::PgasArray;
+use brew_stencil::{Stencil, Variant};
+
+/// Default experiment grid (the paper uses 500²×1000 wall-clock; the
+/// emulated substrate uses a smaller grid — ratios are the result).
+pub const XS: i64 = 64;
+/// Grid height.
+pub const YS: i64 = 64;
+/// Sweeps per measurement.
+pub const ITERS: u32 = 2;
+
+/// One measured row: label, cycles, instructions.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Variant name.
+    pub label: String,
+    /// Model cycles.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub insts: u64,
+}
+
+fn row(label: &str, s: Stats) -> Row {
+    Row { label: label.to_string(), cycles: s.cycles, insts: s.insts }
+}
+
+/// E1+E3: the §V.A/§V.B study. Returns rows in paper order:
+/// generic, manual(fn-ptr), specialized, grouped-generic,
+/// grouped-specialized, manual-same-CU.
+pub fn stencil_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
+    let mut m = Machine::new();
+    let mut out = Vec::new();
+    let host = Stencil::new(xs, ys).host_checksum(iters);
+
+    let mut s = Stencil::new(xs, ys);
+    let st = s.run(&mut m, Variant::Generic, iters).unwrap();
+    assert_eq!(s.checksum(iters), host);
+    out.push(row("generic apply (Fig. 4)", st));
+
+    let mut s = Stencil::new(xs, ys);
+    let st = s.run(&mut m, Variant::Manual, iters).unwrap();
+    assert_eq!(s.checksum(iters), host);
+    out.push(row("manual stencil (fn ptr)", st));
+
+    let mut s = Stencil::new(xs, ys);
+    let spec = s.specialize_apply().unwrap();
+    let st = s.run_with_apply(&mut m, spec.entry, false, iters).unwrap();
+    assert_eq!(s.checksum(iters), host);
+    out.push(row("BREW-specialized apply", st));
+
+    let mut s = Stencil::new(xs, ys);
+    let st = s.run(&mut m, Variant::Grouped, iters).unwrap();
+    assert_eq!(s.checksum(iters), host);
+    out.push(row("grouped generic", st));
+
+    let mut s = Stencil::new(xs, ys);
+    let spec = s.specialize_apply_grouped().unwrap();
+    let st = s.run_with_apply(&mut m, spec.entry, true, iters).unwrap();
+    assert_eq!(s.checksum(iters), host);
+    out.push(row("BREW-specialized grouped", st));
+
+    let mut s = Stencil::new(xs, ys);
+    let st = s.run(&mut m, Variant::ManualInline, iters).unwrap();
+    assert_eq!(s.checksum(iters), host);
+    out.push(row("manual, same comp. unit", st));
+
+    out
+}
+
+/// E4: whole-sweep rewriting at different controlled-unrolling factors.
+pub fn sweep_study(xs: i64, ys: i64, iters: u32, unrolls: &[u32]) -> Vec<Row> {
+    let mut m = Machine::new();
+    let host = Stencil::new(xs, ys).host_checksum(iters);
+    let mut out = Vec::new();
+    for &u in unrolls {
+        let mut s = Stencil::new(xs, ys);
+        let res = s.specialize_sweep(u).unwrap();
+        let st = s.run(&mut m, Variant::SpecializedSweep(res.entry), iters).unwrap();
+        assert_eq!(s.checksum(iters), host);
+        out.push(row(&format!("sweep rewrite, unroll={u}"), st));
+    }
+    out
+}
+
+/// A2: specialized `apply` with passes on/off.
+pub fn passes_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
+    let mut m = Machine::new();
+    let host = Stencil::new(xs, ys).host_checksum(iters);
+    let mut out = Vec::new();
+    let configs: [(&str, PassConfig); 6] = [
+        ("no passes (paper prototype)", PassConfig::none()),
+        (
+            "+ peephole",
+            PassConfig { dead_store_elim: false, redundant_load_elim: false, peephole: true, slot_promotion: false, frame_compression: false },
+        ),
+        (
+            "+ dead-store elim",
+            PassConfig { dead_store_elim: true, redundant_load_elim: false, peephole: true, slot_promotion: false, frame_compression: false },
+        ),
+        (
+            "+ redundant-load elim",
+            PassConfig {
+                dead_store_elim: true,
+                redundant_load_elim: true,
+                peephole: true,
+                slot_promotion: false,
+                frame_compression: false,
+            },
+        ),
+        (
+            "+ slot promotion",
+            PassConfig {
+                dead_store_elim: true,
+                redundant_load_elim: true,
+                peephole: true,
+                slot_promotion: true,
+                frame_compression: false,
+            },
+        ),
+        ("all passes (+ frame compression)", PassConfig::default()),
+    ];
+    for (label, pc) in configs {
+        let mut s = Stencil::new(xs, ys);
+        let res = s.specialize_apply_with_passes(&pc).unwrap();
+        let st = s.run_with_apply(&mut m, res.entry, false, iters).unwrap();
+        assert_eq!(s.checksum(iters), host);
+        out.push(Row {
+            label: format!("{label} ({} bytes)", res.code_len),
+            cycles: st.cycles,
+            insts: st.insts,
+        });
+    }
+    out
+}
+
+/// A3: inlining on vs off for the specialized apply.
+pub fn inline_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
+    use brew_core::{ArgValue, ParamSpec, RetKind, RewriteConfig, Rewriter};
+    let mut m = Machine::new();
+    let host = Stencil::new(xs, ys).host_checksum(iters);
+    let mut out = Vec::new();
+    for inline in [true, false] {
+        let mut s = Stencil::new(xs, ys);
+        // Specialize the *sweep-ptr3 caller's* callee: rewrite apply while
+        // allowing / forbidding inlining of nothing (apply is a leaf), so
+        // instead rewrite sweep_generic with apply inline on/off.
+        let sweep = s.prog.func("sweep_generic").unwrap();
+        let apply = s.prog.func("apply").unwrap();
+        let s5 = s.s5();
+        let mut cfg = RewriteConfig::new();
+        cfg.set_param(2, ParamSpec::Known)
+            .set_param(3, ParamSpec::Known)
+            .set_mem_known(s5..s5 + brew_stencil::S_SIZE)
+            .set_ret(RetKind::Void);
+        cfg.func(sweep).branch_unknown = true;
+        cfg.func(sweep).max_variants = 2;
+        cfg.func(apply).inline = inline;
+        cfg.max_trace_insts = 16_000_000;
+        cfg.max_code_bytes = 1 << 22;
+        let res = Rewriter::new(&mut s.img)
+            .rewrite(
+                &cfg,
+                sweep,
+                &[ArgValue::Int(0), ArgValue::Int(0), ArgValue::Int(xs), ArgValue::Int(ys)],
+            )
+            .unwrap();
+        let st = s.run(&mut m, Variant::SpecializedSweep(res.entry), iters).unwrap();
+        assert_eq!(s.checksum(iters), host);
+        out.push(row(
+            if inline { "sweep rewrite, apply inlined" } else { "sweep rewrite, call kept" },
+            st,
+        ));
+    }
+    out
+}
+
+/// A5: guarded dispatch — hot-path hit-rate sweep. Each hit rate compares
+/// the guarded entry point and the plain original *on the same call
+/// stream*, so the guard's dispatch overhead and the specialization's win
+/// are both visible.
+pub fn guard_study() -> Vec<Row> {
+    use brew_core::{ArgValue, ParamSpec, RetKind, RewriteConfig, Rewriter};
+    use brew_emu::CallArgs;
+    let src = "int poly(int x, int n) { int r = 1; for (int i = 0; i < n; i++) r *= x; return r; }";
+    let mut out = Vec::new();
+    for hot_pct in [100u32, 90, 50, 0] {
+        let mut img = brew_image::Image::new();
+        let prog = brew_minic::compile_into(src, &mut img).unwrap();
+        let poly = prog.func("poly").unwrap();
+        let mut cfg = RewriteConfig::new();
+        cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
+        let mut rw = Rewriter::new(&mut img);
+        let spec = rw.rewrite(&cfg, poly, &[ArgValue::Int(0), ArgValue::Int(16)]).unwrap();
+        let guard = rw.guard(1, 16, spec.entry, poly).unwrap();
+        let mut m = Machine::new();
+        let (mut guarded, mut original) = (Stats::default(), Stats::default());
+        for i in 0..100u32 {
+            let n = if i % 100 < hot_pct { 16 } else { 15 };
+            let args = CallArgs::new().int(3).int(n as i64);
+            let g = m.call(&mut img, guard, &args).unwrap();
+            let o = m.call(&mut img, poly, &args).unwrap();
+            assert_eq!(g.ret_int, o.ret_int);
+            guarded.merge(&g.stats);
+            original.merge(&o.stats);
+        }
+        out.push(row(&format!("guarded poly, {hot_pct}% hot"), guarded));
+        out.push(row(&format!("original poly, same stream ({hot_pct}%)"), original));
+    }
+    out
+}
+
+/// A4: packed-execution headroom — what the paper's planned greedy
+/// vectorization pass (§IV) would unlock over the scalar variants.
+pub fn vectorize_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
+    use brew_emu::CallArgs;
+    let mut m = Machine::new();
+    let host = Stencil::new(xs, ys).host_checksum(iters);
+    let mut out = Vec::new();
+
+    let mut s = Stencil::new(xs, ys);
+    let res = s.specialize_sweep(4).unwrap();
+    let st = s.run(&mut m, Variant::SpecializedSweep(res.entry), iters).unwrap();
+    assert_eq!(s.checksum(iters), host);
+    out.push(row("BREW sweep rewrite (scalar, unroll=4)", st));
+
+    let mut s = Stencil::new(xs, ys);
+    let st = s.run(&mut m, Variant::ManualInline, iters).unwrap();
+    out.push(row("manual scalar sweep (same CU)", st));
+
+    for (label, packed) in [("hand-scheduled scalar sweep", false), ("hand-scheduled packed sweep (the pass target)", true)] {
+        let mut s = Stencil::new(xs, ys);
+        let f = if packed {
+            brew_stencil::simd::build_packed_sweep(&mut s.img, xs, ys)
+        } else {
+            brew_stencil::simd::build_scalar_handtuned_sweep(&mut s.img, xs, ys)
+        };
+        let mut total = Stats::default();
+        let (mut src, mut dst) = (s.m1, s.m2);
+        for _ in 0..iters {
+            let o = m.call(&mut s.img, f, &CallArgs::new().ptr(src).ptr(dst)).unwrap();
+            total.merge(&o.stats);
+            std::mem::swap(&mut src, &mut dst);
+        }
+        assert_eq!(s.checksum(iters), host);
+        out.push(row(label, total));
+    }
+    out
+}
+
+/// A6: the cost of rewriting itself (traced guest instructions and
+/// generated bytes — amortization data).
+pub fn rewrite_cost_study(xs: i64, ys: i64) -> Vec<Row> {
+    let mut out = Vec::new();
+    let mut s = Stencil::new(xs, ys);
+    let res = s.specialize_apply().unwrap();
+    out.push(Row {
+        label: format!("rewrite apply: {} bytes out", res.code_len),
+        cycles: res.stats.traced,
+        insts: res.stats.emitted,
+    });
+    let mut s = Stencil::new(xs, ys);
+    let res = s.specialize_apply_grouped().unwrap();
+    out.push(Row {
+        label: format!("rewrite grouped: {} bytes out", res.code_len),
+        cycles: res.stats.traced,
+        insts: res.stats.emitted,
+    });
+    let mut s = Stencil::new(xs, ys);
+    let res = s.specialize_sweep(4).unwrap();
+    out.push(Row {
+        label: format!("rewrite sweep(u=4): {} bytes out", res.code_len),
+        cycles: res.stats.traced,
+        insts: res.stats.emitted,
+    });
+    out
+}
+
+/// P1: the PGAS study.
+pub fn pgas_study(n: i64, nnodes: i64) -> Vec<Row> {
+    let mut m = Machine::new();
+    let mut out = Vec::new();
+    let mut p = PgasArray::new(n, nnodes, 1.min(nnodes - 1));
+    let host = p.host_sum();
+
+    let (v, st) = p.gsum_generic(&mut m).unwrap();
+    assert_eq!(v, host);
+    out.push(row("generic gsum (gread per element)", st));
+
+    let spec = p.specialize_gsum().unwrap();
+    let (v, st) = p.gsum_with(&mut m, spec.entry).unwrap();
+    assert_eq!(v, host);
+    out.push(row("BREW-specialized gsum", st));
+
+    let (v, st) = p.lsum_manual(&mut m).unwrap();
+    assert_eq!(v, host);
+    out.push(row("manual local sum", st));
+
+    let inst = p.instrument_remote_detection().unwrap();
+    let (v, st) = p.gsum_with(&mut m, inst.entry).unwrap();
+    assert_eq!(v, host);
+    out.push(row("instrumented gsum (remote detection)", st));
+    out
+}
+
+/// Render rows as a ratio table against the first row.
+pub fn render(title: &str, rows: &[Row]) -> String {
+    let mut s = format!("## {title}\n\n");
+    s.push_str(&format!(
+        "{:<42} {:>14} {:>12} {:>10}\n",
+        "variant", "model cycles", "insts", "vs first"
+    ));
+    let base = rows.first().map(|r| r.cycles).unwrap_or(1).max(1);
+    for r in rows {
+        s.push_str(&format!(
+            "{:<42} {:>14} {:>12} {:>9.0}%\n",
+            r.label,
+            r.cycles,
+            r.insts,
+            r.cycles as f64 / base as f64 * 100.0
+        ));
+    }
+    s
+}

@@ -1,0 +1,158 @@
+//! Captured (rewritten) code: decoded instructions grouped in blocks with
+//! explicit terminators, kept in this form through the optimization passes
+//! until final layout and emission (§III.G: "Captured instructions are kept
+//! in decoded form").
+
+use brew_x86::cond::Cond;
+use brew_x86::inst::Inst;
+
+/// Index of a captured block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId(pub usize);
+
+/// How a captured block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional transfer to another captured block.
+    Jmp(BlockId),
+    /// Conditional transfer.
+    Jcc {
+        /// Branch condition.
+        cond: Cond,
+        /// Block on condition true.
+        taken: BlockId,
+        /// Block on condition false.
+        fall: BlockId,
+    },
+    /// Return from the rewritten function.
+    Ret,
+}
+
+impl Terminator {
+    /// Successor block ids.
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> {
+        let (a, b) = match self {
+            Terminator::Jmp(t) => (Some(*t), None),
+            Terminator::Jcc { taken, fall, .. } => (Some(*taken), Some(*fall)),
+            Terminator::Ret => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+/// One captured instruction with the frame-offset metadata the global
+/// dead-store pass needs (rsp-relative operands in different blocks have
+/// different RSP bases, so offsets are recorded in entry-RSP terms here).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapturedInst {
+    /// The rewritten instruction.
+    pub inst: Inst,
+    /// Entry-RSP-relative offset this instruction stores to, if it stores
+    /// to a tracked frame slot.
+    pub frame_store: Option<i64>,
+    /// Entry-RSP-relative offset this instruction loads from, if it loads
+    /// from a tracked frame slot.
+    pub frame_load: Option<i64>,
+}
+
+impl CapturedInst {
+    /// Plain instruction without frame metadata.
+    pub fn plain(inst: Inst) -> Self {
+        CapturedInst { inst, frame_store: None, frame_load: None }
+    }
+}
+
+/// A captured basic block.
+#[derive(Debug, Clone)]
+pub struct CapturedBlock {
+    /// Guest address this block was traced from (0 for synthetic
+    /// compensation blocks).
+    pub guest_addr: u64,
+    /// Body (terminator excluded).
+    pub insts: Vec<CapturedInst>,
+    /// Terminator.
+    pub term: Terminator,
+    /// Did the block's trace consume branch flags before writing any?
+    /// Migration edges may only enter blocks where this is `false`.
+    pub reads_flags_on_entry: bool,
+    /// `true` once the block has been traced (blocks are created when
+    /// enqueued).
+    pub traced: bool,
+    /// Some path enters this block via migration compensation with
+    /// architecturally untrusted flags.
+    pub entered_untrusted: bool,
+}
+
+impl CapturedBlock {
+    /// Fresh (pending) block for `guest_addr`.
+    pub fn pending(guest_addr: u64) -> Self {
+        CapturedBlock {
+            guest_addr,
+            insts: Vec::new(),
+            term: Terminator::Ret,
+            reads_flags_on_entry: false,
+            traced: false,
+            entered_untrusted: false,
+        }
+    }
+}
+
+/// Statistics of one rewrite, reported in [`crate::RewriteResult`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Guest instructions visited while tracing (incl. re-traces).
+    pub traced: u64,
+    /// Instructions emitted into captured blocks (before passes).
+    pub emitted: u64,
+    /// Instructions whose effect was fully evaluated at rewrite time.
+    pub elided: u64,
+    /// Captured blocks (incl. compensation blocks).
+    pub blocks: u64,
+    /// World migrations performed.
+    pub migrations: u64,
+    /// Calls inlined.
+    pub inlined_calls: u64,
+    /// Calls kept (emitted) in the rewritten code.
+    pub kept_calls: u64,
+    /// Instructions removed by optimization passes.
+    pub pass_removed: u64,
+    /// Literal-pool bytes allocated.
+    pub pool_bytes: u64,
+    /// Final emitted code size in bytes.
+    pub code_bytes: u64,
+    /// Memory-access hook call sites injected.
+    pub hooks_injected: u64,
+}
+
+impl std::fmt::Display for RewriteStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "traced {} guest insts -> emitted {} ({} evaluated away, {} removed by passes) \
+             in {} blocks ({} migrations, {} inlined / {} kept calls), {} bytes",
+            self.traced,
+            self.emitted,
+            self.elided,
+            self.pass_removed,
+            self.blocks,
+            self.migrations,
+            self.inlined_calls,
+            self.kept_calls,
+            self.code_bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successors() {
+        let t = Terminator::Jcc { cond: Cond::E, taken: BlockId(1), fall: BlockId(2) };
+        let s: Vec<BlockId> = t.successors().collect();
+        assert_eq!(s, vec![BlockId(1), BlockId(2)]);
+        assert_eq!(Terminator::Ret.successors().count(), 0);
+        assert_eq!(Terminator::Jmp(BlockId(7)).successors().count(), 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Rewriter configuration — the Rust rendering of the paper's `brew_*` API.
+//!
+//! The C prototype configures the rewriter through `brew_initConf`,
+//! `brew_setpar` (mark a parameter `BREW_KNOWN` / `BREW_PTR_TO_KNOWN`),
+//! `brew_setmem` (declare a memory range immutable-and-known) and
+//! per-function options (§III.C): inline-or-not, treat fresh values as
+//! unknown, treat branches as unknown, and the variant threshold per
+//! original block address.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// How a parameter of the rewritten function is treated (cf. `brew_setpar`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParamSpec {
+    /// Value varies at runtime (the default).
+    #[default]
+    Unknown,
+    /// The value passed to [`crate::Rewriter::rewrite`] is a fixed constant
+    /// for all future calls (`BREW_KNOWN`).
+    Known,
+    /// Like [`ParamSpec::Known`], and additionally the `len` bytes behind
+    /// the pointer are immutable known data (`BREW_PTR_TO_KNOWN`). The
+    /// paper infers the extent from types; we take it explicitly.
+    PtrToKnown {
+        /// Number of known bytes behind the pointer.
+        len: u64,
+    },
+}
+
+/// An argument value supplied to the trace (the emulated call of §III.B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArgValue {
+    /// Integer or pointer argument.
+    Int(i64),
+    /// Double argument.
+    F64(f64),
+}
+
+/// Return-value class of the rewritten function, used to materialize the
+/// return registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetKind {
+    /// Returns an integer/pointer in RAX.
+    #[default]
+    Int,
+    /// Returns a double in XMM0.
+    F64,
+    /// Returns nothing.
+    Void,
+}
+
+/// Per-function tracing options, looked up by the function's entry address
+/// (§III.C: "a rewriter configuration provides the options for functions
+/// given their start address").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuncOpts {
+    /// Inline calls to this function (default). When `false`, calls are
+    /// kept, with compensation code materializing argument registers.
+    pub inline: bool,
+    /// §III.C bullet 3 / §V.C brute force: every value created by an
+    /// operation in this function becomes unknown (parameters untouched).
+    /// Defeats unrolling and most specialization inside the function, but
+    /// inlined callees still specialize.
+    pub fresh_unknown: bool,
+    /// §III.F: treat every conditional jump as unknown even when its
+    /// condition is known. Flag-writing instructions are force-emitted so
+    /// the emitted branches read real flags. Values stay known, so loops
+    /// still unroll *by world variants* until [`FuncOpts::max_variants`]
+    /// migration closes them — exactly the paper's controlled unrolling.
+    pub branch_unknown: bool,
+    /// Threshold of translated variants per original block address before
+    /// world migration (§III.C bullet 4).
+    pub max_variants: u32,
+}
+
+impl Default for FuncOpts {
+    fn default() -> Self {
+        FuncOpts { inline: true, fresh_unknown: false, branch_unknown: false, max_variants: 64 }
+    }
+}
+
+/// The rewriting configuration (`rConf` in the paper).
+#[derive(Debug, Clone)]
+pub struct RewriteConfig {
+    /// Parameter treatment by index (0-based).
+    pub params: Vec<ParamSpec>,
+    /// Return class of the function being rewritten.
+    pub ret: RetKind,
+    /// Extra known-and-immutable memory ranges (`brew_setmem`).
+    pub known_mem: Vec<Range<u64>>,
+    /// Per-function options; [`RewriteConfig::default_opts`] applies
+    /// otherwise.
+    pub func_opts: HashMap<u64, FuncOpts>,
+    /// Options for functions without an explicit entry.
+    pub default_opts: FuncOpts,
+    /// Hard cap on traced instructions (runaway-unrolling guard).
+    pub max_trace_insts: u64,
+    /// Hard cap on generated basic blocks.
+    pub max_blocks: usize,
+    /// Hard cap on emitted code bytes ("there is a configuration for
+    /// maximum size", §III.G).
+    pub max_code_bytes: usize,
+    /// Inject a call to this handler before every emitted memory access
+    /// with an unknown address (§III.D: "injection of handler calls when
+    /// specific operations such as memory accesses are detected"). The
+    /// handler receives the effective address in RDI.
+    pub mem_access_hook: Option<u64>,
+    /// Inject a call to this handler at function entry (§III.D: "it is
+    /// convenient to inject calls into own profiling functions e.g. at
+    /// function begin or end"). The handler receives the original
+    /// function's address in RDI.
+    pub entry_hook: Option<u64>,
+    /// Inject a call to this handler before every return of the rewritten
+    /// function. The handler receives the original function's address in
+    /// RDI.
+    pub exit_hook: Option<u64>,
+}
+
+impl Default for RewriteConfig {
+    fn default() -> Self {
+        RewriteConfig {
+            params: Vec::new(),
+            ret: RetKind::Int,
+            known_mem: Vec::new(),
+            func_opts: HashMap::new(),
+            default_opts: FuncOpts::default(),
+            max_trace_insts: 4_000_000,
+            max_blocks: 40_000,
+            max_code_bytes: 1 << 20,
+            mem_access_hook: None,
+            entry_hook: None,
+            exit_hook: None,
+        }
+    }
+}
+
+impl RewriteConfig {
+    /// Fresh configuration (`brew_initConf`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark parameter `idx` (0-based) with a treatment (`brew_setpar`).
+    pub fn set_param(&mut self, idx: usize, spec: ParamSpec) -> &mut Self {
+        if self.params.len() <= idx {
+            self.params.resize(idx + 1, ParamSpec::Unknown);
+        }
+        self.params[idx] = spec;
+        self
+    }
+
+    /// Declare `range` as known immutable memory (`brew_setmem`).
+    pub fn set_mem_known(&mut self, range: Range<u64>) -> &mut Self {
+        self.known_mem.push(range);
+        self
+    }
+
+    /// Set the return class.
+    pub fn set_ret(&mut self, ret: RetKind) -> &mut Self {
+        self.ret = ret;
+        self
+    }
+
+    /// Access (creating on demand) the options for the function at `addr`.
+    pub fn func(&mut self, addr: u64) -> &mut FuncOpts {
+        let d = self.default_opts;
+        self.func_opts.entry(addr).or_insert(d)
+    }
+
+    /// The options in effect for the function at `addr`.
+    pub fn opts_for(&self, addr: u64) -> FuncOpts {
+        self.func_opts.get(&addr).copied().unwrap_or(self.default_opts)
+    }
+
+    /// Is `addr` inside declared known memory (including `PTR_TO_KNOWN`
+    /// ranges registered during [`crate::Rewriter::rewrite`])?
+    pub fn addr_known(&self, addr: u64, size: u64) -> bool {
+        self.known_mem
+            .iter()
+            .any(|r| addr >= r.start && addr.saturating_add(size) <= r.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_vector_grows() {
+        let mut c = RewriteConfig::new();
+        c.set_param(2, ParamSpec::Known);
+        assert_eq!(c.params.len(), 3);
+        assert_eq!(c.params[0], ParamSpec::Unknown);
+        assert_eq!(c.params[2], ParamSpec::Known);
+    }
+
+    #[test]
+    fn known_mem_ranges() {
+        let mut c = RewriteConfig::new();
+        c.set_mem_known(0x1000..0x1100);
+        assert!(c.addr_known(0x1000, 8));
+        assert!(c.addr_known(0x10F8, 8));
+        assert!(!c.addr_known(0x10F9, 8));
+        assert!(!c.addr_known(0xFFF, 2));
+    }
+
+    #[test]
+    fn per_function_opts() {
+        let mut c = RewriteConfig::new();
+        c.func(0x400000).inline = false;
+        assert!(!c.opts_for(0x400000).inline);
+        assert!(c.opts_for(0x500000).inline);
+    }
+}

@@ -1,0 +1,235 @@
+//! Block layout and final code emission (§III.G):
+//!
+//! *"Determination of the best order of generated blocks for the final
+//! rewritten code. Generation of binary code from captured blocks. [...] Do
+//! relocation of all needed jumps, given start addresses from the previous
+//! step."*
+
+use crate::capture::{BlockId, CapturedBlock, Terminator};
+use crate::error::RewriteError;
+use brew_image::Image;
+use brew_x86::prelude::*;
+
+/// Lowered terminator form, decided by layout (fall-through suppression).
+enum TermForm {
+    Nothing,
+    Jmp(BlockId),
+    Jcc(Cond, BlockId),
+    JccJmp(Cond, BlockId, BlockId),
+}
+
+const JCC_LEN: usize = 6;
+const JMP_LEN: usize = 5;
+
+impl TermForm {
+    fn len(&self) -> usize {
+        match self {
+            TermForm::Nothing => 0,
+            TermForm::Jmp(_) => JMP_LEN,
+            TermForm::Jcc(..) => JCC_LEN,
+            TermForm::JccJmp(..) => JCC_LEN + JMP_LEN,
+        }
+    }
+}
+
+/// Order blocks for emission: depth-first from the entry, preferring the
+/// fall-through successor so most branches become not-taken ("unless we
+/// fall-through from the previously generated code...").
+fn layout(blocks: &[CapturedBlock], entry: BlockId) -> Vec<BlockId> {
+    let mut order = Vec::with_capacity(blocks.len());
+    let mut seen = vec![false; blocks.len()];
+    let mut stack = vec![entry];
+    while let Some(b) = stack.pop() {
+        if seen[b.0] {
+            continue;
+        }
+        seen[b.0] = true;
+        order.push(b);
+        match blocks[b.0].term {
+            Terminator::Ret => {}
+            Terminator::Jmp(t) => stack.push(t),
+            Terminator::Jcc { taken, fall, .. } => {
+                // Push taken first so fall is visited (and laid out) next.
+                stack.push(taken);
+                stack.push(fall);
+            }
+        }
+    }
+    order
+}
+
+/// Emit all blocks reachable from `entry` into the image's JIT segment.
+/// Returns `(entry address, total length)`.
+pub fn layout_and_emit(
+    blocks: &[CapturedBlock],
+    entry: BlockId,
+    img: &mut Image,
+    max_bytes: usize,
+) -> Result<(u64, usize), RewriteError> {
+    let order = layout(blocks, entry);
+    debug_assert_eq!(order.first(), Some(&entry));
+
+    // Decide terminator forms based on which block comes next.
+    let mut forms: Vec<TermForm> = Vec::with_capacity(order.len());
+    for (i, b) in order.iter().enumerate() {
+        let next = order.get(i + 1).copied();
+        let form = match blocks[b.0].term {
+            Terminator::Ret => TermForm::Nothing, // body ends with `ret`
+            Terminator::Jmp(t) => {
+                if next == Some(t) {
+                    TermForm::Nothing
+                } else {
+                    TermForm::Jmp(t)
+                }
+            }
+            Terminator::Jcc { cond, taken, fall } => {
+                if next == Some(fall) {
+                    TermForm::Jcc(cond, taken)
+                } else if next == Some(taken) {
+                    TermForm::Jcc(cond.negate(), fall)
+                } else {
+                    TermForm::JccJmp(cond, taken, fall)
+                }
+            }
+        };
+        forms.push(form);
+    }
+
+    // Assign offsets (lengths are placement-independent).
+    let mut offsets = vec![0usize; blocks.len()];
+    let mut off = 0usize;
+    for (i, b) in order.iter().enumerate() {
+        offsets[b.0] = off;
+        for ci in &blocks[b.0].insts {
+            off += encoded_len(&ci.inst)?;
+        }
+        off += forms[i].len();
+    }
+    let total = off;
+    if total > max_bytes || (total as u64) > img.jit_remaining() {
+        return Err(RewriteError::OutOfCodeSpace);
+    }
+
+    // Reserve the region, then encode with final addresses.
+    let base = img.alloc_jit(&vec![0u8; total]);
+    let mut bytes = Vec::with_capacity(total);
+    for (i, b) in order.iter().enumerate() {
+        debug_assert_eq!(bytes.len(), offsets[b.0]);
+        for ci in &blocks[b.0].insts {
+            let addr = base + bytes.len() as u64;
+            encode(&ci.inst, addr, &mut bytes)?;
+        }
+        let target = |t: BlockId| base + offsets[t.0] as u64;
+        match &forms[i] {
+            TermForm::Nothing => {}
+            TermForm::Jmp(t) => {
+                let addr = base + bytes.len() as u64;
+                encode(&Inst::JmpRel { target: target(*t) }, addr, &mut bytes)?;
+            }
+            TermForm::Jcc(c, t) => {
+                let addr = base + bytes.len() as u64;
+                encode(&Inst::Jcc { cond: *c, target: target(*t) }, addr, &mut bytes)?;
+            }
+            TermForm::JccJmp(c, t, f) => {
+                let addr = base + bytes.len() as u64;
+                encode(&Inst::Jcc { cond: *c, target: target(*t) }, addr, &mut bytes)?;
+                let addr = base + bytes.len() as u64;
+                encode(&Inst::JmpRel { target: target(*f) }, addr, &mut bytes)?;
+            }
+        }
+    }
+    debug_assert_eq!(bytes.len(), total);
+    img.write_bytes(base, &bytes)
+        .map_err(|_| RewriteError::OutOfCodeSpace)?;
+    Ok((base, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::CapturedInst;
+
+    fn ret_block() -> CapturedBlock {
+        let mut b = CapturedBlock::pending(0);
+        b.insts = vec![CapturedInst::plain(Inst::Ret)];
+        b.term = Terminator::Ret;
+        b.traced = true;
+        b
+    }
+
+    #[test]
+    fn straight_line() {
+        let mut img = Image::new();
+        let mut b0 = CapturedBlock::pending(0);
+        b0.insts = vec![CapturedInst::plain(Inst::Mov {
+            w: Width::W64,
+            dst: Operand::Reg(Gpr::Rax),
+            src: Operand::Imm(42),
+        })];
+        b0.term = Terminator::Jmp(BlockId(1));
+        let blocks = vec![b0, ret_block()];
+        let (addr, len) = layout_and_emit(&blocks, BlockId(0), &mut img, 1 << 16).unwrap();
+        // Fallthrough: no jmp emitted between blocks.
+        let win = img.code_window(addr, len).unwrap();
+        let (insts, err) = decode_all(&win, addr);
+        assert!(err.is_none());
+        assert_eq!(insts.len(), 2);
+        assert!(matches!(insts[1].1, Inst::Ret));
+    }
+
+    #[test]
+    fn diamond_layout_prefers_fallthrough() {
+        // b0: jcc e -> b2 else b1 ; b1: ret ; b2: ret
+        let mut b0 = CapturedBlock::pending(0);
+        b0.term = Terminator::Jcc { cond: Cond::E, taken: BlockId(2), fall: BlockId(1) };
+        let blocks = vec![b0, ret_block(), ret_block()];
+        let mut img = Image::new();
+        let (addr, len) = layout_and_emit(&blocks, BlockId(0), &mut img, 1 << 16).unwrap();
+        let win = img.code_window(addr, len).unwrap();
+        let (insts, err) = decode_all(&win, addr);
+        assert!(err.is_none());
+        // je <b2>; ret (b1 fallthrough); ret (b2)
+        assert_eq!(insts.len(), 3);
+        let Inst::Jcc { cond, target } = insts[0].1 else { panic!() };
+        assert_eq!(cond, Cond::E);
+        assert_eq!(target, insts[2].0);
+    }
+
+    #[test]
+    fn loop_backedge() {
+        // b0: dec rax; jcc ne -> b0 else b1
+        let mut b0 = CapturedBlock::pending(0);
+        b0.insts = vec![CapturedInst::plain(Inst::Unary {
+            op: UnOp::Dec,
+            w: Width::W64,
+            dst: Operand::Reg(Gpr::Rax),
+        })];
+        b0.term = Terminator::Jcc { cond: Cond::Ne, taken: BlockId(0), fall: BlockId(1) };
+        let blocks = vec![b0, ret_block()];
+        let mut img = Image::new();
+        let (addr, len) = layout_and_emit(&blocks, BlockId(0), &mut img, 1 << 16).unwrap();
+        let win = img.code_window(addr, len).unwrap();
+        let (insts, err) = decode_all(&win, addr);
+        assert!(err.is_none());
+        let Inst::Jcc { target, .. } = insts[1].1 else { panic!() };
+        assert_eq!(target, addr, "backedge targets the block start");
+    }
+
+    #[test]
+    fn code_size_limit() {
+        let blocks = vec![ret_block()];
+        let mut img = Image::new();
+        assert!(matches!(
+            layout_and_emit(&blocks, BlockId(0), &mut img, 0),
+            Err(RewriteError::OutOfCodeSpace)
+        ));
+    }
+
+    #[test]
+    fn unreachable_blocks_not_emitted() {
+        let blocks = vec![ret_block(), ret_block(), ret_block()];
+        let mut img = Image::new();
+        let (_, len) = layout_and_emit(&blocks, BlockId(0), &mut img, 1 << 16).unwrap();
+        assert_eq!(len, 1, "only the entry ret");
+    }
+}

@@ -1,0 +1,116 @@
+//! Guarded specialization dispatch stubs (§III.D):
+//!
+//! *"it may be observed that a parameter to a function often is 42. In this
+//! case, a specific variant can be generated which is called after a check
+//! for the parameter actually being 42. Otherwise, the original function
+//! should be executed."*
+//!
+//! A guard is a tiny stub with the same signature as the original: it
+//! compares one argument register against the profiled constant and
+//! tail-jumps to either the specialized or the original function, so the
+//! caller can use it as a drop-in replacement.
+
+use crate::error::RewriteError;
+use brew_image::Image;
+use brew_x86::prelude::*;
+
+/// Emit a dispatch stub into the JIT segment. `param` is the 0-based
+/// *integer* parameter index (SysV: rdi, rsi, rdx, rcx, r8, r9).
+///
+/// Returns the stub's entry address.
+pub fn make_guard(
+    img: &mut Image,
+    param: usize,
+    expected: i64,
+    specialized: u64,
+    original: u64,
+) -> Result<u64, RewriteError> {
+    if param >= Gpr::SYSV_ARGS.len() {
+        return Err(RewriteError::BadConfig(format!(
+            "guard parameter index {param} out of ABI range"
+        )));
+    }
+    let reg = Gpr::SYSV_ARGS[param];
+
+    // r11 is caller-saved and never an argument register: safe scratch.
+    let mut insts: Vec<Inst> = Vec::new();
+    if expected == (expected as i32) as i64 {
+        insts.push(Inst::Alu {
+            op: AluOp::Cmp,
+            w: Width::W64,
+            dst: Operand::Reg(reg),
+            src: Operand::Imm(expected),
+        });
+    } else {
+        insts.push(Inst::MovAbs { dst: Gpr::R11, imm: expected as u64 });
+        insts.push(Inst::Alu {
+            op: AluOp::Cmp,
+            w: Width::W64,
+            dst: Operand::Reg(reg),
+            src: Operand::Reg(Gpr::R11),
+        });
+    }
+    // je specialized; jmp original — both tail jumps keep all argument
+    // registers and the return address intact.
+    insts.push(Inst::Jcc { cond: Cond::E, target: specialized });
+    insts.push(Inst::JmpRel { target: original });
+
+    let total: usize = insts
+        .iter()
+        .map(|i| encoded_len(i).unwrap_or(16))
+        .sum();
+    if (total as u64) > img.jit_remaining() {
+        return Err(RewriteError::OutOfCodeSpace);
+    }
+    let base = img.alloc_jit(&vec![0u8; total]);
+    let mut bytes = Vec::with_capacity(total);
+    for i in &insts {
+        let addr = base + bytes.len() as u64;
+        encode(i, addr, &mut bytes)?;
+    }
+    img.write_bytes(base, &bytes)
+        .map_err(|_| RewriteError::OutOfCodeSpace)?;
+    Ok(base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_shape_small_imm() {
+        let mut img = Image::new();
+        let g = make_guard(&mut img, 0, 42, 0x90_0100, 0x40_0000).unwrap();
+        let win = img.code_window(g, 64).unwrap();
+        let (insts, _) = decode_all(&win, g);
+        assert!(matches!(
+            insts[0].1,
+            Inst::Alu { op: AluOp::Cmp, dst: Operand::Reg(Gpr::Rdi), src: Operand::Imm(42), .. }
+        ));
+        assert_eq!(insts[1].1, Inst::Jcc { cond: Cond::E, target: 0x90_0100 });
+        assert_eq!(insts[2].1, Inst::JmpRel { target: 0x40_0000 });
+    }
+
+    #[test]
+    fn guard_large_constant_uses_r11() {
+        let mut img = Image::new();
+        let v = 0x1234_5678_9ABCi64;
+        let g = make_guard(&mut img, 2, v, 0x90_0100, 0x40_0000).unwrap();
+        let win = img.code_window(g, 64).unwrap();
+        let (insts, _) = decode_all(&win, g);
+        assert_eq!(insts[0].1, Inst::MovAbs { dst: Gpr::R11, imm: v as u64 });
+        assert!(matches!(
+            insts[1].1,
+            Inst::Alu { op: AluOp::Cmp, dst: Operand::Reg(Gpr::Rdx), src: Operand::Reg(Gpr::R11), .. }
+        ));
+    }
+
+    #[test]
+    fn bad_param_index() {
+        let mut img = Image::new();
+        assert!(matches!(
+            make_guard(&mut img, 6, 1, 0, 0),
+            Err(RewriteError::BadConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,273 @@
+//! # brew-core — programmer-controlled binary rewriting at runtime
+//!
+//! The paper's contribution (Weidendorfer & Breitbart, IPPS 2016): a
+//! minimal, low-level API that lets application or library code request a
+//! *specialized* version of any compiled function at runtime.
+//!
+//! ```text
+//! brew_initConf(rConf);                        RewriteConfig::new()
+//! brew_setpar(rConf, 2, BREW_KNOWN);           cfg.set_param(1, ParamSpec::Known)
+//! brew_setpar(rConf, 3, BREW_PTR_TO_KNOWN);    cfg.set_param(2, ParamSpec::PtrToKnown{len})
+//! brew_setmem(rConf, start, end, BREW_KNOWN);  cfg.set_mem_known(start..end)
+//! brew_rewrite(rConf, func, 0, xs, &s5);       rw.rewrite(&cfg, func, &args)
+//! ```
+//!
+//! The rewriter traces one emulated call of the function instruction by
+//! instruction, maintaining a known/unknown flag for every value
+//! ([`value::Value`]), inlining calls over a shadow stack, following known
+//! conditional jumps (which unrolls constant loops), forking at unknown
+//! ones with saved known-world states ([`world::World`]), bounding code
+//! growth with per-address variant thresholds and world migration, running
+//! optimization passes over the captured blocks, and finally laying out,
+//! encoding and relocating the result into the image's JIT segment.
+//!
+//! Rewriting can always fail (§III.G) — every failure is a recoverable
+//! [`RewriteError`], and the caller keeps using the original function.
+//!
+//! ```
+//! use brew_core::{ArgValue, ParamSpec, RetKind, RewriteConfig, Rewriter};
+//! use brew_image::Image;
+//! use brew_emu::{CallArgs, Machine};
+//!
+//! let mut img = Image::new();
+//! let prog = brew_minic::compile_into(
+//!     "int madd(int a, int b, int c) { return a * b + c; }", &mut img).unwrap();
+//! let f = prog.func("madd").unwrap();
+//!
+//! // Specialize for b == 7.
+//! let mut cfg = RewriteConfig::new();
+//! cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
+//! let mut rw = Rewriter::new(&mut img);
+//! let spec = rw.rewrite(&cfg, f, &[ArgValue::Int(0), ArgValue::Int(7), ArgValue::Int(0)])
+//!     .unwrap();
+//!
+//! // Drop-in replacement: same signature, parameter 1 is now baked in.
+//! let mut m = Machine::new();
+//! let out = m.call(&mut img, spec.entry, &CallArgs::new().int(6).int(7).int(-2)).unwrap();
+//! assert_eq!(out.ret_int as i64, 40);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod config;
+pub mod emit;
+pub mod error;
+mod exec;
+pub mod frame;
+pub mod guard;
+pub mod passes;
+pub mod promote;
+pub mod tracer;
+pub mod value;
+pub mod world;
+
+pub use capture::RewriteStats;
+pub use config::{ArgValue, FuncOpts, ParamSpec, RetKind, RewriteConfig};
+pub use error::RewriteError;
+pub use guard::make_guard;
+pub use passes::PassConfig;
+
+use brew_image::Image;
+use brew_x86::prelude::*;
+use world::{RegState, World, XmmState};
+
+/// Result of a successful rewrite.
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteResult {
+    /// Entry address of the rewritten function (drop-in replacement).
+    pub entry: u64,
+    /// Emitted code size in bytes.
+    pub code_len: usize,
+    /// Rewrite statistics.
+    pub stats: RewriteStats,
+}
+
+/// The rewriter. Borrows the image: it reads original code and known data
+/// from it and writes specialized code into its JIT segment.
+pub struct Rewriter<'a> {
+    img: &'a mut Image,
+}
+
+impl<'a> Rewriter<'a> {
+    /// Wrap an image for rewriting.
+    pub fn new(img: &'a mut Image) -> Self {
+        Rewriter { img }
+    }
+
+    /// `brew_rewrite`: generate a specialized variant of the function at
+    /// `func`, given the emulated-call arguments `args` (one per declared
+    /// parameter, in signature order).
+    pub fn rewrite(
+        &mut self,
+        cfg: &RewriteConfig,
+        func: u64,
+        args: &[ArgValue],
+    ) -> Result<RewriteResult, RewriteError> {
+        self.rewrite_with_passes(cfg, func, args, &PassConfig::default())
+    }
+
+    /// [`Rewriter::rewrite`] with an explicit optimization-pass selection
+    /// (for the A2 ablation; `PassConfig::none()` reproduces the paper's
+    /// pass-less prototype).
+    pub fn rewrite_with_passes(
+        &mut self,
+        cfg: &RewriteConfig,
+        func: u64,
+        args: &[ArgValue],
+        pc: &PassConfig,
+    ) -> Result<RewriteResult, RewriteError> {
+        if cfg.mem_access_hook.is_some()
+            && (cfg.func_opts.values().any(|o| o.branch_unknown)
+                || cfg.default_opts.branch_unknown)
+        {
+            return Err(RewriteError::BadConfig(
+                "memory-access hooks cannot be combined with branch_unknown \
+                 (handlers clobber flags the forced branches would read)"
+                    .into(),
+            ));
+        }
+        if cfg.params.len() > args.len() {
+            return Err(RewriteError::BadConfig(format!(
+                "{} parameter specs but only {} arguments",
+                cfg.params.len(),
+                args.len()
+            )));
+        }
+
+        // Known memory = config ranges + PTR_TO_KNOWN extents.
+        let mut known_mem = cfg.known_mem.clone();
+        for (i, a) in args.iter().enumerate() {
+            if let Some(config::ParamSpec::PtrToKnown { len }) = cfg.params.get(i) {
+                let ArgValue::Int(p) = a else {
+                    return Err(RewriteError::BadConfig(format!(
+                        "parameter {i} marked PTR_TO_KNOWN is not a pointer"
+                    )));
+                };
+                known_mem.push(*p as u64..(*p as u64).saturating_add(*len));
+            }
+        }
+
+        // Entry world: argument registers carry the known values.
+        let world = entry_world(cfg, func, args)?;
+
+        let mut tracer = tracer::Tracer::new(self.img, cfg, known_mem);
+        let mut entry_block = tracer.run(func, world)?;
+
+        let mut blocks = std::mem::take(&mut tracer.blocks);
+        let escaped = tracer.escaped;
+        let mut stats = tracer.stats;
+        drop(tracer);
+
+        // §III.D: inject the profiling call at function begin as a
+        // synthetic block in front of the traced entry.
+        if let Some(h) = cfg.entry_hook {
+            let insts = exec::build_hook_sequence(h, exec::HookArg::Const(func))
+                .into_iter()
+                .map(capture::CapturedInst::plain)
+                .collect();
+            let mut b = capture::CapturedBlock::pending(0);
+            b.insts = insts;
+            b.term = capture::Terminator::Jmp(entry_block);
+            b.traced = true;
+            blocks.push(b);
+            entry_block = capture::BlockId(blocks.len() - 1);
+            stats.hooks_injected += 1;
+        }
+
+        stats.pass_removed = passes::run_passes(&mut blocks, pc, escaped);
+        let (entry, code_len) =
+            emit::layout_and_emit(&blocks, entry_block, self.img, cfg.max_code_bytes)?;
+        stats.code_bytes = code_len as u64;
+        Ok(RewriteResult { entry, code_len, stats })
+    }
+
+    /// [`Rewriter::rewrite`] addressing the function by its image symbol.
+    pub fn rewrite_named(
+        &mut self,
+        cfg: &RewriteConfig,
+        name: &str,
+        args: &[ArgValue],
+    ) -> Result<RewriteResult, RewriteError> {
+        let func = self
+            .img
+            .lookup(name)
+            .ok_or_else(|| RewriteError::BadConfig(format!("unknown symbol `{name}`")))?;
+        self.rewrite(cfg, func, args)
+    }
+
+    /// Build a guarded dispatch stub (§III.D): calls `specialized` when
+    /// integer parameter `param` equals `expected`, else `original`.
+    pub fn guard(
+        &mut self,
+        param: usize,
+        expected: i64,
+        specialized: u64,
+        original: u64,
+    ) -> Result<u64, RewriteError> {
+        guard::make_guard(self.img, param, expected, specialized, original)
+    }
+}
+
+/// Build the entry [`World`] from the configuration and trace arguments.
+fn entry_world(
+    cfg: &RewriteConfig,
+    func: u64,
+    args: &[ArgValue],
+) -> Result<World, RewriteError> {
+    let mut w = World::entry(func);
+    let mut int_idx = 0usize;
+    let mut fp_idx = 0usize;
+    for (i, a) in args.iter().enumerate() {
+        let spec = cfg.params.get(i).copied().unwrap_or(config::ParamSpec::Unknown);
+        let known = !matches!(spec, config::ParamSpec::Unknown);
+        match a {
+            ArgValue::Int(v) => {
+                if int_idx >= Gpr::SYSV_ARGS.len() {
+                    return Err(RewriteError::BadConfig(
+                        "more than 6 integer arguments".into(),
+                    ));
+                }
+                let reg = Gpr::SYSV_ARGS[int_idx];
+                int_idx += 1;
+                if known {
+                    // The caller passes this argument too (same signature),
+                    // and under the BREW_KNOWN contract it always equals the
+                    // captured value — so the register is synced.
+                    w.set_reg(
+                        reg,
+                        RegState { val: value::Value::Const(*v as u64), synced: true },
+                    );
+                }
+            }
+            ArgValue::F64(v) => {
+                if fp_idx >= Xmm::SYSV_ARGS.len() {
+                    return Err(RewriteError::BadConfig(
+                        "more than 8 floating-point arguments".into(),
+                    ));
+                }
+                let reg = Xmm::SYSV_ARGS[fp_idx];
+                fp_idx += 1;
+                if known {
+                    w.set_xmm(
+                        reg,
+                        XmmState {
+                            lanes: [value::Value::Const(v.to_bits()), value::Value::Unknown],
+                            synced: true,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    Ok(w)
+}
+
+/// Disassemble a rewritten function for inspection (the Figure-6 listing of
+/// the paper): `(address, text)` lines.
+pub fn disasm_result(img: &Image, res: &RewriteResult) -> Vec<String> {
+    let window = img.code_window(res.entry, res.code_len).unwrap_or_default();
+    let n = res.code_len.min(window.len());
+    let (insts, _) = decode_all(&window[..n], res.entry);
+    insts.iter().map(|(a, i)| format!("{a:#08x}: {i}")).collect()
+}

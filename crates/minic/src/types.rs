@@ -1,0 +1,172 @@
+//! Resolved types and layout for mini-C.
+//!
+//! Layout is deliberately simple: every scalar (int, double, pointer,
+//! function pointer) is 8 bytes and 8-aligned, structs are field-sequential
+//! with no padding beyond that, arrays are element-sequential. `int` is
+//! 64-bit (the paper's stencil code uses `int` for indices; making it
+//! word-sized keeps the subset to two operand widths without changing any
+//! observable behaviour of the workloads).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A function signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sig {
+    /// Parameter types (scalars only).
+    pub params: Vec<Ty>,
+    /// Return type ([`Ty::Void`] for none).
+    pub ret: Ty,
+}
+
+/// A resolved type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    Int,
+    /// IEEE double.
+    Double,
+    /// No value (function returns).
+    Void,
+    /// Pointer.
+    Ptr(Box<Ty>),
+    /// Struct by index into the [`TypeTable`].
+    Struct(usize),
+    /// Fixed-size array.
+    Array(Box<Ty>, usize),
+    /// Pointer to function.
+    FnPtr(Arc<Sig>),
+}
+
+impl Ty {
+    /// `true` for types representable in one integer register.
+    pub fn is_int_like(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Ptr(_) | Ty::FnPtr(_))
+    }
+
+    /// `true` for scalar (register-sized) types.
+    pub fn is_scalar(&self) -> bool {
+        self.is_int_like() || matches!(self, Ty::Double)
+    }
+
+    /// The machine class used to move this scalar.
+    pub fn scalar(&self) -> Option<Scalar> {
+        if self.is_int_like() {
+            Some(Scalar::I64)
+        } else if matches!(self, Ty::Double) {
+            Some(Scalar::F64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Machine scalar class: integer register vs SSE register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scalar {
+    /// Integer/pointer (GPR).
+    I64,
+    /// Double (XMM).
+    F64,
+}
+
+/// A struct field with resolved layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Ty,
+    /// Byte offset within the struct.
+    pub offset: u64,
+}
+
+/// A struct definition with layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Struct tag.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<FieldDef>,
+    /// Total size in bytes.
+    pub size: u64,
+}
+
+impl StructDef {
+    /// Find a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldDef> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// All struct definitions of a translation unit.
+#[derive(Debug, Default, Clone)]
+pub struct TypeTable {
+    /// Definitions, indexed by [`Ty::Struct`] payloads.
+    pub structs: Vec<StructDef>,
+}
+
+impl TypeTable {
+    /// Size of a type in bytes.
+    pub fn size_of(&self, ty: &Ty) -> u64 {
+        match ty {
+            Ty::Int | Ty::Double | Ty::Ptr(_) | Ty::FnPtr(_) => 8,
+            Ty::Void => 0,
+            Ty::Struct(i) => self.structs[*i].size,
+            Ty::Array(t, n) => self.size_of(t) * *n as u64,
+        }
+    }
+
+    /// The definition behind `Ty::Struct`.
+    pub fn struct_def(&self, ty: &Ty) -> Option<&StructDef> {
+        match ty {
+            Ty::Struct(i) => Some(&self.structs[*i]),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Double => write!(f, "double"),
+            Ty::Void => write!(f, "void"),
+            Ty::Ptr(t) => write!(f, "{t}*"),
+            Ty::Struct(i) => write!(f, "struct#{i}"),
+            Ty::Array(t, n) => write!(f, "{t}[{n}]"),
+            Ty::FnPtr(s) => write!(f, "{}(*)({} params)", s.ret, s.params.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let mut tt = TypeTable::default();
+        tt.structs.push(StructDef {
+            name: "P".into(),
+            fields: vec![
+                FieldDef { name: "f".into(), ty: Ty::Double, offset: 0 },
+                FieldDef { name: "dx".into(), ty: Ty::Int, offset: 8 },
+                FieldDef { name: "dy".into(), ty: Ty::Int, offset: 16 },
+            ],
+            size: 24,
+        });
+        assert_eq!(tt.size_of(&Ty::Int), 8);
+        assert_eq!(tt.size_of(&Ty::Struct(0)), 24);
+        assert_eq!(tt.size_of(&Ty::Array(Box::new(Ty::Struct(0)), 5)), 120);
+        assert_eq!(tt.size_of(&Ty::Ptr(Box::new(Ty::Struct(0)))), 8);
+    }
+
+    #[test]
+    fn scalar_classes() {
+        assert_eq!(Ty::Int.scalar(), Some(Scalar::I64));
+        assert_eq!(Ty::Double.scalar(), Some(Scalar::F64));
+        assert_eq!(Ty::Ptr(Box::new(Ty::Double)).scalar(), Some(Scalar::I64));
+        assert_eq!(Ty::Array(Box::new(Ty::Int), 3).scalar(), None);
+    }
+}

@@ -1,0 +1,342 @@
+//! End-to-end tests: compile mini-C, execute in the emulator, check results.
+
+use brew_emu::{CallArgs, EmuError, Machine};
+use brew_image::Image;
+use brew_minic::compile_into;
+
+fn run_int(src: &str, func: &str, args: CallArgs) -> i64 {
+    let mut img = Image::new();
+    let prog = compile_into(src, &mut img).expect("compile");
+    let mut m = Machine::new();
+    let out = m.call(&mut img, prog.func(func).expect("function"), &args).expect("run");
+    out.ret_int as i64
+}
+
+fn run_f64(src: &str, func: &str, args: CallArgs) -> f64 {
+    let mut img = Image::new();
+    let prog = compile_into(src, &mut img).expect("compile");
+    let mut m = Machine::new();
+    let out = m.call(&mut img, prog.func(func).expect("function"), &args).expect("run");
+    out.ret_f64
+}
+
+#[test]
+fn arithmetic() {
+    let src = "int f(int a, int b) { return (a + b) * (a - b) / 2 % 7; }";
+    let f = |a: i64, b: i64| ((a + b) * (a - b) / 2) % 7;
+    for (a, b) in [(10, 3), (5, -2), (-8, -9), (100, 1)] {
+        assert_eq!(run_int(src, "f", CallArgs::new().int(a).int(b)), f(a, b), "{a},{b}");
+    }
+}
+
+#[test]
+fn comparisons_and_logic() {
+    let src = r#"
+        int f(int a, int b) {
+            return (a < b) + 2 * (a <= b) + 4 * (a == b)
+                 + 8 * (a != b) + 16 * (a > b) + 32 * (a >= b)
+                 + 64 * (a < b && b < 100) + 128 * (a == 0 || b == 0);
+        }
+    "#;
+    let f = |a: i64, b: i64| {
+        (a < b) as i64
+            + 2 * (a <= b) as i64
+            + 4 * (a == b) as i64
+            + 8 * (a != b) as i64
+            + 16 * (a > b) as i64
+            + 32 * (a >= b) as i64
+            + 64 * (a < b && b < 100) as i64
+            + 128 * (a == 0 || b == 0) as i64
+    };
+    for (a, b) in [(1, 2), (2, 1), (3, 3), (0, 5), (5, 0), (-1, 200)] {
+        assert_eq!(run_int(src, "f", CallArgs::new().int(a).int(b)), f(a, b), "{a},{b}");
+    }
+}
+
+#[test]
+fn loops_sum() {
+    let src = r#"
+        int sum_to(int n) {
+            int s = 0;
+            for (int i = 1; i <= n; i++) s += i;
+            return s;
+        }
+    "#;
+    assert_eq!(run_int(src, "sum_to", CallArgs::new().int(10)), 55);
+    assert_eq!(run_int(src, "sum_to", CallArgs::new().int(0)), 0);
+    assert_eq!(run_int(src, "sum_to", CallArgs::new().int(1000)), 500500);
+}
+
+#[test]
+fn while_break_continue() {
+    let src = r#"
+        int f(int n) {
+            int s = 0;
+            int i = 0;
+            while (1) {
+                i = i + 1;
+                if (i > n) break;
+                if (i % 2 == 0) continue;
+                s += i;
+            }
+            return s;
+        }
+    "#;
+    // Sum of odd numbers 1..=9 is 25.
+    assert_eq!(run_int(src, "f", CallArgs::new().int(9)), 25);
+    assert_eq!(run_int(src, "f", CallArgs::new().int(10)), 25);
+}
+
+#[test]
+fn doubles_and_conversion() {
+    let src = r#"
+        double mix(int a, double x) {
+            double y = a * x + 0.5;
+            if (y > 10.0) y = y / 2.0;
+            return y - (int)y + (double)a;
+        }
+    "#;
+    let f = |a: i64, x: f64| {
+        let mut y = a as f64 * x + 0.5;
+        if y > 10.0 {
+            y /= 2.0;
+        }
+        y - (y as i64) as f64 + a as f64
+    };
+    for (a, x) in [(2i64, 3.25f64), (10, 7.5), (-3, 0.125), (0, 0.0)] {
+        let got = run_f64(src, "mix", CallArgs::new().int(a).f64(x));
+        assert_eq!(got, f(a, x), "{a},{x}");
+    }
+}
+
+#[test]
+fn double_comparisons_including_nan_free_paths() {
+    let src = r#"
+        int cmp(double a, double b) {
+            return (a < b) + 2*(a <= b) + 4*(a == b) + 8*(a != b)
+                 + 16*(a > b) + 32*(a >= b);
+        }
+    "#;
+    let f = |a: f64, b: f64| {
+        (a < b) as i64
+            + 2 * (a <= b) as i64
+            + 4 * (a == b) as i64
+            + 8 * (a != b) as i64
+            + 16 * (a > b) as i64
+            + 32 * (a >= b) as i64
+    };
+    for (a, b) in [(1.0, 2.0), (2.0, 1.0), (3.5, 3.5), (-0.0, 0.0)] {
+        assert_eq!(run_int(src, "cmp", CallArgs::new().f64(a).f64(b)), f(a, b), "{a},{b}");
+    }
+}
+
+#[test]
+fn pointers_and_arrays() {
+    let src = r#"
+        int sum(int* p, int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) s += p[i];
+            return s;
+        }
+        int driver() {
+            int a[8];
+            for (int i = 0; i < 8; i++) a[i] = i * i;
+            int* q = &a[2];
+            return sum(a, 8) + *q + q[1];
+        }
+    "#;
+    // sum of squares 0..63: 140; *q = 4; q[1] = 9.
+    assert_eq!(run_int(src, "driver", CallArgs::new()), 140 + 4 + 9);
+}
+
+#[test]
+fn structs_and_member_access() {
+    let src = r#"
+        struct P { double f; int dx; int dy; };
+        struct S { int ps; struct P p[5]; };
+        struct S s5 = {5, {{-1.0, 0, 0}, {0.25, -1, 0}, {0.25, 1, 0},
+                           {0.25, 0, -1}, {0.25, 0, 1}}};
+        int f() {
+            struct P* p = &s5.p[3];
+            return s5.ps * 100 + p->dx * 10 + p->dy;
+        }
+    "#;
+    assert_eq!(run_int(src, "f", CallArgs::new()), 5 * 100 + 0 * 10 + -1);
+}
+
+#[test]
+fn the_paper_apply_function() {
+    // The exact generic stencil of Figure 4, on a small matrix.
+    let src = r#"
+        struct P { double f; int dx; int dy; };
+        struct S { int ps; struct P p[5]; };
+        struct S s5 = {5, {{-1.0, 0, 0}, {0.25, -1, 0}, {0.25, 1, 0},
+                           {0.25, 0, -1}, {0.25, 0, 1}}};
+        double apply(double* m, int xs, struct S* s) {
+            double v = 0.0;
+            for (int i = 0; i < s->ps; i++) {
+                struct P* p = &s->p[i];
+                v += p->f * m[p->dx + xs * p->dy];
+            }
+            return v;
+        }
+    "#;
+    let mut img = Image::new();
+    let prog = compile_into(src, &mut img).unwrap();
+    // 4x4 matrix on the heap, m[y][x] = y*10 + x; apply at (1,1).
+    let xs = 4i64;
+    let base = img.alloc_heap(16 * 8, 8);
+    for y in 0..4i64 {
+        for x in 0..4i64 {
+            img.write_f64(base + ((y * xs + x) * 8) as u64, (y * 10 + x) as f64).unwrap();
+        }
+    }
+    let center = base + ((xs + 1) * 8) as u64; // &m[1][1]
+    let mut m = Machine::new();
+    let out = m
+        .call(
+            &mut img,
+            prog.func("apply").unwrap(),
+            &CallArgs::new().ptr(center).int(xs).ptr(prog.global("s5").unwrap()),
+        )
+        .unwrap();
+    // v = -1*11 + 0.25*(10 + 12 + 1 + 21) = -11 + 11 = 0.
+    assert_eq!(out.ret_f64, 0.0);
+    assert!(out.stats.calls == 0);
+    assert!(out.stats.fp_ops >= 10, "5 muls + 5 adds");
+}
+
+#[test]
+fn function_pointers_indirect_calls() {
+    let src = r#"
+        typedef int (*op_t)(int, int);
+        int add(int a, int b) { return a + b; }
+        int mul(int a, int b) { return a * b; }
+        int pick(int which) {
+            op_t f;
+            if (which) f = add; else f = mul;
+            return (*f)(3, 4) + f(2, 5);
+        }
+    "#;
+    assert_eq!(run_int(src, "pick", CallArgs::new().int(1)), 7 + 7);
+    assert_eq!(run_int(src, "pick", CallArgs::new().int(0)), 12 + 10);
+}
+
+#[test]
+fn global_function_pointer_dispatch() {
+    let src = r#"
+        int inc(int x) { return x + 1; }
+        int (*hook)(int) = inc;
+        int f(int x) { return hook(x) * 2; }
+    "#;
+    assert_eq!(run_int(src, "f", CallArgs::new().int(20)), 42);
+}
+
+#[test]
+fn recursion() {
+    let src = "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }";
+    assert_eq!(run_int(src, "fib", CallArgs::new().int(15)), 610);
+}
+
+#[test]
+fn nested_calls_with_doubles() {
+    let src = r#"
+        double scale(double x, double k) { return x * k; }
+        double poly(double x) { return scale(x, 2.0) + scale(x * x, 0.5); }
+    "#;
+    assert_eq!(run_f64(src, "poly", CallArgs::new().f64(4.0)), 8.0 + 8.0);
+}
+
+#[test]
+fn incdec_and_pointer_arith() {
+    let src = r#"
+        int f() {
+            int a[4];
+            a[0] = 10; a[1] = 20; a[2] = 30; a[3] = 40;
+            int* p = a;
+            int x = *p++;
+            int y = *p;
+            p += 2;
+            return x + y + *p;
+        }
+    "#;
+    assert_eq!(run_int(src, "f", CallArgs::new()), 10 + 20 + 40);
+}
+
+#[test]
+fn divide_by_zero_faults() {
+    let src = "int f(int a) { return 10 / a; }";
+    let mut img = Image::new();
+    let prog = compile_into(src, &mut img).unwrap();
+    let mut m = Machine::new();
+    let err = m.call(&mut img, prog.func("f").unwrap(), &CallArgs::new().int(0)).unwrap_err();
+    assert!(matches!(err, EmuError::Divide { .. }));
+    // And works with nonzero.
+    let out = m.call(&mut img, prog.func("f").unwrap(), &CallArgs::new().int(3)).unwrap();
+    assert_eq!(out.ret_int, 3);
+}
+
+#[test]
+fn sizeof_and_casts() {
+    let src = r#"
+        struct P { double f; int dx; int dy; };
+        int f() { return sizeof(struct P) + sizeof(int) + sizeof(double*); }
+    "#;
+    assert_eq!(run_int(src, "f", CallArgs::new()), 24 + 8 + 8);
+}
+
+#[test]
+fn matrix_sweep_writes_memory() {
+    // A full generic sweep like the paper's main loop.
+    let src = r#"
+        struct P { double f; int dx; int dy; };
+        struct S { int ps; struct P p[5]; };
+        struct S s5 = {5, {{-1.0, 0, 0}, {0.25, -1, 0}, {0.25, 1, 0},
+                           {0.25, 0, -1}, {0.25, 0, 1}}};
+        double apply(double* m, int xs, struct S* s) {
+            double v = 0.0;
+            for (int i = 0; i < s->ps; i++) {
+                struct P* p = &s->p[i];
+                v += p->f * m[p->dx + xs * p->dy];
+            }
+            return v;
+        }
+        void sweep(double* m1, double* m2, int xs, int ys) {
+            for (int y = 1; y < ys - 1; y++)
+                for (int x = 1; x < xs - 1; x++)
+                    m2[y * xs + x] = apply(&m1[y * xs + x], xs, &s5);
+        }
+    "#;
+    let mut img = Image::new();
+    let prog = compile_into(src, &mut img).unwrap();
+    let xs = 6i64;
+    let ys = 5i64;
+    let m1 = img.alloc_heap((xs * ys * 8) as u64, 8);
+    let m2 = img.alloc_heap((xs * ys * 8) as u64, 8);
+    let mut host = vec![0f64; (xs * ys) as usize];
+    for y in 0..ys {
+        for x in 0..xs {
+            let v = (y * 31 + x * 7) as f64 * 0.5;
+            host[(y * xs + x) as usize] = v;
+            img.write_f64(m1 + ((y * xs + x) * 8) as u64, v).unwrap();
+        }
+    }
+    let mut m = Machine::new();
+    m.call(
+        &mut img,
+        prog.func("sweep").unwrap(),
+        &CallArgs::new().ptr(m1).ptr(m2).int(xs).int(ys),
+    )
+    .unwrap();
+    // Host reference.
+    for y in 1..ys - 1 {
+        for x in 1..xs - 1 {
+            let i = (y * xs + x) as usize;
+            let want = -host[i]
+                + 0.25
+                    * (host[i - 1] + host[i + 1] + host[i - xs as usize] + host[i + xs as usize]);
+            let got = img.read_f64(m2 + (i * 8) as u64).unwrap();
+            assert_eq!(got, want, "at ({x},{y})");
+        }
+    }
+}

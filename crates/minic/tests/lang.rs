@@ -1,0 +1,330 @@
+//! Broader mini-C language coverage: aggregates, pointers-to-pointers,
+//! short-circuit side effects, nested control flow, and C semantics
+//! corners (negative division, operator precedence).
+
+use brew_emu::{CallArgs, Machine};
+use brew_image::Image;
+use brew_minic::compile_into;
+
+fn run_int(src: &str, func: &str, args: CallArgs) -> i64 {
+    let mut img = Image::new();
+    let prog = compile_into(src, &mut img).expect("compile");
+    let mut m = Machine::new();
+    m.call(&mut img, prog.func(func).expect("func"), &args)
+        .expect("run")
+        .ret_int as i64
+}
+
+fn run_f64(src: &str, func: &str, args: CallArgs) -> f64 {
+    let mut img = Image::new();
+    let prog = compile_into(src, &mut img).expect("compile");
+    let mut m = Machine::new();
+    m.call(&mut img, prog.func(func).expect("func"), &args)
+        .expect("run")
+        .ret_f64
+}
+
+#[test]
+fn nested_structs() {
+    let src = r#"
+        struct Inner { int a; int b; };
+        struct Outer { struct Inner x; struct Inner y; int tail; };
+        struct Outer g = {{1, 2}, {3, 4}, 5};
+        int f() {
+            struct Outer o;
+            o.x.a = 10; o.x.b = 20; o.y.a = 30; o.y.b = 40; o.tail = 50;
+            return g.x.a + g.x.b*10 + g.y.a*100 + g.y.b*1000 + g.tail*10000
+                 + o.x.a + o.y.b;
+        }
+    "#;
+    assert_eq!(run_int(src, "f", CallArgs::new()), 1 + 20 + 300 + 4000 + 50000 + 10 + 40);
+}
+
+#[test]
+fn two_dimensional_arrays() {
+    let src = r#"
+        int f(int n) {
+            int m[4][3];
+            for (int i = 0; i < 4; i++)
+                for (int j = 0; j < 3; j++)
+                    m[i][j] = i * 10 + j;
+            int s = 0;
+            for (int i = 0; i < 4; i++) s += m[i][n];
+            return s;
+        }
+    "#;
+    // column n=2: 2 + 12 + 22 + 32 = 68
+    assert_eq!(run_int(src, "f", CallArgs::new().int(2)), 68);
+}
+
+#[test]
+fn array_of_structs_in_locals() {
+    let src = r#"
+        struct P { int x; int y; };
+        int f() {
+            struct P pts[3];
+            for (int i = 0; i < 3; i++) { pts[i].x = i; pts[i].y = i * i; }
+            int s = 0;
+            for (int i = 0; i < 3; i++) s += pts[i].x + pts[i].y * 10;
+            return s;
+        }
+    "#;
+    assert_eq!(run_int(src, "f", CallArgs::new()), (0 + 0) + (1 + 10) + (2 + 40));
+}
+
+#[test]
+fn pointer_to_pointer() {
+    let src = r#"
+        int f(int v) {
+            int x = v;
+            int* p = &x;
+            int** pp = &p;
+            **pp = **pp + 1;
+            return x;
+        }
+    "#;
+    assert_eq!(run_int(src, "f", CallArgs::new().int(41)), 42);
+}
+
+#[test]
+fn short_circuit_side_effects() {
+    let src = r#"
+        int calls;
+        int bump() { calls += 1; return 1; }
+        int f(int a) {
+            calls = 0;
+            int r = (a > 0) && bump();
+            int s = (a > 0) || bump();
+            return calls * 10 + r + s;
+        }
+    "#;
+    // a=5: && evaluates bump (calls=1), || short-circuits. r=1, s=1 → 12.
+    assert_eq!(run_int(src, "f", CallArgs::new().int(5)), 12);
+    // a=-5: && short-circuits, || evaluates bump. r=0, s=1 → 11.
+    assert_eq!(run_int(src, "f", CallArgs::new().int(-5)), 11);
+}
+
+#[test]
+fn negative_division_truncates_toward_zero() {
+    let src = "int f(int a, int b) { return a / b * 1000 + a % b; }";
+    assert_eq!(run_int(src, "f", CallArgs::new().int(-7).int(2)), -3000 - 1);
+    assert_eq!(run_int(src, "f", CallArgs::new().int(7).int(-2)), -3000 + 1);
+}
+
+#[test]
+fn operator_precedence_matrix() {
+    let src = "int f(int a, int b, int c) { return a + b * c - a / b + (a - b) * c; }";
+    let host = |a: i64, b: i64, c: i64| a + b * c - a / b + (a - b) * c;
+    for (a, b, c) in [(10, 3, 7), (100, -9, 2), (-50, 7, -3)] {
+        assert_eq!(
+            run_int(src, "f", CallArgs::new().int(a).int(b).int(c)),
+            host(a, b, c),
+            "{a},{b},{c}"
+        );
+    }
+}
+
+#[test]
+fn nested_loops_with_break_continue() {
+    let src = r#"
+        int f() {
+            int s = 0;
+            for (int i = 0; i < 10; i++) {
+                if (i == 7) break;
+                for (int j = 0; j < 10; j++) {
+                    if (j % 2 == 0) continue;
+                    if (j > 5) break;
+                    s += i * 10 + j;
+                }
+            }
+            return s;
+        }
+    "#;
+    let mut host = 0i64;
+    'outer: for i in 0..10 {
+        if i == 7 {
+            break 'outer;
+        }
+        for j in 0..10 {
+            if j % 2 == 0 {
+                continue;
+            }
+            if j > 5 {
+                break;
+            }
+            host += i * 10 + j;
+        }
+    }
+    assert_eq!(run_int(src, "f", CallArgs::new()), host);
+}
+
+#[test]
+fn typedef_chains_and_struct_pointers() {
+    let src = r#"
+        struct Node { int value; struct Node* next; };
+        typedef struct Node* node_t;
+        int sum(node_t head) {
+            int s = 0;
+            while (head) { s += head->value; head = head->next; }
+            return s;
+        }
+        int f() {
+            struct Node c = {3, 0};
+            struct Node b = {2, 0};
+            struct Node a = {1, 0};
+            a.next = &b;
+            b.next = &c;
+            return sum(&a);
+        }
+    "#;
+    assert_eq!(run_int(src, "f", CallArgs::new()), 6);
+}
+
+#[test]
+fn while_with_pointer_condition() {
+    let src = r#"
+        int f() {
+            int arr[5];
+            arr[0] = 1; arr[1] = 2; arr[2] = 3; arr[3] = 4; arr[4] = 0;
+            int* p = arr;
+            int s = 0;
+            while (*p) { s += *p; p++; }
+            return s;
+        }
+    "#;
+    assert_eq!(run_int(src, "f", CallArgs::new()), 10);
+}
+
+#[test]
+fn double_array_average() {
+    let src = r#"
+        double avg(double* xs, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s += xs[i];
+            return s / (double)n;
+        }
+        double f() {
+            double xs[4];
+            xs[0] = 1.5; xs[1] = 2.5; xs[2] = 3.5; xs[3] = 4.5;
+            return avg(xs, 4);
+        }
+    "#;
+    assert_eq!(run_f64(src, "f", CallArgs::new()), 3.0);
+}
+
+#[test]
+fn unary_minus_on_double_params() {
+    let src = "double f(double x) { return -x * -x - -x; }";
+    assert_eq!(run_f64(src, "f", CallArgs::new().f64(3.0)), 9.0 + 3.0);
+    assert_eq!(run_f64(src, "f", CallArgs::new().f64(-2.0)), 4.0 - 2.0);
+}
+
+#[test]
+fn global_array_init_and_mutation() {
+    let src = r#"
+        int table[6] = {10, 20, 30};
+        int f(int i, int v) {
+            int old = table[i];
+            table[i] = v;
+            return old + table[i] + table[5];
+        }
+    "#;
+    // Unspecified entries are zero; table[5] = 0.
+    assert_eq!(run_int(src, "f", CallArgs::new().int(1).int(7)), 20 + 7);
+}
+
+#[test]
+fn sizeof_in_expressions_and_initializers() {
+    let src = r#"
+        struct Big { double a; int b; int c[10]; };
+        int sz = sizeof(struct Big);
+        int f() { return sz + sizeof(int*) * 2; }
+    "#;
+    assert_eq!(run_int(src, "f", CallArgs::new()), (8 + 8 + 80) + 16);
+}
+
+#[test]
+fn six_int_args_plus_fp_args() {
+    let src = r#"
+        double f(int a, int b, int c, int d, int e, int g, double x, double y) {
+            return (a + b * 2 + c * 3 + d * 4 + e * 5 + g * 6) * x + y;
+        }
+    "#;
+    let got = run_f64(
+        src,
+        "f",
+        CallArgs::new().int(1).int(2).int(3).int(4).int(5).int(6).f64(2.0).f64(0.5),
+    );
+    assert_eq!(got, (1 + 4 + 9 + 16 + 25 + 36) as f64 * 2.0 + 0.5);
+}
+
+#[test]
+fn prefix_and_postfix_increment_values() {
+    let src = r#"
+        int f() {
+            int i = 5;
+            int a = i++;
+            int b = ++i;
+            int c = i--;
+            int d = --i;
+            return a * 1000 + b * 100 + c * 10 + d;
+        }
+    "#;
+    assert_eq!(run_int(src, "f", CallArgs::new()), 5 * 1000 + 7 * 100 + 7 * 10 + 5);
+}
+
+#[test]
+fn comments_everywhere() {
+    let src = r#"
+        // leading comment
+        int /* inline */ f(int a /* param */) {
+            /* multi
+               line */
+            return a + 1; // trailing
+        }
+    "#;
+    assert_eq!(run_int(src, "f", CallArgs::new().int(41)), 42);
+}
+
+#[test]
+fn deeply_nested_expressions() {
+    let src = "int f(int a) { return ((((a + 1) * 2 + 3) * 4 + 5) * 6 + 7) * 8; }";
+    let host = |a: i64| ((((a + 1) * 2 + 3) * 4 + 5) * 6 + 7) * 8;
+    for a in [-3i64, 0, 9, 100] {
+        assert_eq!(run_int(src, "f", CallArgs::new().int(a)), host(a));
+    }
+}
+
+#[test]
+fn compile_errors_are_reported() {
+    let cases = [
+        "int f( { return 0; }",                      // parse error
+        "int f() { return x; }",                     // unknown variable
+        "int f() { int a[0]; return 0; }",           // zero-size array
+        "struct S { struct T t; }; int f() { return 0; }", // unknown struct
+        "int f(int a, int a2) { return b(a); }",     // unknown function
+    ];
+    for src in cases {
+        let mut img = Image::new();
+        assert!(compile_into(src, &mut img).is_err(), "should not compile: {src}");
+    }
+}
+
+#[test]
+fn fnptr_through_struct_field() {
+    let src = r#"
+        typedef int (*op_t)(int, int);
+        struct Ops { op_t add; op_t mul; };
+        int do_add(int a, int b) { return a + b; }
+        int do_mul(int a, int b) { return a * b; }
+        int f(int which) {
+            struct Ops ops;
+            ops.add = do_add;
+            ops.mul = do_mul;
+            if (which) return ops.add(3, 4);
+            return ops.mul(3, 4);
+        }
+    "#;
+    assert_eq!(run_int(src, "f", CallArgs::new().int(1)), 7);
+    assert_eq!(run_int(src, "f", CallArgs::new().int(0)), 12);
+}

@@ -1,0 +1,143 @@
+//! The mini-C programs of the paper's evaluation (§V), all in one
+//! translation unit:
+//!
+//! * `apply` — the generic stencil of Figure 4,
+//! * `apply_grouped` — the coefficient-grouped variant of §V.B,
+//! * `apply_manual` — the hand-written 5-point stencil ("directly writing
+//!   code for the stencil"),
+//! * `sweep_*` — matrix sweeps calling the above directly, through
+//!   function pointers (the paper's separate-compilation-unit stand-in),
+//!   or with the stencil hand-inlined (the 0.48 s variant).
+
+/// Complete stencil program source.
+pub const STENCIL_PROGRAM: &str = r#"
+// ---- Figure 4: generic stencil ------------------------------------------
+struct P { double f; int dx; int dy; };
+struct S { int ps; struct P p[5]; };
+struct S s5 = {5, {{-1.0, 0, 0}, {0.25, -1, 0}, {0.25, 1, 0},
+                   {0.25, 0, -1}, {0.25, 0, 1}}};
+
+double apply(double* m, int xs, struct S* s) {
+    double v = 0.0;
+    for (int i = 0; i < s->ps; i++) {
+        struct P* p = &s->p[i];
+        v += p->f * m[p->dx + xs * p->dy];
+    }
+    return v;
+}
+
+// ---- §V.B: grouped coefficients ------------------------------------------
+struct Q { int dx; int dy; };
+struct G { double f; int np; struct Q q[4]; };
+struct SG { int gs; struct G g[2]; };
+struct SG sg5 = {2, {{-1.0, 1, {{0, 0}, {0, 0}, {0, 0}, {0, 0}}},
+                     {0.25, 4, {{-1, 0}, {1, 0}, {0, -1}, {0, 1}}}}};
+
+double apply_grouped(double* m, int xs, struct SG* s) {
+    double v = 0.0;
+    for (int gi = 0; gi < s->gs; gi++) {
+        struct G* g = &s->g[gi];
+        double t = 0.0;
+        for (int i = 0; i < g->np; i++) {
+            struct Q* q = &g->q[i];
+            t += m[q->dx + xs * q->dy];
+        }
+        v += g->f * t;
+    }
+    return v;
+}
+
+// ---- the manually written stencil ----------------------------------------
+double apply_manual(double* m, int xs) {
+    return 0.25 * (m[-1] + m[1] + m[-xs] + m[xs]) - m[0];
+}
+
+// ---- sweeps ----------------------------------------------------------------
+typedef double (*app3_t)(double*, int, struct S*);
+typedef double (*appg_t)(double*, int, struct SG*);
+typedef double (*app2_t)(double*, int);
+
+void sweep_generic(double* m1, double* m2, int xs, int ys) {
+    for (int y = 1; y < ys - 1; y++)
+        for (int x = 1; x < xs - 1; x++)
+            m2[y * xs + x] = apply(&m1[y * xs + x], xs, &s5);
+}
+
+void sweep_grouped(double* m1, double* m2, int xs, int ys) {
+    for (int y = 1; y < ys - 1; y++)
+        for (int x = 1; x < xs - 1; x++)
+            m2[y * xs + x] = apply_grouped(&m1[y * xs + x], xs, &sg5);
+}
+
+// Function-pointer sweeps: how rewritten variants (and the paper's
+// separate-compilation-unit manual stencil) are driven.
+void sweep_ptr3(double* m1, double* m2, int xs, int ys, app3_t fp) {
+    for (int y = 1; y < ys - 1; y++)
+        for (int x = 1; x < xs - 1; x++)
+            m2[y * xs + x] = fp(&m1[y * xs + x], xs, &s5);
+}
+
+void sweep_ptrg(double* m1, double* m2, int xs, int ys, appg_t fp) {
+    for (int y = 1; y < ys - 1; y++)
+        for (int x = 1; x < xs - 1; x++)
+            m2[y * xs + x] = fp(&m1[y * xs + x], xs, &sg5);
+}
+
+void sweep_ptr2(double* m1, double* m2, int xs, int ys, app2_t fp) {
+    for (int y = 1; y < ys - 1; y++)
+        for (int x = 1; x < xs - 1; x++)
+            m2[y * xs + x] = fp(&m1[y * xs + x], xs);
+}
+
+// The same-compilation-unit manual sweep (§V.B, 0.48 s in the paper).
+void sweep_manual_inline(double* m1, double* m2, int xs, int ys) {
+    for (int y = 1; y < ys - 1; y++)
+        for (int x = 1; x < xs - 1; x++) {
+            int i = y * xs + x;
+            m2[i] = 0.25 * (m1[i - 1] + m1[i + 1] + m1[i - xs] + m1[i + xs]) - m1[i];
+        }
+}
+"#;
+
+/// §V.C: the failed `makeDynamic` attempt. The compiler (here: the
+/// programmer, mimicking gcc's iteration-space transformation) introduces a
+/// fresh counter starting at the constant 0 and adds the dynamic base, so
+/// the loop still fully unrolls.
+pub const MAKE_DYNAMIC_PROGRAM: &str = r#"
+struct P { double f; int dx; int dy; };
+struct S { int ps; struct P p[5]; };
+struct S s5 = {5, {{-1.0, 0, 0}, {0.25, -1, 0}, {0.25, 1, 0},
+                   {0.25, 0, -1}, {0.25, 0, 1}}};
+
+double apply(double* m, int xs, struct S* s) {
+    double v = 0.0;
+    for (int i = 0; i < s->ps; i++) {
+        struct P* p = &s->p[i];
+        v += p->f * m[p->dx + xs * p->dy];
+    }
+    return v;
+}
+
+int makeDynamic(int x) { return x; }
+
+// What the programmer wrote: loops starting at makeDynamic(1).
+void sweep_dynamic(double* m1, double* m2, int xs, int ys) {
+    for (int y = makeDynamic(1); y < ys - 1; y++)
+        for (int x = makeDynamic(1); x < xs - 1; x++)
+            m2[y * xs + x] = apply(&m1[y * xs + x], xs, &s5);
+}
+
+// What the compiler actually emitted (gcc's transformation, §V.C): a new
+// counter still starts at the known constant 0.
+void sweep_dynamic_transformed(double* m1, double* m2, int xs, int ys) {
+    int y0 = makeDynamic(1);
+    int x0 = makeDynamic(1);
+    for (int j = 0; j < ys - 1 - y0; j++) {
+        int y = j + y0;
+        for (int i = 0; i < xs - 1 - x0; i++) {
+            int x = i + x0;
+            m2[y * xs + x] = apply(&m1[y * xs + x], xs, &s5);
+        }
+    }
+}
+"#;

@@ -1,0 +1,249 @@
+//! The vectorization target (§IV/§V.B future work).
+//!
+//! The paper plans "a simple greedy vectorization pass which may take
+//! programmer knowledge and runtime information provided via rewriter
+//! configuration into account" and expects whole-sweep rewriting to win
+//! once "(1) instruction reordering removing redundant loads, (2)
+//! vectorization by replacing scalar instruction with vector versions"
+//! exist. Those passes remain future work here too (faithfully); this
+//! module quantifies the *headroom* they would unlock: a hand-scheduled
+//! packed-double sweep — the exact code shape such a pass would emit —
+//! assembled through the same encoder and executed by the same emulator
+//! and cost model as every other variant.
+
+use brew_image::Image;
+use brew_minic::asm::Asm;
+use brew_x86::prelude::*;
+
+/// Build a hand-scheduled *scalar* sweep with the same register-resident
+/// code shape as [`build_packed_sweep`] but one point at a time — the
+/// baseline that isolates the pure SIMD factor from scheduling quality.
+/// Signature `void sweep(double* m1, double* m2)`.
+pub fn build_scalar_handtuned_sweep(img: &mut Image, xs: i64, ys: i64) -> u64 {
+    assert!(xs >= 3 && ys >= 3);
+    let quarter = img.alloc_data_bytes(&0.25f64.to_bits().to_le_bytes(), 8);
+    let row_bytes = xs * 8;
+
+    let mut a = Asm::new();
+    let ly = a.label();
+    let lx = a.label();
+    let lx_end = a.label();
+    let l_end = a.label();
+    let w = Width::W64;
+    let imm = Operand::Imm;
+
+    a.emit(Inst::Mov { w, dst: Gpr::R8.into(), src: imm(1) });
+    a.bind(ly);
+    a.emit(Inst::Alu { op: AluOp::Cmp, w, dst: Gpr::R8.into(), src: imm(ys - 1) });
+    a.jcc(Cond::Ge, l_end);
+    a.emit(Inst::ImulImm { w, dst: Gpr::R9, src: Gpr::R8.into(), imm: xs as i32 });
+    a.emit(Inst::Mov { w, dst: Gpr::R10.into(), src: imm(1) });
+    a.bind(lx);
+    a.emit(Inst::Alu { op: AluOp::Cmp, w, dst: Gpr::R10.into(), src: imm(xs - 1) });
+    a.jcc(Cond::Ge, lx_end);
+    a.emit(Inst::Lea { dst: Gpr::R11, src: MemRef::base_index(Gpr::R9, Gpr::R10, 1, 0) });
+    a.emit(Inst::Lea { dst: Gpr::Rax, src: MemRef::base_index(Gpr::Rdi, Gpr::R11, 8, 0) });
+    a.emit(Inst::MovSd { dst: Xmm::Xmm0.into(), src: MemRef::base_disp(Gpr::Rax, -8).into() });
+    a.emit(Inst::Sse {
+        op: SseOp::Addsd,
+        dst: Xmm::Xmm0,
+        src: MemRef::base_disp(Gpr::Rax, 8).into(),
+    });
+    a.emit(Inst::Sse {
+        op: SseOp::Addsd,
+        dst: Xmm::Xmm0,
+        src: MemRef::base_disp(Gpr::Rax, -row_bytes as i32).into(),
+    });
+    a.emit(Inst::Sse {
+        op: SseOp::Addsd,
+        dst: Xmm::Xmm0,
+        src: MemRef::base_disp(Gpr::Rax, row_bytes as i32).into(),
+    });
+    a.emit(Inst::Sse {
+        op: SseOp::Mulsd,
+        dst: Xmm::Xmm0,
+        src: MemRef::abs(quarter as i32).into(),
+    });
+    a.emit(Inst::Sse { op: SseOp::Subsd, dst: Xmm::Xmm0, src: MemRef::base(Gpr::Rax).into() });
+    a.emit(Inst::Lea { dst: Gpr::Rcx, src: MemRef::base_index(Gpr::Rsi, Gpr::R11, 8, 0) });
+    a.emit(Inst::MovSd { dst: MemRef::base(Gpr::Rcx).into(), src: Xmm::Xmm0.into() });
+    a.emit(Inst::Alu { op: AluOp::Add, w, dst: Gpr::R10.into(), src: imm(1) });
+    a.jmp(lx);
+    a.bind(lx_end);
+    a.emit(Inst::Alu { op: AluOp::Add, w, dst: Gpr::R8.into(), src: imm(1) });
+    a.jmp(ly);
+    a.bind(l_end);
+    a.emit(Inst::Ret);
+
+    let len = a.byte_len().expect("encodable");
+    let addr = img.alloc_code(&vec![0u8; len]);
+    let bytes = a.assemble(addr, &|_| None).expect("assembles");
+    img.write_bytes(addr, &bytes).expect("writes");
+    img.define("sweep_scalar_handtuned", addr);
+    addr
+}
+
+/// Build a packed (2-lane) 5-point stencil sweep specialized for `xs`×`ys`
+/// matrices with the standard coefficients, signature
+/// `void sweep(double* m1, double* m2)`. Requires even `xs` (the interior
+/// width must pair up). Returns the entry address.
+pub fn build_packed_sweep(img: &mut Image, xs: i64, ys: i64) -> u64 {
+    assert!(xs % 2 == 0 && xs >= 4 && ys >= 3, "interior must pair up");
+    let quarter = img.alloc_data_bytes(
+        &{
+            let mut b = [0u8; 16];
+            b[..8].copy_from_slice(&0.25f64.to_bits().to_le_bytes());
+            b[8..].copy_from_slice(&0.25f64.to_bits().to_le_bytes());
+            b
+        },
+        16,
+    );
+    let row_bytes = xs * 8;
+
+    let mut a = Asm::new();
+    let ly = a.label();
+    let lx = a.label();
+    let lx_end = a.label();
+    let l_end = a.label();
+
+    let w = Width::W64;
+    let imm = Operand::Imm;
+
+    // r8 = y = 1
+    a.emit(Inst::Mov { w, dst: Gpr::R8.into(), src: imm(1) });
+    a.bind(ly);
+    a.emit(Inst::Alu { op: AluOp::Cmp, w, dst: Gpr::R8.into(), src: imm(ys - 1) });
+    a.jcc(Cond::Ge, l_end);
+    // r9 = y * xs
+    a.emit(Inst::ImulImm { w, dst: Gpr::R9, src: Gpr::R8.into(), imm: xs as i32 });
+    // r10 = x = 1
+    a.emit(Inst::Mov { w, dst: Gpr::R10.into(), src: imm(1) });
+    a.bind(lx);
+    a.emit(Inst::Alu { op: AluOp::Cmp, w, dst: Gpr::R10.into(), src: imm(xs - 1) });
+    a.jcc(Cond::Ge, lx_end);
+    // r11 = i = y*xs + x ; rax = &m1[i]
+    a.emit(Inst::Lea { dst: Gpr::R11, src: MemRef::base_index(Gpr::R9, Gpr::R10, 1, 0) });
+    a.emit(Inst::Lea { dst: Gpr::Rax, src: MemRef::base_index(Gpr::Rdi, Gpr::R11, 8, 0) });
+    // xmm0 = [m[i-1], m[i]] + [m[i+1], m[i+2]] + up pair + down pair
+    a.emit(Inst::MovUpd {
+        dst: Xmm::Xmm0.into(),
+        src: MemRef::base_disp(Gpr::Rax, -8).into(),
+    });
+    a.emit(Inst::MovUpd {
+        dst: Xmm::Xmm1.into(),
+        src: MemRef::base_disp(Gpr::Rax, 8).into(),
+    });
+    a.emit(Inst::Sse { op: SseOp::Addpd, dst: Xmm::Xmm0, src: Xmm::Xmm1.into() });
+    a.emit(Inst::MovUpd {
+        dst: Xmm::Xmm1.into(),
+        src: MemRef::base_disp(Gpr::Rax, -row_bytes as i32).into(),
+    });
+    a.emit(Inst::Sse { op: SseOp::Addpd, dst: Xmm::Xmm0, src: Xmm::Xmm1.into() });
+    a.emit(Inst::MovUpd {
+        dst: Xmm::Xmm1.into(),
+        src: MemRef::base_disp(Gpr::Rax, row_bytes as i32).into(),
+    });
+    a.emit(Inst::Sse { op: SseOp::Addpd, dst: Xmm::Xmm0, src: Xmm::Xmm1.into() });
+    // * [0.25, 0.25]
+    a.emit(Inst::Sse {
+        op: SseOp::Mulpd,
+        dst: Xmm::Xmm0,
+        src: MemRef::abs(quarter as i32).into(),
+    });
+    // - center pair
+    a.emit(Inst::MovUpd { dst: Xmm::Xmm1.into(), src: MemRef::base(Gpr::Rax).into() });
+    a.emit(Inst::Sse { op: SseOp::Subpd, dst: Xmm::Xmm0, src: Xmm::Xmm1.into() });
+    // store to &m2[i]
+    a.emit(Inst::Lea { dst: Gpr::Rcx, src: MemRef::base_index(Gpr::Rsi, Gpr::R11, 8, 0) });
+    a.emit(Inst::MovUpd { dst: MemRef::base(Gpr::Rcx).into(), src: Xmm::Xmm0.into() });
+    // x += 2; loop
+    a.emit(Inst::Alu { op: AluOp::Add, w, dst: Gpr::R10.into(), src: imm(2) });
+    a.jmp(lx);
+    a.bind(lx_end);
+    a.emit(Inst::Alu { op: AluOp::Add, w, dst: Gpr::R8.into(), src: imm(1) });
+    a.jmp(ly);
+    a.bind(l_end);
+    a.emit(Inst::Ret);
+
+    let len = a.byte_len().expect("encodable");
+    let addr = img.alloc_code(&vec![0u8; len]);
+    let bytes = a.assemble(addr, &|_| None).expect("assembles");
+    img.write_bytes(addr, &bytes).expect("writes");
+    img.define("sweep_packed", addr);
+    addr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Stencil, Variant};
+    use brew_emu::{CallArgs, Machine};
+
+    #[test]
+    fn packed_sweep_matches_host_reference() {
+        let (xs, ys, iters) = (12i64, 9i64, 3u32);
+        let mut s = Stencil::new(xs, ys);
+        let packed = build_packed_sweep(&mut s.img, xs, ys);
+        let mut m = Machine::new();
+        let (mut src, mut dst) = (s.m1, s.m2);
+        for _ in 0..iters {
+            m.call(&mut s.img, packed, &CallArgs::new().ptr(src).ptr(dst)).unwrap();
+            std::mem::swap(&mut src, &mut dst);
+        }
+        assert_eq!(s.checksum(iters), s.host_checksum(iters));
+    }
+
+    #[test]
+    fn scalar_handtuned_matches_host_reference() {
+        let (xs, ys, iters) = (11i64, 9i64, 2u32);
+        let mut s = Stencil::new(xs, ys);
+        let f = build_scalar_handtuned_sweep(&mut s.img, xs, ys);
+        let mut m = Machine::new();
+        let (mut src, mut dst) = (s.m1, s.m2);
+        for _ in 0..iters {
+            m.call(&mut s.img, f, &CallArgs::new().ptr(src).ptr(dst)).unwrap();
+            std::mem::swap(&mut src, &mut dst);
+        }
+        assert_eq!(s.checksum(iters), s.host_checksum(iters));
+    }
+
+    #[test]
+    fn packed_halves_scalar_handtuned_fp_ops() {
+        let (xs, ys) = (16i64, 10i64);
+        let mut s1 = Stencil::new(xs, ys);
+        let sc = build_scalar_handtuned_sweep(&mut s1.img, xs, ys);
+        let mut m = Machine::new();
+        let scalar = m.call(&mut s1.img, sc, &CallArgs::new().ptr(s1.m1).ptr(s1.m2)).unwrap().stats;
+        let mut s2 = Stencil::new(xs, ys);
+        let pk = build_packed_sweep(&mut s2.img, xs, ys);
+        let packed = m.call(&mut s2.img, pk, &CallArgs::new().ptr(s2.m1).ptr(s2.m2)).unwrap().stats;
+        // Identical code shape, half the iterations: the pure SIMD factor.
+        assert!(packed.fp_ops * 2 <= scalar.fp_ops + 8);
+        assert!(packed.cycles * 3 < scalar.cycles * 2, "packed {} vs scalar {}", packed.cycles, scalar.cycles);
+    }
+
+    #[test]
+    fn packed_sweep_halves_fp_work() {
+        let (xs, ys) = (16i64, 10i64);
+        let mut s = Stencil::new(xs, ys);
+        let packed = build_packed_sweep(&mut s.img, xs, ys);
+        let mut m = Machine::new();
+        let packed_stats = m
+            .call(&mut s.img, packed, &CallArgs::new().ptr(s.m1).ptr(s.m2))
+            .unwrap()
+            .stats;
+
+        let mut s2 = Stencil::new(xs, ys);
+        let scalar_stats = s2.run(&mut m, Variant::ManualInline, 1).unwrap();
+
+        // Each packed op covers two points: fp op count is half (+/- edge
+        // effects), and cycles beat the best scalar variant.
+        assert!(
+            packed_stats.fp_ops * 2 <= scalar_stats.fp_ops + 16,
+            "packed {} vs scalar {} fp ops",
+            packed_stats.fp_ops,
+            scalar_stats.fp_ops
+        );
+        assert!(packed_stats.cycles < scalar_stats.cycles);
+    }
+}

@@ -1,0 +1,127 @@
+//! Differential verification of a rewrite against its original.
+//!
+//! The paper's robustness contract is "fall back to the original on
+//! failure"; this module adds the complementary safety net for *successes*:
+//! run both versions on probe inputs and require identical ABI-visible
+//! results, so a caller can gate the swap-in of a specialized function on
+//! observed equivalence (useful while a `RewriteConfig` is being developed,
+//! or as a canary in production-style deployments).
+
+use brew_core::{ArgValue, RetKind};
+use brew_emu::{CallArgs, Machine};
+use brew_image::Image;
+
+/// A detected behavioral difference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Probe index that diverged.
+    pub probe: usize,
+    /// Human-readable description.
+    pub what: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "probe {}: {}", self.probe, self.what)
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// Run `original` and `rewritten` on every probe argument list and compare
+/// results (bit-exact for doubles). Fault behavior must match too: if the
+/// original faults on a probe, the rewritten version must fault as well.
+///
+/// Probes should respect the rewrite's `BREW_KNOWN` contract — pass the
+/// baked values for known parameters (the rewritten function's behavior
+/// for other values is unspecified, exactly as in the paper).
+pub fn verify_rewrite(
+    img: &mut Image,
+    original: u64,
+    rewritten: u64,
+    ret: RetKind,
+    probes: &[Vec<ArgValue>],
+) -> Result<(), Divergence> {
+    let mut m = Machine::new();
+    for (i, probe) in probes.iter().enumerate() {
+        let mut args = CallArgs::new();
+        for a in probe {
+            args = match a {
+                ArgValue::Int(v) => args.int(*v),
+                ArgValue::F64(v) => args.f64(*v),
+            };
+        }
+        let orig = m.call(img, original, &args);
+        let spec = m.call(img, rewritten, &args);
+        match (orig, spec) {
+            (Ok(o), Ok(s)) => match ret {
+                RetKind::Int => {
+                    if o.ret_int != s.ret_int {
+                        return Err(Divergence {
+                            probe: i,
+                            what: format!("int result {} != {}", o.ret_int, s.ret_int),
+                        });
+                    }
+                }
+                RetKind::F64 => {
+                    if o.ret_f64.to_bits() != s.ret_f64.to_bits() {
+                        return Err(Divergence {
+                            probe: i,
+                            what: format!("f64 result {} != {}", o.ret_f64, s.ret_f64),
+                        });
+                    }
+                }
+                RetKind::Void => {}
+            },
+            (Err(_), Err(_)) => {}
+            (o, s) => {
+                return Err(Divergence {
+                    probe: i,
+                    what: format!("fault behavior differs: {o:?} vs {s:?}"),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brew_core::{ParamSpec, RewriteConfig, Rewriter};
+
+    #[test]
+    fn accepts_faithful_rewrites() {
+        let mut img = Image::new();
+        brew_minic::compile_into("int f(int a, int b) { return a * b + 1; }", &mut img)
+            .unwrap();
+        let f = img.lookup("f").unwrap();
+        let mut cfg = RewriteConfig::new();
+        cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
+        let res = Rewriter::new(&mut img)
+            .rewrite(&cfg, f, &[ArgValue::Int(0), ArgValue::Int(9)])
+            .unwrap();
+        let probes: Vec<Vec<ArgValue>> = (-3..3)
+            .map(|a| vec![ArgValue::Int(a), ArgValue::Int(9)])
+            .collect();
+        verify_rewrite(&mut img, f, res.entry, RetKind::Int, &probes).unwrap();
+    }
+
+    #[test]
+    fn detects_contract_violations() {
+        // Probing with values that violate BREW_KNOWN exposes the baked
+        // constant — verify_rewrite reports the divergence.
+        let mut img = Image::new();
+        brew_minic::compile_into("int f(int a, int b) { return a * b; }", &mut img).unwrap();
+        let f = img.lookup("f").unwrap();
+        let mut cfg = RewriteConfig::new();
+        cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
+        let res = Rewriter::new(&mut img)
+            .rewrite(&cfg, f, &[ArgValue::Int(0), ArgValue::Int(9)])
+            .unwrap();
+        let bad_probe = vec![vec![ArgValue::Int(2), ArgValue::Int(5)]]; // b != 9
+        let err =
+            verify_rewrite(&mut img, f, res.entry, RetKind::Int, &bad_probe).unwrap_err();
+        assert!(err.what.contains("10") && err.what.contains("18"), "{err}");
+    }
+}

@@ -1,0 +1,193 @@
+//! Condition codes and the RFLAGS subset tracked by the toolchain.
+
+use std::fmt;
+
+/// The five arithmetic flags the subset tracks.
+///
+/// (AF is omitted: no supported instruction reads it.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags {
+    /// Carry flag.
+    pub cf: bool,
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Overflow flag.
+    pub of: bool,
+    /// Parity flag (of the low result byte).
+    pub pf: bool,
+}
+
+impl Flags {
+    /// Evaluate a condition code against these flags.
+    #[inline]
+    pub fn cond(&self, c: Cond) -> bool {
+        match c {
+            Cond::O => self.of,
+            Cond::No => !self.of,
+            Cond::B => self.cf,
+            Cond::Ae => !self.cf,
+            Cond::E => self.zf,
+            Cond::Ne => !self.zf,
+            Cond::Be => self.cf || self.zf,
+            Cond::A => !self.cf && !self.zf,
+            Cond::S => self.sf,
+            Cond::Ns => !self.sf,
+            Cond::P => self.pf,
+            Cond::Np => !self.pf,
+            Cond::L => self.sf != self.of,
+            Cond::Ge => self.sf == self.of,
+            Cond::Le => self.zf || (self.sf != self.of),
+            Cond::G => !self.zf && (self.sf == self.of),
+        }
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}{}{}{}{}]",
+            if self.cf { 'C' } else { '-' },
+            if self.zf { 'Z' } else { '-' },
+            if self.sf { 'S' } else { '-' },
+            if self.of { 'O' } else { '-' },
+            if self.pf { 'P' } else { '-' },
+        )
+    }
+}
+
+/// x86 condition codes. Discriminants equal the 4-bit condition encoding
+/// used in `Jcc`/`SETcc` opcodes (`0F 80+cc`, `0F 90+cc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Overflow.
+    O = 0x0,
+    /// Not overflow.
+    No = 0x1,
+    /// Below (unsigned <).
+    B = 0x2,
+    /// Above or equal (unsigned >=).
+    Ae = 0x3,
+    /// Equal / zero.
+    E = 0x4,
+    /// Not equal / not zero.
+    Ne = 0x5,
+    /// Below or equal (unsigned <=).
+    Be = 0x6,
+    /// Above (unsigned >).
+    A = 0x7,
+    /// Sign (negative).
+    S = 0x8,
+    /// Not sign.
+    Ns = 0x9,
+    /// Parity even.
+    P = 0xA,
+    /// Parity odd.
+    Np = 0xB,
+    /// Less (signed <).
+    L = 0xC,
+    /// Greater or equal (signed >=).
+    Ge = 0xD,
+    /// Less or equal (signed <=).
+    Le = 0xE,
+    /// Greater (signed >).
+    G = 0xF,
+}
+
+impl Cond {
+    /// All sixteen condition codes in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::O,
+        Cond::No,
+        Cond::B,
+        Cond::Ae,
+        Cond::E,
+        Cond::Ne,
+        Cond::Be,
+        Cond::A,
+        Cond::S,
+        Cond::Ns,
+        Cond::P,
+        Cond::Np,
+        Cond::L,
+        Cond::Ge,
+        Cond::Le,
+        Cond::G,
+    ];
+
+    /// 4-bit opcode encoding.
+    #[inline]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Cond::code`]; panics on values >= 16.
+    #[inline]
+    pub fn from_code(c: u8) -> Cond {
+        Self::ALL[c as usize]
+    }
+
+    /// The logically negated condition (`E` <-> `Ne`, `L` <-> `Ge`, ...).
+    #[inline]
+    pub fn negate(self) -> Cond {
+        Cond::from_code(self.code() ^ 1)
+    }
+
+    /// Mnemonic suffix, e.g. `"ne"` for [`Cond::Ne`].
+    pub fn mnemonic(self) -> &'static str {
+        const M: [&str; 16] = [
+            "o", "no", "b", "ae", "e", "ne", "be", "a", "s", "ns", "p", "np", "l", "ge", "le", "g",
+        ];
+        M[self.code() as usize]
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_code(c.code()), c);
+        }
+    }
+
+    #[test]
+    fn negation_is_involutive_and_complementary() {
+        // For every flag combination, cond and its negation disagree.
+        for bits in 0u8..32 {
+            let fl = Flags {
+                cf: bits & 1 != 0,
+                zf: bits & 2 != 0,
+                sf: bits & 4 != 0,
+                of: bits & 8 != 0,
+                pf: bits & 16 != 0,
+            };
+            for c in Cond::ALL {
+                assert_eq!(c.negate().negate(), c);
+                assert_ne!(fl.cond(c), fl.cond(c.negate()), "{c} vs {} on {fl}", c.negate());
+            }
+        }
+    }
+
+    #[test]
+    fn signed_conditions() {
+        // 3 cmp 5: 3 - 5 borrows and is negative without overflow.
+        let fl = Flags { cf: true, zf: false, sf: true, of: false, pf: false };
+        assert!(fl.cond(Cond::L));
+        assert!(fl.cond(Cond::Le));
+        assert!(fl.cond(Cond::B));
+        assert!(!fl.cond(Cond::G));
+        assert!(!fl.cond(Cond::E));
+    }
+}

@@ -1,0 +1,670 @@
+//! Machine-code decoder for the supported x86-64 subset.
+//!
+//! Decodes everything [`crate::encode()`](crate::encode::encode) can produce plus a few alternate
+//! forms a compiler may emit (rel8 branches, `B8+r` immediate moves, both
+//! directions of register-register `mov`/ALU). Anything outside the subset
+//! yields an error — per the paper (§III.G), an undecodable instruction is a
+//! recoverable failure of the rewriting process, never a panic.
+
+use crate::alu::{AluOp, ShOp, UnOp};
+use crate::cond::Cond;
+use crate::inst::{Inst, ShiftCount, SseOp};
+use crate::operand::{MemRef, Operand};
+use crate::reg::{Gpr, Width, Xmm};
+use std::fmt;
+
+/// A successfully decoded instruction and its encoded length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// The decoded instruction (branch targets resolved to absolute).
+    pub inst: Inst,
+    /// Number of bytes the instruction occupies.
+    pub len: usize,
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran out of bytes mid-instruction.
+    Truncated,
+    /// First (or second) opcode byte not in the subset.
+    UnknownOpcode {
+        /// Address of the instruction.
+        at: u64,
+        /// The offending opcode byte.
+        byte: u8,
+    },
+    /// Recognized opcode with an unsupported operand form.
+    UnsupportedForm {
+        /// Address of the instruction.
+        at: u64,
+        /// Human-readable description of the unsupported form.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated instruction"),
+            DecodeError::UnknownOpcode { at, byte } => {
+                write!(f, "unknown opcode {byte:#04x} at {at:#x}")
+            }
+            DecodeError::UnsupportedForm { at, what } => {
+                write!(f, "unsupported form at {at:#x}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    addr: u64,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn i8(&mut self) -> Result<i8, DecodeError> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 4;
+        Ok(i32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + 8)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 8;
+        Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn unsupported(&self, what: &'static str) -> DecodeError {
+        DecodeError::UnsupportedForm { at: self.addr, what }
+    }
+}
+
+/// REX prefix state.
+#[derive(Default, Clone, Copy)]
+struct Rex {
+    present: bool,
+    w: bool,
+    r: bool,
+    x: bool,
+    b: bool,
+}
+
+/// Decoded ModRM r/m side.
+enum Rm {
+    Reg(u8),
+    Mem(MemRef),
+}
+
+/// Parse ModRM (+ SIB + displacement). Returns (reg field, rm).
+fn modrm(c: &mut Cursor, rex: Rex) -> Result<(u8, Rm), DecodeError> {
+    let byte = c.u8()?;
+    let md = byte >> 6;
+    let reg = ((byte >> 3) & 7) | ((rex.r as u8) << 3);
+    let rm = byte & 7;
+    if md == 0b11 {
+        return Ok((reg, Rm::Reg(rm | ((rex.b as u8) << 3))));
+    }
+    // Memory forms.
+    let (base, index): (Option<Gpr>, Option<(Gpr, u8)>);
+    let mut disp32_forced = false;
+    if rm == 0b100 {
+        // SIB follows.
+        let sib = c.u8()?;
+        let scale = 1u8 << (sib >> 6);
+        let idx = ((sib >> 3) & 7) | ((rex.x as u8) << 3);
+        let bse = (sib & 7) | ((rex.b as u8) << 3);
+        index = if idx == 0b100 {
+            // "no index" encoding (RSP slot); note REX.X makes r12 a valid index.
+            None
+        } else {
+            Some((Gpr::from_number(idx), scale))
+        };
+        if md == 0b00 && (bse & 7) == 0b101 {
+            // No base, disp32 follows.
+            base = None;
+            disp32_forced = true;
+        } else {
+            base = Some(Gpr::from_number(bse));
+        }
+    } else if md == 0b00 && rm == 0b101 {
+        // RIP-relative; outside the subset.
+        return Err(c.unsupported("rip-relative addressing"));
+    } else {
+        base = Some(Gpr::from_number(rm | ((rex.b as u8) << 3)));
+        index = None;
+    }
+    let disp = match md {
+        0b00 => {
+            if disp32_forced {
+                c.i32()?
+            } else {
+                0
+            }
+        }
+        0b01 => c.i8()? as i32,
+        _ => c.i32()?,
+    };
+    Ok((reg, Rm::Mem(MemRef { base, index, disp })))
+}
+
+fn rm_gpr(rm: Rm) -> Operand {
+    match rm {
+        Rm::Reg(n) => Operand::Reg(Gpr::from_number(n)),
+        Rm::Mem(m) => Operand::Mem(m),
+    }
+}
+
+fn rm_xmm(rm: Rm) -> Operand {
+    match rm {
+        Rm::Reg(n) => Operand::Xmm(Xmm::from_number(n)),
+        Rm::Mem(m) => Operand::Mem(m),
+    }
+}
+
+fn width(rex: Rex) -> Width {
+    if rex.w {
+        Width::W64
+    } else {
+        Width::W32
+    }
+}
+
+fn alu_from_digit(c: &Cursor, d: u8) -> Result<AluOp, DecodeError> {
+    Ok(match d {
+        0 => AluOp::Add,
+        1 => AluOp::Or,
+        4 => AluOp::And,
+        5 => AluOp::Sub,
+        6 => AluOp::Xor,
+        7 => AluOp::Cmp,
+        _ => return Err(c.unsupported("adc/sbb immediate form")),
+    })
+}
+
+/// Byte registers 4..8 without a REX prefix would be AH/CH/DH/BH, which the
+/// subset does not model.
+fn check_byte_reg(c: &Cursor, rm: &Rm, rex: Rex) -> Result<(), DecodeError> {
+    if let Rm::Reg(n) = rm {
+        if (4..8).contains(n) && !rex.present {
+            return Err(c.unsupported("legacy high-byte register"));
+        }
+    }
+    Ok(())
+}
+
+/// Decode one instruction starting at `bytes[0]`, which lives at absolute
+/// address `addr` (used to resolve relative branch targets).
+pub fn decode(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
+    let mut c = Cursor { bytes, pos: 0, addr };
+
+    // Legacy prefixes we understand: 66 (packed SSE), F2 (scalar double).
+    let mut p66 = false;
+    let mut pf2 = false;
+    loop {
+        match c.peek() {
+            Some(0x66) => {
+                p66 = true;
+                c.pos += 1;
+            }
+            Some(0xF2) => {
+                pf2 = true;
+                c.pos += 1;
+            }
+            Some(0xF3) => return Err(c.unsupported("F3-prefixed instruction")),
+            _ => break,
+        }
+    }
+
+    // REX.
+    let mut rex = Rex::default();
+    if let Some(b) = c.peek() {
+        if (0x40..0x50).contains(&b) {
+            rex = Rex {
+                present: true,
+                w: b & 8 != 0,
+                r: b & 4 != 0,
+                x: b & 2 != 0,
+                b: b & 1 != 0,
+            };
+            c.pos += 1;
+        }
+    }
+
+    let op = c.u8()?;
+    let inst = match op {
+        // ALU, store and load forms.
+        0x01 | 0x09 | 0x21 | 0x29 | 0x31 | 0x39 => {
+            let aop = match op {
+                0x01 => AluOp::Add,
+                0x09 => AluOp::Or,
+                0x21 => AluOp::And,
+                0x29 => AluOp::Sub,
+                0x31 => AluOp::Xor,
+                _ => AluOp::Cmp,
+            };
+            let (reg, rm) = modrm(&mut c, rex)?;
+            Inst::Alu {
+                op: aop,
+                w: width(rex),
+                dst: rm_gpr(rm),
+                src: Operand::Reg(Gpr::from_number(reg)),
+            }
+        }
+        0x03 | 0x0B | 0x23 | 0x2B | 0x33 | 0x3B => {
+            let aop = match op {
+                0x03 => AluOp::Add,
+                0x0B => AluOp::Or,
+                0x23 => AluOp::And,
+                0x2B => AluOp::Sub,
+                0x33 => AluOp::Xor,
+                _ => AluOp::Cmp,
+            };
+            let (reg, rm) = modrm(&mut c, rex)?;
+            Inst::Alu {
+                op: aop,
+                w: width(rex),
+                dst: Operand::Reg(Gpr::from_number(reg)),
+                src: rm_gpr(rm),
+            }
+        }
+        0x50..=0x57 => Inst::Push {
+            src: Operand::Reg(Gpr::from_number((op - 0x50) | ((rex.b as u8) << 3))),
+        },
+        0x58..=0x5F => Inst::Pop {
+            dst: Operand::Reg(Gpr::from_number((op - 0x58) | ((rex.b as u8) << 3))),
+        },
+        0x63 => {
+            if !rex.w {
+                return Err(c.unsupported("movsxd without REX.W"));
+            }
+            let (reg, rm) = modrm(&mut c, rex)?;
+            Inst::Movsxd { dst: Gpr::from_number(reg), src: rm_gpr(rm) }
+        }
+        0x68 => Inst::Push { src: Operand::Imm(c.i32()? as i64) },
+        0x69 | 0x6B => {
+            let (reg, rm) = modrm(&mut c, rex)?;
+            let imm = if op == 0x6B { c.i8()? as i32 } else { c.i32()? };
+            Inst::ImulImm { w: width(rex), dst: Gpr::from_number(reg), src: rm_gpr(rm), imm }
+        }
+        0x70..=0x7F => {
+            let rel = c.i8()? as i64;
+            let target = addr.wrapping_add(c.pos as u64).wrapping_add(rel as u64);
+            Inst::Jcc { cond: Cond::from_code(op - 0x70), target }
+        }
+        0x81 | 0x83 => {
+            let (digit, rm) = modrm(&mut c, rex)?;
+            let aop = alu_from_digit(&c, digit & 7)?;
+            let imm = if op == 0x83 { c.i8()? as i64 } else { c.i32()? as i64 };
+            Inst::Alu { op: aop, w: width(rex), dst: rm_gpr(rm), src: Operand::Imm(imm) }
+        }
+        0x85 => {
+            let (reg, rm) = modrm(&mut c, rex)?;
+            Inst::Test { w: width(rex), a: rm_gpr(rm), b: Operand::Reg(Gpr::from_number(reg)) }
+        }
+        0x88 => {
+            let (reg, rm) = modrm(&mut c, rex)?;
+            check_byte_reg(&c, &rm, rex)?;
+            Inst::Mov { w: Width::W8, dst: rm_gpr(rm), src: Operand::Reg(Gpr::from_number(reg)) }
+        }
+        0x8A => {
+            let (reg, rm) = modrm(&mut c, rex)?;
+            check_byte_reg(&c, &rm, rex)?;
+            Inst::Mov {
+                w: Width::W8,
+                dst: Operand::Reg(Gpr::from_number(reg)),
+                src: rm_gpr(rm),
+            }
+        }
+        0xC6 => {
+            let (digit, rm) = modrm(&mut c, rex)?;
+            if digit & 7 != 0 {
+                return Err(c.unsupported("C6 with nonzero digit"));
+            }
+            check_byte_reg(&c, &rm, rex)?;
+            let imm = c.i8()? as i64;
+            Inst::Mov { w: Width::W8, dst: rm_gpr(rm), src: Operand::Imm(imm) }
+        }
+        0x89 => {
+            let (reg, rm) = modrm(&mut c, rex)?;
+            Inst::Mov { w: width(rex), dst: rm_gpr(rm), src: Operand::Reg(Gpr::from_number(reg)) }
+        }
+        0x8B => {
+            let (reg, rm) = modrm(&mut c, rex)?;
+            Inst::Mov { w: width(rex), dst: Operand::Reg(Gpr::from_number(reg)), src: rm_gpr(rm) }
+        }
+        0x8D => {
+            let (reg, rm) = modrm(&mut c, rex)?;
+            match rm {
+                Rm::Mem(m) => Inst::Lea { dst: Gpr::from_number(reg), src: m },
+                Rm::Reg(_) => return Err(c.unsupported("lea with register source")),
+            }
+        }
+        0x8F => {
+            let (digit, rm) = modrm(&mut c, rex)?;
+            if digit & 7 != 0 {
+                return Err(c.unsupported("8F with nonzero digit"));
+            }
+            Inst::Pop { dst: rm_gpr(rm) }
+        }
+        0x90 => Inst::Nop,
+        0x99 => Inst::Cqo { w: width(rex) },
+        0xB8..=0xBF => {
+            let dst = Gpr::from_number((op - 0xB8) | ((rex.b as u8) << 3));
+            if rex.w {
+                Inst::MovAbs { dst, imm: c.u64()? }
+            } else {
+                Inst::Mov {
+                    w: Width::W32,
+                    dst: Operand::Reg(dst),
+                    src: Operand::Imm(c.i32()? as u32 as i64),
+                }
+            }
+        }
+        0xC1 | 0xD1 | 0xD3 => {
+            let (digit, rm) = modrm(&mut c, rex)?;
+            let sop = match digit & 7 {
+                4 => ShOp::Shl,
+                5 => ShOp::Shr,
+                7 => ShOp::Sar,
+                _ => return Err(c.unsupported("rotate instruction")),
+            };
+            let count = match op {
+                0xC1 => ShiftCount::Imm(c.u8()?),
+                0xD1 => ShiftCount::Imm(1),
+                _ => ShiftCount::Cl,
+            };
+            Inst::Shift { op: sop, w: width(rex), dst: rm_gpr(rm), count }
+        }
+        0xC3 => Inst::Ret,
+        0xC7 => {
+            let (digit, rm) = modrm(&mut c, rex)?;
+            if digit & 7 != 0 {
+                return Err(c.unsupported("C7 with nonzero digit"));
+            }
+            let imm = c.i32()? as i64;
+            Inst::Mov { w: width(rex), dst: rm_gpr(rm), src: Operand::Imm(imm) }
+        }
+        0xE8 | 0xE9 => {
+            let rel = c.i32()? as i64;
+            let target = addr.wrapping_add(c.pos as u64).wrapping_add(rel as u64);
+            if op == 0xE8 {
+                Inst::CallRel { target }
+            } else {
+                Inst::JmpRel { target }
+            }
+        }
+        0xEB => {
+            let rel = c.i8()? as i64;
+            let target = addr.wrapping_add(c.pos as u64).wrapping_add(rel as u64);
+            Inst::JmpRel { target }
+        }
+        0xF7 => {
+            let (digit, rm) = modrm(&mut c, rex)?;
+            match digit & 7 {
+                0 => {
+                    let imm = c.i32()? as i64;
+                    Inst::Test { w: width(rex), a: rm_gpr(rm), b: Operand::Imm(imm) }
+                }
+                2 => Inst::Unary { op: UnOp::Not, w: width(rex), dst: rm_gpr(rm) },
+                3 => Inst::Unary { op: UnOp::Neg, w: width(rex), dst: rm_gpr(rm) },
+                7 => Inst::Idiv { w: width(rex), src: rm_gpr(rm) },
+                _ => return Err(c.unsupported("F7 mul/div form")),
+            }
+        }
+        0xFF => {
+            let (digit, rm) = modrm(&mut c, rex)?;
+            match digit & 7 {
+                0 => Inst::Unary { op: UnOp::Inc, w: width(rex), dst: rm_gpr(rm) },
+                1 => Inst::Unary { op: UnOp::Dec, w: width(rex), dst: rm_gpr(rm) },
+                2 => Inst::CallInd { src: rm_gpr(rm) },
+                4 => Inst::JmpInd { src: rm_gpr(rm) },
+                6 => Inst::Push { src: rm_gpr(rm) },
+                _ => return Err(c.unsupported("FF form")),
+            }
+        }
+        0x0F => {
+            let op2 = c.u8()?;
+            match op2 {
+                0x0B => Inst::Ud2,
+                0x10 | 0x11 => {
+                    let (reg, rm) = modrm(&mut c, rex)?;
+                    let x = Xmm::from_number(reg);
+                    let (dst, src) = if op2 == 0x10 {
+                        (Operand::Xmm(x), rm_xmm(rm))
+                    } else {
+                        (rm_xmm(rm), Operand::Xmm(x))
+                    };
+                    if pf2 {
+                        Inst::MovSd { dst, src }
+                    } else if p66 {
+                        Inst::MovUpd { dst, src }
+                    } else {
+                        return Err(c.unsupported("movups/movss"));
+                    }
+                }
+                0x14 if p66 => {
+                    let (reg, rm) = modrm(&mut c, rex)?;
+                    Inst::Sse { op: SseOp::Unpcklpd, dst: Xmm::from_number(reg), src: rm_xmm(rm) }
+                }
+                0x2A if pf2 => {
+                    let (reg, rm) = modrm(&mut c, rex)?;
+                    Inst::Cvtsi2sd { w: width(rex), dst: Xmm::from_number(reg), src: rm_gpr(rm) }
+                }
+                0x2C if pf2 => {
+                    let (reg, rm) = modrm(&mut c, rex)?;
+                    Inst::Cvttsd2si { w: width(rex), dst: Gpr::from_number(reg), src: rm_xmm(rm) }
+                }
+                0x2E if p66 => {
+                    let (reg, rm) = modrm(&mut c, rex)?;
+                    Inst::Ucomisd { a: Xmm::from_number(reg), b: rm_xmm(rm) }
+                }
+                0x57 if p66 => {
+                    let (reg, rm) = modrm(&mut c, rex)?;
+                    Inst::Sse { op: SseOp::Xorpd, dst: Xmm::from_number(reg), src: rm_xmm(rm) }
+                }
+                0x58 | 0x59 | 0x5C | 0x5E if pf2 || p66 => {
+                    let (reg, rm) = modrm(&mut c, rex)?;
+                    let sop = match (op2, pf2) {
+                        (0x58, true) => SseOp::Addsd,
+                        (0x59, true) => SseOp::Mulsd,
+                        (0x5C, true) => SseOp::Subsd,
+                        (0x5E, true) => SseOp::Divsd,
+                        (0x58, false) => SseOp::Addpd,
+                        (0x59, false) => SseOp::Mulpd,
+                        (0x5C, false) => SseOp::Subpd,
+                        _ => SseOp::Divpd,
+                    };
+                    Inst::Sse { op: sop, dst: Xmm::from_number(reg), src: rm_xmm(rm) }
+                }
+                0x80..=0x8F => {
+                    let rel = c.i32()? as i64;
+                    let target = addr.wrapping_add(c.pos as u64).wrapping_add(rel as u64);
+                    Inst::Jcc { cond: Cond::from_code(op2 - 0x80), target }
+                }
+                0x90..=0x9F => {
+                    let (_, rm) = modrm(&mut c, rex)?;
+                    check_byte_reg(&c, &rm, rex)?;
+                    Inst::Setcc { cond: Cond::from_code(op2 - 0x90), dst: rm_gpr(rm) }
+                }
+                0xAF => {
+                    let (reg, rm) = modrm(&mut c, rex)?;
+                    Inst::Imul { w: width(rex), dst: Gpr::from_number(reg), src: rm_gpr(rm) }
+                }
+                0xB6 => {
+                    let (reg, rm) = modrm(&mut c, rex)?;
+                    check_byte_reg(&c, &rm, rex)?;
+                    Inst::Movzx8 { w: width(rex), dst: Gpr::from_number(reg), src: rm_gpr(rm) }
+                }
+                b => return Err(DecodeError::UnknownOpcode { at: addr, byte: b }),
+            }
+        }
+        b => return Err(DecodeError::UnknownOpcode { at: addr, byte: b }),
+    };
+    Ok(Decoded { inst, len: c.pos })
+}
+
+/// Decode a whole byte range into `(address, instruction)` pairs, stopping
+/// at the first error. Useful for disassembly listings.
+pub fn decode_all(bytes: &[u8], addr: u64) -> (Vec<(u64, Inst)>, Option<DecodeError>) {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        match decode(&bytes[pos..], addr + pos as u64) {
+            Ok(d) => {
+                out.push((addr + pos as u64, d.inst));
+                pos += d.len;
+            }
+            Err(e) => return (out, Some(e)),
+        }
+    }
+    (out, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    fn roundtrip(i: Inst) {
+        let mut v = Vec::new();
+        let addr = 0x400000u64;
+        encode(&i, addr, &mut v).unwrap();
+        let d = decode(&v, addr).unwrap();
+        assert_eq!(d.inst, i, "bytes: {v:02x?}");
+        assert_eq!(d.len, v.len());
+    }
+
+    #[test]
+    fn roundtrip_core_forms() {
+        use Operand::Imm;
+        let m = MemRef::base_index(Gpr::R13, Gpr::R12, 8, -0x40);
+        for i in [
+            Inst::Mov { w: Width::W64, dst: Gpr::Rax.into(), src: Gpr::R15.into() },
+            Inst::Mov { w: Width::W32, dst: Gpr::R9.into(), src: Imm(-5) },
+            Inst::Mov { w: Width::W64, dst: m.into(), src: Gpr::Rdx.into() },
+            Inst::MovAbs { dst: Gpr::Rsi, imm: 0xDEAD_BEEF_CAFE_F00D },
+            Inst::Movsxd { dst: Gpr::Rcx, src: Gpr::Rax.into() },
+            Inst::Movzx8 { w: Width::W32, dst: Gpr::Rax, src: Gpr::Rdi.into() },
+            Inst::Lea { dst: Gpr::Rbp, src: MemRef::abs(0x601000) },
+            Inst::Alu { op: AluOp::Add, w: Width::W64, dst: Gpr::Rsp.into(), src: Imm(0x1000) },
+            Inst::Alu { op: AluOp::Cmp, w: Width::W32, dst: m.into(), src: Imm(7) },
+            Inst::Test { w: Width::W64, a: Gpr::Rax.into(), b: Gpr::Rax.into() },
+            Inst::Imul { w: Width::W64, dst: Gpr::Rbx, src: m.into() },
+            Inst::ImulImm { w: Width::W64, dst: Gpr::Rbx, src: Gpr::Rbx.into(), imm: 500 },
+            Inst::Unary { op: UnOp::Neg, w: Width::W64, dst: Gpr::Rdi.into() },
+            Inst::Shift { op: ShOp::Sar, w: Width::W64, dst: Gpr::Rax.into(), count: ShiftCount::Imm(3) },
+            Inst::Shift { op: ShOp::Shl, w: Width::W32, dst: Gpr::Rdx.into(), count: ShiftCount::Cl },
+            Inst::Cqo { w: Width::W64 },
+            Inst::Idiv { w: Width::W64, src: Gpr::Rcx.into() },
+            Inst::Push { src: Gpr::R12.into() },
+            Inst::Pop { dst: Gpr::Rbp.into() },
+            Inst::Push { src: Imm(0x77) },
+            Inst::CallRel { target: 0x401000 },
+            Inst::CallInd { src: Gpr::Rax.into() },
+            Inst::Ret,
+            Inst::JmpRel { target: 0x3FF000 },
+            Inst::JmpInd { src: m.into() },
+            Inst::Jcc { cond: Cond::G, target: 0x400080 },
+            Inst::Setcc { cond: Cond::Ne, dst: Gpr::Rsi.into() },
+            Inst::MovSd { dst: Xmm::Xmm3.into(), src: m.into() },
+            Inst::MovSd { dst: m.into(), src: Xmm::Xmm14.into() },
+            Inst::MovUpd { dst: Xmm::Xmm1.into(), src: m.into() },
+            Inst::Sse { op: SseOp::Mulsd, dst: Xmm::Xmm0, src: MemRef::abs(0x615100).into() },
+            Inst::Sse { op: SseOp::Addpd, dst: Xmm::Xmm9, src: Xmm::Xmm2.into() },
+            Inst::Sse { op: SseOp::Xorpd, dst: Xmm::Xmm5, src: Xmm::Xmm5.into() },
+            Inst::Sse { op: SseOp::Unpcklpd, dst: Xmm::Xmm2, src: Xmm::Xmm7.into() },
+            Inst::Ucomisd { a: Xmm::Xmm0, b: Xmm::Xmm1.into() },
+            Inst::Cvtsi2sd { w: Width::W64, dst: Xmm::Xmm4, src: Gpr::Rax.into() },
+            Inst::Cvttsd2si { w: Width::W64, dst: Gpr::Rax, src: Xmm::Xmm4.into() },
+            Inst::Nop,
+            Inst::Ud2,
+        ] {
+            roundtrip(i);
+        }
+    }
+
+    #[test]
+    fn rel8_branches_decode() {
+        // EB FE: jmp to self.
+        let d = decode(&[0xEB, 0xFE], 0x400000).unwrap();
+        assert_eq!(d.inst, Inst::JmpRel { target: 0x400000 });
+        // 74 00: je to next.
+        let d = decode(&[0x74, 0x00], 0x400000).unwrap();
+        assert_eq!(d.inst, Inst::Jcc { cond: Cond::E, target: 0x400002 });
+    }
+
+    #[test]
+    fn b8_imm32_decodes_as_mov() {
+        // B8 2A000000: mov eax, 42
+        let d = decode(&[0xB8, 0x2A, 0, 0, 0], 0).unwrap();
+        assert_eq!(
+            d.inst,
+            Inst::Mov { w: Width::W32, dst: Gpr::Rax.into(), src: Operand::Imm(42) }
+        );
+    }
+
+    #[test]
+    fn store_form_mov_decodes() {
+        // 48 89 D8: mov rax, rbx (store form).
+        let d = decode(&[0x48, 0x89, 0xD8], 0).unwrap();
+        assert_eq!(
+            d.inst,
+            Inst::Mov { w: Width::W64, dst: Gpr::Rax.into(), src: Gpr::Rbx.into() }
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(decode(&[], 0), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0x48], 0), Err(DecodeError::Truncated));
+        assert!(matches!(
+            decode(&[0x06], 0x123),
+            Err(DecodeError::UnknownOpcode { at: 0x123, byte: 0x06 })
+        ));
+        // RIP-relative is unsupported: 48 8B 05 00000000 (mov rax, [rip]).
+        assert!(matches!(
+            decode(&[0x48, 0x8B, 0x05, 0, 0, 0, 0], 0),
+            Err(DecodeError::UnsupportedForm { .. })
+        ));
+        // F3-prefixed (movss) unsupported.
+        assert!(matches!(
+            decode(&[0xF3, 0x0F, 0x10, 0xC1], 0),
+            Err(DecodeError::UnsupportedForm { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_all_stops_at_error() {
+        let mut v = Vec::new();
+        encode(&Inst::Nop, 0, &mut v).unwrap();
+        encode(&Inst::Ret, 1, &mut v).unwrap();
+        v.push(0x06); // bad
+        let (insts, err) = decode_all(&v, 0x500000);
+        assert_eq!(insts.len(), 2);
+        assert!(err.is_some());
+    }
+}

@@ -1,0 +1,275 @@
+//! Def/use analysis over the instruction model.
+//!
+//! The rewriter's optimization passes (dead-store elimination, redundant-load
+//! elimination, liveness for the peephole pass) need to know which locations
+//! an instruction reads and writes. Calls and returns are *not* fully modeled
+//! here — their register effects depend on the ABI and the rewriter's
+//! configuration, so passes must treat them as barriers ([`is_barrier`]
+//! returns `true` for them).
+
+use crate::inst::{Inst, ShiftCount};
+use crate::operand::Operand;
+use crate::reg::{Gpr, Xmm};
+
+/// A register-like location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// A general-purpose register.
+    Gpr(Gpr),
+    /// An SSE register.
+    Xmm(Xmm),
+}
+
+fn operand_reads(op: &Operand, f: &mut impl FnMut(Loc)) {
+    match op {
+        Operand::Reg(r) => f(Loc::Gpr(*r)),
+        Operand::Xmm(x) => f(Loc::Xmm(*x)),
+        Operand::Mem(m) => {
+            for r in m.regs() {
+                f(Loc::Gpr(r));
+            }
+        }
+        Operand::Imm(_) => {}
+    }
+}
+
+/// Address registers of a memory operand count as reads even when the
+/// operand as a whole is a store destination.
+fn operand_addr_reads(op: &Operand, f: &mut impl FnMut(Loc)) {
+    if let Operand::Mem(m) = op {
+        for r in m.regs() {
+            f(Loc::Gpr(r));
+        }
+    }
+}
+
+fn operand_write(op: &Operand, f: &mut impl FnMut(Loc)) {
+    match op {
+        Operand::Reg(r) => f(Loc::Gpr(*r)),
+        Operand::Xmm(x) => f(Loc::Xmm(*x)),
+        // Memory writes are tracked separately via `Inst::mem_store`.
+        Operand::Mem(_) | Operand::Imm(_) => {}
+    }
+}
+
+/// Invoke `f` for every register location the instruction reads (including
+/// address registers of memory operands and implicit operands).
+pub fn for_each_read(inst: &Inst, f: &mut impl FnMut(Loc)) {
+    match inst {
+        Inst::Mov { dst, src, .. } => {
+            operand_reads(src, f);
+            operand_addr_reads(dst, f);
+        }
+        Inst::MovAbs { .. } => {}
+        Inst::Movsxd { src, .. } | Inst::Movzx8 { src, .. } => operand_reads(src, f),
+        Inst::Lea { src, .. } => {
+            for r in src.regs() {
+                f(Loc::Gpr(r));
+            }
+        }
+        Inst::Alu { op, dst, src, .. } => {
+            operand_reads(src, f);
+            if op.writes_dst() {
+                operand_reads(dst, f); // read-modify-write
+            } else {
+                operand_reads(dst, f); // cmp reads both
+            }
+        }
+        Inst::Test { a, b, .. } => {
+            operand_reads(a, f);
+            operand_reads(b, f);
+        }
+        Inst::Imul { dst, src, .. } => {
+            f(Loc::Gpr(*dst));
+            operand_reads(src, f);
+        }
+        Inst::ImulImm { src, .. } => operand_reads(src, f),
+        Inst::Unary { dst, .. } => operand_reads(dst, f),
+        Inst::Shift { dst, count, .. } => {
+            operand_reads(dst, f);
+            if matches!(count, ShiftCount::Cl) {
+                f(Loc::Gpr(Gpr::Rcx));
+            }
+        }
+        Inst::Cqo { .. } => f(Loc::Gpr(Gpr::Rax)),
+        Inst::Idiv { src, .. } => {
+            f(Loc::Gpr(Gpr::Rax));
+            f(Loc::Gpr(Gpr::Rdx));
+            operand_reads(src, f);
+        }
+        Inst::Push { src } => {
+            f(Loc::Gpr(Gpr::Rsp));
+            operand_reads(src, f);
+        }
+        Inst::Pop { dst } => {
+            f(Loc::Gpr(Gpr::Rsp));
+            operand_addr_reads(dst, f);
+        }
+        Inst::CallRel { .. } | Inst::Ret => f(Loc::Gpr(Gpr::Rsp)),
+        Inst::CallInd { src } | Inst::JmpInd { src } => {
+            f(Loc::Gpr(Gpr::Rsp));
+            operand_reads(src, f);
+        }
+        Inst::JmpRel { .. } | Inst::Jcc { .. } | Inst::Nop | Inst::Ud2 => {}
+        Inst::Setcc { dst, .. } => operand_addr_reads(dst, f),
+        Inst::MovSd { dst, src } | Inst::MovUpd { dst, src } => {
+            operand_reads(src, f);
+            operand_addr_reads(dst, f);
+        }
+        Inst::Sse { dst, src, .. } => {
+            f(Loc::Xmm(*dst));
+            operand_reads(src, f);
+        }
+        Inst::Ucomisd { a, b } => {
+            f(Loc::Xmm(*a));
+            operand_reads(b, f);
+        }
+        Inst::Cvtsi2sd { src, .. } | Inst::Cvttsd2si { src, .. } => operand_reads(src, f),
+    }
+}
+
+/// Invoke `f` for every register location the instruction writes.
+pub fn for_each_write(inst: &Inst, f: &mut impl FnMut(Loc)) {
+    match inst {
+        Inst::Mov { dst, .. } => operand_write(dst, f),
+        Inst::MovAbs { dst, .. }
+        | Inst::Movsxd { dst, .. }
+        | Inst::Movzx8 { dst, .. }
+        | Inst::Lea { dst, .. }
+        | Inst::Imul { dst, .. }
+        | Inst::ImulImm { dst, .. }
+        | Inst::Cvttsd2si { dst, .. } => f(Loc::Gpr(*dst)),
+        Inst::Alu { op, dst, .. } => {
+            if op.writes_dst() {
+                operand_write(dst, f);
+            }
+        }
+        Inst::Test { .. } | Inst::Ucomisd { .. } => {}
+        Inst::Unary { dst, .. } | Inst::Shift { dst, .. } => operand_write(dst, f),
+        Inst::Cqo { .. } => f(Loc::Gpr(Gpr::Rdx)),
+        Inst::Idiv { .. } => {
+            f(Loc::Gpr(Gpr::Rax));
+            f(Loc::Gpr(Gpr::Rdx));
+        }
+        Inst::Push { .. } => f(Loc::Gpr(Gpr::Rsp)),
+        Inst::Pop { dst } => {
+            f(Loc::Gpr(Gpr::Rsp));
+            operand_write(dst, f);
+        }
+        Inst::CallRel { .. } | Inst::CallInd { .. } | Inst::Ret => f(Loc::Gpr(Gpr::Rsp)),
+        Inst::JmpRel { .. } | Inst::JmpInd { .. } | Inst::Jcc { .. } | Inst::Nop | Inst::Ud2 => {}
+        Inst::Setcc { dst, .. } => operand_write(dst, f),
+        Inst::MovSd { dst, .. } | Inst::MovUpd { dst, .. } => operand_write(dst, f),
+        Inst::Sse { dst, .. } => f(Loc::Xmm(*dst)),
+        Inst::Cvtsi2sd { dst, .. } => f(Loc::Xmm(*dst)),
+    }
+}
+
+/// `true` for instructions whose side effects passes cannot reason about
+/// locally (calls, returns, indirect jumps): they must be treated as full
+/// barriers for memory and register analyses.
+pub fn is_barrier(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::CallRel { .. } | Inst::CallInd { .. } | Inst::Ret | Inst::JmpInd { .. } | Inst::Ud2
+    )
+}
+
+/// Collected def/use sets (convenience wrapper for tests and simple passes).
+pub fn reads(inst: &Inst) -> Vec<Loc> {
+    let mut v = Vec::new();
+    for_each_read(inst, &mut |l| {
+        if !v.contains(&l) {
+            v.push(l)
+        }
+    });
+    v
+}
+
+/// Collected write set; see [`reads`].
+pub fn writes(inst: &Inst) -> Vec<Loc> {
+    let mut v = Vec::new();
+    for_each_write(inst, &mut |l| {
+        if !v.contains(&l) {
+            v.push(l)
+        }
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alu::AluOp;
+    use crate::operand::MemRef;
+    use crate::reg::Width;
+
+    #[test]
+    fn mov_load_reads_address_regs() {
+        let i = Inst::Mov {
+            w: Width::W64,
+            dst: Gpr::Rax.into(),
+            src: MemRef::base_index(Gpr::Rdi, Gpr::Rcx, 8, 0).into(),
+        };
+        assert_eq!(reads(&i), vec![Loc::Gpr(Gpr::Rdi), Loc::Gpr(Gpr::Rcx)]);
+        assert_eq!(writes(&i), vec![Loc::Gpr(Gpr::Rax)]);
+    }
+
+    #[test]
+    fn store_reads_value_and_address() {
+        let i = Inst::Mov {
+            w: Width::W64,
+            dst: MemRef::base(Gpr::Rsp).into(),
+            src: Gpr::Rbx.into(),
+        };
+        assert_eq!(reads(&i), vec![Loc::Gpr(Gpr::Rbx), Loc::Gpr(Gpr::Rsp)]);
+        assert!(writes(&i).is_empty(), "memory writes tracked separately");
+    }
+
+    #[test]
+    fn rmw_alu_reads_dst() {
+        let i = Inst::Alu {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Gpr::Rax.into(),
+            src: Gpr::Rbx.into(),
+        };
+        assert!(reads(&i).contains(&Loc::Gpr(Gpr::Rax)));
+        assert!(reads(&i).contains(&Loc::Gpr(Gpr::Rbx)));
+        assert_eq!(writes(&i), vec![Loc::Gpr(Gpr::Rax)]);
+    }
+
+    #[test]
+    fn implicit_operands() {
+        let i = Inst::Idiv { w: Width::W64, src: Gpr::Rcx.into() };
+        let r = reads(&i);
+        assert!(r.contains(&Loc::Gpr(Gpr::Rax)) && r.contains(&Loc::Gpr(Gpr::Rdx)));
+        let w = writes(&i);
+        assert!(w.contains(&Loc::Gpr(Gpr::Rax)) && w.contains(&Loc::Gpr(Gpr::Rdx)));
+
+        let i = Inst::Shift {
+            op: crate::alu::ShOp::Shl,
+            w: Width::W64,
+            dst: Gpr::Rax.into(),
+            count: ShiftCount::Cl,
+        };
+        assert!(reads(&i).contains(&Loc::Gpr(Gpr::Rcx)));
+    }
+
+    #[test]
+    fn sse_dst_is_also_read() {
+        use crate::inst::SseOp;
+        use crate::reg::Xmm;
+        let i = Inst::Sse { op: SseOp::Addsd, dst: Xmm::Xmm0, src: Xmm::Xmm1.into() };
+        assert!(reads(&i).contains(&Loc::Xmm(Xmm::Xmm0)));
+        assert_eq!(writes(&i), vec![Loc::Xmm(Xmm::Xmm0)]);
+    }
+
+    #[test]
+    fn barriers() {
+        assert!(is_barrier(&Inst::Ret));
+        assert!(is_barrier(&Inst::CallRel { target: 0 }));
+        assert!(!is_barrier(&Inst::JmpRel { target: 0 }));
+        assert!(!is_barrier(&Inst::Nop));
+    }
+}

@@ -1,0 +1,303 @@
+//! General-purpose and SSE register names for the 64-bit x86 subset.
+//!
+//! The rewriter, emulator and compiler all address registers through these
+//! enums; encodings (the 4-bit register numbers used in ModRM/SIB/REX) are
+//! obtained via [`Gpr::number`] / [`Xmm::number`].
+
+use std::fmt;
+
+/// The sixteen 64-bit general-purpose registers.
+///
+/// Discriminants equal the hardware register numbers (REX.B/R extension bit
+/// included), so `Gpr::R8 as u8 == 8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+#[allow(missing_docs)] // register names are self-describing
+pub enum Gpr {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Gpr {
+    /// All sixteen registers in encoding order.
+    pub const ALL: [Gpr; 16] = [
+        Gpr::Rax,
+        Gpr::Rcx,
+        Gpr::Rdx,
+        Gpr::Rbx,
+        Gpr::Rsp,
+        Gpr::Rbp,
+        Gpr::Rsi,
+        Gpr::Rdi,
+        Gpr::R8,
+        Gpr::R9,
+        Gpr::R10,
+        Gpr::R11,
+        Gpr::R12,
+        Gpr::R13,
+        Gpr::R14,
+        Gpr::R15,
+    ];
+
+    /// Hardware register number (0..16).
+    #[inline]
+    pub const fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Gpr::number`]; panics on numbers >= 16.
+    #[inline]
+    pub fn from_number(n: u8) -> Gpr {
+        Self::ALL[n as usize]
+    }
+
+    /// Integer argument registers in SysV AMD64 order.
+    pub const SYSV_ARGS: [Gpr; 6] = [Gpr::Rdi, Gpr::Rsi, Gpr::Rdx, Gpr::Rcx, Gpr::R8, Gpr::R9];
+
+    /// Registers a callee must preserve under the SysV AMD64 ABI.
+    pub const SYSV_CALLEE_SAVED: [Gpr; 6] =
+        [Gpr::Rbx, Gpr::Rbp, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15];
+
+    /// `true` if a SysV callee must preserve this register (RSP counts:
+    /// it must be restored to its entry value before `ret`).
+    #[inline]
+    pub fn is_callee_saved(self) -> bool {
+        matches!(
+            self,
+            Gpr::Rbx | Gpr::Rbp | Gpr::Rsp | Gpr::R12 | Gpr::R13 | Gpr::R14 | Gpr::R15
+        )
+    }
+
+    /// 64-bit register name, e.g. `rax`.
+    pub fn name64(self) -> &'static str {
+        const N: [&str; 16] = [
+            "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11",
+            "r12", "r13", "r14", "r15",
+        ];
+        N[self.number() as usize]
+    }
+
+    /// 32-bit sub-register name, e.g. `eax`.
+    pub fn name32(self) -> &'static str {
+        const N: [&str; 16] = [
+            "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi", "r8d", "r9d", "r10d", "r11d",
+            "r12d", "r13d", "r14d", "r15d",
+        ];
+        N[self.number() as usize]
+    }
+
+    /// 8-bit low sub-register name, e.g. `al` (REX form for sil/dil etc.).
+    pub fn name8(self) -> &'static str {
+        const N: [&str; 16] = [
+            "al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil", "r8b", "r9b", "r10b", "r11b",
+            "r12b", "r13b", "r14b", "r15b",
+        ];
+        N[self.number() as usize]
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name64())
+    }
+}
+
+/// The sixteen SSE registers. Discriminants equal hardware numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+#[allow(missing_docs)] // register names are self-describing
+pub enum Xmm {
+    Xmm0 = 0,
+    Xmm1 = 1,
+    Xmm2 = 2,
+    Xmm3 = 3,
+    Xmm4 = 4,
+    Xmm5 = 5,
+    Xmm6 = 6,
+    Xmm7 = 7,
+    Xmm8 = 8,
+    Xmm9 = 9,
+    Xmm10 = 10,
+    Xmm11 = 11,
+    Xmm12 = 12,
+    Xmm13 = 13,
+    Xmm14 = 14,
+    Xmm15 = 15,
+}
+
+impl Xmm {
+    /// All sixteen registers in encoding order.
+    pub const ALL: [Xmm; 16] = [
+        Xmm::Xmm0,
+        Xmm::Xmm1,
+        Xmm::Xmm2,
+        Xmm::Xmm3,
+        Xmm::Xmm4,
+        Xmm::Xmm5,
+        Xmm::Xmm6,
+        Xmm::Xmm7,
+        Xmm::Xmm8,
+        Xmm::Xmm9,
+        Xmm::Xmm10,
+        Xmm::Xmm11,
+        Xmm::Xmm12,
+        Xmm::Xmm13,
+        Xmm::Xmm14,
+        Xmm::Xmm15,
+    ];
+
+    /// Floating-point argument registers in SysV AMD64 order.
+    pub const SYSV_ARGS: [Xmm; 8] = [
+        Xmm::Xmm0,
+        Xmm::Xmm1,
+        Xmm::Xmm2,
+        Xmm::Xmm3,
+        Xmm::Xmm4,
+        Xmm::Xmm5,
+        Xmm::Xmm6,
+        Xmm::Xmm7,
+    ];
+
+    /// Hardware register number (0..16).
+    #[inline]
+    pub const fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Xmm::number`]; panics on numbers >= 16.
+    #[inline]
+    pub fn from_number(n: u8) -> Xmm {
+        Self::ALL[n as usize]
+    }
+}
+
+impl fmt::Display for Xmm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xmm{}", self.number())
+    }
+}
+
+/// Operand width for integer operations in the supported subset.
+///
+/// 16-bit operations are deliberately unsupported (neither our compiler nor
+/// the rewriter ever produces them); 8-bit exists only for `setcc`/`movzx`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// Byte operations (`setcc` destinations, `movzx` sources).
+    W8,
+    /// 32-bit operations; writes zero-extend into the full register.
+    W32,
+    /// Full 64-bit operations.
+    W64,
+}
+
+impl Width {
+    /// Size of the operand in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            Width::W8 => 1,
+            Width::W32 => 4,
+            Width::W64 => 8,
+        }
+    }
+
+    /// Size of the operand in bits.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        (self.bytes() * 8) as u32
+    }
+
+    /// Mask selecting the low `bits()` bits of a 64-bit value.
+    #[inline]
+    pub const fn mask(self) -> u64 {
+        match self {
+            Width::W8 => 0xFF,
+            Width::W32 => 0xFFFF_FFFF,
+            Width::W64 => u64::MAX,
+        }
+    }
+
+    /// Sign bit for this width.
+    #[inline]
+    pub const fn sign_bit(self) -> u64 {
+        1u64 << (self.bits() - 1)
+    }
+
+    /// Truncate `v` to this width (no sign extension).
+    #[inline]
+    pub const fn trunc(self, v: u64) -> u64 {
+        v & self.mask()
+    }
+
+    /// Sign-extend the low `bits()` of `v` to 64 bits.
+    #[inline]
+    pub const fn sext(self, v: u64) -> u64 {
+        match self {
+            Width::W8 => v as u8 as i8 as i64 as u64,
+            Width::W32 => v as u32 as i32 as i64 as u64,
+            Width::W64 => v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_numbers_roundtrip() {
+        for r in Gpr::ALL {
+            assert_eq!(Gpr::from_number(r.number()), r);
+        }
+    }
+
+    #[test]
+    fn xmm_numbers_roundtrip() {
+        for r in Xmm::ALL {
+            assert_eq!(Xmm::from_number(r.number()), r);
+        }
+    }
+
+    #[test]
+    fn callee_saved_matches_sysv_list() {
+        for r in Gpr::SYSV_CALLEE_SAVED {
+            assert!(r.is_callee_saved());
+        }
+        assert!(Gpr::Rsp.is_callee_saved());
+        for r in [Gpr::Rax, Gpr::Rcx, Gpr::Rdx, Gpr::Rsi, Gpr::Rdi, Gpr::R8, Gpr::R10, Gpr::R11] {
+            assert!(!r.is_callee_saved());
+        }
+    }
+
+    #[test]
+    fn width_masks() {
+        assert_eq!(Width::W32.trunc(0x1_2345_6789), 0x2345_6789);
+        assert_eq!(Width::W32.sext(0xFFFF_FFFF), u64::MAX);
+        assert_eq!(Width::W8.sext(0x80), 0xFFFF_FFFF_FFFF_FF80);
+        assert_eq!(Width::W64.sext(5), 5);
+        assert_eq!(Width::W32.sign_bit(), 0x8000_0000);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<&str> = Gpr::ALL.iter().map(|r| r.name64()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+    }
+}

@@ -1,0 +1,286 @@
+//! Property-based encode/decode roundtrip tests for the x86 subset.
+//!
+//! Invariants:
+//!  1. `decode(encode(i)) == i` for every encodable instruction.
+//!  2. Decoding arbitrary bytes never panics.
+//!  3. If arbitrary bytes decode, re-encoding and re-decoding is stable
+//!     (decode∘encode is idempotent on the decoded image).
+
+use brew_x86::prelude::*;
+use proptest::prelude::*;
+
+const BASE: u64 = 0x40_0000;
+
+fn arb_gpr() -> impl Strategy<Value = Gpr> {
+    (0u8..16).prop_map(Gpr::from_number)
+}
+
+fn arb_xmm() -> impl Strategy<Value = Xmm> {
+    (0u8..16).prop_map(Xmm::from_number)
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::W32), Just(Width::W64)]
+}
+
+fn arb_mem() -> impl Strategy<Value = MemRef> {
+    (
+        proptest::option::of(arb_gpr()),
+        proptest::option::of((arb_gpr().prop_filter("rsp can't index", |r| *r != Gpr::Rsp), 0u8..4)),
+        any::<i32>(),
+    )
+        .prop_map(|(base, index, disp)| MemRef {
+            base,
+            index: index.map(|(r, s)| (r, 1u8 << s)),
+            disp,
+        })
+}
+
+fn arb_rm() -> impl Strategy<Value = Operand> {
+    prop_oneof![arb_gpr().prop_map(Operand::Reg), arb_mem().prop_map(Operand::Mem)]
+}
+
+fn arb_xmm_rm() -> impl Strategy<Value = Operand> {
+    prop_oneof![arb_xmm().prop_map(Operand::Xmm), arb_mem().prop_map(Operand::Mem)]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0u8..16).prop_map(Cond::from_code)
+}
+
+fn arb_target() -> impl Strategy<Value = u64> {
+    // Within rel32 range of BASE.
+    (-0x10_0000i64..0x10_0000).prop_map(|d| BASE.wrapping_add(d as u64))
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Cmp),
+    ]
+}
+
+fn arb_sse_op() -> impl Strategy<Value = SseOp> {
+    prop_oneof![
+        Just(SseOp::Addsd),
+        Just(SseOp::Subsd),
+        Just(SseOp::Mulsd),
+        Just(SseOp::Divsd),
+        Just(SseOp::Addpd),
+        Just(SseOp::Subpd),
+        Just(SseOp::Mulpd),
+        Just(SseOp::Divpd),
+        Just(SseOp::Xorpd),
+        Just(SseOp::Unpcklpd),
+    ]
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        // mov reg <- reg/mem/imm
+        (arb_width(), arb_gpr(), arb_rm())
+            .prop_map(|(w, d, s)| Inst::Mov { w, dst: Operand::Reg(d), src: s }),
+        (arb_width(), arb_gpr(), any::<i32>())
+            .prop_map(|(w, d, i)| Inst::Mov { w, dst: Operand::Reg(d), src: Operand::Imm(i as i64) }),
+        (arb_width(), arb_mem(), arb_gpr())
+            .prop_map(|(w, m, s)| Inst::Mov { w, dst: Operand::Mem(m), src: Operand::Reg(s) }),
+        (arb_width(), arb_mem(), any::<i32>())
+            .prop_map(|(w, m, i)| Inst::Mov { w, dst: Operand::Mem(m), src: Operand::Imm(i as i64) }),
+        (arb_gpr(), any::<u64>()).prop_map(|(d, imm)| Inst::MovAbs { dst: d, imm }),
+        (arb_gpr(), arb_rm()).prop_map(|(d, s)| Inst::Movsxd { dst: d, src: s }),
+        (arb_width(), arb_gpr(), arb_rm()).prop_map(|(w, d, s)| Inst::Movzx8 { w, dst: d, src: s }),
+        (arb_gpr(), arb_mem()).prop_map(|(d, m)| Inst::Lea { dst: d, src: m }),
+        // ALU forms
+        (arb_alu_op(), arb_width(), arb_gpr(), arb_rm())
+            .prop_map(|(op, w, d, s)| Inst::Alu { op, w, dst: Operand::Reg(d), src: s }),
+        (arb_alu_op(), arb_width(), arb_mem(), arb_gpr())
+            .prop_map(|(op, w, m, s)| Inst::Alu { op, w, dst: Operand::Mem(m), src: Operand::Reg(s) }),
+        (arb_alu_op(), arb_width(), arb_rm(), any::<i32>())
+            .prop_map(|(op, w, d, i)| Inst::Alu { op, w, dst: d, src: Operand::Imm(i as i64) }),
+        (arb_width(), arb_rm(), arb_gpr())
+            .prop_map(|(w, a, b)| Inst::Test { w, a, b: Operand::Reg(b) }),
+        (arb_width(), arb_gpr(), arb_rm()).prop_map(|(w, d, s)| Inst::Imul { w, dst: d, src: s }),
+        (arb_width(), arb_gpr(), arb_rm(), any::<i32>())
+            .prop_map(|(w, d, s, i)| Inst::ImulImm { w, dst: d, src: s, imm: i }),
+        (
+            prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::Inc), Just(UnOp::Dec)],
+            arb_width(),
+            arb_rm()
+        )
+            .prop_map(|(op, w, d)| Inst::Unary { op, w, dst: d }),
+        (
+            prop_oneof![Just(ShOp::Shl), Just(ShOp::Shr), Just(ShOp::Sar)],
+            arb_width(),
+            arb_rm(),
+            prop_oneof![(0u8..64).prop_map(ShiftCount::Imm), Just(ShiftCount::Cl)]
+        )
+            .prop_map(|(op, w, d, c)| Inst::Shift { op, w, dst: d, count: c }),
+        arb_width().prop_map(|w| Inst::Cqo { w }),
+        (arb_width(), arb_rm()).prop_map(|(w, s)| Inst::Idiv { w, src: s }),
+        arb_gpr().prop_map(|r| Inst::Push { src: Operand::Reg(r) }),
+        arb_mem().prop_map(|m| Inst::Push { src: Operand::Mem(m) }),
+        any::<i32>().prop_map(|i| Inst::Push { src: Operand::Imm(i as i64) }),
+        arb_gpr().prop_map(|r| Inst::Pop { dst: Operand::Reg(r) }),
+        arb_mem().prop_map(|m| Inst::Pop { dst: Operand::Mem(m) }),
+        arb_target().prop_map(|t| Inst::CallRel { target: t }),
+        arb_rm().prop_map(|s| Inst::CallInd { src: s }),
+        Just(Inst::Ret),
+        arb_target().prop_map(|t| Inst::JmpRel { target: t }),
+        arb_rm().prop_map(|s| Inst::JmpInd { src: s }),
+        (arb_cond(), arb_target()).prop_map(|(c, t)| Inst::Jcc { cond: c, target: t }),
+        (arb_cond(), arb_rm()).prop_map(|(c, d)| Inst::Setcc { cond: c, dst: d }),
+        // SSE
+        (arb_xmm(), arb_xmm_rm()).prop_map(|(d, s)| Inst::MovSd { dst: Operand::Xmm(d), src: s }),
+        (arb_mem(), arb_xmm()).prop_map(|(m, s)| Inst::MovSd { dst: Operand::Mem(m), src: Operand::Xmm(s) }),
+        (arb_xmm(), arb_xmm_rm()).prop_map(|(d, s)| Inst::MovUpd { dst: Operand::Xmm(d), src: s }),
+        (arb_mem(), arb_xmm()).prop_map(|(m, s)| Inst::MovUpd { dst: Operand::Mem(m), src: Operand::Xmm(s) }),
+        (arb_sse_op(), arb_xmm(), arb_xmm_rm()).prop_map(|(op, d, s)| Inst::Sse { op, dst: d, src: s }),
+        (arb_xmm(), arb_xmm_rm()).prop_map(|(a, b)| Inst::Ucomisd { a, b }),
+        (arb_width(), arb_xmm(), arb_rm()).prop_map(|(w, d, s)| Inst::Cvtsi2sd { w, dst: d, src: s }),
+        (arb_width(), arb_gpr(), arb_xmm_rm()).prop_map(|(w, d, s)| Inst::Cvttsd2si { w, dst: d, src: s }),
+        Just(Inst::Nop),
+        Just(Inst::Ud2),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        let mut bytes = Vec::new();
+        let n = encode(&inst, BASE, &mut bytes).unwrap();
+        prop_assert_eq!(n, bytes.len());
+        prop_assert!(n <= 15, "x86 instructions are at most 15 bytes");
+        let d = decode(&bytes, BASE).unwrap();
+        prop_assert_eq!(d.inst, inst, "bytes {:02x?}", bytes);
+        prop_assert_eq!(d.len, n);
+    }
+
+    #[test]
+    fn encoded_len_agrees(inst in arb_inst()) {
+        let mut bytes = Vec::new();
+        // Length must not depend on the placement address.
+        let n1 = encode(&inst, BASE, &mut bytes).unwrap();
+        prop_assert_eq!(encoded_len(&inst).unwrap(), n1);
+    }
+
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..18)) {
+        let _ = decode(&bytes, BASE);
+    }
+
+    #[test]
+    fn decode_encode_decode_stable(bytes in proptest::collection::vec(any::<u8>(), 1..16)) {
+        if let Ok(d) = decode(&bytes, BASE) {
+            let mut re = Vec::new();
+            // Some decoded instructions re-encode differently (canonical
+            // forms), but must decode back to the same instruction.
+            if encode(&d.inst, BASE, &mut re).is_ok() {
+                let d2 = decode(&re, BASE).unwrap();
+                prop_assert_eq!(d2.inst, d.inst);
+            }
+        }
+    }
+
+    #[test]
+    fn alu_matches_wide_arithmetic(a in any::<u64>(), b in any::<u64>()) {
+        // Cross-check 64-bit add/sub flags against 128-bit arithmetic.
+        let (r, f) = brew_x86::alu::alu(AluOp::Add, Width::W64, a, b);
+        prop_assert_eq!(r, a.wrapping_add(b));
+        prop_assert_eq!(f.cf, (a as u128 + b as u128) > u64::MAX as u128);
+        let exact = a as i64 as i128 + b as i64 as i128;
+        prop_assert_eq!(f.of, exact != (r as i64) as i128);
+
+        let (r, f) = brew_x86::alu::alu(AluOp::Sub, Width::W64, a, b);
+        prop_assert_eq!(r, a.wrapping_sub(b));
+        prop_assert_eq!(f.cf, a < b);
+        let exact = a as i64 as i128 - b as i64 as i128;
+        prop_assert_eq!(f.of, exact != (r as i64) as i128);
+        prop_assert_eq!(f.zf, a == b);
+    }
+
+    #[test]
+    fn imul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (r, f) = brew_x86::alu::imul(Width::W64, a as u64, b as u64);
+        let exact = a as i128 * b as i128;
+        prop_assert_eq!(r as i64, a.wrapping_mul(b));
+        prop_assert_eq!(f.of, exact != (r as i64) as i128);
+    }
+
+    #[test]
+    fn idiv_matches_rust_division(n in any::<i64>(), d in any::<i64>()) {
+        let hi = if n < 0 { u64::MAX } else { 0 };
+        let res = brew_x86::alu::idiv(Width::W64, hi, n as u64, d as u64);
+        if d == 0 || (n == i64::MIN && d == -1) {
+            prop_assert_eq!(res, None);
+        } else {
+            prop_assert_eq!(res, Some(((n / d) as u64, (n % d) as u64)));
+        }
+    }
+}
+
+#[test]
+fn w8_mov_forms_roundtrip() {
+    for inst in [
+        Inst::Mov { w: Width::W8, dst: Operand::Reg(Gpr::Rax), src: Operand::Imm(1) },
+        Inst::Mov { w: Width::W8, dst: Operand::Reg(Gpr::Rdi), src: Operand::Imm(-1) },
+        Inst::Mov { w: Width::W8, dst: Operand::Reg(Gpr::R9), src: Operand::Imm(0x7F) },
+        Inst::Mov {
+            w: Width::W8,
+            dst: Operand::Mem(MemRef::base_disp(Gpr::Rsp, 8)),
+            src: Operand::Imm(5),
+        },
+        Inst::Mov { w: Width::W8, dst: Operand::Reg(Gpr::Rax), src: Operand::Reg(Gpr::Rcx) },
+        Inst::Mov {
+            w: Width::W8,
+            dst: Operand::Mem(MemRef::base(Gpr::Rdi)),
+            src: Operand::Reg(Gpr::Rsi),
+        },
+        Inst::Mov {
+            w: Width::W8,
+            dst: Operand::Reg(Gpr::Rbx),
+            src: Operand::Mem(MemRef::abs(0x601000)),
+        },
+    ] {
+        let mut bytes = Vec::new();
+        let n = encode(&inst, BASE, &mut bytes).unwrap();
+        let d = decode(&bytes, BASE).unwrap();
+        assert_eq!(d.inst, inst, "{inst} -> {bytes:02x?}");
+        assert_eq!(d.len, n);
+    }
+}
+
+#[test]
+fn w8_mov_imm_is_one_byte_immediate() {
+    // mov byte [rdi], 5 must be C6 07 05 — a 1-byte immediate, never imm32.
+    let mut bytes = Vec::new();
+    encode(
+        &Inst::Mov {
+            w: Width::W8,
+            dst: Operand::Mem(MemRef::base(Gpr::Rdi)),
+            src: Operand::Imm(5),
+        },
+        0,
+        &mut bytes,
+    )
+    .unwrap();
+    assert_eq!(bytes, vec![0xC6, 0x07, 0x05]);
+}
+
+#[test]
+fn w8_mov_spl_needs_bare_rex() {
+    // mov sil, 1 needs REX 40 to address SIL rather than DH.
+    let mut bytes = Vec::new();
+    encode(
+        &Inst::Mov { w: Width::W8, dst: Operand::Reg(Gpr::Rsi), src: Operand::Imm(1) },
+        0,
+        &mut bytes,
+    )
+    .unwrap();
+    assert_eq!(bytes, vec![0x40, 0xC6, 0xC6, 0x01]);
+}

@@ -1,0 +1,78 @@
+//! Profile-driven guarded specialization (§III.D):
+//!
+//! *"it may be observed that a parameter to a function often is 42. In this
+//! case, a specific variant can be generated which is called after a check
+//! for the parameter actually being 42."*
+//!
+//! The value profiler watches calls, finds the dominant argument value,
+//! BREW specializes for it, and a guard stub dispatches between the
+//! specialized and the original function.
+//!
+//! ```sh
+//! cargo run --example guarded
+//! ```
+
+use brew_suite::prelude::*;
+
+fn main() {
+    let mut img = Image::new();
+    let prog = compile_into(
+        r#"
+        int poly(int x, int n) {
+            // x^n by repeated multiplication: expensive for large n,
+            // trivial once n is a known constant.
+            int r = 1;
+            for (int i = 0; i < n; i++) r *= x;
+            return r;
+        }
+        int driver(int x, int n) { return poly(x, n); }
+        "#,
+        &mut img,
+    )
+    .unwrap();
+    let poly = prog.func("poly").unwrap();
+    let driver = prog.func("driver").unwrap();
+
+    // Phase 1: profile. The workload almost always asks for n == 42... the
+    // paper's number, of course.
+    let mut profile = ValueProfile::new(2);
+    {
+        let mut m = Machine::new();
+        m.set_call_observer(Box::new(|_site, target, cpu| profile.record(target, cpu)));
+        for i in 0..200 {
+            let n = if i % 10 == 0 { (i % 7) as i64 } else { 42 };
+            m.call(&mut img, driver, &CallArgs::new().int(2).int(n)).unwrap();
+        }
+    }
+    println!("observed {} calls to poly", profile.call_count(poly));
+    let hot = profile.hot_value(poly, 1, 0.75).expect("dominant value");
+    println!("parameter 1 is {hot} in >=75% of calls\n");
+
+    // Phase 2: specialize for the hot value and install a guard.
+    let mut cfg = RewriteConfig::new();
+    cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
+    let mut rw = Rewriter::new(&mut img);
+    let spec = rw
+        .rewrite(&cfg, poly, &[ArgValue::Int(0), ArgValue::Int(hot as i64)])
+        .expect("rewrite");
+    let guard = rw.guard(1, hot as i64, spec.entry, poly).expect("guard");
+    println!(
+        "specialized poly for n={hot}: {} bytes (loop fully unrolled), guard stub at {:#x}\n",
+        spec.code_len, guard
+    );
+
+    // Phase 3: the guard is a drop-in replacement for poly.
+    let mut m = Machine::new();
+    let hot_path = m.call(&mut img, guard, &CallArgs::new().int(2).int(42)).unwrap();
+    let cold_path = m.call(&mut img, guard, &CallArgs::new().int(2).int(5)).unwrap();
+    let orig = m.call(&mut img, poly, &CallArgs::new().int(2).int(42)).unwrap();
+    println!("poly(2, 42) via guard : {:>20} in {:>4} cycles (hot path)",
+        hot_path.ret_int, hot_path.stats.cycles);
+    println!("poly(2, 5)  via guard : {:>20} in {:>4} cycles (fallback)",
+        cold_path.ret_int, cold_path.stats.cycles);
+    println!("poly(2, 42) original  : {:>20} in {:>4} cycles",
+        orig.ret_int, orig.stats.cycles);
+    assert_eq!(hot_path.ret_int, orig.ret_int);
+    assert_eq!(cold_path.ret_int, 32);
+    assert!(hot_path.stats.cycles * 2 < orig.stats.cycles);
+}

@@ -1,0 +1,483 @@
+//! Differential fuzzing of the rewriter: generate random mini-C programs,
+//! rewrite them under random configurations, and require the specialized
+//! code to behave bit-identically to the original on random inputs (with
+//! known-marked parameters pinned to their baked values).
+//!
+//! This is the soundness backbone of the reproduction: the rewriter's
+//! elide/emit/materialize decisions, world migration and compensation code
+//! all have to agree with concrete execution.
+
+use brew_suite::prelude::*;
+use proptest::prelude::*;
+
+/// A tiny expression AST rendered to mini-C over variables a, b, c, t.
+#[derive(Debug, Clone)]
+enum E {
+    A,
+    B,
+    C,
+    T,
+    Lit(i8),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    // Division by a never-zero expression.
+    DivSafe(Box<E>, Box<E>),
+    Lt(Box<E>, Box<E>),
+    Eq(Box<E>, Box<E>),
+    Neg(Box<E>),
+}
+
+impl E {
+    fn render(&self) -> String {
+        match self {
+            E::A => "a".into(),
+            E::B => "b".into(),
+            E::C => "c".into(),
+            E::T => "t".into(),
+            E::Lit(v) => format!("({v})"),
+            E::Add(x, y) => format!("({} + {})", x.render(), y.render()),
+            E::Sub(x, y) => format!("({} - {})", x.render(), y.render()),
+            E::Mul(x, y) => format!("({} * {})", x.render(), y.render()),
+            E::DivSafe(x, y) => {
+                format!("({} / (({}) % 13 + 14))", x.render(), y.render())
+            }
+            E::Lt(x, y) => format!("({} < {})", x.render(), y.render()),
+            E::Eq(x, y) => format!("({} == {})", x.render(), y.render()),
+            E::Neg(x) => format!("(-{})", x.render()),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::A),
+        Just(E::B),
+        Just(E::C),
+        Just(E::T),
+        any::<i8>().prop_map(E::Lit),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Add(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Sub(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Mul(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| E::DivSafe(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Lt(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Eq(Box::new(x), Box::new(y))),
+            inner.prop_map(|x| E::Neg(Box::new(x))),
+        ]
+    })
+}
+
+/// A random function body: locals, an if/else, a bounded loop, arithmetic.
+#[derive(Debug, Clone)]
+struct Prog {
+    init: E,
+    cond: E,
+    then_e: E,
+    else_e: E,
+    loop_n: u8,
+    loop_e: E,
+    ret: E,
+}
+
+fn arb_prog() -> impl Strategy<Value = Prog> {
+    (
+        arb_expr(),
+        arb_expr(),
+        arb_expr(),
+        arb_expr(),
+        0u8..6,
+        arb_expr(),
+        arb_expr(),
+    )
+        .prop_map(|(init, cond, then_e, else_e, loop_n, loop_e, ret)| Prog {
+            init,
+            cond,
+            then_e,
+            else_e,
+            loop_n,
+            loop_e,
+            ret,
+        })
+}
+
+impl Prog {
+    fn render(&self) -> String {
+        format!(
+            r#"
+            int f(int a, int b, int c) {{
+                int t = 0;
+                t = {init};
+                if ({cond}) {{
+                    t = t + {then_e};
+                }} else {{
+                    t = t - {else_e};
+                }}
+                for (int i = 0; i < {n}; i++) {{
+                    t += {loop_e};
+                }}
+                return t + {ret};
+            }}
+            "#,
+            init = self.init.render(),
+            cond = self.cond.render(),
+            then_e = self.then_e.render(),
+            else_e = self.else_e.render(),
+            n = self.loop_n,
+            loop_e = self.loop_e.render(),
+            ret = self.ret.render(),
+        )
+    }
+}
+
+/// Run one differential check: compile, rewrite with `spec_mask` selecting
+/// which parameters are known (pinned to `pins`), compare on `probes`.
+fn check(prog: &Prog, spec_mask: u8, pins: [i64; 3], probes: &[[i64; 3]]) {
+    let src = prog.render();
+    let mut img = Image::new();
+    let compiled = match compile_into(&src, &mut img) {
+        Ok(c) => c,
+        Err(e) => panic!("generated program failed to compile: {e}\n{src}"),
+    };
+    let f = compiled.func("f").unwrap();
+
+    let mut cfg = RewriteConfig::new();
+    cfg.set_ret(RetKind::Int);
+    for i in 0..3 {
+        if spec_mask & (1 << i) != 0 {
+            cfg.set_param(i, ParamSpec::Known);
+        }
+    }
+    let args = [ArgValue::Int(pins[0]), ArgValue::Int(pins[1]), ArgValue::Int(pins[2])];
+    let res = match Rewriter::new(&mut img).rewrite(&cfg, f, &args) {
+        Ok(r) => r,
+        // Failure is a legitimate outcome (the caller keeps the original);
+        // a division fault during tracing is the expected cause here.
+        Err(RewriteError::TraceFault { .. }) => return,
+        Err(e) => panic!("unexpected rewrite failure: {e}\n{src}"),
+    };
+
+    let mut m = Machine::new();
+    for probe in probes {
+        // Pin known params to their baked values; probe the others.
+        let mut vals = *probe;
+        for i in 0..3 {
+            if spec_mask & (1 << i) != 0 {
+                vals[i] = pins[i];
+            }
+        }
+        let call = CallArgs::new().int(vals[0]).int(vals[1]).int(vals[2]);
+        let orig = m.call(&mut img, f, &call);
+        let spec = m.call(&mut img, res.entry, &call);
+        match (orig, spec) {
+            (Ok(o), Ok(s)) => {
+                assert_eq!(
+                    o.ret_int, s.ret_int,
+                    "mismatch for {vals:?} (mask {spec_mask:#b})\n{src}"
+                );
+            }
+            // If the original faults (e.g. idiv overflow), the rewritten
+            // version must fault too.
+            (Err(_), Err(_)) => {}
+            (o, s) => panic!("divergent fault behavior: {o:?} vs {s:?}\n{src}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn rewrite_preserves_semantics(
+        prog in arb_prog(),
+        spec_mask in 0u8..8,
+        pins in proptest::array::uniform3(-40i64..40),
+        probes in proptest::collection::vec(proptest::array::uniform3(-50i64..50), 4),
+    ) {
+        check(&prog, spec_mask, pins, &probes);
+    }
+
+    #[test]
+    fn fresh_unknown_mode_preserves_semantics(
+        prog in arb_prog(),
+        pins in proptest::array::uniform3(-30i64..30),
+        probes in proptest::collection::vec(proptest::array::uniform3(-50i64..50), 3),
+    ) {
+        let src = prog.render();
+        let mut img = Image::new();
+        let compiled = compile_into(&src, &mut img).unwrap();
+        let f = compiled.func("f").unwrap();
+        let mut cfg = RewriteConfig::new();
+        cfg.set_param(0, ParamSpec::Known).set_ret(RetKind::Int);
+        cfg.func(f).fresh_unknown = true;
+        let args = [ArgValue::Int(pins[0]), ArgValue::Int(pins[1]), ArgValue::Int(pins[2])];
+        let res = match Rewriter::new(&mut img).rewrite(&cfg, f, &args) {
+            Ok(r) => r,
+            Err(RewriteError::TraceFault { .. }) => return Ok(()),
+            Err(e) => panic!("unexpected rewrite failure: {e}\n{src}"),
+        };
+        let mut m = Machine::new();
+        for probe in &probes {
+            let call = CallArgs::new().int(pins[0]).int(probe[1]).int(probe[2]);
+            let orig = m.call(&mut img, f, &call);
+            let spec = m.call(&mut img, res.entry, &call);
+            match (orig, spec) {
+                (Ok(o), Ok(s)) => prop_assert_eq!(o.ret_int, s.ret_int, "{}", src),
+                (Err(_), Err(_)) => {}
+                (o, s) => panic!("divergent fault behavior: {o:?} vs {s:?}\n{src}"),
+            }
+        }
+    }
+
+    #[test]
+    fn branch_unknown_mode_preserves_semantics(
+        prog in arb_prog(),
+        pins in proptest::array::uniform3(-30i64..30),
+        probes in proptest::collection::vec(proptest::array::uniform3(-50i64..50), 3),
+    ) {
+        let src = prog.render();
+        let mut img = Image::new();
+        let compiled = compile_into(&src, &mut img).unwrap();
+        let f = compiled.func("f").unwrap();
+        let mut cfg = RewriteConfig::new();
+        cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
+        cfg.func(f).branch_unknown = true;
+        cfg.func(f).max_variants = 3;
+        let args = [ArgValue::Int(pins[0]), ArgValue::Int(pins[1]), ArgValue::Int(pins[2])];
+        let res = match Rewriter::new(&mut img).rewrite(&cfg, f, &args) {
+            Ok(r) => r,
+            Err(RewriteError::TraceFault { .. }) => return Ok(()),
+            Err(e) => panic!("unexpected rewrite failure: {e}\n{src}"),
+        };
+        let mut m = Machine::new();
+        for probe in &probes {
+            let call = CallArgs::new().int(probe[0]).int(pins[1]).int(probe[2]);
+            let orig = m.call(&mut img, f, &call);
+            let spec = m.call(&mut img, res.entry, &call);
+            match (orig, spec) {
+                (Ok(o), Ok(s)) => prop_assert_eq!(o.ret_int, s.ret_int, "{}", src),
+                (Err(_), Err(_)) => {}
+                (o, s) => panic!("divergent fault behavior: {o:?} vs {s:?}\n{src}"),
+            }
+        }
+    }
+
+    #[test]
+    fn double_functions_differential(
+        k in -8.0f64..8.0,
+        probes in proptest::collection::vec((-16.0f64..16.0, -16.0f64..16.0), 4),
+        known in any::<bool>(),
+    ) {
+        let src = r#"
+            double f(double x, double y, double k) {
+                double acc = 0.0;
+                if (x < y) { acc = x * k + y; } else { acc = y * k - x; }
+                for (int i = 0; i < 3; i++) { acc = acc * 0.5 + k; }
+                return acc;
+            }
+        "#;
+        let mut img = Image::new();
+        let compiled = compile_into(src, &mut img).unwrap();
+        let f = compiled.func("f").unwrap();
+        let mut cfg = RewriteConfig::new();
+        cfg.set_ret(RetKind::F64);
+        if known {
+            cfg.set_param(2, ParamSpec::Known);
+        }
+        let res = Rewriter::new(&mut img)
+            .rewrite(&cfg, f, &[ArgValue::F64(0.0), ArgValue::F64(0.0), ArgValue::F64(k)])
+            .unwrap();
+        let mut m = Machine::new();
+        for (x, y) in &probes {
+            let call = CallArgs::new().f64(*x).f64(*y).f64(k);
+            let o = m.call(&mut img, f, &call).unwrap();
+            let s = m.call(&mut img, res.entry, &call).unwrap();
+            prop_assert_eq!(o.ret_f64.to_bits(), s.ret_f64.to_bits());
+        }
+    }
+}
+
+/// Second-generation programs: a helper callee (exercising inlining), a
+/// global array (exercising known-memory and address substitution), and
+/// safe modular indexing.
+#[derive(Debug, Clone)]
+struct Prog2 {
+    helper: E,
+    idx: E,
+    body: E,
+    loop_n: u8,
+}
+
+fn arb_prog2() -> impl Strategy<Value = Prog2> {
+    (arb_expr(), arb_expr(), arb_expr(), 0u8..5).prop_map(|(helper, idx, body, loop_n)| Prog2 {
+        helper,
+        idx,
+        body,
+        loop_n,
+    })
+}
+
+impl Prog2 {
+    fn render(&self) -> String {
+        format!(
+            r#"
+            int table[8] = {{3, 1, 4, 1, 5, 9, 2, 6}};
+            int helper(int a, int b, int c) {{
+                int t = 0;
+                t = {helper};
+                return t;
+            }}
+            int f(int a, int b, int c) {{
+                int t = 0;
+                for (int i = 0; i < {n}; i++) {{
+                    int j = ({idx}) % 8;
+                    if (j < 0) {{ j = j + 8; }}
+                    t += table[j] + helper({body}, t, i);
+                }}
+                return t;
+            }}
+            "#,
+            helper = self.helper.render(),
+            idx = self.idx.render(),
+            body = self.body.render(),
+            n = self.loop_n,
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn calls_and_arrays_differential(
+        prog in arb_prog2(),
+        spec_mask in 0u8..8,
+        pins in proptest::array::uniform3(-20i64..20),
+        probes in proptest::collection::vec(proptest::array::uniform3(-30i64..30), 3),
+        inline_helper in any::<bool>(),
+        know_table in any::<bool>(),
+    ) {
+        let src = prog.render();
+        let mut img = Image::new();
+        let compiled = match compile_into(&src, &mut img) {
+            Ok(c) => c,
+            Err(e) => panic!("generated program failed to compile: {e}\n{src}"),
+        };
+        let f = compiled.func("f").unwrap();
+        let helper = compiled.func("helper").unwrap();
+        let table = compiled.global("table").unwrap();
+
+        let mut cfg = RewriteConfig::new();
+        cfg.set_ret(RetKind::Int);
+        for i in 0..3 {
+            if spec_mask & (1 << i) != 0 {
+                cfg.set_param(i, ParamSpec::Known);
+            }
+        }
+        cfg.func(helper).inline = inline_helper;
+        if know_table {
+            cfg.set_mem_known(table..table + 64);
+        }
+        let args = [ArgValue::Int(pins[0]), ArgValue::Int(pins[1]), ArgValue::Int(pins[2])];
+        let res = match Rewriter::new(&mut img).rewrite(&cfg, f, &args) {
+            Ok(r) => r,
+            Err(RewriteError::TraceFault { .. }) => return Ok(()),
+            Err(e) => panic!("unexpected rewrite failure: {e}\n{src}"),
+        };
+        let mut m = Machine::new();
+        for probe in &probes {
+            let mut vals = *probe;
+            for i in 0..3 {
+                if spec_mask & (1 << i) != 0 {
+                    vals[i] = pins[i];
+                }
+            }
+            let call = CallArgs::new().int(vals[0]).int(vals[1]).int(vals[2]);
+            let orig = m.call(&mut img, f, &call);
+            let spec = m.call(&mut img, res.entry, &call);
+            match (orig, spec) {
+                (Ok(o), Ok(s)) => prop_assert_eq!(
+                    o.ret_int, s.ret_int,
+                    "{:?} mask={:#b} inline={} know={}\n{}",
+                    vals, spec_mask, inline_helper, know_table, src
+                ),
+                (Err(_), Err(_)) => {}
+                (o, s) => panic!("divergent fault behavior: {o:?} vs {s:?}\n{src}"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The Figure-5 pipeline on *random* stencil descriptors: arbitrary
+    /// point counts, offsets and coefficients, specialized and compared
+    /// against the generic interpretation on a random matrix.
+    #[test]
+    fn random_stencils_specialize_faithfully(
+        points in proptest::collection::vec(
+            ((-1i64..2), (-1i64..2), -4.0f64..4.0), 1..6),
+        seed in any::<u32>(),
+    ) {
+        let n = points.len();
+        let inits: Vec<String> = points
+            .iter()
+            .map(|(dx, dy, c)| format!("{{{c:?}, {dx}, {dy}}}"))
+            .collect();
+        let src = format!(
+            r#"
+            struct P {{ double f; int dx; int dy; }};
+            struct S {{ int ps; struct P p[{n}]; }};
+            struct S st = {{{n}, {{{init}}}}};
+            double apply(double* m, int xs, struct S* s) {{
+                double v = 0.0;
+                for (int i = 0; i < s->ps; i++) {{
+                    struct P* p = &s->p[i];
+                    v += p->f * m[p->dx + xs * p->dy];
+                }}
+                return v;
+            }}
+            "#,
+            init = inits.join(", "),
+        );
+        let mut img = Image::new();
+        let prog = compile_into(&src, &mut img).unwrap();
+        let apply = prog.func("apply").unwrap();
+        let st = prog.global("st").unwrap();
+        let xs = 5i64;
+
+        let mut cfg = RewriteConfig::new();
+        cfg.set_param(1, ParamSpec::Known)
+            .set_param(2, ParamSpec::PtrToKnown { len: 8 + n as u64 * 24 })
+            .set_ret(RetKind::F64);
+        let res = Rewriter::new(&mut img)
+            .rewrite(&cfg, apply, &[ArgValue::Int(0), ArgValue::Int(xs), ArgValue::Int(st as i64)])
+            .unwrap();
+
+        // Random 5x5 matrix; probe all interior points.
+        let m0 = img.alloc_heap(25 * 8, 8);
+        let mut state = seed as u64 + 1;
+        for i in 0..25u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            img.write_f64(m0 + i * 8, ((state >> 33) % 1000) as f64 / 8.0).unwrap();
+        }
+        let mut m = Machine::new();
+        for y in 1..4i64 {
+            for x in 1..4i64 {
+                let center = m0 + ((y * xs + x) * 8) as u64;
+                let args = CallArgs::new().ptr(center).int(xs).ptr(st);
+                let orig = m.call(&mut img, apply, &args).unwrap();
+                let spec = m.call(&mut img, res.entry, &args).unwrap();
+                prop_assert_eq!(orig.ret_f64.to_bits(), spec.ret_f64.to_bits(),
+                    "at ({},{}) stencil {:?}", x, y, points);
+                // Structure: loop unrolled, one multiply per point.
+                prop_assert_eq!(spec.stats.branches, 0);
+                prop_assert_eq!(spec.stats.fp_ops as usize, 2 * n);
+            }
+        }
+    }
+}

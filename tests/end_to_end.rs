@@ -1,0 +1,256 @@
+//! Cross-crate end-to-end tests: the complete BREW workflow over the full
+//! stack (mini-C compiler → image → rewriter → emulator), asserting the
+//! paper's qualitative results (see EXPERIMENTS.md for the quantitative
+//! mapping).
+
+use brew_suite::prelude::*;
+
+#[test]
+fn e1_shape_specialization_recovers_most_of_the_gap() {
+    // Paper §V.A: generic 2.00s (100%), manual 0.74s (37%), specialized
+    // 0.88s (44%). Assert the ordering and rough magnitudes on model
+    // cycles: specialized lands within [manual*1.3, 0.6*generic].
+    let (xs, ys, iters) = (32, 32, 2);
+    let host = Stencil::new(xs, ys).host_checksum(iters);
+    let mut m = Machine::new();
+
+    let mut s = Stencil::new(xs, ys);
+    let generic = s.run(&mut m, Variant::Generic, iters).unwrap();
+    assert_eq!(s.checksum(iters), host);
+
+    let mut s = Stencil::new(xs, ys);
+    let manual = s.run(&mut m, Variant::Manual, iters).unwrap();
+    assert_eq!(s.checksum(iters), host);
+
+    let mut s = Stencil::new(xs, ys);
+    let spec = s.specialize_apply().unwrap();
+    let specialized = s.run_with_apply(&mut m, spec.entry, false, iters).unwrap();
+    assert_eq!(s.checksum(iters), host);
+
+    assert!(manual.cycles < generic.cycles);
+    assert!(
+        specialized.cycles * 10 <= generic.cycles * 6,
+        "specialized {} should be well under 60% of generic {}",
+        specialized.cycles,
+        generic.cycles
+    );
+    assert!(
+        specialized.cycles as f64 <= manual.cycles as f64 * 1.3,
+        "specialized {} should be within 30% of manual {}",
+        specialized.cycles,
+        manual.cycles
+    );
+}
+
+#[test]
+fn e3_shape_grouping_closes_the_gap() {
+    // Paper §V.B: grouped generic is ~10% slower than generic, but the
+    // grouped rewrite reaches the manual version.
+    let (xs, ys, iters) = (32, 32, 2);
+    let host = Stencil::new(xs, ys).host_checksum(iters);
+    let mut m = Machine::new();
+
+    let mut s = Stencil::new(xs, ys);
+    let generic = s.run(&mut m, Variant::Generic, iters).unwrap();
+    let mut s = Stencil::new(xs, ys);
+    let grouped = s.run(&mut m, Variant::Grouped, iters).unwrap();
+    assert!(
+        grouped.cycles > generic.cycles,
+        "grouping slows the generic version down (paper: +10%)"
+    );
+
+    let mut s = Stencil::new(xs, ys);
+    let manual = s.run(&mut m, Variant::Manual, iters).unwrap();
+    let mut s = Stencil::new(xs, ys);
+    let res = s.specialize_apply_grouped().unwrap();
+    let gspec = s.run_with_apply(&mut m, res.entry, true, iters).unwrap();
+    assert_eq!(s.checksum(iters), host);
+    assert!(
+        gspec.cycles as f64 <= manual.cycles as f64 * 1.1,
+        "grouped specialization reaches the manual version: {} vs {}",
+        gspec.cycles,
+        manual.cycles
+    );
+}
+
+#[test]
+fn e2_shape_figure6_structure() {
+    let mut s = Stencil::new(40, 40);
+    let res = s.specialize_apply().unwrap();
+    let lines = disasm_result(&s.img, &res);
+    let text = lines.join("\n");
+
+    // 5 stencil points, each one multiply.
+    assert_eq!(text.matches("mulsd").count(), 5);
+    // Coefficients referenced at absolute data addresses (i-01 in Fig. 6).
+    assert!(text.contains("[0x6"), "absolute data-segment operand expected");
+    // The known row displacement xs*8 appears as a constant (i-13).
+    assert!(
+        text.contains("0x140"),
+        "row displacement 40*8 folded into the code:\n{text}"
+    );
+    // No loop left.
+    assert!(!text.contains(" jl "), "no loop branches:\n{text}");
+}
+
+#[test]
+fn profile_guided_guarded_specialization_workflow() {
+    // §III.D full circle: profile → hot value → rewrite → guard → dispatch.
+    let mut img = Image::new();
+    let prog = compile_into(
+        r#"
+        int f(int x, int k) { int s = 0; for (int i = 0; i < k; i++) s += x + i; return s; }
+        int driver(int x, int k) { return f(x, k); }
+        "#,
+        &mut img,
+    )
+    .unwrap();
+    let f = prog.func("f").unwrap();
+    let driver = prog.func("driver").unwrap();
+
+    // The profiler observes guest call instructions, so calls go through a
+    // driver (in a real process, any caller of f).
+    let mut profile = ValueProfile::new(2);
+    {
+        let mut m = Machine::new();
+        m.set_call_observer(Box::new(|_, t, cpu| profile.record(t, cpu)));
+        for i in 0..50 {
+            let k = if i % 5 == 0 { i } else { 12 };
+            m.call(&mut img, driver, &CallArgs::new().int(i).int(k)).unwrap();
+        }
+    }
+    let hot = profile.hot_value(f, 1, 0.7).expect("hot k");
+    assert_eq!(hot, 12);
+
+    let mut cfg = RewriteConfig::new();
+    cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
+    let mut rw = Rewriter::new(&mut img);
+    let spec = rw.rewrite(&cfg, f, &[ArgValue::Int(0), ArgValue::Int(12)]).unwrap();
+    let guard = rw.guard(1, 12, spec.entry, f).unwrap();
+
+    let mut m = Machine::new();
+    for (x, k) in [(3i64, 12i64), (7, 12), (3, 5), (0, 0)] {
+        let via_guard = m.call(&mut img, guard, &CallArgs::new().int(x).int(k)).unwrap();
+        let direct = m.call(&mut img, f, &CallArgs::new().int(x).int(k)).unwrap();
+        assert_eq!(via_guard.ret_int, direct.ret_int, "f({x},{k})");
+    }
+}
+
+#[test]
+fn pgas_workflow() {
+    let mut p = PgasArray::new(120, 4, 0);
+    let mut m = Machine::new();
+    let (generic_v, generic_s) = p.gsum_generic(&mut m).unwrap();
+    assert_eq!(generic_v, p.host_sum());
+
+    let spec = p.specialize_gsum().unwrap();
+    let (v, s) = p.gsum_with(&mut m, spec.entry).unwrap();
+    assert_eq!(v, p.host_sum());
+    assert!(s.cycles < generic_s.cycles);
+    assert_eq!(s.calls, 0);
+
+    // Remote detection: node 0 owns the first 30 elements.
+    let inst = p.instrument_remote_detection().unwrap();
+    let (v, _) = p.gsum_with(&mut m, inst.entry).unwrap();
+    assert_eq!(v, p.host_sum());
+    assert_eq!(p.remote_count(), 90);
+}
+
+#[test]
+fn rewritten_code_is_itself_rewritable() {
+    // §III.A: "the result of a rewriting step itself can be used as input
+    // for further rewriting, this approach is composable."
+    let mut img = Image::new();
+    let prog = compile_into(
+        "int f(int a, int b, int c) { return a * b + c * 2; }",
+        &mut img,
+    )
+    .unwrap();
+    let f = prog.func("f").unwrap();
+
+    // Stage 1: bake b = 10.
+    let mut cfg1 = RewriteConfig::new();
+    cfg1.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
+    let r1 = Rewriter::new(&mut img)
+        .rewrite(&cfg1, f, &[ArgValue::Int(0), ArgValue::Int(10), ArgValue::Int(0)])
+        .unwrap();
+
+    // Stage 2: rewrite the rewritten function, baking c = 7 as well.
+    let mut cfg2 = RewriteConfig::new();
+    cfg2.set_param(2, ParamSpec::Known).set_ret(RetKind::Int);
+    let r2 = Rewriter::new(&mut img)
+        .rewrite(&cfg2, r1.entry, &[ArgValue::Int(0), ArgValue::Int(10), ArgValue::Int(7)])
+        .unwrap();
+
+    let mut m = Machine::new();
+    for a in [0i64, 1, -3, 999] {
+        let out = m
+            .call(&mut img, r2.entry, &CallArgs::new().int(a).int(10).int(7))
+            .unwrap();
+        assert_eq!(out.ret_int as i64, a * 10 + 14);
+    }
+    assert!(r2.code_len <= r1.code_len, "double-specialized is no larger");
+}
+
+#[test]
+fn sweep_rewrite_e4_shape() {
+    // Whole-sweep rewriting stays correct across unroll factors and beats
+    // the generic sweep.
+    let (xs, ys, iters) = (24, 20, 2);
+    let host = Stencil::new(xs, ys).host_checksum(iters);
+    let mut m = Machine::new();
+
+    let mut s = Stencil::new(xs, ys);
+    let generic = s.run(&mut m, Variant::Generic, iters).unwrap();
+
+    for unroll in [1u32, 4] {
+        let mut s = Stencil::new(xs, ys);
+        let res = s.specialize_sweep(unroll).unwrap();
+        let st = s.run(&mut m, Variant::SpecializedSweep(res.entry), iters).unwrap();
+        assert_eq!(s.checksum(iters), host, "unroll={unroll}");
+        assert!(
+            st.cycles < generic.cycles,
+            "sweep rewrite (unroll={unroll}) beats generic: {} vs {}",
+            st.cycles,
+            generic.cycles
+        );
+    }
+}
+
+#[test]
+fn makedynamic_e5_shape() {
+    // §V.C: the transformed loop still fully unrolls; as-written it stays
+    // bounded because makeDynamic's result is opaque.
+    use brew_suite::stencil::programs::MAKE_DYNAMIC_PROGRAM;
+    let mut img = Image::new();
+    let prog = compile_into(MAKE_DYNAMIC_PROGRAM, &mut img).unwrap();
+    let s5 = prog.global("s5").unwrap();
+    let md = prog.func("makeDynamic").unwrap();
+    let (xs, ys) = (16i64, 16i64);
+
+    let mut results = Vec::new();
+    for name in ["sweep_dynamic", "sweep_dynamic_transformed"] {
+        let f = prog.func(name).unwrap();
+        let mut cfg = RewriteConfig::new();
+        cfg.set_param(2, ParamSpec::Known)
+            .set_param(3, ParamSpec::Known)
+            .set_mem_known(s5..s5 + brew_suite::stencil::S_SIZE)
+            .set_ret(RetKind::Void);
+        cfg.func(md).inline = false;
+        cfg.max_trace_insts = 8_000_000;
+        cfg.max_code_bytes = 1 << 22;
+        let r = Rewriter::new(&mut img)
+            .rewrite(
+                &cfg,
+                f,
+                &[ArgValue::Int(0), ArgValue::Int(0), ArgValue::Int(xs), ArgValue::Int(ys)],
+            )
+            .unwrap();
+        results.push(r.stats.blocks);
+    }
+    let (as_written, transformed) = (results[0], results[1]);
+    assert!(
+        transformed > 5 * as_written,
+        "the compiler transformation re-enables unrolling: {as_written} vs {transformed} blocks"
+    );
+}
