@@ -8,12 +8,16 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("a1_variants");
     g.sample_size(10);
     for unroll in [1u32, 8] {
-        g.bench_with_input(BenchmarkId::new("rewrite_sweep", unroll), &unroll, |b, &u| {
-            b.iter(|| {
-                let mut s = Stencil::new(24, 24);
-                s.specialize_sweep(u).unwrap()
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("rewrite_sweep", unroll),
+            &unroll,
+            |b, &u| {
+                b.iter(|| {
+                    let mut s = Stencil::new(24, 24);
+                    s.specialize_sweep(u).unwrap()
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("all_passes", |b| {
         let mut s = Stencil::new(XS, YS);
-        let res = s.specialize_apply_with_passes(&PassConfig::default()).unwrap();
+        let res = s
+            .specialize_apply_with_passes(&PassConfig::default())
+            .unwrap();
         let mut m = Machine::new();
         b.iter(|| s.run_with_apply(&mut m, res.entry, false, 1).unwrap());
     });

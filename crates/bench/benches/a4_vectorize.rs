@@ -21,7 +21,8 @@ fn bench(c: &mut Criterion) {
         let packed = build_packed_sweep(&mut s.img, XS, YS);
         let mut m = Machine::new();
         b.iter(|| {
-            m.call(&mut s.img, packed, &CallArgs::new().ptr(s.m1).ptr(s.m2)).unwrap()
+            m.call(&mut s.img, packed, &CallArgs::new().ptr(s.m1).ptr(s.m2))
+                .unwrap()
         });
     });
     g.finish();

@@ -1,0 +1,38 @@
+//! C1: variant-cache amortization — a cached re-request vs the cold
+//! rewrite it memoizes (the A6 cost, paid once).
+
+use brew_bench::cache_study;
+use brew_core::SpecializationManager;
+use brew_stencil::Stencil;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c1_cache");
+    g.sample_size(10);
+    g.bench_function("cold_rewrite", |b| {
+        b.iter(|| {
+            let mut s = Stencil::new(32, 32);
+            let func = s.prog.func("apply").unwrap();
+            let req = s.apply_request();
+            SpecializationManager::new()
+                .get_or_rewrite(&mut s.img, func, &req)
+                .unwrap()
+                .entry
+        });
+    });
+    g.bench_function("cached_rerequest", |b| {
+        let mut s = Stencil::new(32, 32);
+        let func = s.prog.func("apply").unwrap();
+        let req = s.apply_request();
+        let mut mgr = SpecializationManager::new();
+        mgr.get_or_rewrite(&mut s.img, func, &req).unwrap();
+        b.iter(|| mgr.get_or_rewrite(&mut s.img, func, &req).unwrap().entry);
+    });
+    g.bench_function("skewed_replay_1000", |b| {
+        b.iter(|| cache_study(32, 32, 1_000).cached_avg_ns);
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

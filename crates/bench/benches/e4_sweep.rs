@@ -11,12 +11,19 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_sweep");
     g.sample_size(10);
     for unroll in [1u32, 4] {
-        g.bench_with_input(BenchmarkId::new("sweep_rewrite", unroll), &unroll, |b, &u| {
-            let mut s = Stencil::new(XS, YS);
-            let res = s.specialize_sweep(u).unwrap();
-            let mut m = Machine::new();
-            b.iter(|| s.run(&mut m, Variant::SpecializedSweep(res.entry), 1).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::new("sweep_rewrite", unroll),
+            &unroll,
+            |b, &u| {
+                let mut s = Stencil::new(XS, YS);
+                let res = s.specialize_sweep(u).unwrap();
+                let mut m = Machine::new();
+                b.iter(|| {
+                    s.run(&mut m, Variant::SpecializedSweep(res.entry), 1)
+                        .unwrap()
+                });
+            },
+        );
     }
     g.finish();
 }

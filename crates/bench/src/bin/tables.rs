@@ -1,21 +1,26 @@
 //! `tables` — regenerate every table/figure of the paper's evaluation.
 //!
 //! ```sh
-//! cargo run --release -p brew-bench --bin tables            # everything
-//! cargo run --release -p brew-bench --bin tables -- e1 e2   # selected
+//! cargo run --release -p brew-bench --bin tables                  # everything
+//! cargo run --release -p brew-bench --bin tables -- e1 e2         # selected
+//! cargo run --release -p brew-bench --bin tables -- --exp cache   # one experiment
 //! ```
 //!
 //! Experiment ids follow DESIGN.md §3. Independent experiments run in
-//! parallel via crossbeam scoped threads.
+//! parallel via `std::thread` scoped threads.
 
 use brew_bench::*;
-use brew_core::{ArgValue, ParamSpec, RetKind, RewriteConfig, Rewriter};
+use brew_core::{RetKind, Rewriter, SpecRequest};
 use brew_stencil::{programs, Stencil};
 use std::collections::BTreeMap;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = ["e1", "e2", "e3", "e4", "e5", "a1", "a2", "a3", "a4", "a5", "a6", "p1"];
+    // `--exp` is accepted (and ignored) before any experiment id, so both
+    // `tables cache` and `tables --exp cache` spell the same thing.
+    let args: Vec<String> = std::env::args().skip(1).filter(|a| a != "--exp").collect();
+    let all = [
+        "e1", "e2", "e3", "e4", "e5", "a1", "a2", "a3", "a4", "a5", "a6", "p1", "cache",
+    ];
     let wanted: Vec<&str> = if args.is_empty() {
         all.to_vec()
     } else {
@@ -23,18 +28,17 @@ fn main() {
     };
 
     // Run independent experiments in parallel, print in order.
-    let results: BTreeMap<usize, String> = crossbeam::thread::scope(|scope| {
+    let results: BTreeMap<usize, String> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, exp) in wanted.iter().enumerate() {
             let exp = exp.to_string();
-            handles.push((i, scope.spawn(move |_| run_experiment(&exp))));
+            handles.push((i, scope.spawn(move || run_experiment(&exp))));
         }
         handles
             .into_iter()
             .map(|(i, h)| (i, h.join().expect("experiment thread")))
             .collect()
-    })
-    .expect("scope");
+    });
 
     for (_, text) in results {
         println!("{text}");
@@ -65,9 +69,14 @@ fn run_experiment(exp: &str) -> String {
         ),
         "e5" => e5_make_dynamic(),
         "a1" => a1_variants(),
-        "a2" => render("A2 — optimization-pass ablation", &passes_study(XS, YS, ITERS)),
-        "a3" => render("A3 — inlining ablation (§IV: 'the most important aspect')",
-            &inline_study(XS, YS, ITERS)),
+        "a2" => render(
+            "A2 — optimization-pass ablation",
+            &passes_study(XS, YS, ITERS),
+        ),
+        "a3" => render(
+            "A3 — inlining ablation (§IV: 'the most important aspect')",
+            &inline_study(XS, YS, ITERS),
+        ),
         "a4" => render(
             "A4 — vectorization headroom (§IV future work; hand-scheduled packed target)",
             &vectorize_study(XS, YS, ITERS),
@@ -78,6 +87,10 @@ fn run_experiment(exp: &str) -> String {
             &rewrite_cost_study(XS, YS),
         ),
         "p1" => render("P1 — PGAS global-to-local translation", &pgas_study(240, 4)),
+        "cache" => render_cache(
+            "C1 — variant-cache amortization (cached re-requests vs the A6 cold rewrite)",
+            &cache_study(XS, YS, 1_000),
+        ),
         other => format!("unknown experiment `{other}`\n"),
     }
 }
@@ -120,23 +133,28 @@ fn e5_make_dynamic() -> String {
     // Rewrite both sweep shapes with makeDynamic treated as an opaque call
     // (not inlined => its result is unknown, the paper's intent).
     for (name, label) in [
-        ("sweep_dynamic", "as written (loops start at makeDynamic(1))"),
-        ("sweep_dynamic_transformed", "as gcc emitted (fresh counter from 0)"),
+        (
+            "sweep_dynamic",
+            "as written (loops start at makeDynamic(1))",
+        ),
+        (
+            "sweep_dynamic_transformed",
+            "as gcc emitted (fresh counter from 0)",
+        ),
     ] {
         let f = prog.func(name).unwrap();
-        let mut cfg = RewriteConfig::new();
-        cfg.set_param(2, ParamSpec::Known)
-            .set_param(3, ParamSpec::Known)
-            .set_mem_known(s5..s5 + brew_stencil::S_SIZE)
-            .set_ret(RetKind::Void);
-        cfg.func(make_dynamic).inline = false; // the linker-visible barrier
-        cfg.max_trace_insts = 8_000_000;
-        cfg.max_code_bytes = 1 << 22;
-        let res = Rewriter::new(&mut img).rewrite(
-            &cfg,
-            f,
-            &[ArgValue::Int(0), ArgValue::Int(0), ArgValue::Int(xs), ArgValue::Int(ys)],
-        );
+        let req = SpecRequest::new()
+            .unknown_int() // m1
+            .unknown_int() // m2
+            .known_int(xs)
+            .known_int(ys)
+            .known_mem(s5..s5 + brew_stencil::S_SIZE)
+            .ret(RetKind::Void)
+            // the linker-visible barrier
+            .func(make_dynamic, |o| o.inline = false)
+            .max_trace_insts(8_000_000)
+            .max_code_bytes(1 << 22);
+        let res = Rewriter::new(&mut img).rewrite(f, &req);
         match res {
             Ok(r) => out.push_str(&format!(
                 "{label:<46}: {:>8} bytes, {:>6} blocks  {}\n",
@@ -154,20 +172,18 @@ fn e5_make_dynamic() -> String {
 
     // The working fix: the brute-force fresh_unknown configuration.
     let f = prog.func("sweep_dynamic_transformed").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(2, ParamSpec::Known)
-        .set_param(3, ParamSpec::Known)
-        .set_mem_known(s5..s5 + brew_stencil::S_SIZE)
-        .set_ret(RetKind::Void);
-    cfg.func(make_dynamic).inline = false;
-    cfg.func(f).fresh_unknown = true;
-    cfg.max_trace_insts = 8_000_000;
+    let req = SpecRequest::new()
+        .unknown_int()
+        .unknown_int()
+        .known_int(xs)
+        .known_int(ys)
+        .known_mem(s5..s5 + brew_stencil::S_SIZE)
+        .ret(RetKind::Void)
+        .func(make_dynamic, |o| o.inline = false)
+        .func(f, |o| o.fresh_unknown = true)
+        .max_trace_insts(8_000_000);
     let r = Rewriter::new(&mut img)
-        .rewrite(
-            &cfg,
-            f,
-            &[ArgValue::Int(0), ArgValue::Int(0), ArgValue::Int(xs), ArgValue::Int(ys)],
-        )
+        .rewrite(f, &req)
         .expect("fresh_unknown rewrite");
     out.push_str(&format!(
         "{:<46}: {:>8} bytes, {:>6} blocks  (bounded: values forced unknown; inlined apply still specialized)\n",
@@ -181,9 +197,8 @@ fn e5_make_dynamic() -> String {
 /// A1: variant-threshold sweep — code size vs speed for the whole-sweep
 /// rewrite (world-migration in action).
 fn a1_variants() -> String {
-    let mut out = String::from(
-        "## A1 — variant threshold & world migration (whole-sweep rewrite)\n\n",
-    );
+    let mut out =
+        String::from("## A1 — variant threshold & world migration (whole-sweep rewrite)\n\n");
     out.push_str(&format!(
         "{:<12} {:>12} {:>10} {:>12} {:>14}\n",
         "max_variants", "code bytes", "blocks", "migrations", "model cycles"
@@ -193,7 +208,11 @@ fn a1_variants() -> String {
         let res = s.specialize_sweep(unroll).unwrap();
         let mut m = brew_emu::Machine::new();
         let st = s
-            .run(&mut m, brew_stencil::Variant::SpecializedSweep(res.entry), ITERS)
+            .run(
+                &mut m,
+                brew_stencil::Variant::SpecializedSweep(res.entry),
+                ITERS,
+            )
             .unwrap();
         assert_eq!(s.checksum(ITERS), s.host_checksum(ITERS));
         out.push_str(&format!(

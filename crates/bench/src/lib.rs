@@ -32,7 +32,11 @@ pub struct Row {
 }
 
 fn row(label: &str, s: Stats) -> Row {
-    Row { label: label.to_string(), cycles: s.cycles, insts: s.insts }
+    Row {
+        label: label.to_string(),
+        cycles: s.cycles,
+        insts: s.insts,
+    }
 }
 
 /// E1+E3: the §V.A/§V.B study. Returns rows in paper order:
@@ -86,7 +90,9 @@ pub fn sweep_study(xs: i64, ys: i64, iters: u32, unrolls: &[u32]) -> Vec<Row> {
     for &u in unrolls {
         let mut s = Stencil::new(xs, ys);
         let res = s.specialize_sweep(u).unwrap();
-        let st = s.run(&mut m, Variant::SpecializedSweep(res.entry), iters).unwrap();
+        let st = s
+            .run(&mut m, Variant::SpecializedSweep(res.entry), iters)
+            .unwrap();
         assert_eq!(s.checksum(iters), host);
         out.push(row(&format!("sweep rewrite, unroll={u}"), st));
     }
@@ -102,11 +108,23 @@ pub fn passes_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
         ("no passes (paper prototype)", PassConfig::none()),
         (
             "+ peephole",
-            PassConfig { dead_store_elim: false, redundant_load_elim: false, peephole: true, slot_promotion: false, frame_compression: false },
+            PassConfig {
+                dead_store_elim: false,
+                redundant_load_elim: false,
+                peephole: true,
+                slot_promotion: false,
+                frame_compression: false,
+            },
         ),
         (
             "+ dead-store elim",
-            PassConfig { dead_store_elim: true, redundant_load_elim: false, peephole: true, slot_promotion: false, frame_compression: false },
+            PassConfig {
+                dead_store_elim: true,
+                redundant_load_elim: false,
+                peephole: true,
+                slot_promotion: false,
+                frame_compression: false,
+            },
         ),
         (
             "+ redundant-load elim",
@@ -146,7 +164,7 @@ pub fn passes_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
 
 /// A3: inlining on vs off for the specialized apply.
 pub fn inline_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
-    use brew_core::{ArgValue, ParamSpec, RetKind, RewriteConfig, Rewriter};
+    use brew_core::{RetKind, Rewriter, SpecRequest};
     let mut m = Machine::new();
     let host = Stencil::new(xs, ys).host_checksum(iters);
     let mut out = Vec::new();
@@ -158,27 +176,31 @@ pub fn inline_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
         let sweep = s.prog.func("sweep_generic").unwrap();
         let apply = s.prog.func("apply").unwrap();
         let s5 = s.s5();
-        let mut cfg = RewriteConfig::new();
-        cfg.set_param(2, ParamSpec::Known)
-            .set_param(3, ParamSpec::Known)
-            .set_mem_known(s5..s5 + brew_stencil::S_SIZE)
-            .set_ret(RetKind::Void);
-        cfg.func(sweep).branch_unknown = true;
-        cfg.func(sweep).max_variants = 2;
-        cfg.func(apply).inline = inline;
-        cfg.max_trace_insts = 16_000_000;
-        cfg.max_code_bytes = 1 << 22;
-        let res = Rewriter::new(&mut s.img)
-            .rewrite(
-                &cfg,
-                sweep,
-                &[ArgValue::Int(0), ArgValue::Int(0), ArgValue::Int(xs), ArgValue::Int(ys)],
-            )
+        let req = SpecRequest::new()
+            .unknown_int() // m1
+            .unknown_int() // m2
+            .known_int(xs)
+            .known_int(ys)
+            .known_mem(s5..s5 + brew_stencil::S_SIZE)
+            .ret(RetKind::Void)
+            .func(sweep, |o| {
+                o.branch_unknown = true;
+                o.max_variants = 2;
+            })
+            .func(apply, |o| o.inline = inline)
+            .max_trace_insts(16_000_000)
+            .max_code_bytes(1 << 22);
+        let res = Rewriter::new(&mut s.img).rewrite(sweep, &req).unwrap();
+        let st = s
+            .run(&mut m, Variant::SpecializedSweep(res.entry), iters)
             .unwrap();
-        let st = s.run(&mut m, Variant::SpecializedSweep(res.entry), iters).unwrap();
         assert_eq!(s.checksum(iters), host);
         out.push(row(
-            if inline { "sweep rewrite, apply inlined" } else { "sweep rewrite, call kept" },
+            if inline {
+                "sweep rewrite, apply inlined"
+            } else {
+                "sweep rewrite, call kept"
+            },
             st,
         ));
     }
@@ -190,7 +212,7 @@ pub fn inline_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
 /// stream*, so the guard's dispatch overhead and the specialization's win
 /// are both visible.
 pub fn guard_study() -> Vec<Row> {
-    use brew_core::{ArgValue, ParamSpec, RetKind, RewriteConfig, Rewriter};
+    use brew_core::{RetKind, Rewriter, SpecRequest};
     use brew_emu::CallArgs;
     let src = "int poly(int x, int n) { int r = 1; for (int i = 0; i < n; i++) r *= x; return r; }";
     let mut out = Vec::new();
@@ -198,10 +220,12 @@ pub fn guard_study() -> Vec<Row> {
         let mut img = brew_image::Image::new();
         let prog = brew_minic::compile_into(src, &mut img).unwrap();
         let poly = prog.func("poly").unwrap();
-        let mut cfg = RewriteConfig::new();
-        cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
+        let req = SpecRequest::new()
+            .unknown_int()
+            .known_int(16)
+            .ret(RetKind::Int);
         let mut rw = Rewriter::new(&mut img);
-        let spec = rw.rewrite(&cfg, poly, &[ArgValue::Int(0), ArgValue::Int(16)]).unwrap();
+        let spec = rw.rewrite(poly, &req).unwrap();
         let guard = rw.guard(1, 16, spec.entry, poly).unwrap();
         let mut m = Machine::new();
         let (mut guarded, mut original) = (Stats::default(), Stats::default());
@@ -215,7 +239,10 @@ pub fn guard_study() -> Vec<Row> {
             original.merge(&o.stats);
         }
         out.push(row(&format!("guarded poly, {hot_pct}% hot"), guarded));
-        out.push(row(&format!("original poly, same stream ({hot_pct}%)"), original));
+        out.push(row(
+            &format!("original poly, same stream ({hot_pct}%)"),
+            original,
+        ));
     }
     out
 }
@@ -230,7 +257,9 @@ pub fn vectorize_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
 
     let mut s = Stencil::new(xs, ys);
     let res = s.specialize_sweep(4).unwrap();
-    let st = s.run(&mut m, Variant::SpecializedSweep(res.entry), iters).unwrap();
+    let st = s
+        .run(&mut m, Variant::SpecializedSweep(res.entry), iters)
+        .unwrap();
     assert_eq!(s.checksum(iters), host);
     out.push(row("BREW sweep rewrite (scalar, unroll=4)", st));
 
@@ -238,7 +267,10 @@ pub fn vectorize_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
     let st = s.run(&mut m, Variant::ManualInline, iters).unwrap();
     out.push(row("manual scalar sweep (same CU)", st));
 
-    for (label, packed) in [("hand-scheduled scalar sweep", false), ("hand-scheduled packed sweep (the pass target)", true)] {
+    for (label, packed) in [
+        ("hand-scheduled scalar sweep", false),
+        ("hand-scheduled packed sweep (the pass target)", true),
+    ] {
         let mut s = Stencil::new(xs, ys);
         let f = if packed {
             brew_stencil::simd::build_packed_sweep(&mut s.img, xs, ys)
@@ -248,7 +280,9 @@ pub fn vectorize_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
         let mut total = Stats::default();
         let (mut src, mut dst) = (s.m1, s.m2);
         for _ in 0..iters {
-            let o = m.call(&mut s.img, f, &CallArgs::new().ptr(src).ptr(dst)).unwrap();
+            let o = m
+                .call(&mut s.img, f, &CallArgs::new().ptr(src).ptr(dst))
+                .unwrap();
             total.merge(&o.stats);
             std::mem::swap(&mut src, &mut dst);
         }
@@ -284,6 +318,90 @@ pub fn rewrite_cost_study(xs: i64, ys: i64) -> Vec<Row> {
         insts: res.stats.emitted,
     });
     out
+}
+
+/// C1 numbers: cost of a cold specialization request (a full rewrite, the
+/// A6 baseline) vs a cached re-request through the variant cache.
+#[derive(Debug, Clone)]
+pub struct CacheReport {
+    /// Wall-clock ns of the initial (miss) request — decode, trace,
+    /// passes, layout, encode.
+    pub cold_ns: u64,
+    /// Per-phase breakdown of that cold rewrite.
+    pub cold_stats: brew_core::RewriteStats,
+    /// Average wall-clock ns of one cached re-request (a hash lookup).
+    pub cached_avg_ns: u64,
+    /// Number of re-requests replayed.
+    pub rerequests: u32,
+    /// Manager counters at the end of the replay.
+    pub stats: brew_core::CacheStats,
+}
+
+/// C1: variant-cache amortization. Replays a skewed stream of
+/// specialization requests — the hot request re-arrives 7 of 8 times, a
+/// second request shape (same function, passes off, distinct fingerprint)
+/// takes the rest — through a [`brew_core::SpecializationManager`] and
+/// measures cold-vs-cached request cost.
+pub fn cache_study(xs: i64, ys: i64, rerequests: u32) -> CacheReport {
+    use brew_core::SpecializationManager;
+    use std::time::Instant;
+
+    let mut s = Stencil::new(xs, ys);
+    let func = s.prog.func("apply").unwrap();
+    let hot = s.apply_request();
+    let alt = s.apply_request().passes(PassConfig::none());
+
+    let mut mgr = SpecializationManager::new();
+    let t0 = Instant::now();
+    let first = mgr.get_or_rewrite(&mut s.img, func, &hot).unwrap();
+    let cold_ns = (t0.elapsed().as_nanos() as u64).max(1);
+    let cold_stats = first.stats;
+    mgr.get_or_rewrite(&mut s.img, func, &alt).unwrap();
+
+    let t1 = Instant::now();
+    for i in 0..rerequests {
+        let req = if i % 8 == 7 { &alt } else { &hot };
+        let v = mgr.get_or_rewrite(&mut s.img, func, req).unwrap();
+        std::hint::black_box(v.entry);
+    }
+    let cached_avg_ns = (t1.elapsed().as_nanos() as u64) / u64::from(rerequests.max(1));
+
+    CacheReport {
+        cold_ns,
+        cold_stats,
+        cached_avg_ns,
+        rerequests,
+        stats: mgr.stats(),
+    }
+}
+
+/// Render the C1 amortization report.
+pub fn render_cache(title: &str, r: &CacheReport) -> String {
+    let pct = r.cached_avg_ns as f64 / r.cold_ns as f64 * 100.0;
+    let mut s = format!("## {title}\n\n");
+    s.push_str(&format!(
+        "cold rewrite (miss)     : {:>10} ns   ({}us trace + {}us passes + {}us emit; \
+         {} guest insts traced)\n",
+        r.cold_ns,
+        r.cold_stats.trace_ns / 1_000,
+        r.cold_stats.pass_ns / 1_000,
+        r.cold_stats.emit_ns / 1_000,
+        r.cold_stats.traced,
+    ));
+    s.push_str(&format!(
+        "cached re-request (avg) : {:>10} ns   ({pct:.2}% of a cold rewrite, \
+         over {} re-requests)\n",
+        r.cached_avg_ns, r.rerequests,
+    ));
+    s.push_str(&format!(
+        "cache counters          : {} hits, {} misses, {} evictions, {} bytes resident\n",
+        r.stats.hits, r.stats.misses, r.stats.evictions, r.stats.resident_bytes,
+    ));
+    s.push_str(&format!(
+        "traced guest insts      : {} total — flat across every cached re-request\n",
+        r.stats.traced_total,
+    ));
+    s
 }
 
 /// P1: the PGAS study.

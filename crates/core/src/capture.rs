@@ -58,7 +58,11 @@ pub struct CapturedInst {
 impl CapturedInst {
     /// Plain instruction without frame metadata.
     pub fn plain(inst: Inst) -> Self {
-        CapturedInst { inst, frame_store: None, frame_load: None }
+        CapturedInst {
+            inst,
+            frame_store: None,
+            frame_load: None,
+        }
     }
 }
 
@@ -122,6 +126,19 @@ pub struct RewriteStats {
     pub code_bytes: u64,
     /// Memory-access hook call sites injected.
     pub hooks_injected: u64,
+    /// Wall-clock nanoseconds spent decoding and tracing the emulated call.
+    pub trace_ns: u64,
+    /// Wall-clock nanoseconds spent in the optimization passes.
+    pub pass_ns: u64,
+    /// Wall-clock nanoseconds spent on layout, encoding and relocation.
+    pub emit_ns: u64,
+}
+
+impl RewriteStats {
+    /// Total wall-clock nanoseconds across the instrumented phases.
+    pub fn total_ns(&self) -> u64 {
+        self.trace_ns + self.pass_ns + self.emit_ns
+    }
 }
 
 impl std::fmt::Display for RewriteStats {
@@ -129,7 +146,8 @@ impl std::fmt::Display for RewriteStats {
         write!(
             f,
             "traced {} guest insts -> emitted {} ({} evaluated away, {} removed by passes) \
-             in {} blocks ({} migrations, {} inlined / {} kept calls), {} bytes",
+             in {} blocks ({} migrations, {} inlined / {} kept calls), {} bytes; \
+             {}us trace + {}us passes + {}us emit",
             self.traced,
             self.emitted,
             self.elided,
@@ -139,6 +157,9 @@ impl std::fmt::Display for RewriteStats {
             self.inlined_calls,
             self.kept_calls,
             self.code_bytes,
+            self.trace_ns / 1_000,
+            self.pass_ns / 1_000,
+            self.emit_ns / 1_000,
         )
     }
 }
@@ -149,7 +170,11 @@ mod tests {
 
     #[test]
     fn successors() {
-        let t = Terminator::Jcc { cond: Cond::E, taken: BlockId(1), fall: BlockId(2) };
+        let t = Terminator::Jcc {
+            cond: Cond::E,
+            taken: BlockId(1),
+            fall: BlockId(2),
+        };
         let s: Vec<BlockId> = t.successors().collect();
         assert_eq!(s, vec![BlockId(1), BlockId(2)]);
         assert_eq!(Terminator::Ret.successors().count(), 0);

@@ -76,7 +76,12 @@ pub struct FuncOpts {
 
 impl Default for FuncOpts {
     fn default() -> Self {
-        FuncOpts { inline: true, fresh_unknown: false, branch_unknown: false, max_variants: 64 }
+        FuncOpts {
+            inline: true,
+            fresh_unknown: false,
+            branch_unknown: false,
+            max_variants: 64,
+        }
     }
 }
 
@@ -170,7 +175,10 @@ impl RewriteConfig {
 
     /// The options in effect for the function at `addr`.
     pub fn opts_for(&self, addr: u64) -> FuncOpts {
-        self.func_opts.get(&addr).copied().unwrap_or(self.default_opts)
+        self.func_opts
+            .get(&addr)
+            .copied()
+            .unwrap_or(self.default_opts)
     }
 
     /// Is `addr` inside declared known memory (including `PTR_TO_KNOWN`

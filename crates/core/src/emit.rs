@@ -128,11 +128,25 @@ pub fn layout_and_emit(
             }
             TermForm::Jcc(c, t) => {
                 let addr = base + bytes.len() as u64;
-                encode(&Inst::Jcc { cond: *c, target: target(*t) }, addr, &mut bytes)?;
+                encode(
+                    &Inst::Jcc {
+                        cond: *c,
+                        target: target(*t),
+                    },
+                    addr,
+                    &mut bytes,
+                )?;
             }
             TermForm::JccJmp(c, t, f) => {
                 let addr = base + bytes.len() as u64;
-                encode(&Inst::Jcc { cond: *c, target: target(*t) }, addr, &mut bytes)?;
+                encode(
+                    &Inst::Jcc {
+                        cond: *c,
+                        target: target(*t),
+                    },
+                    addr,
+                    &mut bytes,
+                )?;
                 let addr = base + bytes.len() as u64;
                 encode(&Inst::JmpRel { target: target(*f) }, addr, &mut bytes)?;
             }
@@ -181,7 +195,11 @@ mod tests {
     fn diamond_layout_prefers_fallthrough() {
         // b0: jcc e -> b2 else b1 ; b1: ret ; b2: ret
         let mut b0 = CapturedBlock::pending(0);
-        b0.term = Terminator::Jcc { cond: Cond::E, taken: BlockId(2), fall: BlockId(1) };
+        b0.term = Terminator::Jcc {
+            cond: Cond::E,
+            taken: BlockId(2),
+            fall: BlockId(1),
+        };
         let blocks = vec![b0, ret_block(), ret_block()];
         let mut img = Image::new();
         let (addr, len) = layout_and_emit(&blocks, BlockId(0), &mut img, 1 << 16).unwrap();
@@ -190,7 +208,9 @@ mod tests {
         assert!(err.is_none());
         // je <b2>; ret (b1 fallthrough); ret (b2)
         assert_eq!(insts.len(), 3);
-        let Inst::Jcc { cond, target } = insts[0].1 else { panic!() };
+        let Inst::Jcc { cond, target } = insts[0].1 else {
+            panic!()
+        };
         assert_eq!(cond, Cond::E);
         assert_eq!(target, insts[2].0);
     }
@@ -204,14 +224,20 @@ mod tests {
             w: Width::W64,
             dst: Operand::Reg(Gpr::Rax),
         })];
-        b0.term = Terminator::Jcc { cond: Cond::Ne, taken: BlockId(0), fall: BlockId(1) };
+        b0.term = Terminator::Jcc {
+            cond: Cond::Ne,
+            taken: BlockId(0),
+            fall: BlockId(1),
+        };
         let blocks = vec![b0, ret_block()];
         let mut img = Image::new();
         let (addr, len) = layout_and_emit(&blocks, BlockId(0), &mut img, 1 << 16).unwrap();
         let win = img.code_window(addr, len).unwrap();
         let (insts, err) = decode_all(&win, addr);
         assert!(err.is_none());
-        let Inst::Jcc { target, .. } = insts[1].1 else { panic!() };
+        let Inst::Jcc { target, .. } = insts[1].1 else {
+            panic!()
+        };
         assert_eq!(target, addr, "backedge targets the block start");
     }
 

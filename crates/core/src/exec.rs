@@ -15,9 +15,7 @@
 use crate::capture::{CapturedInst, Terminator};
 use crate::error::RewriteError;
 use crate::tracer::{materialize_gpr_inst, Step, TraceCtx, Tracer};
-use crate::value::{
-    alu_value, imul_value, shift_value, test_value, unop_value, FlagsVal, Value,
-};
+use crate::value::{alu_value, imul_value, shift_value, test_value, unop_value, FlagsVal, Value};
 use crate::world::{InlineFrame, RegState, World, XmmState};
 use brew_x86::prelude::*;
 
@@ -48,7 +46,9 @@ pub(crate) fn build_hook_sequence(hook: u64, arg: HookArg) -> Vec<Inst> {
     ];
     let mut out = Vec::with_capacity(9 * 2 + 16 * 2 + 5);
     for r in SAVED {
-        out.push(Inst::Push { src: Operand::Reg(r) });
+        out.push(Inst::Push {
+            src: Operand::Reg(r),
+        });
     }
     out.push(Inst::Alu {
         op: AluOp::Sub,
@@ -63,7 +63,10 @@ pub(crate) fn build_hook_sequence(hook: u64, arg: HookArg) -> Vec<Inst> {
         });
     }
     match arg {
-        HookArg::Ea(m) => out.push(Inst::Lea { dst: Gpr::Rdi, src: m }),
+        HookArg::Ea(m) => out.push(Inst::Lea {
+            dst: Gpr::Rdi,
+            src: m,
+        }),
         HookArg::Const(c) => {
             if (c as i64) == (c as i64 as i32) as i64 {
                 out.push(Inst::Mov {
@@ -72,7 +75,10 @@ pub(crate) fn build_hook_sequence(hook: u64, arg: HookArg) -> Vec<Inst> {
                     src: Operand::Imm(c as i64),
                 });
             } else {
-                out.push(Inst::MovAbs { dst: Gpr::Rdi, imm: c });
+                out.push(Inst::MovAbs {
+                    dst: Gpr::Rdi,
+                    imm: c,
+                });
             }
         }
     }
@@ -90,7 +96,9 @@ pub(crate) fn build_hook_sequence(hook: u64, arg: HookArg) -> Vec<Inst> {
         src: Operand::Imm(128),
     });
     for r in SAVED.iter().rev() {
-        out.push(Inst::Pop { dst: Operand::Reg(*r) });
+        out.push(Inst::Pop {
+            dst: Operand::Reg(*r),
+        });
     }
     out
 }
@@ -204,7 +212,11 @@ impl Tracer<'_> {
             cx.reads_flags_on_entry = true;
         }
         self.stats_emitted();
-        cx.out.push(CapturedInst { inst, frame_store: fs, frame_load: fl });
+        cx.out.push(CapturedInst {
+            inst,
+            frame_store: fs,
+            frame_load: fl,
+        });
     }
 
     fn stats_emitted(&mut self) {
@@ -239,7 +251,13 @@ impl Tracer<'_> {
         }
         let inst = materialize_gpr_inst(r, st.val, cx.w.rsp_off())?;
         self.emit(cx, inst);
-        cx.w.set_reg(r, RegState { val: st.val, synced: true });
+        cx.w.set_reg(
+            r,
+            RegState {
+                val: st.val,
+                synced: true,
+            },
+        );
         Ok(())
     }
 
@@ -287,7 +305,13 @@ impl Tracer<'_> {
             }
         };
         self.emit(cx, inst);
-        cx.w.set_xmm(x, XmmState { lanes, synced: true });
+        cx.w.set_xmm(
+            x,
+            XmmState {
+                lanes,
+                synced: true,
+            },
+        );
         Ok(())
     }
 
@@ -568,7 +592,7 @@ impl Tracer<'_> {
                 match dst {
                     Operand::Reg(d) => {
                         let v = self.int_value(&cx.w, src, *w);
-                        if v.is_known() && !(*d == Gpr::Rsp) {
+                        if v.is_known() && *d != Gpr::Rsp {
                             self.set_reg_value(&mut cx.w, *d, *w, v, false);
                             self.elided();
                         } else if *d == Gpr::Rsp {
@@ -603,7 +627,10 @@ impl Tracer<'_> {
                             }
                             cx.w.set_reg(
                                 Gpr::Rsp,
-                                RegState { val: Value::StackRel(o), synced: true },
+                                RegState {
+                                    val: Value::StackRel(o),
+                                    synced: true,
+                                },
                             );
                         } else {
                             let (s, fl) = self.subst_int_src(cx, src, *w)?;
@@ -612,7 +639,11 @@ impl Tracer<'_> {
                             }
                             self.emit_mem(
                                 cx,
-                                Inst::Mov { w: *w, dst: *dst, src: s },
+                                Inst::Mov {
+                                    w: *w,
+                                    dst: *dst,
+                                    src: s,
+                                },
                                 None,
                                 fl,
                             );
@@ -635,14 +666,28 @@ impl Tracer<'_> {
                             s => s,
                         };
                         self.maybe_hook(cx, &mm)?;
-                        self.emit_mem(cx, Inst::Mov { w: *w, dst: Operand::Mem(mm), src: s }, fs, None);
+                        self.emit_mem(
+                            cx,
+                            Inst::Mov {
+                                w: *w,
+                                dst: Operand::Mem(mm),
+                                src: s,
+                            },
+                            fs,
+                            None,
+                        );
                         let stored = match *w {
                             Width::W64 => val,
                             _ => val.as_w32_result(),
                         };
                         self.store_shadow(&mut cx.w, a, w.bytes(), stored);
                     }
-                    _ => return Err(RewriteError::TraceFault { addr, what: "bad mov dst" }),
+                    _ => {
+                        return Err(RewriteError::TraceFault {
+                            addr,
+                            what: "bad mov dst",
+                        })
+                    }
                 }
                 Ok(Step::Continue(next))
             }
@@ -686,7 +731,16 @@ impl Tracer<'_> {
                     _ => {
                         let (s, fl) = self.subst_int_src(cx, src, Width::W8)?;
                         let s = no_imm(self, cx, s, src)?;
-                        self.emit_mem(cx, Inst::Movzx8 { w: *w, dst: *dst, src: s }, None, fl);
+                        self.emit_mem(
+                            cx,
+                            Inst::Movzx8 {
+                                w: *w,
+                                dst: *dst,
+                                src: s,
+                            },
+                            None,
+                            fl,
+                        );
                         self.set_reg_value(&mut cx.w, *dst, *w, Value::Unknown, true);
                     }
                 }
@@ -720,7 +774,13 @@ impl Tracer<'_> {
                             },
                         );
                     }
-                    cx.w.set_reg(Gpr::Rsp, RegState { val: v, synced: true });
+                    cx.w.set_reg(
+                        Gpr::Rsp,
+                        RegState {
+                            val: v,
+                            synced: true,
+                        },
+                    );
                 } else {
                     let (m, _) = self.subst_mem(cx, src)?;
                     self.emit(cx, Inst::Lea { dst: *dst, src: m });
@@ -770,7 +830,16 @@ impl Tracer<'_> {
                         }
                         other => other,
                     };
-                    self.emit_mem(cx, Inst::Test { w: *w, a: aa, b: bb }, None, fl);
+                    self.emit_mem(
+                        cx,
+                        Inst::Test {
+                            w: *w,
+                            a: aa,
+                            b: bb,
+                        },
+                        None,
+                        fl,
+                    );
                     cx.w.flags = if force { FlagsVal::Unknown } else { flags };
                 }
                 Ok(Step::Continue(next))
@@ -796,7 +865,11 @@ impl Tracer<'_> {
                             src: Operand::Reg(*dst),
                             imm: i as i32,
                         },
-                        s => Inst::Imul { w: *w, dst: *dst, src: s },
+                        s => Inst::Imul {
+                            w: *w,
+                            dst: *dst,
+                            src: s,
+                        },
                     };
                     self.emit_mem(cx, out_inst, None, fl);
                     let val = if fresh { Value::Unknown } else { res };
@@ -819,7 +892,12 @@ impl Tracer<'_> {
                     let s = no_imm(self, cx, s, src)?;
                     self.emit_mem(
                         cx,
-                        Inst::ImulImm { w: *w, dst: *dst, src: s, imm: *imm },
+                        Inst::ImulImm {
+                            w: *w,
+                            dst: *dst,
+                            src: s,
+                            imm: *imm,
+                        },
                         None,
                         fl,
                     );
@@ -870,15 +948,18 @@ impl Tracer<'_> {
                         };
                         self.emit_mem(
                             cx,
-                            Inst::Shift { op: *op, w: *w, dst: dd, count: count_out },
+                            Inst::Shift {
+                                op: *op,
+                                w: *w,
+                                dst: dd,
+                                count: count_out,
+                            },
                             fs,
                             fs,
                         );
                         let val = if fresh { Value::Unknown } else { res };
                         match dst {
-                            Operand::Reg(d) => {
-                                self.set_reg_value(&mut cx.w, *d, *w, val, true)
-                            }
+                            Operand::Reg(d) => self.set_reg_value(&mut cx.w, *d, *w, val, true),
                             Operand::Mem(m) => {
                                 let a = self.addr_value(&cx.w, m);
                                 self.store_shadow(&mut cx.w, a, w.bytes(), val);
@@ -1003,7 +1084,10 @@ impl Tracer<'_> {
                                 self.store_shadow(&mut cx.w, a, 1, Value::Const(bit));
                             }
                             _ => {
-                                return Err(RewriteError::TraceFault { addr, what: "bad setcc" })
+                                return Err(RewriteError::TraceFault {
+                                    addr,
+                                    what: "bad setcc",
+                                })
                             }
                         }
                     }
@@ -1014,28 +1098,34 @@ impl Tracer<'_> {
                         match dst {
                             Operand::Reg(d) => {
                                 self.ensure_arch_gpr(cx, *d)?;
-                                self.emit(cx, Inst::Setcc { cond: *cond, dst: *dst });
-                                self.set_reg_value(
-                                    &mut cx.w,
-                                    *d,
-                                    Width::W8,
-                                    Value::Unknown,
-                                    true,
+                                self.emit(
+                                    cx,
+                                    Inst::Setcc {
+                                        cond: *cond,
+                                        dst: *dst,
+                                    },
                                 );
+                                self.set_reg_value(&mut cx.w, *d, Width::W8, Value::Unknown, true);
                             }
                             Operand::Mem(m) => {
                                 let a = self.addr_value(&cx.w, m);
                                 let (mm, fs) = self.subst_mem(cx, m)?;
                                 self.emit_mem(
                                     cx,
-                                    Inst::Setcc { cond: *cond, dst: Operand::Mem(mm) },
+                                    Inst::Setcc {
+                                        cond: *cond,
+                                        dst: Operand::Mem(mm),
+                                    },
                                     fs,
                                     None,
                                 );
                                 self.store_shadow(&mut cx.w, a, 1, Value::Unknown);
                             }
                             _ => {
-                                return Err(RewriteError::TraceFault { addr, what: "bad setcc" })
+                                return Err(RewriteError::TraceFault {
+                                    addr,
+                                    what: "bad setcc",
+                                })
                             }
                         }
                     }
@@ -1048,35 +1138,50 @@ impl Tracer<'_> {
                 let val = self.int_value(&cx.w, src, Width::W64);
                 let new_off = cx.w.rsp_off() - 8;
                 let out = match (src, val) {
-                    (_, Value::Const(c)) if (c as i64) == (c as i64 as i32) as i64 => {
-                        Inst::Push { src: Operand::Imm(c as i64) }
-                    }
+                    (_, Value::Const(c)) if (c as i64) == (c as i64 as i32) as i64 => Inst::Push {
+                        src: Operand::Imm(c as i64),
+                    },
                     (Operand::Reg(r), _) => {
                         // The value lands in the tracked frame: a save,
                         // not an escape (store_shadow audits the target).
                         self.ensure_arch_gpr_for(cx, *r, false)?;
-                        Inst::Push { src: Operand::Reg(*r) }
+                        Inst::Push {
+                            src: Operand::Reg(*r),
+                        }
                     }
                     (Operand::Mem(m), _) => {
                         let (mm, fl) = self.subst_mem(cx, m)?;
-                        let i = Inst::Push { src: Operand::Mem(mm) };
+                        let i = Inst::Push {
+                            src: Operand::Mem(mm),
+                        };
                         self.emit_mem(cx, i, Some(new_off), fl);
                         cx.w.set_reg(
                             Gpr::Rsp,
-                            RegState { val: Value::StackRel(new_off), synced: true },
+                            RegState {
+                                val: Value::StackRel(new_off),
+                                synced: true,
+                            },
                         );
                         self.store_shadow(&mut cx.w, Value::StackRel(new_off), 8, val);
                         return Ok(Step::Continue(next));
                     }
-                    (Operand::Imm(i), _) => Inst::Push { src: Operand::Imm(*i) },
+                    (Operand::Imm(i), _) => Inst::Push {
+                        src: Operand::Imm(*i),
+                    },
                     (Operand::Xmm(_), _) => {
-                        return Err(RewriteError::TraceFault { addr, what: "push xmm" })
+                        return Err(RewriteError::TraceFault {
+                            addr,
+                            what: "push xmm",
+                        })
                     }
                 };
                 self.emit_mem(cx, out, Some(new_off), None);
                 cx.w.set_reg(
                     Gpr::Rsp,
-                    RegState { val: Value::StackRel(new_off), synced: true },
+                    RegState {
+                        val: Value::StackRel(new_off),
+                        synced: true,
+                    },
                 );
                 self.store_shadow(&mut cx.w, Value::StackRel(new_off), 8, val);
                 Ok(Step::Continue(next))
@@ -1099,14 +1204,20 @@ impl Tracer<'_> {
                             );
                             cx.w.set_reg(
                                 Gpr::Rsp,
-                                RegState { val: Value::StackRel(new_off), synced: true },
+                                RegState {
+                                    val: Value::StackRel(new_off),
+                                    synced: true,
+                                },
                             );
                             self.set_reg_value(&mut cx.w, *d, Width::W64, slot, false);
                         } else {
                             self.emit_mem(cx, Inst::Pop { dst: *dst }, None, Some(off));
                             cx.w.set_reg(
                                 Gpr::Rsp,
-                                RegState { val: Value::StackRel(new_off), synced: true },
+                                RegState {
+                                    val: Value::StackRel(new_off),
+                                    synced: true,
+                                },
                             );
                             if *d != Gpr::Rsp {
                                 self.set_reg_value(&mut cx.w, *d, Width::W64, Value::Unknown, true);
@@ -1121,14 +1232,29 @@ impl Tracer<'_> {
                     Operand::Mem(m) => {
                         let a = self.addr_value(&cx.w, m);
                         let (mm, fs) = self.subst_mem(cx, m)?;
-                        self.emit_mem(cx, Inst::Pop { dst: Operand::Mem(mm) }, fs, Some(off));
+                        self.emit_mem(
+                            cx,
+                            Inst::Pop {
+                                dst: Operand::Mem(mm),
+                            },
+                            fs,
+                            Some(off),
+                        );
                         cx.w.set_reg(
                             Gpr::Rsp,
-                            RegState { val: Value::StackRel(new_off), synced: true },
+                            RegState {
+                                val: Value::StackRel(new_off),
+                                synced: true,
+                            },
                         );
                         self.store_shadow(&mut cx.w, a, 8, slot);
                     }
-                    _ => return Err(RewriteError::TraceFault { addr, what: "bad pop" }),
+                    _ => {
+                        return Err(RewriteError::TraceFault {
+                            addr,
+                            what: "bad pop",
+                        })
+                    }
                 }
                 Ok(Step::Continue(next))
             }
@@ -1152,10 +1278,8 @@ impl Tracer<'_> {
                 let force = force_flags || fresh;
                 match (va, vb) {
                     (Value::Const(x), Value::Const(y)) if !force => {
-                        cx.w.flags = FlagsVal::Known(ucomisd_flags(
-                            f64::from_bits(x),
-                            f64::from_bits(y),
-                        ));
+                        cx.w.flags =
+                            FlagsVal::Known(ucomisd_flags(f64::from_bits(x), f64::from_bits(y)));
                         self.elided();
                     }
                     _ => {
@@ -1182,7 +1306,16 @@ impl Tracer<'_> {
                         self.ensure_arch_xmm(cx, *dst)?; // lane1 preserved
                         let (s, fl) = self.subst_int_src(cx, src, *w)?;
                         let s = no_imm(self, cx, s, src)?;
-                        self.emit_mem(cx, Inst::Cvtsi2sd { w: *w, dst: *dst, src: s }, None, fl);
+                        self.emit_mem(
+                            cx,
+                            Inst::Cvtsi2sd {
+                                w: *w,
+                                dst: *dst,
+                                src: s,
+                            },
+                            None,
+                            fl,
+                        );
                         let mut st = cx.w.xmm(*dst);
                         st.lanes[0] = Value::Unknown;
                         st.synced = true;
@@ -1202,7 +1335,16 @@ impl Tracer<'_> {
                     }
                     _ => {
                         let (s, fl) = self.subst_sse_src(cx, src, false)?;
-                        self.emit_mem(cx, Inst::Cvttsd2si { w: *w, dst: *dst, src: s }, None, fl);
+                        self.emit_mem(
+                            cx,
+                            Inst::Cvttsd2si {
+                                w: *w,
+                                dst: *dst,
+                                src: s,
+                            },
+                            None,
+                            fl,
+                        );
                         self.set_reg_value(&mut cx.w, *dst, *w, Value::Unknown, true);
                     }
                 }
@@ -1218,24 +1360,26 @@ impl Tracer<'_> {
                     _ => Err(RewriteError::IndirectUnknownJump { addr }),
                 }
             }
-            Inst::Jcc { cond, target } => {
-                match cx.w.flags {
-                    FlagsVal::Known(f) => {
-                        let t = if f.cond(*cond) { *target } else { next };
-                        self.elided();
-                        self.goto(cx, t, addr)
-                    }
-                    FlagsVal::Stale => Err(RewriteError::UntrustedFlags { addr }),
-                    FlagsVal::Unknown => {
-                        if !cx.wrote_flags {
-                            cx.reads_flags_on_entry = true;
-                        }
-                        let taken = self.enqueue(*target, cx.w.clone(), false)?;
-                        let fall = self.enqueue(next, cx.w.clone(), false)?;
-                        Ok(Step::End(Terminator::Jcc { cond: *cond, taken, fall }))
-                    }
+            Inst::Jcc { cond, target } => match cx.w.flags {
+                FlagsVal::Known(f) => {
+                    let t = if f.cond(*cond) { *target } else { next };
+                    self.elided();
+                    self.goto(cx, t, addr)
                 }
-            }
+                FlagsVal::Stale => Err(RewriteError::UntrustedFlags { addr }),
+                FlagsVal::Unknown => {
+                    if !cx.wrote_flags {
+                        cx.reads_flags_on_entry = true;
+                    }
+                    let taken = self.enqueue(*target, cx.w.clone(), false)?;
+                    let fall = self.enqueue(next, cx.w.clone(), false)?;
+                    Ok(Step::End(Terminator::Jcc {
+                        cond: *cond,
+                        taken,
+                        fall,
+                    }))
+                }
+            },
             Inst::CallRel { target } => self.exec_call(cx, *target, next, addr),
             Inst::CallInd { src } => {
                 let v = self.int_value(&cx.w, src, Width::W64);
@@ -1287,8 +1431,24 @@ impl Tracer<'_> {
                     });
                 };
                 let (s, fl) = self.subst_int_src(cx, src, w)?;
-                self.emit_mem(cx, Inst::Alu { op, w, dst: *dst, src: s }, None, fl);
-                cx.w.set_reg(Gpr::Rsp, RegState { val: res, synced: true });
+                self.emit_mem(
+                    cx,
+                    Inst::Alu {
+                        op,
+                        w,
+                        dst: *dst,
+                        src: s,
+                    },
+                    None,
+                    fl,
+                );
+                cx.w.set_reg(
+                    Gpr::Rsp,
+                    RegState {
+                        val: res,
+                        synced: true,
+                    },
+                );
                 cx.w.flags = FlagsVal::Unknown;
                 Ok(())
             }
@@ -1327,9 +1487,23 @@ impl Tracer<'_> {
                     // cmp reg, imm is fine too.
                     let _ = &mut s;
                 }
-                self.emit_mem(cx, Inst::Alu { op, w, dst: *dst, src: s }, None, fl);
+                self.emit_mem(
+                    cx,
+                    Inst::Alu {
+                        op,
+                        w,
+                        dst: *dst,
+                        src: s,
+                    },
+                    None,
+                    fl,
+                );
                 if op.writes_dst() {
-                    let val = if fresh || !res.is_known() { Value::Unknown } else { res };
+                    let val = if fresh || !res.is_known() {
+                        Value::Unknown
+                    } else {
+                        res
+                    };
                     // Emitted op computes the true value from architectural
                     // inputs, so a known result is synced.
                     if matches!(val, Value::Unknown) {
@@ -1366,7 +1540,17 @@ impl Tracer<'_> {
                         s => s,
                     };
                     self.maybe_hook(cx, &mm)?;
-                    self.emit_mem(cx, Inst::Alu { op, w, dst: Operand::Mem(mm), src: s }, None, fl);
+                    self.emit_mem(
+                        cx,
+                        Inst::Alu {
+                            op,
+                            w,
+                            dst: Operand::Mem(mm),
+                            src: s,
+                        },
+                        None,
+                        fl,
+                    );
                     cx.w.flags = FlagsVal::Unknown;
                     return Ok(());
                 }
@@ -1389,7 +1573,12 @@ impl Tracer<'_> {
                 self.maybe_hook(cx, &mm)?;
                 self.emit_mem(
                     cx,
-                    Inst::Alu { op, w, dst: Operand::Mem(mm), src: s },
+                    Inst::Alu {
+                        op,
+                        w,
+                        dst: Operand::Mem(mm),
+                        src: s,
+                    },
                     fs,
                     fs,
                 );
@@ -1398,10 +1587,14 @@ impl Tracer<'_> {
                 cx.w.flags = if force { FlagsVal::Unknown } else { flags };
                 Ok(())
             }
-            _ => Err(RewriteError::TraceFault { addr, what: "bad alu dst" }),
+            _ => Err(RewriteError::TraceFault {
+                addr,
+                what: "bad alu dst",
+            }),
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_unary(
         &mut self,
         cx: &mut TraceCtx,
@@ -1418,10 +1611,19 @@ impl Tracer<'_> {
         match dst {
             Operand::Reg(d) if *d == Gpr::Rsp => {
                 let Value::StackRel(_) = res else {
-                    return Err(RewriteError::TraceFault { addr, what: "rsp unary" });
+                    return Err(RewriteError::TraceFault {
+                        addr,
+                        what: "rsp unary",
+                    });
                 };
                 self.emit(cx, Inst::Unary { op, w, dst: *dst });
-                cx.w.set_reg(Gpr::Rsp, RegState { val: res, synced: true });
+                cx.w.set_reg(
+                    Gpr::Rsp,
+                    RegState {
+                        val: res,
+                        synced: true,
+                    },
+                );
                 cx.w.flags = FlagsVal::Unknown;
                 Ok(())
             }
@@ -1437,7 +1639,11 @@ impl Tracer<'_> {
                 } else {
                     self.ensure_arch_gpr(cx, *d)?;
                     self.emit(cx, Inst::Unary { op, w, dst: *dst });
-                    let val = if fresh || !res.is_known() { Value::Unknown } else { res };
+                    let val = if fresh || !res.is_known() {
+                        Value::Unknown
+                    } else {
+                        res
+                    };
                     if matches!(val, Value::Unknown) {
                         self.set_reg_value(&mut cx.w, *d, w, Value::Unknown, true);
                     } else {
@@ -1451,13 +1657,25 @@ impl Tracer<'_> {
                 let a = self.addr_value(&cx.w, m);
                 let (mm, fs) = self.subst_mem(cx, m)?;
                 self.maybe_hook(cx, &mm)?;
-                self.emit_mem(cx, Inst::Unary { op, w, dst: Operand::Mem(mm) }, fs, fs);
+                self.emit_mem(
+                    cx,
+                    Inst::Unary {
+                        op,
+                        w,
+                        dst: Operand::Mem(mm),
+                    },
+                    fs,
+                    fs,
+                );
                 let stored = if fresh { Value::Unknown } else { res };
                 self.store_shadow(&mut cx.w, a, w.bytes(), stored);
                 cx.w.flags = if force { FlagsVal::Unknown } else { flags };
                 Ok(())
             }
-            _ => Err(RewriteError::TraceFault { addr, what: "bad unary dst" }),
+            _ => Err(RewriteError::TraceFault {
+                addr,
+                what: "bad unary dst",
+            }),
         }
     }
 
@@ -1475,7 +1693,10 @@ impl Tracer<'_> {
                 if v.is_known() {
                     cx.w.set_xmm(
                         *d,
-                        XmmState { lanes: [v, Value::Const(0)], synced: false },
+                        XmmState {
+                            lanes: [v, Value::Const(0)],
+                            synced: false,
+                        },
                     );
                     self.elided();
                 } else {
@@ -1483,13 +1704,19 @@ impl Tracer<'_> {
                     self.maybe_hook(cx, &mm)?;
                     self.emit_mem(
                         cx,
-                        Inst::MovSd { dst: *dst, src: Operand::Mem(mm) },
+                        Inst::MovSd {
+                            dst: *dst,
+                            src: Operand::Mem(mm),
+                        },
                         None,
                         fl,
                     );
                     cx.w.set_xmm(
                         *d,
-                        XmmState { lanes: [Value::Unknown, Value::Const(0)], synced: true },
+                        XmmState {
+                            lanes: [Value::Unknown, Value::Const(0)],
+                            synced: true,
+                        },
                     );
                 }
                 Ok(())
@@ -1500,14 +1727,29 @@ impl Tracer<'_> {
                 if sv.is_known() {
                     cx.w.set_xmm(
                         *d,
-                        XmmState { lanes: [sv, dstate.lanes[1]], synced: false },
+                        XmmState {
+                            lanes: [sv, dstate.lanes[1]],
+                            synced: false,
+                        },
                     );
                     self.elided();
                 } else {
                     self.ensure_arch_xmm(cx, *d)?; // high lane preserved
-                    self.emit(cx, Inst::MovSd { dst: *dst, src: *src });
+                    self.emit(
+                        cx,
+                        Inst::MovSd {
+                            dst: *dst,
+                            src: *src,
+                        },
+                    );
                     let d1 = cx.w.xmm(*d).lanes[1];
-                    cx.w.set_xmm(*d, XmmState { lanes: [Value::Unknown, d1], synced: true });
+                    cx.w.set_xmm(
+                        *d,
+                        XmmState {
+                            lanes: [Value::Unknown, d1],
+                            synced: true,
+                        },
+                    );
                 }
                 Ok(())
             }
@@ -1517,11 +1759,22 @@ impl Tracer<'_> {
                 self.ensure_arch_xmm(cx, *s)?;
                 let (mm, fs) = self.subst_mem(cx, m)?;
                 self.maybe_hook(cx, &mm)?;
-                self.emit_mem(cx, Inst::MovSd { dst: Operand::Mem(mm), src: *src }, fs, None);
+                self.emit_mem(
+                    cx,
+                    Inst::MovSd {
+                        dst: Operand::Mem(mm),
+                        src: *src,
+                    },
+                    fs,
+                    None,
+                );
                 self.store_shadow(&mut cx.w, a, 8, val);
                 Ok(())
             }
-            _ => Err(RewriteError::TraceFault { addr, what: "bad movsd" }),
+            _ => Err(RewriteError::TraceFault {
+                addr,
+                what: "bad movsd",
+            }),
         }
     }
 
@@ -1536,7 +1789,13 @@ impl Tracer<'_> {
             (Operand::Xmm(d), _) => {
                 let lanes = self.sse128_value(&cx.w, src);
                 if lanes.iter().all(|l| l.is_known()) {
-                    cx.w.set_xmm(*d, XmmState { lanes, synced: false });
+                    cx.w.set_xmm(
+                        *d,
+                        XmmState {
+                            lanes,
+                            synced: false,
+                        },
+                    );
                     self.elided();
                 } else {
                     let (s, fl) = self.subst_sse_src(cx, src, true)?;
@@ -1544,7 +1803,13 @@ impl Tracer<'_> {
                         self.maybe_hook(cx, m)?;
                     }
                     self.emit_mem(cx, Inst::MovUpd { dst: *dst, src: s }, None, fl);
-                    cx.w.set_xmm(*d, XmmState { lanes, synced: true });
+                    cx.w.set_xmm(
+                        *d,
+                        XmmState {
+                            lanes,
+                            synced: true,
+                        },
+                    );
                 }
                 Ok(())
             }
@@ -1554,7 +1819,15 @@ impl Tracer<'_> {
                 self.ensure_arch_xmm(cx, *s)?;
                 let (mm, fs) = self.subst_mem(cx, m)?;
                 self.maybe_hook(cx, &mm)?;
-                self.emit_mem(cx, Inst::MovUpd { dst: Operand::Mem(mm), src: *src }, fs, None);
+                self.emit_mem(
+                    cx,
+                    Inst::MovUpd {
+                        dst: Operand::Mem(mm),
+                        src: *src,
+                    },
+                    fs,
+                    None,
+                );
                 self.store_shadow(&mut cx.w, a, 8, lanes[0]);
                 let a_hi = match a {
                     Value::Const(x) => Value::Const(x + 8),
@@ -1564,7 +1837,10 @@ impl Tracer<'_> {
                 self.store_shadow(&mut cx.w, a_hi, 8, lanes[1]);
                 Ok(())
             }
-            _ => Err(RewriteError::TraceFault { addr, what: "bad movupd" }),
+            _ => Err(RewriteError::TraceFault {
+                addr,
+                what: "bad movupd",
+            }),
         }
     }
 
@@ -1603,7 +1879,13 @@ impl Tracer<'_> {
         let computed: Option<[Value; 2]> = sse_compute(op, dl, sl);
         if let Some(lanes) = computed {
             if lanes.iter().all(|l| l.is_known()) && !fresh {
-                cx.w.set_xmm(dst, XmmState { lanes, synced: false });
+                cx.w.set_xmm(
+                    dst,
+                    XmmState {
+                        lanes,
+                        synced: false,
+                    },
+                );
                 self.elided();
                 return Ok(());
             }
@@ -1625,7 +1907,13 @@ impl Tracer<'_> {
                 l
             }
         };
-        cx.w.set_xmm(dst, XmmState { lanes, synced: true });
+        cx.w.set_xmm(
+            dst,
+            XmmState {
+                lanes,
+                synced: true,
+            },
+        );
         Ok(())
     }
 
@@ -1837,21 +2125,27 @@ fn ucomisd_flags(a: f64, b: f64) -> brew_x86::cond::Flags {
     } else {
         (false, false, false)
     };
-    brew_x86::cond::Flags { cf, zf, sf: false, of: false, pf }
+    brew_x86::cond::Flags {
+        cf,
+        zf,
+        sf: false,
+        of: false,
+        pf,
+    }
 }
 
 /// Truncating conversion with ISA out-of-range semantics.
 fn cvttsd2si(f: f64, w: Width) -> u64 {
     match w {
         Width::W64 => {
-            if f.is_nan() || f >= 9.223372036854776e18 || f < -9.223372036854776e18 {
+            if f.is_nan() || !(-9.223372036854776e18..9.223372036854776e18).contains(&f) {
                 i64::MIN as u64
             } else {
                 (f as i64) as u64
             }
         }
         _ => {
-            if f.is_nan() || f >= 2147483648.0 || f < -2147483648.0 {
+            if f.is_nan() || !(-2147483648.0..2147483648.0).contains(&f) {
                 (i32::MIN as u32) as u64
             } else {
                 ((f as i32) as u32) as u64

@@ -55,15 +55,27 @@ fn rsp_delta(inst: &Inst) -> Option<i64> {
     match inst {
         Inst::Push { .. } => Some(-8),
         Inst::Pop { .. } => Some(8),
-        Inst::Alu { op: AluOp::Sub, w: Width::W64, dst: Operand::Reg(Gpr::Rsp), src: Operand::Imm(k) } => {
-            Some(-k)
-        }
-        Inst::Alu { op: AluOp::Add, w: Width::W64, dst: Operand::Reg(Gpr::Rsp), src: Operand::Imm(k) } => {
-            Some(*k)
-        }
-        Inst::Lea { dst: Gpr::Rsp, src: MemRef { base: Some(Gpr::Rsp), index: None, disp } } => {
-            Some(*disp as i64)
-        }
+        Inst::Alu {
+            op: AluOp::Sub,
+            w: Width::W64,
+            dst: Operand::Reg(Gpr::Rsp),
+            src: Operand::Imm(k),
+        } => Some(-k),
+        Inst::Alu {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: Operand::Reg(Gpr::Rsp),
+            src: Operand::Imm(k),
+        } => Some(*k),
+        Inst::Lea {
+            dst: Gpr::Rsp,
+            src:
+                MemRef {
+                    base: Some(Gpr::Rsp),
+                    index: None,
+                    disp,
+                },
+        } => Some(*disp as i64),
         _ => {
             let mut writes_rsp = false;
             defuse::for_each_write(inst, &mut |l| {
@@ -85,7 +97,11 @@ fn rsp_delta(inst: &Inst) -> Option<i64> {
 fn rsp_operand_span(inst: &Inst, cur: i64) -> Option<(i64, i64)> {
     let span = |m: &MemRef| -> Option<(i64, i64)> {
         if m.base == Some(Gpr::Rsp) {
-            let width = if matches!(inst, Inst::MovUpd { .. }) { 16 } else { 8 };
+            let width = if matches!(inst, Inst::MovUpd { .. }) {
+                16
+            } else {
+                8
+            };
             if m.index.is_some() {
                 // Dynamic offset: could touch anything.
                 return Some((i64::MIN / 2, i64::MAX / 2));
@@ -130,8 +146,12 @@ fn compress_one(b: &mut CapturedBlock) -> u64 {
         // immediates have no register to restore, so only dead-slot (lea)
         // closes apply.
         let rx = match b.insts[i].inst {
-            Inst::Push { src: Operand::Reg(r) } => Some(r),
-            Inst::Push { src: Operand::Imm(_) } => None,
+            Inst::Push {
+                src: Operand::Reg(r),
+            } => Some(r),
+            Inst::Push {
+                src: Operand::Imm(_),
+            } => None,
             _ => continue,
         };
         // Depth bookkeeping: cur = RSP offset relative to block entry.
@@ -155,7 +175,9 @@ fn compress_one(b: &mut CapturedBlock) -> u64 {
             match inst {
                 // pop rX at the slot depth: full restore close; requires
                 // the register untouched (the restore becomes a no-op).
-                Inst::Pop { dst: Operand::Reg(ry) } if depth == slot && Some(*ry) == rx => {
+                Inst::Pop {
+                    dst: Operand::Reg(ry),
+                } if depth == slot && Some(*ry) == rx => {
                     if touched_rx {
                         continue 'outer;
                     }
@@ -168,7 +190,12 @@ fn compress_one(b: &mut CapturedBlock) -> u64 {
                 // the push can shrink to a bump (conversion only).
                 Inst::Lea {
                     dst: Gpr::Rsp,
-                    src: MemRef { base: Some(Gpr::Rsp), index: None, disp },
+                    src:
+                        MemRef {
+                            base: Some(Gpr::Rsp),
+                            index: None,
+                            disp,
+                        },
                 } if *disp > 0 => {
                     let k = *disp as i64;
                     if depth == slot && k == 8 {
@@ -182,7 +209,10 @@ fn compress_one(b: &mut CapturedBlock) -> u64 {
                 _ => {}
             }
             // Disqualifiers.
-            if matches!(inst, Inst::CallRel { .. } | Inst::CallInd { .. } | Inst::JmpInd { .. }) {
+            if matches!(
+                inst,
+                Inst::CallRel { .. } | Inst::CallInd { .. } | Inst::JmpInd { .. }
+            ) {
                 continue 'outer;
             }
             if let Some(rx) = rx {
@@ -260,7 +290,14 @@ fn try_rewrite(b: &mut CapturedBlock, i: usize, j: usize, slot: i64, went_deeper
     // Conversion: keep the 8-byte hole, drop the dead store and reload.
     let already = matches!(
         b.insts[i].inst,
-        Inst::Lea { dst: Gpr::Rsp, src: MemRef { base: Some(Gpr::Rsp), index: None, disp: -8 } }
+        Inst::Lea {
+            dst: Gpr::Rsp,
+            src: MemRef {
+                base: Some(Gpr::Rsp),
+                index: None,
+                disp: -8
+            }
+        }
     );
     if already {
         return 0; // fixpoint: this pair is fully converted
@@ -278,19 +315,23 @@ fn try_rewrite(b: &mut CapturedBlock, i: usize, j: usize, slot: i64, went_deeper
 
 fn rsp_mem(inst: &Inst) -> Option<MemRef> {
     let pick = |m: MemRef| (m.base == Some(Gpr::Rsp)).then_some(m);
-    inst.mem_load().and_then(pick).or_else(|| inst.mem_store().and_then(pick)).or_else(
-        || match inst {
+    inst.mem_load()
+        .and_then(pick)
+        .or_else(|| inst.mem_store().and_then(pick))
+        .or_else(|| match inst {
             Inst::Lea { src, .. } => pick(*src),
             _ => None,
-        },
-    )
+        })
 }
 
 /// Shift every RSP-based memory operand in `inst` down by 8.
 fn rebase_rsp(inst: &Inst) -> Inst {
     fn fix(m: MemRef) -> MemRef {
         if m.base == Some(Gpr::Rsp) {
-            MemRef { disp: m.disp - 8, ..m }
+            MemRef {
+                disp: m.disp - 8,
+                ..m
+            }
         } else {
             m
         }
@@ -313,13 +354,11 @@ fn rebase_rsp(inst: &Inst) -> Inst {
         | Inst::Push { src }
         | Inst::Cvtsi2sd { src, .. }
         | Inst::Cvttsd2si { src, .. } => *src = fix_op(*src),
-        Inst::Lea { dst, src } => {
-            // `lea rsp, [rsp+k]` is stack-pointer arithmetic: the relative
-            // adjustment is invariant under the base shift. Every other lea
-            // forms an address, which does shift.
-            if !(*dst == Gpr::Rsp && src.base == Some(Gpr::Rsp)) {
-                *src = fix(*src);
-            }
+        // `lea rsp, [rsp+k]` is stack-pointer arithmetic: the relative
+        // adjustment is invariant under the base shift. Every other lea
+        // forms an address, which does shift.
+        Inst::Lea { dst, src } if *dst != Gpr::Rsp || src.base != Some(Gpr::Rsp) => {
+            *src = fix(*src);
         }
         Inst::Alu { dst, src, .. } => {
             *dst = fix_op(*dst);
@@ -359,9 +398,17 @@ mod tests {
     #[test]
     fn removes_dead_push_pop_pair() {
         let mut blocks = vec![block(vec![
-            Inst::Push { src: Operand::Reg(Gpr::Rbp) },
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Imm(1) },
-            Inst::Pop { dst: Operand::Reg(Gpr::Rbp) },
+            Inst::Push {
+                src: Operand::Reg(Gpr::Rbp),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Imm(1),
+            },
+            Inst::Pop {
+                dst: Operand::Reg(Gpr::Rbp),
+            },
             Inst::Ret,
         ])];
         assert_eq!(compress_frames(&mut blocks), 2);
@@ -372,13 +419,17 @@ mod tests {
     fn rebases_intervening_rsp_operands() {
         // push rbp; mov rax, [rsp+16]; pop rbp  →  mov rax, [rsp+8]
         let mut blocks = vec![block(vec![
-            Inst::Push { src: Operand::Reg(Gpr::Rbp) },
+            Inst::Push {
+                src: Operand::Reg(Gpr::Rbp),
+            },
             Inst::Mov {
                 w: Width::W64,
                 dst: Operand::Reg(Gpr::Rax),
                 src: Operand::Mem(MemRef::base_disp(Gpr::Rsp, 16)),
             },
-            Inst::Pop { dst: Operand::Reg(Gpr::Rbp) },
+            Inst::Pop {
+                dst: Operand::Reg(Gpr::Rbp),
+            },
         ])];
         assert_eq!(compress_frames(&mut blocks), 2);
         assert_eq!(
@@ -394,9 +445,17 @@ mod tests {
     #[test]
     fn keeps_pair_when_register_is_used() {
         let mut blocks = vec![block(vec![
-            Inst::Push { src: Operand::Reg(Gpr::Rbp) },
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rbp), src: Operand::Imm(0) },
-            Inst::Pop { dst: Operand::Reg(Gpr::Rbp) },
+            Inst::Push {
+                src: Operand::Reg(Gpr::Rbp),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rbp),
+                src: Operand::Imm(0),
+            },
+            Inst::Pop {
+                dst: Operand::Reg(Gpr::Rbp),
+            },
         ])];
         assert_eq!(compress_frames(&mut blocks), 0);
     }
@@ -404,13 +463,17 @@ mod tests {
     #[test]
     fn keeps_pair_when_slot_is_read() {
         let mut blocks = vec![block(vec![
-            Inst::Push { src: Operand::Reg(Gpr::Rbp) },
+            Inst::Push {
+                src: Operand::Reg(Gpr::Rbp),
+            },
             Inst::Mov {
                 w: Width::W64,
                 dst: Operand::Reg(Gpr::Rax),
                 src: Operand::Mem(MemRef::base(Gpr::Rsp)), // the saved slot
             },
-            Inst::Pop { dst: Operand::Reg(Gpr::Rbp) },
+            Inst::Pop {
+                dst: Operand::Reg(Gpr::Rbp),
+            },
         ])];
         assert_eq!(compress_frames(&mut blocks), 0);
     }
@@ -418,9 +481,13 @@ mod tests {
     #[test]
     fn keeps_pair_across_calls() {
         let mut blocks = vec![block(vec![
-            Inst::Push { src: Operand::Reg(Gpr::Rbp) },
+            Inst::Push {
+                src: Operand::Reg(Gpr::Rbp),
+            },
             Inst::CallRel { target: 0x40_0000 },
-            Inst::Pop { dst: Operand::Reg(Gpr::Rbp) },
+            Inst::Pop {
+                dst: Operand::Reg(Gpr::Rbp),
+            },
         ])];
         assert_eq!(compress_frames(&mut blocks), 0);
     }
@@ -430,9 +497,18 @@ mod tests {
         // push rbx; lea rsp,[rsp+8]  (elided pop): the pushed value is
         // dead, pair removable even though rbx is 'restored' elsewhere.
         let mut blocks = vec![block(vec![
-            Inst::Push { src: Operand::Reg(Gpr::Rbx) },
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Imm(3) },
-            Inst::Lea { dst: Gpr::Rsp, src: MemRef::base_disp(Gpr::Rsp, 8) },
+            Inst::Push {
+                src: Operand::Reg(Gpr::Rbx),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Imm(3),
+            },
+            Inst::Lea {
+                dst: Gpr::Rsp,
+                src: MemRef::base_disp(Gpr::Rsp, 8),
+            },
         ])];
         assert_eq!(compress_frames(&mut blocks), 2);
         assert_eq!(blocks[0].insts.len(), 1);
@@ -441,11 +517,23 @@ mod tests {
     #[test]
     fn nested_pairs_cascade() {
         let mut blocks = vec![block(vec![
-            Inst::Push { src: Operand::Reg(Gpr::Rbp) },
-            Inst::Push { src: Operand::Reg(Gpr::Rbx) },
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Imm(1) },
-            Inst::Pop { dst: Operand::Reg(Gpr::Rbx) },
-            Inst::Pop { dst: Operand::Reg(Gpr::Rbp) },
+            Inst::Push {
+                src: Operand::Reg(Gpr::Rbp),
+            },
+            Inst::Push {
+                src: Operand::Reg(Gpr::Rbx),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Imm(1),
+            },
+            Inst::Pop {
+                dst: Operand::Reg(Gpr::Rbx),
+            },
+            Inst::Pop {
+                dst: Operand::Reg(Gpr::Rbp),
+            },
         ])];
         assert_eq!(compress_frames(&mut blocks), 4);
         assert_eq!(blocks[0].insts.len(), 1);
@@ -455,14 +543,18 @@ mod tests {
     fn mismatched_depth_is_left_alone() {
         // push rbp; sub rsp, 8; pop rbp — the pop is NOT at the slot depth.
         let mut blocks = vec![block(vec![
-            Inst::Push { src: Operand::Reg(Gpr::Rbp) },
+            Inst::Push {
+                src: Operand::Reg(Gpr::Rbp),
+            },
             Inst::Alu {
                 op: AluOp::Sub,
                 w: Width::W64,
                 dst: Operand::Reg(Gpr::Rsp),
                 src: Operand::Imm(8),
             },
-            Inst::Pop { dst: Operand::Reg(Gpr::Rbp) },
+            Inst::Pop {
+                dst: Operand::Reg(Gpr::Rbp),
+            },
         ])];
         assert_eq!(compress_frames(&mut blocks), 0);
     }

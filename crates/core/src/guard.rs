@@ -6,13 +6,34 @@
 //! should be executed."*
 //!
 //! A guard is a tiny stub with the same signature as the original: it
-//! compares one argument register against the profiled constant and
-//! tail-jumps to either the specialized or the original function, so the
-//! caller can use it as a drop-in replacement.
+//! compares argument registers against profiled constants and tail-jumps
+//! to a specialized variant or to the original function, so the caller can
+//! use it as a drop-in replacement.
+//!
+//! Two shapes are emitted:
+//!
+//! - [`make_guard`]: the paper's two-way form — one parameter, one
+//!   constant, one specialized variant (`cmp; je spec; jmp orig`).
+//! - [`make_guard_chain`]: the generalized N-way form used by
+//!   [`crate::manager::SpecializationManager::build_dispatcher`] — a chain
+//!   of cases, each a *conjunction* of `(parameter, constant)` compares
+//!   guarding one variant. A case whose compares all match tail-jumps to
+//!   its variant; any mismatch falls to the next case; the last case falls
+//!   through to the original function.
 
 use crate::error::RewriteError;
 use brew_image::Image;
 use brew_x86::prelude::*;
+
+/// One case of a dispatch chain: jump to `target` when every listed
+/// integer argument register equals its expected value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardCase {
+    /// Conjunction of `(0-based integer parameter index, expected value)`.
+    pub conds: Vec<(usize, i64)>,
+    /// Entry of the specialized variant guarded by the conditions.
+    pub target: u64,
+}
 
 /// Emit a dispatch stub into the JIT segment. `param` is the 0-based
 /// *integer* parameter index (SysV: rdi, rsi, rdx, rcx, r8, r9).
@@ -42,7 +63,10 @@ pub fn make_guard(
             src: Operand::Imm(expected),
         });
     } else {
-        insts.push(Inst::MovAbs { dst: Gpr::R11, imm: expected as u64 });
+        insts.push(Inst::MovAbs {
+            dst: Gpr::R11,
+            imm: expected as u64,
+        });
         insts.push(Inst::Alu {
             op: AluOp::Cmp,
             w: Width::W64,
@@ -52,13 +76,13 @@ pub fn make_guard(
     }
     // je specialized; jmp original — both tail jumps keep all argument
     // registers and the return address intact.
-    insts.push(Inst::Jcc { cond: Cond::E, target: specialized });
+    insts.push(Inst::Jcc {
+        cond: Cond::E,
+        target: specialized,
+    });
     insts.push(Inst::JmpRel { target: original });
 
-    let total: usize = insts
-        .iter()
-        .map(|i| encoded_len(i).unwrap_or(16))
-        .sum();
+    let total: usize = insts.iter().map(|i| encoded_len(i).unwrap_or(16)).sum();
     if (total as u64) > img.jit_remaining() {
         return Err(RewriteError::OutOfCodeSpace);
     }
@@ -68,6 +92,117 @@ pub fn make_guard(
         let addr = base + bytes.len() as u64;
         encode(i, addr, &mut bytes)?;
     }
+    img.write_bytes(base, &bytes)
+        .map_err(|_| RewriteError::OutOfCodeSpace)?;
+    Ok(base)
+}
+
+/// Instructions testing one condition; the jump target is patched later.
+fn cond_insts(param: usize, expected: i64) -> Result<Vec<Inst>, RewriteError> {
+    if param >= Gpr::SYSV_ARGS.len() {
+        return Err(RewriteError::BadConfig(format!(
+            "guard parameter index {param} out of ABI range"
+        )));
+    }
+    let reg = Gpr::SYSV_ARGS[param];
+    let mut insts = Vec::new();
+    if expected == (expected as i32) as i64 {
+        insts.push(Inst::Alu {
+            op: AluOp::Cmp,
+            w: Width::W64,
+            dst: Operand::Reg(reg),
+            src: Operand::Imm(expected),
+        });
+    } else {
+        // r11 is caller-saved and never an argument register: safe scratch.
+        insts.push(Inst::MovAbs {
+            dst: Gpr::R11,
+            imm: expected as u64,
+        });
+        insts.push(Inst::Alu {
+            op: AluOp::Cmp,
+            w: Width::W64,
+            dst: Operand::Reg(reg),
+            src: Operand::Reg(Gpr::R11),
+        });
+    }
+    // Placeholder target: `jne` to the next case, patched in pass two.
+    // Jcc/JmpRel always encode a rel32, so lengths don't depend on it.
+    insts.push(Inst::Jcc {
+        cond: Cond::Ne,
+        target: 0,
+    });
+    Ok(insts)
+}
+
+/// Emit an N-way dispatch chain into the JIT segment. Cases are tested in
+/// order; the fall-through is a tail jump to `original`. An empty case
+/// list degenerates to a plain trampoline onto the original.
+///
+/// Returns the chain's entry address.
+pub fn make_guard_chain(
+    img: &mut Image,
+    cases: &[GuardCase],
+    original: u64,
+) -> Result<u64, RewriteError> {
+    // Pass one: build every case's instructions with placeholder targets
+    // and compute case start offsets from the (target-independent) lengths.
+    let mut case_insts: Vec<Vec<Inst>> = Vec::with_capacity(cases.len());
+    let mut case_off: Vec<usize> = Vec::with_capacity(cases.len() + 1);
+    let mut off = 0usize;
+    for case in cases {
+        if case.conds.is_empty() {
+            return Err(RewriteError::BadConfig(
+                "dispatch case with no conditions would shadow every later \
+                 case and the original"
+                    .into(),
+            ));
+        }
+        let mut insts = Vec::new();
+        for &(param, expected) in &case.conds {
+            insts.extend(cond_insts(param, expected)?);
+        }
+        insts.push(Inst::JmpRel {
+            target: case.target,
+        });
+        case_off.push(off);
+        off += insts
+            .iter()
+            .map(|i| encoded_len(i).unwrap_or(16))
+            .sum::<usize>();
+        case_insts.push(insts);
+    }
+    case_off.push(off); // fall-through label
+    let total = off + encoded_len(&Inst::JmpRel { target: original }).unwrap_or(16);
+
+    if (total as u64) > img.jit_remaining() {
+        return Err(RewriteError::OutOfCodeSpace);
+    }
+    let base = img.alloc_jit(&vec![0u8; total]);
+
+    // Pass two: patch every `jne` to its case's next-case address and
+    // encode at final addresses.
+    let mut bytes = Vec::with_capacity(total);
+    for (ci, mut insts) in case_insts.into_iter().enumerate() {
+        let next_case = base + case_off[ci + 1] as u64;
+        for inst in &mut insts {
+            if let Inst::Jcc {
+                cond: Cond::Ne,
+                target,
+            } = inst
+            {
+                *target = next_case;
+            }
+        }
+        for inst in &insts {
+            let addr = base + bytes.len() as u64;
+            encode(inst, addr, &mut bytes)?;
+        }
+    }
+    let addr = base + bytes.len() as u64;
+    encode(&Inst::JmpRel { target: original }, addr, &mut bytes)?;
+    debug_assert_eq!(bytes.len(), total);
+
     img.write_bytes(base, &bytes)
         .map_err(|_| RewriteError::OutOfCodeSpace)?;
     Ok(base)
@@ -85,9 +220,20 @@ mod tests {
         let (insts, _) = decode_all(&win, g);
         assert!(matches!(
             insts[0].1,
-            Inst::Alu { op: AluOp::Cmp, dst: Operand::Reg(Gpr::Rdi), src: Operand::Imm(42), .. }
+            Inst::Alu {
+                op: AluOp::Cmp,
+                dst: Operand::Reg(Gpr::Rdi),
+                src: Operand::Imm(42),
+                ..
+            }
         ));
-        assert_eq!(insts[1].1, Inst::Jcc { cond: Cond::E, target: 0x90_0100 });
+        assert_eq!(
+            insts[1].1,
+            Inst::Jcc {
+                cond: Cond::E,
+                target: 0x90_0100
+            }
+        );
         assert_eq!(insts[2].1, Inst::JmpRel { target: 0x40_0000 });
     }
 
@@ -98,10 +244,21 @@ mod tests {
         let g = make_guard(&mut img, 2, v, 0x90_0100, 0x40_0000).unwrap();
         let win = img.code_window(g, 64).unwrap();
         let (insts, _) = decode_all(&win, g);
-        assert_eq!(insts[0].1, Inst::MovAbs { dst: Gpr::R11, imm: v as u64 });
+        assert_eq!(
+            insts[0].1,
+            Inst::MovAbs {
+                dst: Gpr::R11,
+                imm: v as u64
+            }
+        );
         assert!(matches!(
             insts[1].1,
-            Inst::Alu { op: AluOp::Cmp, dst: Operand::Reg(Gpr::Rdx), src: Operand::Reg(Gpr::R11), .. }
+            Inst::Alu {
+                op: AluOp::Cmp,
+                dst: Operand::Reg(Gpr::Rdx),
+                src: Operand::Reg(Gpr::R11),
+                ..
+            }
         ));
     }
 
@@ -110,6 +267,121 @@ mod tests {
         let mut img = Image::new();
         assert!(matches!(
             make_guard(&mut img, 6, 1, 0, 0),
+            Err(RewriteError::BadConfig(_))
+        ));
+        assert!(matches!(
+            make_guard_chain(
+                &mut img,
+                &[GuardCase {
+                    conds: vec![(6, 1)],
+                    target: 0x90_0100
+                }],
+                0x40_0000
+            ),
+            Err(RewriteError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn chain_shape_three_cases() {
+        let mut img = Image::new();
+        let cases = [
+            GuardCase {
+                conds: vec![(0, 4)],
+                target: 0x90_1000,
+            },
+            GuardCase {
+                conds: vec![(0, 9)],
+                target: 0x90_2000,
+            },
+            GuardCase {
+                conds: vec![(0, 16), (1, 7)],
+                target: 0x90_3000,
+            },
+        ];
+        let g = make_guard_chain(&mut img, &cases, 0x40_0000).unwrap();
+        let win = img.code_window(g, 256).unwrap();
+        let (insts, _) = decode_all(&win, g);
+
+        // cmp rdi,4; jne C1; jmp v0; C1: cmp rdi,9; jne C2; jmp v1;
+        // C2: cmp rdi,16; jne F; cmp rsi,7; jne F; jmp v2; F: jmp orig
+        assert!(matches!(
+            insts[0].1,
+            Inst::Alu {
+                op: AluOp::Cmp,
+                dst: Operand::Reg(Gpr::Rdi),
+                src: Operand::Imm(4),
+                ..
+            }
+        ));
+        let c1 = insts[3].0;
+        assert_eq!(
+            insts[1].1,
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: c1
+            }
+        );
+        assert_eq!(insts[2].1, Inst::JmpRel { target: 0x90_1000 });
+        let c2 = insts[6].0;
+        assert_eq!(
+            insts[4].1,
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: c2
+            }
+        );
+        assert_eq!(insts[5].1, Inst::JmpRel { target: 0x90_2000 });
+        // Both conjunction compares bail to the same fall-through label.
+        let fall = insts[11].0;
+        assert_eq!(
+            insts[7].1,
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: fall
+            }
+        );
+        assert!(matches!(
+            insts[8].1,
+            Inst::Alu {
+                op: AluOp::Cmp,
+                dst: Operand::Reg(Gpr::Rsi),
+                src: Operand::Imm(7),
+                ..
+            }
+        ));
+        assert_eq!(
+            insts[9].1,
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: fall
+            }
+        );
+        assert_eq!(insts[10].1, Inst::JmpRel { target: 0x90_3000 });
+        assert_eq!(insts[11].1, Inst::JmpRel { target: 0x40_0000 });
+    }
+
+    #[test]
+    fn empty_chain_is_a_trampoline() {
+        let mut img = Image::new();
+        let g = make_guard_chain(&mut img, &[], 0x40_0000).unwrap();
+        let win = img.code_window(g, 16).unwrap();
+        let (insts, _) = decode_all(&win, g);
+        assert_eq!(insts[0].1, Inst::JmpRel { target: 0x40_0000 });
+    }
+
+    #[test]
+    fn unconditional_case_is_rejected() {
+        let mut img = Image::new();
+        assert!(matches!(
+            make_guard_chain(
+                &mut img,
+                &[GuardCase {
+                    conds: vec![],
+                    target: 0x90_1000
+                }],
+                0x40_0000
+            ),
             Err(RewriteError::BadConfig(_))
         ));
     }

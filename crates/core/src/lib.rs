@@ -5,12 +5,14 @@
 //! *specialized* version of any compiled function at runtime.
 //!
 //! ```text
-//! brew_initConf(rConf);                        RewriteConfig::new()
-//! brew_setpar(rConf, 2, BREW_KNOWN);           cfg.set_param(1, ParamSpec::Known)
-//! brew_setpar(rConf, 3, BREW_PTR_TO_KNOWN);    cfg.set_param(2, ParamSpec::PtrToKnown{len})
-//! brew_setmem(rConf, start, end, BREW_KNOWN);  cfg.set_mem_known(start..end)
-//! brew_rewrite(rConf, func, 0, xs, &s5);       rw.rewrite(&cfg, func, &args)
+//! brew_initConf(rConf);                        SpecRequest::new()
+//! brew_setpar(rConf, 2, BREW_KNOWN);           .known_int(7)
+//! brew_setpar(rConf, 3, BREW_PTR_TO_KNOWN);    .ptr_to_known(s5, len)
+//! brew_setmem(rConf, start, end, BREW_KNOWN);  .known_mem(start..end)
+//! brew_rewrite(rConf, func, 0, xs, &s5);       rw.rewrite(func, &req)
 //! ```
+//!
+//! (The literal `brew_*` spelling also keeps working via [`compat`].)
 //!
 //! The rewriter traces one emulated call of the function instruction by
 //! instruction, maintaining a known/unknown flag for every value
@@ -25,7 +27,7 @@
 //! [`RewriteError`], and the caller keeps using the original function.
 //!
 //! ```
-//! use brew_core::{ArgValue, ParamSpec, RetKind, RewriteConfig, Rewriter};
+//! use brew_core::{RetKind, Rewriter, SpecRequest};
 //! use brew_image::Image;
 //! use brew_emu::{CallArgs, Machine};
 //!
@@ -34,30 +36,39 @@
 //!     "int madd(int a, int b, int c) { return a * b + c; }", &mut img).unwrap();
 //! let f = prog.func("madd").unwrap();
 //!
-//! // Specialize for b == 7.
-//! let mut cfg = RewriteConfig::new();
-//! cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
-//! let mut rw = Rewriter::new(&mut img);
-//! let spec = rw.rewrite(&cfg, f, &[ArgValue::Int(0), ArgValue::Int(7), ArgValue::Int(0)])
-//!     .unwrap();
+//! // Specialize for b == 7: bind a treatment *and* a value per parameter.
+//! let req = SpecRequest::new()
+//!     .unknown_int()
+//!     .known_int(7)
+//!     .unknown_int()
+//!     .ret(RetKind::Int);
+//! let spec = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
 //!
 //! // Drop-in replacement: same signature, parameter 1 is now baked in.
 //! let mut m = Machine::new();
 //! let out = m.call(&mut img, spec.entry, &CallArgs::new().int(6).int(7).int(-2)).unwrap();
 //! assert_eq!(out.ret_int as i64, 40);
 //! ```
+//!
+//! For many specializations of the same code base, drive the rewriter
+//! through [`manager::SpecializationManager`]: it memoizes variants by
+//! request fingerprint, bounds cached code with cost-aware LRU eviction
+//! and emits guarded multi-variant dispatch stubs.
 
 #![warn(missing_docs)]
 
 pub mod capture;
+pub mod compat;
 pub mod config;
 pub mod emit;
 pub mod error;
 mod exec;
 pub mod frame;
 pub mod guard;
+pub mod manager;
 pub mod passes;
 pub mod promote;
+pub mod request;
 pub mod tracer;
 pub mod value;
 pub mod world;
@@ -65,11 +76,16 @@ pub mod world;
 pub use capture::RewriteStats;
 pub use config::{ArgValue, FuncOpts, ParamSpec, RetKind, RewriteConfig};
 pub use error::RewriteError;
-pub use guard::make_guard;
+pub use guard::{make_guard, make_guard_chain, GuardCase};
+pub use manager::{
+    CacheKey, CacheStats, Event, EventSink, RecordingSink, SpecializationManager, Variant,
+};
 pub use passes::PassConfig;
+pub use request::SpecRequest;
 
-use brew_image::Image;
+use brew_image::{Image, SegKind};
 use brew_x86::prelude::*;
+use std::time::Instant;
 use world::{RegState, World, XmmState};
 
 /// Result of a successful rewrite.
@@ -96,20 +112,63 @@ impl<'a> Rewriter<'a> {
     }
 
     /// `brew_rewrite`: generate a specialized variant of the function at
-    /// `func`, given the emulated-call arguments `args` (one per declared
-    /// parameter, in signature order).
-    pub fn rewrite(
+    /// `func` as described by `req` — each parameter's treatment and trace
+    /// value bound together, plus configuration and pass selection.
+    pub fn rewrite(&mut self, func: u64, req: &SpecRequest) -> Result<RewriteResult, RewriteError> {
+        self.rewrite_parts(&req.cfg, func, &req.args, &req.passes)
+    }
+
+    /// [`Rewriter::rewrite`] addressing the function by its image symbol.
+    pub fn rewrite_named(
+        &mut self,
+        name: &str,
+        req: &SpecRequest,
+    ) -> Result<RewriteResult, RewriteError> {
+        let func = self
+            .img
+            .lookup(name)
+            .ok_or_else(|| RewriteError::BadConfig(format!("unknown symbol `{name}`")))?;
+        self.rewrite(func, req)
+    }
+
+    /// Deprecated split-API entry point: a [`RewriteConfig`] plus a
+    /// positional argument slice. Specs and values must line up
+    /// one-to-one; prefer [`Rewriter::rewrite`] with a [`SpecRequest`],
+    /// which makes drift unrepresentable.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a SpecRequest and call `rewrite(func, &req)`"
+    )]
+    pub fn rewrite_with_config(
         &mut self,
         cfg: &RewriteConfig,
         func: u64,
         args: &[ArgValue],
     ) -> Result<RewriteResult, RewriteError> {
-        self.rewrite_with_passes(cfg, func, args, &PassConfig::default())
+        let req = SpecRequest::from_config(cfg, args, &PassConfig::default())?;
+        self.rewrite(func, &req)
     }
 
-    /// [`Rewriter::rewrite`] with an explicit optimization-pass selection
-    /// (for the A2 ablation; `PassConfig::none()` reproduces the paper's
-    /// pass-less prototype).
+    /// Deprecated split-API variant of [`Rewriter::rewrite_named`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a SpecRequest and call `rewrite_named(name, &req)`"
+    )]
+    pub fn rewrite_named_with_config(
+        &mut self,
+        cfg: &RewriteConfig,
+        name: &str,
+        args: &[ArgValue],
+    ) -> Result<RewriteResult, RewriteError> {
+        let req = SpecRequest::from_config(cfg, args, &PassConfig::default())?;
+        self.rewrite_named(name, &req)
+    }
+
+    /// Deprecated split-API entry point with an explicit pass selection.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a SpecRequest with `.passes(pc)` and call `rewrite(func, &req)`"
+    )]
     pub fn rewrite_with_passes(
         &mut self,
         cfg: &RewriteConfig,
@@ -117,9 +176,20 @@ impl<'a> Rewriter<'a> {
         args: &[ArgValue],
         pc: &PassConfig,
     ) -> Result<RewriteResult, RewriteError> {
+        let req = SpecRequest::from_config(cfg, args, pc)?;
+        self.rewrite(func, &req)
+    }
+
+    /// The rewrite pipeline proper, over validated parts.
+    fn rewrite_parts(
+        &mut self,
+        cfg: &RewriteConfig,
+        func: u64,
+        args: &[ArgValue],
+        pc: &PassConfig,
+    ) -> Result<RewriteResult, RewriteError> {
         if cfg.mem_access_hook.is_some()
-            && (cfg.func_opts.values().any(|o| o.branch_unknown)
-                || cfg.default_opts.branch_unknown)
+            && (cfg.func_opts.values().any(|o| o.branch_unknown) || cfg.default_opts.branch_unknown)
         {
             return Err(RewriteError::BadConfig(
                 "memory-access hooks cannot be combined with branch_unknown \
@@ -133,6 +203,22 @@ impl<'a> Rewriter<'a> {
                 cfg.params.len(),
                 args.len()
             )));
+        }
+        // Options keyed by an address outside any code are dead weight at
+        // best and a misspelled function at worst — reject them.
+        for (&addr, _) in cfg.func_opts.iter() {
+            if !matches!(
+                self.img.segment_of(addr),
+                Some(SegKind::Code | SegKind::Jit)
+            ) {
+                return Err(RewriteError::BadConfig(format!(
+                    "func_opts for {addr:#x}: not a code address{}",
+                    self.img
+                        .symbol_at(addr)
+                        .map(|s| format!(" (symbol `{s}`)"))
+                        .unwrap_or_default()
+                )));
+            }
         }
 
         // Known memory = config ranges + PTR_TO_KNOWN extents.
@@ -151,6 +237,7 @@ impl<'a> Rewriter<'a> {
         // Entry world: argument registers carry the known values.
         let world = entry_world(cfg, func, args)?;
 
+        let t_trace = Instant::now();
         let mut tracer = tracer::Tracer::new(self.img, cfg, known_mem);
         let mut entry_block = tracer.run(func, world)?;
 
@@ -158,6 +245,7 @@ impl<'a> Rewriter<'a> {
         let escaped = tracer.escaped;
         let mut stats = tracer.stats;
         drop(tracer);
+        stats.trace_ns = t_trace.elapsed().as_nanos() as u64;
 
         // §III.D: inject the profiling call at function begin as a
         // synthetic block in front of the traced entry.
@@ -175,25 +263,20 @@ impl<'a> Rewriter<'a> {
             stats.hooks_injected += 1;
         }
 
+        let t_pass = Instant::now();
         stats.pass_removed = passes::run_passes(&mut blocks, pc, escaped);
+        stats.pass_ns = t_pass.elapsed().as_nanos() as u64;
+
+        let t_emit = Instant::now();
         let (entry, code_len) =
             emit::layout_and_emit(&blocks, entry_block, self.img, cfg.max_code_bytes)?;
+        stats.emit_ns = t_emit.elapsed().as_nanos() as u64;
         stats.code_bytes = code_len as u64;
-        Ok(RewriteResult { entry, code_len, stats })
-    }
-
-    /// [`Rewriter::rewrite`] addressing the function by its image symbol.
-    pub fn rewrite_named(
-        &mut self,
-        cfg: &RewriteConfig,
-        name: &str,
-        args: &[ArgValue],
-    ) -> Result<RewriteResult, RewriteError> {
-        let func = self
-            .img
-            .lookup(name)
-            .ok_or_else(|| RewriteError::BadConfig(format!("unknown symbol `{name}`")))?;
-        self.rewrite(cfg, func, args)
+        Ok(RewriteResult {
+            entry,
+            code_len,
+            stats,
+        })
     }
 
     /// Build a guarded dispatch stub (§III.D): calls `specialized` when
@@ -207,19 +290,27 @@ impl<'a> Rewriter<'a> {
     ) -> Result<u64, RewriteError> {
         guard::make_guard(self.img, param, expected, specialized, original)
     }
+
+    /// Build an N-way guarded dispatch chain (§III.D generalized): cases
+    /// are tested in order, each a conjunction of integer-parameter
+    /// compares guarding one variant; the chain falls through to
+    /// `original`.
+    pub fn guard_chain(&mut self, cases: &[GuardCase], original: u64) -> Result<u64, RewriteError> {
+        guard::make_guard_chain(self.img, cases, original)
+    }
 }
 
 /// Build the entry [`World`] from the configuration and trace arguments.
-fn entry_world(
-    cfg: &RewriteConfig,
-    func: u64,
-    args: &[ArgValue],
-) -> Result<World, RewriteError> {
+fn entry_world(cfg: &RewriteConfig, func: u64, args: &[ArgValue]) -> Result<World, RewriteError> {
     let mut w = World::entry(func);
     let mut int_idx = 0usize;
     let mut fp_idx = 0usize;
     for (i, a) in args.iter().enumerate() {
-        let spec = cfg.params.get(i).copied().unwrap_or(config::ParamSpec::Unknown);
+        let spec = cfg
+            .params
+            .get(i)
+            .copied()
+            .unwrap_or(config::ParamSpec::Unknown);
         let known = !matches!(spec, config::ParamSpec::Unknown);
         match a {
             ArgValue::Int(v) => {
@@ -236,7 +327,10 @@ fn entry_world(
                     // captured value — so the register is synced.
                     w.set_reg(
                         reg,
-                        RegState { val: value::Value::Const(*v as u64), synced: true },
+                        RegState {
+                            val: value::Value::Const(*v as u64),
+                            synced: true,
+                        },
                     );
                 }
             }
@@ -269,5 +363,8 @@ pub fn disasm_result(img: &Image, res: &RewriteResult) -> Vec<String> {
     let window = img.code_window(res.entry, res.code_len).unwrap_or_default();
     let n = res.code_len.min(window.len());
     let (insts, _) = decode_all(&window[..n], res.entry);
-    insts.iter().map(|(a, i)| format!("{a:#08x}: {i}")).collect()
+    insts
+        .iter()
+        .map(|(a, i)| format!("{a:#08x}: {i}"))
+        .collect()
 }

@@ -1,0 +1,431 @@
+//! `SpecializationManager` — memoized, budgeted, observable rewriting.
+//!
+//! The paper's cost argument (§V, A6) is that a rewrite is *paid once and
+//! amortized*; its dispatch sketch (§III.D) is that many specialized
+//! variants coexist and are selected at call time. The bare
+//! [`crate::Rewriter`] supports neither: every call re-traces from
+//! scratch, and a guard stub dispatches between exactly two targets. The
+//! manager adds the missing layer:
+//!
+//! - **Variant cache** — rewrites are memoized under
+//!   `(function, request fingerprint)` (see
+//!   [`SpecRequest::fingerprint`]); a repeated request returns the cached
+//!   [`Variant`] without tracing a single guest instruction.
+//! - **Cost-aware LRU eviction** — the cache is bounded by a JIT-segment
+//!   byte budget. When over budget, the entry with the highest
+//!   `staleness x code bytes / (hits + 1)` score is dropped first: old,
+//!   big, cold code goes; hot or cheap variants stay. (The JIT segment is
+//!   a bump allocator, so evicted bytes are not reused — eviction bounds
+//!   the *cache's resident set*, and re-specialization allocates fresh
+//!   space, exactly like discarding a JIT code cache generation.)
+//! - **Dispatch stubs** — [`build_dispatcher`](SpecializationManager::build_dispatcher)
+//!   chains every cached, guardable variant of a function into one
+//!   [`crate::guard::make_guard_chain`] stub falling through to the
+//!   original.
+//! - **Observability** — cache hits/misses/evictions and the per-phase
+//!   rewrite timings ([`RewriteStats::trace_ns`] et al.) are aggregated in
+//!   [`CacheStats`] and streamed to a pluggable [`EventSink`].
+
+use crate::capture::RewriteStats;
+use crate::error::RewriteError;
+use crate::guard::{self, GuardCase};
+use crate::request::SpecRequest;
+use crate::Rewriter;
+use brew_image::{layout, Image};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Key of the variant cache: which function, specialized how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Entry address of the original function.
+    pub func: u64,
+    /// [`SpecRequest::fingerprint`] of the request.
+    pub fingerprint: u64,
+}
+
+/// A cached specialization: the rewrite result plus what the dispatcher
+/// needs to guard it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variant {
+    /// Entry address of the original function.
+    pub func: u64,
+    /// Entry address of the specialized code (drop-in replacement).
+    pub entry: u64,
+    /// Emitted code size in bytes.
+    pub code_len: usize,
+    /// Statistics of the producing rewrite.
+    pub stats: RewriteStats,
+    /// Dispatch conditions `(integer parameter index, expected value)`, or
+    /// `None` when the variant can't be guarded by register compares.
+    pub guards: Option<Vec<(usize, i64)>>,
+}
+
+/// Aggregated manager counters; cheap to copy, comparable in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to rewrite.
+    pub misses: u64,
+    /// Variants evicted under byte-budget pressure.
+    pub evictions: u64,
+    /// Code bytes currently resident in the cache.
+    pub resident_bytes: usize,
+    /// Cumulative guest instructions traced by actual rewrites. Stays
+    /// flat across cache hits — the "no re-trace" proof.
+    pub traced_total: u64,
+    /// Cumulative wall-clock nanoseconds spent inside actual rewrites.
+    pub rewrite_ns_total: u64,
+    /// Dispatch stubs built.
+    pub dispatchers_built: u64,
+}
+
+/// One manager event, streamed to the [`EventSink`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A request was answered from the cache.
+    Hit {
+        /// Original function.
+        func: u64,
+        /// Cached specialized entry.
+        entry: u64,
+    },
+    /// A request missed; a rewrite follows (or fails).
+    Miss {
+        /// Original function.
+        func: u64,
+    },
+    /// A rewrite completed and its variant was inserted.
+    Rewritten {
+        /// Original function.
+        func: u64,
+        /// New specialized entry.
+        entry: u64,
+        /// Emitted code size in bytes.
+        code_len: usize,
+        /// Per-phase timings and counters of the rewrite.
+        stats: RewriteStats,
+    },
+    /// A variant was evicted under byte-budget pressure.
+    Evicted {
+        /// Original function.
+        func: u64,
+        /// Evicted specialized entry.
+        entry: u64,
+        /// Its code size in bytes.
+        code_len: usize,
+    },
+    /// A dispatch stub over cached variants was emitted.
+    DispatcherBuilt {
+        /// Original function (the fall-through target).
+        func: u64,
+        /// Stub entry address.
+        entry: u64,
+        /// Number of variants chained.
+        variants: usize,
+    },
+}
+
+/// Receiver for manager [`Event`]s — plug in a logger, a metrics counter,
+/// or the `tables` amortization report.
+pub trait EventSink {
+    /// Called once per event, in order.
+    fn event(&mut self, ev: &Event);
+}
+
+/// Buffering sink collecting every event; handy in tests and reports.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    /// Everything received so far, in order.
+    pub events: Vec<Event>,
+}
+
+impl EventSink for RecordingSink {
+    fn event(&mut self, ev: &Event) {
+        self.events.push(ev.clone());
+    }
+}
+
+struct CacheEntry {
+    variant: Rc<Variant>,
+    key: CacheKey,
+    last_used: u64,
+    hits: u64,
+}
+
+impl CacheEntry {
+    /// Eviction score at `now`: bigger means more evictable. Stale, large,
+    /// rarely-hit variants score high; the just-used entry scores 0.
+    fn score(&self, now: u64) -> u128 {
+        let staleness = now.saturating_sub(self.last_used) as u128;
+        staleness * self.variant.code_len as u128 / (self.hits as u128 + 1)
+    }
+}
+
+/// The memoizing specialization layer over [`Rewriter`]. See the module
+/// docs for the design.
+pub struct SpecializationManager {
+    entries: HashMap<CacheKey, CacheEntry>,
+    budget_bytes: usize,
+    tick: u64,
+    stats: CacheStats,
+    sink: Option<Box<dyn EventSink>>,
+}
+
+impl Default for SpecializationManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpecializationManager {
+    /// Manager with the default budget: a quarter of the JIT segment.
+    pub fn new() -> Self {
+        Self::with_budget((layout::JIT_SIZE / 4) as usize)
+    }
+
+    /// Manager bounded by `budget_bytes` of cached code.
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        SpecializationManager {
+            entries: HashMap::new(),
+            budget_bytes,
+            tick: 0,
+            stats: CacheStats::default(),
+            sink: None,
+        }
+    }
+
+    /// Attach an event sink (replacing any previous one).
+    pub fn set_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach and return the current sink.
+    pub fn take_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.sink.take()
+    }
+
+    /// Aggregated counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of cached variants.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop every cached variant (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.stats.resident_bytes = 0;
+    }
+
+    fn emit(&mut self, ev: Event) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.event(&ev);
+        }
+    }
+
+    /// The memoized entry point: return the cached variant for
+    /// `(func, req)` or rewrite, insert and return it. A cache hit costs a
+    /// hash lookup — no decoding, tracing, passes or encoding.
+    pub fn get_or_rewrite(
+        &mut self,
+        img: &mut Image,
+        func: u64,
+        req: &SpecRequest,
+    ) -> Result<Rc<Variant>, RewriteError> {
+        self.tick += 1;
+        let key = CacheKey {
+            func,
+            fingerprint: req.fingerprint(),
+        };
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.last_used = self.tick;
+            e.hits += 1;
+            self.stats.hits += 1;
+            let (entry, variant) = (e.variant.entry, Rc::clone(&e.variant));
+            self.emit(Event::Hit { func, entry });
+            return Ok(variant);
+        }
+
+        self.stats.misses += 1;
+        self.emit(Event::Miss { func });
+        let res = Rewriter::new(img).rewrite(func, req)?;
+        self.stats.traced_total += res.stats.traced;
+        self.stats.rewrite_ns_total += res.stats.total_ns();
+        self.emit(Event::Rewritten {
+            func,
+            entry: res.entry,
+            code_len: res.code_len,
+            stats: res.stats,
+        });
+
+        let variant = Rc::new(Variant {
+            func,
+            entry: res.entry,
+            code_len: res.code_len,
+            stats: res.stats,
+            guards: req.guard_conditions(),
+        });
+        self.entries.insert(
+            key,
+            CacheEntry {
+                variant: Rc::clone(&variant),
+                key,
+                last_used: self.tick,
+                hits: 0,
+            },
+        );
+        self.stats.resident_bytes += res.code_len;
+        self.evict_to_budget(key);
+        Ok(variant)
+    }
+
+    /// [`get_or_rewrite`](Self::get_or_rewrite) addressing the function by
+    /// its image symbol.
+    pub fn get_or_rewrite_named(
+        &mut self,
+        img: &mut Image,
+        name: &str,
+        req: &SpecRequest,
+    ) -> Result<Rc<Variant>, RewriteError> {
+        let func = img
+            .lookup(name)
+            .ok_or_else(|| RewriteError::BadConfig(format!("unknown symbol `{name}`")))?;
+        self.get_or_rewrite(img, func, req)
+    }
+
+    /// Evict highest-score entries until the budget holds. `keep` (the
+    /// entry just inserted) is never evicted: a single oversized variant
+    /// may transiently exceed the budget rather than thrash.
+    fn evict_to_budget(&mut self, keep: CacheKey) {
+        while self.stats.resident_bytes > self.budget_bytes && self.entries.len() > 1 {
+            let now = self.tick;
+            let victim = self
+                .entries
+                .values()
+                .filter(|e| e.key != keep)
+                .max_by_key(|e| (e.score(now), std::cmp::Reverse(e.key.fingerprint)))
+                .map(|e| e.key);
+            let Some(victim) = victim else { break };
+            let e = self
+                .entries
+                .remove(&victim)
+                .expect("victim key just observed");
+            self.stats.resident_bytes -= e.variant.code_len;
+            self.stats.evictions += 1;
+            self.emit(Event::Evicted {
+                func: e.variant.func,
+                entry: e.variant.entry,
+                code_len: e.variant.code_len,
+            });
+        }
+    }
+
+    /// Cached variants of `func`, hottest (most hits, then most recent)
+    /// first — the order the dispatcher tests them in.
+    pub fn variants_of(&self, func: u64) -> Vec<Rc<Variant>> {
+        let mut entries: Vec<&CacheEntry> = self
+            .entries
+            .values()
+            .filter(|e| e.variant.func == func)
+            .collect();
+        entries.sort_by(|a, b| {
+            (b.hits, b.last_used, a.key.fingerprint).cmp(&(a.hits, a.last_used, b.key.fingerprint))
+        });
+        entries.iter().map(|e| Rc::clone(&e.variant)).collect()
+    }
+
+    /// Emit a guarded dispatch stub over every cached *guardable* variant
+    /// of `func` (§III.D, generalized to N variants and multi-parameter
+    /// conjunctions). The stub tail-jumps to the first variant whose
+    /// guarded parameters all match and falls through to `original`
+    /// otherwise — callers use it as a drop-in replacement. Variants whose
+    /// known parameters can't be register-compared (known doubles) are
+    /// skipped; with no eligible variant the stub degenerates to a
+    /// trampoline onto the original.
+    pub fn build_dispatcher(
+        &mut self,
+        img: &mut Image,
+        func: u64,
+        original: u64,
+    ) -> Result<u64, RewriteError> {
+        let cases: Vec<GuardCase> = self
+            .variants_of(func)
+            .iter()
+            .filter_map(|v| {
+                v.guards.as_ref().map(|g| GuardCase {
+                    conds: g.clone(),
+                    target: v.entry,
+                })
+            })
+            .collect();
+        let entry = guard::make_guard_chain(img, &cases, original)?;
+        self.stats.dispatchers_built += 1;
+        self.emit(Event::DispatcherBuilt {
+            func,
+            entry,
+            variants: cases.len(),
+        });
+        Ok(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_variant(func: u64, entry: u64, code_len: usize) -> CacheEntry {
+        CacheEntry {
+            variant: Rc::new(Variant {
+                func,
+                entry,
+                code_len,
+                stats: RewriteStats::default(),
+                guards: None,
+            }),
+            key: CacheKey {
+                func,
+                fingerprint: entry,
+            },
+            last_used: 0,
+            hits: 0,
+        }
+    }
+
+    #[test]
+    fn score_prefers_stale_large_cold() {
+        let mut hot = dummy_variant(1, 10, 100);
+        hot.last_used = 9;
+        hot.hits = 9;
+        let mut cold = dummy_variant(1, 20, 100);
+        cold.last_used = 1;
+        cold.hits = 0;
+        assert!(cold.score(10) > hot.score(10));
+
+        let small = dummy_variant(1, 30, 10);
+        let big = dummy_variant(1, 40, 10_000);
+        assert!(big.score(5) > small.score(5));
+    }
+
+    #[test]
+    fn variants_of_orders_hot_first() {
+        let mut m = SpecializationManager::new();
+        for (entry, hits) in [(100u64, 1u64), (200, 5), (300, 3)] {
+            let mut e = dummy_variant(7, entry, 16);
+            e.hits = hits;
+            m.entries.insert(e.key, e);
+        }
+        let order: Vec<u64> = m.variants_of(7).iter().map(|v| v.entry).collect();
+        assert_eq!(order, vec![200, 300, 100]);
+        assert!(m.variants_of(8).is_empty());
+    }
+}

@@ -101,7 +101,11 @@ pub fn run_passes(blocks: &mut [CapturedBlock], pc: &PassConfig, frame_escaped: 
 /// merge and do not.)
 fn fully_defines(inst: &Inst) -> bool {
     match inst {
-        Inst::Mov { w: Width::W32 | Width::W64, dst: Operand::Reg(_), .. }
+        Inst::Mov {
+            w: Width::W32 | Width::W64,
+            dst: Operand::Reg(_),
+            ..
+        }
         | Inst::MovAbs { .. }
         | Inst::Movsxd { .. }
         | Inst::Movzx8 { .. }
@@ -109,13 +113,24 @@ fn fully_defines(inst: &Inst) -> bool {
         | Inst::Imul { .. }
         | Inst::ImulImm { .. }
         | Inst::Cvttsd2si { .. }
-        | Inst::Pop { dst: Operand::Reg(_) }
-        | Inst::MovUpd { dst: Operand::Xmm(_), .. } => true,
-        // movsd xmm <- mem zeroes the high lane: a full definition.
-        Inst::MovSd { dst: Operand::Xmm(_), src: Operand::Mem(_) } => true,
-        Inst::Alu { op, w: Width::W32 | Width::W64, dst: Operand::Reg(_), .. } => {
-            op.writes_dst()
+        | Inst::Pop {
+            dst: Operand::Reg(_),
         }
+        | Inst::MovUpd {
+            dst: Operand::Xmm(_),
+            ..
+        } => true,
+        // movsd xmm <- mem zeroes the high lane: a full definition.
+        Inst::MovSd {
+            dst: Operand::Xmm(_),
+            src: Operand::Mem(_),
+        } => true,
+        Inst::Alu {
+            op,
+            w: Width::W32 | Width::W64,
+            dst: Operand::Reg(_),
+            ..
+        } => op.writes_dst(),
         _ => false,
     }
 }
@@ -135,11 +150,20 @@ fn dead_reg_writes(b: &mut CapturedBlock) -> u64 {
         // Candidate: flag-neutral pure register producer.
         let removable_shape = matches!(
             inst,
-            Inst::Mov { dst: Operand::Reg(_), src: Operand::Reg(_) | Operand::Imm(_), .. }
-                | Inst::MovAbs { .. }
+            Inst::Mov {
+                dst: Operand::Reg(_),
+                src: Operand::Reg(_) | Operand::Imm(_),
+                ..
+            } | Inst::MovAbs { .. }
                 | Inst::Lea { .. }
-                | Inst::MovSd { dst: Operand::Xmm(_), src: Operand::Xmm(_) }
-                | Inst::MovUpd { dst: Operand::Xmm(_), src: Operand::Xmm(_) }
+                | Inst::MovSd {
+                    dst: Operand::Xmm(_),
+                    src: Operand::Xmm(_)
+                }
+                | Inst::MovUpd {
+                    dst: Operand::Xmm(_),
+                    src: Operand::Xmm(_)
+                }
         ) && !matches!(inst, Inst::Lea { dst: Gpr::Rsp, .. });
         if removable_shape {
             let mut all_dead = true;
@@ -199,10 +223,18 @@ fn dead_frame_stores(blocks: &mut [CapturedBlock]) -> u64 {
     let mut removed = 0;
     for b in blocks.iter_mut() {
         b.insts.retain(|ci| {
-            let Some(off) = ci.frame_store else { return true };
+            let Some(off) = ci.frame_store else {
+                return true;
+            };
             let pure_store = matches!(
                 ci.inst,
-                Inst::Mov { dst: Operand::Mem(_), .. } | Inst::MovSd { dst: Operand::Mem(_), .. }
+                Inst::Mov {
+                    dst: Operand::Mem(_),
+                    ..
+                } | Inst::MovSd {
+                    dst: Operand::Mem(_),
+                    ..
+                }
             );
             let dead = pure_store && !loaded.contains(&off);
             if dead {
@@ -228,15 +260,14 @@ fn forward_loads(b: &mut CapturedBlock) -> u64 {
 
     fn trackable(m: &MemRef) -> bool {
         // rsp-based (frame) or absolute; anything else may change meaning.
-        (m.base == Some(Gpr::Rsp) && m.index.is_none())
-            || (m.base.is_none() && m.index.is_none())
+        (m.base == Some(Gpr::Rsp) && m.index.is_none()) || (m.base.is_none() && m.index.is_none())
     }
 
     let mut out: Vec<CapturedInst> = Vec::with_capacity(b.insts.len());
     for mut ci in b.insts.drain(..) {
         // Kill facts invalidated by this instruction.
-        let kills_all = defuse::is_barrier(&ci.inst)
-            || matches!(ci.inst, Inst::Push { .. } | Inst::Pop { .. });
+        let kills_all =
+            defuse::is_barrier(&ci.inst) || matches!(ci.inst, Inst::Push { .. } | Inst::Pop { .. });
         let mut writes_rsp = false;
         defuse::for_each_write(&ci.inst, &mut |l| {
             if l == defuse::Loc::Gpr(Gpr::Rsp) {
@@ -245,9 +276,11 @@ fn forward_loads(b: &mut CapturedBlock) -> u64 {
         });
 
         match &ci.inst {
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(d), src: Operand::Mem(m) }
-                if trackable(m) =>
-            {
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(d),
+                src: Operand::Mem(m),
+            } if trackable(m) => {
                 if let Some((_, home)) = avail.iter().find(|(am, _)| am == m) {
                     match home {
                         Home::Gpr(r) if r == d => {
@@ -269,14 +302,20 @@ fn forward_loads(b: &mut CapturedBlock) -> u64 {
                     }
                 }
             }
-            Inst::MovSd { dst: Operand::Xmm(d), src: Operand::Mem(m) } if trackable(m) => {
+            Inst::MovSd {
+                dst: Operand::Xmm(d),
+                src: Operand::Mem(m),
+            } if trackable(m) => {
                 if let Some((_, Home::Xmm(x))) = avail.iter().find(|(am, _)| am == m) {
                     if x == d {
                         removed += 1;
                         continue;
                     }
                     ci = CapturedInst {
-                        inst: Inst::MovSd { dst: Operand::Xmm(*d), src: Operand::Xmm(*x) },
+                        inst: Inst::MovSd {
+                            dst: Operand::Xmm(*d),
+                            src: Operand::Xmm(*x),
+                        },
                         frame_store: None,
                         frame_load: None,
                     };
@@ -302,20 +341,30 @@ fn forward_loads(b: &mut CapturedBlock) -> u64 {
                 defuse::Loc::Xmm(x) => avail.retain(|(_, h)| *h != Home::Xmm(x)),
             });
             match &ci.inst {
-                Inst::Mov { w: Width::W64, dst: Operand::Mem(m), src: Operand::Reg(s) }
-                    if trackable(m) =>
-                {
+                Inst::Mov {
+                    w: Width::W64,
+                    dst: Operand::Mem(m),
+                    src: Operand::Reg(s),
+                } if trackable(m) => {
                     avail.push((*m, Home::Gpr(*s)));
                 }
-                Inst::Mov { w: Width::W64, dst: Operand::Reg(d), src: Operand::Mem(m) }
-                    if trackable(m) =>
-                {
+                Inst::Mov {
+                    w: Width::W64,
+                    dst: Operand::Reg(d),
+                    src: Operand::Mem(m),
+                } if trackable(m) => {
                     avail.push((*m, Home::Gpr(*d)));
                 }
-                Inst::MovSd { dst: Operand::Mem(m), src: Operand::Xmm(s) } if trackable(m) => {
+                Inst::MovSd {
+                    dst: Operand::Mem(m),
+                    src: Operand::Xmm(s),
+                } if trackable(m) => {
                     avail.push((*m, Home::Xmm(*s)));
                 }
-                Inst::MovSd { dst: Operand::Xmm(d), src: Operand::Mem(m) } if trackable(m) => {
+                Inst::MovSd {
+                    dst: Operand::Xmm(d),
+                    src: Operand::Mem(m),
+                } if trackable(m) => {
                     avail.push((*m, Home::Xmm(*d)));
                 }
                 _ => {}
@@ -373,7 +422,14 @@ fn peephole_singletons(b: &mut CapturedBlock) {
 fn is_rsp_bump8(i: &Inst) -> bool {
     matches!(
         i,
-        Inst::Lea { dst: Gpr::Rsp, src: MemRef { base: Some(Gpr::Rsp), index: None, disp: 8 } }
+        Inst::Lea {
+            dst: Gpr::Rsp,
+            src: MemRef {
+                base: Some(Gpr::Rsp),
+                index: None,
+                disp: 8
+            }
+        }
     )
 }
 
@@ -385,14 +441,24 @@ fn peephole_pairs(b: &mut CapturedBlock) {
             let (a, c) = (&b.insts[i].inst, &b.insts[i + 1].inst);
             // push X ; lea rsp,[rsp+8]  →  nothing (slot is below RSP and
             // dead afterwards; neither instruction touches flags).
-            if matches!(a, Inst::Push { src: Operand::Reg(_) | Operand::Imm(_) })
-                && is_rsp_bump8(c)
+            if matches!(
+                a,
+                Inst::Push {
+                    src: Operand::Reg(_) | Operand::Imm(_)
+                }
+            ) && is_rsp_bump8(c)
             {
                 i += 2;
                 continue;
             }
             // push X ; pop Y  →  mov Y, X (or nothing when X == Y).
-            if let (Inst::Push { src }, Inst::Pop { dst: Operand::Reg(d) }) = (a, c) {
+            if let (
+                Inst::Push { src },
+                Inst::Pop {
+                    dst: Operand::Reg(d),
+                },
+            ) = (a, c)
+            {
                 match src {
                     Operand::Reg(s) if s == d => {
                         i += 2;
@@ -423,11 +489,21 @@ fn peephole_pairs(b: &mut CapturedBlock) {
             if let (
                 Inst::Lea {
                     dst: Gpr::Rsp,
-                    src: MemRef { base: Some(Gpr::Rsp), index: None, disp: d1 },
+                    src:
+                        MemRef {
+                            base: Some(Gpr::Rsp),
+                            index: None,
+                            disp: d1,
+                        },
                 },
                 Inst::Lea {
                     dst: Gpr::Rsp,
-                    src: MemRef { base: Some(Gpr::Rsp), index: None, disp: d2 },
+                    src:
+                        MemRef {
+                            base: Some(Gpr::Rsp),
+                            index: None,
+                            disp: d2,
+                        },
                 },
             ) = (a, c)
             {
@@ -493,8 +569,17 @@ mod tests {
             mov_store(-16, Gpr::Rsi), // loaded below -> kept
             mov_load(Gpr::Rax, -16),
         ])];
-        let removed =
-            run_passes(&mut blocks, &PassConfig { redundant_load_elim: false, peephole: false, dead_store_elim: true, slot_promotion: false, frame_compression: false }, false);
+        let removed = run_passes(
+            &mut blocks,
+            &PassConfig {
+                redundant_load_elim: false,
+                peephole: false,
+                dead_store_elim: true,
+                slot_promotion: false,
+                frame_compression: false,
+            },
+            false,
+        );
         assert_eq!(removed, 1);
         assert_eq!(blocks[0].insts.len(), 2);
     }
@@ -512,11 +597,21 @@ mod tests {
             mov_store(-8, Gpr::Rdi),
             mov_load(Gpr::Rax, -8), // becomes mov rax, rdi
         ])];
-        let pc = PassConfig { dead_store_elim: false, peephole: false, redundant_load_elim: true, slot_promotion: false, frame_compression: false };
+        let pc = PassConfig {
+            dead_store_elim: false,
+            peephole: false,
+            redundant_load_elim: true,
+            slot_promotion: false,
+            frame_compression: false,
+        };
         run_passes(&mut blocks, &pc, false);
         assert_eq!(
             blocks[0].insts[1].inst,
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Reg(Gpr::Rdi) }
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Reg(Gpr::Rdi)
+            }
         );
     }
 
@@ -527,11 +622,21 @@ mod tests {
             mov_store(-8, Gpr::Rsi),
             mov_load(Gpr::Rax, -8),
         ])];
-        let pc = PassConfig { dead_store_elim: false, peephole: false, redundant_load_elim: true, slot_promotion: false, frame_compression: false };
+        let pc = PassConfig {
+            dead_store_elim: false,
+            peephole: false,
+            redundant_load_elim: true,
+            slot_promotion: false,
+            frame_compression: false,
+        };
         run_passes(&mut blocks, &pc, false);
         assert_eq!(
             blocks[0].insts[2].inst,
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Reg(Gpr::Rsi) }
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Reg(Gpr::Rsi)
+            }
         );
     }
 
@@ -546,11 +651,20 @@ mod tests {
             }),
             mov_load(Gpr::Rax, -8), // must stay a load
         ])];
-        let pc = PassConfig { dead_store_elim: false, peephole: false, redundant_load_elim: true, slot_promotion: false, frame_compression: false };
+        let pc = PassConfig {
+            dead_store_elim: false,
+            peephole: false,
+            redundant_load_elim: true,
+            slot_promotion: false,
+            frame_compression: false,
+        };
         run_passes(&mut blocks, &pc, false);
         assert!(matches!(
             blocks[0].insts[2].inst,
-            Inst::Mov { src: Operand::Mem(_), .. }
+            Inst::Mov {
+                src: Operand::Mem(_),
+                ..
+            }
         ));
     }
 
@@ -560,7 +674,13 @@ mod tests {
             mov_load(Gpr::Rax, -8),
             mov_load(Gpr::Rax, -8), // exact repeat -> removed
         ])];
-        let pc = PassConfig { dead_store_elim: false, peephole: false, redundant_load_elim: true, slot_promotion: false, frame_compression: false };
+        let pc = PassConfig {
+            dead_store_elim: false,
+            peephole: false,
+            redundant_load_elim: true,
+            slot_promotion: false,
+            frame_compression: false,
+        };
         let removed = run_passes(&mut blocks, &pc, false);
         assert_eq!(removed, 1);
         assert_eq!(blocks[0].insts.len(), 1);
@@ -581,7 +701,13 @@ mod tests {
             }),
             CapturedInst::plain(Inst::Ret),
         ])];
-        let pc = PassConfig { dead_store_elim: false, redundant_load_elim: false, peephole: true, slot_promotion: false, frame_compression: false };
+        let pc = PassConfig {
+            dead_store_elim: false,
+            redundant_load_elim: false,
+            peephole: true,
+            slot_promotion: false,
+            frame_compression: false,
+        };
         let removed = run_passes(&mut blocks, &pc, false);
         assert_eq!(removed, 3);
         assert_eq!(blocks[0].insts.len(), 1);
@@ -606,11 +732,20 @@ mod tests {
             CapturedInst::plain(Inst::CallRel { target: 0x400000 }),
             mov_load(Gpr::Rax, -8), // must stay: callee may have changed it
         ])];
-        let pc = PassConfig { dead_store_elim: false, peephole: false, redundant_load_elim: true, slot_promotion: false, frame_compression: false };
+        let pc = PassConfig {
+            dead_store_elim: false,
+            peephole: false,
+            redundant_load_elim: true,
+            slot_promotion: false,
+            frame_compression: false,
+        };
         run_passes(&mut blocks, &pc, false);
         assert!(matches!(
             blocks[0].insts[2].inst,
-            Inst::Mov { src: Operand::Mem(_), .. }
+            Inst::Mov {
+                src: Operand::Mem(_),
+                ..
+            }
         ));
     }
 }
@@ -637,19 +772,34 @@ mod dead_write_tests {
     #[test]
     fn overwritten_lea_is_removed() {
         let out = run_dw(vec![
-            Inst::Lea { dst: Gpr::Rbp, src: MemRef::base_disp(Gpr::Rsp, 16) },
-            Inst::Lea { dst: Gpr::Rbp, src: MemRef::base_disp(Gpr::Rsp, 32) },
+            Inst::Lea {
+                dst: Gpr::Rbp,
+                src: MemRef::base_disp(Gpr::Rsp, 16),
+            },
+            Inst::Lea {
+                dst: Gpr::Rbp,
+                src: MemRef::base_disp(Gpr::Rsp, 32),
+            },
             Inst::Ret,
         ]);
         assert_eq!(out.len(), 2, "first lea is dead");
-        assert!(matches!(out[0], Inst::Lea { src: MemRef { disp: 32, .. }, .. }));
+        assert!(matches!(
+            out[0],
+            Inst::Lea {
+                src: MemRef { disp: 32, .. },
+                ..
+            }
+        ));
     }
 
     #[test]
     fn live_out_registers_are_kept() {
         // No redefinition before block end: assume live-out.
         let out = run_dw(vec![
-            Inst::Lea { dst: Gpr::Rbp, src: MemRef::base_disp(Gpr::Rsp, 16) },
+            Inst::Lea {
+                dst: Gpr::Rbp,
+                src: MemRef::base_disp(Gpr::Rsp, 16),
+            },
             Inst::Ret,
         ]);
         assert_eq!(out.len(), 2);
@@ -659,8 +809,16 @@ mod dead_write_tests {
     fn partial_write_does_not_kill_producer() {
         // mov rax, 5 ; mov al, 1 ; use rax — the full write is NOT dead.
         let out = run_dw(vec![
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Imm(5) },
-            Inst::Mov { w: Width::W8, dst: Operand::Reg(Gpr::Rax), src: Operand::Imm(1) },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Imm(5),
+            },
+            Inst::Mov {
+                w: Width::W8,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Imm(1),
+            },
             Inst::Mov {
                 w: Width::W64,
                 dst: Operand::Mem(MemRef::base(Gpr::Rdi)),
@@ -677,9 +835,18 @@ mod dead_write_tests {
         // the first load still provides lane 1.
         let m = MemRef::abs(0x601000);
         let out = run_dw(vec![
-            Inst::MovUpd { dst: Operand::Xmm(Xmm::Xmm1), src: Operand::Mem(m) },
-            Inst::MovSd { dst: Operand::Xmm(Xmm::Xmm1), src: Operand::Xmm(Xmm::Xmm0) },
-            Inst::MovUpd { dst: Operand::Mem(m), src: Operand::Xmm(Xmm::Xmm1) },
+            Inst::MovUpd {
+                dst: Operand::Xmm(Xmm::Xmm1),
+                src: Operand::Mem(m),
+            },
+            Inst::MovSd {
+                dst: Operand::Xmm(Xmm::Xmm1),
+                src: Operand::Xmm(Xmm::Xmm0),
+            },
+            Inst::MovUpd {
+                dst: Operand::Mem(m),
+                src: Operand::Xmm(Xmm::Xmm1),
+            },
             Inst::Ret,
         ]);
         assert_eq!(out.len(), 4);
@@ -688,9 +855,15 @@ mod dead_write_tests {
     #[test]
     fn calls_make_everything_live() {
         let out = run_dw(vec![
-            Inst::Lea { dst: Gpr::Rbp, src: MemRef::base_disp(Gpr::Rsp, 16) },
+            Inst::Lea {
+                dst: Gpr::Rbp,
+                src: MemRef::base_disp(Gpr::Rsp, 16),
+            },
             Inst::CallRel { target: 0x40_0000 },
-            Inst::Lea { dst: Gpr::Rbp, src: MemRef::base_disp(Gpr::Rsp, 32) },
+            Inst::Lea {
+                dst: Gpr::Rbp,
+                src: MemRef::base_disp(Gpr::Rsp, 32),
+            },
             Inst::Ret,
         ]);
         assert_eq!(out.len(), 4, "the callee may observe rbp");

@@ -80,9 +80,7 @@ pub fn promote_slots(blocks: &mut [CapturedBlock], frame_escaped: bool) -> u64 {
     // 2. Pick candidates: most-accessed slots first, one free register each.
     let mut cands: Vec<(i64, bool /*xmm*/, u64)> = slots
         .iter()
-        .filter(|(off, (gpr_ok, xmm_ok, _))| {
-            !disqualified.contains(off) && (*gpr_ok ^ *xmm_ok)
-        })
+        .filter(|(off, (gpr_ok, xmm_ok, _))| !disqualified.contains(off) && (*gpr_ok ^ *xmm_ok))
         .map(|(off, (gpr_ok, _, n))| (*off, !*gpr_ok, *n))
         .filter(|&(_, _, n)| n >= 2)
         .collect();
@@ -137,24 +135,44 @@ pub fn promote_slots(blocks: &mut [CapturedBlock], frame_escaped: bool) -> u64 {
             };
             if let Some(&r) = gpr_map.get(&off) {
                 let new = match ci.inst {
-                    Inst::Mov { w: Width::W64, dst: Operand::Mem(_), src } => {
-                        Inst::Mov { w: Width::W64, dst: Operand::Reg(r), src }
-                    }
-                    Inst::Mov { w: Width::W64, dst, src: Operand::Mem(_) } => {
-                        Inst::Mov { w: Width::W64, dst, src: Operand::Reg(r) }
-                    }
+                    Inst::Mov {
+                        w: Width::W64,
+                        dst: Operand::Mem(_),
+                        src,
+                    } => Inst::Mov {
+                        w: Width::W64,
+                        dst: Operand::Reg(r),
+                        src,
+                    },
+                    Inst::Mov {
+                        w: Width::W64,
+                        dst,
+                        src: Operand::Mem(_),
+                    } => Inst::Mov {
+                        w: Width::W64,
+                        dst,
+                        src: Operand::Reg(r),
+                    },
                     _ => continue,
                 };
                 *ci = CapturedInst::plain(new);
                 converted += 1;
             } else if let Some(&x) = xmm_map.get(&off) {
                 let new = match ci.inst {
-                    Inst::MovSd { dst: Operand::Mem(_), src } => {
-                        Inst::MovSd { dst: Operand::Xmm(x), src }
-                    }
-                    Inst::MovSd { dst, src: Operand::Mem(_) } => {
-                        Inst::MovSd { dst, src: Operand::Xmm(x) }
-                    }
+                    Inst::MovSd {
+                        dst: Operand::Mem(_),
+                        src,
+                    } => Inst::MovSd {
+                        dst: Operand::Xmm(x),
+                        src,
+                    },
+                    Inst::MovSd {
+                        dst,
+                        src: Operand::Mem(_),
+                    } => Inst::MovSd {
+                        dst,
+                        src: Operand::Xmm(x),
+                    },
                     _ => continue,
                 };
                 *ci = CapturedInst::plain(new);
@@ -175,12 +193,24 @@ enum Class {
 /// for GPR; immediate stores keep their imm operand).
 fn classify(inst: &Inst) -> Option<Class> {
     match inst {
-        Inst::Mov { w: Width::W64, dst: Operand::Mem(_), src: Operand::Reg(_) | Operand::Imm(_) } => {
-            Some(Class::Gpr)
-        }
-        Inst::Mov { w: Width::W64, dst: Operand::Reg(_), src: Operand::Mem(_) } => Some(Class::Gpr),
-        Inst::MovSd { dst: Operand::Mem(_), src: Operand::Xmm(_) } => Some(Class::Xmm),
-        Inst::MovSd { dst: Operand::Xmm(_), src: Operand::Mem(_) } => Some(Class::Xmm),
+        Inst::Mov {
+            w: Width::W64,
+            dst: Operand::Mem(_),
+            src: Operand::Reg(_) | Operand::Imm(_),
+        } => Some(Class::Gpr),
+        Inst::Mov {
+            w: Width::W64,
+            dst: Operand::Reg(_),
+            src: Operand::Mem(_),
+        } => Some(Class::Gpr),
+        Inst::MovSd {
+            dst: Operand::Mem(_),
+            src: Operand::Xmm(_),
+        } => Some(Class::Xmm),
+        Inst::MovSd {
+            dst: Operand::Xmm(_),
+            src: Operand::Mem(_),
+        } => Some(Class::Xmm),
         _ => None,
     }
 }
@@ -234,7 +264,10 @@ mod tests {
         for ci in &blocks[0].insts {
             assert!(matches!(
                 ci.inst,
-                Inst::MovSd { dst: Operand::Xmm(_), src: Operand::Xmm(_) }
+                Inst::MovSd {
+                    dst: Operand::Xmm(_),
+                    src: Operand::Xmm(_)
+                }
             ));
         }
     }
@@ -271,11 +304,17 @@ mod tests {
     #[test]
     fn push_disqualifies_slot() {
         let push = CapturedInst {
-            inst: Inst::Push { src: Operand::Reg(Gpr::Rax) },
+            inst: Inst::Push {
+                src: Operand::Reg(Gpr::Rax),
+            },
             frame_store: Some(-16),
             frame_load: None,
         };
-        let mut blocks = vec![block(vec![push, fload(Xmm::Xmm0, -16), fstore(-16, Xmm::Xmm0)])];
+        let mut blocks = vec![block(vec![
+            push,
+            fload(Xmm::Xmm0, -16),
+            fstore(-16, Xmm::Xmm0),
+        ])];
         assert_eq!(promote_slots(&mut blocks, false), 0);
     }
 
@@ -328,11 +367,19 @@ mod tests {
         assert_eq!(n, 2);
         assert_eq!(
             blocks[0].insts[0].inst,
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::R11), src: Operand::Reg(Gpr::Rax) }
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::R11),
+                src: Operand::Reg(Gpr::Rax)
+            }
         );
         assert_eq!(
             blocks[0].insts[1].inst,
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rcx), src: Operand::Reg(Gpr::R11) }
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rcx),
+                src: Operand::Reg(Gpr::R11)
+            }
         );
     }
 }

@@ -163,15 +163,15 @@ impl<'a> Tracer<'a> {
             if world.can_migrate_to(target) {
                 let plan = world.migration_plan(target);
                 let cost = plan.gprs.len() + plan.xmms.len();
-                if best.map_or(true, |(_, _, c)| cost < c) {
+                if best.is_none_or(|(_, _, c)| cost < c) {
                     best = Some((*widx, *bid, cost));
                 }
             }
         }
         if let Some((widx, bid, _)) = best {
             let target = self.worlds[widx].clone();
-            let edge_untrusted = untrusted
-                || (world.flags.known().is_some() && target.flags.known().is_none());
+            let edge_untrusted =
+                untrusted || (world.flags.known().is_some() && target.flags.known().is_none());
             if edge_untrusted {
                 self.mark_untrusted(addr, bid)?;
             }
@@ -201,15 +201,17 @@ impl<'a> Tracer<'a> {
             return self.create_block(addr, world, untrusted);
         }
         debug_assert!(world.can_migrate_to(&demoted));
-        let edge_untrusted = untrusted
-            || (world.flags.known().is_some() && demoted.flags.known().is_none());
+        let edge_untrusted =
+            untrusted || (world.flags.known().is_some() && demoted.flags.known().is_none());
         let plan = world.migration_plan(&demoted);
         let rsp_off = world.rsp_off();
         // The demoted variant is the loop-closure anchor: reuse it if it
         // already exists, otherwise create it directly (it is exempt from
         // the soft threshold; the hard cap in create_block still applies).
         let existing = self.variants.get(&addr).and_then(|vs| {
-            vs.iter().find(|(widx, _)| self.worlds[*widx] == demoted).map(|&(_, b)| b)
+            vs.iter()
+                .find(|(widx, _)| self.worlds[*widx] == demoted)
+                .map(|&(_, b)| b)
         });
         let bid = match existing {
             Some(b) => {
@@ -257,7 +259,11 @@ impl<'a> Tracer<'a> {
         self.worlds.push(world);
         let widx = self.worlds.len() - 1;
         self.variants.entry(addr).or_default().push((widx, bid));
-        self.queue.push_back(Pending { addr, world_idx: widx, block: bid });
+        self.queue.push_back(Pending {
+            addr,
+            world_idx: widx,
+            block: bid,
+        });
         self.stats.blocks += 1;
         Ok(bid)
     }
@@ -320,8 +326,8 @@ impl<'a> Tracer<'a> {
                 .img
                 .code_window(rip, 16)
                 .map_err(|_| RewriteError::BadAddress { addr: rip })?;
-            let d = decode(&window, rip)
-                .map_err(|err| RewriteError::Undecodable { addr: rip, err })?;
+            let d =
+                decode(&window, rip).map_err(|err| RewriteError::Undecodable { addr: rip, err })?;
             match self.exec_inst(&mut cx, &d.inst, rip, rip + d.len as u64)? {
                 Step::Continue(next) => rip = next,
                 Step::End(t) => break t,
@@ -348,11 +354,7 @@ pub(crate) enum Step {
 }
 
 /// Instruction materializing `v` into GPR `r` at stack depth `rsp_off`.
-pub(crate) fn materialize_gpr_inst(
-    r: Gpr,
-    v: Value,
-    rsp_off: i64,
-) -> Result<Inst, RewriteError> {
+pub(crate) fn materialize_gpr_inst(r: Gpr, v: Value, rsp_off: i64) -> Result<Inst, RewriteError> {
     match v {
         Value::Const(c) => {
             if (c as i64) == (c as i64 as i32) as i64 {
@@ -369,7 +371,10 @@ pub(crate) fn materialize_gpr_inst(
             let disp = i32::try_from(o - rsp_off).map_err(|_| {
                 RewriteError::Unencodable(brew_x86::encode::EncodeError::ImmTooLarge(o))
             })?;
-            Ok(Inst::Lea { dst: r, src: MemRef::base_disp(Gpr::Rsp, disp) })
+            Ok(Inst::Lea {
+                dst: r,
+                src: MemRef::base_disp(Gpr::Rsp, disp),
+            })
         }
         Value::Unknown => unreachable!("materializing unknown value"),
     }

@@ -173,14 +173,24 @@ pub fn unop_value(op: UnOp, w: Width, v: Value, prev: FlagsVal) -> (Value, Flags
             (Value::StackRel(s - 1), FlagsVal::Unknown)
         }
         _ => {
-            let fl = if matches!(op, UnOp::Not) { prev } else { FlagsVal::Unknown };
+            let fl = if matches!(op, UnOp::Not) {
+                prev
+            } else {
+                FlagsVal::Unknown
+            };
             (Value::Unknown, fl)
         }
     }
 }
 
 /// Abstract shift.
-pub fn shift_value(op: ShOp, w: Width, v: Value, count: Value, prev: FlagsVal) -> (Value, FlagsVal) {
+pub fn shift_value(
+    op: ShOp,
+    w: Width,
+    v: Value,
+    count: Value,
+    prev: FlagsVal,
+) -> (Value, FlagsVal) {
     match (v, count) {
         (Value::Const(x), Value::Const(c)) => {
             let pf = prev.known().unwrap_or_default();
@@ -232,8 +242,12 @@ mod tests {
         let (v, _) = alu_value(AluOp::Add, Width::W64, Value::Const(8), sr);
         assert_eq!(v, Value::StackRel(0));
 
-        let (v, _) =
-            alu_value(AluOp::Sub, Width::W64, Value::StackRel(-8), Value::StackRel(-24));
+        let (v, _) = alu_value(
+            AluOp::Sub,
+            Width::W64,
+            Value::StackRel(-8),
+            Value::StackRel(-24),
+        );
         assert_eq!(v, Value::Const(16));
 
         // Multiplying an address is meaningless.
@@ -243,7 +257,12 @@ mod tests {
 
     #[test]
     fn w32_truncation() {
-        let (v, _) = alu_value(AluOp::Add, Width::W32, Value::Const(0xFFFF_FFFF), Value::Const(1));
+        let (v, _) = alu_value(
+            AluOp::Add,
+            Width::W32,
+            Value::Const(0xFFFF_FFFF),
+            Value::Const(1),
+        );
         assert_eq!(v, Value::Const(0));
         assert_eq!(Value::StackRel(-8).as_w32_result(), Value::Unknown);
         // 32-bit op on a stack address degrades.
@@ -256,7 +275,10 @@ mod tests {
         let (v, f) = alu_value(AluOp::Add, Width::W64, Value::Unknown, Value::Const(1));
         assert_eq!(v, Value::Unknown);
         assert_eq!(f, FlagsVal::Unknown);
-        assert_eq!(test_value(Width::W64, Value::Unknown, Value::Const(0)), FlagsVal::Unknown);
+        assert_eq!(
+            test_value(Width::W64, Value::Unknown, Value::Const(0)),
+            FlagsVal::Unknown
+        );
     }
 
     #[test]
@@ -267,7 +289,10 @@ mod tests {
         assert_eq!(v, Value::Const(42));
         assert_eq!(f, FlagsVal::Unknown);
 
-        let known = FlagsVal::Known(Flags { cf: true, ..Flags::default() });
+        let known = FlagsVal::Known(Flags {
+            cf: true,
+            ..Flags::default()
+        });
         let (_, f) = unop_value(UnOp::Inc, Width::W64, Value::Const(41), known);
         assert!(f.known().unwrap().cf);
     }
@@ -283,7 +308,10 @@ mod tests {
         );
         assert_eq!(v, Value::Const(48));
         // `not` preserves flags.
-        let prev = FlagsVal::Known(Flags { zf: true, ..Flags::default() });
+        let prev = FlagsVal::Known(Flags {
+            zf: true,
+            ..Flags::default()
+        });
         let (v, f) = unop_value(UnOp::Not, Width::W64, Value::Const(0), prev);
         assert_eq!(v, Value::Const(u64::MAX));
         assert_eq!(f, prev);

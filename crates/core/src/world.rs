@@ -30,7 +30,10 @@ pub struct RegState {
 
 impl RegState {
     /// An unknown (and therefore trivially synced) register.
-    pub const UNKNOWN: RegState = RegState { val: Value::Unknown, synced: true };
+    pub const UNKNOWN: RegState = RegState {
+        val: Value::Unknown,
+        synced: true,
+    };
 }
 
 /// Abstract state of one SSE register (two 64-bit lanes).
@@ -44,7 +47,10 @@ pub struct XmmState {
 
 impl XmmState {
     /// An unknown (synced) SSE register.
-    pub const UNKNOWN: XmmState = XmmState { lanes: [Value::Unknown; 2], synced: true };
+    pub const UNKNOWN: XmmState = XmmState {
+        lanes: [Value::Unknown; 2],
+        synced: true,
+    };
 }
 
 /// One inlined activation (§III.E: "we maintain a shadow stack remembering
@@ -98,8 +104,10 @@ impl World {
             inline_stack: Vec::new(),
             cur_fn: entry,
         };
-        w.regs[Gpr::Rsp.number() as usize] =
-            RegState { val: Value::StackRel(0), synced: true };
+        w.regs[Gpr::Rsp.number() as usize] = RegState {
+            val: Value::StackRel(0),
+            synced: true,
+        };
         w
     }
 
@@ -370,7 +378,7 @@ impl World {
         // Poison every global slot we ever stored to (absent would claim
         // "original bytes"); keep stack-relative slot values (saved frame
         // pointers of inlined activations).
-        for (k, _) in &self.gshadow {
+        for k in self.gshadow.keys() {
             w.gshadow.insert(*k, Value::Unknown);
         }
         for (k, v) in &self.frame {
@@ -420,7 +428,13 @@ mod tests {
     fn fingerprint_distinguishes_values() {
         let w1 = World::entry(0x400000);
         let mut w2 = w1.clone();
-        w2.set_reg(Gpr::Rdi, RegState { val: Value::Const(42), synced: true });
+        w2.set_reg(
+            Gpr::Rdi,
+            RegState {
+                val: Value::Const(42),
+                synced: true,
+            },
+        );
         assert_ne!(w1.fingerprint(), w2.fingerprint());
         assert_eq!(w1.fingerprint(), w1.clone().fingerprint());
     }
@@ -429,7 +443,13 @@ mod tests {
     fn migration_compatibility() {
         let base = World::entry(0x400000);
         let mut known = base.clone();
-        known.set_reg(Gpr::Rcx, RegState { val: Value::Const(7), synced: false });
+        known.set_reg(
+            Gpr::Rcx,
+            RegState {
+                val: Value::Const(7),
+                synced: false,
+            },
+        );
 
         // Known state can migrate to the all-unknown state...
         assert!(known.can_migrate_to(&base));
@@ -440,7 +460,13 @@ mod tests {
 
         // Conflicting constants can't migrate.
         let mut other = base.clone();
-        other.set_reg(Gpr::Rcx, RegState { val: Value::Const(9), synced: false });
+        other.set_reg(
+            Gpr::Rcx,
+            RegState {
+                val: Value::Const(9),
+                synced: false,
+            },
+        );
         assert!(!known.can_migrate_to(&other));
     }
 
@@ -448,8 +474,20 @@ mod tests {
     fn migration_plan_materializes_unsynced() {
         let base = World::entry(0x400000);
         let mut known = base.clone();
-        known.set_reg(Gpr::Rcx, RegState { val: Value::Const(7), synced: false });
-        known.set_reg(Gpr::Rdx, RegState { val: Value::Const(9), synced: true });
+        known.set_reg(
+            Gpr::Rcx,
+            RegState {
+                val: Value::Const(7),
+                synced: false,
+            },
+        );
+        known.set_reg(
+            Gpr::Rdx,
+            RegState {
+                val: Value::Const(9),
+                synced: true,
+            },
+        );
 
         let plan = known.migration_plan(&base);
         // rcx is known-unsynced and demoted -> materialize; rdx is synced
@@ -462,7 +500,13 @@ mod tests {
     fn stack_depth_must_match() {
         let base = World::entry(0x400000);
         let mut deeper = base.clone();
-        deeper.set_reg(Gpr::Rsp, RegState { val: Value::StackRel(-16), synced: true });
+        deeper.set_reg(
+            Gpr::Rsp,
+            RegState {
+                val: Value::StackRel(-16),
+                synced: true,
+            },
+        );
         assert!(!deeper.can_migrate_to(&base));
     }
 
@@ -483,9 +527,21 @@ mod tests {
     fn demotion_converges() {
         let base = World::entry(0x400000);
         let mut a = base.clone();
-        a.set_reg(Gpr::Rcx, RegState { val: Value::Const(1), synced: false });
+        a.set_reg(
+            Gpr::Rcx,
+            RegState {
+                val: Value::Const(1),
+                synced: false,
+            },
+        );
         let mut b = base.clone();
-        b.set_reg(Gpr::Rcx, RegState { val: Value::Const(2), synced: false });
+        b.set_reg(
+            Gpr::Rcx,
+            RegState {
+                val: Value::Const(2),
+                synced: false,
+            },
+        );
 
         let d = a.demote_toward(&b);
         assert_eq!(d.reg(Gpr::Rcx).val, Value::Unknown);

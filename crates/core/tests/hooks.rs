@@ -1,7 +1,7 @@
 //! Instrumentation hooks (§III.D): entry/exit profiling calls and
 //! memory-access handlers injected into rewritten code.
 
-use brew_core::{ArgValue, ParamSpec, RetKind, RewriteConfig, Rewriter};
+use brew_core::{RetKind, Rewriter, SpecRequest};
 use brew_emu::{CallArgs, Machine};
 use brew_image::Image;
 
@@ -34,16 +34,16 @@ fn counter(img: &Image, prog: &brew_minic::Compiled, name: &str) -> u64 {
 fn entry_and_exit_hooks_fire_once_per_call() {
     let (mut img, prog) = setup();
     let sum = prog.func("sum").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
-    cfg.entry_hook = prog.func("on_entry");
-    cfg.exit_hook = prog.func("on_exit");
-    // Don't inline the handlers into the instrumented code's own trace.
-    cfg.func(prog.func("on_entry").unwrap()).inline = false;
-    cfg.func(prog.func("on_exit").unwrap()).inline = false;
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, sum, &[ArgValue::Int(0), ArgValue::Int(4)])
-        .unwrap();
+    let req = SpecRequest::new()
+        .unknown_int() // p
+        .known_int(4) // n
+        .ret(RetKind::Int)
+        .entry_hook(prog.func("on_entry").unwrap())
+        .exit_hook(prog.func("on_exit").unwrap())
+        // Don't inline the handlers into the instrumented code's own trace.
+        .func(prog.func("on_entry").unwrap(), |o| o.inline = false)
+        .func(prog.func("on_exit").unwrap(), |o| o.inline = false);
+    let res = Rewriter::new(&mut img).rewrite(sum, &req).unwrap();
     assert!(res.stats.hooks_injected >= 2);
 
     let p = img.alloc_heap(4 * 8, 8);
@@ -52,7 +52,9 @@ fn entry_and_exit_hooks_fire_once_per_call() {
     }
     let mut m = Machine::new();
     for _ in 0..3 {
-        let out = m.call(&mut img, res.entry, &CallArgs::new().ptr(p).int(4)).unwrap();
+        let out = m
+            .call(&mut img, res.entry, &CallArgs::new().ptr(p).int(4))
+            .unwrap();
         assert_eq!(out.ret_int, 10, "instrumentation must not change results");
     }
     assert_eq!(counter(&img, &prog, "entry_count"), 3);
@@ -69,13 +71,16 @@ fn exit_hook_receives_original_function_address() {
     let mut img = Image::new();
     let prog = brew_minic::compile_into(src, &mut img).unwrap();
     let id = prog.func("id").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_ret(RetKind::Int);
-    cfg.exit_hook = prog.func("on_exit");
-    cfg.func(prog.func("on_exit").unwrap()).inline = false;
-    let res = Rewriter::new(&mut img).rewrite(&cfg, id, &[ArgValue::Int(0)]).unwrap();
+    let req = SpecRequest::new()
+        .unknown_int()
+        .ret(RetKind::Int)
+        .exit_hook(prog.func("on_exit").unwrap())
+        .func(prog.func("on_exit").unwrap(), |o| o.inline = false);
+    let res = Rewriter::new(&mut img).rewrite(id, &req).unwrap();
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().int(7)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().int(7))
+        .unwrap();
     assert_eq!(out.ret_int, 7, "return value preserved across the hook");
     assert_eq!(
         img.read_u64(prog.global("last_fn").unwrap()).unwrap(),
@@ -88,13 +93,13 @@ fn exit_hook_receives_original_function_address() {
 fn memory_hook_counts_unknown_accesses() {
     let (mut img, prog) = setup();
     let sum = prog.func("sum").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
-    cfg.mem_access_hook = prog.func("on_access");
-    cfg.func(prog.func("on_access").unwrap()).inline = false;
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, sum, &[ArgValue::Int(0), ArgValue::Int(3)])
-        .unwrap();
+    let req = SpecRequest::new()
+        .unknown_int() // p
+        .known_int(3) // n
+        .ret(RetKind::Int)
+        .mem_access_hook(prog.func("on_access").unwrap())
+        .func(prog.func("on_access").unwrap(), |o| o.inline = false);
+    let res = Rewriter::new(&mut img).rewrite(sum, &req).unwrap();
     assert!(res.stats.hooks_injected > 0);
 
     let p = img.alloc_heap(3 * 8, 8);
@@ -102,7 +107,9 @@ fn memory_hook_counts_unknown_accesses() {
         img.write_u64(p + i * 8, 5).unwrap();
     }
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().ptr(p).int(3)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().ptr(p).int(3))
+        .unwrap();
     assert_eq!(out.ret_int, 15);
     // One hooked access per element (the p[i] loads; the loop was fully
     // unrolled with n known so there are exactly 3).
@@ -113,22 +120,24 @@ fn memory_hook_counts_unknown_accesses() {
 fn all_three_hooks_compose() {
     let (mut img, prog) = setup();
     let sum = prog.func("sum").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
-    cfg.entry_hook = prog.func("on_entry");
-    cfg.exit_hook = prog.func("on_exit");
-    cfg.mem_access_hook = prog.func("on_access");
+    let mut req = SpecRequest::new()
+        .unknown_int() // p
+        .known_int(2) // n
+        .ret(RetKind::Int)
+        .entry_hook(prog.func("on_entry").unwrap())
+        .exit_hook(prog.func("on_exit").unwrap())
+        .mem_access_hook(prog.func("on_access").unwrap());
     for h in ["on_entry", "on_exit", "on_access"] {
-        cfg.func(prog.func(h).unwrap()).inline = false;
+        req = req.func(prog.func(h).unwrap(), |o| o.inline = false);
     }
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, sum, &[ArgValue::Int(0), ArgValue::Int(2)])
-        .unwrap();
+    let res = Rewriter::new(&mut img).rewrite(sum, &req).unwrap();
     let p = img.alloc_heap(2 * 8, 8);
     img.write_u64(p, 20).unwrap();
     img.write_u64(p + 8, 22).unwrap();
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().ptr(p).int(2)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().ptr(p).int(2))
+        .unwrap();
     assert_eq!(out.ret_int, 42);
     assert_eq!(counter(&img, &prog, "entry_count"), 1);
     assert_eq!(counter(&img, &prog, "exit_count"), 1);

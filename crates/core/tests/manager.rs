@@ -1,0 +1,191 @@
+//! The memoizing specialization layer: variant cache, cost-aware
+//! eviction, N-way guarded dispatch, and the event stream.
+
+use brew_core::{Event, EventSink, RetKind, SpecRequest, SpecializationManager};
+use brew_emu::{CallArgs, Machine};
+use brew_image::Image;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const PROG: &str = r#"
+    int poly(int x, int n) {
+        int r = 1;
+        for (int i = 0; i < n; i++) r *= x;
+        return r;
+    }
+"#;
+
+fn setup() -> (Image, u64) {
+    let mut img = Image::new();
+    let prog = brew_minic::compile_into(PROG, &mut img).unwrap();
+    (img, prog.func("poly").unwrap())
+}
+
+fn poly_req(n: i64) -> SpecRequest {
+    SpecRequest::new()
+        .unknown_int()
+        .known_int(n)
+        .ret(RetKind::Int)
+}
+
+#[test]
+fn repeated_requests_return_pointer_equal_cached_variant() {
+    let (mut img, poly) = setup();
+    let mut mgr = SpecializationManager::new();
+    let req = poly_req(9);
+
+    let first = mgr.get_or_rewrite(&mut img, poly, &req).unwrap();
+    let traced_after_miss = mgr.stats().traced_total;
+    assert!(traced_after_miss > 0, "the miss actually traced");
+
+    for _ in 0..10 {
+        let again = mgr.get_or_rewrite(&mut img, poly, &req).unwrap();
+        assert!(Rc::ptr_eq(&first, &again), "hits return the same variant");
+    }
+    // An equal request built independently is the same cache line too.
+    let rebuilt = mgr.get_or_rewrite(&mut img, poly, &poly_req(9)).unwrap();
+    assert!(Rc::ptr_eq(&first, &rebuilt));
+
+    let st = mgr.stats();
+    assert_eq!((st.hits, st.misses), (11, 1));
+    assert_eq!(st.traced_total, traced_after_miss, "no re-trace on hits");
+    assert_eq!(st.resident_bytes, first.code_len);
+}
+
+#[test]
+fn distinct_requests_are_distinct_variants() {
+    let (mut img, poly) = setup();
+    let mut mgr = SpecializationManager::new();
+    let a = mgr.get_or_rewrite(&mut img, poly, &poly_req(3)).unwrap();
+    let b = mgr.get_or_rewrite(&mut img, poly, &poly_req(4)).unwrap();
+    assert!(!Rc::ptr_eq(&a, &b));
+    assert_ne!(a.entry, b.entry);
+    assert_eq!(mgr.stats().misses, 2);
+    assert_eq!(mgr.len(), 2);
+
+    // Both stay correct.
+    let mut m = Machine::new();
+    for (v, want) in [(&a, 8), (&b, 16)] {
+        let out = m
+            .call(&mut img, v.entry, &CallArgs::new().int(2).int(0))
+            .unwrap();
+        assert_eq!(out.ret_int, want);
+    }
+}
+
+#[test]
+fn eviction_under_tight_byte_budget_keeps_recent_variant() {
+    let (mut img, poly) = setup();
+    // Learn one variant's size, then budget for roughly two of them.
+    let probe = SpecializationManager::new()
+        .get_or_rewrite(&mut img, poly, &poly_req(2))
+        .unwrap()
+        .code_len;
+    let mut mgr = SpecializationManager::with_budget(probe * 2 + probe / 2);
+
+    for n in 2..8 {
+        mgr.get_or_rewrite(&mut img, poly, &poly_req(n)).unwrap();
+    }
+    let st = mgr.stats();
+    assert!(st.evictions >= 3, "budget pressure evicted: {st:?}");
+    assert!(mgr.len() < 6, "cache shrank below the insert count");
+    assert!(
+        st.resident_bytes <= probe * 2 + probe / 2,
+        "resident {} exceeds budget",
+        st.resident_bytes
+    );
+
+    // The most recent request survived: re-asking is a hit, not a rewrite.
+    let misses_before = mgr.stats().misses;
+    mgr.get_or_rewrite(&mut img, poly, &poly_req(7)).unwrap();
+    assert_eq!(mgr.stats().misses, misses_before);
+    // An evicted one rewrites again.
+    mgr.get_or_rewrite(&mut img, poly, &poly_req(2)).unwrap();
+    assert_eq!(mgr.stats().misses, misses_before + 1);
+}
+
+#[test]
+fn dispatcher_over_three_variants_matches_original_incl_fallthrough() {
+    let (mut img, poly) = setup();
+    let mut mgr = SpecializationManager::new();
+    for n in [3i64, 5, 8] {
+        mgr.get_or_rewrite(&mut img, poly, &poly_req(n)).unwrap();
+    }
+    assert_eq!(mgr.variants_of(poly).len(), 3);
+    let dispatch = mgr.build_dispatcher(&mut img, poly, poly).unwrap();
+    assert_eq!(mgr.stats().dispatchers_built, 1);
+
+    // Differential: the stub is bit-identical to the original over guarded
+    // values (each of the three variants) and fall-through values alike.
+    let mut m = Machine::new();
+    for x in [-3i64, -1, 0, 1, 2, 7, 1000] {
+        for n in [0i64, 1, 2, 3, 4, 5, 6, 8, 9] {
+            let via = m
+                .call(&mut img, dispatch, &CallArgs::new().int(x).int(n))
+                .unwrap()
+                .ret_int;
+            let orig = m
+                .call(&mut img, poly, &CallArgs::new().int(x).int(n))
+                .unwrap()
+                .ret_int;
+            assert_eq!(via, orig, "poly({x}, {n}) diverged through the dispatcher");
+        }
+    }
+
+    // The hot path really runs specialized code: fewer cycles than the
+    // original for a guarded n.
+    let via = m
+        .call(&mut img, dispatch, &CallArgs::new().int(2).int(8))
+        .unwrap();
+    let orig = m
+        .call(&mut img, poly, &CallArgs::new().int(2).int(8))
+        .unwrap();
+    assert!(via.stats.cycles < orig.stats.cycles);
+}
+
+#[derive(Default)]
+struct SharedSink(Rc<RefCell<Vec<Event>>>);
+
+impl EventSink for SharedSink {
+    fn event(&mut self, ev: &Event) {
+        self.0.borrow_mut().push(ev.clone());
+    }
+}
+
+#[test]
+fn event_sink_streams_miss_rewrite_hit_and_dispatch() {
+    let (mut img, poly) = setup();
+    let events = Rc::new(RefCell::new(Vec::new()));
+    let mut mgr = SpecializationManager::new();
+    mgr.set_sink(Box::new(SharedSink(Rc::clone(&events))));
+
+    let v = mgr.get_or_rewrite(&mut img, poly, &poly_req(6)).unwrap();
+    mgr.get_or_rewrite(&mut img, poly, &poly_req(6)).unwrap();
+    let dispatch = mgr.build_dispatcher(&mut img, poly, poly).unwrap();
+
+    let evs = events.borrow();
+    assert!(matches!(evs[0], Event::Miss { func } if func == poly));
+    assert!(
+        matches!(evs[1], Event::Rewritten { func, entry, .. } if func == poly && entry == v.entry)
+    );
+    assert!(matches!(evs[2], Event::Hit { entry, .. } if entry == v.entry));
+    assert!(matches!(
+        evs[3],
+        Event::DispatcherBuilt { entry, variants: 1, .. } if entry == dispatch
+    ));
+    assert_eq!(evs.len(), 4);
+}
+
+#[test]
+fn named_lookup_resolves_and_rejects() {
+    let (mut img, poly) = setup();
+    let mut mgr = SpecializationManager::new();
+    let v = mgr
+        .get_or_rewrite_named(&mut img, "poly", &poly_req(4))
+        .unwrap();
+    assert_eq!(v.func, poly);
+    let err = mgr
+        .get_or_rewrite_named(&mut img, "nope", &poly_req(4))
+        .unwrap_err();
+    assert!(err.to_string().contains("nope"));
+}

@@ -1,7 +1,7 @@
 //! End-to-end rewriter tests: compile mini-C, rewrite, and differentially
 //! test original vs specialized code in the emulator.
 
-use brew_core::{ArgValue, ParamSpec, PassConfig, RetKind, RewriteConfig, Rewriter};
+use brew_core::{PassConfig, RetKind, Rewriter, SpecRequest};
 use brew_emu::{CallArgs, Machine};
 use brew_image::Image;
 use brew_minic::compile_into;
@@ -33,14 +33,17 @@ fn specialize_identity_params_unknown() {
     // No parameters known: the rewrite is a (cleaned-up) clone.
     let (mut img, prog) = setup("int add(int a, int b) { return a + b; }");
     let f = prog.func("add").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(&cfg, f, &[ArgValue::Int(0), ArgValue::Int(0)])
-        .unwrap();
+    let req = SpecRequest::new()
+        .unknown_int()
+        .unknown_int()
+        .ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
     for (a, b) in [(1i64, 2i64), (-5, 5), (i64::MAX, 1), (0, 0)] {
         let orig = m.call(&mut img, f, &CallArgs::new().int(a).int(b)).unwrap();
-        let spec = m.call(&mut img, res.entry, &CallArgs::new().int(a).int(b)).unwrap();
+        let spec = m
+            .call(&mut img, res.entry, &CallArgs::new().int(a).int(b))
+            .unwrap();
         assert_eq!(orig.ret_int, spec.ret_int, "add({a},{b})");
     }
 }
@@ -49,11 +52,12 @@ fn specialize_identity_params_unknown() {
 fn specialize_known_param_bakes_constant() {
     let (mut img, prog) = setup("int madd(int a, int b, int c) { return a * b + c; }");
     let f = prog.func("madd").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, f, &[ArgValue::Int(0), ArgValue::Int(7), ArgValue::Int(0)])
-        .unwrap();
+    let req = SpecRequest::new()
+        .unknown_int()
+        .known_int(7)
+        .unknown_int()
+        .ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
     for (a, c) in [(3i64, 4i64), (0, 0), (-2, 9)] {
         let spec = m
@@ -79,15 +83,15 @@ fn specialize_known_param_bakes_constant() {
 #[test]
 fn constant_loop_fully_unrolls() {
     // sum(1..=n) with n known: the loop disappears entirely.
-    let (mut img, prog) = setup(
-        "int sum_to(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }",
-    );
+    let (mut img, prog) =
+        setup("int sum_to(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }");
     let f = prog.func("sum_to").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::Known).set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(&cfg, f, &[ArgValue::Int(42)]).unwrap();
+    let req = SpecRequest::new().known_int(42).ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().int(42)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().int(42))
+        .unwrap();
     assert_eq!(out.ret_int, 903);
     assert_eq!(out.stats.branches, 0, "no conditional branches survive");
     // In fact the whole body folds to `mov rax, 903; ret`-ish code.
@@ -96,18 +100,20 @@ fn constant_loop_fully_unrolls() {
 
 #[test]
 fn unknown_loop_bound_keeps_loop() {
-    let (mut img, prog) = setup(
-        "int sum_to(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }",
-    );
+    let (mut img, prog) =
+        setup("int sum_to(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }");
     let f = prog.func("sum_to").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_ret(RetKind::Int);
-    cfg.default_opts.max_variants = 4; // allow a little peeling, then close
-    let res = Rewriter::new(&mut img).rewrite(&cfg, f, &[ArgValue::Int(5)]).unwrap();
+    let req = SpecRequest::new()
+        .unknown_int()
+        .ret(RetKind::Int)
+        .default_opts(|o| o.max_variants = 4); // allow a little peeling, then close
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
     for n in [0i64, 1, 5, 100, 1000] {
         let orig = m.call(&mut img, f, &CallArgs::new().int(n)).unwrap();
-        let spec = m.call(&mut img, res.entry, &CallArgs::new().int(n)).unwrap();
+        let spec = m
+            .call(&mut img, res.entry, &CallArgs::new().int(n))
+            .unwrap();
         assert_eq!(orig.ret_int, spec.ret_int, "sum_to({n})");
     }
 }
@@ -120,13 +126,12 @@ fn the_paper_stencil_specialization() {
     let xs = 8i64;
 
     // Figure 5: xs known, stencil pointer known with known pointee.
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(1, ParamSpec::Known)
-        .set_param(2, ParamSpec::PtrToKnown { len: 8 + 5 * 24 })
-        .set_ret(RetKind::F64);
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, apply, &[ArgValue::Int(0), ArgValue::Int(xs), ArgValue::Int(s5 as i64)])
-        .unwrap();
+    let req = SpecRequest::new()
+        .unknown_int() // matrix pointer
+        .known_int(xs)
+        .ptr_to_known(s5, 8 + 5 * 24)
+        .ret(RetKind::F64);
+    let res = Rewriter::new(&mut img).rewrite(apply, &req).unwrap();
 
     // Fill a matrix and compare original vs specialized on every interior
     // point.
@@ -134,8 +139,11 @@ fn the_paper_stencil_specialization() {
     let mbase = img.alloc_heap((xs * ys * 8) as u64, 8);
     for y in 0..ys {
         for x in 0..xs {
-            img.write_f64(mbase + ((y * xs + x) * 8) as u64, (y * 131 + x * 17) as f64 * 0.25)
-                .unwrap();
+            img.write_f64(
+                mbase + ((y * xs + x) * 8) as u64,
+                (y * 131 + x * 17) as f64 * 0.25,
+            )
+            .unwrap();
         }
     }
     let mut m = Machine::new();
@@ -164,7 +172,11 @@ fn the_paper_stencil_specialization() {
     let mut m2 = Machine::new();
     let center = mbase + ((xs + 1) * 8) as u64;
     let out = m2
-        .call(&mut img, res.entry, &CallArgs::new().ptr(center).int(xs).ptr(s5))
+        .call(
+            &mut img,
+            res.entry,
+            &CallArgs::new().ptr(center).int(xs).ptr(s5),
+        )
         .unwrap();
     assert_eq!(out.stats.branches, 0, "loop fully unrolled");
     assert_eq!(out.stats.fp_ops, 10, "5 muls + 5 adds");
@@ -187,36 +199,42 @@ fn stencil_sweep_differential() {
     let s5 = prog.global("s5").unwrap();
     let (xs, ys) = (7i64, 6i64);
 
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(2, ParamSpec::Known) // xs
-        .set_param(3, ParamSpec::Known) // ys
-        .set_mem_known(s5..s5 + 8 + 5 * 24)
-        .set_ret(RetKind::Void);
-    // Avoid full unrolling of the sweep loops: force branches unknown in
-    // sweep itself; apply (inlined) still specializes.
-    cfg.func(sweep).branch_unknown = true;
-    cfg.func(sweep).max_variants = 4;
-
-    let res = Rewriter::new(&mut img)
-        .rewrite(
-            &cfg,
-            sweep,
-            &[ArgValue::Int(0), ArgValue::Int(0), ArgValue::Int(xs), ArgValue::Int(ys)],
-        )
-        .unwrap();
+    let req = SpecRequest::new()
+        .unknown_int() // m1
+        .unknown_int() // m2
+        .known_int(xs)
+        .known_int(ys)
+        .known_mem(s5..s5 + 8 + 5 * 24)
+        .ret(RetKind::Void)
+        // Avoid full unrolling of the sweep loops: force branches unknown
+        // in sweep itself; apply (inlined) still specializes.
+        .func(sweep, |o| {
+            o.branch_unknown = true;
+            o.max_variants = 4;
+        });
+    let res = Rewriter::new(&mut img).rewrite(sweep, &req).unwrap();
 
     let m1 = img.alloc_heap((xs * ys * 8) as u64, 8);
     let m2a = img.alloc_heap((xs * ys * 8) as u64, 8);
     let m2b = img.alloc_heap((xs * ys * 8) as u64, 8);
     for i in 0..xs * ys {
-        img.write_f64(m1 + (i * 8) as u64, ((i * 37) % 19) as f64 * 0.5).unwrap();
+        img.write_f64(m1 + (i * 8) as u64, ((i * 37) % 19) as f64 * 0.5)
+            .unwrap();
     }
     let mut m = Machine::new();
     let orig = m
-        .call(&mut img, sweep, &CallArgs::new().ptr(m1).ptr(m2a).int(xs).int(ys))
+        .call(
+            &mut img,
+            sweep,
+            &CallArgs::new().ptr(m1).ptr(m2a).int(xs).int(ys),
+        )
         .unwrap();
     let spec = m
-        .call(&mut img, res.entry, &CallArgs::new().ptr(m1).ptr(m2b).int(xs).int(ys))
+        .call(
+            &mut img,
+            res.entry,
+            &CallArgs::new().ptr(m1).ptr(m2b).int(xs).int(ys),
+        )
         .unwrap();
     for i in 0..xs * ys {
         let a = img.read_f64(m2a + (i * 8) as u64).unwrap();
@@ -233,18 +251,24 @@ fn stencil_sweep_differential() {
 
 #[test]
 fn fresh_unknown_prevents_unrolling() {
-    let (mut img, prog) = setup(
-        "int sum_to(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }",
-    );
+    let (mut img, prog) =
+        setup("int sum_to(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }");
     let f = prog.func("sum_to").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::Known).set_ret(RetKind::Int);
-    cfg.func(f).fresh_unknown = true;
-    let res = Rewriter::new(&mut img).rewrite(&cfg, f, &[ArgValue::Int(1000)]).unwrap();
+    let req = SpecRequest::new()
+        .known_int(1000)
+        .ret(RetKind::Int)
+        .func(f, |o| o.fresh_unknown = true);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     // Despite n being known, the loop is not unrolled (§V.C brute force).
-    assert!(res.code_len < 400, "code stays small: {} bytes", res.code_len);
+    assert!(
+        res.code_len < 400,
+        "code stays small: {} bytes",
+        res.code_len
+    );
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().int(1000)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().int(1000))
+        .unwrap();
     assert_eq!(out.ret_int, 500500);
     assert!(out.stats.branches >= 1000, "loop still iterates");
 }
@@ -257,16 +281,17 @@ fn inlining_removes_call_overhead() {
     "#;
     let (mut img, prog) = setup(src);
     let outer = prog.func("outer").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(&cfg, outer, &[ArgValue::Int(0)]).unwrap();
+    let req = SpecRequest::new().unknown_int().ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite(outer, &req).unwrap();
     assert_eq!(res.stats.inlined_calls, 2);
     assert_eq!(res.stats.kept_calls, 0);
 
     let mut m = Machine::new();
     for a in [0i64, 1, -7, 1000] {
         let orig = m.call(&mut img, outer, &CallArgs::new().int(a)).unwrap();
-        let spec = m.call(&mut img, res.entry, &CallArgs::new().int(a)).unwrap();
+        let spec = m
+            .call(&mut img, res.entry, &CallArgs::new().int(a))
+            .unwrap();
         assert_eq!(orig.ret_int, spec.ret_int);
         assert_eq!(spec.stats.calls, 0, "no calls left");
         assert!(spec.stats.cycles < orig.stats.cycles);
@@ -282,13 +307,16 @@ fn no_inline_keeps_call_with_compensation() {
     let (mut img, prog) = setup(src);
     let outer = prog.func("outer").unwrap();
     let helper = prog.func("helper").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::Known).set_ret(RetKind::Int);
-    cfg.func(helper).inline = false;
-    let res = Rewriter::new(&mut img).rewrite(&cfg, outer, &[ArgValue::Int(40)]).unwrap();
+    let req = SpecRequest::new()
+        .known_int(40)
+        .ret(RetKind::Int)
+        .func(helper, |o| o.inline = false);
+    let res = Rewriter::new(&mut img).rewrite(outer, &req).unwrap();
     assert_eq!(res.stats.kept_calls, 1);
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().int(40)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().int(40))
+        .unwrap();
     assert_eq!(out.ret_int, 126);
     assert_eq!(out.stats.calls, 1, "the helper call survives");
 }
@@ -303,14 +331,19 @@ fn indirect_call_devirtualized() {
     let (mut img, prog) = setup(src);
     let call_it = prog.func("call_it").unwrap();
     let add = prog.func("add").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::Known).set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, call_it, &[ArgValue::Int(add as i64), ArgValue::Int(0), ArgValue::Int(0)])
-        .unwrap();
+    let req = SpecRequest::new()
+        .known_int(add as i64)
+        .unknown_int()
+        .unknown_int()
+        .ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite(call_it, &req).unwrap();
     let mut m = Machine::new();
     let out = m
-        .call(&mut img, res.entry, &CallArgs::new().ptr(add).int(20).int(22))
+        .call(
+            &mut img,
+            res.entry,
+            &CallArgs::new().ptr(add).int(20).int(22),
+        )
         .unwrap();
     assert_eq!(out.ret_int, 42);
     assert_eq!(out.stats.calls, 0, "indirect call inlined away");
@@ -321,8 +354,8 @@ fn failure_is_recoverable_bad_code() {
     let mut img = Image::new();
     // Garbage bytes as a "function".
     let junk = img.alloc_code(&[0x06, 0x07, 0x08]);
-    let cfg = RewriteConfig::new();
-    let err = Rewriter::new(&mut img).rewrite(&cfg, junk, &[]).unwrap_err();
+    let req = SpecRequest::new();
+    let err = Rewriter::new(&mut img).rewrite(junk, &req).unwrap_err();
     assert!(matches!(err, brew_core::RewriteError::Undecodable { .. }));
 }
 
@@ -333,11 +366,15 @@ fn infinite_loop_rewrites_to_self_loop() {
     let mut img = Image::new();
     let mut bytes = Vec::new();
     let base = brew_image::layout::CODE_BASE;
-    brew_x86::encode::encode(&brew_x86::inst::Inst::JmpRel { target: base }, base, &mut bytes)
-        .unwrap();
+    brew_x86::encode::encode(
+        &brew_x86::inst::Inst::JmpRel { target: base },
+        base,
+        &mut bytes,
+    )
+    .unwrap();
     img.alloc_code(&bytes);
-    let cfg = RewriteConfig::new();
-    let res = Rewriter::new(&mut img).rewrite(&cfg, base, &[]).unwrap();
+    let req = SpecRequest::new();
+    let res = Rewriter::new(&mut img).rewrite(base, &req).unwrap();
     assert_eq!(res.code_len, 5);
     let mut m = Machine::new();
     m.fuel = 1000;
@@ -351,17 +388,15 @@ fn infinite_loop_rewrites_to_self_loop() {
 fn failure_trace_budget() {
     // A known-bound loop of a billion iterations would fully unroll; the
     // trace budget turns that into a recoverable failure.
-    let (mut img, prog) = setup(
-        "int sum_to(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }",
-    );
+    let (mut img, prog) =
+        setup("int sum_to(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }");
     let f = prog.func("sum_to").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::Known).set_ret(RetKind::Int);
-    cfg.max_trace_insts = 10_000;
-    cfg.default_opts.max_variants = u32::MAX; // never migrate: force unrolling
-    let err = Rewriter::new(&mut img)
-        .rewrite(&cfg, f, &[ArgValue::Int(1_000_000_000)])
-        .unwrap_err();
+    let req = SpecRequest::new()
+        .known_int(1_000_000_000)
+        .ret(RetKind::Int)
+        .max_trace_insts(10_000)
+        .default_opts(|o| o.max_variants = u32::MAX); // never migrate: force unrolling
+    let err = Rewriter::new(&mut img).rewrite(f, &req).unwrap_err();
     assert!(
         matches!(
             err,
@@ -373,17 +408,18 @@ fn failure_trace_budget() {
 
 #[test]
 fn doubles_known_fp_param() {
-    let (mut img, prog) =
-        setup("double scale(double x, double k) { return x * k + 1.0; }");
+    let (mut img, prog) = setup("double scale(double x, double k) { return x * k + 1.0; }");
     let f = prog.func("scale").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::F64);
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, f, &[ArgValue::F64(0.0), ArgValue::F64(2.5)])
-        .unwrap();
+    let req = SpecRequest::new()
+        .unknown_f64()
+        .known_f64(2.5)
+        .ret(RetKind::F64);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
     for x in [0.0f64, 1.5, -3.25, 1e10] {
-        let out = m.call(&mut img, res.entry, &CallArgs::new().f64(x).f64(2.5)).unwrap();
+        let out = m
+            .call(&mut img, res.entry, &CallArgs::new().f64(x).f64(2.5))
+            .unwrap();
         assert_eq!(out.ret_f64, x * 2.5 + 1.0);
     }
 }
@@ -394,25 +430,20 @@ fn passes_off_still_correct() {
     let apply = prog.func("apply").unwrap();
     let s5 = prog.global("s5").unwrap();
     let xs = 5i64;
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(1, ParamSpec::Known)
-        .set_param(2, ParamSpec::PtrToKnown { len: 8 + 5 * 24 })
-        .set_ret(RetKind::F64);
+    let req = SpecRequest::new()
+        .unknown_int()
+        .known_int(xs)
+        .ptr_to_known(s5, 8 + 5 * 24)
+        .ret(RetKind::F64);
     let res_none = Rewriter::new(&mut img)
-        .rewrite_with_passes(
-            &cfg,
-            apply,
-            &[ArgValue::Int(0), ArgValue::Int(xs), ArgValue::Int(s5 as i64)],
-            &PassConfig::none(),
-        )
+        .rewrite(apply, &req.clone().passes(PassConfig::none()))
         .unwrap();
-    let res_all = Rewriter::new(&mut img)
-        .rewrite(&cfg, apply, &[ArgValue::Int(0), ArgValue::Int(xs), ArgValue::Int(s5 as i64)])
-        .unwrap();
+    let res_all = Rewriter::new(&mut img).rewrite(apply, &req).unwrap();
 
     let mbase = img.alloc_heap((xs * xs * 8) as u64, 8);
     for i in 0..xs * xs {
-        img.write_f64(mbase + (i * 8) as u64, (i * i) as f64).unwrap();
+        img.write_f64(mbase + (i * 8) as u64, (i * i) as f64)
+            .unwrap();
     }
     let center = mbase + ((xs + 2) * 8) as u64;
     let mut m = Machine::new();
@@ -430,10 +461,9 @@ fn passes_off_still_correct() {
 fn guard_dispatches() {
     let (mut img, prog) = setup("int dbl(int x) { return x + x; }");
     let f = prog.func("dbl").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::Known).set_ret(RetKind::Int);
+    let req = SpecRequest::new().known_int(21).ret(RetKind::Int);
     let mut rw = Rewriter::new(&mut img);
-    let spec = rw.rewrite(&cfg, f, &[ArgValue::Int(21)]).unwrap();
+    let spec = rw.rewrite(f, &req).unwrap();
     let guard = rw.guard(0, 21, spec.entry, f).unwrap();
 
     let mut m = Machine::new();
@@ -443,4 +473,30 @@ fn guard_dispatches() {
     // Cold value: falls back to the original, still correct.
     let cold = m.call(&mut img, guard, &CallArgs::new().int(5)).unwrap();
     assert_eq!(cold.ret_int, 10);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_split_api_still_works() {
+    // The pre-SpecRequest entry points remain as thin wrappers.
+    use brew_core::{ArgValue, ParamSpec, RewriteConfig};
+    let (mut img, prog) = setup("int madd(int a, int b, int c) { return a * b + c; }");
+    let f = prog.func("madd").unwrap();
+    let mut cfg = RewriteConfig::new();
+    cfg.set_param(0, ParamSpec::Unknown)
+        .set_param(1, ParamSpec::Known)
+        .set_param(2, ParamSpec::Unknown)
+        .set_ret(RetKind::Int);
+    let res = Rewriter::new(&mut img)
+        .rewrite_with_config(
+            &cfg,
+            f,
+            &[ArgValue::Int(0), ArgValue::Int(7), ArgValue::Int(0)],
+        )
+        .unwrap();
+    let mut m = Machine::new();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().int(3).int(7).int(5))
+        .unwrap();
+    assert_eq!(out.ret_int, 26);
 }

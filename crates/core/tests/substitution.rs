@@ -4,7 +4,7 @@
 //! setcc folding) and asserting the *generated code's structure*, not just
 //! its behavior.
 
-use brew_core::{disasm_result, ArgValue, ParamSpec, RetKind, RewriteConfig, Rewriter};
+use brew_core::{disasm_result, RetKind, Rewriter, SpecRequest};
 use brew_emu::{CallArgs, Machine};
 use brew_image::Image;
 use brew_x86::encode::encode;
@@ -31,11 +31,11 @@ fn rewrite_with_param0_known(
     value: i64,
     extra_unknown: usize,
 ) -> brew_core::RewriteResult {
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::Known).set_ret(RetKind::Int);
-    let mut args = vec![ArgValue::Int(value)];
-    args.extend(std::iter::repeat(ArgValue::Int(0)).take(extra_unknown));
-    Rewriter::new(img).rewrite(&cfg, f, &args).unwrap()
+    let mut req = SpecRequest::new().known_int(value).ret(RetKind::Int);
+    for _ in 0..extra_unknown {
+        req = req.unknown_int();
+    }
+    Rewriter::new(img).rewrite(f, &req).unwrap()
 }
 
 #[test]
@@ -45,14 +45,25 @@ fn w32_arithmetic_folds_with_zero_extension() {
     let f = asm(
         &mut img,
         &[
-            Inst::Mov { w: Width::W32, dst: Operand::Reg(Gpr::Rax), src: Operand::Reg(Gpr::Rdi) },
-            Inst::Alu { op: AluOp::Add, w: Width::W32, dst: Operand::Reg(Gpr::Rax), src: Operand::Imm(1) },
+            Inst::Mov {
+                w: Width::W32,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Reg(Gpr::Rdi),
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                w: Width::W32,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Imm(1),
+            },
             Inst::Ret,
         ],
     );
     let res = rewrite_with_param0_known(&mut img, f, -1, 0);
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().int(-1)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().int(-1))
+        .unwrap();
     assert_eq!(out.ret_int, 0, "0xFFFFFFFF + 1 wraps at 32 bits");
     // Fully folded: just the materialized return + ret.
     assert!(out.stats.insts <= 2, "{:?}", disasm_result(&img, &res));
@@ -65,24 +76,37 @@ fn w32_unknown_imm_substitution() {
     let f = asm(
         &mut img,
         &[
-            Inst::Mov { w: Width::W32, dst: Operand::Reg(Gpr::Rax), src: Operand::Reg(Gpr::Rdi) },
-            Inst::Alu { op: AluOp::Add, w: Width::W32, dst: Operand::Reg(Gpr::Rax), src: Operand::Reg(Gpr::Rsi) },
+            Inst::Mov {
+                w: Width::W32,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Reg(Gpr::Rdi),
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                w: Width::W32,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Reg(Gpr::Rsi),
+            },
             Inst::Ret,
         ],
     );
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
     // 0x90000000 doesn't fit a sign-extended imm32 as u32 value... it does
     // as a 32-bit immediate (bit pattern). The substituted form must stay
     // correct.
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, f, &[ArgValue::Int(0), ArgValue::Int(0x9000_0000u32 as i64)])
-        .unwrap();
+    let req = SpecRequest::new()
+        .unknown_int()
+        .known_int(0x9000_0000u32 as i64)
+        .ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
     for a in [0i64, 1, 0x7000_0000] {
         let want = ((a as u32).wrapping_add(0x9000_0000)) as u64;
         let out = m
-            .call(&mut img, res.entry, &CallArgs::new().int(a).int(0x9000_0000u32 as i64))
+            .call(
+                &mut img,
+                res.entry,
+                &CallArgs::new().int(a).int(0x9000_0000u32 as i64),
+            )
             .unwrap();
         assert_eq!(out.ret_int, want, "a={a}");
     }
@@ -95,21 +119,39 @@ fn shl_by_known_cl_becomes_immediate_shift() {
     let f = asm(
         &mut img,
         &[
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Reg(Gpr::Rdi) },
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rcx), src: Operand::Reg(Gpr::Rsi) },
-            Inst::Shift { op: ShOp::Shl, w: Width::W64, dst: Operand::Reg(Gpr::Rax), count: ShiftCount::Cl },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Reg(Gpr::Rdi),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rcx),
+                src: Operand::Reg(Gpr::Rsi),
+            },
+            Inst::Shift {
+                op: ShOp::Shl,
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                count: ShiftCount::Cl,
+            },
             Inst::Ret,
         ],
     );
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, f, &[ArgValue::Int(0), ArgValue::Int(3)])
-        .unwrap();
+    let req = SpecRequest::new()
+        .unknown_int()
+        .known_int(3)
+        .ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     let text = disasm_result(&img, &res).join("\n");
-    assert!(text.contains("shlq rax, 3"), "CL folded to immediate:\n{text}");
+    assert!(
+        text.contains("shlq rax, 3"),
+        "CL folded to immediate:\n{text}"
+    );
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().int(5).int(3)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().int(5).int(3))
+        .unwrap();
     assert_eq!(out.ret_int, 40);
 }
 
@@ -119,14 +161,25 @@ fn fully_known_shift_elided() {
     let f = asm(
         &mut img,
         &[
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Reg(Gpr::Rdi) },
-            Inst::Shift { op: ShOp::Shl, w: Width::W64, dst: Operand::Reg(Gpr::Rax), count: ShiftCount::Imm(4) },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Reg(Gpr::Rdi),
+            },
+            Inst::Shift {
+                op: ShOp::Shl,
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                count: ShiftCount::Imm(4),
+            },
             Inst::Ret,
         ],
     );
     let res = rewrite_with_param0_known(&mut img, f, 3, 0);
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().int(3)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().int(3))
+        .unwrap();
     assert_eq!(out.ret_int, 48);
     assert!(out.stats.insts <= 2);
 }
@@ -138,21 +191,34 @@ fn idiv_with_known_divisor_keeps_division() {
     let f = asm(
         &mut img,
         &[
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Reg(Gpr::Rdi) },
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rcx), src: Operand::Reg(Gpr::Rsi) },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Reg(Gpr::Rdi),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rcx),
+                src: Operand::Reg(Gpr::Rsi),
+            },
             Inst::Cqo { w: Width::W64 },
-            Inst::Idiv { w: Width::W64, src: Operand::Reg(Gpr::Rcx) },
+            Inst::Idiv {
+                w: Width::W64,
+                src: Operand::Reg(Gpr::Rcx),
+            },
             Inst::Ret,
         ],
     );
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, f, &[ArgValue::Int(0), ArgValue::Int(7)])
-        .unwrap();
+    let req = SpecRequest::new()
+        .unknown_int()
+        .known_int(7)
+        .ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
     for a in [0i64, 100, -100, 6, 7] {
-        let out = m.call(&mut img, res.entry, &CallArgs::new().int(a).int(7)).unwrap();
+        let out = m
+            .call(&mut img, res.entry, &CallArgs::new().int(a).int(7))
+            .unwrap();
         assert_eq!(out.ret_int as i64, a / 7, "a={a}");
     }
     // The divisor register must have been materialized before idiv.
@@ -168,9 +234,21 @@ fn setcc_with_known_flags_folds_to_constant() {
         &mut img,
         &[
             // cmp rdi, 10; setl al; movzx — rdi known 3 → result constant 1.
-            Inst::Alu { op: AluOp::Cmp, w: Width::W64, dst: Operand::Reg(Gpr::Rdi), src: Operand::Imm(10) },
-            Inst::Setcc { cond: Cond::L, dst: Operand::Reg(Gpr::Rax) },
-            Inst::Movzx8 { w: Width::W64, dst: Gpr::Rax, src: Operand::Reg(Gpr::Rax) },
+            Inst::Alu {
+                op: AluOp::Cmp,
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rdi),
+                src: Operand::Imm(10),
+            },
+            Inst::Setcc {
+                cond: Cond::L,
+                dst: Operand::Reg(Gpr::Rax),
+            },
+            Inst::Movzx8 {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Operand::Reg(Gpr::Rax),
+            },
             Inst::Ret,
         ],
     );
@@ -178,7 +256,9 @@ fn setcc_with_known_flags_folds_to_constant() {
     let text = disasm_result(&img, &res).join("\n");
     assert!(!text.contains("set"), "setcc folded away:\n{text}");
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().int(3)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().int(3))
+        .unwrap();
     assert_eq!(out.ret_int, 1);
 }
 
@@ -199,16 +279,15 @@ fn known_mem_operand_becomes_absolute() {
             Inst::Ret,
         ],
     );
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::PtrToKnown { len: 32 }).set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, f, &[ArgValue::Int(data as i64)])
-        .unwrap();
+    let req = SpecRequest::new().ptr_to_known(data, 32).ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     // The load folds entirely: the value 4242 is baked in.
     let text = disasm_result(&img, &res).join("\n");
     assert!(text.contains("0x1092"), "value 4242 baked in:\n{text}");
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().ptr(data)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().ptr(data))
+        .unwrap();
     assert_eq!(out.ret_int, 4242);
 }
 
@@ -227,18 +306,23 @@ fn unknown_base_known_index_folds_displacement() {
             Inst::Ret,
         ],
     );
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, f, &[ArgValue::Int(0), ArgValue::Int(5)])
-        .unwrap();
+    let req = SpecRequest::new()
+        .unknown_int()
+        .known_int(5)
+        .ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     let text = disasm_result(&img, &res).join("\n");
-    assert!(text.contains("[rdi+0x28]"), "index folded into disp:\n{text}");
+    assert!(
+        text.contains("[rdi+0x28]"),
+        "index folded into disp:\n{text}"
+    );
 
     let p = img.alloc_heap(64, 8);
     img.write_u64(p + 40, 77).unwrap();
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().ptr(p).int(5)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().ptr(p).int(5))
+        .unwrap();
     assert_eq!(out.ret_int, 77);
 }
 
@@ -259,15 +343,20 @@ fn known_base_unknown_index_keeps_index_only_form() {
             Inst::Ret,
         ],
     );
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::Known).set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, f, &[ArgValue::Int(p as i64), ArgValue::Int(0)])
-        .unwrap();
+    let req = SpecRequest::new()
+        .known_int(p as i64)
+        .unknown_int()
+        .ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     let text = disasm_result(&img, &res).join("\n");
-    assert!(text.contains("rsi*8"), "index preserved, base folded:\n{text}");
+    assert!(
+        text.contains("rsi*8"),
+        "index preserved, base folded:\n{text}"
+    );
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().ptr(p).int(3)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().ptr(p).int(3))
+        .unwrap();
     assert_eq!(out.ret_int, 99);
 }
 
@@ -281,20 +370,31 @@ fn known_synced_param_register_is_used_directly() {
     let f = asm(
         &mut img,
         &[
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Reg(Gpr::Rdi) },
-            Inst::Alu { op: AluOp::Add, w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Reg(Gpr::Rsi) },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Reg(Gpr::Rdi),
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Reg(Gpr::Rsi),
+            },
             Inst::Ret,
         ],
     );
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, f, &[ArgValue::Int(0), ArgValue::Int(big)])
-        .unwrap();
+    let req = SpecRequest::new()
+        .unknown_int()
+        .known_int(big)
+        .ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     let text = disasm_result(&img, &res).join("\n");
     assert!(!text.contains("movabs"), "synced register reused:\n{text}");
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().int(10).int(big)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().int(10).int(big))
+        .unwrap();
     assert_eq!(out.ret_int as i64, 10 + big);
 }
 
@@ -315,20 +415,31 @@ fn imm64_requires_movabs_materialization() {
                 dst: Operand::Reg(Gpr::Rcx),
                 src: Operand::Mem(MemRef::base(Gpr::Rdi)),
             },
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Reg(Gpr::Rdi) },
-            Inst::Alu { op: AluOp::Add, w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Reg(Gpr::Rcx) },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Reg(Gpr::Rdi),
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Reg(Gpr::Rcx),
+            },
             Inst::Ret,
         ],
     );
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::PtrToKnown { len: 8 }).set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, f, &[ArgValue::Int(data as i64)])
-        .unwrap();
+    let req = SpecRequest::new().ptr_to_known(data, 8).ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     let text = disasm_result(&img, &res).join("\n");
-    assert!(text.contains("movabs"), "large unsynced constant needs movabs:\n{text}");
+    assert!(
+        text.contains("movabs"),
+        "large unsynced constant needs movabs:\n{text}"
+    );
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().ptr(data)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().ptr(data))
+        .unwrap();
     assert_eq!(out.ret_int, data.wrapping_add(big));
 }
 
@@ -355,15 +466,19 @@ fn fp_constant_comes_from_literal_pool() {
                 src: Operand::Mem(MemRef::base_disp(Gpr::Rdi, 8)),
             },
             // xmm0 (unknown arg) * xmm1 (known unsynced 2.5) -> pool operand
-            Inst::Sse { op: SseOp::Mulsd, dst: Xmm::Xmm0, src: Operand::Xmm(Xmm::Xmm1) },
+            Inst::Sse {
+                op: SseOp::Mulsd,
+                dst: Xmm::Xmm0,
+                src: Operand::Xmm(Xmm::Xmm1),
+            },
             Inst::Ret,
         ],
     );
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::PtrToKnown { len: 16 }).set_ret(RetKind::F64);
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, f, &[ArgValue::Int(data as i64), ArgValue::F64(0.0)])
-        .unwrap();
+    let req = SpecRequest::new()
+        .ptr_to_known(data, 16)
+        .unknown_f64()
+        .ret(RetKind::F64);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     let text = disasm_result(&img, &res).join("\n");
     assert!(text.contains("mulsd xmm0, [0x6"), "pool operand:\n{text}");
     let mut m = Machine::new();
@@ -382,12 +497,33 @@ fn prologue_epilogue_of_inlined_callee_disappears() {
     let callee = asm(
         &mut img,
         &[
-            Inst::Push { src: Operand::Reg(Gpr::Rbp) },
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rbp), src: Operand::Reg(Gpr::Rsp) },
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Reg(Gpr::Rdi) },
-            Inst::Alu { op: AluOp::Add, w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Imm(5) },
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rsp), src: Operand::Reg(Gpr::Rbp) },
-            Inst::Pop { dst: Operand::Reg(Gpr::Rbp) },
+            Inst::Push {
+                src: Operand::Reg(Gpr::Rbp),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rbp),
+                src: Operand::Reg(Gpr::Rsp),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Reg(Gpr::Rdi),
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Imm(5),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rsp),
+                src: Operand::Reg(Gpr::Rbp),
+            },
+            Inst::Pop {
+                dst: Operand::Reg(Gpr::Rbp),
+            },
             Inst::Ret,
         ],
     );
@@ -397,7 +533,9 @@ fn prologue_epilogue_of_inlined_callee_disappears() {
     assert!(!text.contains("push"), "inlined prologue removed:\n{text}");
     assert!(!text.contains("call"), "call inlined:\n{text}");
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().int(37)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().int(37))
+        .unwrap();
     assert_eq!(out.ret_int, 42);
 }
 
@@ -411,16 +549,27 @@ fn callee_saved_register_restored_after_pop_elision() {
     let f = asm(
         &mut img,
         &[
-            Inst::Push { src: Operand::Reg(Gpr::Rbx) }, // save (unknown)
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rbx), src: Operand::Imm(1000) },
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Reg(Gpr::Rbx) },
-            Inst::Pop { dst: Operand::Reg(Gpr::Rbx) }, // restore
+            Inst::Push {
+                src: Operand::Reg(Gpr::Rbx),
+            }, // save (unknown)
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rbx),
+                src: Operand::Imm(1000),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Reg(Gpr::Rbx),
+            },
+            Inst::Pop {
+                dst: Operand::Reg(Gpr::Rbx),
+            }, // restore
             Inst::Ret,
         ],
     );
-    let mut cfg = RewriteConfig::new();
-    cfg.set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(&cfg, f, &[]).unwrap();
+    let req = SpecRequest::new().ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     // The emulator's debug harness asserts callee-saved preservation.
     let mut m = Machine::new();
     let out = m.call(&mut img, res.entry, &CallArgs::new()).unwrap();
@@ -437,13 +586,12 @@ fn recursion_with_known_argument_unrolls_completely() {
         &mut img,
     )
     .unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::Known).set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img)
-        .rewrite_named(&cfg, "fib", &[ArgValue::Int(12)])
-        .unwrap();
+    let req = SpecRequest::new().known_int(12).ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite_named("fib", &req).unwrap();
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new().int(12)).unwrap();
+    let out = m
+        .call(&mut img, res.entry, &CallArgs::new().int(12))
+        .unwrap();
     assert_eq!(out.ret_int, 144);
     assert_eq!(out.stats.calls, 0, "all recursive calls inlined");
     assert_eq!(out.stats.branches, 0, "all conditions folded");
@@ -473,12 +621,8 @@ fn unbounded_recursion_inlining_fails_recoverably() {
     // n unknown: the recursion depth is unbounded at trace time; the
     // branch forks and the recursive path keeps inlining until the depth
     // guard trips.
-    let cfg = {
-        let mut c = RewriteConfig::new();
-        c.set_ret(RetKind::Int);
-        c
-    };
-    let err = Rewriter::new(&mut img).rewrite(&cfg, f, &[ArgValue::Int(0)]).unwrap_err();
+    let req = SpecRequest::new().unknown_int().ret(RetKind::Int);
+    let err = Rewriter::new(&mut img).rewrite(f, &req).unwrap_err();
     assert!(
         matches!(
             err,
@@ -494,9 +638,8 @@ fn unbounded_recursion_inlining_fails_recoverably() {
 fn rewrite_stats_display_is_informative() {
     let mut img = Image::new();
     brew_minic::compile_into("int f(int a) { return a + 1; }", &mut img).unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite_named(&cfg, "f", &[ArgValue::Int(0)]).unwrap();
+    let req = SpecRequest::new().unknown_int().ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite_named("f", &req).unwrap();
     let text = res.stats.to_string();
     assert!(text.contains("traced") && text.contains("bytes"), "{text}");
 }
@@ -505,22 +648,51 @@ fn fib_like_nested_frames_convert() {
     use brew_core::frame::compress_frames;
     // mimic two nested inlined frames
     let insts = vec![
-        Inst::Push { src: Operand::Reg(Gpr::Rbp) },
-        Inst::Alu { op: AluOp::Sub, w: Width::W64, dst: Operand::Reg(Gpr::Rsp), src: Operand::Imm(0x10) },
-        Inst::Push { src: Operand::Reg(Gpr::Rbp) },
-        Inst::Alu { op: AluOp::Sub, w: Width::W64, dst: Operand::Reg(Gpr::Rsp), src: Operand::Imm(0x10) },
-        Inst::Lea { dst: Gpr::Rsp, src: MemRef::base_disp(Gpr::Rsp, 0x10) },
-        Inst::Pop { dst: Operand::Reg(Gpr::Rbp) },
-        Inst::Lea { dst: Gpr::Rsp, src: MemRef::base_disp(Gpr::Rsp, 0x10) },
-        Inst::Pop { dst: Operand::Reg(Gpr::Rbp) },
+        Inst::Push {
+            src: Operand::Reg(Gpr::Rbp),
+        },
+        Inst::Alu {
+            op: AluOp::Sub,
+            w: Width::W64,
+            dst: Operand::Reg(Gpr::Rsp),
+            src: Operand::Imm(0x10),
+        },
+        Inst::Push {
+            src: Operand::Reg(Gpr::Rbp),
+        },
+        Inst::Alu {
+            op: AluOp::Sub,
+            w: Width::W64,
+            dst: Operand::Reg(Gpr::Rsp),
+            src: Operand::Imm(0x10),
+        },
+        Inst::Lea {
+            dst: Gpr::Rsp,
+            src: MemRef::base_disp(Gpr::Rsp, 0x10),
+        },
+        Inst::Pop {
+            dst: Operand::Reg(Gpr::Rbp),
+        },
+        Inst::Lea {
+            dst: Gpr::Rsp,
+            src: MemRef::base_disp(Gpr::Rsp, 0x10),
+        },
+        Inst::Pop {
+            dst: Operand::Reg(Gpr::Rbp),
+        },
     ];
     let mut b = brew_core::capture::CapturedBlock::pending(0);
-    b.insts = insts.into_iter().map(brew_core::capture::CapturedInst::plain).collect();
+    b.insts = insts
+        .into_iter()
+        .map(brew_core::capture::CapturedInst::plain)
+        .collect();
     b.term = brew_core::capture::Terminator::Ret;
     b.traced = true;
     let mut blocks = vec![b];
     let n = compress_frames(&mut blocks);
     println!("converted: {n}");
-    for ci in &blocks[0].insts { println!("{}", ci.inst); }
+    for ci in &blocks[0].insts {
+        println!("{}", ci.inst);
+    }
     assert!(n >= 2);
 }

@@ -184,7 +184,11 @@ mod tests {
     #[test]
     fn load_costs_more_than_reg_op() {
         let m = CostModel::default();
-        let reg = Inst::Mov { w: Width::W64, dst: Gpr::Rax.into(), src: Gpr::Rbx.into() };
+        let reg = Inst::Mov {
+            w: Width::W64,
+            dst: Gpr::Rax.into(),
+            src: Gpr::Rbx.into(),
+        };
         let mem = Inst::Mov {
             w: Width::W64,
             dst: Gpr::Rax.into(),
@@ -202,15 +206,26 @@ mod tests {
     #[test]
     fn packed_same_cost_as_scalar() {
         let m = CostModel::default();
-        let s = Inst::Sse { op: SseOp::Mulsd, dst: Xmm::Xmm0, src: Xmm::Xmm1.into() };
-        let p = Inst::Sse { op: SseOp::Mulpd, dst: Xmm::Xmm0, src: Xmm::Xmm1.into() };
+        let s = Inst::Sse {
+            op: SseOp::Mulsd,
+            dst: Xmm::Xmm0,
+            src: Xmm::Xmm1.into(),
+        };
+        let p = Inst::Sse {
+            op: SseOp::Mulpd,
+            dst: Xmm::Xmm0,
+            src: Xmm::Xmm1.into(),
+        };
         assert_eq!(m.cost(&s, false), m.cost(&p, false));
     }
 
     #[test]
     fn taken_branch_costs_more() {
         let m = CostModel::default();
-        let j = Inst::Jcc { cond: Cond::E, target: 0 };
+        let j = Inst::Jcc {
+            cond: Cond::E,
+            target: 0,
+        };
         assert!(m.cost(&j, true) > m.cost(&j, false));
     }
 
@@ -218,7 +233,10 @@ mod tests {
     fn stats_record_and_merge() {
         let m = CostModel::default();
         let mut s = Stats::default();
-        let j = Inst::Jcc { cond: Cond::E, target: 0 };
+        let j = Inst::Jcc {
+            cond: Cond::E,
+            target: 0,
+        };
         s.record(&j, true, m.cost(&j, true));
         s.record(&j, false, m.cost(&j, false));
         assert_eq!(s.branches, 2);

@@ -246,9 +246,13 @@ impl<'o> Machine<'o> {
         if let Some(d) = self.cache.get(&addr) {
             return Ok(*d);
         }
-        let window = img
-            .code_window(addr, 16)
-            .map_err(|_| EmuError::Mem(MemFault { addr, size: 1, write: false }))?;
+        let window = img.code_window(addr, 16).map_err(|_| {
+            EmuError::Mem(MemFault {
+                addr,
+                size: 1,
+                write: false,
+            })
+        })?;
         let d = decode(&window, addr).map_err(|err| EmuError::Decode { addr, err })?;
         self.cache.insert(addr, d);
         Ok(d)
@@ -327,17 +331,18 @@ impl<'o> Machine<'o> {
                 let a = self.cpu.get(Gpr::Rax);
                 match w {
                     Width::W64 => self.cpu.set(Gpr::Rdx, ((a as i64) >> 63) as u64),
-                    _ => self
-                        .cpu
-                        .set_w(Gpr::Rdx, Width::W32, (((a as u32 as i32) >> 31) as u32) as u64),
+                    _ => self.cpu.set_w(
+                        Gpr::Rdx,
+                        Width::W32,
+                        (((a as u32 as i32) >> 31) as u32) as u64,
+                    ),
                 }
             }
             Inst::Idiv { w, src } => {
                 let hi = self.cpu.get(Gpr::Rdx);
                 let lo = self.cpu.get(Gpr::Rax);
                 let d = self.read_int(img, src, *w)?;
-                let (q, r) = brew_x86::alu::idiv(*w, hi, lo, d)
-                    .ok_or(EmuError::Divide { addr })?;
+                let (q, r) = brew_x86::alu::idiv(*w, hi, lo, d).ok_or(EmuError::Divide { addr })?;
                 self.cpu.set_w(Gpr::Rax, *w, q);
                 self.cpu.set_w(Gpr::Rdx, *w, r);
             }
@@ -419,9 +424,9 @@ impl<'o> Machine<'o> {
                     }
                     SseOp::Addpd | SseOp::Subpd | SseOp::Mulpd | SseOp::Divpd => {
                         let b = self.read_sse128(img, src)?;
-                        for lane in 0..2 {
+                        for (lane, bv) in b.iter().enumerate() {
                             let a = f64::from_bits(self.cpu.xmm[d][lane]);
-                            let bv = f64::from_bits(b[lane]);
+                            let bv = f64::from_bits(*bv);
                             self.cpu.xmm[d][lane] = packed_op(*op, a, bv).to_bits();
                         }
                     }
@@ -496,9 +501,12 @@ impl<'o> Machine<'o> {
         }
         // Seed callee-saved registers so an ABI violation is observable.
         for (i, r) in Gpr::SYSV_CALLEE_SAVED.iter().enumerate() {
-            self.cpu.set(*r, 0xCA11EE_0000 + i as u64);
+            self.cpu.set(*r, 0x00CA_11EE_0000 + i as u64);
         }
-        let saved: Vec<u64> = Gpr::SYSV_CALLEE_SAVED.iter().map(|r| self.cpu.get(*r)).collect();
+        let saved: Vec<u64> = Gpr::SYSV_CALLEE_SAVED
+            .iter()
+            .map(|r| self.cpu.get(*r))
+            .collect();
 
         self.push(img, STOP_ADDR)?;
         self.cpu.rip = func;
@@ -558,7 +566,13 @@ fn ucomisd_flags(a: f64, b: f64) -> Flags {
     } else {
         (false, false, false)
     };
-    Flags { cf, zf, sf: false, of: false, pf }
+    Flags {
+        cf,
+        zf,
+        sf: false,
+        of: false,
+        pf,
+    }
 }
 
 /// Truncating double→int conversion with the ISA's out-of-range semantics
@@ -566,14 +580,14 @@ fn ucomisd_flags(a: f64, b: f64) -> Flags {
 fn cvttsd2si(f: f64, w: Width) -> u64 {
     match w {
         Width::W64 => {
-            if f.is_nan() || f >= 9.223372036854776e18 || f < -9.223372036854776e18 {
+            if f.is_nan() || !(-9.223372036854776e18..9.223372036854776e18).contains(&f) {
                 i64::MIN as u64
             } else {
                 (f as i64) as u64
             }
         }
         _ => {
-            if f.is_nan() || f >= 2147483648.0 || f < -2147483648.0 {
+            if f.is_nan() || !(-2147483648.0..2147483648.0).contains(&f) {
                 (i32::MIN as u32) as u64
             } else {
                 ((f as i32) as u32) as u64
@@ -609,12 +623,23 @@ mod tests {
     fn add_function() {
         // long add(long a, long b) { return a + b; }
         let (mut img, f) = asm(&[
-            Inst::Mov { w: Width::W64, dst: Gpr::Rax.into(), src: Gpr::Rdi.into() },
-            Inst::Alu { op: AluOp::Add, w: Width::W64, dst: Gpr::Rax.into(), src: Gpr::Rsi.into() },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Gpr::Rax.into(),
+                src: Gpr::Rdi.into(),
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                w: Width::W64,
+                dst: Gpr::Rax.into(),
+                src: Gpr::Rsi.into(),
+            },
             Inst::Ret,
         ]);
         let mut m = Machine::new();
-        let out = m.call(&mut img, f, &CallArgs::new().int(40).int(2)).unwrap();
+        let out = m
+            .call(&mut img, f, &CallArgs::new().int(40).int(2))
+            .unwrap();
         assert_eq!(out.ret_int, 42);
         assert_eq!(out.stats.insts, 3);
     }
@@ -623,13 +648,26 @@ mod tests {
     fn fp_function() {
         // double fma_ish(double a, double b) { return a * b + a; }
         let (mut img, f) = asm(&[
-            Inst::MovSd { dst: Xmm::Xmm2.into(), src: Xmm::Xmm0.into() },
-            Inst::Sse { op: SseOp::Mulsd, dst: Xmm::Xmm0, src: Xmm::Xmm1.into() },
-            Inst::Sse { op: SseOp::Addsd, dst: Xmm::Xmm0, src: Xmm::Xmm2.into() },
+            Inst::MovSd {
+                dst: Xmm::Xmm2.into(),
+                src: Xmm::Xmm0.into(),
+            },
+            Inst::Sse {
+                op: SseOp::Mulsd,
+                dst: Xmm::Xmm0,
+                src: Xmm::Xmm1.into(),
+            },
+            Inst::Sse {
+                op: SseOp::Addsd,
+                dst: Xmm::Xmm0,
+                src: Xmm::Xmm2.into(),
+            },
             Inst::Ret,
         ]);
         let mut m = Machine::new();
-        let out = m.call(&mut img, f, &CallArgs::new().f64(3.0).f64(4.0)).unwrap();
+        let out = m
+            .call(&mut img, f, &CallArgs::new().f64(3.0).f64(4.0))
+            .unwrap();
         assert_eq!(out.ret_f64, 15.0);
     }
 
@@ -639,10 +677,21 @@ mod tests {
         let loop_top = brew_image::layout::CODE_BASE + 7 + 4; // after first two insts
         let (mut img, f) = asm(&[
             // mov rax, 0 (7 bytes)
-            Inst::Mov { w: Width::W64, dst: Gpr::Rax.into(), src: Operand::Imm(0) },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Gpr::Rax.into(),
+                src: Operand::Imm(0),
+            },
             // test rsi, rsi (4? bytes: 48 85 F6 = 3)... compute via encoded_len
-            Inst::Test { w: Width::W64, a: Gpr::Rsi.into(), b: Gpr::Rsi.into() },
-            Inst::Jcc { cond: Cond::E, target: 0 }, // patched below
+            Inst::Test {
+                w: Width::W64,
+                a: Gpr::Rsi.into(),
+                b: Gpr::Rsi.into(),
+            },
+            Inst::Jcc {
+                cond: Cond::E,
+                target: 0,
+            }, // patched below
             // loop: add rax, [rdi]; add rdi, 8; dec rsi; jne loop
             Inst::Alu {
                 op: AluOp::Add,
@@ -650,9 +699,21 @@ mod tests {
                 dst: Gpr::Rax.into(),
                 src: MemRef::base(Gpr::Rdi).into(),
             },
-            Inst::Alu { op: AluOp::Add, w: Width::W64, dst: Gpr::Rdi.into(), src: Operand::Imm(8) },
-            Inst::Unary { op: UnOp::Dec, w: Width::W64, dst: Gpr::Rsi.into() },
-            Inst::Jcc { cond: Cond::Ne, target: 0 }, // patched below
+            Inst::Alu {
+                op: AluOp::Add,
+                w: Width::W64,
+                dst: Gpr::Rdi.into(),
+                src: Operand::Imm(8),
+            },
+            Inst::Unary {
+                op: UnOp::Dec,
+                w: Width::W64,
+                dst: Gpr::Rsi.into(),
+            },
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: 0,
+            }, // patched below
             Inst::Ret,
         ]);
         let _ = loop_top;
@@ -674,18 +735,41 @@ mod tests {
         }
         // Rebuild with jcc targets: index 2 -> ret (addrs[7]); index 6 -> loop top (addrs[3]).
         let body = [
-            Inst::Mov { w: Width::W64, dst: Gpr::Rax.into(), src: Operand::Imm(0) },
-            Inst::Test { w: Width::W64, a: Gpr::Rsi.into(), b: Gpr::Rsi.into() },
-            Inst::Jcc { cond: Cond::E, target: addrs[7] },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Gpr::Rax.into(),
+                src: Operand::Imm(0),
+            },
+            Inst::Test {
+                w: Width::W64,
+                a: Gpr::Rsi.into(),
+                b: Gpr::Rsi.into(),
+            },
+            Inst::Jcc {
+                cond: Cond::E,
+                target: addrs[7],
+            },
             Inst::Alu {
                 op: AluOp::Add,
                 w: Width::W64,
                 dst: Gpr::Rax.into(),
                 src: MemRef::base(Gpr::Rdi).into(),
             },
-            Inst::Alu { op: AluOp::Add, w: Width::W64, dst: Gpr::Rdi.into(), src: Operand::Imm(8) },
-            Inst::Unary { op: UnOp::Dec, w: Width::W64, dst: Gpr::Rsi.into() },
-            Inst::Jcc { cond: Cond::Ne, target: addrs[3] },
+            Inst::Alu {
+                op: AluOp::Add,
+                w: Width::W64,
+                dst: Gpr::Rdi.into(),
+                src: Operand::Imm(8),
+            },
+            Inst::Unary {
+                op: UnOp::Dec,
+                w: Width::W64,
+                dst: Gpr::Rsi.into(),
+            },
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: addrs[3],
+            },
             Inst::Ret,
         ];
         let mut bytes = Vec::new();
@@ -713,7 +797,11 @@ mod tests {
         // callee: mov rax, 7; ret     caller: call callee; add rax, 1; ret
         let base = brew_image::layout::CODE_BASE;
         let callee = [
-            Inst::Mov { w: Width::W64, dst: Gpr::Rax.into(), src: Operand::Imm(7) },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Gpr::Rax.into(),
+                src: Operand::Imm(7),
+            },
             Inst::Ret,
         ];
         let mut bytes = Vec::new();
@@ -726,7 +814,12 @@ mod tests {
         let caller_at = base + callee_len;
         let caller = [
             Inst::CallRel { target: base },
-            Inst::Alu { op: AluOp::Add, w: Width::W64, dst: Gpr::Rax.into(), src: Operand::Imm(1) },
+            Inst::Alu {
+                op: AluOp::Add,
+                w: Width::W64,
+                dst: Gpr::Rax.into(),
+                src: Operand::Imm(1),
+            },
             Inst::Ret,
         ];
         for i in &caller {
@@ -744,9 +837,16 @@ mod tests {
     #[test]
     fn divide_fault() {
         let (mut img, f) = asm(&[
-            Inst::Mov { w: Width::W64, dst: Gpr::Rax.into(), src: Operand::Imm(1) },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Gpr::Rax.into(),
+                src: Operand::Imm(1),
+            },
             Inst::Cqo { w: Width::W64 },
-            Inst::Idiv { w: Width::W64, src: Gpr::Rcx.into() }, // rcx = 0
+            Inst::Idiv {
+                w: Width::W64,
+                src: Gpr::Rcx.into(),
+            }, // rcx = 0
             Inst::Ret,
         ]);
         let mut m = Machine::new();
@@ -787,7 +887,11 @@ mod tests {
         let mut bytes = Vec::new();
         let mut a = base;
         for i in [
-            Inst::Mov { w: Width::W64, dst: Gpr::Rax.into(), src: Operand::Imm(1) },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Gpr::Rax.into(),
+                src: Operand::Imm(1),
+            },
             Inst::Ret,
         ] {
             encode(&i, a, &mut bytes).unwrap();

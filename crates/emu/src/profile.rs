@@ -27,7 +27,10 @@ pub struct ValueProfile {
 impl ValueProfile {
     /// Track the first `params` integer parameters (at most 6).
     pub fn new(params: usize) -> Self {
-        ValueProfile { params_tracked: params.min(6), ..Default::default() }
+        ValueProfile {
+            params_tracked: params.min(6),
+            ..Default::default()
+        }
     }
 
     /// Record one call. Matches the [`crate::machine::CallObserver`] shape.

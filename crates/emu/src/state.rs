@@ -3,7 +3,7 @@
 use brew_x86::prelude::*;
 
 /// Register and flag state of the virtual CPU.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CpuState {
     /// General-purpose registers, indexed by [`Gpr::number`].
     pub gpr: [u64; 16],
@@ -13,12 +13,6 @@ pub struct CpuState {
     pub flags: Flags,
     /// Instruction pointer.
     pub rip: u64,
-}
-
-impl Default for CpuState {
-    fn default() -> Self {
-        CpuState { gpr: [0; 16], xmm: [[0; 2]; 16], flags: Flags::default(), rip: 0 }
-    }
 }
 
 impl CpuState {

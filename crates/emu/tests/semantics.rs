@@ -37,8 +37,15 @@ fn rax() -> Operand {
 fn mov_w32_zero_extends() {
     let (r, _, _) = run(
         &[
-            Inst::MovAbs { dst: Gpr::Rax, imm: 0xFFFF_FFFF_FFFF_FFFF },
-            Inst::Mov { w: Width::W32, dst: rax(), src: Operand::Imm(-1) },
+            Inst::MovAbs {
+                dst: Gpr::Rax,
+                imm: 0xFFFF_FFFF_FFFF_FFFF,
+            },
+            Inst::Mov {
+                w: Width::W32,
+                dst: rax(),
+                src: Operand::Imm(-1),
+            },
             Inst::Ret,
         ],
         CallArgs::new(),
@@ -50,8 +57,15 @@ fn mov_w32_zero_extends() {
 fn movsxd_sign_extends() {
     let (r, _, _) = run(
         &[
-            Inst::Mov { w: Width::W32, dst: Operand::Reg(Gpr::Rcx), src: Operand::Imm(-5) },
-            Inst::Movsxd { dst: Gpr::Rax, src: Operand::Reg(Gpr::Rcx) },
+            Inst::Mov {
+                w: Width::W32,
+                dst: Operand::Reg(Gpr::Rcx),
+                src: Operand::Imm(-5),
+            },
+            Inst::Movsxd {
+                dst: Gpr::Rax,
+                src: Operand::Reg(Gpr::Rcx),
+            },
             Inst::Ret,
         ],
         CallArgs::new(),
@@ -63,8 +77,15 @@ fn movsxd_sign_extends() {
 fn movzx8_takes_low_byte() {
     let (r, _, _) = run(
         &[
-            Inst::MovAbs { dst: Gpr::Rcx, imm: 0x1234_5678_9ABC_DEF0 },
-            Inst::Movzx8 { w: Width::W64, dst: Gpr::Rax, src: Operand::Reg(Gpr::Rcx) },
+            Inst::MovAbs {
+                dst: Gpr::Rcx,
+                imm: 0x1234_5678_9ABC_DEF0,
+            },
+            Inst::Movzx8 {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Operand::Reg(Gpr::Rcx),
+            },
             Inst::Ret,
         ],
         CallArgs::new(),
@@ -76,9 +97,20 @@ fn movzx8_takes_low_byte() {
 fn lea_computes_full_address_math() {
     let (r, _, _) = run(
         &[
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rcx), src: Operand::Imm(100) },
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rdx), src: Operand::Imm(7) },
-            Inst::Lea { dst: Gpr::Rax, src: MemRef::base_index(Gpr::Rcx, Gpr::Rdx, 8, -6) },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rcx),
+                src: Operand::Imm(100),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rdx),
+                src: Operand::Imm(7),
+            },
+            Inst::Lea {
+                dst: Gpr::Rax,
+                src: MemRef::base_index(Gpr::Rcx, Gpr::Rdx, 8, -6),
+            },
             Inst::Ret,
         ],
         CallArgs::new(),
@@ -96,7 +128,11 @@ fn alu_mem_rmw() {
                 dst: Operand::Mem(MemRef::base_disp(Gpr::Rsp, -8)),
                 src: Operand::Imm(40),
             },
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rcx), src: Operand::Imm(2) },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rcx),
+                src: Operand::Imm(2),
+            },
             Inst::Alu {
                 op: AluOp::Add,
                 w: Width::W64,
@@ -119,8 +155,17 @@ fn alu_mem_rmw() {
 fn imul_three_operand() {
     let (r, _, _) = run(
         &[
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rcx), src: Operand::Imm(-6) },
-            Inst::ImulImm { w: Width::W64, dst: Gpr::Rax, src: Operand::Reg(Gpr::Rcx), imm: -7 },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rcx),
+                src: Operand::Imm(-6),
+            },
+            Inst::ImulImm {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Operand::Reg(Gpr::Rcx),
+                imm: -7,
+            },
             Inst::Ret,
         ],
         CallArgs::new(),
@@ -132,10 +177,28 @@ fn imul_three_operand() {
 fn shifts_and_cl() {
     let (r, _, _) = run(
         &[
-            Inst::Mov { w: Width::W64, dst: rax(), src: Operand::Imm(1) },
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rcx), src: Operand::Imm(5) },
-            Inst::Shift { op: ShOp::Shl, w: Width::W64, dst: rax(), count: ShiftCount::Cl },
-            Inst::Shift { op: ShOp::Shr, w: Width::W64, dst: rax(), count: ShiftCount::Imm(2) },
+            Inst::Mov {
+                w: Width::W64,
+                dst: rax(),
+                src: Operand::Imm(1),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rcx),
+                src: Operand::Imm(5),
+            },
+            Inst::Shift {
+                op: ShOp::Shl,
+                w: Width::W64,
+                dst: rax(),
+                count: ShiftCount::Cl,
+            },
+            Inst::Shift {
+                op: ShOp::Shr,
+                w: Width::W64,
+                dst: rax(),
+                count: ShiftCount::Imm(2),
+            },
             Inst::Ret,
         ],
         CallArgs::new(),
@@ -147,8 +210,17 @@ fn shifts_and_cl() {
 fn sar_is_arithmetic() {
     let (r, _, _) = run(
         &[
-            Inst::Mov { w: Width::W64, dst: rax(), src: Operand::Imm(-64) },
-            Inst::Shift { op: ShOp::Sar, w: Width::W64, dst: rax(), count: ShiftCount::Imm(3) },
+            Inst::Mov {
+                w: Width::W64,
+                dst: rax(),
+                src: Operand::Imm(-64),
+            },
+            Inst::Shift {
+                op: ShOp::Sar,
+                w: Width::W64,
+                dst: rax(),
+                count: ShiftCount::Imm(3),
+            },
             Inst::Ret,
         ],
         CallArgs::new(),
@@ -160,16 +232,31 @@ fn sar_is_arithmetic() {
 fn cqo_idiv_signed() {
     let (r, _, cpu) = run(
         &[
-            Inst::Mov { w: Width::W64, dst: rax(), src: Operand::Imm(-43) },
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rcx), src: Operand::Imm(5) },
+            Inst::Mov {
+                w: Width::W64,
+                dst: rax(),
+                src: Operand::Imm(-43),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rcx),
+                src: Operand::Imm(5),
+            },
             Inst::Cqo { w: Width::W64 },
-            Inst::Idiv { w: Width::W64, src: Operand::Reg(Gpr::Rcx) },
+            Inst::Idiv {
+                w: Width::W64,
+                src: Operand::Reg(Gpr::Rcx),
+            },
             Inst::Ret,
         ],
         CallArgs::new(),
     );
     assert_eq!(r as i64, -8, "C-style truncation toward zero");
-    assert_eq!(cpu.get(Gpr::Rdx) as i64, -3, "remainder keeps dividend sign");
+    assert_eq!(
+        cpu.get(Gpr::Rdx) as i64,
+        -3,
+        "remainder keeps dividend sign"
+    );
 }
 
 #[test]
@@ -179,10 +266,23 @@ fn setcc_all_conditions_after_cmp() {
     for cond in Cond::ALL {
         let (r, _, _) = run(
             &[
-                Inst::Mov { w: Width::W64, dst: rax(), src: Operand::Imm(3) },
-                Inst::Alu { op: AluOp::Cmp, w: Width::W64, dst: rax(), src: Operand::Imm(5) },
+                Inst::Mov {
+                    w: Width::W64,
+                    dst: rax(),
+                    src: Operand::Imm(3),
+                },
+                Inst::Alu {
+                    op: AluOp::Cmp,
+                    w: Width::W64,
+                    dst: rax(),
+                    src: Operand::Imm(5),
+                },
                 Inst::Setcc { cond, dst: rax() },
-                Inst::Movzx8 { w: Width::W64, dst: Gpr::Rax, src: rax() },
+                Inst::Movzx8 {
+                    w: Width::W64,
+                    dst: Gpr::Rax,
+                    src: rax(),
+                },
                 Inst::Ret,
             ],
             CallArgs::new(),
@@ -197,11 +297,27 @@ fn jcc_taken_and_not_taken() {
     let base = brew_image::layout::CODE_BASE;
     // cmp rdi,1 (4) + jcc (6) + mov rax,20 (7) + ret (1) => taken target at +18.
     let insts = [
-        Inst::Alu { op: AluOp::Cmp, w: Width::W64, dst: Operand::Reg(Gpr::Rdi), src: Operand::Imm(1) },
-        Inst::Jcc { cond: Cond::E, target: base + 18 },
-        Inst::Mov { w: Width::W64, dst: rax(), src: Operand::Imm(20) },
+        Inst::Alu {
+            op: AluOp::Cmp,
+            w: Width::W64,
+            dst: Operand::Reg(Gpr::Rdi),
+            src: Operand::Imm(1),
+        },
+        Inst::Jcc {
+            cond: Cond::E,
+            target: base + 18,
+        },
+        Inst::Mov {
+            w: Width::W64,
+            dst: rax(),
+            src: Operand::Imm(20),
+        },
         Inst::Ret,
-        Inst::Mov { w: Width::W64, dst: rax(), src: Operand::Imm(10) },
+        Inst::Mov {
+            w: Width::W64,
+            dst: rax(),
+            src: Operand::Imm(10),
+        },
         Inst::Ret,
     ];
     let (r, _, _) = run(&insts, CallArgs::new().int(1));
@@ -218,10 +334,20 @@ fn movsd_load_zeroes_high_lane_reg_copy_does_not() {
     let mut bytes = Vec::new();
     for i in [
         // xmm1 = [?, ?] -> set both lanes via movupd from a 16-byte pattern
-        Inst::MovSd { dst: Operand::Xmm(Xmm::Xmm1), src: Operand::Mem(MemRef::abs(d as i32)) },
-        Inst::Sse { op: SseOp::Unpcklpd, dst: Xmm::Xmm1, src: Operand::Xmm(Xmm::Xmm1) }, // [3.5, 3.5]
+        Inst::MovSd {
+            dst: Operand::Xmm(Xmm::Xmm1),
+            src: Operand::Mem(MemRef::abs(d as i32)),
+        },
+        Inst::Sse {
+            op: SseOp::Unpcklpd,
+            dst: Xmm::Xmm1,
+            src: Operand::Xmm(Xmm::Xmm1),
+        }, // [3.5, 3.5]
         // load into xmm1 again: movsd from memory zeroes the high lane
-        Inst::MovSd { dst: Operand::Xmm(Xmm::Xmm1), src: Operand::Mem(MemRef::abs(d as i32)) },
+        Inst::MovSd {
+            dst: Operand::Xmm(Xmm::Xmm1),
+            src: Operand::Mem(MemRef::abs(d as i32)),
+        },
         Inst::Ret,
     ] {
         let addr = base + bytes.len() as u64;
@@ -254,9 +380,20 @@ fn packed_ops_touch_both_lanes() {
     let base = brew_image::layout::CODE_BASE;
     let mut bytes = Vec::new();
     for i in [
-        Inst::MovUpd { dst: Operand::Xmm(Xmm::Xmm0), src: Operand::Mem(MemRef::abs(a as i32)) },
-        Inst::Sse { op: SseOp::Addpd, dst: Xmm::Xmm0, src: Operand::Mem(MemRef::abs(b as i32)) },
-        Inst::Sse { op: SseOp::Mulpd, dst: Xmm::Xmm0, src: Operand::Xmm(Xmm::Xmm0) },
+        Inst::MovUpd {
+            dst: Operand::Xmm(Xmm::Xmm0),
+            src: Operand::Mem(MemRef::abs(a as i32)),
+        },
+        Inst::Sse {
+            op: SseOp::Addpd,
+            dst: Xmm::Xmm0,
+            src: Operand::Mem(MemRef::abs(b as i32)),
+        },
+        Inst::Sse {
+            op: SseOp::Mulpd,
+            dst: Xmm::Xmm0,
+            src: Operand::Xmm(Xmm::Xmm0),
+        },
         Inst::Ret,
     ] {
         let addr = base + bytes.len() as u64;
@@ -274,9 +411,19 @@ fn ucomisd_branches() {
     // return (xmm0 < xmm1) ? 1 : 0 using the seta idiom (swap operands).
     let base = brew_image::layout::CODE_BASE;
     let insts = [
-        Inst::Ucomisd { a: Xmm::Xmm1, b: Operand::Xmm(Xmm::Xmm0) },
-        Inst::Setcc { cond: Cond::A, dst: rax() },
-        Inst::Movzx8 { w: Width::W64, dst: Gpr::Rax, src: rax() },
+        Inst::Ucomisd {
+            a: Xmm::Xmm1,
+            b: Operand::Xmm(Xmm::Xmm0),
+        },
+        Inst::Setcc {
+            cond: Cond::A,
+            dst: rax(),
+        },
+        Inst::Movzx8 {
+            w: Width::W64,
+            dst: Gpr::Rax,
+            src: rax(),
+        },
         Inst::Ret,
     ];
     let _ = base;
@@ -292,8 +439,16 @@ fn ucomisd_branches() {
 fn cvt_round_trip() {
     let (_, f, _) = run(
         &[
-            Inst::Mov { w: Width::W64, dst: rax(), src: Operand::Imm(-7) },
-            Inst::Cvtsi2sd { w: Width::W64, dst: Xmm::Xmm0, src: rax() },
+            Inst::Mov {
+                w: Width::W64,
+                dst: rax(),
+                src: Operand::Imm(-7),
+            },
+            Inst::Cvtsi2sd {
+                w: Width::W64,
+                dst: Xmm::Xmm0,
+                src: rax(),
+            },
             Inst::Ret,
         ],
         CallArgs::new(),
@@ -302,7 +457,11 @@ fn cvt_round_trip() {
 
     let (r, _, _) = run(
         &[
-            Inst::Cvttsd2si { w: Width::W64, dst: Gpr::Rax, src: Operand::Xmm(Xmm::Xmm0) },
+            Inst::Cvttsd2si {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Operand::Xmm(Xmm::Xmm0),
+            },
             Inst::Ret,
         ],
         CallArgs::new().f64(-7.9),
@@ -314,12 +473,28 @@ fn cvt_round_trip() {
 fn push_pop_lifo() {
     let (r, _, _) = run(
         &[
-            Inst::Push { src: Operand::Imm(1) },
-            Inst::Push { src: Operand::Imm(2) },
-            Inst::Pop { dst: rax() },                    // 2
-            Inst::Pop { dst: Operand::Reg(Gpr::Rcx) },   // 1
-            Inst::Shift { op: ShOp::Shl, w: Width::W64, dst: rax(), count: ShiftCount::Imm(4) },
-            Inst::Alu { op: AluOp::Or, w: Width::W64, dst: rax(), src: Operand::Reg(Gpr::Rcx) },
+            Inst::Push {
+                src: Operand::Imm(1),
+            },
+            Inst::Push {
+                src: Operand::Imm(2),
+            },
+            Inst::Pop { dst: rax() }, // 2
+            Inst::Pop {
+                dst: Operand::Reg(Gpr::Rcx),
+            }, // 1
+            Inst::Shift {
+                op: ShOp::Shl,
+                w: Width::W64,
+                dst: rax(),
+                count: ShiftCount::Imm(4),
+            },
+            Inst::Alu {
+                op: AluOp::Or,
+                w: Width::W64,
+                dst: rax(),
+                src: Operand::Reg(Gpr::Rcx),
+            },
             Inst::Ret,
         ],
         CallArgs::new(),
@@ -331,11 +506,31 @@ fn push_pop_lifo() {
 fn neg_not_inc_dec() {
     let (r, _, _) = run(
         &[
-            Inst::Mov { w: Width::W64, dst: rax(), src: Operand::Imm(10) },
-            Inst::Unary { op: UnOp::Neg, w: Width::W64, dst: rax() },  // -10
-            Inst::Unary { op: UnOp::Dec, w: Width::W64, dst: rax() },  // -11
-            Inst::Unary { op: UnOp::Not, w: Width::W64, dst: rax() },  // 10
-            Inst::Unary { op: UnOp::Inc, w: Width::W64, dst: rax() },  // 11
+            Inst::Mov {
+                w: Width::W64,
+                dst: rax(),
+                src: Operand::Imm(10),
+            },
+            Inst::Unary {
+                op: UnOp::Neg,
+                w: Width::W64,
+                dst: rax(),
+            }, // -10
+            Inst::Unary {
+                op: UnOp::Dec,
+                w: Width::W64,
+                dst: rax(),
+            }, // -11
+            Inst::Unary {
+                op: UnOp::Not,
+                w: Width::W64,
+                dst: rax(),
+            }, // 10
+            Inst::Unary {
+                op: UnOp::Inc,
+                w: Width::W64,
+                dst: rax(),
+            }, // 11
             Inst::Ret,
         ],
         CallArgs::new(),
@@ -349,11 +544,26 @@ fn test_inst_sets_zf() {
     // test rdi, rdi; je +...: return rdi==0 ? 1 : 0
     // test(3) jcc(6) mov(7) ret(1) -> target at +17
     let insts = [
-        Inst::Test { w: Width::W64, a: Operand::Reg(Gpr::Rdi), b: Operand::Reg(Gpr::Rdi) },
-        Inst::Jcc { cond: Cond::E, target: base + 17 },
-        Inst::Mov { w: Width::W64, dst: rax(), src: Operand::Imm(0) },
+        Inst::Test {
+            w: Width::W64,
+            a: Operand::Reg(Gpr::Rdi),
+            b: Operand::Reg(Gpr::Rdi),
+        },
+        Inst::Jcc {
+            cond: Cond::E,
+            target: base + 17,
+        },
+        Inst::Mov {
+            w: Width::W64,
+            dst: rax(),
+            src: Operand::Imm(0),
+        },
         Inst::Ret,
-        Inst::Mov { w: Width::W64, dst: rax(), src: Operand::Imm(1) },
+        Inst::Mov {
+            w: Width::W64,
+            dst: rax(),
+            src: Operand::Imm(1),
+        },
         Inst::Ret,
     ];
     let (r, _, _) = run(&insts, CallArgs::new().int(0));
@@ -375,7 +585,11 @@ fn stats_classify_instructions() {
             dst: rax(),
             src: Operand::Mem(MemRef::base_disp(Gpr::Rsp, -8)),
         },
-        Inst::Sse { op: SseOp::Addsd, dst: Xmm::Xmm0, src: Operand::Xmm(Xmm::Xmm1) },
+        Inst::Sse {
+            op: SseOp::Addsd,
+            dst: Xmm::Xmm0,
+            src: Operand::Xmm(Xmm::Xmm1),
+        },
         Inst::Ret,
     ]);
     let mut m = Machine::new();
@@ -400,7 +614,11 @@ fn nop_does_nothing_but_count() {
 fn xorpd_zeroes_register() {
     let (_, f, cpu) = run(
         &[
-            Inst::Sse { op: SseOp::Xorpd, dst: Xmm::Xmm0, src: Operand::Xmm(Xmm::Xmm0) },
+            Inst::Sse {
+                op: SseOp::Xorpd,
+                dst: Xmm::Xmm0,
+                src: Operand::Xmm(Xmm::Xmm0),
+            },
             Inst::Ret,
         ],
         CallArgs::new().f64(123.456),

@@ -109,7 +109,9 @@ struct PagedMem {
 
 impl PagedMem {
     fn page_mut(&mut self, pno: u64) -> &mut [u8; PAGE as usize] {
-        self.pages.entry(pno).or_insert_with(|| Box::new([0u8; PAGE as usize]))
+        self.pages
+            .entry(pno)
+            .or_insert_with(|| Box::new([0u8; PAGE as usize]))
     }
 
     fn read(&self, addr: u64, out: &mut [u8]) {
@@ -168,10 +170,26 @@ impl Image {
         Image {
             mem: PagedMem::default(),
             segments: vec![
-                Segment { kind: SegKind::Code, base: CODE_BASE, size: CODE_SIZE },
-                Segment { kind: SegKind::Data, base: DATA_BASE, size: DATA_SIZE },
-                Segment { kind: SegKind::Jit, base: JIT_BASE, size: JIT_SIZE },
-                Segment { kind: SegKind::Heap, base: HEAP_BASE, size: HEAP_SIZE },
+                Segment {
+                    kind: SegKind::Code,
+                    base: CODE_BASE,
+                    size: CODE_SIZE,
+                },
+                Segment {
+                    kind: SegKind::Data,
+                    base: DATA_BASE,
+                    size: DATA_SIZE,
+                },
+                Segment {
+                    kind: SegKind::Jit,
+                    base: JIT_BASE,
+                    size: JIT_SIZE,
+                },
+                Segment {
+                    kind: SegKind::Heap,
+                    base: HEAP_BASE,
+                    size: HEAP_SIZE,
+                },
                 Segment {
                     kind: SegKind::Stack,
                     base: STACK_TOP - STACK_SIZE,
@@ -207,7 +225,10 @@ impl Image {
 
     /// The segment kind containing `addr`, if any.
     pub fn segment_of(&self, addr: u64) -> Option<SegKind> {
-        self.segments.iter().find(|s| s.contains(addr, 1)).map(|s| s.kind)
+        self.segments
+            .iter()
+            .find(|s| s.contains(addr, 1))
+            .map(|s| s.kind)
     }
 
     fn check(&self, addr: u64, size: u64, write: bool) -> Result<(), MemFault> {
@@ -251,7 +272,12 @@ impl Image {
 
     /// Reserve zeroed space in the data segment.
     pub fn alloc_data(&mut self, size: u64, align: u64) -> u64 {
-        Self::bump(&mut self.data_next, size, align, layout::DATA_BASE + layout::DATA_SIZE)
+        Self::bump(
+            &mut self.data_next,
+            size,
+            align,
+            layout::DATA_BASE + layout::DATA_SIZE,
+        )
     }
 
     /// Copy `bytes` into the data segment; returns their address.
@@ -281,7 +307,12 @@ impl Image {
 
     /// Reserve zeroed heap space (simple bump allocator, no free).
     pub fn alloc_heap(&mut self, size: u64, align: u64) -> u64 {
-        Self::bump(&mut self.heap_next, size, align, layout::HEAP_BASE + layout::HEAP_SIZE)
+        Self::bump(
+            &mut self.heap_next,
+            size,
+            align,
+            layout::HEAP_BASE + layout::HEAP_SIZE,
+        )
     }
 
     // ---- symbols ---------------------------------------------------------
@@ -368,7 +399,11 @@ impl Image {
             .segments
             .iter()
             .find(|s| s.contains(addr, 1) && matches!(s.kind, SegKind::Code | SegKind::Jit))
-            .ok_or(MemFault { addr, size: 1, write: false })?;
+            .ok_or(MemFault {
+                addr,
+                size: 1,
+                write: false,
+            })?;
         let avail = (seg.base + seg.size - addr).min(max as u64);
         let mut buf = vec![0u8; avail as usize];
         self.mem.read(addr, &mut buf);

@@ -59,7 +59,7 @@ proptest! {
     #[test]
     fn code_version_changes_on_code_writes_only(n in 1usize..8) {
         let mut img = Image::new();
-        let c = img.alloc_code(&vec![0x90; 16]);
+        let c = img.alloc_code(&[0x90; 16]);
         let d = img.alloc_data(64, 8);
         let v0 = img.code_version();
         for i in 0..n {

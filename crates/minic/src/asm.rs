@@ -154,7 +154,11 @@ mod tests {
         let top = a.label();
         let end = a.label();
         a.bind(top);
-        a.emit(Inst::Unary { op: UnOp::Dec, w: Width::W64, dst: Gpr::Rax.into() });
+        a.emit(Inst::Unary {
+            op: UnOp::Dec,
+            w: Width::W64,
+            dst: Gpr::Rax.into(),
+        });
         a.jcc(Cond::E, end);
         a.jmp(top);
         a.bind(end);
@@ -182,7 +186,13 @@ mod tests {
             .unwrap();
         let (insts, _) = decode_all(&bytes, 0x40_0000);
         assert_eq!(insts[0].1.static_target(), Some(0x40_1000));
-        assert_eq!(insts[1].1, Inst::MovAbs { dst: Gpr::Rax, imm: 0x60_0008 });
+        assert_eq!(
+            insts[1].1,
+            Inst::MovAbs {
+                dst: Gpr::Rax,
+                imm: 0x60_0008
+            }
+        );
     }
 
     #[test]

@@ -39,11 +39,23 @@ struct Gen<'a> {
 pub fn gen_func(f: &TFunc, globals: &HashMap<String, u64>) -> Result<Asm, CodegenError> {
     let mut asm = Asm::new();
     let epilogue = asm.label();
-    let mut g = Gen { asm, globals, loops: Vec::new(), epilogue, ret: f.sig.ret.scalar() };
+    let mut g = Gen {
+        asm,
+        globals,
+        loops: Vec::new(),
+        epilogue,
+        ret: f.sig.ret.scalar(),
+    };
 
     // Prologue.
-    g.emit(Inst::Push { src: Gpr::Rbp.into() });
-    g.emit(Inst::Mov { w: Width::W64, dst: Gpr::Rbp.into(), src: RSP });
+    g.emit(Inst::Push {
+        src: Gpr::Rbp.into(),
+    });
+    g.emit(Inst::Mov {
+        w: Width::W64,
+        dst: Gpr::Rbp.into(),
+        src: RSP,
+    });
     if f.frame_size > 0 {
         g.emit(Inst::Alu {
             op: AluOp::Sub,
@@ -67,7 +79,10 @@ pub fn gen_func(f: &TFunc, globals: &HashMap<String, u64>) -> Result<Asm, Codege
                 int_idx += 1;
             }
             Scalar::F64 => {
-                g.emit(Inst::MovSd { dst: slot.into(), src: Xmm::SYSV_ARGS[fp_idx].into() });
+                g.emit(Inst::MovSd {
+                    dst: slot.into(),
+                    src: Xmm::SYSV_ARGS[fp_idx].into(),
+                });
                 fp_idx += 1;
             }
         }
@@ -85,13 +100,23 @@ pub fn gen_func(f: &TFunc, globals: &HashMap<String, u64>) -> Result<Asm, Codege
             dst: RAX,
             src: RAX,
         }),
-        Some(Scalar::F64) => g.emit(Inst::Sse { op: SseOp::Xorpd, dst: Xmm::Xmm0, src: XMM0 }),
+        Some(Scalar::F64) => g.emit(Inst::Sse {
+            op: SseOp::Xorpd,
+            dst: Xmm::Xmm0,
+            src: XMM0,
+        }),
         None => {}
     }
     let epi = g.epilogue;
     g.asm.bind(epi);
-    g.emit(Inst::Mov { w: Width::W64, dst: RSP, src: Gpr::Rbp.into() });
-    g.emit(Inst::Pop { dst: Gpr::Rbp.into() });
+    g.emit(Inst::Mov {
+        w: Width::W64,
+        dst: RSP,
+        src: Gpr::Rbp.into(),
+    });
+    g.emit(Inst::Pop {
+        dst: Gpr::Rbp.into(),
+    });
     g.emit(Inst::Ret);
     Ok(g.asm)
 }
@@ -177,7 +202,11 @@ impl Gen<'_> {
     /// Evaluate `cond` and jump to `target` when it is false.
     fn cond_jump_false(&mut self, cond: &TExpr, target: Label) -> Result<(), CodegenError> {
         self.gen_int(cond)?;
-        self.emit(Inst::Test { w: Width::W64, a: RAX, b: RAX });
+        self.emit(Inst::Test {
+            w: Width::W64,
+            a: RAX,
+            b: RAX,
+        });
         self.asm.jcc(Cond::E, target);
         Ok(())
     }
@@ -187,9 +216,10 @@ impl Gen<'_> {
     fn gen_int(&mut self, e: &TExpr) -> Result<(), CodegenError> {
         match e {
             TExpr::ConstI(v) => self.load_imm(Gpr::Rax, *v),
-            TExpr::FrameAddr(off) => {
-                self.emit(Inst::Lea { dst: Gpr::Rax, src: MemRef::base_disp(Gpr::Rbp, *off as i32) })
-            }
+            TExpr::FrameAddr(off) => self.emit(Inst::Lea {
+                dst: Gpr::Rax,
+                src: MemRef::base_disp(Gpr::Rbp, *off as i32),
+            }),
             TExpr::GlobalAddr(name) => {
                 let addr = self.globals.get(name).copied();
                 match addr {
@@ -207,7 +237,11 @@ impl Gen<'_> {
                 });
             }
             TExpr::Load(_, Scalar::F64) => unreachable!("f64 load in int context"),
-            TExpr::Store { addr, value, ty: Scalar::I64 } => {
+            TExpr::Store {
+                addr,
+                value,
+                ty: Scalar::I64,
+            } => {
                 if let TExpr::FrameAddr(off) = **addr {
                     self.gen_int(value)?;
                     self.emit(Inst::Mov {
@@ -227,23 +261,44 @@ impl Gen<'_> {
                     });
                 }
             }
-            TExpr::AssignOp { addr, op, rhs, ty: Scalar::I64 } => {
+            TExpr::AssignOp {
+                addr,
+                op,
+                rhs,
+                ty: Scalar::I64,
+            } => {
                 if let TExpr::FrameAddr(off) = **addr {
                     let slot = MemRef::base_disp(Gpr::Rbp, off as i32);
                     if Self::simple_int(rhs) {
                         self.gen_simple_int_into(Gpr::Rcx, rhs);
                     } else {
                         self.gen_int(rhs)?;
-                        self.emit(Inst::Mov { w: Width::W64, dst: RCX, src: RAX });
+                        self.emit(Inst::Mov {
+                            w: Width::W64,
+                            dst: RCX,
+                            src: RAX,
+                        });
                     }
-                    self.emit(Inst::Mov { w: Width::W64, dst: RAX, src: slot.into() });
+                    self.emit(Inst::Mov {
+                        w: Width::W64,
+                        dst: RAX,
+                        src: slot.into(),
+                    });
                     self.int_binop(*op)?;
-                    self.emit(Inst::Mov { w: Width::W64, dst: slot.into(), src: RAX });
+                    self.emit(Inst::Mov {
+                        w: Width::W64,
+                        dst: slot.into(),
+                        src: RAX,
+                    });
                 } else {
                     self.gen_int(addr)?;
                     self.emit(Inst::Push { src: RAX });
                     self.gen_int(rhs)?;
-                    self.emit(Inst::Mov { w: Width::W64, dst: RCX, src: RAX });
+                    self.emit(Inst::Mov {
+                        w: Width::W64,
+                        dst: RCX,
+                        src: RAX,
+                    });
                     self.emit(Inst::Pop { dst: R10 });
                     self.emit(Inst::Mov {
                         w: Width::W64,
@@ -263,12 +318,24 @@ impl Gen<'_> {
                     MemRef::base_disp(Gpr::Rbp, off as i32).into()
                 } else {
                     self.gen_int(addr)?;
-                    self.emit(Inst::Mov { w: Width::W64, dst: R10, src: RAX });
+                    self.emit(Inst::Mov {
+                        w: Width::W64,
+                        dst: R10,
+                        src: RAX,
+                    });
                     MemRef::base(Gpr::R10).into()
                 };
-                self.emit(Inst::Mov { w: Width::W64, dst: RAX, src: slot });
+                self.emit(Inst::Mov {
+                    w: Width::W64,
+                    dst: RAX,
+                    src: slot,
+                });
                 if *post {
-                    self.emit(Inst::Mov { w: Width::W64, dst: RCX, src: RAX });
+                    self.emit(Inst::Mov {
+                        w: Width::W64,
+                        dst: RCX,
+                        src: RAX,
+                    });
                 }
                 self.emit(Inst::Alu {
                     op: AluOp::Add,
@@ -276,9 +343,17 @@ impl Gen<'_> {
                     dst: RAX,
                     src: Operand::Imm(*delta),
                 });
-                self.emit(Inst::Mov { w: Width::W64, dst: slot, src: RAX });
+                self.emit(Inst::Mov {
+                    w: Width::W64,
+                    dst: slot,
+                    src: RAX,
+                });
                 if *post {
-                    self.emit(Inst::Mov { w: Width::W64, dst: RAX, src: RCX });
+                    self.emit(Inst::Mov {
+                        w: Width::W64,
+                        dst: RAX,
+                        src: RCX,
+                    });
                 }
             }
             TExpr::Bin(op, Scalar::I64, a, b) => {
@@ -289,7 +364,11 @@ impl Gen<'_> {
                     self.gen_int(a)?;
                     self.emit(Inst::Push { src: RAX });
                     self.gen_int(b)?;
-                    self.emit(Inst::Mov { w: Width::W64, dst: RCX, src: RAX });
+                    self.emit(Inst::Mov {
+                        w: Width::W64,
+                        dst: RCX,
+                        src: RAX,
+                    });
                     self.emit(Inst::Pop { dst: RAX });
                 }
                 self.int_binop(*op)?;
@@ -302,10 +381,19 @@ impl Gen<'_> {
                     self.gen_int(a)?;
                     self.emit(Inst::Push { src: RAX });
                     self.gen_int(b)?;
-                    self.emit(Inst::Mov { w: Width::W64, dst: RCX, src: RAX });
+                    self.emit(Inst::Mov {
+                        w: Width::W64,
+                        dst: RCX,
+                        src: RAX,
+                    });
                     self.emit(Inst::Pop { dst: RAX });
                 }
-                self.emit(Inst::Alu { op: AluOp::Cmp, w: Width::W64, dst: RAX, src: RCX });
+                self.emit(Inst::Alu {
+                    op: AluOp::Cmp,
+                    w: Width::W64,
+                    dst: RAX,
+                    src: RCX,
+                });
                 let cond = int_cond(*op);
                 self.setcc_bool(cond);
             }
@@ -315,12 +403,20 @@ impl Gen<'_> {
             }
             TExpr::Neg(Scalar::I64, a) => {
                 self.gen_int(a)?;
-                self.emit(Inst::Unary { op: UnOp::Neg, w: Width::W64, dst: RAX });
+                self.emit(Inst::Unary {
+                    op: UnOp::Neg,
+                    w: Width::W64,
+                    dst: RAX,
+                });
             }
             TExpr::Neg(Scalar::F64, _) => unreachable!("f64 neg in int context"),
             TExpr::Not(a) => {
                 self.gen_int(a)?;
-                self.emit(Inst::Test { w: Width::W64, a: RAX, b: RAX });
+                self.emit(Inst::Test {
+                    w: Width::W64,
+                    a: RAX,
+                    b: RAX,
+                });
                 self.setcc_bool(Cond::E);
             }
             TExpr::LogAnd(a, b) => {
@@ -339,7 +435,11 @@ impl Gen<'_> {
                 let lfalse = self.asm.label();
                 let lend = self.asm.label();
                 self.gen_int(a)?;
-                self.emit(Inst::Test { w: Width::W64, a: RAX, b: RAX });
+                self.emit(Inst::Test {
+                    w: Width::W64,
+                    a: RAX,
+                    b: RAX,
+                });
                 self.asm.jcc(Cond::Ne, ltrue);
                 self.cond_jump_false(b, lfalse)?;
                 self.asm.bind(ltrue);
@@ -351,14 +451,26 @@ impl Gen<'_> {
             }
             TExpr::DoubleToInt(a) => {
                 self.gen_f64(a)?;
-                self.emit(Inst::Cvttsd2si { w: Width::W64, dst: Gpr::Rax, src: XMM0 });
+                self.emit(Inst::Cvttsd2si {
+                    w: Width::W64,
+                    dst: Gpr::Rax,
+                    src: XMM0,
+                });
             }
             TExpr::IntToDouble(_) | TExpr::ConstF(_) => unreachable!("double in int context"),
             TExpr::Bin(_, Scalar::F64, ..) => unreachable!("f64 arithmetic in int context"),
-            TExpr::Store { ty: Scalar::F64, .. } | TExpr::AssignOp { ty: Scalar::F64, .. } => {
+            TExpr::Store {
+                ty: Scalar::F64, ..
+            }
+            | TExpr::AssignOp {
+                ty: Scalar::F64, ..
+            } => {
                 unreachable!("f64 store in int context")
             }
-            TExpr::Call { ret: Some(Scalar::I64), .. } => self.gen_call(e)?,
+            TExpr::Call {
+                ret: Some(Scalar::I64),
+                ..
+            } => self.gen_call(e)?,
             TExpr::Call { .. } => unreachable!("non-int call in int context"),
         }
         Ok(())
@@ -366,17 +478,41 @@ impl Gen<'_> {
 
     fn int_binop(&mut self, op: BinOp) -> Result<(), CodegenError> {
         match op {
-            BinOp::Add => self.emit(Inst::Alu { op: AluOp::Add, w: Width::W64, dst: RAX, src: RCX }),
-            BinOp::Sub => self.emit(Inst::Alu { op: AluOp::Sub, w: Width::W64, dst: RAX, src: RCX }),
-            BinOp::Mul => self.emit(Inst::Imul { w: Width::W64, dst: Gpr::Rax, src: RCX }),
+            BinOp::Add => self.emit(Inst::Alu {
+                op: AluOp::Add,
+                w: Width::W64,
+                dst: RAX,
+                src: RCX,
+            }),
+            BinOp::Sub => self.emit(Inst::Alu {
+                op: AluOp::Sub,
+                w: Width::W64,
+                dst: RAX,
+                src: RCX,
+            }),
+            BinOp::Mul => self.emit(Inst::Imul {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: RCX,
+            }),
             BinOp::Div => {
                 self.emit(Inst::Cqo { w: Width::W64 });
-                self.emit(Inst::Idiv { w: Width::W64, src: RCX });
+                self.emit(Inst::Idiv {
+                    w: Width::W64,
+                    src: RCX,
+                });
             }
             BinOp::Rem => {
                 self.emit(Inst::Cqo { w: Width::W64 });
-                self.emit(Inst::Idiv { w: Width::W64, src: RCX });
-                self.emit(Inst::Mov { w: Width::W64, dst: RAX, src: RDX });
+                self.emit(Inst::Idiv {
+                    w: Width::W64,
+                    src: RCX,
+                });
+                self.emit(Inst::Mov {
+                    w: Width::W64,
+                    dst: RAX,
+                    src: RDX,
+                });
             }
             _ => unreachable!("comparison routed to Cmp"),
         }
@@ -386,7 +522,11 @@ impl Gen<'_> {
     /// `setcc al; movzx eax, al`.
     fn setcc_bool(&mut self, cond: Cond) {
         self.emit(Inst::Setcc { cond, dst: RAX });
-        self.emit(Inst::Movzx8 { w: Width::W32, dst: Gpr::Rax, src: RAX });
+        self.emit(Inst::Movzx8 {
+            w: Width::W32,
+            dst: Gpr::Rax,
+            src: RAX,
+        });
     }
 
     /// Expressions loadable into a register without disturbing any other
@@ -419,16 +559,19 @@ impl Gen<'_> {
     fn gen_simple_int_into(&mut self, dst: Gpr, e: &TExpr) {
         match e {
             TExpr::ConstI(v) => self.load_imm(dst, *v),
-            TExpr::FrameAddr(off) => {
-                self.emit(Inst::Lea { dst, src: MemRef::base_disp(Gpr::Rbp, *off as i32) })
-            }
+            TExpr::FrameAddr(off) => self.emit(Inst::Lea {
+                dst,
+                src: MemRef::base_disp(Gpr::Rbp, *off as i32),
+            }),
             TExpr::GlobalAddr(name) => match self.globals.get(name).copied() {
                 Some(a) => self.load_imm(dst, a as i64),
                 None => self.asm.movabs_sym(dst, name.clone()),
             },
             TExpr::FnAddr(name) => self.asm.movabs_sym(dst, name.clone()),
             TExpr::Load(a, Scalar::I64) => {
-                let TExpr::FrameAddr(off) = **a else { unreachable!("not simple") };
+                let TExpr::FrameAddr(off) = **a else {
+                    unreachable!("not simple")
+                };
                 self.emit(Inst::Mov {
                     w: Width::W64,
                     dst: Operand::Reg(dst),
@@ -442,11 +585,15 @@ impl Gen<'_> {
     /// Load a simple double expression directly into `dst`.
     fn gen_simple_f64_into(&mut self, dst: Xmm, e: &TExpr) {
         match e {
-            TExpr::ConstF(_) => {
-                self.emit(Inst::Sse { op: SseOp::Xorpd, dst, src: Operand::Xmm(dst) })
-            }
+            TExpr::ConstF(_) => self.emit(Inst::Sse {
+                op: SseOp::Xorpd,
+                dst,
+                src: Operand::Xmm(dst),
+            }),
             TExpr::Load(a, Scalar::F64) => {
-                let TExpr::FrameAddr(off) = **a else { unreachable!("not simple") };
+                let TExpr::FrameAddr(off) = **a else {
+                    unreachable!("not simple")
+                };
                 self.emit(Inst::MovSd {
                     dst: Operand::Xmm(dst),
                     src: MemRef::base_disp(Gpr::Rbp, off as i32).into(),
@@ -458,7 +605,11 @@ impl Gen<'_> {
 
     fn load_imm(&mut self, dst: Gpr, v: i64) {
         if i32::try_from(v).is_ok() {
-            self.emit(Inst::Mov { w: Width::W64, dst: dst.into(), src: Operand::Imm(v) });
+            self.emit(Inst::Mov {
+                w: Width::W64,
+                dst: dst.into(),
+                src: Operand::Imm(v),
+            });
         } else {
             self.emit(Inst::MovAbs { dst, imm: v as u64 });
         }
@@ -470,10 +621,17 @@ impl Gen<'_> {
         match e {
             TExpr::ConstF(v) => {
                 if *v == 0.0 && v.is_sign_positive() {
-                    self.emit(Inst::Sse { op: SseOp::Xorpd, dst: Xmm::Xmm0, src: XMM0 });
+                    self.emit(Inst::Sse {
+                        op: SseOp::Xorpd,
+                        dst: Xmm::Xmm0,
+                        src: XMM0,
+                    });
                 } else {
                     // movabs rax, bits; push; movsd xmm0, [rsp]; add rsp, 8
-                    self.emit(Inst::MovAbs { dst: Gpr::Rax, imm: v.to_bits() });
+                    self.emit(Inst::MovAbs {
+                        dst: Gpr::Rax,
+                        imm: v.to_bits(),
+                    });
                     self.emit(Inst::Push { src: RAX });
                     self.emit(Inst::MovSd {
                         dst: XMM0,
@@ -489,9 +647,16 @@ impl Gen<'_> {
             }
             TExpr::Load(addr, Scalar::F64) => {
                 self.gen_int(addr)?;
-                self.emit(Inst::MovSd { dst: XMM0, src: MemRef::base(Gpr::Rax).into() });
+                self.emit(Inst::MovSd {
+                    dst: XMM0,
+                    src: MemRef::base(Gpr::Rax).into(),
+                });
             }
-            TExpr::Store { addr, value, ty: Scalar::F64 } => {
+            TExpr::Store {
+                addr,
+                value,
+                ty: Scalar::F64,
+            } => {
                 if let TExpr::FrameAddr(off) = **addr {
                     self.gen_f64(value)?;
                     self.emit(Inst::MovSd {
@@ -503,23 +668,43 @@ impl Gen<'_> {
                     self.emit(Inst::Push { src: RAX });
                     self.gen_f64(value)?;
                     self.emit(Inst::Pop { dst: RCX });
-                    self.emit(Inst::MovSd { dst: MemRef::base(Gpr::Rcx).into(), src: XMM0 });
+                    self.emit(Inst::MovSd {
+                        dst: MemRef::base(Gpr::Rcx).into(),
+                        src: XMM0,
+                    });
                 }
             }
-            TExpr::AssignOp { addr, op, rhs, ty: Scalar::F64 } => {
+            TExpr::AssignOp {
+                addr,
+                op,
+                rhs,
+                ty: Scalar::F64,
+            } => {
                 if let TExpr::FrameAddr(off) = **addr {
                     let slot = MemRef::base_disp(Gpr::Rbp, off as i32);
                     self.gen_f64(rhs)?;
-                    self.emit(Inst::MovSd { dst: XMM1, src: XMM0 });
-                    self.emit(Inst::MovSd { dst: XMM0, src: slot.into() });
+                    self.emit(Inst::MovSd {
+                        dst: XMM1,
+                        src: XMM0,
+                    });
+                    self.emit(Inst::MovSd {
+                        dst: XMM0,
+                        src: slot.into(),
+                    });
                     self.f64_binop(*op);
-                    self.emit(Inst::MovSd { dst: slot.into(), src: XMM0 });
+                    self.emit(Inst::MovSd {
+                        dst: slot.into(),
+                        src: XMM0,
+                    });
                 } else {
                     self.gen_int(addr)?;
                     self.emit(Inst::Push { src: RAX });
                     self.gen_f64(rhs)?;
                     self.emit(Inst::Pop { dst: R10 });
-                    self.emit(Inst::MovSd { dst: XMM1, src: XMM0 });
+                    self.emit(Inst::MovSd {
+                        dst: XMM1,
+                        src: XMM0,
+                    });
                     self.emit(Inst::MovSd {
                         dst: XMM0,
                         src: MemRef::base(Gpr::R10).into(),
@@ -537,15 +722,33 @@ impl Gen<'_> {
             }
             TExpr::Neg(Scalar::F64, a) => {
                 self.gen_f64(a)?;
-                self.emit(Inst::MovSd { dst: XMM1, src: XMM0 });
-                self.emit(Inst::Sse { op: SseOp::Xorpd, dst: Xmm::Xmm0, src: XMM0 });
-                self.emit(Inst::Sse { op: SseOp::Subsd, dst: Xmm::Xmm0, src: XMM1 });
+                self.emit(Inst::MovSd {
+                    dst: XMM1,
+                    src: XMM0,
+                });
+                self.emit(Inst::Sse {
+                    op: SseOp::Xorpd,
+                    dst: Xmm::Xmm0,
+                    src: XMM0,
+                });
+                self.emit(Inst::Sse {
+                    op: SseOp::Subsd,
+                    dst: Xmm::Xmm0,
+                    src: XMM1,
+                });
             }
             TExpr::IntToDouble(a) => {
                 self.gen_int(a)?;
-                self.emit(Inst::Cvtsi2sd { w: Width::W64, dst: Xmm::Xmm0, src: RAX });
+                self.emit(Inst::Cvtsi2sd {
+                    w: Width::W64,
+                    dst: Xmm::Xmm0,
+                    src: RAX,
+                });
             }
-            TExpr::Call { ret: Some(Scalar::F64), .. } => self.gen_call(e)?,
+            TExpr::Call {
+                ret: Some(Scalar::F64),
+                ..
+            } => self.gen_call(e)?,
             other => unreachable!("int expression {other:?} in f64 context"),
         }
         Ok(())
@@ -559,12 +762,31 @@ impl Gen<'_> {
             return Ok(());
         }
         self.gen_f64(a)?;
-        self.emit(Inst::Alu { op: AluOp::Sub, w: Width::W64, dst: RSP, src: Operand::Imm(8) });
-        self.emit(Inst::MovSd { dst: MemRef::base(Gpr::Rsp).into(), src: XMM0 });
+        self.emit(Inst::Alu {
+            op: AluOp::Sub,
+            w: Width::W64,
+            dst: RSP,
+            src: Operand::Imm(8),
+        });
+        self.emit(Inst::MovSd {
+            dst: MemRef::base(Gpr::Rsp).into(),
+            src: XMM0,
+        });
         self.gen_f64(b)?;
-        self.emit(Inst::MovSd { dst: XMM1, src: XMM0 });
-        self.emit(Inst::MovSd { dst: XMM0, src: MemRef::base(Gpr::Rsp).into() });
-        self.emit(Inst::Alu { op: AluOp::Add, w: Width::W64, dst: RSP, src: Operand::Imm(8) });
+        self.emit(Inst::MovSd {
+            dst: XMM1,
+            src: XMM0,
+        });
+        self.emit(Inst::MovSd {
+            dst: XMM0,
+            src: MemRef::base(Gpr::Rsp).into(),
+        });
+        self.emit(Inst::Alu {
+            op: AluOp::Add,
+            w: Width::W64,
+            dst: RSP,
+            src: Operand::Imm(8),
+        });
         Ok(())
     }
 
@@ -576,7 +798,11 @@ impl Gen<'_> {
             BinOp::Div => SseOp::Divsd,
             _ => unreachable!("comparison routed to Cmp"),
         };
-        self.emit(Inst::Sse { op: sse, dst: Xmm::Xmm0, src: XMM1 });
+        self.emit(Inst::Sse {
+            op: sse,
+            dst: Xmm::Xmm0,
+            src: XMM1,
+        });
     }
 
     /// Compare XMM0 (lhs) with XMM1 (rhs), producing 0/1 in RAX with correct
@@ -584,37 +810,93 @@ impl Gen<'_> {
     fn f64_compare(&mut self, op: BinOp) {
         match op {
             BinOp::Gt => {
-                self.emit(Inst::Ucomisd { a: Xmm::Xmm0, b: XMM1 });
+                self.emit(Inst::Ucomisd {
+                    a: Xmm::Xmm0,
+                    b: XMM1,
+                });
                 self.setcc_bool(Cond::A);
             }
             BinOp::Ge => {
-                self.emit(Inst::Ucomisd { a: Xmm::Xmm0, b: XMM1 });
+                self.emit(Inst::Ucomisd {
+                    a: Xmm::Xmm0,
+                    b: XMM1,
+                });
                 self.setcc_bool(Cond::Ae);
             }
             BinOp::Lt => {
-                self.emit(Inst::Ucomisd { a: Xmm::Xmm1, b: XMM0 });
+                self.emit(Inst::Ucomisd {
+                    a: Xmm::Xmm1,
+                    b: XMM0,
+                });
                 self.setcc_bool(Cond::A);
             }
             BinOp::Le => {
-                self.emit(Inst::Ucomisd { a: Xmm::Xmm1, b: XMM0 });
+                self.emit(Inst::Ucomisd {
+                    a: Xmm::Xmm1,
+                    b: XMM0,
+                });
                 self.setcc_bool(Cond::Ae);
             }
             BinOp::Eq => {
                 // ZF=1 and PF=0 (NaN sets PF).
-                self.emit(Inst::Ucomisd { a: Xmm::Xmm0, b: XMM1 });
-                self.emit(Inst::Setcc { cond: Cond::E, dst: RAX });
-                self.emit(Inst::Setcc { cond: Cond::Np, dst: RCX });
-                self.emit(Inst::Movzx8 { w: Width::W32, dst: Gpr::Rax, src: RAX });
-                self.emit(Inst::Movzx8 { w: Width::W32, dst: Gpr::Rcx, src: RCX });
-                self.emit(Inst::Alu { op: AluOp::And, w: Width::W32, dst: RAX, src: RCX });
+                self.emit(Inst::Ucomisd {
+                    a: Xmm::Xmm0,
+                    b: XMM1,
+                });
+                self.emit(Inst::Setcc {
+                    cond: Cond::E,
+                    dst: RAX,
+                });
+                self.emit(Inst::Setcc {
+                    cond: Cond::Np,
+                    dst: RCX,
+                });
+                self.emit(Inst::Movzx8 {
+                    w: Width::W32,
+                    dst: Gpr::Rax,
+                    src: RAX,
+                });
+                self.emit(Inst::Movzx8 {
+                    w: Width::W32,
+                    dst: Gpr::Rcx,
+                    src: RCX,
+                });
+                self.emit(Inst::Alu {
+                    op: AluOp::And,
+                    w: Width::W32,
+                    dst: RAX,
+                    src: RCX,
+                });
             }
             BinOp::Ne => {
-                self.emit(Inst::Ucomisd { a: Xmm::Xmm0, b: XMM1 });
-                self.emit(Inst::Setcc { cond: Cond::Ne, dst: RAX });
-                self.emit(Inst::Setcc { cond: Cond::P, dst: RCX });
-                self.emit(Inst::Movzx8 { w: Width::W32, dst: Gpr::Rax, src: RAX });
-                self.emit(Inst::Movzx8 { w: Width::W32, dst: Gpr::Rcx, src: RCX });
-                self.emit(Inst::Alu { op: AluOp::Or, w: Width::W32, dst: RAX, src: RCX });
+                self.emit(Inst::Ucomisd {
+                    a: Xmm::Xmm0,
+                    b: XMM1,
+                });
+                self.emit(Inst::Setcc {
+                    cond: Cond::Ne,
+                    dst: RAX,
+                });
+                self.emit(Inst::Setcc {
+                    cond: Cond::P,
+                    dst: RCX,
+                });
+                self.emit(Inst::Movzx8 {
+                    w: Width::W32,
+                    dst: Gpr::Rax,
+                    src: RAX,
+                });
+                self.emit(Inst::Movzx8 {
+                    w: Width::W32,
+                    dst: Gpr::Rcx,
+                    src: RCX,
+                });
+                self.emit(Inst::Alu {
+                    op: AluOp::Or,
+                    w: Width::W32,
+                    dst: RAX,
+                    src: RCX,
+                });
             }
             _ => unreachable!("not a comparison"),
         }
@@ -623,7 +905,9 @@ impl Gen<'_> {
     // ---- calls ----------------------------------------------------------
 
     fn gen_call(&mut self, e: &TExpr) -> Result<(), CodegenError> {
-        let TExpr::Call { target, args, ret } = e else { unreachable!() };
+        let TExpr::Call { target, args, ret } = e else {
+            unreachable!()
+        };
         // Push the callee address first (deepest) for indirect calls.
         if let CallTarget::Indirect(fexpr) = target {
             self.gen_int(fexpr)?;
@@ -644,7 +928,10 @@ impl Gen<'_> {
                         dst: RSP,
                         src: Operand::Imm(8),
                     });
-                    self.emit(Inst::MovSd { dst: MemRef::base(Gpr::Rsp).into(), src: XMM0 });
+                    self.emit(Inst::MovSd {
+                        dst: MemRef::base(Gpr::Rsp).into(),
+                        src: XMM0,
+                    });
                 }
             }
         }
@@ -661,7 +948,9 @@ impl Gen<'_> {
             match sc {
                 Scalar::I64 => {
                     let idx = int_pos.iter().position(|&p| p == i).unwrap();
-                    self.emit(Inst::Pop { dst: Gpr::SYSV_ARGS[idx].into() });
+                    self.emit(Inst::Pop {
+                        dst: Gpr::SYSV_ARGS[idx].into(),
+                    });
                 }
                 Scalar::F64 => {
                     let idx = fp_pos.iter().position(|&p| p == i).unwrap();
@@ -709,10 +998,17 @@ pub fn scalar_of(e: &TExpr) -> Scalar {
         | TExpr::IntToDouble(_)
         | TExpr::Neg(Scalar::F64, _)
         | TExpr::Load(_, Scalar::F64)
-        | TExpr::Store { ty: Scalar::F64, .. }
-        | TExpr::AssignOp { ty: Scalar::F64, .. }
+        | TExpr::Store {
+            ty: Scalar::F64, ..
+        }
+        | TExpr::AssignOp {
+            ty: Scalar::F64, ..
+        }
         | TExpr::Bin(_, Scalar::F64, ..)
-        | TExpr::Call { ret: Some(Scalar::F64), .. } => Scalar::F64,
+        | TExpr::Call {
+            ret: Some(Scalar::F64),
+            ..
+        } => Scalar::F64,
         _ => Scalar::I64,
     }
 }

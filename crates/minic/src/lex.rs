@@ -98,14 +98,20 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     }
                     i += 1;
                 }
-                return Err(LexError { msg: "unterminated comment".into(), line });
+                return Err(LexError {
+                    msg: "unterminated comment".into(),
+                    line,
+                });
             }
         }
         // Numbers.
         if c.is_ascii_digit() {
             let start = i;
-            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'x' || b[i] == b'X'
-                || (b[i].is_ascii_hexdigit() && src[start..].starts_with("0x")))
+            while i < b.len()
+                && (b[i].is_ascii_digit()
+                    || b[i] == b'x'
+                    || b[i] == b'X'
+                    || (b[i].is_ascii_hexdigit() && src[start..].starts_with("0x")))
             {
                 i += 1;
             }
@@ -153,20 +159,32 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                 i += 1;
             }
-            out.push(Token { kind: Tok::Ident(src[start..i].to_string()), line });
+            out.push(Token {
+                kind: Tok::Ident(src[start..i].to_string()),
+                line,
+            });
             continue;
         }
         // Punctuation.
         for p in PUNCTS {
             if src[i..].starts_with(p) {
-                out.push(Token { kind: Tok::Punct(p), line });
+                out.push(Token {
+                    kind: Tok::Punct(p),
+                    line,
+                });
                 i += p.len();
                 continue 'outer;
             }
         }
-        return Err(LexError { msg: format!("unexpected character `{}`", c as char), line });
+        return Err(LexError {
+            msg: format!("unexpected character `{}`", c as char),
+            line,
+        });
     }
-    out.push(Token { kind: Tok::Eof, line });
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 

@@ -148,7 +148,10 @@ pub fn compile_into(src: &str, img: &mut Image) -> Result<Compiled, CompileError
         let funcs = &out.funcs;
         let globals = &out.globals;
         let bytes = a.assemble(addr, &|sym| {
-            funcs.get(sym).copied().or_else(|| globals.get(sym).copied())
+            funcs
+                .get(sym)
+                .copied()
+                .or_else(|| globals.get(sym).copied())
         })?;
         debug_assert_eq!(bytes.len(), out.func_len[&name]);
         img.write_bytes(addr, &bytes)?;
@@ -182,5 +185,8 @@ pub fn disasm(img: &Image, addr: u64, len: usize) -> Vec<String> {
     let window = img.code_window(addr, len).unwrap_or_default();
     let n = len.min(window.len());
     let (insts, _) = brew_x86::decode::decode_all(&window[..n], addr);
-    insts.iter().map(|(a, i)| format!("{a:#08x}: {i}")).collect()
+    insts
+        .iter()
+        .map(|(a, i)| format!("{a:#08x}: {i}"))
+        .collect()
 }

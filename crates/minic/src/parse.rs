@@ -24,7 +24,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { msg: e.msg, line: e.line }
+        ParseError {
+            msg: e.msg,
+            line: e.line,
+        }
     }
 }
 
@@ -37,7 +40,11 @@ struct Parser {
 /// Parse a full translation unit.
 pub fn parse(src: &str) -> Result<Vec<Item>, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, typedefs: HashMap::new() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        typedefs: HashMap::new(),
+    };
     let mut items = Vec::new();
     while !p.at_eof() {
         if let Some(i) = p.item()? {
@@ -61,7 +68,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { msg: msg.into(), line: self.line() })
+        Err(ParseError {
+            msg: msg.into(),
+            line: self.line(),
+        })
     }
 
     fn bump(&mut self) -> Tok {
@@ -112,7 +122,10 @@ impl Parser {
     fn at_type(&self) -> bool {
         match self.cur() {
             Tok::Ident(s) => {
-                s == "int" || s == "double" || s == "void" || s == "struct"
+                s == "int"
+                    || s == "double"
+                    || s == "void"
+                    || s == "struct"
                     || self.typedefs.contains_key(s)
             }
             _ => false,
@@ -201,8 +214,15 @@ impl Parser {
             let name = self.ident()?;
             self.expect_punct(")")?;
             let params = self.fnptr_params()?;
-            let ty = TypeExpr::FnPtr { ret: Box::new(ty), params };
-            let init = if self.eat_punct("=") { Some(Init::Expr(self.expr()?)) } else { None };
+            let ty = TypeExpr::FnPtr {
+                ret: Box::new(ty),
+                params,
+            };
+            let init = if self.eat_punct("=") {
+                Some(Init::Expr(self.expr()?))
+            } else {
+                None
+            };
             self.expect_punct(";")?;
             return Ok(Some(Item::Global { ty, name, init }));
         }
@@ -224,7 +244,13 @@ impl Parser {
                             let n = self.ident()?;
                             self.expect_punct(")")?;
                             let ps = self.fnptr_params()?;
-                            (TypeExpr::FnPtr { ret: Box::new(pty), params: ps }, n)
+                            (
+                                TypeExpr::FnPtr {
+                                    ret: Box::new(pty),
+                                    params: ps,
+                                },
+                                n,
+                            )
                         } else {
                             (pty, self.ident()?)
                         };
@@ -241,11 +267,20 @@ impl Parser {
             while !self.eat_punct("}") {
                 body.push(self.stmt()?);
             }
-            return Ok(Some(Item::Func { ret: ty, name, params, body }));
+            return Ok(Some(Item::Func {
+                ret: ty,
+                name,
+                params,
+                body,
+            }));
         }
         // Global variable.
         let ty = self.array_suffix(ty)?;
-        let init = if self.eat_punct("=") { Some(self.init()?) } else { None };
+        let init = if self.eat_punct("=") {
+            Some(self.init()?)
+        } else {
+            None
+        };
         self.expect_punct(";")?;
         Ok(Some(Item::Global { ty, name, init }))
     }
@@ -258,7 +293,13 @@ impl Parser {
             let name = self.ident()?;
             self.expect_punct(")")?;
             let params = self.fnptr_params()?;
-            Ok((TypeExpr::FnPtr { ret: Box::new(base), params }, name))
+            Ok((
+                TypeExpr::FnPtr {
+                    ret: Box::new(base),
+                    params,
+                },
+                name,
+            ))
         } else {
             let name = self.ident()?;
             let ty = self.array_suffix(base)?;
@@ -330,7 +371,11 @@ impl Parser {
             let c = self.expr()?;
             self.expect_punct(")")?;
             let then = Box::new(self.stmt()?);
-            let els = if self.eat_kw("else") { Some(Box::new(self.stmt()?)) } else { None };
+            let els = if self.eat_kw("else") {
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
             return Ok(Stmt::If(c, then, els));
         }
         if self.eat_kw("while") {
@@ -350,15 +395,32 @@ impl Parser {
                 self.expect_punct(";")?;
                 Some(Box::new(Stmt::Expr(e)))
             };
-            let cond = if matches!(self.cur(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            let cond = if matches!(self.cur(), Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(";")?;
-            let step = if matches!(self.cur(), Tok::Punct(")")) { None } else { Some(self.expr()?) };
+            let step = if matches!(self.cur(), Tok::Punct(")")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(")")?;
             let body = Box::new(self.stmt()?);
-            return Ok(Stmt::For { init, cond, step, body });
+            return Ok(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            });
         }
         if self.eat_kw("return") {
-            let e = if matches!(self.cur(), Tok::Punct(";")) { None } else { Some(self.expr()?) };
+            let e = if matches!(self.cur(), Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(";")?;
             return Ok(Stmt::Return(e));
         }
@@ -386,12 +448,22 @@ impl Parser {
             let n = self.ident()?;
             self.expect_punct(")")?;
             let params = self.fnptr_params()?;
-            (TypeExpr::FnPtr { ret: Box::new(ty), params }, n)
+            (
+                TypeExpr::FnPtr {
+                    ret: Box::new(ty),
+                    params,
+                },
+                n,
+            )
         } else {
             let n = self.ident()?;
             (self.array_suffix(ty)?, n)
         };
-        let init = if self.eat_punct("=") { Some(self.init()?) } else { None };
+        let init = if self.eat_punct("=") {
+            Some(self.init()?)
+        } else {
+            None
+        };
         self.expect_punct(";")?;
         Ok(Stmt::Decl { ty, name, init })
     }
@@ -530,10 +602,18 @@ impl Parser {
             return Ok(Expr::Addr(Box::new(self.unary()?)));
         }
         if self.eat_punct("++") {
-            return Ok(Expr::IncDec { target: Box::new(self.unary()?), delta: 1, post: false });
+            return Ok(Expr::IncDec {
+                target: Box::new(self.unary()?),
+                delta: 1,
+                post: false,
+            });
         }
         if self.eat_punct("--") {
-            return Ok(Expr::IncDec { target: Box::new(self.unary()?), delta: -1, post: false });
+            return Ok(Expr::IncDec {
+                target: Box::new(self.unary()?),
+                delta: -1,
+                post: false,
+            });
         }
         // Cast: `(` type `)` unary — distinguished from parenthesized expr.
         if matches!(self.cur(), Tok::Punct("(")) {
@@ -551,7 +631,10 @@ impl Parser {
                     self.expect_punct("*")?;
                     self.expect_punct(")")?;
                     let params = self.fnptr_params()?;
-                    TypeExpr::FnPtr { ret: Box::new(ty), params }
+                    TypeExpr::FnPtr {
+                        ret: Box::new(ty),
+                        params,
+                    }
                 } else {
                     ty
                 };
@@ -586,9 +669,17 @@ impl Parser {
                 }
                 e = Expr::Call(Box::new(e), args);
             } else if self.eat_punct("++") {
-                e = Expr::IncDec { target: Box::new(e), delta: 1, post: true };
+                e = Expr::IncDec {
+                    target: Box::new(e),
+                    delta: 1,
+                    post: true,
+                };
             } else if self.eat_punct("--") {
-                e = Expr::IncDec { target: Box::new(e), delta: -1, post: true };
+                e = Expr::IncDec {
+                    target: Box::new(e),
+                    delta: -1,
+                    post: true,
+                };
             } else {
                 break;
             }
@@ -666,8 +757,12 @@ mod tests {
     #[test]
     fn precedence() {
         let items = parse("int f() { return 1 + 2 * 3 < 7 && 1; }").unwrap();
-        let Item::Func { body, .. } = &items[0] else { panic!() };
-        let Stmt::Return(Some(e)) = &body[0] else { panic!() };
+        let Item::Func { body, .. } = &items[0] else {
+            panic!()
+        };
+        let Stmt::Return(Some(e)) = &body[0] else {
+            panic!()
+        };
         // ((1 + (2*3)) < 7) && 1
         assert!(matches!(e, Expr::LogAnd(l, _)
             if matches!(&**l, Expr::Bin(BinOp::Lt, _, _))));
@@ -676,17 +771,22 @@ mod tests {
     #[test]
     fn casts_vs_parens() {
         let items = parse("int f(double d) { return (int)d + (d > 0.0); }").unwrap();
-        let Item::Func { body, .. } = &items[0] else { panic!() };
-        let Stmt::Return(Some(Expr::Bin(BinOp::Add, l, _))) = &body[0] else { panic!() };
+        let Item::Func { body, .. } = &items[0] else {
+            panic!()
+        };
+        let Stmt::Return(Some(Expr::Bin(BinOp::Add, l, _))) = &body[0] else {
+            panic!()
+        };
         assert!(matches!(&**l, Expr::Cast(TypeExpr::Int, _)));
     }
 
     #[test]
     fn for_and_incdec() {
         let items =
-            parse("int f() { int s = 0; for (int i = 0; i < 10; i++) s += i; return s; }")
-                .unwrap();
-        let Item::Func { body, .. } = &items[0] else { panic!() };
+            parse("int f() { int s = 0; for (int i = 0; i < 10; i++) s += i; return s; }").unwrap();
+        let Item::Func { body, .. } = &items[0] else {
+            panic!()
+        };
         assert!(matches!(&body[1], Stmt::For { .. }));
     }
 

@@ -199,12 +199,9 @@ impl Ctx {
             TypeExpr::Void => Ty::Void,
             TypeExpr::Ptr(inner) => Ty::Ptr(Box::new(self.resolve_ty(inner)?)),
             TypeExpr::Array(inner, n) => Ty::Array(Box::new(self.resolve_ty(inner)?), *n),
-            TypeExpr::Struct(name) => Ty::Struct(
-                *self
-                    .struct_ids
-                    .get(name)
-                    .ok_or(SemaError { msg: format!("unknown struct `{name}`") })?,
-            ),
+            TypeExpr::Struct(name) => Ty::Struct(*self.struct_ids.get(name).ok_or(SemaError {
+                msg: format!("unknown struct `{name}`"),
+            })?),
             TypeExpr::FnPtr { ret, params } => {
                 let ret = self.resolve_ty(ret)?;
                 let params = params
@@ -272,10 +269,18 @@ pub fn check(items: &[Item]) -> Result<TProgram, SemaError> {
                         ));
                     }
                     let size = ctx.types.size_of(&ty);
-                    defs.push(FieldDef { name: f.name.clone(), ty, offset: off });
+                    defs.push(FieldDef {
+                        name: f.name.clone(),
+                        ty,
+                        offset: off,
+                    });
                     off += size;
                 }
-                ctx.types.structs[id] = StructDef { name: name.clone(), fields: defs, size: off };
+                ctx.types.structs[id] = StructDef {
+                    name: name.clone(),
+                    fields: defs,
+                    size: off,
+                };
             }
             Item::Global { ty, name, .. } => {
                 let ty = ctx.resolve_ty(ty)?;
@@ -284,7 +289,9 @@ pub fn check(items: &[Item]) -> Result<TProgram, SemaError> {
                 }
                 ctx.globals.insert(name.clone(), ty);
             }
-            Item::Func { ret, name, params, .. } => {
+            Item::Func {
+                ret, name, params, ..
+            } => {
                 let ret = ctx.resolve_ty(ret)?;
                 if !(ret.is_scalar() || ret == Ty::Void) {
                     return err(format!("function `{name}` must return a scalar or void"));
@@ -293,18 +300,19 @@ pub fn check(items: &[Item]) -> Result<TProgram, SemaError> {
                 for (pt, pname) in params {
                     let pt = ctx.resolve_ty(pt)?;
                     if !pt.is_scalar() {
-                        return err(format!(
-                            "parameter `{pname}` of `{name}` must be scalar"
-                        ));
+                        return err(format!("parameter `{pname}` of `{name}` must be scalar"));
                     }
                     ptys.push(pt);
                 }
                 if ptys.iter().filter(|t| t.is_int_like()).count() > 6
                     || ptys.iter().filter(|t| matches!(t, Ty::Double)).count() > 8
                 {
-                    return err(format!("too many parameters in `{name}` for the ABI subset"));
+                    return err(format!(
+                        "too many parameters in `{name}` for the ABI subset"
+                    ));
                 }
-                ctx.fn_sigs.insert(name.clone(), Arc::new(Sig { params: ptys, ret }));
+                ctx.fn_sigs
+                    .insert(name.clone(), Arc::new(Sig { params: ptys, ret }));
             }
         }
     }
@@ -321,9 +329,16 @@ pub fn check(items: &[Item]) -> Result<TProgram, SemaError> {
                 if let Some(init) = init {
                     flatten_init(&ctx, &gty, init, 0, &mut inits)?;
                 }
-                globals.push(TGlobal { name: name.clone(), ty: gty, size, inits });
+                globals.push(TGlobal {
+                    name: name.clone(),
+                    ty: gty,
+                    size,
+                    inits,
+                });
             }
-            Item::Func { name, params, body, .. } => {
+            Item::Func {
+                name, params, body, ..
+            } => {
                 let sig = ctx.fn_sigs[name].clone();
                 ctx.scopes.clear();
                 ctx.scopes.push(HashMap::new());
@@ -355,7 +370,11 @@ pub fn check(items: &[Item]) -> Result<TProgram, SemaError> {
         }
     }
 
-    Ok(TProgram { types: ctx.types, globals, funcs })
+    Ok(TProgram {
+        types: ctx.types,
+        globals,
+        funcs,
+    })
 }
 
 /// Does `ty` embed struct `id` by value (directly or through arrays)?
@@ -452,7 +471,10 @@ fn lower_stmt(ctx: &mut Ctx, s: &Stmt, out: &mut Vec<TStmt>) -> Result<(), SemaE
                 return err(format!("local `{name}` has zero size"));
             }
             let off = ctx.alloc_slot(size);
-            ctx.scopes.last_mut().unwrap().insert(name.clone(), (off, ty.clone()));
+            ctx.scopes
+                .last_mut()
+                .unwrap()
+                .insert(name.clone(), (off, ty.clone()));
             match init {
                 None => {}
                 Some(Init::Expr(e)) => {
@@ -499,10 +521,19 @@ fn lower_stmt(ctx: &mut Ctx, s: &Stmt, out: &mut Vec<TStmt>) -> Result<(), SemaE
             ctx.scopes.push(HashMap::new());
             lower_stmt(ctx, body, &mut tbody)?;
             ctx.scopes.pop();
-            out.push(TStmt::Loop { cond, body: tbody, step: None });
+            out.push(TStmt::Loop {
+                cond,
+                body: tbody,
+                step: None,
+            });
             Ok(())
         }
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             ctx.scopes.push(HashMap::new());
             if let Some(i) = init {
                 lower_stmt(ctx, i, out)?;
@@ -518,7 +549,11 @@ fn lower_stmt(ctx: &mut Ctx, s: &Stmt, out: &mut Vec<TStmt>) -> Result<(), SemaE
             let mut tbody = Vec::new();
             lower_stmt(ctx, body, &mut tbody)?;
             ctx.scopes.pop();
-            out.push(TStmt::Loop { cond, body: tbody, step });
+            out.push(TStmt::Loop {
+                cond,
+                body: tbody,
+                step,
+            });
             Ok(())
         }
         Stmt::Return(e) => {
@@ -564,9 +599,7 @@ fn lower_local_init(
             let sz = ctx.types.size_of(el) as i64;
             for i in 0..*n {
                 match items.get(i) {
-                    Some(item) => {
-                        lower_local_init(ctx, el, item, base_off + i as i64 * sz, out)?
-                    }
+                    Some(item) => lower_local_init(ctx, el, item, base_off + i as i64 * sz, out)?,
                     None => zero_fill(ctx, el, base_off + i as i64 * sz, out),
                 }
             }
@@ -583,9 +616,7 @@ fn lower_local_init(
             }
             for (i, (fty, foff)) in fields.iter().enumerate() {
                 match items.get(i) {
-                    Some(item) => {
-                        lower_local_init(ctx, fty, item, base_off + *foff as i64, out)?
-                    }
+                    Some(item) => lower_local_init(ctx, fty, item, base_off + *foff as i64, out)?,
                     None => zero_fill(ctx, fty, base_off + *foff as i64, out),
                 }
             }
@@ -664,7 +695,12 @@ fn lower_cond(ctx: &mut Ctx, e: &Expr) -> Result<TExpr, SemaError> {
     if ty.is_int_like() {
         Ok(te)
     } else if matches!(ty, Ty::Double) {
-        Ok(TExpr::Cmp(BinOp::Ne, Scalar::F64, Box::new(te), Box::new(TExpr::ConstF(0.0))))
+        Ok(TExpr::Cmp(
+            BinOp::Ne,
+            Scalar::F64,
+            Box::new(te),
+            Box::new(TExpr::ConstF(0.0)),
+        ))
     } else {
         err(format!("`{ty}` is not a valid condition"))
     }
@@ -729,13 +765,12 @@ fn lower_addr(ctx: &mut Ctx, e: &Expr) -> Result<(TExpr, Ty), SemaError> {
 }
 
 fn member_addr(ctx: &Ctx, base: TExpr, bty: &Ty, fname: &str) -> Result<(TExpr, Ty), SemaError> {
-    let def = ctx
-        .types
-        .struct_def(bty)
-        .ok_or(SemaError { msg: format!("member access on non-struct `{bty}`") })?;
-    let f = def
-        .field(fname)
-        .ok_or(SemaError { msg: format!("no field `{fname}` in struct `{}`", def.name) })?;
+    let def = ctx.types.struct_def(bty).ok_or(SemaError {
+        msg: format!("member access on non-struct `{bty}`"),
+    })?;
+    let f = def.field(fname).ok_or(SemaError {
+        msg: format!("no field `{fname}` in struct `{}`", def.name),
+    })?;
     let addr = if f.offset == 0 {
         base
     } else {
@@ -760,9 +795,7 @@ fn lower_rvalue(ctx: &mut Ctx, e: &Expr) -> Result<(TExpr, Ty), SemaError> {
         }
         Expr::Var(name) => {
             // Function designator?
-            if ctx.lookup_local(name).is_none()
-                && !ctx.globals.contains_key(name)
-            {
+            if ctx.lookup_local(name).is_none() && !ctx.globals.contains_key(name) {
                 if let Some(sig) = ctx.fn_sigs.get(name) {
                     return Ok((TExpr::FnAddr(name.clone()), Ty::FnPtr(sig.clone())));
                 }
@@ -786,9 +819,7 @@ fn lower_rvalue(ctx: &mut Ctx, e: &Expr) -> Result<(TExpr, Ty), SemaError> {
         Expr::Addr(inner) => {
             // &function is the function pointer.
             if let Expr::Var(name) = &**inner {
-                if ctx.lookup_local(name).is_none()
-                    && !ctx.globals.contains_key(name)
-                {
+                if ctx.lookup_local(name).is_none() && !ctx.globals.contains_key(name) {
                     if let Some(sig) = ctx.fn_sigs.get(name) {
                         return Ok((TExpr::FnAddr(name.clone()), Ty::FnPtr(sig.clone())));
                     }
@@ -824,21 +855,25 @@ fn lower_rvalue(ctx: &mut Ctx, e: &Expr) -> Result<(TExpr, Ty), SemaError> {
         Expr::Bin(op, a, b) => lower_bin(ctx, *op, a, b),
         Expr::Assign(lhs, rhs) => {
             let (addr, lty) = lower_addr(ctx, lhs)?;
-            let sc = lty
-                .scalar()
-                .ok_or(SemaError { msg: format!("cannot assign aggregate `{lty}`") })?;
+            let sc = lty.scalar().ok_or(SemaError {
+                msg: format!("cannot assign aggregate `{lty}`"),
+            })?;
             let (val, vty) = lower_rvalue(ctx, rhs)?;
             let val = coerce(ctx, val, &vty, &lty)?;
             Ok((
-                TExpr::Store { addr: Box::new(addr), value: Box::new(val), ty: sc },
+                TExpr::Store {
+                    addr: Box::new(addr),
+                    value: Box::new(val),
+                    ty: sc,
+                },
                 lty,
             ))
         }
         Expr::AssignOp(op, lhs, rhs) => {
             let (addr, lty) = lower_addr(ctx, lhs)?;
-            let sc = lty
-                .scalar()
-                .ok_or(SemaError { msg: format!("cannot assign aggregate `{lty}`") })?;
+            let sc = lty.scalar().ok_or(SemaError {
+                msg: format!("cannot assign aggregate `{lty}`"),
+            })?;
             let (mut val, vty) = lower_rvalue(ctx, rhs)?;
             // Pointer += int scales by the pointee size.
             if let Ty::Ptr(inner) = &lty {
@@ -859,11 +894,20 @@ fn lower_rvalue(ctx: &mut Ctx, e: &Expr) -> Result<(TExpr, Ty), SemaError> {
                 val = coerce(ctx, val, &vty, &lty)?;
             }
             Ok((
-                TExpr::AssignOp { addr: Box::new(addr), op: *op, rhs: Box::new(val), ty: sc },
+                TExpr::AssignOp {
+                    addr: Box::new(addr),
+                    op: *op,
+                    rhs: Box::new(val),
+                    ty: sc,
+                },
                 lty,
             ))
         }
-        Expr::IncDec { target, delta, post } => {
+        Expr::IncDec {
+            target,
+            delta,
+            post,
+        } => {
             let (addr, lty) = lower_addr(ctx, target)?;
             let step = match &lty {
                 t if t.is_int_like() => match &lty {
@@ -873,7 +917,11 @@ fn lower_rvalue(ctx: &mut Ctx, e: &Expr) -> Result<(TExpr, Ty), SemaError> {
                 _ => return err("++/-- require an integer or pointer"),
             };
             Ok((
-                TExpr::IncDec { addr: Box::new(addr), delta: step, post: *post },
+                TExpr::IncDec {
+                    addr: Box::new(addr),
+                    delta: step,
+                    post: *post,
+                },
                 lty,
             ))
         }
@@ -947,18 +995,30 @@ fn lower_bin(ctx: &mut Ctx, op: BinOp, a: &Expr, b: &Expr) -> Result<(TExpr, Ty)
             return err("% is not defined on doubles");
         }
         return if op.is_cmp() {
-            Ok((TExpr::Cmp(op, Scalar::F64, Box::new(ta), Box::new(tb)), Ty::Int))
+            Ok((
+                TExpr::Cmp(op, Scalar::F64, Box::new(ta), Box::new(tb)),
+                Ty::Int,
+            ))
         } else {
-            Ok((TExpr::Bin(op, Scalar::F64, Box::new(ta), Box::new(tb)), Ty::Double))
+            Ok((
+                TExpr::Bin(op, Scalar::F64, Box::new(ta), Box::new(tb)),
+                Ty::Double,
+            ))
         };
     }
     if !(tya.is_int_like() && tyb.is_int_like()) {
         return err(format!("invalid operands `{tya}` and `{tyb}`"));
     }
     if op.is_cmp() {
-        Ok((TExpr::Cmp(op, Scalar::I64, Box::new(ta), Box::new(tb)), Ty::Int))
+        Ok((
+            TExpr::Cmp(op, Scalar::I64, Box::new(ta), Box::new(tb)),
+            Ty::Int,
+        ))
     } else {
-        Ok((TExpr::Bin(op, Scalar::I64, Box::new(ta), Box::new(tb)), Ty::Int))
+        Ok((
+            TExpr::Bin(op, Scalar::I64, Box::new(ta), Box::new(tb)),
+            Ty::Int,
+        ))
     }
 }
 
@@ -970,14 +1030,10 @@ fn lower_call(ctx: &mut Ctx, callee: &Expr, args: &[Expr]) -> Result<(TExpr, Ty)
     };
     // Direct call if the name is a function and not shadowed.
     let (target, sig) = match callee {
-        Expr::Var(name)
-            if ctx.lookup_local(name).is_none() && !ctx.globals.contains_key(name) =>
-        {
-            let sig = ctx
-                .fn_sigs
-                .get(name)
-                .cloned()
-                .ok_or(SemaError { msg: format!("unknown function `{name}`") })?;
+        Expr::Var(name) if ctx.lookup_local(name).is_none() && !ctx.globals.contains_key(name) => {
+            let sig = ctx.fn_sigs.get(name).cloned().ok_or(SemaError {
+                msg: format!("unknown function `{name}`"),
+            })?;
             (CallTarget::Direct(name.clone()), sig)
         }
         e => {
@@ -1003,7 +1059,14 @@ fn lower_call(ctx: &mut Ctx, callee: &Expr, args: &[Expr]) -> Result<(TExpr, Ty)
     }
     let ret_ty = sig.ret.clone();
     let ret = ret_ty.scalar();
-    Ok((TExpr::Call { target, args: targs, ret }, ret_ty))
+    Ok((
+        TExpr::Call {
+            target,
+            args: targs,
+            ret,
+        },
+        ret_ty,
+    ))
 }
 
 #[cfg(test)]
@@ -1053,8 +1116,12 @@ mod tests {
             panic!("{:?}", p.funcs[0].body)
         };
         // addr = p + (2 * 8)
-        let TExpr::Bin(BinOp::Add, Scalar::I64, _, rhs) = &**addr else { panic!() };
-        let TExpr::Bin(BinOp::Mul, _, lhs, sz) = &**rhs else { panic!() };
+        let TExpr::Bin(BinOp::Add, Scalar::I64, _, rhs) = &**addr else {
+            panic!()
+        };
+        let TExpr::Bin(BinOp::Mul, _, lhs, sz) = &**rhs else {
+            panic!()
+        };
         assert_eq!(**lhs, TExpr::ConstI(2));
         assert_eq!(**sz, TExpr::ConstI(8));
     }
@@ -1082,7 +1149,9 @@ mod tests {
         .unwrap();
         assert_eq!(p.funcs.len(), 3);
         // `pick` stores the address of `add` into a local.
-        let TStmt::Expr(TExpr::Store { value, .. }) = &p.funcs[2].body[0] else { panic!() };
+        let TStmt::Expr(TExpr::Store { value, .. }) = &p.funcs[2].body[0] else {
+            panic!()
+        };
         assert_eq!(**value, TExpr::FnAddr("add".into()));
     }
 
@@ -1099,13 +1168,14 @@ mod tests {
 
     #[test]
     fn locals_shadow_and_scope() {
-        let p = lower(
-            "int f() { int x = 1; { int x = 2; x = 3; } return x; }",
-        )
-        .unwrap();
+        let p = lower("int f() { int x = 1; { int x = 2; x = 3; } return x; }").unwrap();
         // Two distinct frame slots.
-        let TStmt::Expr(TExpr::Store { addr: a1, .. }) = &p.funcs[0].body[0] else { panic!() };
-        let TStmt::Expr(TExpr::Store { addr: a2, .. }) = &p.funcs[0].body[1] else { panic!() };
+        let TStmt::Expr(TExpr::Store { addr: a1, .. }) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        let TStmt::Expr(TExpr::Store { addr: a2, .. }) = &p.funcs[0].body[1] else {
+            panic!()
+        };
         assert_ne!(a1, a2);
     }
 

@@ -150,9 +150,21 @@ mod tests {
         tt.structs.push(StructDef {
             name: "P".into(),
             fields: vec![
-                FieldDef { name: "f".into(), ty: Ty::Double, offset: 0 },
-                FieldDef { name: "dx".into(), ty: Ty::Int, offset: 8 },
-                FieldDef { name: "dy".into(), ty: Ty::Int, offset: 16 },
+                FieldDef {
+                    name: "f".into(),
+                    ty: Ty::Double,
+                    offset: 0,
+                },
+                FieldDef {
+                    name: "dx".into(),
+                    ty: Ty::Int,
+                    offset: 8,
+                },
+                FieldDef {
+                    name: "dy".into(),
+                    ty: Ty::Int,
+                    offset: 16,
+                },
             ],
             size: 24,
         });

@@ -1,5 +1,7 @@
 //! End-to-end tests: compile mini-C, execute in the emulator, check results.
 
+#![allow(clippy::identity_op, clippy::erasing_op)] // expected values spelled out per term
+
 use brew_emu::{CallArgs, EmuError, Machine};
 use brew_image::Image;
 use brew_minic::compile_into;
@@ -8,7 +10,9 @@ fn run_int(src: &str, func: &str, args: CallArgs) -> i64 {
     let mut img = Image::new();
     let prog = compile_into(src, &mut img).expect("compile");
     let mut m = Machine::new();
-    let out = m.call(&mut img, prog.func(func).expect("function"), &args).expect("run");
+    let out = m
+        .call(&mut img, prog.func(func).expect("function"), &args)
+        .expect("run");
     out.ret_int as i64
 }
 
@@ -16,7 +20,9 @@ fn run_f64(src: &str, func: &str, args: CallArgs) -> f64 {
     let mut img = Image::new();
     let prog = compile_into(src, &mut img).expect("compile");
     let mut m = Machine::new();
-    let out = m.call(&mut img, prog.func(func).expect("function"), &args).expect("run");
+    let out = m
+        .call(&mut img, prog.func(func).expect("function"), &args)
+        .expect("run");
     out.ret_f64
 }
 
@@ -25,7 +31,11 @@ fn arithmetic() {
     let src = "int f(int a, int b) { return (a + b) * (a - b) / 2 % 7; }";
     let f = |a: i64, b: i64| ((a + b) * (a - b) / 2) % 7;
     for (a, b) in [(10, 3), (5, -2), (-8, -9), (100, 1)] {
-        assert_eq!(run_int(src, "f", CallArgs::new().int(a).int(b)), f(a, b), "{a},{b}");
+        assert_eq!(
+            run_int(src, "f", CallArgs::new().int(a).int(b)),
+            f(a, b),
+            "{a},{b}"
+        );
     }
 }
 
@@ -49,7 +59,11 @@ fn comparisons_and_logic() {
             + 128 * (a == 0 || b == 0) as i64
     };
     for (a, b) in [(1, 2), (2, 1), (3, 3), (0, 5), (5, 0), (-1, 200)] {
-        assert_eq!(run_int(src, "f", CallArgs::new().int(a).int(b)), f(a, b), "{a},{b}");
+        assert_eq!(
+            run_int(src, "f", CallArgs::new().int(a).int(b)),
+            f(a, b),
+            "{a},{b}"
+        );
     }
 }
 
@@ -126,7 +140,11 @@ fn double_comparisons_including_nan_free_paths() {
             + 32 * (a >= b) as i64
     };
     for (a, b) in [(1.0, 2.0), (2.0, 1.0), (3.5, 3.5), (-0.0, 0.0)] {
-        assert_eq!(run_int(src, "cmp", CallArgs::new().f64(a).f64(b)), f(a, b), "{a},{b}");
+        assert_eq!(
+            run_int(src, "cmp", CallArgs::new().f64(a).f64(b)),
+            f(a, b),
+            "{a},{b}"
+        );
     }
 }
 
@@ -188,7 +206,8 @@ fn the_paper_apply_function() {
     let base = img.alloc_heap(16 * 8, 8);
     for y in 0..4i64 {
         for x in 0..4i64 {
-            img.write_f64(base + ((y * xs + x) * 8) as u64, (y * 10 + x) as f64).unwrap();
+            img.write_f64(base + ((y * xs + x) * 8) as u64, (y * 10 + x) as f64)
+                .unwrap();
         }
     }
     let center = base + ((xs + 1) * 8) as u64; // &m[1][1]
@@ -197,7 +216,10 @@ fn the_paper_apply_function() {
         .call(
             &mut img,
             prog.func("apply").unwrap(),
-            &CallArgs::new().ptr(center).int(xs).ptr(prog.global("s5").unwrap()),
+            &CallArgs::new()
+                .ptr(center)
+                .int(xs)
+                .ptr(prog.global("s5").unwrap()),
         )
         .unwrap();
     // v = -1*11 + 0.25*(10 + 12 + 1 + 21) = -11 + 11 = 0.
@@ -269,10 +291,14 @@ fn divide_by_zero_faults() {
     let mut img = Image::new();
     let prog = compile_into(src, &mut img).unwrap();
     let mut m = Machine::new();
-    let err = m.call(&mut img, prog.func("f").unwrap(), &CallArgs::new().int(0)).unwrap_err();
+    let err = m
+        .call(&mut img, prog.func("f").unwrap(), &CallArgs::new().int(0))
+        .unwrap_err();
     assert!(matches!(err, EmuError::Divide { .. }));
     // And works with nonzero.
-    let out = m.call(&mut img, prog.func("f").unwrap(), &CallArgs::new().int(3)).unwrap();
+    let out = m
+        .call(&mut img, prog.func("f").unwrap(), &CallArgs::new().int(3))
+        .unwrap();
     assert_eq!(out.ret_int, 3);
 }
 

@@ -2,6 +2,8 @@
 //! short-circuit side effects, nested control flow, and C semantics
 //! corners (negative division, operator precedence).
 
+#![allow(clippy::identity_op)] // expected values spelled out per term
+
 use brew_emu::{CallArgs, Machine};
 use brew_image::Image;
 use brew_minic::compile_into;
@@ -37,7 +39,10 @@ fn nested_structs() {
                  + o.x.a + o.y.b;
         }
     "#;
-    assert_eq!(run_int(src, "f", CallArgs::new()), 1 + 20 + 300 + 4000 + 50000 + 10 + 40);
+    assert_eq!(
+        run_int(src, "f", CallArgs::new()),
+        1 + 20 + 300 + 4000 + 50000 + 10 + 40
+    );
 }
 
 #[test]
@@ -69,7 +74,10 @@ fn array_of_structs_in_locals() {
             return s;
         }
     "#;
-    assert_eq!(run_int(src, "f", CallArgs::new()), (0 + 0) + (1 + 10) + (2 + 40));
+    assert_eq!(
+        run_int(src, "f", CallArgs::new()),
+        (0 + 0) + (1 + 10) + (2 + 40)
+    );
 }
 
 #[test]
@@ -253,7 +261,15 @@ fn six_int_args_plus_fp_args() {
     let got = run_f64(
         src,
         "f",
-        CallArgs::new().int(1).int(2).int(3).int(4).int(5).int(6).f64(2.0).f64(0.5),
+        CallArgs::new()
+            .int(1)
+            .int(2)
+            .int(3)
+            .int(4)
+            .int(5)
+            .int(6)
+            .f64(2.0)
+            .f64(0.5),
     );
     assert_eq!(got, (1 + 4 + 9 + 16 + 25 + 36) as f64 * 2.0 + 0.5);
 }
@@ -270,7 +286,10 @@ fn prefix_and_postfix_increment_values() {
             return a * 1000 + b * 100 + c * 10 + d;
         }
     "#;
-    assert_eq!(run_int(src, "f", CallArgs::new()), 5 * 1000 + 7 * 100 + 7 * 10 + 5);
+    assert_eq!(
+        run_int(src, "f", CallArgs::new()),
+        5 * 1000 + 7 * 100 + 7 * 10 + 5
+    );
 }
 
 #[test]
@@ -298,15 +317,18 @@ fn deeply_nested_expressions() {
 #[test]
 fn compile_errors_are_reported() {
     let cases = [
-        "int f( { return 0; }",                      // parse error
-        "int f() { return x; }",                     // unknown variable
-        "int f() { int a[0]; return 0; }",           // zero-size array
+        "int f( { return 0; }",                            // parse error
+        "int f() { return x; }",                           // unknown variable
+        "int f() { int a[0]; return 0; }",                 // zero-size array
         "struct S { struct T t; }; int f() { return 0; }", // unknown struct
-        "int f(int a, int a2) { return b(a); }",     // unknown function
+        "int f(int a, int a2) { return b(a); }",           // unknown function
     ];
     for src in cases {
         let mut img = Image::new();
-        assert!(compile_into(src, &mut img).is_err(), "should not compile: {src}");
+        assert!(
+            compile_into(src, &mut img).is_err(),
+            "should not compile: {src}"
+        );
     }
 }
 

@@ -23,7 +23,7 @@
 
 #![warn(missing_docs)]
 
-use brew_core::{ArgValue, ParamSpec, RetKind, RewriteConfig, RewriteResult, Rewriter};
+use brew_core::{RetKind, RewriteResult, Rewriter, SpecRequest};
 use brew_emu::{CallArgs, EmuError, Machine, Stats};
 use brew_image::Image;
 use brew_minic::Compiled;
@@ -104,10 +104,17 @@ impl PgasArray {
         assert!(n > 0 && nnodes > 0 && mynode < nnodes);
         assert_eq!(n % nnodes, 0, "block distribution requires nnodes | n");
         let mut img = Image::new();
-        let prog =
-            brew_minic::compile_into(PGAS_PROGRAM, &mut img).expect("pgas program compiles");
+        let prog = brew_minic::compile_into(PGAS_PROGRAM, &mut img).expect("pgas program compiles");
         let storage = img.alloc_heap((n * 8) as u64, 16);
-        let mut p = PgasArray { img, prog, n, nnodes, blocksz: n / nnodes, mynode, storage };
+        let mut p = PgasArray {
+            img,
+            prog,
+            n,
+            nnodes,
+            blocksz: n / nnodes,
+            mynode,
+            storage,
+        };
         for i in 0..n {
             p.img
                 .write_f64(storage + (i * 8) as u64, ((i * 37) % 101) as f64 * 0.5)
@@ -144,14 +151,20 @@ impl PgasArray {
     /// Run the generic `gsum` (the high-overhead baseline).
     pub fn gsum_generic(&mut self, m: &mut Machine) -> Result<(f64, Stats), EmuError> {
         let f = self.prog.func("gsum").unwrap();
-        let args = CallArgs::new().ptr(self.storage).ptr(self.dist()).int(self.n);
+        let args = CallArgs::new()
+            .ptr(self.storage)
+            .ptr(self.dist())
+            .int(self.n);
         let out = m.call(&mut self.img, f, &args)?;
         Ok((out.ret_f64, out.stats))
     }
 
     /// Run a rewritten `gsum` drop-in replacement.
     pub fn gsum_with(&mut self, m: &mut Machine, entry: u64) -> Result<(f64, Stats), EmuError> {
-        let args = CallArgs::new().ptr(self.storage).ptr(self.dist()).int(self.n);
+        let args = CallArgs::new()
+            .ptr(self.storage)
+            .ptr(self.dist())
+            .int(self.n);
         let out = m.call(&mut self.img, entry, &args)?;
         Ok((out.ret_f64, out.stats))
     }
@@ -170,16 +183,17 @@ impl PgasArray {
     pub fn specialize_gsum(&mut self) -> Result<RewriteResult, brew_core::RewriteError> {
         let gsum = self.prog.func("gsum").unwrap();
         let dist = self.dist();
-        let mut cfg = RewriteConfig::new();
-        cfg.set_param(1, ParamSpec::PtrToKnown { len: 24 }).set_ret(RetKind::F64);
-        cfg.func(gsum).branch_unknown = true;
-        cfg.func(gsum).max_variants = 2;
-        cfg.max_trace_insts = 8_000_000;
-        Rewriter::new(&mut self.img).rewrite(
-            &cfg,
-            gsum,
-            &[ArgValue::Int(0), ArgValue::Int(dist as i64), ArgValue::Int(self.n)],
-        )
+        let req = SpecRequest::new()
+            .unknown_int() // storage pointer
+            .ptr_to_known(dist, 24)
+            .unknown_int() // n (traced bound comes from the emulated call)
+            .ret(RetKind::F64)
+            .func(gsum, |o| {
+                o.branch_unknown = true;
+                o.max_variants = 2;
+            })
+            .max_trace_insts(8_000_000);
+        Rewriter::new(&mut self.img).rewrite(gsum, &req)
     }
 
     /// §VIII: rewrite `gsum` with a memory-access hook calling
@@ -192,19 +206,20 @@ impl PgasArray {
         let gsum = self.prog.func("gsum").unwrap();
         let dist = self.dist();
         let hook = self.prog.func("on_access").unwrap();
-        let mut cfg = RewriteConfig::new();
-        cfg.set_param(1, ParamSpec::PtrToKnown { len: 24 }).set_ret(RetKind::F64);
-        cfg.mem_access_hook = Some(hook);
-        // branch_unknown is incompatible with hooks; rely on fresh_unknown
-        // to bound unrolling instead.
-        cfg.func(gsum).fresh_unknown = true;
-        cfg.func(gsum).max_variants = 4;
-        cfg.max_trace_insts = 8_000_000;
-        Rewriter::new(&mut self.img).rewrite(
-            &cfg,
-            gsum,
-            &[ArgValue::Int(0), ArgValue::Int(dist as i64), ArgValue::Int(self.n)],
-        )
+        let req = SpecRequest::new()
+            .unknown_int() // storage pointer
+            .ptr_to_known(dist, 24)
+            .unknown_int() // n
+            .ret(RetKind::F64)
+            .mem_access_hook(hook)
+            // branch_unknown is incompatible with hooks; rely on
+            // fresh_unknown to bound unrolling instead.
+            .func(gsum, |o| {
+                o.fresh_unknown = true;
+                o.max_variants = 4;
+            })
+            .max_trace_insts(8_000_000);
+        Rewriter::new(&mut self.img).rewrite(gsum, &req)
     }
 
     /// Read (and reset) the remote-access counter maintained by the hook.

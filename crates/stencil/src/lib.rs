@@ -12,7 +12,7 @@
 pub mod programs;
 pub mod simd;
 
-use brew_core::{ArgValue, ParamSpec, RetKind, RewriteConfig, RewriteResult, Rewriter};
+use brew_core::{RetKind, RewriteResult, Rewriter, SpecRequest};
 use brew_emu::{CallArgs, EmuError, Machine, Stats};
 use brew_image::Image;
 use brew_minic::Compiled;
@@ -65,7 +65,14 @@ impl Stencil {
         let bytes = (xs * ys * 8) as u64;
         let m1 = img.alloc_heap(bytes, 16);
         let m2 = img.alloc_heap(bytes, 16);
-        let mut s = Stencil { img, prog, xs, ys, m1, m2 };
+        let mut s = Stencil {
+            img,
+            prog,
+            xs,
+            ys,
+            m1,
+            m2,
+        };
         s.reset_matrices();
         s
     }
@@ -113,19 +120,22 @@ impl Stencil {
 
     // ---- rewriting recipes (Figure 5) -----------------------------------
 
+    /// The Figure 5 request: specialize `apply` for fixed `xs` and the
+    /// fixed stencil descriptor.
+    pub fn apply_request(&self) -> SpecRequest {
+        let s5 = self.s5();
+        SpecRequest::new()
+            .unknown_int() // matrix pointer
+            .known_int(self.xs)
+            .ptr_to_known(s5, S_SIZE)
+            .ret(RetKind::F64)
+    }
+
     /// Figure 5: specialize `apply` for fixed `xs` and the fixed stencil.
     pub fn specialize_apply(&mut self) -> Result<RewriteResult, brew_core::RewriteError> {
         let apply = self.prog.func("apply").expect("apply");
-        let s5 = self.s5();
-        let mut cfg = RewriteConfig::new();
-        cfg.set_param(1, ParamSpec::Known)
-            .set_param(2, ParamSpec::PtrToKnown { len: S_SIZE })
-            .set_ret(RetKind::F64);
-        Rewriter::new(&mut self.img).rewrite(
-            &cfg,
-            apply,
-            &[ArgValue::Int(0), ArgValue::Int(self.xs), ArgValue::Int(s5 as i64)],
-        )
+        let req = self.apply_request();
+        Rewriter::new(&mut self.img).rewrite(apply, &req)
     }
 
     /// Like [`Stencil::specialize_apply`] but with an explicit pass
@@ -135,34 +145,20 @@ impl Stencil {
         pc: &brew_core::PassConfig,
     ) -> Result<RewriteResult, brew_core::RewriteError> {
         let apply = self.prog.func("apply").expect("apply");
-        let s5 = self.s5();
-        let mut cfg = RewriteConfig::new();
-        cfg.set_param(1, ParamSpec::Known)
-            .set_param(2, ParamSpec::PtrToKnown { len: S_SIZE })
-            .set_ret(RetKind::F64);
-        Rewriter::new(&mut self.img).rewrite_with_passes(
-            &cfg,
-            apply,
-            &[ArgValue::Int(0), ArgValue::Int(self.xs), ArgValue::Int(s5 as i64)],
-            pc,
-        )
+        let req = self.apply_request().passes(*pc);
+        Rewriter::new(&mut self.img).rewrite(apply, &req)
     }
 
     /// §V.B: specialize the grouped variant.
-    pub fn specialize_apply_grouped(
-        &mut self,
-    ) -> Result<RewriteResult, brew_core::RewriteError> {
+    pub fn specialize_apply_grouped(&mut self) -> Result<RewriteResult, brew_core::RewriteError> {
         let f = self.prog.func("apply_grouped").expect("apply_grouped");
         let sg5 = self.sg5();
-        let mut cfg = RewriteConfig::new();
-        cfg.set_param(1, ParamSpec::Known)
-            .set_param(2, ParamSpec::PtrToKnown { len: SG_SIZE })
-            .set_ret(RetKind::F64);
-        Rewriter::new(&mut self.img).rewrite(
-            &cfg,
-            f,
-            &[ArgValue::Int(0), ArgValue::Int(self.xs), ArgValue::Int(sg5 as i64)],
-        )
+        let req = SpecRequest::new()
+            .unknown_int() // matrix pointer
+            .known_int(self.xs)
+            .ptr_to_known(sg5, SG_SIZE)
+            .ret(RetKind::F64);
+        Rewriter::new(&mut self.img).rewrite(f, &req)
     }
 
     /// §V.B outlook: rewrite the *whole sweep* with controlled unrolling
@@ -175,25 +171,20 @@ impl Stencil {
     ) -> Result<RewriteResult, brew_core::RewriteError> {
         let sweep = self.prog.func("sweep_generic").expect("sweep_generic");
         let s5 = self.s5();
-        let mut cfg = RewriteConfig::new();
-        cfg.set_param(2, ParamSpec::Known)
-            .set_param(3, ParamSpec::Known)
-            .set_mem_known(s5..s5 + S_SIZE)
-            .set_ret(RetKind::Void);
-        cfg.func(sweep).branch_unknown = true;
-        cfg.func(sweep).max_variants = unroll.max(1);
-        cfg.max_code_bytes = 1 << 22;
-        cfg.max_trace_insts = 16_000_000;
-        Rewriter::new(&mut self.img).rewrite(
-            &cfg,
-            sweep,
-            &[
-                ArgValue::Int(0),
-                ArgValue::Int(0),
-                ArgValue::Int(self.xs),
-                ArgValue::Int(self.ys),
-            ],
-        )
+        let req = SpecRequest::new()
+            .unknown_int() // src matrix
+            .unknown_int() // dst matrix
+            .known_int(self.xs)
+            .known_int(self.ys)
+            .known_mem(s5..s5 + S_SIZE)
+            .ret(RetKind::Void)
+            .func(sweep, |o| {
+                o.branch_unknown = true;
+                o.max_variants = unroll.max(1);
+            })
+            .max_code_bytes(1 << 22)
+            .max_trace_insts(16_000_000);
+        Rewriter::new(&mut self.img).rewrite(sweep, &req)
     }
 
     // ---- execution --------------------------------------------------------
@@ -287,8 +278,7 @@ impl Stencil {
             for y in 1..ys - 1 {
                 for x in 1..xs - 1 {
                     let i = (y * xs + x) as usize;
-                    b[i] = 0.25
-                        * (a[i - 1] + a[i + 1] + a[i - xs as usize] + a[i + xs as usize])
+                    b[i] = 0.25 * (a[i - 1] + a[i + 1] + a[i - xs as usize] + a[i + xs as usize])
                         - a[i];
                 }
             }
@@ -311,8 +301,12 @@ mod tests {
 
     #[test]
     fn all_interpreted_variants_agree_with_host() {
-        for variant in [Variant::Generic, Variant::Grouped, Variant::Manual, Variant::ManualInline]
-        {
+        for variant in [
+            Variant::Generic,
+            Variant::Grouped,
+            Variant::Manual,
+            Variant::ManualInline,
+        ] {
             let mut s = Stencil::new(10, 8);
             let mut m = Machine::new();
             s.run(&mut m, variant, 3).unwrap();
@@ -353,7 +347,8 @@ mod tests {
         let mut s = Stencil::new(9, 7);
         let res = s.specialize_sweep(4).unwrap();
         let mut m = Machine::new();
-        s.run(&mut m, Variant::SpecializedSweep(res.entry), 2).unwrap();
+        s.run(&mut m, Variant::SpecializedSweep(res.entry), 2)
+            .unwrap();
         assert_eq!(s.checksum(2), s.host_checksum(2));
     }
 

@@ -32,18 +32,50 @@ pub fn build_scalar_handtuned_sweep(img: &mut Image, xs: i64, ys: i64) -> u64 {
     let w = Width::W64;
     let imm = Operand::Imm;
 
-    a.emit(Inst::Mov { w, dst: Gpr::R8.into(), src: imm(1) });
+    a.emit(Inst::Mov {
+        w,
+        dst: Gpr::R8.into(),
+        src: imm(1),
+    });
     a.bind(ly);
-    a.emit(Inst::Alu { op: AluOp::Cmp, w, dst: Gpr::R8.into(), src: imm(ys - 1) });
+    a.emit(Inst::Alu {
+        op: AluOp::Cmp,
+        w,
+        dst: Gpr::R8.into(),
+        src: imm(ys - 1),
+    });
     a.jcc(Cond::Ge, l_end);
-    a.emit(Inst::ImulImm { w, dst: Gpr::R9, src: Gpr::R8.into(), imm: xs as i32 });
-    a.emit(Inst::Mov { w, dst: Gpr::R10.into(), src: imm(1) });
+    a.emit(Inst::ImulImm {
+        w,
+        dst: Gpr::R9,
+        src: Gpr::R8.into(),
+        imm: xs as i32,
+    });
+    a.emit(Inst::Mov {
+        w,
+        dst: Gpr::R10.into(),
+        src: imm(1),
+    });
     a.bind(lx);
-    a.emit(Inst::Alu { op: AluOp::Cmp, w, dst: Gpr::R10.into(), src: imm(xs - 1) });
+    a.emit(Inst::Alu {
+        op: AluOp::Cmp,
+        w,
+        dst: Gpr::R10.into(),
+        src: imm(xs - 1),
+    });
     a.jcc(Cond::Ge, lx_end);
-    a.emit(Inst::Lea { dst: Gpr::R11, src: MemRef::base_index(Gpr::R9, Gpr::R10, 1, 0) });
-    a.emit(Inst::Lea { dst: Gpr::Rax, src: MemRef::base_index(Gpr::Rdi, Gpr::R11, 8, 0) });
-    a.emit(Inst::MovSd { dst: Xmm::Xmm0.into(), src: MemRef::base_disp(Gpr::Rax, -8).into() });
+    a.emit(Inst::Lea {
+        dst: Gpr::R11,
+        src: MemRef::base_index(Gpr::R9, Gpr::R10, 1, 0),
+    });
+    a.emit(Inst::Lea {
+        dst: Gpr::Rax,
+        src: MemRef::base_index(Gpr::Rdi, Gpr::R11, 8, 0),
+    });
+    a.emit(Inst::MovSd {
+        dst: Xmm::Xmm0.into(),
+        src: MemRef::base_disp(Gpr::Rax, -8).into(),
+    });
     a.emit(Inst::Sse {
         op: SseOp::Addsd,
         dst: Xmm::Xmm0,
@@ -64,13 +96,33 @@ pub fn build_scalar_handtuned_sweep(img: &mut Image, xs: i64, ys: i64) -> u64 {
         dst: Xmm::Xmm0,
         src: MemRef::abs(quarter as i32).into(),
     });
-    a.emit(Inst::Sse { op: SseOp::Subsd, dst: Xmm::Xmm0, src: MemRef::base(Gpr::Rax).into() });
-    a.emit(Inst::Lea { dst: Gpr::Rcx, src: MemRef::base_index(Gpr::Rsi, Gpr::R11, 8, 0) });
-    a.emit(Inst::MovSd { dst: MemRef::base(Gpr::Rcx).into(), src: Xmm::Xmm0.into() });
-    a.emit(Inst::Alu { op: AluOp::Add, w, dst: Gpr::R10.into(), src: imm(1) });
+    a.emit(Inst::Sse {
+        op: SseOp::Subsd,
+        dst: Xmm::Xmm0,
+        src: MemRef::base(Gpr::Rax).into(),
+    });
+    a.emit(Inst::Lea {
+        dst: Gpr::Rcx,
+        src: MemRef::base_index(Gpr::Rsi, Gpr::R11, 8, 0),
+    });
+    a.emit(Inst::MovSd {
+        dst: MemRef::base(Gpr::Rcx).into(),
+        src: Xmm::Xmm0.into(),
+    });
+    a.emit(Inst::Alu {
+        op: AluOp::Add,
+        w,
+        dst: Gpr::R10.into(),
+        src: imm(1),
+    });
     a.jmp(lx);
     a.bind(lx_end);
-    a.emit(Inst::Alu { op: AluOp::Add, w, dst: Gpr::R8.into(), src: imm(1) });
+    a.emit(Inst::Alu {
+        op: AluOp::Add,
+        w,
+        dst: Gpr::R8.into(),
+        src: imm(1),
+    });
     a.jmp(ly);
     a.bind(l_end);
     a.emit(Inst::Ret);
@@ -110,20 +162,49 @@ pub fn build_packed_sweep(img: &mut Image, xs: i64, ys: i64) -> u64 {
     let imm = Operand::Imm;
 
     // r8 = y = 1
-    a.emit(Inst::Mov { w, dst: Gpr::R8.into(), src: imm(1) });
+    a.emit(Inst::Mov {
+        w,
+        dst: Gpr::R8.into(),
+        src: imm(1),
+    });
     a.bind(ly);
-    a.emit(Inst::Alu { op: AluOp::Cmp, w, dst: Gpr::R8.into(), src: imm(ys - 1) });
+    a.emit(Inst::Alu {
+        op: AluOp::Cmp,
+        w,
+        dst: Gpr::R8.into(),
+        src: imm(ys - 1),
+    });
     a.jcc(Cond::Ge, l_end);
     // r9 = y * xs
-    a.emit(Inst::ImulImm { w, dst: Gpr::R9, src: Gpr::R8.into(), imm: xs as i32 });
+    a.emit(Inst::ImulImm {
+        w,
+        dst: Gpr::R9,
+        src: Gpr::R8.into(),
+        imm: xs as i32,
+    });
     // r10 = x = 1
-    a.emit(Inst::Mov { w, dst: Gpr::R10.into(), src: imm(1) });
+    a.emit(Inst::Mov {
+        w,
+        dst: Gpr::R10.into(),
+        src: imm(1),
+    });
     a.bind(lx);
-    a.emit(Inst::Alu { op: AluOp::Cmp, w, dst: Gpr::R10.into(), src: imm(xs - 1) });
+    a.emit(Inst::Alu {
+        op: AluOp::Cmp,
+        w,
+        dst: Gpr::R10.into(),
+        src: imm(xs - 1),
+    });
     a.jcc(Cond::Ge, lx_end);
     // r11 = i = y*xs + x ; rax = &m1[i]
-    a.emit(Inst::Lea { dst: Gpr::R11, src: MemRef::base_index(Gpr::R9, Gpr::R10, 1, 0) });
-    a.emit(Inst::Lea { dst: Gpr::Rax, src: MemRef::base_index(Gpr::Rdi, Gpr::R11, 8, 0) });
+    a.emit(Inst::Lea {
+        dst: Gpr::R11,
+        src: MemRef::base_index(Gpr::R9, Gpr::R10, 1, 0),
+    });
+    a.emit(Inst::Lea {
+        dst: Gpr::Rax,
+        src: MemRef::base_index(Gpr::Rdi, Gpr::R11, 8, 0),
+    });
     // xmm0 = [m[i-1], m[i]] + [m[i+1], m[i+2]] + up pair + down pair
     a.emit(Inst::MovUpd {
         dst: Xmm::Xmm0.into(),
@@ -133,17 +214,29 @@ pub fn build_packed_sweep(img: &mut Image, xs: i64, ys: i64) -> u64 {
         dst: Xmm::Xmm1.into(),
         src: MemRef::base_disp(Gpr::Rax, 8).into(),
     });
-    a.emit(Inst::Sse { op: SseOp::Addpd, dst: Xmm::Xmm0, src: Xmm::Xmm1.into() });
+    a.emit(Inst::Sse {
+        op: SseOp::Addpd,
+        dst: Xmm::Xmm0,
+        src: Xmm::Xmm1.into(),
+    });
     a.emit(Inst::MovUpd {
         dst: Xmm::Xmm1.into(),
         src: MemRef::base_disp(Gpr::Rax, -row_bytes as i32).into(),
     });
-    a.emit(Inst::Sse { op: SseOp::Addpd, dst: Xmm::Xmm0, src: Xmm::Xmm1.into() });
+    a.emit(Inst::Sse {
+        op: SseOp::Addpd,
+        dst: Xmm::Xmm0,
+        src: Xmm::Xmm1.into(),
+    });
     a.emit(Inst::MovUpd {
         dst: Xmm::Xmm1.into(),
         src: MemRef::base_disp(Gpr::Rax, row_bytes as i32).into(),
     });
-    a.emit(Inst::Sse { op: SseOp::Addpd, dst: Xmm::Xmm0, src: Xmm::Xmm1.into() });
+    a.emit(Inst::Sse {
+        op: SseOp::Addpd,
+        dst: Xmm::Xmm0,
+        src: Xmm::Xmm1.into(),
+    });
     // * [0.25, 0.25]
     a.emit(Inst::Sse {
         op: SseOp::Mulpd,
@@ -151,16 +244,39 @@ pub fn build_packed_sweep(img: &mut Image, xs: i64, ys: i64) -> u64 {
         src: MemRef::abs(quarter as i32).into(),
     });
     // - center pair
-    a.emit(Inst::MovUpd { dst: Xmm::Xmm1.into(), src: MemRef::base(Gpr::Rax).into() });
-    a.emit(Inst::Sse { op: SseOp::Subpd, dst: Xmm::Xmm0, src: Xmm::Xmm1.into() });
+    a.emit(Inst::MovUpd {
+        dst: Xmm::Xmm1.into(),
+        src: MemRef::base(Gpr::Rax).into(),
+    });
+    a.emit(Inst::Sse {
+        op: SseOp::Subpd,
+        dst: Xmm::Xmm0,
+        src: Xmm::Xmm1.into(),
+    });
     // store to &m2[i]
-    a.emit(Inst::Lea { dst: Gpr::Rcx, src: MemRef::base_index(Gpr::Rsi, Gpr::R11, 8, 0) });
-    a.emit(Inst::MovUpd { dst: MemRef::base(Gpr::Rcx).into(), src: Xmm::Xmm0.into() });
+    a.emit(Inst::Lea {
+        dst: Gpr::Rcx,
+        src: MemRef::base_index(Gpr::Rsi, Gpr::R11, 8, 0),
+    });
+    a.emit(Inst::MovUpd {
+        dst: MemRef::base(Gpr::Rcx).into(),
+        src: Xmm::Xmm0.into(),
+    });
     // x += 2; loop
-    a.emit(Inst::Alu { op: AluOp::Add, w, dst: Gpr::R10.into(), src: imm(2) });
+    a.emit(Inst::Alu {
+        op: AluOp::Add,
+        w,
+        dst: Gpr::R10.into(),
+        src: imm(2),
+    });
     a.jmp(lx);
     a.bind(lx_end);
-    a.emit(Inst::Alu { op: AluOp::Add, w, dst: Gpr::R8.into(), src: imm(1) });
+    a.emit(Inst::Alu {
+        op: AluOp::Add,
+        w,
+        dst: Gpr::R8.into(),
+        src: imm(1),
+    });
     a.jmp(ly);
     a.bind(l_end);
     a.emit(Inst::Ret);
@@ -187,7 +303,8 @@ mod tests {
         let mut m = Machine::new();
         let (mut src, mut dst) = (s.m1, s.m2);
         for _ in 0..iters {
-            m.call(&mut s.img, packed, &CallArgs::new().ptr(src).ptr(dst)).unwrap();
+            m.call(&mut s.img, packed, &CallArgs::new().ptr(src).ptr(dst))
+                .unwrap();
             std::mem::swap(&mut src, &mut dst);
         }
         assert_eq!(s.checksum(iters), s.host_checksum(iters));
@@ -201,7 +318,8 @@ mod tests {
         let mut m = Machine::new();
         let (mut src, mut dst) = (s.m1, s.m2);
         for _ in 0..iters {
-            m.call(&mut s.img, f, &CallArgs::new().ptr(src).ptr(dst)).unwrap();
+            m.call(&mut s.img, f, &CallArgs::new().ptr(src).ptr(dst))
+                .unwrap();
             std::mem::swap(&mut src, &mut dst);
         }
         assert_eq!(s.checksum(iters), s.host_checksum(iters));
@@ -213,13 +331,24 @@ mod tests {
         let mut s1 = Stencil::new(xs, ys);
         let sc = build_scalar_handtuned_sweep(&mut s1.img, xs, ys);
         let mut m = Machine::new();
-        let scalar = m.call(&mut s1.img, sc, &CallArgs::new().ptr(s1.m1).ptr(s1.m2)).unwrap().stats;
+        let scalar = m
+            .call(&mut s1.img, sc, &CallArgs::new().ptr(s1.m1).ptr(s1.m2))
+            .unwrap()
+            .stats;
         let mut s2 = Stencil::new(xs, ys);
         let pk = build_packed_sweep(&mut s2.img, xs, ys);
-        let packed = m.call(&mut s2.img, pk, &CallArgs::new().ptr(s2.m1).ptr(s2.m2)).unwrap().stats;
+        let packed = m
+            .call(&mut s2.img, pk, &CallArgs::new().ptr(s2.m1).ptr(s2.m2))
+            .unwrap()
+            .stats;
         // Identical code shape, half the iterations: the pure SIMD factor.
         assert!(packed.fp_ops * 2 <= scalar.fp_ops + 8);
-        assert!(packed.cycles * 3 < scalar.cycles * 2, "packed {} vs scalar {}", packed.cycles, scalar.cycles);
+        assert!(
+            packed.cycles * 3 < scalar.cycles * 2,
+            "packed {} vs scalar {}",
+            packed.cycles,
+            scalar.cycles
+        );
     }
 
     #[test]

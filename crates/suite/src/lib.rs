@@ -28,14 +28,16 @@ pub mod verify;
 
 /// Everything a typical example needs.
 pub mod prelude {
+    pub use crate::verify::{verify_rewrite, Divergence};
+    pub use brew_core::Variant as SpecVariant;
     pub use brew_core::{
-        disasm_result, ArgValue, FuncOpts, ParamSpec, PassConfig, RetKind, RewriteConfig,
-        RewriteError, RewriteResult, Rewriter,
+        disasm_result, make_guard, make_guard_chain, ArgValue, CacheStats, Event, EventSink,
+        FuncOpts, GuardCase, ParamSpec, PassConfig, RetKind, RewriteConfig, RewriteError,
+        RewriteResult, Rewriter, SpecRequest, SpecializationManager,
     };
     pub use brew_emu::{CallArgs, CallOutcome, CostModel, EmuError, Machine, Stats, ValueProfile};
     pub use brew_image::Image;
     pub use brew_minic::{compile_into, disasm, Compiled};
     pub use brew_pgas::PgasArray;
     pub use brew_stencil::{Stencil, Variant};
-    pub use crate::verify::{verify_rewrite, Divergence};
 }

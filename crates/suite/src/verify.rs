@@ -88,19 +88,18 @@ pub fn verify_rewrite(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use brew_core::{ParamSpec, RewriteConfig, Rewriter};
+    use brew_core::{Rewriter, SpecRequest};
 
     #[test]
     fn accepts_faithful_rewrites() {
         let mut img = Image::new();
-        brew_minic::compile_into("int f(int a, int b) { return a * b + 1; }", &mut img)
-            .unwrap();
+        brew_minic::compile_into("int f(int a, int b) { return a * b + 1; }", &mut img).unwrap();
         let f = img.lookup("f").unwrap();
-        let mut cfg = RewriteConfig::new();
-        cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
-        let res = Rewriter::new(&mut img)
-            .rewrite(&cfg, f, &[ArgValue::Int(0), ArgValue::Int(9)])
-            .unwrap();
+        let req = SpecRequest::new()
+            .unknown_int()
+            .known_int(9)
+            .ret(RetKind::Int);
+        let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
         let probes: Vec<Vec<ArgValue>> = (-3..3)
             .map(|a| vec![ArgValue::Int(a), ArgValue::Int(9)])
             .collect();
@@ -114,14 +113,13 @@ mod tests {
         let mut img = Image::new();
         brew_minic::compile_into("int f(int a, int b) { return a * b; }", &mut img).unwrap();
         let f = img.lookup("f").unwrap();
-        let mut cfg = RewriteConfig::new();
-        cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
-        let res = Rewriter::new(&mut img)
-            .rewrite(&cfg, f, &[ArgValue::Int(0), ArgValue::Int(9)])
-            .unwrap();
+        let req = SpecRequest::new()
+            .unknown_int()
+            .known_int(9)
+            .ret(RetKind::Int);
+        let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
         let bad_probe = vec![vec![ArgValue::Int(2), ArgValue::Int(5)]]; // b != 9
-        let err =
-            verify_rewrite(&mut img, f, res.entry, RetKind::Int, &bad_probe).unwrap_err();
+        let err = verify_rewrite(&mut img, f, res.entry, RetKind::Int, &bad_probe).unwrap_err();
         assert!(err.what.contains("10") && err.what.contains("18"), "{err}");
     }
 }

@@ -97,7 +97,7 @@ impl ShOp {
 /// Parity flag: set if the low byte of `v` has an even number of set bits.
 #[inline]
 fn parity(v: u64) -> bool {
-    (v as u8).count_ones() % 2 == 0
+    (v as u8).count_ones().is_multiple_of(2)
 }
 
 /// ZF/SF/PF from a result value at the given width.
@@ -136,7 +136,16 @@ pub fn alu(op: AluOp, w: Width, a: u64, b: u64) -> (u64, Flags) {
             };
             let (zf, sf, pf) = zsp(w, r);
             // Logical ops clear CF and OF.
-            (r, Flags { cf: false, zf, sf, of: false, pf })
+            (
+                r,
+                Flags {
+                    cf: false,
+                    zf,
+                    sf,
+                    of: false,
+                    pf,
+                },
+            )
         }
     }
 }
@@ -160,7 +169,16 @@ pub fn imul(w: Width, a: u64, b: u64) -> (u64, Flags) {
         }
     };
     let (zf, sf, pf) = zsp(w, r);
-    (r, Flags { cf: overflow, zf, sf, of: overflow, pf })
+    (
+        r,
+        Flags {
+            cf: overflow,
+            zf,
+            sf,
+            of: overflow,
+            pf,
+        },
+    )
 }
 
 /// Single-operand ops. `Inc`/`Dec` preserve the incoming CF per the ISA;
@@ -291,7 +309,10 @@ mod tests {
 
     #[test]
     fn inc_preserves_carry() {
-        let prev = Flags { cf: true, ..Flags::default() };
+        let prev = Flags {
+            cf: true,
+            ..Flags::default()
+        };
         let (r, f) = unop(UnOp::Inc, Width::W64, 41, prev);
         assert_eq!(r, 42);
         assert!(f.cf, "inc must leave CF alone");
@@ -318,7 +339,10 @@ mod tests {
         assert_eq!(r, 0x4000_0000);
         assert!(f.cf);
         // Masked-to-zero count leaves flags untouched.
-        let prev = Flags { zf: true, ..Flags::default() };
+        let prev = Flags {
+            zf: true,
+            ..Flags::default()
+        };
         let (r, f) = shift(ShOp::Shl, Width::W64, 7, 64, prev);
         assert_eq!(r, 7);
         assert_eq!(f, prev);
@@ -335,7 +359,10 @@ mod tests {
         );
         assert_eq!(idiv(Width::W64, 0, 1, 0), None);
         // i64::MIN / -1 overflows.
-        assert_eq!(idiv(Width::W64, u64::MAX, i64::MIN as u64, (-1i64) as u64), None);
+        assert_eq!(
+            idiv(Width::W64, u64::MAX, i64::MIN as u64, (-1i64) as u64),
+            None
+        );
         assert_eq!(idiv(Width::W32, 0, 100, 7), Some((14, 2)));
     }
 

@@ -175,7 +175,12 @@ mod tests {
             };
             for c in Cond::ALL {
                 assert_eq!(c.negate().negate(), c);
-                assert_ne!(fl.cond(c), fl.cond(c.negate()), "{c} vs {} on {fl}", c.negate());
+                assert_ne!(
+                    fl.cond(c),
+                    fl.cond(c.negate()),
+                    "{c} vs {} on {fl}",
+                    c.negate()
+                );
             }
         }
     }
@@ -183,7 +188,13 @@ mod tests {
     #[test]
     fn signed_conditions() {
         // 3 cmp 5: 3 - 5 borrows and is negative without overflow.
-        let fl = Flags { cf: true, zf: false, sf: true, of: false, pf: false };
+        let fl = Flags {
+            cf: true,
+            zf: false,
+            sf: true,
+            of: false,
+            pf: false,
+        };
         assert!(fl.cond(Cond::L));
         assert!(fl.cond(Cond::Le));
         assert!(fl.cond(Cond::B));

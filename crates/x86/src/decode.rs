@@ -99,7 +99,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn unsupported(&self, what: &'static str) -> DecodeError {
-        DecodeError::UnsupportedForm { at: self.addr, what }
+        DecodeError::UnsupportedForm {
+            at: self.addr,
+            what,
+        }
     }
 }
 
@@ -219,7 +222,11 @@ fn check_byte_reg(c: &Cursor, rm: &Rm, rex: Rex) -> Result<(), DecodeError> {
 /// Decode one instruction starting at `bytes[0]`, which lives at absolute
 /// address `addr` (used to resolve relative branch targets).
 pub fn decode(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
-    let mut c = Cursor { bytes, pos: 0, addr };
+    let mut c = Cursor {
+        bytes,
+        pos: 0,
+        addr,
+    };
 
     // Legacy prefixes we understand: 66 (packed SSE), F2 (scalar double).
     let mut p66 = false;
@@ -302,33 +309,63 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                 return Err(c.unsupported("movsxd without REX.W"));
             }
             let (reg, rm) = modrm(&mut c, rex)?;
-            Inst::Movsxd { dst: Gpr::from_number(reg), src: rm_gpr(rm) }
+            Inst::Movsxd {
+                dst: Gpr::from_number(reg),
+                src: rm_gpr(rm),
+            }
         }
-        0x68 => Inst::Push { src: Operand::Imm(c.i32()? as i64) },
+        0x68 => Inst::Push {
+            src: Operand::Imm(c.i32()? as i64),
+        },
         0x69 | 0x6B => {
             let (reg, rm) = modrm(&mut c, rex)?;
             let imm = if op == 0x6B { c.i8()? as i32 } else { c.i32()? };
-            Inst::ImulImm { w: width(rex), dst: Gpr::from_number(reg), src: rm_gpr(rm), imm }
+            Inst::ImulImm {
+                w: width(rex),
+                dst: Gpr::from_number(reg),
+                src: rm_gpr(rm),
+                imm,
+            }
         }
         0x70..=0x7F => {
             let rel = c.i8()? as i64;
             let target = addr.wrapping_add(c.pos as u64).wrapping_add(rel as u64);
-            Inst::Jcc { cond: Cond::from_code(op - 0x70), target }
+            Inst::Jcc {
+                cond: Cond::from_code(op - 0x70),
+                target,
+            }
         }
         0x81 | 0x83 => {
             let (digit, rm) = modrm(&mut c, rex)?;
             let aop = alu_from_digit(&c, digit & 7)?;
-            let imm = if op == 0x83 { c.i8()? as i64 } else { c.i32()? as i64 };
-            Inst::Alu { op: aop, w: width(rex), dst: rm_gpr(rm), src: Operand::Imm(imm) }
+            let imm = if op == 0x83 {
+                c.i8()? as i64
+            } else {
+                c.i32()? as i64
+            };
+            Inst::Alu {
+                op: aop,
+                w: width(rex),
+                dst: rm_gpr(rm),
+                src: Operand::Imm(imm),
+            }
         }
         0x85 => {
             let (reg, rm) = modrm(&mut c, rex)?;
-            Inst::Test { w: width(rex), a: rm_gpr(rm), b: Operand::Reg(Gpr::from_number(reg)) }
+            Inst::Test {
+                w: width(rex),
+                a: rm_gpr(rm),
+                b: Operand::Reg(Gpr::from_number(reg)),
+            }
         }
         0x88 => {
             let (reg, rm) = modrm(&mut c, rex)?;
             check_byte_reg(&c, &rm, rex)?;
-            Inst::Mov { w: Width::W8, dst: rm_gpr(rm), src: Operand::Reg(Gpr::from_number(reg)) }
+            Inst::Mov {
+                w: Width::W8,
+                dst: rm_gpr(rm),
+                src: Operand::Reg(Gpr::from_number(reg)),
+            }
         }
         0x8A => {
             let (reg, rm) = modrm(&mut c, rex)?;
@@ -346,20 +383,35 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
             }
             check_byte_reg(&c, &rm, rex)?;
             let imm = c.i8()? as i64;
-            Inst::Mov { w: Width::W8, dst: rm_gpr(rm), src: Operand::Imm(imm) }
+            Inst::Mov {
+                w: Width::W8,
+                dst: rm_gpr(rm),
+                src: Operand::Imm(imm),
+            }
         }
         0x89 => {
             let (reg, rm) = modrm(&mut c, rex)?;
-            Inst::Mov { w: width(rex), dst: rm_gpr(rm), src: Operand::Reg(Gpr::from_number(reg)) }
+            Inst::Mov {
+                w: width(rex),
+                dst: rm_gpr(rm),
+                src: Operand::Reg(Gpr::from_number(reg)),
+            }
         }
         0x8B => {
             let (reg, rm) = modrm(&mut c, rex)?;
-            Inst::Mov { w: width(rex), dst: Operand::Reg(Gpr::from_number(reg)), src: rm_gpr(rm) }
+            Inst::Mov {
+                w: width(rex),
+                dst: Operand::Reg(Gpr::from_number(reg)),
+                src: rm_gpr(rm),
+            }
         }
         0x8D => {
             let (reg, rm) = modrm(&mut c, rex)?;
             match rm {
-                Rm::Mem(m) => Inst::Lea { dst: Gpr::from_number(reg), src: m },
+                Rm::Mem(m) => Inst::Lea {
+                    dst: Gpr::from_number(reg),
+                    src: m,
+                },
                 Rm::Reg(_) => return Err(c.unsupported("lea with register source")),
             }
         }
@@ -397,7 +449,12 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                 0xD1 => ShiftCount::Imm(1),
                 _ => ShiftCount::Cl,
             };
-            Inst::Shift { op: sop, w: width(rex), dst: rm_gpr(rm), count }
+            Inst::Shift {
+                op: sop,
+                w: width(rex),
+                dst: rm_gpr(rm),
+                count,
+            }
         }
         0xC3 => Inst::Ret,
         0xC7 => {
@@ -406,7 +463,11 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                 return Err(c.unsupported("C7 with nonzero digit"));
             }
             let imm = c.i32()? as i64;
-            Inst::Mov { w: width(rex), dst: rm_gpr(rm), src: Operand::Imm(imm) }
+            Inst::Mov {
+                w: width(rex),
+                dst: rm_gpr(rm),
+                src: Operand::Imm(imm),
+            }
         }
         0xE8 | 0xE9 => {
             let rel = c.i32()? as i64;
@@ -427,19 +488,42 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
             match digit & 7 {
                 0 => {
                     let imm = c.i32()? as i64;
-                    Inst::Test { w: width(rex), a: rm_gpr(rm), b: Operand::Imm(imm) }
+                    Inst::Test {
+                        w: width(rex),
+                        a: rm_gpr(rm),
+                        b: Operand::Imm(imm),
+                    }
                 }
-                2 => Inst::Unary { op: UnOp::Not, w: width(rex), dst: rm_gpr(rm) },
-                3 => Inst::Unary { op: UnOp::Neg, w: width(rex), dst: rm_gpr(rm) },
-                7 => Inst::Idiv { w: width(rex), src: rm_gpr(rm) },
+                2 => Inst::Unary {
+                    op: UnOp::Not,
+                    w: width(rex),
+                    dst: rm_gpr(rm),
+                },
+                3 => Inst::Unary {
+                    op: UnOp::Neg,
+                    w: width(rex),
+                    dst: rm_gpr(rm),
+                },
+                7 => Inst::Idiv {
+                    w: width(rex),
+                    src: rm_gpr(rm),
+                },
                 _ => return Err(c.unsupported("F7 mul/div form")),
             }
         }
         0xFF => {
             let (digit, rm) = modrm(&mut c, rex)?;
             match digit & 7 {
-                0 => Inst::Unary { op: UnOp::Inc, w: width(rex), dst: rm_gpr(rm) },
-                1 => Inst::Unary { op: UnOp::Dec, w: width(rex), dst: rm_gpr(rm) },
+                0 => Inst::Unary {
+                    op: UnOp::Inc,
+                    w: width(rex),
+                    dst: rm_gpr(rm),
+                },
+                1 => Inst::Unary {
+                    op: UnOp::Dec,
+                    w: width(rex),
+                    dst: rm_gpr(rm),
+                },
                 2 => Inst::CallInd { src: rm_gpr(rm) },
                 4 => Inst::JmpInd { src: rm_gpr(rm) },
                 6 => Inst::Push { src: rm_gpr(rm) },
@@ -468,23 +552,42 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                 }
                 0x14 if p66 => {
                     let (reg, rm) = modrm(&mut c, rex)?;
-                    Inst::Sse { op: SseOp::Unpcklpd, dst: Xmm::from_number(reg), src: rm_xmm(rm) }
+                    Inst::Sse {
+                        op: SseOp::Unpcklpd,
+                        dst: Xmm::from_number(reg),
+                        src: rm_xmm(rm),
+                    }
                 }
                 0x2A if pf2 => {
                     let (reg, rm) = modrm(&mut c, rex)?;
-                    Inst::Cvtsi2sd { w: width(rex), dst: Xmm::from_number(reg), src: rm_gpr(rm) }
+                    Inst::Cvtsi2sd {
+                        w: width(rex),
+                        dst: Xmm::from_number(reg),
+                        src: rm_gpr(rm),
+                    }
                 }
                 0x2C if pf2 => {
                     let (reg, rm) = modrm(&mut c, rex)?;
-                    Inst::Cvttsd2si { w: width(rex), dst: Gpr::from_number(reg), src: rm_xmm(rm) }
+                    Inst::Cvttsd2si {
+                        w: width(rex),
+                        dst: Gpr::from_number(reg),
+                        src: rm_xmm(rm),
+                    }
                 }
                 0x2E if p66 => {
                     let (reg, rm) = modrm(&mut c, rex)?;
-                    Inst::Ucomisd { a: Xmm::from_number(reg), b: rm_xmm(rm) }
+                    Inst::Ucomisd {
+                        a: Xmm::from_number(reg),
+                        b: rm_xmm(rm),
+                    }
                 }
                 0x57 if p66 => {
                     let (reg, rm) = modrm(&mut c, rex)?;
-                    Inst::Sse { op: SseOp::Xorpd, dst: Xmm::from_number(reg), src: rm_xmm(rm) }
+                    Inst::Sse {
+                        op: SseOp::Xorpd,
+                        dst: Xmm::from_number(reg),
+                        src: rm_xmm(rm),
+                    }
                 }
                 0x58 | 0x59 | 0x5C | 0x5E if pf2 || p66 => {
                     let (reg, rm) = modrm(&mut c, rex)?;
@@ -498,26 +601,44 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
                         (0x5C, false) => SseOp::Subpd,
                         _ => SseOp::Divpd,
                     };
-                    Inst::Sse { op: sop, dst: Xmm::from_number(reg), src: rm_xmm(rm) }
+                    Inst::Sse {
+                        op: sop,
+                        dst: Xmm::from_number(reg),
+                        src: rm_xmm(rm),
+                    }
                 }
                 0x80..=0x8F => {
                     let rel = c.i32()? as i64;
                     let target = addr.wrapping_add(c.pos as u64).wrapping_add(rel as u64);
-                    Inst::Jcc { cond: Cond::from_code(op2 - 0x80), target }
+                    Inst::Jcc {
+                        cond: Cond::from_code(op2 - 0x80),
+                        target,
+                    }
                 }
                 0x90..=0x9F => {
                     let (_, rm) = modrm(&mut c, rex)?;
                     check_byte_reg(&c, &rm, rex)?;
-                    Inst::Setcc { cond: Cond::from_code(op2 - 0x90), dst: rm_gpr(rm) }
+                    Inst::Setcc {
+                        cond: Cond::from_code(op2 - 0x90),
+                        dst: rm_gpr(rm),
+                    }
                 }
                 0xAF => {
                     let (reg, rm) = modrm(&mut c, rex)?;
-                    Inst::Imul { w: width(rex), dst: Gpr::from_number(reg), src: rm_gpr(rm) }
+                    Inst::Imul {
+                        w: width(rex),
+                        dst: Gpr::from_number(reg),
+                        src: rm_gpr(rm),
+                    }
                 }
                 0xB6 => {
                     let (reg, rm) = modrm(&mut c, rex)?;
                     check_byte_reg(&c, &rm, rex)?;
-                    Inst::Movzx8 { w: width(rex), dst: Gpr::from_number(reg), src: rm_gpr(rm) }
+                    Inst::Movzx8 {
+                        w: width(rex),
+                        dst: Gpr::from_number(reg),
+                        src: rm_gpr(rm),
+                    }
                 }
                 b => return Err(DecodeError::UnknownOpcode { at: addr, byte: b }),
             }
@@ -563,43 +684,156 @@ mod tests {
         use Operand::Imm;
         let m = MemRef::base_index(Gpr::R13, Gpr::R12, 8, -0x40);
         for i in [
-            Inst::Mov { w: Width::W64, dst: Gpr::Rax.into(), src: Gpr::R15.into() },
-            Inst::Mov { w: Width::W32, dst: Gpr::R9.into(), src: Imm(-5) },
-            Inst::Mov { w: Width::W64, dst: m.into(), src: Gpr::Rdx.into() },
-            Inst::MovAbs { dst: Gpr::Rsi, imm: 0xDEAD_BEEF_CAFE_F00D },
-            Inst::Movsxd { dst: Gpr::Rcx, src: Gpr::Rax.into() },
-            Inst::Movzx8 { w: Width::W32, dst: Gpr::Rax, src: Gpr::Rdi.into() },
-            Inst::Lea { dst: Gpr::Rbp, src: MemRef::abs(0x601000) },
-            Inst::Alu { op: AluOp::Add, w: Width::W64, dst: Gpr::Rsp.into(), src: Imm(0x1000) },
-            Inst::Alu { op: AluOp::Cmp, w: Width::W32, dst: m.into(), src: Imm(7) },
-            Inst::Test { w: Width::W64, a: Gpr::Rax.into(), b: Gpr::Rax.into() },
-            Inst::Imul { w: Width::W64, dst: Gpr::Rbx, src: m.into() },
-            Inst::ImulImm { w: Width::W64, dst: Gpr::Rbx, src: Gpr::Rbx.into(), imm: 500 },
-            Inst::Unary { op: UnOp::Neg, w: Width::W64, dst: Gpr::Rdi.into() },
-            Inst::Shift { op: ShOp::Sar, w: Width::W64, dst: Gpr::Rax.into(), count: ShiftCount::Imm(3) },
-            Inst::Shift { op: ShOp::Shl, w: Width::W32, dst: Gpr::Rdx.into(), count: ShiftCount::Cl },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Gpr::Rax.into(),
+                src: Gpr::R15.into(),
+            },
+            Inst::Mov {
+                w: Width::W32,
+                dst: Gpr::R9.into(),
+                src: Imm(-5),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                dst: m.into(),
+                src: Gpr::Rdx.into(),
+            },
+            Inst::MovAbs {
+                dst: Gpr::Rsi,
+                imm: 0xDEAD_BEEF_CAFE_F00D,
+            },
+            Inst::Movsxd {
+                dst: Gpr::Rcx,
+                src: Gpr::Rax.into(),
+            },
+            Inst::Movzx8 {
+                w: Width::W32,
+                dst: Gpr::Rax,
+                src: Gpr::Rdi.into(),
+            },
+            Inst::Lea {
+                dst: Gpr::Rbp,
+                src: MemRef::abs(0x601000),
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                w: Width::W64,
+                dst: Gpr::Rsp.into(),
+                src: Imm(0x1000),
+            },
+            Inst::Alu {
+                op: AluOp::Cmp,
+                w: Width::W32,
+                dst: m.into(),
+                src: Imm(7),
+            },
+            Inst::Test {
+                w: Width::W64,
+                a: Gpr::Rax.into(),
+                b: Gpr::Rax.into(),
+            },
+            Inst::Imul {
+                w: Width::W64,
+                dst: Gpr::Rbx,
+                src: m.into(),
+            },
+            Inst::ImulImm {
+                w: Width::W64,
+                dst: Gpr::Rbx,
+                src: Gpr::Rbx.into(),
+                imm: 500,
+            },
+            Inst::Unary {
+                op: UnOp::Neg,
+                w: Width::W64,
+                dst: Gpr::Rdi.into(),
+            },
+            Inst::Shift {
+                op: ShOp::Sar,
+                w: Width::W64,
+                dst: Gpr::Rax.into(),
+                count: ShiftCount::Imm(3),
+            },
+            Inst::Shift {
+                op: ShOp::Shl,
+                w: Width::W32,
+                dst: Gpr::Rdx.into(),
+                count: ShiftCount::Cl,
+            },
             Inst::Cqo { w: Width::W64 },
-            Inst::Idiv { w: Width::W64, src: Gpr::Rcx.into() },
-            Inst::Push { src: Gpr::R12.into() },
-            Inst::Pop { dst: Gpr::Rbp.into() },
+            Inst::Idiv {
+                w: Width::W64,
+                src: Gpr::Rcx.into(),
+            },
+            Inst::Push {
+                src: Gpr::R12.into(),
+            },
+            Inst::Pop {
+                dst: Gpr::Rbp.into(),
+            },
             Inst::Push { src: Imm(0x77) },
             Inst::CallRel { target: 0x401000 },
-            Inst::CallInd { src: Gpr::Rax.into() },
+            Inst::CallInd {
+                src: Gpr::Rax.into(),
+            },
             Inst::Ret,
             Inst::JmpRel { target: 0x3FF000 },
             Inst::JmpInd { src: m.into() },
-            Inst::Jcc { cond: Cond::G, target: 0x400080 },
-            Inst::Setcc { cond: Cond::Ne, dst: Gpr::Rsi.into() },
-            Inst::MovSd { dst: Xmm::Xmm3.into(), src: m.into() },
-            Inst::MovSd { dst: m.into(), src: Xmm::Xmm14.into() },
-            Inst::MovUpd { dst: Xmm::Xmm1.into(), src: m.into() },
-            Inst::Sse { op: SseOp::Mulsd, dst: Xmm::Xmm0, src: MemRef::abs(0x615100).into() },
-            Inst::Sse { op: SseOp::Addpd, dst: Xmm::Xmm9, src: Xmm::Xmm2.into() },
-            Inst::Sse { op: SseOp::Xorpd, dst: Xmm::Xmm5, src: Xmm::Xmm5.into() },
-            Inst::Sse { op: SseOp::Unpcklpd, dst: Xmm::Xmm2, src: Xmm::Xmm7.into() },
-            Inst::Ucomisd { a: Xmm::Xmm0, b: Xmm::Xmm1.into() },
-            Inst::Cvtsi2sd { w: Width::W64, dst: Xmm::Xmm4, src: Gpr::Rax.into() },
-            Inst::Cvttsd2si { w: Width::W64, dst: Gpr::Rax, src: Xmm::Xmm4.into() },
+            Inst::Jcc {
+                cond: Cond::G,
+                target: 0x400080,
+            },
+            Inst::Setcc {
+                cond: Cond::Ne,
+                dst: Gpr::Rsi.into(),
+            },
+            Inst::MovSd {
+                dst: Xmm::Xmm3.into(),
+                src: m.into(),
+            },
+            Inst::MovSd {
+                dst: m.into(),
+                src: Xmm::Xmm14.into(),
+            },
+            Inst::MovUpd {
+                dst: Xmm::Xmm1.into(),
+                src: m.into(),
+            },
+            Inst::Sse {
+                op: SseOp::Mulsd,
+                dst: Xmm::Xmm0,
+                src: MemRef::abs(0x615100).into(),
+            },
+            Inst::Sse {
+                op: SseOp::Addpd,
+                dst: Xmm::Xmm9,
+                src: Xmm::Xmm2.into(),
+            },
+            Inst::Sse {
+                op: SseOp::Xorpd,
+                dst: Xmm::Xmm5,
+                src: Xmm::Xmm5.into(),
+            },
+            Inst::Sse {
+                op: SseOp::Unpcklpd,
+                dst: Xmm::Xmm2,
+                src: Xmm::Xmm7.into(),
+            },
+            Inst::Ucomisd {
+                a: Xmm::Xmm0,
+                b: Xmm::Xmm1.into(),
+            },
+            Inst::Cvtsi2sd {
+                w: Width::W64,
+                dst: Xmm::Xmm4,
+                src: Gpr::Rax.into(),
+            },
+            Inst::Cvttsd2si {
+                w: Width::W64,
+                dst: Gpr::Rax,
+                src: Xmm::Xmm4.into(),
+            },
             Inst::Nop,
             Inst::Ud2,
         ] {
@@ -614,7 +848,13 @@ mod tests {
         assert_eq!(d.inst, Inst::JmpRel { target: 0x400000 });
         // 74 00: je to next.
         let d = decode(&[0x74, 0x00], 0x400000).unwrap();
-        assert_eq!(d.inst, Inst::Jcc { cond: Cond::E, target: 0x400002 });
+        assert_eq!(
+            d.inst,
+            Inst::Jcc {
+                cond: Cond::E,
+                target: 0x400002
+            }
+        );
     }
 
     #[test]
@@ -623,7 +863,11 @@ mod tests {
         let d = decode(&[0xB8, 0x2A, 0, 0, 0], 0).unwrap();
         assert_eq!(
             d.inst,
-            Inst::Mov { w: Width::W32, dst: Gpr::Rax.into(), src: Operand::Imm(42) }
+            Inst::Mov {
+                w: Width::W32,
+                dst: Gpr::Rax.into(),
+                src: Operand::Imm(42)
+            }
         );
     }
 
@@ -633,7 +877,11 @@ mod tests {
         let d = decode(&[0x48, 0x89, 0xD8], 0).unwrap();
         assert_eq!(
             d.inst,
-            Inst::Mov { w: Width::W64, dst: Gpr::Rax.into(), src: Gpr::Rbx.into() }
+            Inst::Mov {
+                w: Width::W64,
+                dst: Gpr::Rax.into(),
+                src: Gpr::Rbx.into()
+            }
         );
     }
 
@@ -643,7 +891,10 @@ mod tests {
         assert_eq!(decode(&[0x48], 0), Err(DecodeError::Truncated));
         assert!(matches!(
             decode(&[0x06], 0x123),
-            Err(DecodeError::UnknownOpcode { at: 0x123, byte: 0x06 })
+            Err(DecodeError::UnknownOpcode {
+                at: 0x123,
+                byte: 0x06
+            })
         ));
         // RIP-relative is unsupported: 48 8B 05 00000000 (mov rax, [rip]).
         assert!(matches!(

@@ -241,7 +241,10 @@ mod tests {
 
     #[test]
     fn implicit_operands() {
-        let i = Inst::Idiv { w: Width::W64, src: Gpr::Rcx.into() };
+        let i = Inst::Idiv {
+            w: Width::W64,
+            src: Gpr::Rcx.into(),
+        };
         let r = reads(&i);
         assert!(r.contains(&Loc::Gpr(Gpr::Rax)) && r.contains(&Loc::Gpr(Gpr::Rdx)));
         let w = writes(&i);
@@ -260,7 +263,11 @@ mod tests {
     fn sse_dst_is_also_read() {
         use crate::inst::SseOp;
         use crate::reg::Xmm;
-        let i = Inst::Sse { op: SseOp::Addsd, dst: Xmm::Xmm0, src: Xmm::Xmm1.into() };
+        let i = Inst::Sse {
+            op: SseOp::Addsd,
+            dst: Xmm::Xmm0,
+            src: Xmm::Xmm1.into(),
+        };
         assert!(reads(&i).contains(&Loc::Xmm(Xmm::Xmm0)));
         assert_eq!(writes(&i), vec![Loc::Xmm(Xmm::Xmm0)]);
     }

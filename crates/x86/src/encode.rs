@@ -130,7 +130,7 @@ fn encode_mem(out: &mut Vec<u8>, reg3: u8, m: &MemRef) -> Result<(), EncodeError
         (Some(base), index) => {
             let base3 = base.number() & 7;
             let needs_sib = index.is_some() || base3 == 0b100; // rsp/r12
-            // rbp/r13 cannot use mod=00 (that means disp32/RIP); force disp8.
+                                                               // rbp/r13 cannot use mod=00 (that means disp32/RIP); force disp8.
             let (modbits, disp): (u8, &[u8]) = if m.disp == 0 && base3 != 0b101 {
                 (0b00, &[])
             } else if let Ok(d8) = i8::try_from(m.disp) {
@@ -176,7 +176,9 @@ fn rm_of(op: &Operand) -> Result<Rm, EncodeError> {
 }
 
 fn imm32(v: i64) -> Result<Imm, EncodeError> {
-    i32::try_from(v).map(Imm::I32).map_err(|_| EncodeError::ImmTooLarge(v))
+    i32::try_from(v)
+        .map(Imm::I32)
+        .map_err(|_| EncodeError::ImmTooLarge(v))
 }
 
 fn rex_w(w: Width) -> bool {
@@ -193,7 +195,10 @@ fn rel32(out: &mut Vec<u8>, addr: u64, prefix_len: usize, target: u64) -> Result
     // rel is computed from the end of the instruction: addr + prefix + 4.
     let end = addr.wrapping_add(prefix_len as u64 + 4);
     let rel = target.wrapping_sub(end) as i64;
-    let rel = i32::try_from(rel).map_err(|_| EncodeError::RelOutOfRange { from: addr, to: target })?;
+    let rel = i32::try_from(rel).map_err(|_| EncodeError::RelOutOfRange {
+        from: addr,
+        to: target,
+    })?;
     out.extend_from_slice(&rel.to_le_bytes());
     Ok(())
 }
@@ -231,7 +236,11 @@ fn sse_arith(op: SseOp) -> (u8, u8) {
 pub fn encode(inst: &Inst, addr: u64, out: &mut Vec<u8>) -> Result<usize, EncodeError> {
     let start = out.len();
     match inst {
-        Inst::Mov { w: Width::W8, dst, src } => match (dst, src) {
+        Inst::Mov {
+            w: Width::W8,
+            dst,
+            src,
+        } => match (dst, src) {
             // Byte moves: C6 /0 imm8, 88/8A /r.
             (d @ (Operand::Reg(_) | Operand::Mem(_)), Operand::Imm(v)) => {
                 let v8 = i8::try_from(*v)
@@ -242,29 +251,77 @@ pub fn encode(inst: &Inst, addr: u64, out: &mut Vec<u8>) -> Result<usize, Encode
             }
             (Operand::Reg(d), src @ (Operand::Reg(_) | Operand::Mem(_))) => {
                 let force = byte_reg_forces_rex(dst) || byte_reg_forces_rex(src);
-                emit(out, None, false, &[0x8A], d.number(), rm_of(src)?, Imm::None, force)?
+                emit(
+                    out,
+                    None,
+                    false,
+                    &[0x8A],
+                    d.number(),
+                    rm_of(src)?,
+                    Imm::None,
+                    force,
+                )?
             }
             (Operand::Mem(m), s @ Operand::Reg(_)) => {
                 let force = byte_reg_forces_rex(s);
                 let Operand::Reg(sr) = s else { unreachable!() };
-                emit(out, None, false, &[0x88], sr.number(), Rm::Mem(*m), Imm::None, force)?
+                emit(
+                    out,
+                    None,
+                    false,
+                    &[0x88],
+                    sr.number(),
+                    Rm::Mem(*m),
+                    Imm::None,
+                    force,
+                )?
             }
             _ => return Err(EncodeError::BadOperands("mov8")),
         },
         Inst::Mov { w, dst, src } => match (dst, src) {
             (Operand::Reg(d), Operand::Imm(v)) => {
                 // C7 /0 imm32 (sign-extended for W64).
-                emit(out, None, rex_w(*w), &[0xC7], 0, Rm::Reg(d.number()), imm32(*v)?, false)?
+                emit(
+                    out,
+                    None,
+                    rex_w(*w),
+                    &[0xC7],
+                    0,
+                    Rm::Reg(d.number()),
+                    imm32(*v)?,
+                    false,
+                )?
             }
-            (Operand::Mem(m), Operand::Imm(v)) => {
-                emit(out, None, rex_w(*w), &[0xC7], 0, Rm::Mem(*m), imm32(*v)?, false)?
-            }
-            (Operand::Reg(d), src @ (Operand::Reg(_) | Operand::Mem(_))) => {
-                emit(out, None, rex_w(*w), &[0x8B], d.number(), rm_of(src)?, Imm::None, false)?
-            }
-            (Operand::Mem(m), Operand::Reg(s)) => {
-                emit(out, None, rex_w(*w), &[0x89], s.number(), Rm::Mem(*m), Imm::None, false)?
-            }
+            (Operand::Mem(m), Operand::Imm(v)) => emit(
+                out,
+                None,
+                rex_w(*w),
+                &[0xC7],
+                0,
+                Rm::Mem(*m),
+                imm32(*v)?,
+                false,
+            )?,
+            (Operand::Reg(d), src @ (Operand::Reg(_) | Operand::Mem(_))) => emit(
+                out,
+                None,
+                rex_w(*w),
+                &[0x8B],
+                d.number(),
+                rm_of(src)?,
+                Imm::None,
+                false,
+            )?,
+            (Operand::Mem(m), Operand::Reg(s)) => emit(
+                out,
+                None,
+                rex_w(*w),
+                &[0x89],
+                s.number(),
+                Rm::Mem(*m),
+                Imm::None,
+                false,
+            )?,
             _ => return Err(EncodeError::BadOperands("mov")),
         },
         Inst::MovAbs { dst, imm } => {
@@ -274,52 +331,146 @@ pub fn encode(inst: &Inst, addr: u64, out: &mut Vec<u8>) -> Result<usize, Encode
             out.push(0xB8 + (n & 7));
             out.extend_from_slice(&imm.to_le_bytes());
         }
-        Inst::Movsxd { dst, src } => {
-            emit(out, None, true, &[0x63], dst.number(), rm_of(src)?, Imm::None, false)?
-        }
+        Inst::Movsxd { dst, src } => emit(
+            out,
+            None,
+            true,
+            &[0x63],
+            dst.number(),
+            rm_of(src)?,
+            Imm::None,
+            false,
+        )?,
         Inst::Movzx8 { w, dst, src } => {
             let force = byte_reg_forces_rex(src);
-            emit(out, None, rex_w(*w), &[0x0F, 0xB6], dst.number(), rm_of(src)?, Imm::None, force)?
+            emit(
+                out,
+                None,
+                rex_w(*w),
+                &[0x0F, 0xB6],
+                dst.number(),
+                rm_of(src)?,
+                Imm::None,
+                force,
+            )?
         }
-        Inst::Lea { dst, src } => {
-            emit(out, None, true, &[0x8D], dst.number(), Rm::Mem(*src), Imm::None, false)?
-        }
+        Inst::Lea { dst, src } => emit(
+            out,
+            None,
+            true,
+            &[0x8D],
+            dst.number(),
+            Rm::Mem(*src),
+            Imm::None,
+            false,
+        )?,
         Inst::Alu { op, w, dst, src } => {
             let (store, load, digit) = alu_opcodes(*op);
             match (dst, src) {
                 (d @ (Operand::Reg(_) | Operand::Mem(_)), Operand::Imm(v)) => {
                     if let Ok(v8) = i8::try_from(*v) {
-                        emit(out, None, rex_w(*w), &[0x83], digit, rm_of(d)?, Imm::I8(v8), false)?
+                        emit(
+                            out,
+                            None,
+                            rex_w(*w),
+                            &[0x83],
+                            digit,
+                            rm_of(d)?,
+                            Imm::I8(v8),
+                            false,
+                        )?
                     } else {
-                        emit(out, None, rex_w(*w), &[0x81], digit, rm_of(d)?, imm32(*v)?, false)?
+                        emit(
+                            out,
+                            None,
+                            rex_w(*w),
+                            &[0x81],
+                            digit,
+                            rm_of(d)?,
+                            imm32(*v)?,
+                            false,
+                        )?
                     }
                 }
-                (Operand::Reg(d), s @ (Operand::Reg(_) | Operand::Mem(_))) => {
-                    emit(out, None, rex_w(*w), &[load], d.number(), rm_of(s)?, Imm::None, false)?
-                }
-                (Operand::Mem(m), Operand::Reg(s)) => {
-                    emit(out, None, rex_w(*w), &[store], s.number(), Rm::Mem(*m), Imm::None, false)?
-                }
+                (Operand::Reg(d), s @ (Operand::Reg(_) | Operand::Mem(_))) => emit(
+                    out,
+                    None,
+                    rex_w(*w),
+                    &[load],
+                    d.number(),
+                    rm_of(s)?,
+                    Imm::None,
+                    false,
+                )?,
+                (Operand::Mem(m), Operand::Reg(s)) => emit(
+                    out,
+                    None,
+                    rex_w(*w),
+                    &[store],
+                    s.number(),
+                    Rm::Mem(*m),
+                    Imm::None,
+                    false,
+                )?,
                 _ => return Err(EncodeError::BadOperands("alu")),
             }
         }
         Inst::Test { w, a, b } => match (a, b) {
-            (a @ (Operand::Reg(_) | Operand::Mem(_)), Operand::Reg(r)) => {
-                emit(out, None, rex_w(*w), &[0x85], r.number(), rm_of(a)?, Imm::None, false)?
-            }
-            (a @ (Operand::Reg(_) | Operand::Mem(_)), Operand::Imm(v)) => {
-                emit(out, None, rex_w(*w), &[0xF7], 0, rm_of(a)?, imm32(*v)?, false)?
-            }
+            (a @ (Operand::Reg(_) | Operand::Mem(_)), Operand::Reg(r)) => emit(
+                out,
+                None,
+                rex_w(*w),
+                &[0x85],
+                r.number(),
+                rm_of(a)?,
+                Imm::None,
+                false,
+            )?,
+            (a @ (Operand::Reg(_) | Operand::Mem(_)), Operand::Imm(v)) => emit(
+                out,
+                None,
+                rex_w(*w),
+                &[0xF7],
+                0,
+                rm_of(a)?,
+                imm32(*v)?,
+                false,
+            )?,
             _ => return Err(EncodeError::BadOperands("test")),
         },
-        Inst::Imul { w, dst, src } => {
-            emit(out, None, rex_w(*w), &[0x0F, 0xAF], dst.number(), rm_of(src)?, Imm::None, false)?
-        }
+        Inst::Imul { w, dst, src } => emit(
+            out,
+            None,
+            rex_w(*w),
+            &[0x0F, 0xAF],
+            dst.number(),
+            rm_of(src)?,
+            Imm::None,
+            false,
+        )?,
         Inst::ImulImm { w, dst, src, imm } => {
             if let Ok(v8) = i8::try_from(*imm) {
-                emit(out, None, rex_w(*w), &[0x6B], dst.number(), rm_of(src)?, Imm::I8(v8), false)?
+                emit(
+                    out,
+                    None,
+                    rex_w(*w),
+                    &[0x6B],
+                    dst.number(),
+                    rm_of(src)?,
+                    Imm::I8(v8),
+                    false,
+                )?
             } else {
-                emit(out, None, rex_w(*w), &[0x69], dst.number(), rm_of(src)?, Imm::I32(*imm), false)?
+                emit(
+                    out,
+                    None,
+                    rex_w(*w),
+                    &[0x69],
+                    dst.number(),
+                    rm_of(src)?,
+                    Imm::I32(*imm),
+                    false,
+                )?
             }
         }
         Inst::Unary { op, w, dst } => {
@@ -329,7 +480,16 @@ pub fn encode(inst: &Inst, addr: u64, out: &mut Vec<u8>) -> Result<usize, Encode
                 UnOp::Inc => (0xFF, 0),
                 UnOp::Dec => (0xFF, 1),
             };
-            emit(out, None, rex_w(*w), &[opc], digit, rm_of(dst)?, Imm::None, false)?
+            emit(
+                out,
+                None,
+                rex_w(*w),
+                &[opc],
+                digit,
+                rm_of(dst)?,
+                Imm::None,
+                false,
+            )?
         }
         Inst::Shift { op, w, dst, count } => {
             let digit = match op {
@@ -348,9 +508,16 @@ pub fn encode(inst: &Inst, addr: u64, out: &mut Vec<u8>) -> Result<usize, Encode
                     Imm::I8(*i as i8),
                     false,
                 )?,
-                ShiftCount::Cl => {
-                    emit(out, None, rex_w(*w), &[0xD3], digit, rm_of(dst)?, Imm::None, false)?
-                }
+                ShiftCount::Cl => emit(
+                    out,
+                    None,
+                    rex_w(*w),
+                    &[0xD3],
+                    digit,
+                    rm_of(dst)?,
+                    Imm::None,
+                    false,
+                )?,
             }
         }
         Inst::Cqo { w } => {
@@ -359,9 +526,16 @@ pub fn encode(inst: &Inst, addr: u64, out: &mut Vec<u8>) -> Result<usize, Encode
             }
             out.push(0x99);
         }
-        Inst::Idiv { w, src } => {
-            emit(out, None, rex_w(*w), &[0xF7], 7, rm_of(src)?, Imm::None, false)?
-        }
+        Inst::Idiv { w, src } => emit(
+            out,
+            None,
+            rex_w(*w),
+            &[0xF7],
+            7,
+            rm_of(src)?,
+            Imm::None,
+            false,
+        )?,
         Inst::Push { src } => match src {
             Operand::Reg(r) => {
                 let n = r.number();
@@ -393,17 +567,13 @@ pub fn encode(inst: &Inst, addr: u64, out: &mut Vec<u8>) -> Result<usize, Encode
             out.push(0xE8);
             rel32(out, addr, 1, *target)?;
         }
-        Inst::CallInd { src } => {
-            emit(out, None, false, &[0xFF], 2, rm_of(src)?, Imm::None, false)?
-        }
+        Inst::CallInd { src } => emit(out, None, false, &[0xFF], 2, rm_of(src)?, Imm::None, false)?,
         Inst::Ret => out.push(0xC3),
         Inst::JmpRel { target } => {
             out.push(0xE9);
             rel32(out, addr, 1, *target)?;
         }
-        Inst::JmpInd { src } => {
-            emit(out, None, false, &[0xFF], 4, rm_of(src)?, Imm::None, false)?
-        }
+        Inst::JmpInd { src } => emit(out, None, false, &[0xFF], 4, rm_of(src)?, Imm::None, false)?,
         Inst::Jcc { cond, target } => {
             out.push(0x0F);
             out.push(0x80 + cond.code());
@@ -411,7 +581,16 @@ pub fn encode(inst: &Inst, addr: u64, out: &mut Vec<u8>) -> Result<usize, Encode
         }
         Inst::Setcc { cond, dst } => {
             let force = byte_reg_forces_rex(dst);
-            emit(out, None, false, &[0x0F, 0x90 + cond.code()], 0, rm_of(dst)?, Imm::None, force)?
+            emit(
+                out,
+                None,
+                false,
+                &[0x0F, 0x90 + cond.code()],
+                0,
+                rm_of(dst)?,
+                Imm::None,
+                force,
+            )?
         }
         Inst::MovSd { dst, src } => match (dst, src) {
             (Operand::Xmm(d), s @ (Operand::Xmm(_) | Operand::Mem(_))) => emit(
@@ -461,11 +640,27 @@ pub fn encode(inst: &Inst, addr: u64, out: &mut Vec<u8>) -> Result<usize, Encode
         },
         Inst::Sse { op, dst, src } => {
             let (p, opc) = sse_arith(*op);
-            emit(out, Some(p), false, &[0x0F, opc], dst.number(), rm_of(src)?, Imm::None, false)?
+            emit(
+                out,
+                Some(p),
+                false,
+                &[0x0F, opc],
+                dst.number(),
+                rm_of(src)?,
+                Imm::None,
+                false,
+            )?
         }
-        Inst::Ucomisd { a, b } => {
-            emit(out, Some(0x66), false, &[0x0F, 0x2E], a.number(), rm_of(b)?, Imm::None, false)?
-        }
+        Inst::Ucomisd { a, b } => emit(
+            out,
+            Some(0x66),
+            false,
+            &[0x0F, 0x2E],
+            a.number(),
+            rm_of(b)?,
+            Imm::None,
+            false,
+        )?,
         Inst::Cvtsi2sd { w, dst, src } => emit(
             out,
             Some(0xF2),
@@ -517,17 +712,28 @@ mod tests {
     fn simple_movs() {
         // mov rax, rbx -> REX.W 8B C3
         assert_eq!(
-            enc(Inst::Mov { w: Width::W64, dst: Gpr::Rax.into(), src: Gpr::Rbx.into() }),
+            enc(Inst::Mov {
+                w: Width::W64,
+                dst: Gpr::Rax.into(),
+                src: Gpr::Rbx.into()
+            }),
             vec![0x48, 0x8B, 0xC3]
         );
         // mov eax, 42 -> C7 C0 2A000000
         assert_eq!(
-            enc(Inst::Mov { w: Width::W32, dst: Gpr::Rax.into(), src: Operand::Imm(42) }),
+            enc(Inst::Mov {
+                w: Width::W32,
+                dst: Gpr::Rax.into(),
+                src: Operand::Imm(42)
+            }),
             vec![0xC7, 0xC0, 0x2A, 0, 0, 0]
         );
         // movabs r10, 0x1122334455667788
         assert_eq!(
-            enc(Inst::MovAbs { dst: Gpr::R10, imm: 0x1122334455667788 }),
+            enc(Inst::MovAbs {
+                dst: Gpr::R10,
+                imm: 0x1122334455667788
+            }),
             vec![0x49, 0xBA, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11]
         );
     }
@@ -622,7 +828,15 @@ mod tests {
         assert_eq!(v, vec![0xE9, 0, 0, 0, 0]);
         // je backward by 0x10 from 0x400000: target = 0x3ffff6, end = 0x400006
         let mut v = Vec::new();
-        encode(&Inst::Jcc { cond: Cond::E, target: 0x3FFFF6 }, 0x400000, &mut v).unwrap();
+        encode(
+            &Inst::Jcc {
+                cond: Cond::E,
+                target: 0x3FFFF6,
+            },
+            0x400000,
+            &mut v,
+        )
+        .unwrap();
         assert_eq!(v[..2], [0x0F, 0x84]);
         assert_eq!(i32::from_le_bytes(v[2..6].try_into().unwrap()), -0x10);
     }
@@ -648,20 +862,41 @@ mod tests {
 
     #[test]
     fn push_pop_extended_regs() {
-        assert_eq!(enc(Inst::Push { src: Gpr::Rbp.into() }), vec![0x55]);
-        assert_eq!(enc(Inst::Push { src: Gpr::R12.into() }), vec![0x41, 0x54]);
-        assert_eq!(enc(Inst::Pop { dst: Gpr::R15.into() }), vec![0x41, 0x5F]);
+        assert_eq!(
+            enc(Inst::Push {
+                src: Gpr::Rbp.into()
+            }),
+            vec![0x55]
+        );
+        assert_eq!(
+            enc(Inst::Push {
+                src: Gpr::R12.into()
+            }),
+            vec![0x41, 0x54]
+        );
+        assert_eq!(
+            enc(Inst::Pop {
+                dst: Gpr::R15.into()
+            }),
+            vec![0x41, 0x5F]
+        );
     }
 
     #[test]
     fn setcc_byte_reg_rex() {
         // setne al: no REX. setne dil: needs bare REX 40.
         assert_eq!(
-            enc(Inst::Setcc { cond: Cond::Ne, dst: Gpr::Rax.into() }),
+            enc(Inst::Setcc {
+                cond: Cond::Ne,
+                dst: Gpr::Rax.into()
+            }),
             vec![0x0F, 0x95, 0xC0]
         );
         assert_eq!(
-            enc(Inst::Setcc { cond: Cond::Ne, dst: Gpr::Rdi.into() }),
+            enc(Inst::Setcc {
+                cond: Cond::Ne,
+                dst: Gpr::Rdi.into()
+            }),
             vec![0x40, 0x0F, 0x95, 0xC7]
         );
     }
@@ -671,7 +906,11 @@ mod tests {
         let mut v = Vec::new();
         let bad = Inst::Lea {
             dst: Gpr::Rax,
-            src: MemRef { base: Some(Gpr::Rax), index: Some((Gpr::Rsp, 2)), disp: 0 },
+            src: MemRef {
+                base: Some(Gpr::Rax),
+                index: Some((Gpr::Rsp, 2)),
+                disp: 0,
+            },
         };
         assert_eq!(encode(&bad, 0, &mut v), Err(EncodeError::RspIndex));
     }
@@ -679,7 +918,13 @@ mod tests {
     #[test]
     fn rel_out_of_range() {
         let mut v = Vec::new();
-        let err = encode(&Inst::JmpRel { target: 0x1_0000_0000 }, 0, &mut v);
+        let err = encode(
+            &Inst::JmpRel {
+                target: 0x1_0000_0000,
+            },
+            0,
+            &mut v,
+        );
         assert!(matches!(err, Err(EncodeError::RelOutOfRange { .. })));
     }
 
@@ -689,9 +934,18 @@ mod tests {
             Inst::Ret,
             Inst::Nop,
             Inst::Cqo { w: Width::W64 },
-            Inst::Push { src: Gpr::Rbx.into() },
-            Inst::Mov { w: Width::W64, dst: Gpr::Rax.into(), src: Gpr::Rbx.into() },
-            Inst::Lea { dst: Gpr::Rcx, src: MemRef::base_disp(Gpr::Rsp, -64) },
+            Inst::Push {
+                src: Gpr::Rbx.into(),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Gpr::Rax.into(),
+                src: Gpr::Rbx.into(),
+            },
+            Inst::Lea {
+                dst: Gpr::Rcx,
+                src: MemRef::base_disp(Gpr::Rsp, -64),
+            },
         ];
         for i in insts {
             let mut v = Vec::new();

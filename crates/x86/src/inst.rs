@@ -83,7 +83,11 @@ pub enum ShiftCount {
 pub enum Inst {
     /// `mov dst, src` where exactly one side may be memory and `src` may be
     /// a sign-extended 32-bit immediate.
-    Mov { w: Width, dst: Operand, src: Operand },
+    Mov {
+        w: Width,
+        dst: Operand,
+        src: Operand,
+    },
     /// `mov r64, imm64` (movabs).
     MovAbs { dst: Gpr, imm: u64 },
     /// `movsxd r64, r/m32`.
@@ -93,17 +97,32 @@ pub enum Inst {
     /// `lea r64, [mem]`.
     Lea { dst: Gpr, src: MemRef },
     /// Two-operand ALU: `dst op= src` (`cmp` writes only flags).
-    Alu { op: AluOp, w: Width, dst: Operand, src: Operand },
+    Alu {
+        op: AluOp,
+        w: Width,
+        dst: Operand,
+        src: Operand,
+    },
     /// `test a, b` — `b` is a register or immediate.
     Test { w: Width, a: Operand, b: Operand },
     /// `imul dst, src` (two-operand signed multiply).
     Imul { w: Width, dst: Gpr, src: Operand },
     /// `imul dst, src, imm` (three-operand form).
-    ImulImm { w: Width, dst: Gpr, src: Operand, imm: i32 },
+    ImulImm {
+        w: Width,
+        dst: Gpr,
+        src: Operand,
+        imm: i32,
+    },
     /// Single-operand ALU: `neg`/`not`/`inc`/`dec`.
     Unary { op: UnOp, w: Width, dst: Operand },
     /// Shift by immediate or CL.
-    Shift { op: ShOp, w: Width, dst: Operand, count: ShiftCount },
+    Shift {
+        op: ShOp,
+        w: Width,
+        dst: Operand,
+        count: ShiftCount,
+    },
     /// `cqo` (sign-extend RAX into RDX:RAX) / `cdq` for W32.
     Cqo { w: Width },
     /// `idiv src` at the given width.
@@ -147,7 +166,10 @@ pub enum Inst {
 impl Inst {
     /// `true` if control never falls through to the next instruction.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Inst::Ret | Inst::JmpRel { .. } | Inst::JmpInd { .. } | Inst::Ud2)
+        matches!(
+            self,
+            Inst::Ret | Inst::JmpRel { .. } | Inst::JmpInd { .. } | Inst::Ud2
+        )
     }
 
     /// `true` for any control-transfer instruction (including calls and
@@ -309,14 +331,25 @@ mod tests {
     fn terminators() {
         assert!(Inst::Ret.is_terminator());
         assert!(Inst::JmpRel { target: 0 }.is_terminator());
-        assert!(!Inst::Jcc { cond: Cond::E, target: 0 }.is_terminator());
+        assert!(!Inst::Jcc {
+            cond: Cond::E,
+            target: 0
+        }
+        .is_terminator());
         assert!(!Inst::CallRel { target: 0 }.is_terminator());
-        assert!(Inst::Jcc { cond: Cond::E, target: 0 }.is_control());
+        assert!(Inst::Jcc {
+            cond: Cond::E,
+            target: 0
+        }
+        .is_control());
     }
 
     #[test]
     fn static_targets() {
-        let mut i = Inst::Jcc { cond: Cond::Ne, target: 0x400100 };
+        let mut i = Inst::Jcc {
+            cond: Cond::Ne,
+            target: 0x400100,
+        };
         assert_eq!(i.static_target(), Some(0x400100));
         i.set_static_target(0x400200);
         assert_eq!(i.static_target(), Some(0x400200));
@@ -326,11 +359,19 @@ mod tests {
     #[test]
     fn mem_load_store_classification() {
         let m = MemRef::base_disp(Gpr::Rdi, 8);
-        let load = Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Mem(m) };
+        let load = Inst::Mov {
+            w: Width::W64,
+            dst: Operand::Reg(Gpr::Rax),
+            src: Operand::Mem(m),
+        };
         assert_eq!(load.mem_load(), Some(m));
         assert_eq!(load.mem_store(), None);
 
-        let store = Inst::Mov { w: Width::W64, dst: Operand::Mem(m), src: Operand::Reg(Gpr::Rax) };
+        let store = Inst::Mov {
+            w: Width::W64,
+            dst: Operand::Mem(m),
+            src: Operand::Reg(Gpr::Rax),
+        };
         assert_eq!(store.mem_store(), Some(m));
         assert_eq!(store.mem_load(), None);
 
@@ -357,15 +398,35 @@ mod tests {
 
     #[test]
     fn flag_classification() {
-        assert!(Inst::Test { w: Width::W64, a: Gpr::Rax.into(), b: Gpr::Rax.into() }
-            .writes_flags());
-        assert!(!Inst::Mov { w: Width::W64, dst: Gpr::Rax.into(), src: Gpr::Rbx.into() }
-            .writes_flags());
-        assert!(Inst::Jcc { cond: Cond::E, target: 0 }.reads_flags());
-        assert!(!Inst::Unary { op: UnOp::Not, w: Width::W64, dst: Gpr::Rax.into() }
-            .writes_flags());
-        assert!(Inst::Unary { op: UnOp::Inc, w: Width::W64, dst: Gpr::Rax.into() }
-            .writes_flags());
+        assert!(Inst::Test {
+            w: Width::W64,
+            a: Gpr::Rax.into(),
+            b: Gpr::Rax.into()
+        }
+        .writes_flags());
+        assert!(!Inst::Mov {
+            w: Width::W64,
+            dst: Gpr::Rax.into(),
+            src: Gpr::Rbx.into()
+        }
+        .writes_flags());
+        assert!(Inst::Jcc {
+            cond: Cond::E,
+            target: 0
+        }
+        .reads_flags());
+        assert!(!Inst::Unary {
+            op: UnOp::Not,
+            w: Width::W64,
+            dst: Gpr::Rax.into()
+        }
+        .writes_flags());
+        assert!(Inst::Unary {
+            op: UnOp::Inc,
+            w: Width::W64,
+            dst: Gpr::Rax.into()
+        }
+        .writes_flags());
     }
 
     #[test]

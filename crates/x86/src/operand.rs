@@ -22,31 +22,51 @@ pub struct MemRef {
 impl MemRef {
     /// `[base]`
     pub fn base(base: Gpr) -> MemRef {
-        MemRef { base: Some(base), index: None, disp: 0 }
+        MemRef {
+            base: Some(base),
+            index: None,
+            disp: 0,
+        }
     }
 
     /// `[base + disp]`
     pub fn base_disp(base: Gpr, disp: i32) -> MemRef {
-        MemRef { base: Some(base), index: None, disp }
+        MemRef {
+            base: Some(base),
+            index: None,
+            disp,
+        }
     }
 
     /// `[base + index*scale + disp]`
     pub fn base_index(base: Gpr, index: Gpr, scale: u8, disp: i32) -> MemRef {
         debug_assert!(matches!(scale, 1 | 2 | 4 | 8));
         debug_assert!(index != Gpr::Rsp, "rsp cannot be an index register");
-        MemRef { base: Some(base), index: Some((index, scale)), disp }
+        MemRef {
+            base: Some(base),
+            index: Some((index, scale)),
+            disp,
+        }
     }
 
     /// `[index*scale + disp]` (no base).
     pub fn index_disp(index: Gpr, scale: u8, disp: i32) -> MemRef {
         debug_assert!(matches!(scale, 1 | 2 | 4 | 8));
         debug_assert!(index != Gpr::Rsp, "rsp cannot be an index register");
-        MemRef { base: None, index: Some((index, scale)), disp }
+        MemRef {
+            base: None,
+            index: Some((index, scale)),
+            disp,
+        }
     }
 
     /// `[disp32]` — absolute address, as produced by specialization.
     pub fn abs(addr: i32) -> MemRef {
-        MemRef { base: None, index: None, disp: addr }
+        MemRef {
+            base: None,
+            index: None,
+            disp: addr,
+        }
     }
 
     /// Construct an absolute reference if `addr` fits in a signed 32-bit

@@ -279,7 +279,16 @@ mod tests {
             assert!(r.is_callee_saved());
         }
         assert!(Gpr::Rsp.is_callee_saved());
-        for r in [Gpr::Rax, Gpr::Rcx, Gpr::Rdx, Gpr::Rsi, Gpr::Rdi, Gpr::R8, Gpr::R10, Gpr::R11] {
+        for r in [
+            Gpr::Rax,
+            Gpr::Rcx,
+            Gpr::Rdx,
+            Gpr::Rsi,
+            Gpr::Rdi,
+            Gpr::R8,
+            Gpr::R10,
+            Gpr::R11,
+        ] {
             assert!(!r.is_callee_saved());
         }
     }

@@ -26,7 +26,10 @@ fn arb_width() -> impl Strategy<Value = Width> {
 fn arb_mem() -> impl Strategy<Value = MemRef> {
     (
         proptest::option::of(arb_gpr()),
-        proptest::option::of((arb_gpr().prop_filter("rsp can't index", |r| *r != Gpr::Rsp), 0u8..4)),
+        proptest::option::of((
+            arb_gpr().prop_filter("rsp can't index", |r| *r != Gpr::Rsp),
+            0u8..4,
+        )),
         any::<i32>(),
     )
         .prop_map(|(base, index, disp)| MemRef {
@@ -37,11 +40,17 @@ fn arb_mem() -> impl Strategy<Value = MemRef> {
 }
 
 fn arb_rm() -> impl Strategy<Value = Operand> {
-    prop_oneof![arb_gpr().prop_map(Operand::Reg), arb_mem().prop_map(Operand::Mem)]
+    prop_oneof![
+        arb_gpr().prop_map(Operand::Reg),
+        arb_mem().prop_map(Operand::Mem)
+    ]
 }
 
 fn arb_xmm_rm() -> impl Strategy<Value = Operand> {
-    prop_oneof![arb_xmm().prop_map(Operand::Xmm), arb_mem().prop_map(Operand::Mem)]
+    prop_oneof![
+        arb_xmm().prop_map(Operand::Xmm),
+        arb_mem().prop_map(Operand::Mem)
+    ]
 }
 
 fn arb_cond() -> impl Strategy<Value = Cond> {
@@ -82,32 +91,68 @@ fn arb_sse_op() -> impl Strategy<Value = SseOp> {
 fn arb_inst() -> impl Strategy<Value = Inst> {
     prop_oneof![
         // mov reg <- reg/mem/imm
-        (arb_width(), arb_gpr(), arb_rm())
-            .prop_map(|(w, d, s)| Inst::Mov { w, dst: Operand::Reg(d), src: s }),
-        (arb_width(), arb_gpr(), any::<i32>())
-            .prop_map(|(w, d, i)| Inst::Mov { w, dst: Operand::Reg(d), src: Operand::Imm(i as i64) }),
-        (arb_width(), arb_mem(), arb_gpr())
-            .prop_map(|(w, m, s)| Inst::Mov { w, dst: Operand::Mem(m), src: Operand::Reg(s) }),
-        (arb_width(), arb_mem(), any::<i32>())
-            .prop_map(|(w, m, i)| Inst::Mov { w, dst: Operand::Mem(m), src: Operand::Imm(i as i64) }),
+        (arb_width(), arb_gpr(), arb_rm()).prop_map(|(w, d, s)| Inst::Mov {
+            w,
+            dst: Operand::Reg(d),
+            src: s
+        }),
+        (arb_width(), arb_gpr(), any::<i32>()).prop_map(|(w, d, i)| Inst::Mov {
+            w,
+            dst: Operand::Reg(d),
+            src: Operand::Imm(i as i64)
+        }),
+        (arb_width(), arb_mem(), arb_gpr()).prop_map(|(w, m, s)| Inst::Mov {
+            w,
+            dst: Operand::Mem(m),
+            src: Operand::Reg(s)
+        }),
+        (arb_width(), arb_mem(), any::<i32>()).prop_map(|(w, m, i)| Inst::Mov {
+            w,
+            dst: Operand::Mem(m),
+            src: Operand::Imm(i as i64)
+        }),
         (arb_gpr(), any::<u64>()).prop_map(|(d, imm)| Inst::MovAbs { dst: d, imm }),
         (arb_gpr(), arb_rm()).prop_map(|(d, s)| Inst::Movsxd { dst: d, src: s }),
         (arb_width(), arb_gpr(), arb_rm()).prop_map(|(w, d, s)| Inst::Movzx8 { w, dst: d, src: s }),
         (arb_gpr(), arb_mem()).prop_map(|(d, m)| Inst::Lea { dst: d, src: m }),
         // ALU forms
-        (arb_alu_op(), arb_width(), arb_gpr(), arb_rm())
-            .prop_map(|(op, w, d, s)| Inst::Alu { op, w, dst: Operand::Reg(d), src: s }),
-        (arb_alu_op(), arb_width(), arb_mem(), arb_gpr())
-            .prop_map(|(op, w, m, s)| Inst::Alu { op, w, dst: Operand::Mem(m), src: Operand::Reg(s) }),
-        (arb_alu_op(), arb_width(), arb_rm(), any::<i32>())
-            .prop_map(|(op, w, d, i)| Inst::Alu { op, w, dst: d, src: Operand::Imm(i as i64) }),
-        (arb_width(), arb_rm(), arb_gpr())
-            .prop_map(|(w, a, b)| Inst::Test { w, a, b: Operand::Reg(b) }),
+        (arb_alu_op(), arb_width(), arb_gpr(), arb_rm()).prop_map(|(op, w, d, s)| Inst::Alu {
+            op,
+            w,
+            dst: Operand::Reg(d),
+            src: s
+        }),
+        (arb_alu_op(), arb_width(), arb_mem(), arb_gpr()).prop_map(|(op, w, m, s)| Inst::Alu {
+            op,
+            w,
+            dst: Operand::Mem(m),
+            src: Operand::Reg(s)
+        }),
+        (arb_alu_op(), arb_width(), arb_rm(), any::<i32>()).prop_map(|(op, w, d, i)| Inst::Alu {
+            op,
+            w,
+            dst: d,
+            src: Operand::Imm(i as i64)
+        }),
+        (arb_width(), arb_rm(), arb_gpr()).prop_map(|(w, a, b)| Inst::Test {
+            w,
+            a,
+            b: Operand::Reg(b)
+        }),
         (arb_width(), arb_gpr(), arb_rm()).prop_map(|(w, d, s)| Inst::Imul { w, dst: d, src: s }),
-        (arb_width(), arb_gpr(), arb_rm(), any::<i32>())
-            .prop_map(|(w, d, s, i)| Inst::ImulImm { w, dst: d, src: s, imm: i }),
+        (arb_width(), arb_gpr(), arb_rm(), any::<i32>()).prop_map(|(w, d, s, i)| Inst::ImulImm {
+            w,
+            dst: d,
+            src: s,
+            imm: i
+        }),
         (
-            prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::Inc), Just(UnOp::Dec)],
+            prop_oneof![
+                Just(UnOp::Neg),
+                Just(UnOp::Not),
+                Just(UnOp::Inc),
+                Just(UnOp::Dec)
+            ],
             arb_width(),
             arb_rm()
         )
@@ -118,14 +163,29 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
             arb_rm(),
             prop_oneof![(0u8..64).prop_map(ShiftCount::Imm), Just(ShiftCount::Cl)]
         )
-            .prop_map(|(op, w, d, c)| Inst::Shift { op, w, dst: d, count: c }),
+            .prop_map(|(op, w, d, c)| Inst::Shift {
+                op,
+                w,
+                dst: d,
+                count: c
+            }),
         arb_width().prop_map(|w| Inst::Cqo { w }),
         (arb_width(), arb_rm()).prop_map(|(w, s)| Inst::Idiv { w, src: s }),
-        arb_gpr().prop_map(|r| Inst::Push { src: Operand::Reg(r) }),
-        arb_mem().prop_map(|m| Inst::Push { src: Operand::Mem(m) }),
-        any::<i32>().prop_map(|i| Inst::Push { src: Operand::Imm(i as i64) }),
-        arb_gpr().prop_map(|r| Inst::Pop { dst: Operand::Reg(r) }),
-        arb_mem().prop_map(|m| Inst::Pop { dst: Operand::Mem(m) }),
+        arb_gpr().prop_map(|r| Inst::Push {
+            src: Operand::Reg(r)
+        }),
+        arb_mem().prop_map(|m| Inst::Push {
+            src: Operand::Mem(m)
+        }),
+        any::<i32>().prop_map(|i| Inst::Push {
+            src: Operand::Imm(i as i64)
+        }),
+        arb_gpr().prop_map(|r| Inst::Pop {
+            dst: Operand::Reg(r)
+        }),
+        arb_mem().prop_map(|m| Inst::Pop {
+            dst: Operand::Mem(m)
+        }),
         arb_target().prop_map(|t| Inst::CallRel { target: t }),
         arb_rm().prop_map(|s| Inst::CallInd { src: s }),
         Just(Inst::Ret),
@@ -134,14 +194,38 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         (arb_cond(), arb_target()).prop_map(|(c, t)| Inst::Jcc { cond: c, target: t }),
         (arb_cond(), arb_rm()).prop_map(|(c, d)| Inst::Setcc { cond: c, dst: d }),
         // SSE
-        (arb_xmm(), arb_xmm_rm()).prop_map(|(d, s)| Inst::MovSd { dst: Operand::Xmm(d), src: s }),
-        (arb_mem(), arb_xmm()).prop_map(|(m, s)| Inst::MovSd { dst: Operand::Mem(m), src: Operand::Xmm(s) }),
-        (arb_xmm(), arb_xmm_rm()).prop_map(|(d, s)| Inst::MovUpd { dst: Operand::Xmm(d), src: s }),
-        (arb_mem(), arb_xmm()).prop_map(|(m, s)| Inst::MovUpd { dst: Operand::Mem(m), src: Operand::Xmm(s) }),
-        (arb_sse_op(), arb_xmm(), arb_xmm_rm()).prop_map(|(op, d, s)| Inst::Sse { op, dst: d, src: s }),
+        (arb_xmm(), arb_xmm_rm()).prop_map(|(d, s)| Inst::MovSd {
+            dst: Operand::Xmm(d),
+            src: s
+        }),
+        (arb_mem(), arb_xmm()).prop_map(|(m, s)| Inst::MovSd {
+            dst: Operand::Mem(m),
+            src: Operand::Xmm(s)
+        }),
+        (arb_xmm(), arb_xmm_rm()).prop_map(|(d, s)| Inst::MovUpd {
+            dst: Operand::Xmm(d),
+            src: s
+        }),
+        (arb_mem(), arb_xmm()).prop_map(|(m, s)| Inst::MovUpd {
+            dst: Operand::Mem(m),
+            src: Operand::Xmm(s)
+        }),
+        (arb_sse_op(), arb_xmm(), arb_xmm_rm()).prop_map(|(op, d, s)| Inst::Sse {
+            op,
+            dst: d,
+            src: s
+        }),
         (arb_xmm(), arb_xmm_rm()).prop_map(|(a, b)| Inst::Ucomisd { a, b }),
-        (arb_width(), arb_xmm(), arb_rm()).prop_map(|(w, d, s)| Inst::Cvtsi2sd { w, dst: d, src: s }),
-        (arb_width(), arb_gpr(), arb_xmm_rm()).prop_map(|(w, d, s)| Inst::Cvttsd2si { w, dst: d, src: s }),
+        (arb_width(), arb_xmm(), arb_rm()).prop_map(|(w, d, s)| Inst::Cvtsi2sd {
+            w,
+            dst: d,
+            src: s
+        }),
+        (arb_width(), arb_gpr(), arb_xmm_rm()).prop_map(|(w, d, s)| Inst::Cvttsd2si {
+            w,
+            dst: d,
+            src: s
+        }),
         Just(Inst::Nop),
         Just(Inst::Ud2),
     ]
@@ -227,15 +311,31 @@ proptest! {
 #[test]
 fn w8_mov_forms_roundtrip() {
     for inst in [
-        Inst::Mov { w: Width::W8, dst: Operand::Reg(Gpr::Rax), src: Operand::Imm(1) },
-        Inst::Mov { w: Width::W8, dst: Operand::Reg(Gpr::Rdi), src: Operand::Imm(-1) },
-        Inst::Mov { w: Width::W8, dst: Operand::Reg(Gpr::R9), src: Operand::Imm(0x7F) },
+        Inst::Mov {
+            w: Width::W8,
+            dst: Operand::Reg(Gpr::Rax),
+            src: Operand::Imm(1),
+        },
+        Inst::Mov {
+            w: Width::W8,
+            dst: Operand::Reg(Gpr::Rdi),
+            src: Operand::Imm(-1),
+        },
+        Inst::Mov {
+            w: Width::W8,
+            dst: Operand::Reg(Gpr::R9),
+            src: Operand::Imm(0x7F),
+        },
         Inst::Mov {
             w: Width::W8,
             dst: Operand::Mem(MemRef::base_disp(Gpr::Rsp, 8)),
             src: Operand::Imm(5),
         },
-        Inst::Mov { w: Width::W8, dst: Operand::Reg(Gpr::Rax), src: Operand::Reg(Gpr::Rcx) },
+        Inst::Mov {
+            w: Width::W8,
+            dst: Operand::Reg(Gpr::Rax),
+            src: Operand::Reg(Gpr::Rcx),
+        },
         Inst::Mov {
             w: Width::W8,
             dst: Operand::Mem(MemRef::base(Gpr::Rdi)),
@@ -277,7 +377,11 @@ fn w8_mov_spl_needs_bare_rex() {
     // mov sil, 1 needs REX 40 to address SIL rather than DH.
     let mut bytes = Vec::new();
     encode(
-        &Inst::Mov { w: Width::W8, dst: Operand::Reg(Gpr::Rsi), src: Operand::Imm(1) },
+        &Inst::Mov {
+            w: Width::W8,
+            dst: Operand::Reg(Gpr::Rsi),
+            src: Operand::Imm(1),
+        },
         0,
         &mut bytes,
     )

@@ -41,7 +41,8 @@ fn main() {
         m.set_call_observer(Box::new(|_site, target, cpu| profile.record(target, cpu)));
         for i in 0..200 {
             let n = if i % 10 == 0 { (i % 7) as i64 } else { 42 };
-            m.call(&mut img, driver, &CallArgs::new().int(2).int(n)).unwrap();
+            m.call(&mut img, driver, &CallArgs::new().int(2).int(n))
+                .unwrap();
         }
     }
     println!("observed {} calls to poly", profile.call_count(poly));
@@ -49,12 +50,12 @@ fn main() {
     println!("parameter 1 is {hot} in >=75% of calls\n");
 
     // Phase 2: specialize for the hot value and install a guard.
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
+    let req = SpecRequest::new()
+        .unknown_int()
+        .known_int(hot as i64)
+        .ret(RetKind::Int);
     let mut rw = Rewriter::new(&mut img);
-    let spec = rw
-        .rewrite(&cfg, poly, &[ArgValue::Int(0), ArgValue::Int(hot as i64)])
-        .expect("rewrite");
+    let spec = rw.rewrite(poly, &req).expect("rewrite");
     let guard = rw.guard(1, hot as i64, spec.entry, poly).expect("guard");
     println!(
         "specialized poly for n={hot}: {} bytes (loop fully unrolled), guard stub at {:#x}\n",
@@ -63,15 +64,27 @@ fn main() {
 
     // Phase 3: the guard is a drop-in replacement for poly.
     let mut m = Machine::new();
-    let hot_path = m.call(&mut img, guard, &CallArgs::new().int(2).int(42)).unwrap();
-    let cold_path = m.call(&mut img, guard, &CallArgs::new().int(2).int(5)).unwrap();
-    let orig = m.call(&mut img, poly, &CallArgs::new().int(2).int(42)).unwrap();
-    println!("poly(2, 42) via guard : {:>20} in {:>4} cycles (hot path)",
-        hot_path.ret_int, hot_path.stats.cycles);
-    println!("poly(2, 5)  via guard : {:>20} in {:>4} cycles (fallback)",
-        cold_path.ret_int, cold_path.stats.cycles);
-    println!("poly(2, 42) original  : {:>20} in {:>4} cycles",
-        orig.ret_int, orig.stats.cycles);
+    let hot_path = m
+        .call(&mut img, guard, &CallArgs::new().int(2).int(42))
+        .unwrap();
+    let cold_path = m
+        .call(&mut img, guard, &CallArgs::new().int(2).int(5))
+        .unwrap();
+    let orig = m
+        .call(&mut img, poly, &CallArgs::new().int(2).int(42))
+        .unwrap();
+    println!(
+        "poly(2, 42) via guard : {:>20} in {:>4} cycles (hot path)",
+        hot_path.ret_int, hot_path.stats.cycles
+    );
+    println!(
+        "poly(2, 5)  via guard : {:>20} in {:>4} cycles (fallback)",
+        cold_path.ret_int, cold_path.stats.cycles
+    );
+    println!(
+        "poly(2, 42) original  : {:>20} in {:>4} cycles",
+        orig.ret_int, orig.stats.cycles
+    );
     assert_eq!(hot_path.ret_int, orig.ret_int);
     assert_eq!(cold_path.ret_int, 32);
     assert!(hot_path.stats.cycles * 2 < orig.stats.cycles);

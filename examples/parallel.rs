@@ -5,8 +5,8 @@
 //! decomposes the matrix into row slabs, gives every worker thread its own
 //! process image with its own BREW-specialized sweep (runtime rewriting is
 //! per-process — each "node" specializes for its own slab geometry), runs
-//! the workers with crossbeam scoped threads, and exchanges halo rows
-//! through the host between iterations.
+//! the workers with scoped threads, and exchanges halo rows through the
+//! host between iterations.
 //!
 //! ```sh
 //! cargo run --release --example parallel
@@ -39,7 +39,9 @@ fn main() {
             ((x as i64 * 7 + y as i64 * 13) % 11) as f64
         }
     };
-    let mut cur: Vec<f64> = (0..ys).flat_map(|y| (0..xs).map(move |x| init(x, y))).collect();
+    let mut cur: Vec<f64> = (0..ys)
+        .flat_map(|y| (0..xs).map(move |x| init(x, y)))
+        .collect();
     let mut next = cur.clone();
 
     // Partition interior rows [1, ys-1) into slabs.
@@ -58,23 +60,34 @@ fn main() {
                 .specialize_sweep(2)
                 .expect("each node rewrites its own sweep")
                 .entry;
-            Some(Worker { stencil, entry, start, end, cycles: 0 })
+            Some(Worker {
+                stencil,
+                entry,
+                start,
+                end,
+                cycles: 0,
+            })
         })
         .collect();
     println!("each node rewrote its sweep for its own slab geometry:");
     for (i, w) in workers.iter().enumerate() {
-        println!("  node {i}: rows {}..{} (slab of {} rows)", w.start, w.end, w.end - w.start + 2);
+        println!(
+            "  node {i}: rows {}..{} (slab of {} rows)",
+            w.start,
+            w.end,
+            w.end - w.start + 2
+        );
     }
 
     for _ in 0..iters {
         // Parallel phase: every node computes its slab with its own image,
         // machine and specialized code.
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let cur = &cur;
             let next_slabs: Vec<_> = workers
                 .iter_mut()
                 .map(|w| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         // Scatter: slab rows (with halos) into the node's m1.
                         for (sy, gy) in (w.start - 1..=w.end).enumerate() {
                             for x in 0..xs {
@@ -117,14 +130,15 @@ fn main() {
                     }
                 }
             }
-        })
-        .expect("scope");
+        });
         std::mem::swap(&mut cur, &mut next);
         next.copy_from_slice(&cur);
     }
 
     // Sequential host reference.
-    let mut a: Vec<f64> = (0..ys).flat_map(|y| (0..xs).map(move |x| init(x, y))).collect();
+    let mut a: Vec<f64> = (0..ys)
+        .flat_map(|y| (0..xs).map(move |x| init(x, y)))
+        .collect();
     let mut b = a.clone();
     for _ in 0..iters {
         for y in 1..ys - 1 {

@@ -12,16 +12,24 @@ fn main() {
     let (n, nnodes, mynode) = (240i64, 4i64, 1i64);
     let mut arr = PgasArray::new(n, nnodes, mynode);
     let mut m = Machine::new();
-    println!("block-distributed array: {n} doubles over {nnodes} nodes, viewed from node {mynode}\n");
+    println!(
+        "block-distributed array: {n} doubles over {nnodes} nodes, viewed from node {mynode}\n"
+    );
 
     // Generic access path: full translation + locality check per element.
     let (v, generic) = arr.gsum_generic(&mut m).unwrap();
     assert_eq!(v, arr.host_sum());
-    println!("generic gsum      : {:>9} cycles, {:>6} calls", generic.cycles, generic.calls);
+    println!(
+        "generic gsum      : {:>9} cycles, {:>6} calls",
+        generic.cycles, generic.calls
+    );
 
     // Hand-written local sum (the abstraction-free bound).
     let (_, manual) = arr.lsum_manual(&mut m).unwrap();
-    println!("manual lsum       : {:>9} cycles, {:>6} calls", manual.cycles, manual.calls);
+    println!(
+        "manual lsum       : {:>9} cycles, {:>6} calls",
+        manual.cycles, manual.calls
+    );
 
     // BREW-specialized: descriptor baked in, gread/remote_fetch inlined.
     let spec = arr.specialize_gsum().expect("rewrite");
@@ -50,6 +58,8 @@ fn main() {
     let spec2 = arr.specialize_gsum().expect("re-specialize");
     let (v4, _) = arr.gsum_with(&mut m, spec2.entry).unwrap();
     assert_eq!(v4, arr.host_sum());
-    println!("\nafter redistribution to 6 nodes: fresh specialization at {:#x}, sum still {v4}",
-        spec2.entry);
+    println!(
+        "\nafter redistribution to 6 nodes: fresh specialization at {:#x}, sum still {v4}",
+        spec2.entry
+    );
 }

@@ -34,17 +34,24 @@ fn main() {
     let x = machine
         .call(&mut img, func, &CallArgs::new().int(3).int(10))
         .unwrap();
-    println!("func(3, 10)            = {:4}   [{} insts, {} cycles]",
-        x.ret_int as i64, x.stats.insts, x.stats.cycles);
+    println!(
+        "func(3, 10)            = {:4}   [{} insts, {} cycles]",
+        x.ret_int as i64, x.stats.insts, x.stats.cycles
+    );
 
-    // Figure 3: declare parameter 2 known and rewrite.
+    // Figure 3: declare parameter 2 known and rewrite. In the paper's C
+    // spelling this is
     //   brew_initConf(rConf);
     //   brew_setpar(rConf, 2, BREW_KNOWN);
     //   newfunc = (func_t) brew_rewrite(rConf, func, 42, 10);
-    let mut conf = RewriteConfig::new();
-    conf.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
+    // (still available verbatim in `brew_core::compat`); the request
+    // builder binds each parameter's treatment and trace value in one step.
+    let req = SpecRequest::new()
+        .unknown_int() // a: varies at runtime
+        .known_int(10) // b: baked in
+        .ret(RetKind::Int);
     let newfunc = Rewriter::new(&mut img)
-        .rewrite(&conf, func, &[ArgValue::Int(42), ArgValue::Int(10)])
+        .rewrite(func, &req)
         .expect("rewrite succeeds");
 
     // The new function is a drop-in replacement: same signature. The loop
@@ -52,8 +59,10 @@ fn main() {
     let x2 = machine
         .call(&mut img, newfunc.entry, &CallArgs::new().int(3).int(10))
         .unwrap();
-    println!("newfunc(3, 10)         = {:4}   [{} insts, {} cycles]",
-        x2.ret_int as i64, x2.stats.insts, x2.stats.cycles);
+    println!(
+        "newfunc(3, 10)         = {:4}   [{} insts, {} cycles]",
+        x2.ret_int as i64, x2.stats.insts, x2.stats.cycles
+    );
     assert_eq!(x.ret_int, x2.ret_int);
 
     println!(

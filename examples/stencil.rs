@@ -30,41 +30,70 @@ fn main() {
     let mut s = Stencil::new(xs, ys);
     let st = s.run(&mut m, Variant::Manual, iters).unwrap();
     assert_eq!(s.checksum(iters), host);
-    rows.push(("manual stencil (fn ptr)", st.cycles, st.cycles as f64 / generic_cycles as f64));
+    rows.push((
+        "manual stencil (fn ptr)",
+        st.cycles,
+        st.cycles as f64 / generic_cycles as f64,
+    ));
 
     // Runtime-specialized apply (Figure 5).
     let mut s = Stencil::new(xs, ys);
     let spec = s.specialize_apply().expect("rewrite");
     let st = s.run_with_apply(&mut m, spec.entry, false, iters).unwrap();
     assert_eq!(s.checksum(iters), host);
-    rows.push(("BREW-specialized apply", st.cycles, st.cycles as f64 / generic_cycles as f64));
+    rows.push((
+        "BREW-specialized apply",
+        st.cycles,
+        st.cycles as f64 / generic_cycles as f64,
+    ));
 
     // Grouped generic and grouped specialized (§V.B).
     let mut s = Stencil::new(xs, ys);
     let st = s.run(&mut m, Variant::Grouped, iters).unwrap();
     assert_eq!(s.checksum(iters), host);
-    rows.push(("grouped generic", st.cycles, st.cycles as f64 / generic_cycles as f64));
+    rows.push((
+        "grouped generic",
+        st.cycles,
+        st.cycles as f64 / generic_cycles as f64,
+    ));
 
     let mut s = Stencil::new(xs, ys);
     let specg = s.specialize_apply_grouped().expect("rewrite");
     let st = s.run_with_apply(&mut m, specg.entry, true, iters).unwrap();
     assert_eq!(s.checksum(iters), host);
-    rows.push(("BREW-specialized grouped", st.cycles, st.cycles as f64 / generic_cycles as f64));
+    rows.push((
+        "BREW-specialized grouped",
+        st.cycles,
+        st.cycles as f64 / generic_cycles as f64,
+    ));
 
     // Manual inlined into the sweep (same compilation unit).
     let mut s = Stencil::new(xs, ys);
     let st = s.run(&mut m, Variant::ManualInline, iters).unwrap();
     assert_eq!(s.checksum(iters), host);
-    rows.push(("manual, same comp. unit", st.cycles, st.cycles as f64 / generic_cycles as f64));
+    rows.push((
+        "manual, same comp. unit",
+        st.cycles,
+        st.cycles as f64 / generic_cycles as f64,
+    ));
 
     // Whole-sweep rewrite with 4x controlled unrolling.
     let mut s = Stencil::new(xs, ys);
     let sweep = s.specialize_sweep(4).expect("sweep rewrite");
-    let st = s.run(&mut m, Variant::SpecializedSweep(sweep.entry), iters).unwrap();
+    let st = s
+        .run(&mut m, Variant::SpecializedSweep(sweep.entry), iters)
+        .unwrap();
     assert_eq!(s.checksum(iters), host);
-    rows.push(("BREW whole-sweep rewrite", st.cycles, st.cycles as f64 / generic_cycles as f64));
+    rows.push((
+        "BREW whole-sweep rewrite",
+        st.cycles,
+        st.cycles as f64 / generic_cycles as f64,
+    ));
 
-    println!("{:<28} {:>14}  {:>9}", "variant", "model cycles", "vs generic");
+    println!(
+        "{:<28} {:>14}  {:>9}",
+        "variant", "model cycles", "vs generic"
+    );
     for (name, cycles, ratio) in &rows {
         println!("{name:<28} {cycles:>14}  {:>8.0}%", ratio * 100.0);
     }

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# The CI gate, runnable locally. Everything is offline by design:
+# dev-dependencies resolve to in-tree stubs (DESIGN.md §6).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release (offline)"
+cargo build --release --workspace --offline
+
+echo "==> cargo test (offline)"
+cargo test --workspace --offline -q
+
+echo "All checks passed."

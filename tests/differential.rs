@@ -62,8 +62,7 @@ fn arb_expr() -> impl Strategy<Value = E> {
             (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Add(Box::new(x), Box::new(y))),
             (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Sub(Box::new(x), Box::new(y))),
             (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Mul(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| E::DivSafe(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::DivSafe(Box::new(x), Box::new(y))),
             (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Lt(Box::new(x), Box::new(y))),
             (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Eq(Box::new(x), Box::new(y))),
             inner.prop_map(|x| E::Neg(Box::new(x))),
@@ -144,15 +143,15 @@ fn check(prog: &Prog, spec_mask: u8, pins: [i64; 3], probes: &[[i64; 3]]) {
     };
     let f = compiled.func("f").unwrap();
 
-    let mut cfg = RewriteConfig::new();
-    cfg.set_ret(RetKind::Int);
-    for i in 0..3 {
-        if spec_mask & (1 << i) != 0 {
-            cfg.set_param(i, ParamSpec::Known);
-        }
+    let mut req = SpecRequest::new().ret(RetKind::Int);
+    for (i, &pin) in pins.iter().enumerate() {
+        req = if spec_mask & (1 << i) != 0 {
+            req.known_int(pin)
+        } else {
+            req.unknown_int()
+        };
     }
-    let args = [ArgValue::Int(pins[0]), ArgValue::Int(pins[1]), ArgValue::Int(pins[2])];
-    let res = match Rewriter::new(&mut img).rewrite(&cfg, f, &args) {
+    let res = match Rewriter::new(&mut img).rewrite(f, &req) {
         Ok(r) => r,
         // Failure is a legitimate outcome (the caller keeps the original);
         // a division fault during tracing is the expected cause here.
@@ -210,11 +209,13 @@ proptest! {
         let mut img = Image::new();
         let compiled = compile_into(&src, &mut img).unwrap();
         let f = compiled.func("f").unwrap();
-        let mut cfg = RewriteConfig::new();
-        cfg.set_param(0, ParamSpec::Known).set_ret(RetKind::Int);
-        cfg.func(f).fresh_unknown = true;
-        let args = [ArgValue::Int(pins[0]), ArgValue::Int(pins[1]), ArgValue::Int(pins[2])];
-        let res = match Rewriter::new(&mut img).rewrite(&cfg, f, &args) {
+        let req = SpecRequest::new()
+            .known_int(pins[0])
+            .unknown_int()
+            .unknown_int()
+            .ret(RetKind::Int)
+            .func(f, |o| o.fresh_unknown = true);
+        let res = match Rewriter::new(&mut img).rewrite(f, &req) {
             Ok(r) => r,
             Err(RewriteError::TraceFault { .. }) => return Ok(()),
             Err(e) => panic!("unexpected rewrite failure: {e}\n{src}"),
@@ -242,12 +243,16 @@ proptest! {
         let mut img = Image::new();
         let compiled = compile_into(&src, &mut img).unwrap();
         let f = compiled.func("f").unwrap();
-        let mut cfg = RewriteConfig::new();
-        cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
-        cfg.func(f).branch_unknown = true;
-        cfg.func(f).max_variants = 3;
-        let args = [ArgValue::Int(pins[0]), ArgValue::Int(pins[1]), ArgValue::Int(pins[2])];
-        let res = match Rewriter::new(&mut img).rewrite(&cfg, f, &args) {
+        let req = SpecRequest::new()
+            .unknown_int()
+            .known_int(pins[1])
+            .unknown_int()
+            .ret(RetKind::Int)
+            .func(f, |o| {
+                o.branch_unknown = true;
+                o.max_variants = 3;
+            });
+        let res = match Rewriter::new(&mut img).rewrite(f, &req) {
             Ok(r) => r,
             Err(RewriteError::TraceFault { .. }) => return Ok(()),
             Err(e) => panic!("unexpected rewrite failure: {e}\n{src}"),
@@ -282,14 +287,9 @@ proptest! {
         let mut img = Image::new();
         let compiled = compile_into(src, &mut img).unwrap();
         let f = compiled.func("f").unwrap();
-        let mut cfg = RewriteConfig::new();
-        cfg.set_ret(RetKind::F64);
-        if known {
-            cfg.set_param(2, ParamSpec::Known);
-        }
-        let res = Rewriter::new(&mut img)
-            .rewrite(&cfg, f, &[ArgValue::F64(0.0), ArgValue::F64(0.0), ArgValue::F64(k)])
-            .unwrap();
+        let mut req = SpecRequest::new().unknown_f64().unknown_f64().ret(RetKind::F64);
+        req = if known { req.known_f64(k) } else { req.unknown_f64() };
+        let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
         let mut m = Machine::new();
         for (x, y) in &probes {
             let call = CallArgs::new().f64(*x).f64(*y).f64(k);
@@ -370,19 +370,19 @@ proptest! {
         let helper = compiled.func("helper").unwrap();
         let table = compiled.global("table").unwrap();
 
-        let mut cfg = RewriteConfig::new();
-        cfg.set_ret(RetKind::Int);
-        for i in 0..3 {
-            if spec_mask & (1 << i) != 0 {
-                cfg.set_param(i, ParamSpec::Known);
-            }
+        let mut req = SpecRequest::new().ret(RetKind::Int);
+        for (i, &pin) in pins.iter().enumerate() {
+            req = if spec_mask & (1 << i) != 0 {
+                req.known_int(pin)
+            } else {
+                req.unknown_int()
+            };
         }
-        cfg.func(helper).inline = inline_helper;
+        req = req.func(helper, |o| o.inline = inline_helper);
         if know_table {
-            cfg.set_mem_known(table..table + 64);
+            req = req.known_mem(table..table + 64);
         }
-        let args = [ArgValue::Int(pins[0]), ArgValue::Int(pins[1]), ArgValue::Int(pins[2])];
-        let res = match Rewriter::new(&mut img).rewrite(&cfg, f, &args) {
+        let res = match Rewriter::new(&mut img).rewrite(f, &req) {
             Ok(r) => r,
             Err(RewriteError::TraceFault { .. }) => return Ok(()),
             Err(e) => panic!("unexpected rewrite failure: {e}\n{src}"),
@@ -450,13 +450,12 @@ proptest! {
         let st = prog.global("st").unwrap();
         let xs = 5i64;
 
-        let mut cfg = RewriteConfig::new();
-        cfg.set_param(1, ParamSpec::Known)
-            .set_param(2, ParamSpec::PtrToKnown { len: 8 + n as u64 * 24 })
-            .set_ret(RetKind::F64);
-        let res = Rewriter::new(&mut img)
-            .rewrite(&cfg, apply, &[ArgValue::Int(0), ArgValue::Int(xs), ArgValue::Int(st as i64)])
-            .unwrap();
+        let req = SpecRequest::new()
+            .unknown_int()
+            .known_int(xs)
+            .ptr_to_known(st, 8 + n as u64 * 24)
+            .ret(RetKind::F64);
+        let res = Rewriter::new(&mut img).rewrite(apply, &req).unwrap();
 
         // Random 5x5 matrix; probe all interior points.
         let m0 = img.alloc_heap(25 * 8, 8);

@@ -83,7 +83,10 @@ fn e2_shape_figure6_structure() {
     // 5 stencil points, each one multiply.
     assert_eq!(text.matches("mulsd").count(), 5);
     // Coefficients referenced at absolute data addresses (i-01 in Fig. 6).
-    assert!(text.contains("[0x6"), "absolute data-segment operand expected");
+    assert!(
+        text.contains("[0x6"),
+        "absolute data-segment operand expected"
+    );
     // The known row displacement xs*8 appears as a constant (i-13).
     assert!(
         text.contains("0x140"),
@@ -116,21 +119,26 @@ fn profile_guided_guarded_specialization_workflow() {
         m.set_call_observer(Box::new(|_, t, cpu| profile.record(t, cpu)));
         for i in 0..50 {
             let k = if i % 5 == 0 { i } else { 12 };
-            m.call(&mut img, driver, &CallArgs::new().int(i).int(k)).unwrap();
+            m.call(&mut img, driver, &CallArgs::new().int(i).int(k))
+                .unwrap();
         }
     }
     let hot = profile.hot_value(f, 1, 0.7).expect("hot k");
     assert_eq!(hot, 12);
 
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
+    let req = SpecRequest::new()
+        .unknown_int()
+        .known_int(12)
+        .ret(RetKind::Int);
     let mut rw = Rewriter::new(&mut img);
-    let spec = rw.rewrite(&cfg, f, &[ArgValue::Int(0), ArgValue::Int(12)]).unwrap();
+    let spec = rw.rewrite(f, &req).unwrap();
     let guard = rw.guard(1, 12, spec.entry, f).unwrap();
 
     let mut m = Machine::new();
     for (x, k) in [(3i64, 12i64), (7, 12), (3, 5), (0, 0)] {
-        let via_guard = m.call(&mut img, guard, &CallArgs::new().int(x).int(k)).unwrap();
+        let via_guard = m
+            .call(&mut img, guard, &CallArgs::new().int(x).int(k))
+            .unwrap();
         let direct = m.call(&mut img, f, &CallArgs::new().int(x).int(k)).unwrap();
         assert_eq!(via_guard.ret_int, direct.ret_int, "f({x},{k})");
     }
@@ -169,18 +177,20 @@ fn rewritten_code_is_itself_rewritable() {
     let f = prog.func("f").unwrap();
 
     // Stage 1: bake b = 10.
-    let mut cfg1 = RewriteConfig::new();
-    cfg1.set_param(1, ParamSpec::Known).set_ret(RetKind::Int);
-    let r1 = Rewriter::new(&mut img)
-        .rewrite(&cfg1, f, &[ArgValue::Int(0), ArgValue::Int(10), ArgValue::Int(0)])
-        .unwrap();
+    let req1 = SpecRequest::new()
+        .unknown_int()
+        .known_int(10)
+        .unknown_int()
+        .ret(RetKind::Int);
+    let r1 = Rewriter::new(&mut img).rewrite(f, &req1).unwrap();
 
     // Stage 2: rewrite the rewritten function, baking c = 7 as well.
-    let mut cfg2 = RewriteConfig::new();
-    cfg2.set_param(2, ParamSpec::Known).set_ret(RetKind::Int);
-    let r2 = Rewriter::new(&mut img)
-        .rewrite(&cfg2, r1.entry, &[ArgValue::Int(0), ArgValue::Int(10), ArgValue::Int(7)])
-        .unwrap();
+    let req2 = SpecRequest::new()
+        .unknown_int()
+        .unknown_int()
+        .known_int(7)
+        .ret(RetKind::Int);
+    let r2 = Rewriter::new(&mut img).rewrite(r1.entry, &req2).unwrap();
 
     let mut m = Machine::new();
     for a in [0i64, 1, -3, 999] {
@@ -189,7 +199,10 @@ fn rewritten_code_is_itself_rewritable() {
             .unwrap();
         assert_eq!(out.ret_int as i64, a * 10 + 14);
     }
-    assert!(r2.code_len <= r1.code_len, "double-specialized is no larger");
+    assert!(
+        r2.code_len <= r1.code_len,
+        "double-specialized is no larger"
+    );
 }
 
 #[test]
@@ -206,7 +219,9 @@ fn sweep_rewrite_e4_shape() {
     for unroll in [1u32, 4] {
         let mut s = Stencil::new(xs, ys);
         let res = s.specialize_sweep(unroll).unwrap();
-        let st = s.run(&mut m, Variant::SpecializedSweep(res.entry), iters).unwrap();
+        let st = s
+            .run(&mut m, Variant::SpecializedSweep(res.entry), iters)
+            .unwrap();
         assert_eq!(s.checksum(iters), host, "unroll={unroll}");
         assert!(
             st.cycles < generic.cycles,
@@ -231,21 +246,17 @@ fn makedynamic_e5_shape() {
     let mut results = Vec::new();
     for name in ["sweep_dynamic", "sweep_dynamic_transformed"] {
         let f = prog.func(name).unwrap();
-        let mut cfg = RewriteConfig::new();
-        cfg.set_param(2, ParamSpec::Known)
-            .set_param(3, ParamSpec::Known)
-            .set_mem_known(s5..s5 + brew_suite::stencil::S_SIZE)
-            .set_ret(RetKind::Void);
-        cfg.func(md).inline = false;
-        cfg.max_trace_insts = 8_000_000;
-        cfg.max_code_bytes = 1 << 22;
-        let r = Rewriter::new(&mut img)
-            .rewrite(
-                &cfg,
-                f,
-                &[ArgValue::Int(0), ArgValue::Int(0), ArgValue::Int(xs), ArgValue::Int(ys)],
-            )
-            .unwrap();
+        let req = SpecRequest::new()
+            .unknown_int() // m1
+            .unknown_int() // m2
+            .known_int(xs)
+            .known_int(ys)
+            .known_mem(s5..s5 + brew_suite::stencil::S_SIZE)
+            .ret(RetKind::Void)
+            .func(md, |o| o.inline = false)
+            .max_trace_insts(8_000_000)
+            .max_code_bytes(1 << 22);
+        let r = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
         results.push(r.stats.blocks);
     }
     let (as_written, transformed) = (results[0], results[1]);

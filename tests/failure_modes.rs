@@ -29,7 +29,9 @@ fn asm(img: &mut Image, insts: &[Inst]) -> u64 {
 fn undecodable_instruction() {
     let mut img = Image::new();
     let junk = img.alloc_code(&[0x0F, 0xFF, 0x00]);
-    let err = Rewriter::new(&mut img).rewrite(&RewriteConfig::new(), junk, &[]).unwrap_err();
+    let err = Rewriter::new(&mut img)
+        .rewrite(junk, &SpecRequest::new())
+        .unwrap_err();
     assert!(matches!(err, RewriteError::Undecodable { addr, .. } if addr == junk));
 }
 
@@ -38,7 +40,9 @@ fn unsupported_instruction_form() {
     let mut img = Image::new();
     // RIP-relative mov: valid x86-64, outside the subset.
     let f = img.alloc_code(&[0x48, 0x8B, 0x05, 0x00, 0x00, 0x00, 0x00, 0xC3]);
-    let err = Rewriter::new(&mut img).rewrite(&RewriteConfig::new(), f, &[]).unwrap_err();
+    let err = Rewriter::new(&mut img)
+        .rewrite(f, &SpecRequest::new())
+        .unwrap_err();
     assert!(matches!(err, RewriteError::Undecodable { .. }));
 }
 
@@ -46,8 +50,15 @@ fn unsupported_instruction_form() {
 fn indirect_unknown_jump() {
     let mut img = Image::new();
     // jmp rax with rax unknown.
-    let f = asm(&mut img, &[Inst::JmpInd { src: Operand::Reg(Gpr::Rax) }]);
-    let err = Rewriter::new(&mut img).rewrite(&RewriteConfig::new(), f, &[]).unwrap_err();
+    let f = asm(
+        &mut img,
+        &[Inst::JmpInd {
+            src: Operand::Reg(Gpr::Rax),
+        }],
+    );
+    let err = Rewriter::new(&mut img)
+        .rewrite(f, &SpecRequest::new())
+        .unwrap_err();
     assert!(matches!(err, RewriteError::IndirectUnknownJump { addr } if addr == f));
 }
 
@@ -61,15 +72,23 @@ fn indirect_known_jump_is_followed() {
     let f = asm(
         &mut img,
         &[
-            Inst::MovAbs { dst: Gpr::Rax, imm: base + 12 },
-            Inst::JmpInd { src: Operand::Reg(Gpr::Rax) },
-            Inst::Mov { w: Width::W64, dst: Operand::Reg(Gpr::Rax), src: Operand::Imm(7) },
+            Inst::MovAbs {
+                dst: Gpr::Rax,
+                imm: base + 12,
+            },
+            Inst::JmpInd {
+                src: Operand::Reg(Gpr::Rax),
+            },
+            Inst::Mov {
+                w: Width::W64,
+                dst: Operand::Reg(Gpr::Rax),
+                src: Operand::Imm(7),
+            },
             Inst::Ret,
         ],
     );
-    let mut cfg = RewriteConfig::new();
-    cfg.set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(&cfg, f, &[]).unwrap();
+    let req = SpecRequest::new().ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
     let out = m.call(&mut img, res.entry, &CallArgs::new()).unwrap();
     assert_eq!(out.ret_int, 7);
@@ -79,7 +98,9 @@ fn indirect_known_jump_is_followed() {
 fn trap_instruction() {
     let mut img = Image::new();
     let f = asm(&mut img, &[Inst::Ud2]);
-    let err = Rewriter::new(&mut img).rewrite(&RewriteConfig::new(), f, &[]).unwrap_err();
+    let err = Rewriter::new(&mut img)
+        .rewrite(f, &SpecRequest::new())
+        .unwrap_err();
     assert!(matches!(err, RewriteError::TraceFault { what: "ud2", .. }));
 }
 
@@ -89,9 +110,16 @@ fn stack_imbalance() {
     // push rax; ret — returns with a displaced stack.
     let f = asm(
         &mut img,
-        &[Inst::Push { src: Operand::Reg(Gpr::Rax) }, Inst::Ret],
+        &[
+            Inst::Push {
+                src: Operand::Reg(Gpr::Rax),
+            },
+            Inst::Ret,
+        ],
     );
-    let err = Rewriter::new(&mut img).rewrite(&RewriteConfig::new(), f, &[]).unwrap_err();
+    let err = Rewriter::new(&mut img)
+        .rewrite(f, &SpecRequest::new())
+        .unwrap_err();
     assert!(matches!(err, RewriteError::StackImbalance { .. }));
 }
 
@@ -100,10 +128,9 @@ fn division_fault_during_tracing() {
     let mut img = Image::new();
     let prog = compile_into("int f(int a) { return 1 / a; }", &mut img).unwrap();
     let f = prog.func("f").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::Known).set_ret(RetKind::Int);
+    let req = SpecRequest::new().known_int(0).ret(RetKind::Int);
     // Tracing with the known value 0 divides by zero at rewrite time.
-    let err = Rewriter::new(&mut img).rewrite(&cfg, f, &[ArgValue::Int(0)]).unwrap_err();
+    let err = Rewriter::new(&mut img).rewrite(f, &req).unwrap_err();
     assert!(matches!(err, RewriteError::TraceFault { .. }));
     // The original function still works for valid inputs.
     let mut m = Machine::new();
@@ -120,10 +147,11 @@ fn code_space_budget() {
     )
     .unwrap();
     let f = prog.func("f").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::Known).set_ret(RetKind::Int);
-    cfg.max_code_bytes = 16; // absurd limit
-    let err = Rewriter::new(&mut img).rewrite(&cfg, f, &[ArgValue::Int(100)]).unwrap_err();
+    let req = SpecRequest::new()
+        .known_int(100)
+        .ret(RetKind::Int)
+        .max_code_bytes(16); // absurd limit
+    let err = Rewriter::new(&mut img).rewrite(f, &req).unwrap_err();
     assert!(matches!(err, RewriteError::OutOfCodeSpace));
 }
 
@@ -136,23 +164,71 @@ fn block_budget() {
     )
     .unwrap();
     let f = prog.func("f").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::Known).set_ret(RetKind::Int);
-    cfg.max_blocks = 8;
-    cfg.default_opts.max_variants = u32::MAX;
-    let err = Rewriter::new(&mut img).rewrite(&cfg, f, &[ArgValue::Int(10_000)]).unwrap_err();
+    let req = SpecRequest::new()
+        .known_int(10_000)
+        .ret(RetKind::Int)
+        .max_blocks(8)
+        .default_opts(|o| o.max_variants = u32::MAX);
+    let err = Rewriter::new(&mut img).rewrite(f, &req).unwrap_err();
     assert!(matches!(err, RewriteError::BlockBudget));
 }
 
 #[test]
 fn bad_config_params_vs_args() {
+    // The split (config, args) adoption path rejects arity drift in both
+    // directions — the builder makes this unrepresentable.
+    let mut cfg = RewriteConfig::new();
+    cfg.set_param(3, ParamSpec::Known); // only 1 arg will be provided
+    let err =
+        SpecRequest::from_config(&cfg, &[ArgValue::Int(1)], &PassConfig::default()).unwrap_err();
+    let RewriteError::BadConfig(msg) = err else {
+        panic!("wrong error kind")
+    };
+    assert!(
+        msg.contains("parameter 1"),
+        "names the offending index: {msg}"
+    );
+}
+
+#[test]
+fn bad_config_extra_args_without_specs() {
+    // Arguments with no matching parameter spec are no longer silently
+    // treated as unknown: the request must bind every parameter.
+    let cfg = RewriteConfig::new();
+    let err = SpecRequest::from_config(
+        &cfg,
+        &[ArgValue::Int(1), ArgValue::Int(2)],
+        &PassConfig::default(),
+    )
+    .unwrap_err();
+    let RewriteError::BadConfig(msg) = err else {
+        panic!("wrong error kind")
+    };
+    assert!(
+        msg.contains("argument 0"),
+        "names the offending index: {msg}"
+    );
+}
+
+#[test]
+fn bad_config_func_opts_for_non_code_address() {
+    // Options keyed on an address outside any code segment are a config
+    // error (usually a typo'd or stale symbol), not silently ignored.
     let mut img = Image::new();
     let prog = compile_into("int f(int a) { return a; }", &mut img).unwrap();
     let f = prog.func("f").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(3, ParamSpec::Known); // only 1 arg will be provided
-    let err = Rewriter::new(&mut img).rewrite(&cfg, f, &[ArgValue::Int(1)]).unwrap_err();
-    assert!(matches!(err, RewriteError::BadConfig(_)));
+    let req = SpecRequest::new()
+        .unknown_int()
+        .ret(RetKind::Int)
+        .func(0xdead_0000, |o| o.inline = false);
+    let err = Rewriter::new(&mut img).rewrite(f, &req).unwrap_err();
+    let RewriteError::BadConfig(msg) = err else {
+        panic!("wrong error kind")
+    };
+    assert!(
+        msg.contains("0xdead0000"),
+        "names the offending address: {msg}"
+    );
 }
 
 #[test]
@@ -160,10 +236,11 @@ fn bad_config_hook_with_branch_unknown() {
     let mut img = Image::new();
     let prog = compile_into("int f(int a) { return a; }", &mut img).unwrap();
     let f = prog.func("f").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.mem_access_hook = Some(0x400000);
-    cfg.func(f).branch_unknown = true;
-    let err = Rewriter::new(&mut img).rewrite(&cfg, f, &[ArgValue::Int(1)]).unwrap_err();
+    let req = SpecRequest::new()
+        .unknown_int()
+        .mem_access_hook(0x400000)
+        .func(f, |o| o.branch_unknown = true);
+    let err = Rewriter::new(&mut img).rewrite(f, &req).unwrap_err();
     assert!(matches!(err, RewriteError::BadConfig(_)));
 }
 
@@ -172,9 +249,14 @@ fn bad_config_ptr_to_known_on_f64() {
     let mut img = Image::new();
     let prog = compile_into("double f(double x) { return x; }", &mut img).unwrap();
     let f = prog.func("f").unwrap();
+    // ptr_to_known only binds integer-class values; drive the same error
+    // through the adoption path with an F64 value against a pointer spec.
     let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::PtrToKnown { len: 8 }).set_ret(RetKind::F64);
-    let err = Rewriter::new(&mut img).rewrite(&cfg, f, &[ArgValue::F64(0.0)]).unwrap_err();
+    cfg.set_param(0, ParamSpec::PtrToKnown { len: 8 })
+        .set_ret(RetKind::F64);
+    let req =
+        SpecRequest::from_config(&cfg, &[ArgValue::F64(0.0)], &PassConfig::default()).unwrap();
+    let err = Rewriter::new(&mut img).rewrite(f, &req).unwrap_err();
     assert!(matches!(err, RewriteError::BadConfig(_)));
 }
 
@@ -190,11 +272,12 @@ fn failure_then_fallback_to_original_is_the_contract() {
     .unwrap();
     let f = prog.func("f").unwrap();
 
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::Known).set_ret(RetKind::Int);
-    cfg.max_trace_insts = 50; // unrealistically small budget
+    let req = SpecRequest::new()
+        .known_int(1000)
+        .ret(RetKind::Int)
+        .max_trace_insts(50); // unrealistically small budget
 
-    let chosen = match Rewriter::new(&mut img).rewrite(&cfg, f, &[ArgValue::Int(1000)]) {
+    let chosen = match Rewriter::new(&mut img).rewrite(f, &req) {
         Ok(r) => r.entry,
         Err(_) => f, // the documented fallback
     };
@@ -212,18 +295,26 @@ fn stale_flags_from_elided_address_arithmetic() {
     let mut img = Image::new();
     let base = brew_suite::image::layout::CODE_BASE;
     let insts = [
-        Inst::Lea { dst: Gpr::Rbx, src: MemRef::base_disp(Gpr::Rsp, -8) },
+        Inst::Lea {
+            dst: Gpr::Rbx,
+            src: MemRef::base_disp(Gpr::Rsp, -8),
+        },
         Inst::Alu {
             op: AluOp::Add,
             w: Width::W64,
             dst: Operand::Reg(Gpr::Rbx),
             src: Operand::Imm(8),
         },
-        Inst::Jcc { cond: Cond::E, target: base + 30 },
+        Inst::Jcc {
+            cond: Cond::E,
+            target: base + 30,
+        },
         Inst::Ret,
     ];
     let f = asm(&mut img, &insts);
-    let err = Rewriter::new(&mut img).rewrite(&RewriteConfig::new(), f, &[]).unwrap_err();
+    let err = Rewriter::new(&mut img)
+        .rewrite(f, &SpecRequest::new())
+        .unwrap_err();
     assert!(
         matches!(err, RewriteError::UntrustedFlags { .. }),
         "branching on stale flags must fail: {err:?}"
@@ -241,15 +332,19 @@ fn flags_from_emitted_writer_are_fine_after_elided_ops() {
     )
     .unwrap();
     let f = prog.func("f").unwrap();
-    let mut cfg = RewriteConfig::new();
-    cfg.set_param(0, ParamSpec::Known).set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img)
-        .rewrite(&cfg, f, &[ArgValue::Int(10), ArgValue::Int(0)])
-        .unwrap();
+    let req = SpecRequest::new()
+        .known_int(10)
+        .unknown_int()
+        .ret(RetKind::Int);
+    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
     for b in [-5i64, 10, 11, 12] {
-        let orig = m.call(&mut img, f, &CallArgs::new().int(10).int(b)).unwrap();
-        let spec = m.call(&mut img, res.entry, &CallArgs::new().int(10).int(b)).unwrap();
+        let orig = m
+            .call(&mut img, f, &CallArgs::new().int(10).int(b))
+            .unwrap();
+        let spec = m
+            .call(&mut img, res.entry, &CallArgs::new().int(10).int(b))
+            .unwrap();
         assert_eq!(orig.ret_int, spec.ret_int, "b={b}");
     }
 }
