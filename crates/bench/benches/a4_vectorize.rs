@@ -17,11 +17,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| s.run(&mut m, Variant::ManualInline, 1).unwrap());
     });
     g.bench_function("packed_sweep", |b| {
-        let mut s = Stencil::new(XS, YS);
-        let packed = build_packed_sweep(&mut s.img, XS, YS);
+        let s = Stencil::new(XS, YS);
+        let packed = build_packed_sweep(&s.img, XS, YS);
         let mut m = Machine::new();
         b.iter(|| {
-            m.call(&mut s.img, packed, &CallArgs::new().ptr(s.m1).ptr(s.m2))
+            m.call(&s.img, packed, &CallArgs::new().ptr(s.m1).ptr(s.m2))
                 .unwrap()
         });
     });

@@ -11,22 +11,22 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("cold_rewrite", |b| {
         b.iter(|| {
-            let mut s = Stencil::new(32, 32);
+            let s = Stencil::new(32, 32);
             let func = s.prog.func("apply").unwrap();
             let req = s.apply_request();
             SpecializationManager::new()
-                .get_or_rewrite(&mut s.img, func, &req)
+                .get_or_rewrite(&s.img, func, &req)
                 .unwrap()
                 .entry
         });
     });
     g.bench_function("cached_rerequest", |b| {
-        let mut s = Stencil::new(32, 32);
+        let s = Stencil::new(32, 32);
         let func = s.prog.func("apply").unwrap();
         let req = s.apply_request();
-        let mut mgr = SpecializationManager::new();
-        mgr.get_or_rewrite(&mut s.img, func, &req).unwrap();
-        b.iter(|| mgr.get_or_rewrite(&mut s.img, func, &req).unwrap().entry);
+        let mgr = SpecializationManager::new();
+        mgr.get_or_rewrite(&s.img, func, &req).unwrap();
+        b.iter(|| mgr.get_or_rewrite(&s.img, func, &req).unwrap().entry);
     });
     g.bench_function("skewed_replay_1000", |b| {
         b.iter(|| cache_study(32, 32, 1_000).cached_avg_ns);

@@ -1,0 +1,62 @@
+//! C2: the shared manager under concurrency — hit-path scaling across
+//! thread counts and the cost of a coalesced cold start (every thread
+//! racing the same fingerprint, single-flight electing one tracer).
+
+use brew_bench::conc_study;
+use brew_core::SpecializationManager;
+use brew_stencil::Stencil;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c2_concurrent");
+    g.sample_size(10);
+    for threads in [1u32, 2, 4, 8] {
+        g.bench_function(&format!("hit_path_{threads}t"), |b| {
+            let s = Stencil::new(32, 32);
+            let func = s.prog.func("apply").unwrap();
+            let req = s.apply_request();
+            let mgr = SpecializationManager::new();
+            mgr.get_or_rewrite(&s.img, func, &req).unwrap();
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        let (mgr, img, req) = (&mgr, &s.img, &req);
+                        scope.spawn(move || {
+                            for _ in 0..250 {
+                                std::hint::black_box(
+                                    mgr.get_or_rewrite(img, func, req).unwrap().entry,
+                                );
+                            }
+                        });
+                    }
+                });
+            });
+        });
+    }
+    g.bench_function("coalesced_cold_start_8t", |b| {
+        let s = Stencil::new(32, 32);
+        let func = s.prog.func("apply").unwrap();
+        let req = s.apply_request();
+        b.iter(|| {
+            // Fresh manager each round: 8 threads race the cold miss, one
+            // traces, seven coalesce.
+            let mgr = SpecializationManager::new();
+            std::thread::scope(|scope| {
+                for _ in 0..8 {
+                    let (mgr, img, req) = (&mgr, &s.img, &req);
+                    scope.spawn(move || {
+                        std::hint::black_box(mgr.get_or_rewrite(img, func, req).unwrap().entry);
+                    });
+                }
+            });
+            assert_eq!(mgr.stats().misses, 1);
+        });
+    });
+    g.bench_function("skewed_storm_4t_x500", |b| {
+        b.iter(|| conc_study(32, 32, 500, &[4])[0].wall_ns);
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -19,7 +19,7 @@ fn main() {
     // `tables cache` and `tables --exp cache` spell the same thing.
     let args: Vec<String> = std::env::args().skip(1).filter(|a| a != "--exp").collect();
     let all = [
-        "e1", "e2", "e3", "e4", "e5", "a1", "a2", "a3", "a4", "a5", "a6", "p1", "cache",
+        "e1", "e2", "e3", "e4", "e5", "a1", "a2", "a3", "a4", "a5", "a6", "p1", "cache", "conc",
     ];
     let wanted: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -91,6 +91,10 @@ fn run_experiment(exp: &str) -> String {
             "C1 — variant-cache amortization (cached re-requests vs the A6 cold rewrite)",
             &cache_study(XS, YS, 1_000),
         ),
+        "conc" => render_conc(
+            "C2 — shared manager under concurrency (single-flight + sharded hit path)",
+            &conc_study(XS, YS, 2_000, &[1, 2, 4, 8]),
+        ),
         other => format!("unknown experiment `{other}`\n"),
     }
 }
@@ -122,8 +126,8 @@ fn e2_listing() -> String {
 
 /// E5: the failed `makeDynamic` approach of §V.C.
 fn e5_make_dynamic() -> String {
-    let mut img = brew_image::Image::new();
-    let prog = brew_minic::compile_into(programs::MAKE_DYNAMIC_PROGRAM, &mut img).unwrap();
+    let img = brew_image::Image::new();
+    let prog = brew_minic::compile_into(programs::MAKE_DYNAMIC_PROGRAM, &img).unwrap();
     let s5 = prog.global("s5").unwrap();
     let make_dynamic = prog.func("makeDynamic").unwrap();
     let (xs, ys) = (24i64, 24i64);
@@ -154,7 +158,7 @@ fn e5_make_dynamic() -> String {
             .func(make_dynamic, |o| o.inline = false)
             .max_trace_insts(8_000_000)
             .max_code_bytes(1 << 22);
-        let res = Rewriter::new(&mut img).rewrite(f, &req);
+        let res = Rewriter::new(&img).rewrite(f, &req);
         match res {
             Ok(r) => out.push_str(&format!(
                 "{label:<46}: {:>8} bytes, {:>6} blocks  {}\n",
@@ -182,7 +186,7 @@ fn e5_make_dynamic() -> String {
         .func(make_dynamic, |o| o.inline = false)
         .func(f, |o| o.fresh_unknown = true)
         .max_trace_insts(8_000_000);
-    let r = Rewriter::new(&mut img)
+    let r = Rewriter::new(&img)
         .rewrite(f, &req)
         .expect("fresh_unknown rewrite");
     out.push_str(&format!(

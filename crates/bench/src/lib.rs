@@ -190,7 +190,7 @@ pub fn inline_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
             .func(apply, |o| o.inline = inline)
             .max_trace_insts(16_000_000)
             .max_code_bytes(1 << 22);
-        let res = Rewriter::new(&mut s.img).rewrite(sweep, &req).unwrap();
+        let res = Rewriter::new(&s.img).rewrite(sweep, &req).unwrap();
         let st = s
             .run(&mut m, Variant::SpecializedSweep(res.entry), iters)
             .unwrap();
@@ -217,14 +217,14 @@ pub fn guard_study() -> Vec<Row> {
     let src = "int poly(int x, int n) { int r = 1; for (int i = 0; i < n; i++) r *= x; return r; }";
     let mut out = Vec::new();
     for hot_pct in [100u32, 90, 50, 0] {
-        let mut img = brew_image::Image::new();
-        let prog = brew_minic::compile_into(src, &mut img).unwrap();
+        let img = brew_image::Image::new();
+        let prog = brew_minic::compile_into(src, &img).unwrap();
         let poly = prog.func("poly").unwrap();
         let req = SpecRequest::new()
             .unknown_int()
             .known_int(16)
             .ret(RetKind::Int);
-        let mut rw = Rewriter::new(&mut img);
+        let mut rw = Rewriter::new(&img);
         let spec = rw.rewrite(poly, &req).unwrap();
         let guard = rw.guard(1, 16, spec.entry, poly).unwrap();
         let mut m = Machine::new();
@@ -232,8 +232,8 @@ pub fn guard_study() -> Vec<Row> {
         for i in 0..100u32 {
             let n = if i % 100 < hot_pct { 16 } else { 15 };
             let args = CallArgs::new().int(3).int(n as i64);
-            let g = m.call(&mut img, guard, &args).unwrap();
-            let o = m.call(&mut img, poly, &args).unwrap();
+            let g = m.call(&img, guard, &args).unwrap();
+            let o = m.call(&img, poly, &args).unwrap();
             assert_eq!(g.ret_int, o.ret_int);
             guarded.merge(&g.stats);
             original.merge(&o.stats);
@@ -271,17 +271,17 @@ pub fn vectorize_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
         ("hand-scheduled scalar sweep", false),
         ("hand-scheduled packed sweep (the pass target)", true),
     ] {
-        let mut s = Stencil::new(xs, ys);
+        let s = Stencil::new(xs, ys);
         let f = if packed {
-            brew_stencil::simd::build_packed_sweep(&mut s.img, xs, ys)
+            brew_stencil::simd::build_packed_sweep(&s.img, xs, ys)
         } else {
-            brew_stencil::simd::build_scalar_handtuned_sweep(&mut s.img, xs, ys)
+            brew_stencil::simd::build_scalar_handtuned_sweep(&s.img, xs, ys)
         };
         let mut total = Stats::default();
         let (mut src, mut dst) = (s.m1, s.m2);
         for _ in 0..iters {
             let o = m
-                .call(&mut s.img, f, &CallArgs::new().ptr(src).ptr(dst))
+                .call(&s.img, f, &CallArgs::new().ptr(src).ptr(dst))
                 .unwrap();
             total.merge(&o.stats);
             std::mem::swap(&mut src, &mut dst);
@@ -346,22 +346,22 @@ pub fn cache_study(xs: i64, ys: i64, rerequests: u32) -> CacheReport {
     use brew_core::SpecializationManager;
     use std::time::Instant;
 
-    let mut s = Stencil::new(xs, ys);
+    let s = Stencil::new(xs, ys);
     let func = s.prog.func("apply").unwrap();
     let hot = s.apply_request();
     let alt = s.apply_request().passes(PassConfig::none());
 
-    let mut mgr = SpecializationManager::new();
+    let mgr = SpecializationManager::new();
     let t0 = Instant::now();
-    let first = mgr.get_or_rewrite(&mut s.img, func, &hot).unwrap();
+    let first = mgr.get_or_rewrite(&s.img, func, &hot).unwrap();
     let cold_ns = (t0.elapsed().as_nanos() as u64).max(1);
     let cold_stats = first.stats;
-    mgr.get_or_rewrite(&mut s.img, func, &alt).unwrap();
+    mgr.get_or_rewrite(&s.img, func, &alt).unwrap();
 
     let t1 = Instant::now();
     for i in 0..rerequests {
         let req = if i % 8 == 7 { &alt } else { &hot };
-        let v = mgr.get_or_rewrite(&mut s.img, func, req).unwrap();
+        let v = mgr.get_or_rewrite(&s.img, func, req).unwrap();
         std::hint::black_box(v.entry);
     }
     let cached_avg_ns = (t1.elapsed().as_nanos() as u64) / u64::from(rerequests.max(1));
@@ -401,6 +401,99 @@ pub fn render_cache(title: &str, r: &CacheReport) -> String {
         "traced guest insts      : {} total — flat across every cached re-request\n",
         r.stats.traced_total,
     ));
+    s
+}
+
+/// One C2 row: request-path throughput at a given thread count.
+#[derive(Debug, Clone)]
+pub struct ConcRow {
+    /// Worker threads issuing requests concurrently.
+    pub threads: u32,
+    /// Total requests issued across all threads.
+    pub requests: u64,
+    /// Wall-clock ns for the whole request storm.
+    pub wall_ns: u64,
+    /// Manager counters at quiescence.
+    pub stats: brew_core::CacheStats,
+}
+
+/// The distinct request fingerprints `conc_study` replays.
+pub const CONC_DISTINCT: u64 = 4;
+
+/// C2: concurrent request throughput through one shared
+/// [`brew_core::SpecializationManager`]. Every thread hammers the same
+/// skewed mix (the hot `apply` shape 5 of 8, three colder shapes for the
+/// rest); single-flight coalescing means the miss count stays at the
+/// distinct-fingerprint count no matter how many threads race the cold
+/// start, and the hit path is a sharded lock-per-shard lookup, so ns/req
+/// should stay roughly flat as threads scale.
+pub fn conc_study(xs: i64, ys: i64, rounds: u32, thread_counts: &[u32]) -> Vec<ConcRow> {
+    use brew_core::SpecializationManager;
+    use std::time::Instant;
+
+    let mut out = Vec::new();
+    for &nthreads in thread_counts {
+        let s = Stencil::new(xs, ys);
+        let func = s.prog.func("apply").unwrap();
+        // Four distinct fingerprints: the hot shape plus three
+        // semantically identical variants distinguished only by config
+        // (trace-budget tweaks change the fingerprint, not the code).
+        let reqs = [
+            s.apply_request(),
+            s.apply_request().passes(PassConfig::none()),
+            s.apply_request().max_trace_insts(3_999_999),
+            s.apply_request().max_trace_insts(3_999_998),
+        ];
+        const MIX: [usize; 8] = [0, 0, 0, 0, 0, 1, 2, 3];
+        let mgr = SpecializationManager::new();
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for tid in 0..nthreads {
+                let (mgr, img, reqs) = (&mgr, &s.img, &reqs);
+                scope.spawn(move || {
+                    for i in 0..rounds {
+                        let req = &reqs[MIX[(tid as usize * 3 + i as usize) % MIX.len()]];
+                        let v = mgr.get_or_rewrite(img, func, req).unwrap();
+                        std::hint::black_box(v.entry);
+                    }
+                });
+            }
+        });
+        let wall_ns = (t0.elapsed().as_nanos() as u64).max(1);
+        out.push(ConcRow {
+            threads: nthreads,
+            requests: u64::from(nthreads) * u64::from(rounds),
+            wall_ns,
+            stats: mgr.stats(),
+        });
+    }
+    out
+}
+
+/// Render the C2 concurrency table.
+pub fn render_conc(title: &str, rows: &[ConcRow]) -> String {
+    let mut s = format!("## {title}\n\n");
+    s.push_str(&format!(
+        "{:<8} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8} {:>11}\n",
+        "threads", "requests", "wall us", "ns/req", "hits", "coalesced", "misses", "dup traces"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<8} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8} {:>11}\n",
+            r.threads,
+            r.requests,
+            r.wall_ns / 1_000,
+            r.wall_ns / r.requests.max(1),
+            r.stats.hits,
+            r.stats.coalesced,
+            r.stats.misses,
+            r.stats.misses.saturating_sub(CONC_DISTINCT),
+        ));
+    }
+    s.push_str(
+        "\nsingle-flight: misses stay at the distinct-fingerprint count (4) at every \
+         thread count;\na duplicate trace would show up in the last column.\n",
+    );
     s
 }
 

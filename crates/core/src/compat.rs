@@ -58,7 +58,7 @@ pub fn brew_setmem(conf: &mut RewriteConfig, start: u64, end: u64) {
 /// As in the paper, arguments beyond the configured specs are treated as
 /// `BREW_UNKNOWN`.
 pub fn brew_rewrite(
-    img: &mut Image,
+    img: &Image,
     conf: &RewriteConfig,
     func: u64,
     args: &[ArgValue],
@@ -78,19 +78,17 @@ mod tests {
 
     #[test]
     fn figure_2_spelling_works() {
-        let mut img = Image::new();
-        let prog = brew_minic::compile_into(
-            "int madd(int a, int b, int c) { return a * b + c; }",
-            &mut img,
-        )
-        .unwrap();
+        let img = Image::new();
+        let prog =
+            brew_minic::compile_into("int madd(int a, int b, int c) { return a * b + c; }", &img)
+                .unwrap();
         let f = prog.func("madd").unwrap();
 
         let mut rConf = brew_initConf();
         brew_setpar(&mut rConf, 2, BREW_KNOWN);
         rConf.set_ret(RetKind::Int);
         let spec = brew_rewrite(
-            &mut img,
+            &img,
             &rConf,
             f,
             &[ArgValue::Int(0), ArgValue::Int(7), ArgValue::Int(0)],
@@ -101,7 +99,7 @@ mod tests {
         let mut m = brew_emu::Machine::new();
         let out = m
             .call(
-                &mut img,
+                &img,
                 spec.entry,
                 &brew_emu::CallArgs::new().int(6).int(7).int(-2),
             )

@@ -63,7 +63,7 @@ fn layout(blocks: &[CapturedBlock], entry: BlockId) -> Vec<BlockId> {
 pub fn layout_and_emit(
     blocks: &[CapturedBlock],
     entry: BlockId,
-    img: &mut Image,
+    img: &Image,
     max_bytes: usize,
 ) -> Result<(u64, usize), RewriteError> {
     let order = layout(blocks, entry);
@@ -106,12 +106,15 @@ pub fn layout_and_emit(
         off += forms[i].len();
     }
     let total = off;
-    if total > max_bytes || (total as u64) > img.jit_remaining() {
+    if total > max_bytes {
         return Err(RewriteError::OutOfCodeSpace);
     }
 
-    // Reserve the region, then encode with final addresses.
-    let base = img.alloc_jit(&vec![0u8; total]);
+    // Atomically claim the region (race-free against concurrent emitters),
+    // then encode with final addresses.
+    let base = img
+        .try_alloc_jit(total as u64)
+        .ok_or(RewriteError::OutOfCodeSpace)?;
     let mut bytes = Vec::with_capacity(total);
     for (i, b) in order.iter().enumerate() {
         debug_assert_eq!(bytes.len(), offsets[b.0]);
@@ -173,7 +176,7 @@ mod tests {
 
     #[test]
     fn straight_line() {
-        let mut img = Image::new();
+        let img = Image::new();
         let mut b0 = CapturedBlock::pending(0);
         b0.insts = vec![CapturedInst::plain(Inst::Mov {
             w: Width::W64,
@@ -182,7 +185,7 @@ mod tests {
         })];
         b0.term = Terminator::Jmp(BlockId(1));
         let blocks = vec![b0, ret_block()];
-        let (addr, len) = layout_and_emit(&blocks, BlockId(0), &mut img, 1 << 16).unwrap();
+        let (addr, len) = layout_and_emit(&blocks, BlockId(0), &img, 1 << 16).unwrap();
         // Fallthrough: no jmp emitted between blocks.
         let win = img.code_window(addr, len).unwrap();
         let (insts, err) = decode_all(&win, addr);
@@ -201,8 +204,8 @@ mod tests {
             fall: BlockId(1),
         };
         let blocks = vec![b0, ret_block(), ret_block()];
-        let mut img = Image::new();
-        let (addr, len) = layout_and_emit(&blocks, BlockId(0), &mut img, 1 << 16).unwrap();
+        let img = Image::new();
+        let (addr, len) = layout_and_emit(&blocks, BlockId(0), &img, 1 << 16).unwrap();
         let win = img.code_window(addr, len).unwrap();
         let (insts, err) = decode_all(&win, addr);
         assert!(err.is_none());
@@ -230,8 +233,8 @@ mod tests {
             fall: BlockId(1),
         };
         let blocks = vec![b0, ret_block()];
-        let mut img = Image::new();
-        let (addr, len) = layout_and_emit(&blocks, BlockId(0), &mut img, 1 << 16).unwrap();
+        let img = Image::new();
+        let (addr, len) = layout_and_emit(&blocks, BlockId(0), &img, 1 << 16).unwrap();
         let win = img.code_window(addr, len).unwrap();
         let (insts, err) = decode_all(&win, addr);
         assert!(err.is_none());
@@ -244,9 +247,9 @@ mod tests {
     #[test]
     fn code_size_limit() {
         let blocks = vec![ret_block()];
-        let mut img = Image::new();
+        let img = Image::new();
         assert!(matches!(
-            layout_and_emit(&blocks, BlockId(0), &mut img, 0),
+            layout_and_emit(&blocks, BlockId(0), &img, 0),
             Err(RewriteError::OutOfCodeSpace)
         ));
     }
@@ -254,8 +257,8 @@ mod tests {
     #[test]
     fn unreachable_blocks_not_emitted() {
         let blocks = vec![ret_block(), ret_block(), ret_block()];
-        let mut img = Image::new();
-        let (_, len) = layout_and_emit(&blocks, BlockId(0), &mut img, 1 << 16).unwrap();
+        let img = Image::new();
+        let (_, len) = layout_and_emit(&blocks, BlockId(0), &img, 1 << 16).unwrap();
         assert_eq!(len, 1, "only the entry ret");
     }
 }

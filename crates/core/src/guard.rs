@@ -40,7 +40,7 @@ pub struct GuardCase {
 ///
 /// Returns the stub's entry address.
 pub fn make_guard(
-    img: &mut Image,
+    img: &Image,
     param: usize,
     expected: i64,
     specialized: u64,
@@ -83,10 +83,9 @@ pub fn make_guard(
     insts.push(Inst::JmpRel { target: original });
 
     let total: usize = insts.iter().map(|i| encoded_len(i).unwrap_or(16)).sum();
-    if (total as u64) > img.jit_remaining() {
-        return Err(RewriteError::OutOfCodeSpace);
-    }
-    let base = img.alloc_jit(&vec![0u8; total]);
+    let base = img
+        .try_alloc_jit(total as u64)
+        .ok_or(RewriteError::OutOfCodeSpace)?;
     let mut bytes = Vec::with_capacity(total);
     for i in &insts {
         let addr = base + bytes.len() as u64;
@@ -141,7 +140,7 @@ fn cond_insts(param: usize, expected: i64) -> Result<Vec<Inst>, RewriteError> {
 ///
 /// Returns the chain's entry address.
 pub fn make_guard_chain(
-    img: &mut Image,
+    img: &Image,
     cases: &[GuardCase],
     original: u64,
 ) -> Result<u64, RewriteError> {
@@ -174,11 +173,9 @@ pub fn make_guard_chain(
     }
     case_off.push(off); // fall-through label
     let total = off + encoded_len(&Inst::JmpRel { target: original }).unwrap_or(16);
-
-    if (total as u64) > img.jit_remaining() {
-        return Err(RewriteError::OutOfCodeSpace);
-    }
-    let base = img.alloc_jit(&vec![0u8; total]);
+    let base = img
+        .try_alloc_jit(total as u64)
+        .ok_or(RewriteError::OutOfCodeSpace)?;
 
     // Pass two: patch every `jne` to its case's next-case address and
     // encode at final addresses.
@@ -214,8 +211,8 @@ mod tests {
 
     #[test]
     fn guard_shape_small_imm() {
-        let mut img = Image::new();
-        let g = make_guard(&mut img, 0, 42, 0x90_0100, 0x40_0000).unwrap();
+        let img = Image::new();
+        let g = make_guard(&img, 0, 42, 0x90_0100, 0x40_0000).unwrap();
         let win = img.code_window(g, 64).unwrap();
         let (insts, _) = decode_all(&win, g);
         assert!(matches!(
@@ -239,9 +236,9 @@ mod tests {
 
     #[test]
     fn guard_large_constant_uses_r11() {
-        let mut img = Image::new();
+        let img = Image::new();
         let v = 0x1234_5678_9ABCi64;
-        let g = make_guard(&mut img, 2, v, 0x90_0100, 0x40_0000).unwrap();
+        let g = make_guard(&img, 2, v, 0x90_0100, 0x40_0000).unwrap();
         let win = img.code_window(g, 64).unwrap();
         let (insts, _) = decode_all(&win, g);
         assert_eq!(
@@ -264,14 +261,14 @@ mod tests {
 
     #[test]
     fn bad_param_index() {
-        let mut img = Image::new();
+        let img = Image::new();
         assert!(matches!(
-            make_guard(&mut img, 6, 1, 0, 0),
+            make_guard(&img, 6, 1, 0, 0),
             Err(RewriteError::BadConfig(_))
         ));
         assert!(matches!(
             make_guard_chain(
-                &mut img,
+                &img,
                 &[GuardCase {
                     conds: vec![(6, 1)],
                     target: 0x90_0100
@@ -284,7 +281,7 @@ mod tests {
 
     #[test]
     fn chain_shape_three_cases() {
-        let mut img = Image::new();
+        let img = Image::new();
         let cases = [
             GuardCase {
                 conds: vec![(0, 4)],
@@ -299,7 +296,7 @@ mod tests {
                 target: 0x90_3000,
             },
         ];
-        let g = make_guard_chain(&mut img, &cases, 0x40_0000).unwrap();
+        let g = make_guard_chain(&img, &cases, 0x40_0000).unwrap();
         let win = img.code_window(g, 256).unwrap();
         let (insts, _) = decode_all(&win, g);
 
@@ -363,8 +360,8 @@ mod tests {
 
     #[test]
     fn empty_chain_is_a_trampoline() {
-        let mut img = Image::new();
-        let g = make_guard_chain(&mut img, &[], 0x40_0000).unwrap();
+        let img = Image::new();
+        let g = make_guard_chain(&img, &[], 0x40_0000).unwrap();
         let win = img.code_window(g, 16).unwrap();
         let (insts, _) = decode_all(&win, g);
         assert_eq!(insts[0].1, Inst::JmpRel { target: 0x40_0000 });
@@ -372,10 +369,10 @@ mod tests {
 
     #[test]
     fn unconditional_case_is_rejected() {
-        let mut img = Image::new();
+        let img = Image::new();
         assert!(matches!(
             make_guard_chain(
-                &mut img,
+                &img,
                 &[GuardCase {
                     conds: vec![],
                     target: 0x90_1000

@@ -78,7 +78,7 @@ pub use config::{ArgValue, FuncOpts, ParamSpec, RetKind, RewriteConfig};
 pub use error::RewriteError;
 pub use guard::{make_guard, make_guard_chain, GuardCase};
 pub use manager::{
-    CacheKey, CacheStats, Event, EventSink, RecordingSink, SpecializationManager, Variant,
+    CacheKey, CacheStats, Dispatch, Event, EventSink, RecordingSink, SpecializationManager, Variant,
 };
 pub use passes::PassConfig;
 pub use request::SpecRequest;
@@ -102,12 +102,12 @@ pub struct RewriteResult {
 /// The rewriter. Borrows the image: it reads original code and known data
 /// from it and writes specialized code into its JIT segment.
 pub struct Rewriter<'a> {
-    img: &'a mut Image,
+    img: &'a Image,
 }
 
 impl<'a> Rewriter<'a> {
     /// Wrap an image for rewriting.
-    pub fn new(img: &'a mut Image) -> Self {
+    pub fn new(img: &'a Image) -> Self {
         Rewriter { img }
     }
 

@@ -1,0 +1,671 @@
+//! `SpecializationManager` — a shared, thread-safe specialization service:
+//! memoized, budgeted, single-flight, observable.
+//!
+//! The paper's cost argument (§V, A6) is that a rewrite is *paid once and
+//! amortized*; its dispatch sketch (§III.D) is that many specialized
+//! variants coexist and are selected at call time. The bare
+//! [`crate::Rewriter`] supports neither: every call re-traces from
+//! scratch, and a guard stub dispatches between exactly two targets. The
+//! manager adds the missing layer:
+//!
+//! - **Sharded variant cache** — rewrites are memoized under
+//!   `(function, request fingerprint)` (see [`SpecRequest::fingerprint`]);
+//!   the cache is split into fingerprint-selected shards, each with its
+//!   own lock, so warm hits from many threads proceed without contending
+//!   (see [`shards`]). A repeated request returns the cached [`Variant`]
+//!   without tracing a single guest instruction.
+//! - **Single-flight rewriting** — concurrent misses on the same key
+//!   coalesce onto one in-progress trace instead of duplicating it: the
+//!   first requester leads, the rest block on the flight and share its
+//!   result (see [`inflight`]). Each distinct fingerprint is traced
+//!   exactly once no matter how many threads race for it.
+//! - **Deferred mode** — inside [`run_deferred`](SpecializationManager::run_deferred),
+//!   [`request`](SpecializationManager::request) answers a miss with the
+//!   *original* entry immediately and queues the rewrite for a bounded
+//!   scoped worker pool; the variant is published for subsequent calls —
+//!   the paper's "delayed step" (§V.C) made literal (see [`worker`]).
+//! - **Cost-aware LRU eviction** — the cache is bounded by a JIT-segment
+//!   byte budget with *global* accounting across shards. When over
+//!   budget, the entry with the highest `staleness x code bytes /
+//!   (hits + 1)` score is dropped first: old, big, cold code goes; hot or
+//!   cheap variants stay. (The JIT segment is a bump allocator, so
+//!   evicted bytes are not reused — eviction bounds the *cache's resident
+//!   set*, and re-specialization allocates fresh space, exactly like
+//!   discarding a JIT code cache generation.)
+//! - **Dispatch stubs** — [`build_dispatcher`](SpecializationManager::build_dispatcher)
+//!   chains every cached, guardable variant of a function into one
+//!   [`crate::guard::make_guard_chain`] stub falling through to the
+//!   original. The stub is emitted fresh at a new address from a snapshot
+//!   of the cache, so rebuilding while other threads publish variants is
+//!   safe — callers swap the returned pointer in whole.
+//! - **Observability** — hits/misses/evictions plus the concurrency
+//!   counters (coalesced, deferred, published) and per-phase rewrite
+//!   timings are aggregated in [`CacheStats`] and streamed to a pluggable
+//!   [`EventSink`], which must be `Send + Sync` because events now come
+//!   from many threads.
+
+mod inflight;
+mod shards;
+mod worker;
+
+use crate::capture::RewriteStats;
+use crate::error::RewriteError;
+use crate::guard::{self, GuardCase};
+use crate::request::SpecRequest;
+use crate::Rewriter;
+use brew_image::{layout, Image};
+use inflight::{InflightTable, Join};
+use shards::ShardedCache;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use worker::{Enqueue, Job, JobQueue};
+
+/// Key of the variant cache: which function, specialized how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Entry address of the original function.
+    pub func: u64,
+    /// [`SpecRequest::fingerprint`] of the request.
+    pub fingerprint: u64,
+}
+
+/// A cached specialization: the rewrite result plus what the dispatcher
+/// needs to guard it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variant {
+    /// Entry address of the original function.
+    pub func: u64,
+    /// Entry address of the specialized code (drop-in replacement).
+    pub entry: u64,
+    /// Emitted code size in bytes.
+    pub code_len: usize,
+    /// Statistics of the producing rewrite.
+    pub stats: RewriteStats,
+    /// Dispatch conditions `(integer parameter index, expected value)`, or
+    /// `None` when the variant can't be guarded by register compares.
+    pub guards: Option<Vec<(usize, i64)>>,
+}
+
+/// Aggregated manager counters; cheap to copy, comparable in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to rewrite (single-flight leaders only).
+    pub misses: u64,
+    /// Requests that subscribed to another thread's in-progress rewrite
+    /// instead of duplicating it.
+    pub coalesced: u64,
+    /// Misses answered with the original entry while the rewrite was
+    /// queued for a background worker.
+    pub deferred: u64,
+    /// Variants published by background workers.
+    pub published: u64,
+    /// Variants evicted under byte-budget pressure.
+    pub evictions: u64,
+    /// Code bytes currently resident in the cache.
+    pub resident_bytes: usize,
+    /// Cumulative guest instructions traced by actual rewrites. Stays
+    /// flat across cache hits and coalesced requests — the "no duplicate
+    /// trace" proof.
+    pub traced_total: u64,
+    /// Cumulative wall-clock nanoseconds spent inside actual rewrites.
+    pub rewrite_ns_total: u64,
+    /// Dispatch stubs built.
+    pub dispatchers_built: u64,
+}
+
+/// One manager event, streamed to the [`EventSink`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A request was answered from the cache.
+    Hit {
+        /// Original function.
+        func: u64,
+        /// Cached specialized entry.
+        entry: u64,
+    },
+    /// A request missed; this thread leads the rewrite (or fails).
+    Miss {
+        /// Original function.
+        func: u64,
+    },
+    /// A request found the same rewrite already in flight on another
+    /// thread and subscribed to its result.
+    Coalesced {
+        /// Original function.
+        func: u64,
+    },
+    /// A miss in deferred mode: the rewrite was queued and the caller was
+    /// answered with the original entry.
+    Deferred {
+        /// Original function.
+        func: u64,
+    },
+    /// A rewrite completed and its variant was inserted.
+    Rewritten {
+        /// Original function.
+        func: u64,
+        /// New specialized entry.
+        entry: u64,
+        /// Emitted code size in bytes.
+        code_len: usize,
+        /// Per-phase timings and counters of the rewrite.
+        stats: RewriteStats,
+    },
+    /// A background worker completed a deferred rewrite; the variant is
+    /// now visible to every subsequent request.
+    Published {
+        /// Original function.
+        func: u64,
+        /// New specialized entry.
+        entry: u64,
+    },
+    /// A variant was evicted under byte-budget pressure.
+    Evicted {
+        /// Original function.
+        func: u64,
+        /// Evicted specialized entry.
+        entry: u64,
+        /// Its code size in bytes.
+        code_len: usize,
+    },
+    /// A dispatch stub over cached variants was emitted.
+    DispatcherBuilt {
+        /// Original function (the fall-through target).
+        func: u64,
+        /// Stub entry address.
+        entry: u64,
+        /// Number of variants chained.
+        variants: usize,
+    },
+}
+
+/// Receiver for manager [`Event`]s — plug in a logger, a metrics counter,
+/// or the `tables` amortization report. Events may arrive concurrently
+/// from many threads; per-thread the stream is ordered, globally it is
+/// only as ordered as the underlying races.
+pub trait EventSink: Send + Sync {
+    /// Called once per event.
+    fn event(&self, ev: &Event);
+}
+
+/// Buffering sink collecting every event; handy in tests and reports.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl RecordingSink {
+    /// Copy of everything received so far.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Drain and return everything received so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().unwrap())
+    }
+}
+
+impl EventSink for RecordingSink {
+    fn event(&self, ev: &Event) {
+        self.events.lock().unwrap().push(ev.clone());
+    }
+}
+
+/// What [`SpecializationManager::request`] answered with.
+#[derive(Debug, Clone)]
+pub enum Dispatch {
+    /// A specialized variant is ready — call [`Variant::entry`].
+    Specialized(Arc<Variant>),
+    /// Call the original function. When `deferred`, the rewrite was queued
+    /// for a background worker and a later request will be specialized.
+    Original {
+        /// Entry address to call now.
+        func: u64,
+        /// Whether a background rewrite is pending for this key.
+        deferred: bool,
+    },
+}
+
+impl Dispatch {
+    /// The entry address the caller should invoke.
+    pub fn entry(&self) -> u64 {
+        match self {
+            Dispatch::Specialized(v) => v.entry,
+            Dispatch::Original { func, .. } => *func,
+        }
+    }
+
+    /// Whether a specialized variant answered the request.
+    pub fn is_specialized(&self) -> bool {
+        matches!(self, Dispatch::Specialized(_))
+    }
+}
+
+/// How a request was ultimately satisfied (internal).
+enum Outcome {
+    Hit,
+    Coalesced,
+    Rewrote,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    deferred: AtomicU64,
+    published: AtomicU64,
+    evictions: AtomicU64,
+    traced_total: AtomicU64,
+    rewrite_ns_total: AtomicU64,
+    dispatchers_built: AtomicU64,
+}
+
+/// The memoizing, thread-safe specialization layer over [`Rewriter`]. All
+/// methods take `&self`; share it across threads by reference (e.g. from
+/// `std::thread::scope`) or in an `Arc`. See the module docs for the
+/// design.
+pub struct SpecializationManager {
+    cache: ShardedCache,
+    inflight: InflightTable,
+    queue: JobQueue,
+    budget_bytes: usize,
+    counters: Counters,
+    sink: RwLock<Option<Box<dyn EventSink>>>,
+}
+
+impl Default for SpecializationManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpecializationManager {
+    /// Manager with the default budget (a quarter of the JIT segment) and
+    /// shard count.
+    pub fn new() -> Self {
+        Self::with_budget((layout::JIT_SIZE / 4) as usize)
+    }
+
+    /// Manager bounded by `budget_bytes` of cached code.
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        Self::with_budget_and_shards(budget_bytes, shards::DEFAULT_SHARDS)
+    }
+
+    /// Manager bounded by `budget_bytes`, with `shards` cache shards
+    /// (rounded up to a power of two).
+    pub fn with_budget_and_shards(budget_bytes: usize, shards: usize) -> Self {
+        SpecializationManager {
+            cache: ShardedCache::new(shards),
+            inflight: InflightTable::default(),
+            queue: JobQueue::new(),
+            budget_bytes,
+            counters: Counters::default(),
+            sink: RwLock::new(None),
+        }
+    }
+
+    /// Attach an event sink (replacing any previous one).
+    pub fn set_sink(&self, sink: Box<dyn EventSink>) {
+        *self.sink.write().unwrap() = Some(sink);
+    }
+
+    /// Detach and return the current sink.
+    pub fn take_sink(&self) -> Option<Box<dyn EventSink>> {
+        self.sink.write().unwrap().take()
+    }
+
+    /// Aggregated counters (a consistent-enough snapshot: each field is
+    /// individually exact, cross-field skew is bounded by in-flight
+    /// requests).
+    pub fn stats(&self) -> CacheStats {
+        let c = &self.counters;
+        CacheStats {
+            hits: c.hits.load(Ordering::Acquire),
+            misses: c.misses.load(Ordering::Acquire),
+            coalesced: c.coalesced.load(Ordering::Acquire),
+            deferred: c.deferred.load(Ordering::Acquire),
+            published: c.published.load(Ordering::Acquire),
+            evictions: c.evictions.load(Ordering::Acquire),
+            resident_bytes: self.cache.resident_bytes(),
+            traced_total: c.traced_total.load(Ordering::Acquire),
+            rewrite_ns_total: c.rewrite_ns_total.load(Ordering::Acquire),
+            dispatchers_built: c.dispatchers_built.load(Ordering::Acquire),
+        }
+    }
+
+    /// The configured cache byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Number of cached variants.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.len() == 0
+    }
+
+    /// Drop every cached variant (counters are kept).
+    pub fn clear(&self) {
+        self.cache.clear();
+    }
+
+    fn emit(&self, ev: Event) {
+        if let Some(sink) = self.sink.read().unwrap().as_ref() {
+            sink.event(&ev);
+        }
+    }
+
+    fn note_hit(&self, func: u64, v: &Arc<Variant>) {
+        self.counters.hits.fetch_add(1, Ordering::AcqRel);
+        self.emit(Event::Hit {
+            func,
+            entry: v.entry,
+        });
+    }
+
+    /// The synchronous memoized entry point: return the cached variant
+    /// for `(func, req)` or rewrite, insert and return it. A cache hit
+    /// costs one shard-lock hash lookup — no decoding, tracing, passes or
+    /// encoding. Concurrent misses on the same key coalesce onto a single
+    /// rewrite.
+    pub fn get_or_rewrite(
+        &self,
+        img: &Image,
+        func: u64,
+        req: &SpecRequest,
+    ) -> Result<Arc<Variant>, RewriteError> {
+        self.obtain(img, func, req).map(|(v, _)| v)
+    }
+
+    /// [`get_or_rewrite`](Self::get_or_rewrite) addressing the function by
+    /// its image symbol.
+    pub fn get_or_rewrite_named(
+        &self,
+        img: &Image,
+        name: &str,
+        req: &SpecRequest,
+    ) -> Result<Arc<Variant>, RewriteError> {
+        let func = img
+            .lookup(name)
+            .ok_or_else(|| RewriteError::BadConfig(format!("unknown symbol `{name}`")))?;
+        self.get_or_rewrite(img, func, req)
+    }
+
+    /// The non-blocking entry point: a hit answers with the specialized
+    /// variant; a miss inside [`run_deferred`](Self::run_deferred) queues
+    /// the rewrite and answers with the *original* entry immediately;
+    /// a miss outside any deferred scope falls back to the synchronous
+    /// [`get_or_rewrite`](Self::get_or_rewrite) path.
+    pub fn request(
+        &self,
+        img: &Image,
+        func: u64,
+        req: &SpecRequest,
+    ) -> Result<Dispatch, RewriteError> {
+        let key = CacheKey {
+            func,
+            fingerprint: req.fingerprint(),
+        };
+        if let Some(v) = self.cache.lookup(&key) {
+            self.note_hit(func, &v);
+            return Ok(Dispatch::Specialized(v));
+        }
+        match self.queue.push(Job {
+            key,
+            func,
+            req: req.clone(),
+        }) {
+            Enqueue::Queued => {
+                self.counters.deferred.fetch_add(1, Ordering::AcqRel);
+                self.emit(Event::Deferred { func });
+                Ok(Dispatch::Original {
+                    func,
+                    deferred: true,
+                })
+            }
+            Enqueue::AlreadyQueued => Ok(Dispatch::Original {
+                func,
+                deferred: true,
+            }),
+            Enqueue::Closed => self
+                .obtain(img, func, req)
+                .map(|(v, _)| Dispatch::Specialized(v)),
+        }
+    }
+
+    /// Run `f` with `workers` background rewrite threads attached (scoped,
+    /// bounded; no detached threads survive this call). While active,
+    /// [`request`](Self::request) defers misses to the pool. On exit the
+    /// queue closes and the workers drain it, so every rewrite queued
+    /// inside `f` is published before `run_deferred` returns.
+    pub fn run_deferred<R>(&self, img: &Image, workers: usize, f: impl FnOnce() -> R) -> R {
+        let workers = workers.max(1);
+        self.queue.open();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| self.drain_jobs(img));
+            }
+            let r = f();
+            self.queue.close();
+            r
+        })
+    }
+
+    /// Worker loop: pop jobs until the queue is closed and drained. Jobs
+    /// go through the ordinary single-flight path, so a synchronous
+    /// caller racing a worker coalesces rather than double-tracing.
+    fn drain_jobs(&self, img: &Image) {
+        while let Some(job) = self.queue.pop() {
+            // A failed deferred rewrite is dropped silently here — the
+            // Miss event already fired, and later synchronous requests
+            // for the key will surface the error to a caller.
+            if let Ok((v, Outcome::Rewrote)) = self.obtain(img, job.func, &job.req) {
+                self.counters.published.fetch_add(1, Ordering::AcqRel);
+                self.emit(Event::Published {
+                    func: job.func,
+                    entry: v.entry,
+                });
+            }
+        }
+    }
+
+    /// Cache lookup, then single-flight rewrite: leader traces, followers
+    /// subscribe.
+    fn obtain(
+        &self,
+        img: &Image,
+        func: u64,
+        req: &SpecRequest,
+    ) -> Result<(Arc<Variant>, Outcome), RewriteError> {
+        let key = CacheKey {
+            func,
+            fingerprint: req.fingerprint(),
+        };
+        if let Some(v) = self.cache.lookup(&key) {
+            self.note_hit(func, &v);
+            return Ok((v, Outcome::Hit));
+        }
+        match self.inflight.join(key) {
+            Join::Follower(flight) => {
+                self.counters.coalesced.fetch_add(1, Ordering::AcqRel);
+                self.emit(Event::Coalesced { func });
+                flight.wait().map(|v| (v, Outcome::Coalesced))
+            }
+            Join::Leader(lease) => {
+                // Double-check under the lease: a previous leader may have
+                // published between our miss and winning the flight.
+                if let Some(v) = self.cache.lookup(&key) {
+                    self.note_hit(func, &v);
+                    lease.resolve(Ok(Arc::clone(&v)));
+                    return Ok((v, Outcome::Hit));
+                }
+                self.counters.misses.fetch_add(1, Ordering::AcqRel);
+                self.emit(Event::Miss { func });
+                match Rewriter::new(img).rewrite(func, req) {
+                    Ok(res) => {
+                        self.counters
+                            .traced_total
+                            .fetch_add(res.stats.traced, Ordering::AcqRel);
+                        self.counters
+                            .rewrite_ns_total
+                            .fetch_add(res.stats.total_ns(), Ordering::AcqRel);
+                        self.emit(Event::Rewritten {
+                            func,
+                            entry: res.entry,
+                            code_len: res.code_len,
+                            stats: res.stats,
+                        });
+                        let variant = Arc::new(Variant {
+                            func,
+                            entry: res.entry,
+                            code_len: res.code_len,
+                            stats: res.stats,
+                            guards: req.guard_conditions(),
+                        });
+                        // Publish to the cache *before* resolving the
+                        // flight: anyone past the flight sees the cache.
+                        self.cache.insert(key, Arc::clone(&variant));
+                        self.evict_to_budget(key);
+                        lease.resolve(Ok(Arc::clone(&variant)));
+                        Ok((variant, Outcome::Rewrote))
+                    }
+                    Err(e) => {
+                        lease.resolve(Err(e.clone()));
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evict highest-score entries until the budget holds. `keep` (the
+    /// entry just inserted) is never evicted: a single oversized variant
+    /// may transiently exceed the budget rather than thrash.
+    fn evict_to_budget(&self, keep: CacheKey) {
+        while self.cache.resident_bytes() > self.budget_bytes && self.cache.len() > 1 {
+            let Some(v) = self.cache.evict_victim(keep) else {
+                break;
+            };
+            self.counters.evictions.fetch_add(1, Ordering::AcqRel);
+            self.emit(Event::Evicted {
+                func: v.func,
+                entry: v.entry,
+                code_len: v.code_len,
+            });
+        }
+    }
+
+    /// Cached variants of `func`, hottest (most hits, then most recent)
+    /// first — the order the dispatcher tests them in.
+    pub fn variants_of(&self, func: u64) -> Vec<Arc<Variant>> {
+        let mut entries = self.cache.snapshot_func(func);
+        entries.sort_by(|(ah, al, af, _), (bh, bl, bf, _)| (bh, bl, af).cmp(&(ah, al, bf)));
+        entries.into_iter().map(|(_, _, _, v)| v).collect()
+    }
+
+    /// Emit a guarded dispatch stub over every cached *guardable* variant
+    /// of `func` (§III.D, generalized to N variants and multi-parameter
+    /// conjunctions). The stub tail-jumps to the first variant whose
+    /// guarded parameters all match and falls through to `original`
+    /// otherwise — callers use it as a drop-in replacement. Variants whose
+    /// known parameters can't be register-compared (known doubles) are
+    /// skipped; with no eligible variant the stub degenerates to a
+    /// trampoline onto the original.
+    ///
+    /// The chain is built from a snapshot of the cache and emitted at a
+    /// fresh JIT address, so concurrent publication of new variants never
+    /// corrupts an existing stub — rebuild and swap the pointer to pick
+    /// them up.
+    pub fn build_dispatcher(
+        &self,
+        img: &Image,
+        func: u64,
+        original: u64,
+    ) -> Result<u64, RewriteError> {
+        let cases: Vec<GuardCase> = self
+            .variants_of(func)
+            .iter()
+            .filter_map(|v| {
+                v.guards.as_ref().map(|g| GuardCase {
+                    conds: g.clone(),
+                    target: v.entry,
+                })
+            })
+            .collect();
+        let entry = guard::make_guard_chain(img, &cases, original)?;
+        self.counters
+            .dispatchers_built
+            .fetch_add(1, Ordering::AcqRel);
+        self.emit(Event::DispatcherBuilt {
+            func,
+            entry,
+            variants: cases.len(),
+        });
+        Ok(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn insert_dummy(m: &SpecializationManager, func: u64, entry: u64, hits: u64) {
+        let key = CacheKey {
+            func,
+            fingerprint: entry,
+        };
+        m.cache.insert(
+            key,
+            Arc::new(Variant {
+                func,
+                entry,
+                code_len: 16,
+                stats: RewriteStats::default(),
+                guards: None,
+            }),
+        );
+        for _ in 0..hits {
+            m.cache.lookup(&key);
+        }
+    }
+
+    #[test]
+    fn variants_of_orders_hot_first() {
+        let m = SpecializationManager::new();
+        for (entry, hits) in [(100u64, 1u64), (200, 5), (300, 3)] {
+            insert_dummy(&m, 7, entry, hits);
+        }
+        let order: Vec<u64> = m.variants_of(7).iter().map(|v| v.entry).collect();
+        assert_eq!(order, vec![200, 300, 100]);
+        assert!(m.variants_of(8).is_empty());
+    }
+
+    #[test]
+    fn manager_is_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SpecializationManager>();
+    }
+
+    #[test]
+    fn eviction_never_picks_the_kept_key() {
+        let m = SpecializationManager::with_budget(16);
+        insert_dummy(&m, 1, 100, 0);
+        insert_dummy(&m, 1, 200, 0);
+        let keep = CacheKey {
+            func: 1,
+            fingerprint: 200,
+        };
+        m.evict_to_budget(keep);
+        let left: Vec<u64> = m.variants_of(1).iter().map(|v| v.entry).collect();
+        assert_eq!(left, vec![200]);
+        assert_eq!(m.stats().evictions, 1);
+    }
+}

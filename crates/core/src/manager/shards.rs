@@ -1,0 +1,243 @@
+//! Fingerprint-sharded variant cache with global byte accounting.
+//!
+//! The cache is split into `N` shards (a power of two), each guarding its
+//! own `HashMap` with its own mutex; a key lives in the shard selected by
+//! the low bits of its request fingerprint (FNV-1a output, so the bits are
+//! well mixed). Hot warm-hit traffic on distinct fingerprints therefore
+//! never contends on a common lock — the property `tables --exp conc`
+//! measures. Resident bytes, entry count and the logical clock are global
+//! atomics so the byte budget stays a single whole-cache bound rather than
+//! `N` independent ones.
+
+use super::{CacheKey, Variant};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default shard count; enough that 8-16 threads rarely collide.
+pub(super) const DEFAULT_SHARDS: usize = 8;
+
+pub(super) struct CacheEntry {
+    pub variant: Arc<Variant>,
+    pub key: CacheKey,
+    pub last_used: u64,
+    pub hits: u64,
+}
+
+impl CacheEntry {
+    /// Eviction score at `now`: bigger means more evictable. Stale, large,
+    /// rarely-hit variants score high; the just-used entry scores 0.
+    pub fn score(&self, now: u64) -> u128 {
+        let staleness = now.saturating_sub(self.last_used) as u128;
+        staleness * self.variant.code_len as u128 / (self.hits as u128 + 1)
+    }
+}
+
+pub(super) struct ShardedCache {
+    shards: Vec<Mutex<HashMap<CacheKey, CacheEntry>>>,
+    /// Power-of-two mask selecting a shard from a fingerprint.
+    mask: usize,
+    /// Code bytes resident across all shards.
+    resident: AtomicUsize,
+    /// Entries across all shards.
+    count: AtomicUsize,
+    /// Logical clock; every lookup/insert advances it.
+    tick: AtomicU64,
+}
+
+impl ShardedCache {
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: n - 1,
+            resident: AtomicUsize::new(0),
+            count: AtomicUsize::new(0),
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, CacheEntry>> {
+        &self.shards[key.fingerprint as usize & self.mask]
+    }
+
+    fn now(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub fn resident_bytes(&self) -> usize {
+        self.resident.load(Ordering::Acquire)
+    }
+
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Fetch a variant, bumping its recency and hit count.
+    pub fn lookup(&self, key: &CacheKey) -> Option<Arc<Variant>> {
+        let now = self.now();
+        let mut s = self.shard(key).lock().unwrap();
+        let e = s.get_mut(key)?;
+        e.last_used = now;
+        e.hits += 1;
+        Some(Arc::clone(&e.variant))
+    }
+
+    /// Insert (or replace) a variant; byte accounting is adjusted globally.
+    pub fn insert(&self, key: CacheKey, variant: Arc<Variant>) {
+        let now = self.now();
+        let code_len = variant.code_len;
+        let prev = self.shard(&key).lock().unwrap().insert(
+            key,
+            CacheEntry {
+                variant,
+                key,
+                last_used: now,
+                hits: 0,
+            },
+        );
+        self.resident.fetch_add(code_len, Ordering::AcqRel);
+        match prev {
+            Some(p) => {
+                self.resident
+                    .fetch_sub(p.variant.code_len, Ordering::AcqRel);
+            }
+            None => {
+                self.count.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Remove and return the globally highest-score entry other than
+    /// `keep`. Shards are scanned and locked one at a time (never nested),
+    /// so a concurrent hit may rescue a candidate between scoring and
+    /// removal — in that case the next round picks a new victim.
+    pub fn evict_victim(&self, keep: CacheKey) -> Option<Arc<Variant>> {
+        let now = self.tick.load(Ordering::Relaxed);
+        let mut best: Option<(u128, std::cmp::Reverse<u64>, CacheKey)> = None;
+        for shard in &self.shards {
+            let s = shard.lock().unwrap();
+            for e in s.values() {
+                if e.key == keep {
+                    continue;
+                }
+                let cand = (e.score(now), std::cmp::Reverse(e.key.fingerprint), e.key);
+                if best.as_ref().is_none_or(|b| (cand.0, cand.1) > (b.0, b.1)) {
+                    best = Some(cand);
+                }
+            }
+        }
+        let (_, _, victim) = best?;
+        let e = self.shard(&victim).lock().unwrap().remove(&victim)?;
+        self.resident
+            .fetch_sub(e.variant.code_len, Ordering::AcqRel);
+        self.count.fetch_sub(1, Ordering::AcqRel);
+        Some(e.variant)
+    }
+
+    /// Drop every entry and reset byte accounting.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().unwrap();
+            for (_, e) in s.drain() {
+                self.resident
+                    .fetch_sub(e.variant.code_len, Ordering::AcqRel);
+                self.count.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Snapshot `(hits, last_used, fingerprint, variant)` of every cached
+    /// variant of `func`, unordered — the manager sorts.
+    pub fn snapshot_func(&self, func: u64) -> Vec<(u64, u64, u64, Arc<Variant>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let s = shard.lock().unwrap();
+            for e in s.values() {
+                if e.variant.func == func {
+                    out.push((
+                        e.hits,
+                        e.last_used,
+                        e.key.fingerprint,
+                        Arc::clone(&e.variant),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::RewriteStats;
+
+    fn dummy_entry(func: u64, entry: u64, code_len: usize) -> CacheEntry {
+        CacheEntry {
+            variant: Arc::new(Variant {
+                func,
+                entry,
+                code_len,
+                stats: RewriteStats::default(),
+                guards: None,
+            }),
+            key: CacheKey {
+                func,
+                fingerprint: entry,
+            },
+            last_used: 0,
+            hits: 0,
+        }
+    }
+
+    #[test]
+    fn score_prefers_stale_large_cold() {
+        let mut hot = dummy_entry(1, 10, 100);
+        hot.last_used = 9;
+        hot.hits = 9;
+        let mut cold = dummy_entry(1, 20, 100);
+        cold.last_used = 1;
+        cold.hits = 0;
+        assert!(cold.score(10) > hot.score(10));
+
+        let small = dummy_entry(1, 30, 10);
+        let big = dummy_entry(1, 40, 10_000);
+        assert!(big.score(5) > small.score(5));
+    }
+
+    #[test]
+    fn accounting_tracks_insert_evict_clear() {
+        let c = ShardedCache::new(4);
+        for e in [10u64, 20, 30] {
+            let d = dummy_entry(1, e, 100);
+            c.insert(d.key, d.variant);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.resident_bytes(), 300);
+
+        let keep = CacheKey {
+            func: 1,
+            fingerprint: 30,
+        };
+        let v = c.evict_victim(keep).unwrap();
+        assert_ne!(v.entry, 30, "`keep` is never the victim");
+        assert_eq!(c.resident_bytes(), 200);
+
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_same_key_replaces_bytes() {
+        let c = ShardedCache::new(4);
+        let d = dummy_entry(1, 10, 100);
+        let key = d.key;
+        c.insert(key, d.variant);
+        let d2 = dummy_entry(1, 10, 40);
+        c.insert(key, d2.variant);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.resident_bytes(), 40);
+    }
+}

@@ -1,0 +1,156 @@
+//! Deferred-mode job queue for the background rewrite workers.
+//!
+//! In deferred mode a cache miss does not rewrite on the caller's thread:
+//! [`super::SpecializationManager::request`] pushes a [`Job`] here and
+//! returns the original entry immediately — the paper's "delayed step"
+//! (§V.C) made literal. A bounded pool of scoped worker threads pops jobs
+//! and performs the rewrite through the ordinary single-flight path, so a
+//! synchronous caller racing a worker still coalesces instead of tracing
+//! twice.
+//!
+//! The queue dedupes at enqueue time (`queued` set): a hot fingerprint
+//! requested from eight threads costs one job, not eight. Closing the
+//! queue wakes every worker; workers drain whatever is left before
+//! exiting, which is why `run_deferred` guarantees every queued variant is
+//! published by the time it returns.
+
+use super::CacheKey;
+use crate::request::SpecRequest;
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// A queued rewrite: everything a worker needs to reproduce the request.
+pub(super) struct Job {
+    pub key: CacheKey,
+    pub func: u64,
+    pub req: SpecRequest,
+}
+
+/// Outcome of an enqueue attempt.
+pub(super) enum Enqueue {
+    /// Freshly queued; a worker will pick it up.
+    Queued,
+    /// Identical job already waiting — deduped.
+    AlreadyQueued,
+    /// Queue closed (no deferred scope active); caller must rewrite
+    /// synchronously.
+    Closed,
+}
+
+struct QState {
+    jobs: VecDeque<Job>,
+    queued: HashSet<CacheKey>,
+    open: bool,
+}
+
+pub(super) struct JobQueue {
+    state: Mutex<QState>,
+    cv: Condvar,
+}
+
+impl JobQueue {
+    pub fn new() -> Self {
+        JobQueue {
+            state: Mutex::new(QState {
+                jobs: VecDeque::new(),
+                queued: HashSet::new(),
+                open: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub fn open(&self) {
+        self.state.lock().unwrap().open = true;
+    }
+
+    /// Stop accepting jobs and wake every worker so it can drain and exit.
+    pub fn close(&self) {
+        self.state.lock().unwrap().open = false;
+        self.cv.notify_all();
+    }
+
+    pub fn push(&self, job: Job) -> Enqueue {
+        let mut s = self.state.lock().unwrap();
+        if !s.open {
+            return Enqueue::Closed;
+        }
+        if !s.queued.insert(job.key) {
+            return Enqueue::AlreadyQueued;
+        }
+        s.jobs.push_back(job);
+        drop(s);
+        self.cv.notify_one();
+        Enqueue::Queued
+    }
+
+    /// Blocking pop: waits while the queue is open and empty; returns
+    /// `None` once it is closed *and* drained.
+    pub fn pop(&self) -> Option<Job> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = s.jobs.pop_front() {
+                s.queued.remove(&job.key);
+                return Some(job);
+            }
+            if !s.open {
+                return None;
+            }
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::SpecRequest;
+
+    fn job(fp: u64) -> Job {
+        Job {
+            key: CacheKey {
+                func: 1,
+                fingerprint: fp,
+            },
+            func: 1,
+            req: SpecRequest::new(),
+        }
+    }
+
+    #[test]
+    fn closed_queue_rejects_and_open_dedupes() {
+        let q = JobQueue::new();
+        assert!(matches!(q.push(job(1)), Enqueue::Closed));
+        q.open();
+        assert!(matches!(q.push(job(1)), Enqueue::Queued));
+        assert!(matches!(q.push(job(1)), Enqueue::AlreadyQueued));
+        assert!(matches!(q.push(job(2)), Enqueue::Queued));
+        // Popping releases the dedupe slot.
+        assert_eq!(q.pop().unwrap().key.fingerprint, 1);
+        assert!(matches!(q.push(job(1)), Enqueue::Queued));
+    }
+
+    #[test]
+    fn workers_drain_after_close() {
+        let q = JobQueue::new();
+        q.open();
+        q.push(job(1));
+        q.push(job(2));
+        q.close();
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none(), "closed and drained");
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push() {
+        let q = JobQueue::new();
+        q.open();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| q.pop());
+            q.push(job(5));
+            assert_eq!(h.join().unwrap().unwrap().key.fingerprint, 5);
+            q.close();
+        });
+    }
+}

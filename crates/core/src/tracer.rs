@@ -33,7 +33,7 @@ pub(crate) struct TraceCtx {
 /// The tracer: owns the image (for code + known-memory reads and literal
 /// pool allocation) for the duration of one rewrite.
 pub struct Tracer<'a> {
-    pub(crate) img: &'a mut Image,
+    pub(crate) img: &'a Image,
     pub(crate) cfg: &'a RewriteConfig,
     /// Known-memory ranges: config ranges + `PTR_TO_KNOWN` ranges.
     pub(crate) known_mem: Vec<Range<u64>>,
@@ -53,11 +53,7 @@ pub struct Tracer<'a> {
 }
 
 impl<'a> Tracer<'a> {
-    pub(crate) fn new(
-        img: &'a mut Image,
-        cfg: &'a RewriteConfig,
-        known_mem: Vec<Range<u64>>,
-    ) -> Self {
+    pub(crate) fn new(img: &'a Image, cfg: &'a RewriteConfig, known_mem: Vec<Range<u64>>) -> Self {
         Tracer {
             img,
             cfg,

@@ -1,0 +1,219 @@
+//! Stress tests for the shared `SpecializationManager`: single-flight
+//! exactly-once tracing, budget enforcement under concurrent eviction,
+//! correct dispatch of concurrently produced variants, and deferred-mode
+//! publication. Every assertion is an invariant or a quiescent-state
+//! check — nothing here depends on thread timing.
+
+use brew_core::{Dispatch, Event, EventSink, RetKind, SpecRequest, SpecializationManager};
+use brew_emu::{CallArgs, Machine};
+use brew_image::Image;
+use std::sync::{Arc, Mutex};
+
+const PROG: &str = r#"
+    int poly(int x, int n) {
+        int r = 1;
+        for (int i = 0; i < n; i++) r *= x;
+        return r;
+    }
+"#;
+
+const THREADS: usize = 8;
+/// Skewed mix: n=2 dominates, the tail is cold — eight distinct
+/// fingerprints with very different temperatures.
+const MIX: [i64; 16] = [2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 5, 6];
+const DISTINCT: usize = 5; // |{2,3,4,5,6}|
+const ROUNDS: usize = 100;
+
+fn setup() -> (Image, u64) {
+    let img = Image::new();
+    let prog = brew_minic::compile_into(PROG, &img).unwrap();
+    let poly = prog.func("poly").unwrap();
+    (img, poly)
+}
+
+fn poly_req(n: i64) -> SpecRequest {
+    SpecRequest::new()
+        .unknown_int()
+        .known_int(n)
+        .ret(RetKind::Int)
+}
+
+/// Deterministic per-thread request sequence over the skewed mix.
+fn nth_request(tid: usize, i: usize) -> i64 {
+    MIX[(tid * 7 + i * 13) % MIX.len()]
+}
+
+/// A per-thread emulator whose stack occupies a private 256 KiB slice of
+/// the shared image's stack segment, so threads never clobber each other.
+fn thread_machine(img: &Image, tid: usize) -> Machine<'_> {
+    let mut m = Machine::new();
+    m.set_stack_top(img.stack_top() - (tid as u64) * 0x4_0000);
+    m
+}
+
+struct SharedSink(Arc<Mutex<Vec<Event>>>);
+
+impl EventSink for SharedSink {
+    fn event(&self, ev: &Event) {
+        self.0.lock().unwrap().push(ev.clone());
+    }
+}
+
+/// The headline single-flight property: 8 threads hammer a skewed mix,
+/// yet each distinct fingerprint is traced exactly once, every returned
+/// pointer dispatches to a correct specialized body, and the resident
+/// set never exceeds the (ample) budget.
+#[test]
+fn skewed_mix_traces_each_fingerprint_exactly_once() {
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
+    let events = Arc::new(Mutex::new(Vec::new()));
+    mgr.set_sink(Box::new(SharedSink(Arc::clone(&events))));
+    let budget = mgr.budget_bytes();
+
+    std::thread::scope(|s| {
+        for tid in 0..THREADS {
+            let (mgr, img) = (&mgr, &img);
+            s.spawn(move || {
+                let mut m = thread_machine(img, tid);
+                for i in 0..ROUNDS {
+                    let n = nth_request(tid, i);
+                    let v = mgr.get_or_rewrite(img, poly, &poly_req(n)).unwrap();
+                    assert!(
+                        mgr.stats().resident_bytes <= budget,
+                        "resident set exceeded the budget mid-run"
+                    );
+                    // The returned pointer dispatches correctly right now,
+                    // on this thread, whether we traced it or raced it.
+                    let out = m
+                        .call(img, v.entry, &CallArgs::new().int(3).int(n))
+                        .unwrap();
+                    assert_eq!(out.ret_int, 3u64.pow(n as u32), "3^{n} via variant");
+                }
+            });
+        }
+    });
+
+    let st = mgr.stats();
+    assert_eq!(st.misses, DISTINCT as u64, "one trace per fingerprint");
+    assert_eq!(
+        st.hits + st.coalesced + st.misses,
+        (THREADS * ROUNDS) as u64,
+        "every request accounted for"
+    );
+    let evs = events.lock().unwrap();
+    let rewrites = evs
+        .iter()
+        .filter(|e| matches!(e, Event::Rewritten { .. }))
+        .count();
+    assert_eq!(rewrites, DISTINCT, "no duplicate trace slipped through");
+    assert_eq!(mgr.len(), DISTINCT);
+    assert!(st.resident_bytes <= budget);
+}
+
+/// Budget enforcement stays global when eviction races across shards:
+/// after quiescence the resident set fits the budget, evictions actually
+/// happened, and the cache still answers correctly.
+#[test]
+fn concurrent_eviction_respects_global_budget() {
+    let (img, poly) = setup();
+    let probe = SpecializationManager::new()
+        .get_or_rewrite(&img, poly, &poly_req(2))
+        .unwrap()
+        .code_len;
+    let budget = probe * 3 + probe / 2;
+    let mgr = SpecializationManager::with_budget(budget);
+
+    std::thread::scope(|s| {
+        for tid in 0..THREADS {
+            let (mgr, img) = (&mgr, &img);
+            s.spawn(move || {
+                for i in 0..40 {
+                    // 16 distinct fingerprints against a ~3.5-variant
+                    // budget: constant pressure from every thread.
+                    let n = 2 + ((tid + i * 5) % 16) as i64;
+                    mgr.get_or_rewrite(img, poly, &poly_req(n)).unwrap();
+                }
+            });
+        }
+    });
+
+    let st = mgr.stats();
+    assert!(st.evictions > 0, "pressure must evict: {st:?}");
+    assert!(
+        st.resident_bytes <= budget,
+        "quiescent resident {} exceeds budget {budget}",
+        st.resident_bytes
+    );
+    // The cache still works: a fresh request round-trips correctly.
+    let v = mgr.get_or_rewrite(&img, poly, &poly_req(4)).unwrap();
+    let out = Machine::new()
+        .call(&img, v.entry, &CallArgs::new().int(5).int(4))
+        .unwrap();
+    assert_eq!(out.ret_int, 625);
+}
+
+/// Deferred mode: `request` answers misses with the original entry (which
+/// must keep working), background workers rewrite, and by the time
+/// `run_deferred` returns every hot fingerprint has a published variant.
+#[test]
+fn deferred_mode_eventually_publishes_every_hot_variant() {
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
+
+    mgr.run_deferred(&img, 4, || {
+        std::thread::scope(|s| {
+            for tid in 0..THREADS {
+                let (mgr, img) = (&mgr, &img);
+                s.spawn(move || {
+                    let mut m = thread_machine(img, tid);
+                    for i in 0..ROUNDS {
+                        let n = nth_request(tid, i);
+                        let d = mgr.request(img, poly, &poly_req(n)).unwrap();
+                        if let Dispatch::Original { deferred, .. } = &d {
+                            assert!(deferred, "miss inside the scope must defer");
+                        }
+                        // Whatever we were handed — original or variant —
+                        // it computes poly correctly.
+                        let out = m
+                            .call(img, d.entry(), &CallArgs::new().int(2).int(n))
+                            .unwrap();
+                        assert_eq!(out.ret_int, 1u64 << n, "2^{n} via {d:?}");
+                    }
+                });
+            }
+        });
+    });
+
+    // The scope drained its queue: every hot fingerprint is resident.
+    assert_eq!(mgr.len(), DISTINCT, "all hot variants published");
+    let st = mgr.stats();
+    assert_eq!(st.misses, DISTINCT as u64, "workers traced each key once");
+    assert_eq!(st.published, DISTINCT as u64, "each publish reported once");
+    assert!(st.deferred >= DISTINCT as u64, "first requests deferred");
+
+    // Post-scope requests are plain hits on correct variants.
+    let misses_before = mgr.stats().misses;
+    let mut m = Machine::new();
+    for n in [2i64, 3, 4, 5, 6] {
+        let d = mgr.request(&img, poly, &poly_req(n)).unwrap();
+        assert!(d.is_specialized(), "published variant answers n={n}");
+        let out = m
+            .call(&img, d.entry(), &CallArgs::new().int(2).int(n))
+            .unwrap();
+        assert_eq!(out.ret_int, 1u64 << n);
+    }
+    assert_eq!(mgr.stats().misses, misses_before, "no re-trace after scope");
+}
+
+/// Outside any deferred scope `request` degrades to the synchronous
+/// single-flight path and reports a specialized dispatch immediately.
+#[test]
+fn request_outside_deferred_scope_is_synchronous() {
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
+    let d = mgr.request(&img, poly, &poly_req(3)).unwrap();
+    assert!(d.is_specialized());
+    assert_eq!(mgr.stats().misses, 1);
+    assert_eq!(mgr.stats().deferred, 0);
+}

@@ -21,8 +21,8 @@ const PROG: &str = r#"
 "#;
 
 fn setup() -> (Image, brew_minic::Compiled) {
-    let mut img = Image::new();
-    let prog = brew_minic::compile_into(PROG, &mut img).unwrap();
+    let img = Image::new();
+    let prog = brew_minic::compile_into(PROG, &img).unwrap();
     (img, prog)
 }
 
@@ -32,7 +32,7 @@ fn counter(img: &Image, prog: &brew_minic::Compiled, name: &str) -> u64 {
 
 #[test]
 fn entry_and_exit_hooks_fire_once_per_call() {
-    let (mut img, prog) = setup();
+    let (img, prog) = setup();
     let sum = prog.func("sum").unwrap();
     let req = SpecRequest::new()
         .unknown_int() // p
@@ -43,7 +43,7 @@ fn entry_and_exit_hooks_fire_once_per_call() {
         // Don't inline the handlers into the instrumented code's own trace.
         .func(prog.func("on_entry").unwrap(), |o| o.inline = false)
         .func(prog.func("on_exit").unwrap(), |o| o.inline = false);
-    let res = Rewriter::new(&mut img).rewrite(sum, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(sum, &req).unwrap();
     assert!(res.stats.hooks_injected >= 2);
 
     let p = img.alloc_heap(4 * 8, 8);
@@ -53,7 +53,7 @@ fn entry_and_exit_hooks_fire_once_per_call() {
     let mut m = Machine::new();
     for _ in 0..3 {
         let out = m
-            .call(&mut img, res.entry, &CallArgs::new().ptr(p).int(4))
+            .call(&img, res.entry, &CallArgs::new().ptr(p).int(4))
             .unwrap();
         assert_eq!(out.ret_int, 10, "instrumentation must not change results");
     }
@@ -68,19 +68,17 @@ fn exit_hook_receives_original_function_address() {
         void on_exit(int f) { last_fn = f; }
         int id(int x) { return x; }
     "#;
-    let mut img = Image::new();
-    let prog = brew_minic::compile_into(src, &mut img).unwrap();
+    let img = Image::new();
+    let prog = brew_minic::compile_into(src, &img).unwrap();
     let id = prog.func("id").unwrap();
     let req = SpecRequest::new()
         .unknown_int()
         .ret(RetKind::Int)
         .exit_hook(prog.func("on_exit").unwrap())
         .func(prog.func("on_exit").unwrap(), |o| o.inline = false);
-    let res = Rewriter::new(&mut img).rewrite(id, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(id, &req).unwrap();
     let mut m = Machine::new();
-    let out = m
-        .call(&mut img, res.entry, &CallArgs::new().int(7))
-        .unwrap();
+    let out = m.call(&img, res.entry, &CallArgs::new().int(7)).unwrap();
     assert_eq!(out.ret_int, 7, "return value preserved across the hook");
     assert_eq!(
         img.read_u64(prog.global("last_fn").unwrap()).unwrap(),
@@ -91,7 +89,7 @@ fn exit_hook_receives_original_function_address() {
 
 #[test]
 fn memory_hook_counts_unknown_accesses() {
-    let (mut img, prog) = setup();
+    let (img, prog) = setup();
     let sum = prog.func("sum").unwrap();
     let req = SpecRequest::new()
         .unknown_int() // p
@@ -99,7 +97,7 @@ fn memory_hook_counts_unknown_accesses() {
         .ret(RetKind::Int)
         .mem_access_hook(prog.func("on_access").unwrap())
         .func(prog.func("on_access").unwrap(), |o| o.inline = false);
-    let res = Rewriter::new(&mut img).rewrite(sum, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(sum, &req).unwrap();
     assert!(res.stats.hooks_injected > 0);
 
     let p = img.alloc_heap(3 * 8, 8);
@@ -108,7 +106,7 @@ fn memory_hook_counts_unknown_accesses() {
     }
     let mut m = Machine::new();
     let out = m
-        .call(&mut img, res.entry, &CallArgs::new().ptr(p).int(3))
+        .call(&img, res.entry, &CallArgs::new().ptr(p).int(3))
         .unwrap();
     assert_eq!(out.ret_int, 15);
     // One hooked access per element (the p[i] loads; the loop was fully
@@ -118,7 +116,7 @@ fn memory_hook_counts_unknown_accesses() {
 
 #[test]
 fn all_three_hooks_compose() {
-    let (mut img, prog) = setup();
+    let (img, prog) = setup();
     let sum = prog.func("sum").unwrap();
     let mut req = SpecRequest::new()
         .unknown_int() // p
@@ -130,13 +128,13 @@ fn all_three_hooks_compose() {
     for h in ["on_entry", "on_exit", "on_access"] {
         req = req.func(prog.func(h).unwrap(), |o| o.inline = false);
     }
-    let res = Rewriter::new(&mut img).rewrite(sum, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(sum, &req).unwrap();
     let p = img.alloc_heap(2 * 8, 8);
     img.write_u64(p, 20).unwrap();
     img.write_u64(p + 8, 22).unwrap();
     let mut m = Machine::new();
     let out = m
-        .call(&mut img, res.entry, &CallArgs::new().ptr(p).int(2))
+        .call(&img, res.entry, &CallArgs::new().ptr(p).int(2))
         .unwrap();
     assert_eq!(out.ret_int, 42);
     assert_eq!(counter(&img, &prog, "entry_count"), 1);

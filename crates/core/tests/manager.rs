@@ -4,8 +4,7 @@
 use brew_core::{Event, EventSink, RetKind, SpecRequest, SpecializationManager};
 use brew_emu::{CallArgs, Machine};
 use brew_image::Image;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 const PROG: &str = r#"
     int poly(int x, int n) {
@@ -16,8 +15,8 @@ const PROG: &str = r#"
 "#;
 
 fn setup() -> (Image, u64) {
-    let mut img = Image::new();
-    let prog = brew_minic::compile_into(PROG, &mut img).unwrap();
+    let img = Image::new();
+    let prog = brew_minic::compile_into(PROG, &img).unwrap();
     (img, prog.func("poly").unwrap())
 }
 
@@ -30,21 +29,21 @@ fn poly_req(n: i64) -> SpecRequest {
 
 #[test]
 fn repeated_requests_return_pointer_equal_cached_variant() {
-    let (mut img, poly) = setup();
-    let mut mgr = SpecializationManager::new();
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
     let req = poly_req(9);
 
-    let first = mgr.get_or_rewrite(&mut img, poly, &req).unwrap();
+    let first = mgr.get_or_rewrite(&img, poly, &req).unwrap();
     let traced_after_miss = mgr.stats().traced_total;
     assert!(traced_after_miss > 0, "the miss actually traced");
 
     for _ in 0..10 {
-        let again = mgr.get_or_rewrite(&mut img, poly, &req).unwrap();
-        assert!(Rc::ptr_eq(&first, &again), "hits return the same variant");
+        let again = mgr.get_or_rewrite(&img, poly, &req).unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "hits return the same variant");
     }
     // An equal request built independently is the same cache line too.
-    let rebuilt = mgr.get_or_rewrite(&mut img, poly, &poly_req(9)).unwrap();
-    assert!(Rc::ptr_eq(&first, &rebuilt));
+    let rebuilt = mgr.get_or_rewrite(&img, poly, &poly_req(9)).unwrap();
+    assert!(Arc::ptr_eq(&first, &rebuilt));
 
     let st = mgr.stats();
     assert_eq!((st.hits, st.misses), (11, 1));
@@ -54,11 +53,11 @@ fn repeated_requests_return_pointer_equal_cached_variant() {
 
 #[test]
 fn distinct_requests_are_distinct_variants() {
-    let (mut img, poly) = setup();
-    let mut mgr = SpecializationManager::new();
-    let a = mgr.get_or_rewrite(&mut img, poly, &poly_req(3)).unwrap();
-    let b = mgr.get_or_rewrite(&mut img, poly, &poly_req(4)).unwrap();
-    assert!(!Rc::ptr_eq(&a, &b));
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
+    let a = mgr.get_or_rewrite(&img, poly, &poly_req(3)).unwrap();
+    let b = mgr.get_or_rewrite(&img, poly, &poly_req(4)).unwrap();
+    assert!(!Arc::ptr_eq(&a, &b));
     assert_ne!(a.entry, b.entry);
     assert_eq!(mgr.stats().misses, 2);
     assert_eq!(mgr.len(), 2);
@@ -67,7 +66,7 @@ fn distinct_requests_are_distinct_variants() {
     let mut m = Machine::new();
     for (v, want) in [(&a, 8), (&b, 16)] {
         let out = m
-            .call(&mut img, v.entry, &CallArgs::new().int(2).int(0))
+            .call(&img, v.entry, &CallArgs::new().int(2).int(0))
             .unwrap();
         assert_eq!(out.ret_int, want);
     }
@@ -75,16 +74,16 @@ fn distinct_requests_are_distinct_variants() {
 
 #[test]
 fn eviction_under_tight_byte_budget_keeps_recent_variant() {
-    let (mut img, poly) = setup();
+    let (img, poly) = setup();
     // Learn one variant's size, then budget for roughly two of them.
     let probe = SpecializationManager::new()
-        .get_or_rewrite(&mut img, poly, &poly_req(2))
+        .get_or_rewrite(&img, poly, &poly_req(2))
         .unwrap()
         .code_len;
-    let mut mgr = SpecializationManager::with_budget(probe * 2 + probe / 2);
+    let mgr = SpecializationManager::with_budget(probe * 2 + probe / 2);
 
     for n in 2..8 {
-        mgr.get_or_rewrite(&mut img, poly, &poly_req(n)).unwrap();
+        mgr.get_or_rewrite(&img, poly, &poly_req(n)).unwrap();
     }
     let st = mgr.stats();
     assert!(st.evictions >= 3, "budget pressure evicted: {st:?}");
@@ -97,22 +96,22 @@ fn eviction_under_tight_byte_budget_keeps_recent_variant() {
 
     // The most recent request survived: re-asking is a hit, not a rewrite.
     let misses_before = mgr.stats().misses;
-    mgr.get_or_rewrite(&mut img, poly, &poly_req(7)).unwrap();
+    mgr.get_or_rewrite(&img, poly, &poly_req(7)).unwrap();
     assert_eq!(mgr.stats().misses, misses_before);
     // An evicted one rewrites again.
-    mgr.get_or_rewrite(&mut img, poly, &poly_req(2)).unwrap();
+    mgr.get_or_rewrite(&img, poly, &poly_req(2)).unwrap();
     assert_eq!(mgr.stats().misses, misses_before + 1);
 }
 
 #[test]
 fn dispatcher_over_three_variants_matches_original_incl_fallthrough() {
-    let (mut img, poly) = setup();
-    let mut mgr = SpecializationManager::new();
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
     for n in [3i64, 5, 8] {
-        mgr.get_or_rewrite(&mut img, poly, &poly_req(n)).unwrap();
+        mgr.get_or_rewrite(&img, poly, &poly_req(n)).unwrap();
     }
     assert_eq!(mgr.variants_of(poly).len(), 3);
-    let dispatch = mgr.build_dispatcher(&mut img, poly, poly).unwrap();
+    let dispatch = mgr.build_dispatcher(&img, poly, poly).unwrap();
     assert_eq!(mgr.stats().dispatchers_built, 1);
 
     // Differential: the stub is bit-identical to the original over guarded
@@ -121,11 +120,11 @@ fn dispatcher_over_three_variants_matches_original_incl_fallthrough() {
     for x in [-3i64, -1, 0, 1, 2, 7, 1000] {
         for n in [0i64, 1, 2, 3, 4, 5, 6, 8, 9] {
             let via = m
-                .call(&mut img, dispatch, &CallArgs::new().int(x).int(n))
+                .call(&img, dispatch, &CallArgs::new().int(x).int(n))
                 .unwrap()
                 .ret_int;
             let orig = m
-                .call(&mut img, poly, &CallArgs::new().int(x).int(n))
+                .call(&img, poly, &CallArgs::new().int(x).int(n))
                 .unwrap()
                 .ret_int;
             assert_eq!(via, orig, "poly({x}, {n}) diverged through the dispatcher");
@@ -135,35 +134,33 @@ fn dispatcher_over_three_variants_matches_original_incl_fallthrough() {
     // The hot path really runs specialized code: fewer cycles than the
     // original for a guarded n.
     let via = m
-        .call(&mut img, dispatch, &CallArgs::new().int(2).int(8))
+        .call(&img, dispatch, &CallArgs::new().int(2).int(8))
         .unwrap();
-    let orig = m
-        .call(&mut img, poly, &CallArgs::new().int(2).int(8))
-        .unwrap();
+    let orig = m.call(&img, poly, &CallArgs::new().int(2).int(8)).unwrap();
     assert!(via.stats.cycles < orig.stats.cycles);
 }
 
 #[derive(Default)]
-struct SharedSink(Rc<RefCell<Vec<Event>>>);
+struct SharedSink(Arc<Mutex<Vec<Event>>>);
 
 impl EventSink for SharedSink {
-    fn event(&mut self, ev: &Event) {
-        self.0.borrow_mut().push(ev.clone());
+    fn event(&self, ev: &Event) {
+        self.0.lock().unwrap().push(ev.clone());
     }
 }
 
 #[test]
 fn event_sink_streams_miss_rewrite_hit_and_dispatch() {
-    let (mut img, poly) = setup();
-    let events = Rc::new(RefCell::new(Vec::new()));
-    let mut mgr = SpecializationManager::new();
-    mgr.set_sink(Box::new(SharedSink(Rc::clone(&events))));
+    let (img, poly) = setup();
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let mgr = SpecializationManager::new();
+    mgr.set_sink(Box::new(SharedSink(Arc::clone(&events))));
 
-    let v = mgr.get_or_rewrite(&mut img, poly, &poly_req(6)).unwrap();
-    mgr.get_or_rewrite(&mut img, poly, &poly_req(6)).unwrap();
-    let dispatch = mgr.build_dispatcher(&mut img, poly, poly).unwrap();
+    let v = mgr.get_or_rewrite(&img, poly, &poly_req(6)).unwrap();
+    mgr.get_or_rewrite(&img, poly, &poly_req(6)).unwrap();
+    let dispatch = mgr.build_dispatcher(&img, poly, poly).unwrap();
 
-    let evs = events.borrow();
+    let evs = events.lock().unwrap();
     assert!(matches!(evs[0], Event::Miss { func } if func == poly));
     assert!(
         matches!(evs[1], Event::Rewritten { func, entry, .. } if func == poly && entry == v.entry)
@@ -178,14 +175,14 @@ fn event_sink_streams_miss_rewrite_hit_and_dispatch() {
 
 #[test]
 fn named_lookup_resolves_and_rejects() {
-    let (mut img, poly) = setup();
-    let mut mgr = SpecializationManager::new();
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
     let v = mgr
-        .get_or_rewrite_named(&mut img, "poly", &poly_req(4))
+        .get_or_rewrite_named(&img, "poly", &poly_req(4))
         .unwrap();
     assert_eq!(v.func, poly);
     let err = mgr
-        .get_or_rewrite_named(&mut img, "nope", &poly_req(4))
+        .get_or_rewrite_named(&img, "nope", &poly_req(4))
         .unwrap_err();
     assert!(err.to_string().contains("nope"));
 }

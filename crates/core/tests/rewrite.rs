@@ -23,26 +23,26 @@ const STENCIL_SRC: &str = r#"
 "#;
 
 fn setup(src: &str) -> (Image, brew_minic::Compiled) {
-    let mut img = Image::new();
-    let prog = compile_into(src, &mut img).expect("compile");
+    let img = Image::new();
+    let prog = compile_into(src, &img).expect("compile");
     (img, prog)
 }
 
 #[test]
 fn specialize_identity_params_unknown() {
     // No parameters known: the rewrite is a (cleaned-up) clone.
-    let (mut img, prog) = setup("int add(int a, int b) { return a + b; }");
+    let (img, prog) = setup("int add(int a, int b) { return a + b; }");
     let f = prog.func("add").unwrap();
     let req = SpecRequest::new()
         .unknown_int()
         .unknown_int()
         .ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
     for (a, b) in [(1i64, 2i64), (-5, 5), (i64::MAX, 1), (0, 0)] {
-        let orig = m.call(&mut img, f, &CallArgs::new().int(a).int(b)).unwrap();
+        let orig = m.call(&img, f, &CallArgs::new().int(a).int(b)).unwrap();
         let spec = m
-            .call(&mut img, res.entry, &CallArgs::new().int(a).int(b))
+            .call(&img, res.entry, &CallArgs::new().int(a).int(b))
             .unwrap();
         assert_eq!(orig.ret_int, spec.ret_int, "add({a},{b})");
     }
@@ -50,27 +50,27 @@ fn specialize_identity_params_unknown() {
 
 #[test]
 fn specialize_known_param_bakes_constant() {
-    let (mut img, prog) = setup("int madd(int a, int b, int c) { return a * b + c; }");
+    let (img, prog) = setup("int madd(int a, int b, int c) { return a * b + c; }");
     let f = prog.func("madd").unwrap();
     let req = SpecRequest::new()
         .unknown_int()
         .known_int(7)
         .unknown_int()
         .ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
     for (a, c) in [(3i64, 4i64), (0, 0), (-2, 9)] {
         let spec = m
-            .call(&mut img, res.entry, &CallArgs::new().int(a).int(7).int(c))
+            .call(&img, res.entry, &CallArgs::new().int(a).int(7).int(c))
             .unwrap();
         assert_eq!(spec.ret_int as i64, a * 7 + c);
     }
     // Specialized code must be cheaper than the original.
     let a_orig = Machine::new()
-        .call(&mut img, f, &CallArgs::new().int(3).int(7).int(1))
+        .call(&img, f, &CallArgs::new().int(3).int(7).int(1))
         .unwrap();
     let a_spec = Machine::new()
-        .call(&mut img, res.entry, &CallArgs::new().int(3).int(7).int(1))
+        .call(&img, res.entry, &CallArgs::new().int(3).int(7).int(1))
         .unwrap();
     assert!(
         a_spec.stats.cycles < a_orig.stats.cycles,
@@ -83,15 +83,13 @@ fn specialize_known_param_bakes_constant() {
 #[test]
 fn constant_loop_fully_unrolls() {
     // sum(1..=n) with n known: the loop disappears entirely.
-    let (mut img, prog) =
+    let (img, prog) =
         setup("int sum_to(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }");
     let f = prog.func("sum_to").unwrap();
     let req = SpecRequest::new().known_int(42).ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
-    let out = m
-        .call(&mut img, res.entry, &CallArgs::new().int(42))
-        .unwrap();
+    let out = m.call(&img, res.entry, &CallArgs::new().int(42)).unwrap();
     assert_eq!(out.ret_int, 903);
     assert_eq!(out.stats.branches, 0, "no conditional branches survive");
     // In fact the whole body folds to `mov rax, 903; ret`-ish code.
@@ -100,27 +98,25 @@ fn constant_loop_fully_unrolls() {
 
 #[test]
 fn unknown_loop_bound_keeps_loop() {
-    let (mut img, prog) =
+    let (img, prog) =
         setup("int sum_to(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }");
     let f = prog.func("sum_to").unwrap();
     let req = SpecRequest::new()
         .unknown_int()
         .ret(RetKind::Int)
         .default_opts(|o| o.max_variants = 4); // allow a little peeling, then close
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
     for n in [0i64, 1, 5, 100, 1000] {
-        let orig = m.call(&mut img, f, &CallArgs::new().int(n)).unwrap();
-        let spec = m
-            .call(&mut img, res.entry, &CallArgs::new().int(n))
-            .unwrap();
+        let orig = m.call(&img, f, &CallArgs::new().int(n)).unwrap();
+        let spec = m.call(&img, res.entry, &CallArgs::new().int(n)).unwrap();
         assert_eq!(orig.ret_int, spec.ret_int, "sum_to({n})");
     }
 }
 
 #[test]
 fn the_paper_stencil_specialization() {
-    let (mut img, prog) = setup(STENCIL_SRC);
+    let (img, prog) = setup(STENCIL_SRC);
     let apply = prog.func("apply").unwrap();
     let s5 = prog.global("s5").unwrap();
     let xs = 8i64;
@@ -131,7 +127,7 @@ fn the_paper_stencil_specialization() {
         .known_int(xs)
         .ptr_to_known(s5, 8 + 5 * 24)
         .ret(RetKind::F64);
-    let res = Rewriter::new(&mut img).rewrite(apply, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(apply, &req).unwrap();
 
     // Fill a matrix and compare original vs specialized on every interior
     // point.
@@ -153,8 +149,8 @@ fn the_paper_stencil_specialization() {
         for x in 1..xs - 1 {
             let center = mbase + ((y * xs + x) * 8) as u64;
             let args = CallArgs::new().ptr(center).int(xs).ptr(s5);
-            let orig = m.call(&mut img, apply, &args).unwrap();
-            let spec = m.call(&mut img, res.entry, &args).unwrap();
+            let orig = m.call(&img, apply, &args).unwrap();
+            let spec = m.call(&img, res.entry, &args).unwrap();
             assert_eq!(orig.ret_f64, spec.ret_f64, "at ({x},{y})");
             orig_cycles += orig.stats.cycles;
             spec_cycles += spec.stats.cycles;
@@ -173,7 +169,7 @@ fn the_paper_stencil_specialization() {
     let center = mbase + ((xs + 1) * 8) as u64;
     let out = m2
         .call(
-            &mut img,
+            &img,
             res.entry,
             &CallArgs::new().ptr(center).int(xs).ptr(s5),
         )
@@ -194,7 +190,7 @@ fn stencil_sweep_differential() {
                     m2[y * xs + x] = apply(&m1[y * xs + x], xs, &s5);
         }}"
     );
-    let (mut img, prog) = setup(&src);
+    let (img, prog) = setup(&src);
     let sweep = prog.func("sweep").unwrap();
     let s5 = prog.global("s5").unwrap();
     let (xs, ys) = (7i64, 6i64);
@@ -212,7 +208,7 @@ fn stencil_sweep_differential() {
             o.branch_unknown = true;
             o.max_variants = 4;
         });
-    let res = Rewriter::new(&mut img).rewrite(sweep, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(sweep, &req).unwrap();
 
     let m1 = img.alloc_heap((xs * ys * 8) as u64, 8);
     let m2a = img.alloc_heap((xs * ys * 8) as u64, 8);
@@ -224,14 +220,14 @@ fn stencil_sweep_differential() {
     let mut m = Machine::new();
     let orig = m
         .call(
-            &mut img,
+            &img,
             sweep,
             &CallArgs::new().ptr(m1).ptr(m2a).int(xs).int(ys),
         )
         .unwrap();
     let spec = m
         .call(
-            &mut img,
+            &img,
             res.entry,
             &CallArgs::new().ptr(m1).ptr(m2b).int(xs).int(ys),
         )
@@ -251,14 +247,14 @@ fn stencil_sweep_differential() {
 
 #[test]
 fn fresh_unknown_prevents_unrolling() {
-    let (mut img, prog) =
+    let (img, prog) =
         setup("int sum_to(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }");
     let f = prog.func("sum_to").unwrap();
     let req = SpecRequest::new()
         .known_int(1000)
         .ret(RetKind::Int)
         .func(f, |o| o.fresh_unknown = true);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     // Despite n being known, the loop is not unrolled (§V.C brute force).
     assert!(
         res.code_len < 400,
@@ -266,9 +262,7 @@ fn fresh_unknown_prevents_unrolling() {
         res.code_len
     );
     let mut m = Machine::new();
-    let out = m
-        .call(&mut img, res.entry, &CallArgs::new().int(1000))
-        .unwrap();
+    let out = m.call(&img, res.entry, &CallArgs::new().int(1000)).unwrap();
     assert_eq!(out.ret_int, 500500);
     assert!(out.stats.branches >= 1000, "loop still iterates");
 }
@@ -279,19 +273,17 @@ fn inlining_removes_call_overhead() {
         int helper(int x) { return x * 3; }
         int outer(int a) { return helper(a) + helper(a + 1); }
     "#;
-    let (mut img, prog) = setup(src);
+    let (img, prog) = setup(src);
     let outer = prog.func("outer").unwrap();
     let req = SpecRequest::new().unknown_int().ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(outer, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(outer, &req).unwrap();
     assert_eq!(res.stats.inlined_calls, 2);
     assert_eq!(res.stats.kept_calls, 0);
 
     let mut m = Machine::new();
     for a in [0i64, 1, -7, 1000] {
-        let orig = m.call(&mut img, outer, &CallArgs::new().int(a)).unwrap();
-        let spec = m
-            .call(&mut img, res.entry, &CallArgs::new().int(a))
-            .unwrap();
+        let orig = m.call(&img, outer, &CallArgs::new().int(a)).unwrap();
+        let spec = m.call(&img, res.entry, &CallArgs::new().int(a)).unwrap();
         assert_eq!(orig.ret_int, spec.ret_int);
         assert_eq!(spec.stats.calls, 0, "no calls left");
         assert!(spec.stats.cycles < orig.stats.cycles);
@@ -304,19 +296,17 @@ fn no_inline_keeps_call_with_compensation() {
         int helper(int x) { return x * 3; }
         int outer(int a) { return helper(a + 2); }
     "#;
-    let (mut img, prog) = setup(src);
+    let (img, prog) = setup(src);
     let outer = prog.func("outer").unwrap();
     let helper = prog.func("helper").unwrap();
     let req = SpecRequest::new()
         .known_int(40)
         .ret(RetKind::Int)
         .func(helper, |o| o.inline = false);
-    let res = Rewriter::new(&mut img).rewrite(outer, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(outer, &req).unwrap();
     assert_eq!(res.stats.kept_calls, 1);
     let mut m = Machine::new();
-    let out = m
-        .call(&mut img, res.entry, &CallArgs::new().int(40))
-        .unwrap();
+    let out = m.call(&img, res.entry, &CallArgs::new().int(40)).unwrap();
     assert_eq!(out.ret_int, 126);
     assert_eq!(out.stats.calls, 1, "the helper call survives");
 }
@@ -328,7 +318,7 @@ fn indirect_call_devirtualized() {
         int add(int a, int b) { return a + b; }
         int call_it(op_t f, int a, int b) { return f(a, b); }
     "#;
-    let (mut img, prog) = setup(src);
+    let (img, prog) = setup(src);
     let call_it = prog.func("call_it").unwrap();
     let add = prog.func("add").unwrap();
     let req = SpecRequest::new()
@@ -336,14 +326,10 @@ fn indirect_call_devirtualized() {
         .unknown_int()
         .unknown_int()
         .ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(call_it, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(call_it, &req).unwrap();
     let mut m = Machine::new();
     let out = m
-        .call(
-            &mut img,
-            res.entry,
-            &CallArgs::new().ptr(add).int(20).int(22),
-        )
+        .call(&img, res.entry, &CallArgs::new().ptr(add).int(20).int(22))
         .unwrap();
     assert_eq!(out.ret_int, 42);
     assert_eq!(out.stats.calls, 0, "indirect call inlined away");
@@ -351,11 +337,11 @@ fn indirect_call_devirtualized() {
 
 #[test]
 fn failure_is_recoverable_bad_code() {
-    let mut img = Image::new();
+    let img = Image::new();
     // Garbage bytes as a "function".
     let junk = img.alloc_code(&[0x06, 0x07, 0x08]);
     let req = SpecRequest::new();
-    let err = Rewriter::new(&mut img).rewrite(junk, &req).unwrap_err();
+    let err = Rewriter::new(&img).rewrite(junk, &req).unwrap_err();
     assert!(matches!(err, brew_core::RewriteError::Undecodable { .. }));
 }
 
@@ -363,7 +349,7 @@ fn failure_is_recoverable_bad_code() {
 fn infinite_loop_rewrites_to_self_loop() {
     // `jmp self` closes on itself: the world is unchanged across the back
     // edge, so the rewrite is a 5-byte self-loop, not a failure.
-    let mut img = Image::new();
+    let img = Image::new();
     let mut bytes = Vec::new();
     let base = brew_image::layout::CODE_BASE;
     brew_x86::encode::encode(
@@ -374,12 +360,12 @@ fn infinite_loop_rewrites_to_self_loop() {
     .unwrap();
     img.alloc_code(&bytes);
     let req = SpecRequest::new();
-    let res = Rewriter::new(&mut img).rewrite(base, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(base, &req).unwrap();
     assert_eq!(res.code_len, 5);
     let mut m = Machine::new();
     m.fuel = 1000;
     assert!(matches!(
-        m.call(&mut img, res.entry, &CallArgs::new()),
+        m.call(&img, res.entry, &CallArgs::new()),
         Err(brew_emu::EmuError::OutOfFuel)
     ));
 }
@@ -388,7 +374,7 @@ fn infinite_loop_rewrites_to_self_loop() {
 fn failure_trace_budget() {
     // A known-bound loop of a billion iterations would fully unroll; the
     // trace budget turns that into a recoverable failure.
-    let (mut img, prog) =
+    let (img, prog) =
         setup("int sum_to(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }");
     let f = prog.func("sum_to").unwrap();
     let req = SpecRequest::new()
@@ -396,7 +382,7 @@ fn failure_trace_budget() {
         .ret(RetKind::Int)
         .max_trace_insts(10_000)
         .default_opts(|o| o.max_variants = u32::MAX); // never migrate: force unrolling
-    let err = Rewriter::new(&mut img).rewrite(f, &req).unwrap_err();
+    let err = Rewriter::new(&img).rewrite(f, &req).unwrap_err();
     assert!(
         matches!(
             err,
@@ -408,17 +394,17 @@ fn failure_trace_budget() {
 
 #[test]
 fn doubles_known_fp_param() {
-    let (mut img, prog) = setup("double scale(double x, double k) { return x * k + 1.0; }");
+    let (img, prog) = setup("double scale(double x, double k) { return x * k + 1.0; }");
     let f = prog.func("scale").unwrap();
     let req = SpecRequest::new()
         .unknown_f64()
         .known_f64(2.5)
         .ret(RetKind::F64);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
     for x in [0.0f64, 1.5, -3.25, 1e10] {
         let out = m
-            .call(&mut img, res.entry, &CallArgs::new().f64(x).f64(2.5))
+            .call(&img, res.entry, &CallArgs::new().f64(x).f64(2.5))
             .unwrap();
         assert_eq!(out.ret_f64, x * 2.5 + 1.0);
     }
@@ -426,7 +412,7 @@ fn doubles_known_fp_param() {
 
 #[test]
 fn passes_off_still_correct() {
-    let (mut img, prog) = setup(STENCIL_SRC);
+    let (img, prog) = setup(STENCIL_SRC);
     let apply = prog.func("apply").unwrap();
     let s5 = prog.global("s5").unwrap();
     let xs = 5i64;
@@ -435,10 +421,10 @@ fn passes_off_still_correct() {
         .known_int(xs)
         .ptr_to_known(s5, 8 + 5 * 24)
         .ret(RetKind::F64);
-    let res_none = Rewriter::new(&mut img)
+    let res_none = Rewriter::new(&img)
         .rewrite(apply, &req.clone().passes(PassConfig::none()))
         .unwrap();
-    let res_all = Rewriter::new(&mut img).rewrite(apply, &req).unwrap();
+    let res_all = Rewriter::new(&img).rewrite(apply, &req).unwrap();
 
     let mbase = img.alloc_heap((xs * xs * 8) as u64, 8);
     for i in 0..xs * xs {
@@ -448,9 +434,9 @@ fn passes_off_still_correct() {
     let center = mbase + ((xs + 2) * 8) as u64;
     let mut m = Machine::new();
     let args = CallArgs::new().ptr(center).int(xs).ptr(s5);
-    let orig = m.call(&mut img, apply, &args).unwrap();
-    let none = m.call(&mut img, res_none.entry, &args).unwrap();
-    let all = m.call(&mut img, res_all.entry, &args).unwrap();
+    let orig = m.call(&img, apply, &args).unwrap();
+    let none = m.call(&img, res_none.entry, &args).unwrap();
+    let all = m.call(&img, res_all.entry, &args).unwrap();
     assert_eq!(orig.ret_f64, none.ret_f64);
     assert_eq!(orig.ret_f64, all.ret_f64);
     // Passes strictly help (or at least don't hurt).
@@ -459,19 +445,19 @@ fn passes_off_still_correct() {
 
 #[test]
 fn guard_dispatches() {
-    let (mut img, prog) = setup("int dbl(int x) { return x + x; }");
+    let (img, prog) = setup("int dbl(int x) { return x + x; }");
     let f = prog.func("dbl").unwrap();
     let req = SpecRequest::new().known_int(21).ret(RetKind::Int);
-    let mut rw = Rewriter::new(&mut img);
+    let mut rw = Rewriter::new(&img);
     let spec = rw.rewrite(f, &req).unwrap();
     let guard = rw.guard(0, 21, spec.entry, f).unwrap();
 
     let mut m = Machine::new();
     // Hot value: dispatches to the specialized variant.
-    let hot = m.call(&mut img, guard, &CallArgs::new().int(21)).unwrap();
+    let hot = m.call(&img, guard, &CallArgs::new().int(21)).unwrap();
     assert_eq!(hot.ret_int, 42);
     // Cold value: falls back to the original, still correct.
-    let cold = m.call(&mut img, guard, &CallArgs::new().int(5)).unwrap();
+    let cold = m.call(&img, guard, &CallArgs::new().int(5)).unwrap();
     assert_eq!(cold.ret_int, 10);
 }
 
@@ -480,14 +466,14 @@ fn guard_dispatches() {
 fn deprecated_split_api_still_works() {
     // The pre-SpecRequest entry points remain as thin wrappers.
     use brew_core::{ArgValue, ParamSpec, RewriteConfig};
-    let (mut img, prog) = setup("int madd(int a, int b, int c) { return a * b + c; }");
+    let (img, prog) = setup("int madd(int a, int b, int c) { return a * b + c; }");
     let f = prog.func("madd").unwrap();
     let mut cfg = RewriteConfig::new();
     cfg.set_param(0, ParamSpec::Unknown)
         .set_param(1, ParamSpec::Known)
         .set_param(2, ParamSpec::Unknown)
         .set_ret(RetKind::Int);
-    let res = Rewriter::new(&mut img)
+    let res = Rewriter::new(&img)
         .rewrite_with_config(
             &cfg,
             f,
@@ -496,7 +482,7 @@ fn deprecated_split_api_still_works() {
         .unwrap();
     let mut m = Machine::new();
     let out = m
-        .call(&mut img, res.entry, &CallArgs::new().int(3).int(7).int(5))
+        .call(&img, res.entry, &CallArgs::new().int(3).int(7).int(5))
         .unwrap();
     assert_eq!(out.ret_int, 26);
 }

@@ -61,9 +61,7 @@ fn w32_arithmetic_folds_with_zero_extension() {
     );
     let res = rewrite_with_param0_known(&mut img, f, -1, 0);
     let mut m = Machine::new();
-    let out = m
-        .call(&mut img, res.entry, &CallArgs::new().int(-1))
-        .unwrap();
+    let out = m.call(&img, res.entry, &CallArgs::new().int(-1)).unwrap();
     assert_eq!(out.ret_int, 0, "0xFFFFFFFF + 1 wraps at 32 bits");
     // Fully folded: just the materialized return + ret.
     assert!(out.stats.insts <= 2, "{:?}", disasm_result(&img, &res));
@@ -97,13 +95,13 @@ fn w32_unknown_imm_substitution() {
         .unknown_int()
         .known_int(0x9000_0000u32 as i64)
         .ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
     for a in [0i64, 1, 0x7000_0000] {
         let want = ((a as u32).wrapping_add(0x9000_0000)) as u64;
         let out = m
             .call(
-                &mut img,
+                &img,
                 res.entry,
                 &CallArgs::new().int(a).int(0x9000_0000u32 as i64),
             )
@@ -142,7 +140,7 @@ fn shl_by_known_cl_becomes_immediate_shift() {
         .unknown_int()
         .known_int(3)
         .ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     let text = disasm_result(&img, &res).join("\n");
     assert!(
         text.contains("shlq rax, 3"),
@@ -150,7 +148,7 @@ fn shl_by_known_cl_becomes_immediate_shift() {
     );
     let mut m = Machine::new();
     let out = m
-        .call(&mut img, res.entry, &CallArgs::new().int(5).int(3))
+        .call(&img, res.entry, &CallArgs::new().int(5).int(3))
         .unwrap();
     assert_eq!(out.ret_int, 40);
 }
@@ -177,9 +175,7 @@ fn fully_known_shift_elided() {
     );
     let res = rewrite_with_param0_known(&mut img, f, 3, 0);
     let mut m = Machine::new();
-    let out = m
-        .call(&mut img, res.entry, &CallArgs::new().int(3))
-        .unwrap();
+    let out = m.call(&img, res.entry, &CallArgs::new().int(3)).unwrap();
     assert_eq!(out.ret_int, 48);
     assert!(out.stats.insts <= 2);
 }
@@ -213,11 +209,11 @@ fn idiv_with_known_divisor_keeps_division() {
         .unknown_int()
         .known_int(7)
         .ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
     for a in [0i64, 100, -100, 6, 7] {
         let out = m
-            .call(&mut img, res.entry, &CallArgs::new().int(a).int(7))
+            .call(&img, res.entry, &CallArgs::new().int(a).int(7))
             .unwrap();
         assert_eq!(out.ret_int as i64, a / 7, "a={a}");
     }
@@ -256,9 +252,7 @@ fn setcc_with_known_flags_folds_to_constant() {
     let text = disasm_result(&img, &res).join("\n");
     assert!(!text.contains("set"), "setcc folded away:\n{text}");
     let mut m = Machine::new();
-    let out = m
-        .call(&mut img, res.entry, &CallArgs::new().int(3))
-        .unwrap();
+    let out = m.call(&img, res.entry, &CallArgs::new().int(3)).unwrap();
     assert_eq!(out.ret_int, 1);
 }
 
@@ -280,14 +274,12 @@ fn known_mem_operand_becomes_absolute() {
         ],
     );
     let req = SpecRequest::new().ptr_to_known(data, 32).ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     // The load folds entirely: the value 4242 is baked in.
     let text = disasm_result(&img, &res).join("\n");
     assert!(text.contains("0x1092"), "value 4242 baked in:\n{text}");
     let mut m = Machine::new();
-    let out = m
-        .call(&mut img, res.entry, &CallArgs::new().ptr(data))
-        .unwrap();
+    let out = m.call(&img, res.entry, &CallArgs::new().ptr(data)).unwrap();
     assert_eq!(out.ret_int, 4242);
 }
 
@@ -310,7 +302,7 @@ fn unknown_base_known_index_folds_displacement() {
         .unknown_int()
         .known_int(5)
         .ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     let text = disasm_result(&img, &res).join("\n");
     assert!(
         text.contains("[rdi+0x28]"),
@@ -321,7 +313,7 @@ fn unknown_base_known_index_folds_displacement() {
     img.write_u64(p + 40, 77).unwrap();
     let mut m = Machine::new();
     let out = m
-        .call(&mut img, res.entry, &CallArgs::new().ptr(p).int(5))
+        .call(&img, res.entry, &CallArgs::new().ptr(p).int(5))
         .unwrap();
     assert_eq!(out.ret_int, 77);
 }
@@ -347,7 +339,7 @@ fn known_base_unknown_index_keeps_index_only_form() {
         .known_int(p as i64)
         .unknown_int()
         .ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     let text = disasm_result(&img, &res).join("\n");
     assert!(
         text.contains("rsi*8"),
@@ -355,7 +347,7 @@ fn known_base_unknown_index_keeps_index_only_form() {
     );
     let mut m = Machine::new();
     let out = m
-        .call(&mut img, res.entry, &CallArgs::new().ptr(p).int(3))
+        .call(&img, res.entry, &CallArgs::new().ptr(p).int(3))
         .unwrap();
     assert_eq!(out.ret_int, 99);
 }
@@ -388,12 +380,12 @@ fn known_synced_param_register_is_used_directly() {
         .unknown_int()
         .known_int(big)
         .ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     let text = disasm_result(&img, &res).join("\n");
     assert!(!text.contains("movabs"), "synced register reused:\n{text}");
     let mut m = Machine::new();
     let out = m
-        .call(&mut img, res.entry, &CallArgs::new().int(10).int(big))
+        .call(&img, res.entry, &CallArgs::new().int(10).int(big))
         .unwrap();
     assert_eq!(out.ret_int as i64, 10 + big);
 }
@@ -430,16 +422,14 @@ fn imm64_requires_movabs_materialization() {
         ],
     );
     let req = SpecRequest::new().ptr_to_known(data, 8).ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     let text = disasm_result(&img, &res).join("\n");
     assert!(
         text.contains("movabs"),
         "large unsynced constant needs movabs:\n{text}"
     );
     let mut m = Machine::new();
-    let out = m
-        .call(&mut img, res.entry, &CallArgs::new().ptr(data))
-        .unwrap();
+    let out = m.call(&img, res.entry, &CallArgs::new().ptr(data)).unwrap();
     assert_eq!(out.ret_int, data.wrapping_add(big));
 }
 
@@ -478,12 +468,12 @@ fn fp_constant_comes_from_literal_pool() {
         .ptr_to_known(data, 16)
         .unknown_f64()
         .ret(RetKind::F64);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     let text = disasm_result(&img, &res).join("\n");
     assert!(text.contains("mulsd xmm0, [0x6"), "pool operand:\n{text}");
     let mut m = Machine::new();
     let out = m
-        .call(&mut img, res.entry, &CallArgs::new().ptr(data).f64(3.0))
+        .call(&img, res.entry, &CallArgs::new().ptr(data).f64(3.0))
         .unwrap();
     assert_eq!(out.ret_f64, 7.5);
 }
@@ -533,9 +523,7 @@ fn prologue_epilogue_of_inlined_callee_disappears() {
     assert!(!text.contains("push"), "inlined prologue removed:\n{text}");
     assert!(!text.contains("call"), "call inlined:\n{text}");
     let mut m = Machine::new();
-    let out = m
-        .call(&mut img, res.entry, &CallArgs::new().int(37))
-        .unwrap();
+    let out = m.call(&img, res.entry, &CallArgs::new().int(37)).unwrap();
     assert_eq!(out.ret_int, 42);
 }
 
@@ -569,10 +557,10 @@ fn callee_saved_register_restored_after_pop_elision() {
         ],
     );
     let req = SpecRequest::new().ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     // The emulator's debug harness asserts callee-saved preservation.
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new()).unwrap();
+    let out = m.call(&img, res.entry, &CallArgs::new()).unwrap();
     assert_eq!(out.ret_int, 1000);
 }
 
@@ -580,18 +568,16 @@ fn callee_saved_register_restored_after_pop_elision() {
 fn recursion_with_known_argument_unrolls_completely() {
     // fib(n) with n known: recursive calls inline through the shadow stack
     // and the whole computation folds to a constant.
-    let mut img = Image::new();
+    let img = Image::new();
     brew_minic::compile_into(
         "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }",
-        &mut img,
+        &img,
     )
     .unwrap();
     let req = SpecRequest::new().known_int(12).ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite_named("fib", &req).unwrap();
+    let res = Rewriter::new(&img).rewrite_named("fib", &req).unwrap();
     let mut m = Machine::new();
-    let out = m
-        .call(&mut img, res.entry, &CallArgs::new().int(12))
-        .unwrap();
+    let out = m.call(&img, res.entry, &CallArgs::new().int(12)).unwrap();
     assert_eq!(out.ret_int, 144);
     assert_eq!(out.stats.calls, 0, "all recursive calls inlined");
     assert_eq!(out.stats.branches, 0, "all conditions folded");
@@ -600,7 +586,7 @@ fn recursion_with_known_argument_unrolls_completely() {
     // inlined frames' stack choreography (the paper's planned register
     // renaming would remove it too). Still far cheaper than the original.
     let fib = img.lookup("fib").unwrap();
-    let orig = m.call(&mut img, fib, &CallArgs::new().int(12)).unwrap();
+    let orig = m.call(&img, fib, &CallArgs::new().int(12)).unwrap();
     assert!(
         out.stats.cycles * 2 < orig.stats.cycles,
         "rewritten {} vs original {}",
@@ -611,10 +597,10 @@ fn recursion_with_known_argument_unrolls_completely() {
 
 #[test]
 fn unbounded_recursion_inlining_fails_recoverably() {
-    let mut img = Image::new();
+    let img = Image::new();
     let prog = brew_minic::compile_into(
         "int down(int n) { if (n == 0) return 0; return down(n - 1); }",
-        &mut img,
+        &img,
     )
     .unwrap();
     let f = prog.func("down").unwrap();
@@ -622,7 +608,7 @@ fn unbounded_recursion_inlining_fails_recoverably() {
     // branch forks and the recursive path keeps inlining until the depth
     // guard trips.
     let req = SpecRequest::new().unknown_int().ret(RetKind::Int);
-    let err = Rewriter::new(&mut img).rewrite(f, &req).unwrap_err();
+    let err = Rewriter::new(&img).rewrite(f, &req).unwrap_err();
     assert!(
         matches!(
             err,
@@ -636,10 +622,10 @@ fn unbounded_recursion_inlining_fails_recoverably() {
 
 #[test]
 fn rewrite_stats_display_is_informative() {
-    let mut img = Image::new();
-    brew_minic::compile_into("int f(int a) { return a + 1; }", &mut img).unwrap();
+    let img = Image::new();
+    brew_minic::compile_into("int f(int a) { return a + 1; }", &img).unwrap();
     let req = SpecRequest::new().unknown_int().ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite_named("f", &req).unwrap();
+    let res = Rewriter::new(&img).rewrite_named("f", &req).unwrap();
     let text = res.stats.to_string();
     assert!(text.contains("traced") && text.contains("bytes"), "{text}");
 }

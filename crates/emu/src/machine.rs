@@ -132,6 +132,7 @@ pub struct Machine<'o> {
     cache: HashMap<u64, Decoded>,
     cache_key: (u64, u64),
     observer: Option<Box<CallObserver<'o>>>,
+    stack_top: Option<u64>,
 }
 
 impl Default for Machine<'_> {
@@ -150,7 +151,17 @@ impl<'o> Machine<'o> {
             cache: HashMap::new(),
             cache_key: (0, u64::MAX),
             observer: None,
+            stack_top: None,
         }
+    }
+
+    /// Give this machine its own stack region: [`Machine::call`] starts
+    /// `rsp` at `top` instead of [`Image::stack_top`]. Threads sharing one
+    /// image must each run a machine with a disjoint stack slice — the
+    /// image's stack segment is process-global, exactly like real threads
+    /// carving a shared address space into per-thread stacks.
+    pub fn set_stack_top(&mut self, top: u64) {
+        self.stack_top = Some(top);
     }
 
     /// Install an observer for executed call instructions (used by the value
@@ -187,13 +198,7 @@ impl<'o> Machine<'o> {
     }
 
     /// Write an integer result at width `w`.
-    fn write_int(
-        &mut self,
-        img: &mut Image,
-        op: &Operand,
-        w: Width,
-        v: u64,
-    ) -> Result<(), EmuError> {
+    fn write_int(&mut self, img: &Image, op: &Operand, w: Width, v: u64) -> Result<(), EmuError> {
         match op {
             Operand::Reg(r) => self.cpu.set_w(*r, w, v),
             Operand::Mem(m) => img.write_uint(self.ea(m), w.bytes(), v)?,
@@ -223,7 +228,7 @@ impl<'o> Machine<'o> {
         })
     }
 
-    fn push(&mut self, img: &mut Image, v: u64) -> Result<(), EmuError> {
+    fn push(&mut self, img: &Image, v: u64) -> Result<(), EmuError> {
         let sp = self.cpu.rsp().wrapping_sub(8);
         self.cpu.set(Gpr::Rsp, sp);
         img.write_u64(sp, v)?;
@@ -259,7 +264,7 @@ impl<'o> Machine<'o> {
     }
 
     /// Execute one instruction at `cpu.rip`. Returns the cycles charged.
-    pub fn step(&mut self, img: &mut Image, stats: &mut Stats) -> Result<(), EmuError> {
+    pub fn step(&mut self, img: &Image, stats: &mut Stats) -> Result<(), EmuError> {
         let addr = self.cpu.rip;
         let Decoded { inst, len } = self.decode_at(img, addr)?;
         let next = addr + len as u64;
@@ -468,7 +473,7 @@ impl<'o> Machine<'o> {
 
     /// Run from `cpu.rip` until control returns to [`STOP_ADDR`] or the fuel
     /// budget runs out.
-    pub fn run(&mut self, img: &mut Image, stats: &mut Stats) -> Result<(), EmuError> {
+    pub fn run(&mut self, img: &Image, stats: &mut Stats) -> Result<(), EmuError> {
         let mut fuel = self.fuel;
         while self.cpu.rip != STOP_ADDR {
             if fuel == 0 {
@@ -486,12 +491,12 @@ impl<'o> Machine<'o> {
     /// builds.
     pub fn call(
         &mut self,
-        img: &mut Image,
+        img: &Image,
         func: u64,
         args: &CallArgs,
     ) -> Result<CallOutcome, EmuError> {
         self.cpu = CpuState::default();
-        let sp = img.stack_top() & !0xF;
+        let sp = self.stack_top.unwrap_or_else(|| img.stack_top()) & !0xF;
         self.cpu.set(Gpr::Rsp, sp);
         for (i, &v) in args.ints().iter().enumerate() {
             self.cpu.set(Gpr::SYSV_ARGS[i], v);
@@ -603,7 +608,7 @@ mod tests {
 
     /// Assemble a function body into a fresh image and return (image, entry).
     fn asm(insts: &[Inst]) -> (Image, u64) {
-        let mut img = Image::new();
+        let img = Image::new();
         // Two-pass: lengths are address-independent in this subset.
         let lens: Vec<usize> = insts.iter().map(|i| encoded_len(i).unwrap()).collect();
         let total: usize = lens.iter().sum();
@@ -622,7 +627,7 @@ mod tests {
     #[test]
     fn add_function() {
         // long add(long a, long b) { return a + b; }
-        let (mut img, f) = asm(&[
+        let (img, f) = asm(&[
             Inst::Mov {
                 w: Width::W64,
                 dst: Gpr::Rax.into(),
@@ -637,9 +642,7 @@ mod tests {
             Inst::Ret,
         ]);
         let mut m = Machine::new();
-        let out = m
-            .call(&mut img, f, &CallArgs::new().int(40).int(2))
-            .unwrap();
+        let out = m.call(&img, f, &CallArgs::new().int(40).int(2)).unwrap();
         assert_eq!(out.ret_int, 42);
         assert_eq!(out.stats.insts, 3);
     }
@@ -647,7 +650,7 @@ mod tests {
     #[test]
     fn fp_function() {
         // double fma_ish(double a, double b) { return a * b + a; }
-        let (mut img, f) = asm(&[
+        let (img, f) = asm(&[
             Inst::MovSd {
                 dst: Xmm::Xmm2.into(),
                 src: Xmm::Xmm0.into(),
@@ -665,9 +668,7 @@ mod tests {
             Inst::Ret,
         ]);
         let mut m = Machine::new();
-        let out = m
-            .call(&mut img, f, &CallArgs::new().f64(3.0).f64(4.0))
-            .unwrap();
+        let out = m.call(&img, f, &CallArgs::new().f64(3.0).f64(4.0)).unwrap();
         assert_eq!(out.ret_f64, 15.0);
     }
 
@@ -675,7 +676,7 @@ mod tests {
     fn loop_sums_memory() {
         // long sum(long* p, long n): rax=0; while(n--) rax += *p++;
         let loop_top = brew_image::layout::CODE_BASE + 7 + 4; // after first two insts
-        let (mut img, f) = asm(&[
+        let (img, f) = asm(&[
             // mov rax, 0 (7 bytes)
             Inst::Mov {
                 w: Width::W64,
@@ -786,7 +787,7 @@ mod tests {
             img.write_u64(p + 8 * i as u64, *v as u64).unwrap();
         }
         let mut m = Machine::new();
-        let out = m.call(&mut img, f, &CallArgs::new().ptr(p).int(5)).unwrap();
+        let out = m.call(&img, f, &CallArgs::new().ptr(p).int(5)).unwrap();
         assert_eq!(out.ret_int as i64, 15);
         assert_eq!(out.stats.branches, 6); // 1 entry test + 5 loop back-edges
         assert_eq!(out.stats.loads, 5);
@@ -825,10 +826,10 @@ mod tests {
         for i in &caller {
             encode(i, base + bytes.len() as u64, &mut bytes).unwrap();
         }
-        let mut img = Image::new();
+        let img = Image::new();
         img.alloc_code(&bytes);
         let mut m = Machine::new();
-        let out = m.call(&mut img, caller_at, &CallArgs::new()).unwrap();
+        let out = m.call(&img, caller_at, &CallArgs::new()).unwrap();
         assert_eq!(out.ret_int, 8);
         assert_eq!(out.stats.calls, 1);
         assert_eq!(out.stats.rets, 2);
@@ -836,7 +837,7 @@ mod tests {
 
     #[test]
     fn divide_fault() {
-        let (mut img, f) = asm(&[
+        let (img, f) = asm(&[
             Inst::Mov {
                 w: Width::W64,
                 dst: Gpr::Rax.into(),
@@ -850,16 +851,16 @@ mod tests {
             Inst::Ret,
         ]);
         let mut m = Machine::new();
-        let err = m.call(&mut img, f, &CallArgs::new()).unwrap_err();
+        let err = m.call(&img, f, &CallArgs::new()).unwrap_err();
         assert!(matches!(err, EmuError::Divide { .. }));
     }
 
     #[test]
     fn ud2_traps() {
-        let (mut img, f) = asm(&[Inst::Ud2]);
+        let (img, f) = asm(&[Inst::Ud2]);
         let mut m = Machine::new();
         assert!(matches!(
-            m.call(&mut img, f, &CallArgs::new()),
+            m.call(&img, f, &CallArgs::new()),
             Err(EmuError::Trap { .. })
         ));
     }
@@ -870,12 +871,12 @@ mod tests {
         let base = brew_image::layout::CODE_BASE;
         let mut bytes = Vec::new();
         encode(&Inst::JmpRel { target: base }, base, &mut bytes).unwrap();
-        let mut img = Image::new();
+        let img = Image::new();
         img.alloc_code(&bytes);
         let mut m = Machine::new();
         m.fuel = 1000;
         assert!(matches!(
-            m.call(&mut img, base, &CallArgs::new()),
+            m.call(&img, base, &CallArgs::new()),
             Err(EmuError::OutOfFuel)
         ));
     }
@@ -901,14 +902,14 @@ mod tests {
         for i in [Inst::CallRel { target: callee }, Inst::Ret] {
             encode(&i, base + bytes.len() as u64, &mut bytes).unwrap();
         }
-        let mut img = Image::new();
+        let img = Image::new();
         img.alloc_code(&bytes);
 
         let mut seen: Vec<(u64, u64)> = Vec::new();
         {
             let mut m = Machine::new();
             m.set_call_observer(Box::new(|site, target, _| seen.push((site, target))));
-            m.call(&mut img, caller, &CallArgs::new()).unwrap();
+            m.call(&img, caller, &CallArgs::new()).unwrap();
         }
         assert_eq!(seen, vec![(caller, callee)]);
     }

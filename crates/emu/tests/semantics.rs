@@ -9,7 +9,7 @@ use brew_x86::prelude::*;
 
 /// Assemble a body at the start of the code segment.
 fn asm(insts: &[Inst]) -> (Image, u64) {
-    let mut img = Image::new();
+    let img = Image::new();
     let base = brew_image::layout::CODE_BASE;
     let mut bytes = Vec::new();
     for i in insts {
@@ -23,9 +23,9 @@ fn asm(insts: &[Inst]) -> (Image, u64) {
 
 /// Run a body that ends with `ret`; returns the outcome.
 fn run(insts: &[Inst], args: CallArgs) -> (u64, f64, CpuState) {
-    let (mut img, entry) = asm(insts);
+    let (img, entry) = asm(insts);
     let mut m = Machine::new();
-    let out = m.call(&mut img, entry, &args).unwrap();
+    let out = m.call(&img, entry, &args).unwrap();
     (out.ret_int, out.ret_f64, m.cpu.clone())
 }
 
@@ -328,7 +328,7 @@ fn jcc_taken_and_not_taken() {
 
 #[test]
 fn movsd_load_zeroes_high_lane_reg_copy_does_not() {
-    let mut img = Image::new();
+    let img = Image::new();
     let d = img.alloc_data_bytes(&3.5f64.to_bits().to_le_bytes(), 8);
     let base = brew_image::layout::CODE_BASE;
     let mut bytes = Vec::new();
@@ -355,14 +355,14 @@ fn movsd_load_zeroes_high_lane_reg_copy_does_not() {
     }
     img.alloc_code(&bytes);
     let mut m = Machine::new();
-    m.call(&mut img, base, &CallArgs::new()).unwrap();
+    m.call(&img, base, &CallArgs::new()).unwrap();
     assert_eq!(f64::from_bits(m.cpu.xmm[1][0]), 3.5);
     assert_eq!(m.cpu.xmm[1][1], 0, "movsd from memory zeroes lane 1");
 }
 
 #[test]
 fn packed_ops_touch_both_lanes() {
-    let mut img = Image::new();
+    let img = Image::new();
     let a = img.alloc_data_bytes(
         &[1.5f64, 2.5f64]
             .iter()
@@ -401,7 +401,7 @@ fn packed_ops_touch_both_lanes() {
     }
     img.alloc_code(&bytes);
     let mut m = Machine::new();
-    m.call(&mut img, base, &CallArgs::new()).unwrap();
+    m.call(&img, base, &CallArgs::new()).unwrap();
     assert_eq!(f64::from_bits(m.cpu.xmm[0][0]), (1.5 + 10.0) * (1.5 + 10.0));
     assert_eq!(f64::from_bits(m.cpu.xmm[0][1]), (2.5 + 20.0) * (2.5 + 20.0));
 }
@@ -574,7 +574,7 @@ fn test_inst_sets_zf() {
 
 #[test]
 fn stats_classify_instructions() {
-    let (mut img, entry) = asm(&[
+    let (img, entry) = asm(&[
         Inst::Mov {
             w: Width::W64,
             dst: Operand::Mem(MemRef::base_disp(Gpr::Rsp, -8)),
@@ -593,7 +593,7 @@ fn stats_classify_instructions() {
         Inst::Ret,
     ]);
     let mut m = Machine::new();
-    let out = m.call(&mut img, entry, &CallArgs::new()).unwrap();
+    let out = m.call(&img, entry, &CallArgs::new()).unwrap();
     let s: Stats = out.stats;
     assert_eq!(s.insts, 4);
     assert_eq!(s.stores, 1);
@@ -604,9 +604,9 @@ fn stats_classify_instructions() {
 
 #[test]
 fn nop_does_nothing_but_count() {
-    let (mut img, entry) = asm(&[Inst::Nop, Inst::Nop, Inst::Ret]);
+    let (img, entry) = asm(&[Inst::Nop, Inst::Nop, Inst::Ret]);
     let mut m = Machine::new();
-    let out = m.call(&mut img, entry, &CallArgs::new()).unwrap();
+    let out = m.call(&img, entry, &CallArgs::new()).unwrap();
     assert_eq!(out.stats.insts, 3);
 }
 

@@ -11,14 +11,39 @@
 //! the emulator (`brew-emu`) executes from it, and the rewriter
 //! (`brew-core`) reads original code bytes from it and allocates rewritten
 //! functions in its JIT segment.
+//!
+//! ## Concurrency
+//!
+//! A real process image is shared by every thread of the process, and the
+//! paper's "delayed step" amortization argument only pays off when many
+//! call sites can drive specialization concurrently. The image is therefore
+//! internally synchronized (`Send + Sync`) and every operation takes
+//! `&self`:
+//!
+//! - the sparse page store is sharded behind per-shard `RwLock`s (readers
+//!   of different pages never contend, and readers of the same page share),
+//! - segment bump allocators are atomic, so two rewrites can reserve JIT or
+//!   literal-pool space without a global lock ([`Image::try_alloc_jit`]
+//!   reserves-or-fails instead of panicking, for racing emitters),
+//! - the symbol table sits behind its own `RwLock`.
+//!
+//! Publication ordering: bytes written through [`Image::write_bytes`]
+//! happen-before any later read of the same pages (shard lock release /
+//! acquire), so code published by inserting its entry address into a
+//! synchronized structure is fully visible to the thread that looks it up.
 
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Page size of the sparse backing store.
 const PAGE: u64 = 4096;
+
+/// Number of page-store shards (a power of two; pages hash by page number).
+const MEM_SHARDS: usize = 64;
 
 /// Default segment layout (all well below 2^31, so every address can be used
 /// as an absolute disp32 by specialized code — the same property the paper's
@@ -101,17 +126,25 @@ impl Segment {
 
 /// Sparse paged memory: pages materialize zero-filled on first write (reads
 /// of unmaterialized pages inside a segment return zeros, so freshly
-/// allocated globals read as zero).
-#[derive(Default)]
+/// allocated globals read as zero). Pages are sharded by page number behind
+/// per-shard `RwLock`s so threads touching different pages don't contend.
 struct PagedMem {
-    pages: HashMap<u64, Box<[u8; PAGE as usize]>>,
+    shards: Vec<RwLock<HashMap<u64, Box<[u8; PAGE as usize]>>>>,
+}
+
+impl Default for PagedMem {
+    fn default() -> Self {
+        PagedMem {
+            shards: (0..MEM_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
 }
 
 impl PagedMem {
-    fn page_mut(&mut self, pno: u64) -> &mut [u8; PAGE as usize] {
-        self.pages
-            .entry(pno)
-            .or_insert_with(|| Box::new([0u8; PAGE as usize]))
+    fn shard_of(&self, pno: u64) -> &RwLock<HashMap<u64, Box<[u8; PAGE as usize]>>> {
+        &self.shards[(pno as usize) & (MEM_SHARDS - 1)]
     }
 
     fn read(&self, addr: u64, out: &mut [u8]) {
@@ -121,7 +154,7 @@ impl PagedMem {
             let pno = a / PAGE;
             let off = (a % PAGE) as usize;
             let n = ((PAGE as usize) - off).min(out.len() - i);
-            match self.pages.get(&pno) {
+            match self.shard_of(pno).read().expect("page shard").get(&pno) {
                 Some(p) => out[i..i + n].copy_from_slice(&p[off..off + n]),
                 None => out[i..i + n].fill(0),
             }
@@ -130,14 +163,19 @@ impl PagedMem {
         }
     }
 
-    fn write(&mut self, addr: u64, data: &[u8]) {
+    fn write(&self, addr: u64, data: &[u8]) {
         let mut a = addr;
         let mut i = 0;
         while i < data.len() {
             let pno = a / PAGE;
             let off = (a % PAGE) as usize;
             let n = ((PAGE as usize) - off).min(data.len() - i);
-            self.page_mut(pno)[off..off + n].copy_from_slice(&data[i..i + n]);
+            let mut shard = self.shard_of(pno).write().expect("page shard");
+            let page = shard
+                .entry(pno)
+                .or_insert_with(|| Box::new([0u8; PAGE as usize]));
+            page[off..off + n].copy_from_slice(&data[i..i + n]);
+            drop(shard);
             a += n as u64;
             i += n;
         }
@@ -145,15 +183,19 @@ impl PagedMem {
 }
 
 /// A simulated process image: segments, sparse memory and symbols.
+///
+/// Internally synchronized — see the crate docs. Every method takes
+/// `&self`; wrap in an `Arc` (or borrow across `std::thread::scope`) to
+/// share between threads.
 pub struct Image {
     mem: PagedMem,
     segments: Vec<Segment>,
-    symbols: HashMap<String, u64>,
-    code_next: u64,
-    data_next: u64,
-    jit_next: u64,
-    heap_next: u64,
-    code_version: u64,
+    symbols: RwLock<HashMap<String, u64>>,
+    code_next: AtomicU64,
+    data_next: AtomicU64,
+    jit_next: AtomicU64,
+    heap_next: AtomicU64,
+    code_version: AtomicU64,
     uid: u64,
 }
 
@@ -196,14 +238,13 @@ impl Image {
                     size: STACK_SIZE,
                 },
             ],
-            symbols: HashMap::new(),
-            code_next: CODE_BASE,
-            data_next: DATA_BASE,
-            jit_next: JIT_BASE,
-            heap_next: HEAP_BASE,
-            code_version: 0,
+            symbols: RwLock::new(HashMap::new()),
+            code_next: AtomicU64::new(CODE_BASE),
+            data_next: AtomicU64::new(DATA_BASE),
+            jit_next: AtomicU64::new(JIT_BASE),
+            heap_next: AtomicU64::new(HEAP_BASE),
+            code_version: AtomicU64::new(0),
             uid: {
-                use std::sync::atomic::{AtomicU64, Ordering};
                 static NEXT_UID: AtomicU64 = AtomicU64::new(1);
                 NEXT_UID.fetch_add(1, Ordering::Relaxed)
             },
@@ -214,7 +255,11 @@ impl Image {
     /// engines use it to invalidate decoded-instruction caches. Combine
     /// with [`Image::uid`] — versions are only comparable within one image.
     pub fn code_version(&self) -> u64 {
-        self.code_version
+        self.code_version.load(Ordering::Acquire)
+    }
+
+    fn bump_code_version(&self) {
+        self.code_version.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Process-unique identity of this image (distinguishes the decode
@@ -246,34 +291,40 @@ impl Image {
 
     // ---- allocation -----------------------------------------------------
 
-    fn bump(next: &mut u64, size: u64, align: u64, seg_end: u64) -> u64 {
+    /// Atomically reserve `size` bytes at `align` from the bump pointer, or
+    /// `None` when the segment is exhausted. Returns the aligned address.
+    fn bump(next: &AtomicU64, size: u64, align: u64, seg_end: u64) -> Option<u64> {
         debug_assert!(align.is_power_of_two());
-        let addr = (*next + align - 1) & !(align - 1);
-        assert!(
-            addr + size <= seg_end,
-            "segment exhausted: need {size} bytes at {addr:#x}, end {seg_end:#x}"
-        );
-        *next = addr + size;
-        addr
+        next.fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+            let addr = (cur + align - 1) & !(align - 1);
+            (addr.checked_add(size)? <= seg_end).then_some(addr + size)
+        })
+        .ok()
+        .map(|prev| (prev + align - 1) & !(align - 1))
+    }
+
+    fn bump_or_panic(next: &AtomicU64, size: u64, align: u64, seg_end: u64) -> u64 {
+        Self::bump(next, size, align, seg_end)
+            .unwrap_or_else(|| panic!("segment exhausted: need {size} bytes, end {seg_end:#x}"))
     }
 
     /// Copy `bytes` into the static code segment; returns their address.
-    pub fn alloc_code(&mut self, bytes: &[u8]) -> u64 {
-        let addr = Self::bump(
-            &mut self.code_next,
+    pub fn alloc_code(&self, bytes: &[u8]) -> u64 {
+        let addr = Self::bump_or_panic(
+            &self.code_next,
             bytes.len() as u64,
             16,
             layout::CODE_BASE + layout::CODE_SIZE,
         );
         self.mem.write(addr, bytes);
-        self.code_version += 1;
+        self.bump_code_version();
         addr
     }
 
     /// Reserve zeroed space in the data segment.
-    pub fn alloc_data(&mut self, size: u64, align: u64) -> u64 {
-        Self::bump(
-            &mut self.data_next,
+    pub fn alloc_data(&self, size: u64, align: u64) -> u64 {
+        Self::bump_or_panic(
+            &self.data_next,
             size,
             align,
             layout::DATA_BASE + layout::DATA_SIZE,
@@ -281,34 +332,46 @@ impl Image {
     }
 
     /// Copy `bytes` into the data segment; returns their address.
-    pub fn alloc_data_bytes(&mut self, bytes: &[u8], align: u64) -> u64 {
+    pub fn alloc_data_bytes(&self, bytes: &[u8], align: u64) -> u64 {
         let addr = self.alloc_data(bytes.len() as u64, align);
         self.mem.write(addr, bytes);
         addr
     }
 
     /// Copy rewritten code into the JIT segment; returns its entry address.
-    pub fn alloc_jit(&mut self, bytes: &[u8]) -> u64 {
-        let addr = Self::bump(
-            &mut self.jit_next,
-            bytes.len() as u64,
-            16,
-            layout::JIT_BASE + layout::JIT_SIZE,
-        );
+    pub fn alloc_jit(&self, bytes: &[u8]) -> u64 {
+        let addr = self
+            .try_alloc_jit(bytes.len() as u64)
+            .expect("JIT segment exhausted");
         self.mem.write(addr, bytes);
-        self.code_version += 1;
+        self.bump_code_version();
         addr
     }
 
-    /// Remaining capacity of the JIT segment in bytes.
+    /// Atomically reserve `size` zeroed bytes of JIT space, or `None` when
+    /// the segment can't fit them. This is the race-free claim for
+    /// concurrent emitters: reserve first, then [`Image::write_bytes`] the
+    /// encoded code into the owned range.
+    pub fn try_alloc_jit(&self, size: u64) -> Option<u64> {
+        Self::bump(
+            &self.jit_next,
+            size,
+            16,
+            layout::JIT_BASE + layout::JIT_SIZE,
+        )
+    }
+
+    /// Remaining capacity of the JIT segment in bytes. Advisory under
+    /// concurrency — racing reservations may shrink it; use
+    /// [`Image::try_alloc_jit`] to claim space atomically.
     pub fn jit_remaining(&self) -> u64 {
-        layout::JIT_BASE + layout::JIT_SIZE - self.jit_next
+        layout::JIT_BASE + layout::JIT_SIZE - self.jit_next.load(Ordering::Acquire)
     }
 
     /// Reserve zeroed heap space (simple bump allocator, no free).
-    pub fn alloc_heap(&mut self, size: u64, align: u64) -> u64 {
-        Self::bump(
-            &mut self.heap_next,
+    pub fn alloc_heap(&self, size: u64, align: u64) -> u64 {
+        Self::bump_or_panic(
+            &self.heap_next,
             size,
             align,
             layout::HEAP_BASE + layout::HEAP_SIZE,
@@ -318,26 +381,40 @@ impl Image {
     // ---- symbols ---------------------------------------------------------
 
     /// Define (or redefine) a symbol.
-    pub fn define(&mut self, name: impl Into<String>, addr: u64) {
-        self.symbols.insert(name.into(), addr);
+    pub fn define(&self, name: impl Into<String>, addr: u64) {
+        self.symbols
+            .write()
+            .expect("symbol table")
+            .insert(name.into(), addr);
     }
 
     /// Look up a symbol's address.
     pub fn lookup(&self, name: &str) -> Option<u64> {
-        self.symbols.get(name).copied()
+        self.symbols
+            .read()
+            .expect("symbol table")
+            .get(name)
+            .copied()
     }
 
     /// Reverse lookup: the symbol defined exactly at `addr`, if any.
-    pub fn symbol_at(&self, addr: u64) -> Option<&str> {
+    pub fn symbol_at(&self, addr: u64) -> Option<String> {
         self.symbols
+            .read()
+            .expect("symbol table")
             .iter()
             .find(|&(_, &a)| a == addr)
-            .map(|(n, _)| n.as_str())
+            .map(|(n, _)| n.clone())
     }
 
     /// All symbols, for diagnostics.
-    pub fn symbols(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.symbols.iter().map(|(n, a)| (n.as_str(), *a))
+    pub fn symbols(&self) -> Vec<(String, u64)> {
+        self.symbols
+            .read()
+            .expect("symbol table")
+            .iter()
+            .map(|(n, a)| (n.clone(), *a))
+            .collect()
     }
 
     // ---- typed access ----------------------------------------------------
@@ -350,10 +427,10 @@ impl Image {
     }
 
     /// Write `data` at `addr`.
-    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+    pub fn write_bytes(&self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
         self.check(addr, data.len() as u64, true)?;
         if matches!(self.segment_of(addr), Some(SegKind::Code | SegKind::Jit)) {
-            self.code_version += 1;
+            self.bump_code_version();
         }
         self.mem.write(addr, data);
         Ok(())
@@ -367,7 +444,7 @@ impl Image {
     }
 
     /// Write the low `size` bytes of `v` little-endian.
-    pub fn write_uint(&mut self, addr: u64, size: u64, v: u64) -> Result<(), MemFault> {
+    pub fn write_uint(&self, addr: u64, size: u64, v: u64) -> Result<(), MemFault> {
         let buf = v.to_le_bytes();
         self.write_bytes(addr, &buf[..size as usize])
     }
@@ -378,7 +455,7 @@ impl Image {
     }
 
     /// Write a u64.
-    pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemFault> {
+    pub fn write_u64(&self, addr: u64, v: u64) -> Result<(), MemFault> {
         self.write_uint(addr, 8, v)
     }
 
@@ -388,7 +465,7 @@ impl Image {
     }
 
     /// Write an f64.
-    pub fn write_f64(&mut self, addr: u64, v: f64) -> Result<(), MemFault> {
+    pub fn write_f64(&self, addr: u64, v: f64) -> Result<(), MemFault> {
         self.write_u64(addr, v.to_bits())
     }
 
@@ -414,11 +491,23 @@ impl Image {
 impl fmt::Debug for Image {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Image")
-            .field("code_used", &(self.code_next - layout::CODE_BASE))
-            .field("data_used", &(self.data_next - layout::DATA_BASE))
-            .field("jit_used", &(self.jit_next - layout::JIT_BASE))
-            .field("heap_used", &(self.heap_next - layout::HEAP_BASE))
-            .field("symbols", &self.symbols.len())
+            .field(
+                "code_used",
+                &(self.code_next.load(Ordering::Relaxed) - layout::CODE_BASE),
+            )
+            .field(
+                "data_used",
+                &(self.data_next.load(Ordering::Relaxed) - layout::DATA_BASE),
+            )
+            .field(
+                "jit_used",
+                &(self.jit_next.load(Ordering::Relaxed) - layout::JIT_BASE),
+            )
+            .field(
+                "heap_used",
+                &(self.heap_next.load(Ordering::Relaxed) - layout::HEAP_BASE),
+            )
+            .field("symbols", &self.symbols.read().expect("symbol table").len())
             .finish()
     }
 }
@@ -429,7 +518,7 @@ mod tests {
 
     #[test]
     fn rw_roundtrip() {
-        let mut img = Image::new();
+        let img = Image::new();
         let a = img.alloc_data(64, 8);
         img.write_u64(a, 0xDEAD_BEEF).unwrap();
         assert_eq!(img.read_u64(a).unwrap(), 0xDEAD_BEEF);
@@ -439,7 +528,7 @@ mod tests {
 
     #[test]
     fn fresh_data_reads_zero() {
-        let mut img = Image::new();
+        let img = Image::new();
         let a = img.alloc_data(16, 8);
         assert_eq!(img.read_u64(a).unwrap(), 0);
     }
@@ -450,7 +539,7 @@ mod tests {
         let err = img.read_u64(0x10).unwrap_err();
         assert_eq!(err.addr, 0x10);
         assert!(!err.write);
-        let mut img = Image::new();
+        let img = Image::new();
         let err = img.write_u64(0x10, 1).unwrap_err();
         assert!(err.write);
     }
@@ -465,7 +554,7 @@ mod tests {
 
     #[test]
     fn alignment_respected() {
-        let mut img = Image::new();
+        let img = Image::new();
         let _ = img.alloc_data(3, 1);
         let a = img.alloc_data(8, 16);
         assert_eq!(a % 16, 0);
@@ -475,18 +564,18 @@ mod tests {
 
     #[test]
     fn symbols() {
-        let mut img = Image::new();
+        let img = Image::new();
         let f = img.alloc_code(&[0xC3]);
         img.define("func", f);
         assert_eq!(img.lookup("func"), Some(f));
-        assert_eq!(img.symbol_at(f), Some("func"));
+        assert_eq!(img.symbol_at(f).as_deref(), Some("func"));
         assert_eq!(img.lookup("nope"), None);
         assert_eq!(img.symbol_at(f + 1), None);
     }
 
     #[test]
     fn code_window_clamps() {
-        let mut img = Image::new();
+        let img = Image::new();
         let code = vec![0x90u8; 32];
         let a = img.alloc_code(&code);
         let w = img.code_window(a, 16).unwrap();
@@ -501,7 +590,7 @@ mod tests {
 
     #[test]
     fn jit_segment_accounting() {
-        let mut img = Image::new();
+        let img = Image::new();
         let before = img.jit_remaining();
         let a = img.alloc_jit(&[0xC3; 100]);
         assert_eq!(img.segment_of(a), Some(SegKind::Jit));
@@ -509,8 +598,23 @@ mod tests {
     }
 
     #[test]
+    fn try_alloc_jit_reserves_disjoint_and_fails_when_full() {
+        let img = Image::new();
+        let a = img.try_alloc_jit(100).unwrap();
+        let b = img.try_alloc_jit(100).unwrap();
+        assert!(b >= a + 100);
+        // Reserved space reads as zero and is writable.
+        assert_eq!(img.read_u64(a).unwrap(), 0);
+        img.write_bytes(a, &[0xC3]).unwrap();
+        // An over-large reservation fails cleanly rather than panicking.
+        assert!(img.try_alloc_jit(layout::JIT_SIZE).is_none());
+        // ... and leaves the bump pointer usable.
+        assert!(img.try_alloc_jit(16).is_some());
+    }
+
+    #[test]
     fn stack_is_accessible() {
-        let mut img = Image::new();
+        let img = Image::new();
         let sp = img.stack_top();
         img.write_u64(sp - 8, 42).unwrap();
         assert_eq!(img.read_u64(sp - 8).unwrap(), 42);
@@ -519,7 +623,7 @@ mod tests {
 
     #[test]
     fn page_boundary_straddle() {
-        let mut img = Image::new();
+        let img = Image::new();
         img.alloc_heap(2 * PAGE, 8);
         let a = layout::HEAP_BASE + PAGE - 4; // straddles two pages
         img.write_u64(a, 0x0123_4567_89AB_CDEF).unwrap();
@@ -528,11 +632,44 @@ mod tests {
 
     #[test]
     fn distinct_allocations_do_not_overlap() {
-        let mut img = Image::new();
+        let img = Image::new();
         let a = img.alloc_data_bytes(&[1u8; 8], 8);
         let b = img.alloc_data_bytes(&[2u8; 8], 8);
         assert!(b >= a + 8);
         assert_eq!(img.read_uint(a, 1).unwrap(), 1);
         assert_eq!(img.read_uint(b, 1).unwrap(), 2);
+    }
+
+    #[test]
+    fn image_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Image>();
+    }
+
+    #[test]
+    fn concurrent_allocations_are_disjoint() {
+        let img = Image::new();
+        let addrs: Vec<Vec<u64>> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        (0..64)
+                            .map(|i| {
+                                let a = img.try_alloc_jit(32 + (i % 7)).unwrap();
+                                img.write_bytes(a, &[0xC3; 8]).unwrap();
+                                a
+                            })
+                            .collect()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut all: Vec<u64> = addrs.into_iter().flatten().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8 * 64, "every reservation is unique");
     }
 }

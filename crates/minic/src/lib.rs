@@ -118,7 +118,7 @@ impl Compiled {
 
 /// Compile mini-C source into `img`: globals into the data segment,
 /// functions into the code segment, all symbols defined in the image.
-pub fn compile_into(src: &str, img: &mut Image) -> Result<Compiled, CompileError> {
+pub fn compile_into(src: &str, img: &Image) -> Result<Compiled, CompileError> {
     let items = parse::parse(src)?;
     let prog = sema::check(&items)?;
 

@@ -7,21 +7,21 @@ use brew_image::Image;
 use brew_minic::compile_into;
 
 fn run_int(src: &str, func: &str, args: CallArgs) -> i64 {
-    let mut img = Image::new();
-    let prog = compile_into(src, &mut img).expect("compile");
+    let img = Image::new();
+    let prog = compile_into(src, &img).expect("compile");
     let mut m = Machine::new();
     let out = m
-        .call(&mut img, prog.func(func).expect("function"), &args)
+        .call(&img, prog.func(func).expect("function"), &args)
         .expect("run");
     out.ret_int as i64
 }
 
 fn run_f64(src: &str, func: &str, args: CallArgs) -> f64 {
-    let mut img = Image::new();
-    let prog = compile_into(src, &mut img).expect("compile");
+    let img = Image::new();
+    let prog = compile_into(src, &img).expect("compile");
     let mut m = Machine::new();
     let out = m
-        .call(&mut img, prog.func(func).expect("function"), &args)
+        .call(&img, prog.func(func).expect("function"), &args)
         .expect("run");
     out.ret_f64
 }
@@ -199,8 +199,8 @@ fn the_paper_apply_function() {
             return v;
         }
     "#;
-    let mut img = Image::new();
-    let prog = compile_into(src, &mut img).unwrap();
+    let img = Image::new();
+    let prog = compile_into(src, &img).unwrap();
     // 4x4 matrix on the heap, m[y][x] = y*10 + x; apply at (1,1).
     let xs = 4i64;
     let base = img.alloc_heap(16 * 8, 8);
@@ -214,7 +214,7 @@ fn the_paper_apply_function() {
     let mut m = Machine::new();
     let out = m
         .call(
-            &mut img,
+            &img,
             prog.func("apply").unwrap(),
             &CallArgs::new()
                 .ptr(center)
@@ -288,16 +288,16 @@ fn incdec_and_pointer_arith() {
 #[test]
 fn divide_by_zero_faults() {
     let src = "int f(int a) { return 10 / a; }";
-    let mut img = Image::new();
-    let prog = compile_into(src, &mut img).unwrap();
+    let img = Image::new();
+    let prog = compile_into(src, &img).unwrap();
     let mut m = Machine::new();
     let err = m
-        .call(&mut img, prog.func("f").unwrap(), &CallArgs::new().int(0))
+        .call(&img, prog.func("f").unwrap(), &CallArgs::new().int(0))
         .unwrap_err();
     assert!(matches!(err, EmuError::Divide { .. }));
     // And works with nonzero.
     let out = m
-        .call(&mut img, prog.func("f").unwrap(), &CallArgs::new().int(3))
+        .call(&img, prog.func("f").unwrap(), &CallArgs::new().int(3))
         .unwrap();
     assert_eq!(out.ret_int, 3);
 }
@@ -333,8 +333,8 @@ fn matrix_sweep_writes_memory() {
                     m2[y * xs + x] = apply(&m1[y * xs + x], xs, &s5);
         }
     "#;
-    let mut img = Image::new();
-    let prog = compile_into(src, &mut img).unwrap();
+    let img = Image::new();
+    let prog = compile_into(src, &img).unwrap();
     let xs = 6i64;
     let ys = 5i64;
     let m1 = img.alloc_heap((xs * ys * 8) as u64, 8);
@@ -349,7 +349,7 @@ fn matrix_sweep_writes_memory() {
     }
     let mut m = Machine::new();
     m.call(
-        &mut img,
+        &img,
         prog.func("sweep").unwrap(),
         &CallArgs::new().ptr(m1).ptr(m2).int(xs).int(ys),
     )

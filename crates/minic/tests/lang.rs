@@ -9,19 +9,19 @@ use brew_image::Image;
 use brew_minic::compile_into;
 
 fn run_int(src: &str, func: &str, args: CallArgs) -> i64 {
-    let mut img = Image::new();
-    let prog = compile_into(src, &mut img).expect("compile");
+    let img = Image::new();
+    let prog = compile_into(src, &img).expect("compile");
     let mut m = Machine::new();
-    m.call(&mut img, prog.func(func).expect("func"), &args)
+    m.call(&img, prog.func(func).expect("func"), &args)
         .expect("run")
         .ret_int as i64
 }
 
 fn run_f64(src: &str, func: &str, args: CallArgs) -> f64 {
-    let mut img = Image::new();
-    let prog = compile_into(src, &mut img).expect("compile");
+    let img = Image::new();
+    let prog = compile_into(src, &img).expect("compile");
     let mut m = Machine::new();
-    m.call(&mut img, prog.func(func).expect("func"), &args)
+    m.call(&img, prog.func(func).expect("func"), &args)
         .expect("run")
         .ret_f64
 }
@@ -324,9 +324,9 @@ fn compile_errors_are_reported() {
         "int f(int a, int a2) { return b(a); }",           // unknown function
     ];
     for src in cases {
-        let mut img = Image::new();
+        let img = Image::new();
         assert!(
-            compile_into(src, &mut img).is_err(),
+            compile_into(src, &img).is_err(),
             "should not compile: {src}"
         );
     }

@@ -103,8 +103,8 @@ impl PgasArray {
     pub fn new(n: i64, nnodes: i64, mynode: i64) -> Self {
         assert!(n > 0 && nnodes > 0 && mynode < nnodes);
         assert_eq!(n % nnodes, 0, "block distribution requires nnodes | n");
-        let mut img = Image::new();
-        let prog = brew_minic::compile_into(PGAS_PROGRAM, &mut img).expect("pgas program compiles");
+        let img = Image::new();
+        let prog = brew_minic::compile_into(PGAS_PROGRAM, &img).expect("pgas program compiles");
         let storage = img.alloc_heap((n * 8) as u64, 16);
         let mut p = PgasArray {
             img,
@@ -155,7 +155,7 @@ impl PgasArray {
             .ptr(self.storage)
             .ptr(self.dist())
             .int(self.n);
-        let out = m.call(&mut self.img, f, &args)?;
+        let out = m.call(&self.img, f, &args)?;
         Ok((out.ret_f64, out.stats))
     }
 
@@ -165,7 +165,7 @@ impl PgasArray {
             .ptr(self.storage)
             .ptr(self.dist())
             .int(self.n);
-        let out = m.call(&mut self.img, entry, &args)?;
+        let out = m.call(&self.img, entry, &args)?;
         Ok((out.ret_f64, out.stats))
     }
 
@@ -173,7 +173,7 @@ impl PgasArray {
     pub fn lsum_manual(&mut self, m: &mut Machine) -> Result<(f64, Stats), EmuError> {
         let f = self.prog.func("lsum").unwrap();
         let args = CallArgs::new().ptr(self.storage).int(self.n);
-        let out = m.call(&mut self.img, f, &args)?;
+        let out = m.call(&self.img, f, &args)?;
         Ok((out.ret_f64, out.stats))
     }
 
@@ -193,7 +193,7 @@ impl PgasArray {
                 o.max_variants = 2;
             })
             .max_trace_insts(8_000_000);
-        Rewriter::new(&mut self.img).rewrite(gsum, &req)
+        Rewriter::new(&self.img).rewrite(gsum, &req)
     }
 
     /// §VIII: rewrite `gsum` with a memory-access hook calling
@@ -219,7 +219,7 @@ impl PgasArray {
                 o.max_variants = 4;
             })
             .max_trace_insts(8_000_000);
-        Rewriter::new(&mut self.img).rewrite(gsum, &req)
+        Rewriter::new(&self.img).rewrite(gsum, &req)
     }
 
     /// Read (and reset) the remote-access counter maintained by the hook.

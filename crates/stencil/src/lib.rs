@@ -59,8 +59,8 @@ impl Stencil {
     /// with a deterministic heat-like pattern.
     pub fn new(xs: i64, ys: i64) -> Self {
         assert!(xs >= 3 && ys >= 3, "matrix too small for a 5-point stencil");
-        let mut img = Image::new();
-        let prog = brew_minic::compile_into(programs::STENCIL_PROGRAM, &mut img)
+        let img = Image::new();
+        let prog = brew_minic::compile_into(programs::STENCIL_PROGRAM, &img)
             .expect("stencil program compiles");
         let bytes = (xs * ys * 8) as u64;
         let m1 = img.alloc_heap(bytes, 16);
@@ -135,7 +135,7 @@ impl Stencil {
     pub fn specialize_apply(&mut self) -> Result<RewriteResult, brew_core::RewriteError> {
         let apply = self.prog.func("apply").expect("apply");
         let req = self.apply_request();
-        Rewriter::new(&mut self.img).rewrite(apply, &req)
+        Rewriter::new(&self.img).rewrite(apply, &req)
     }
 
     /// Like [`Stencil::specialize_apply`] but with an explicit pass
@@ -146,7 +146,7 @@ impl Stencil {
     ) -> Result<RewriteResult, brew_core::RewriteError> {
         let apply = self.prog.func("apply").expect("apply");
         let req = self.apply_request().passes(*pc);
-        Rewriter::new(&mut self.img).rewrite(apply, &req)
+        Rewriter::new(&self.img).rewrite(apply, &req)
     }
 
     /// §V.B: specialize the grouped variant.
@@ -158,7 +158,7 @@ impl Stencil {
             .known_int(self.xs)
             .ptr_to_known(sg5, SG_SIZE)
             .ret(RetKind::F64);
-        Rewriter::new(&mut self.img).rewrite(f, &req)
+        Rewriter::new(&self.img).rewrite(f, &req)
     }
 
     /// §V.B outlook: rewrite the *whole sweep* with controlled unrolling
@@ -184,7 +184,7 @@ impl Stencil {
             })
             .max_code_bytes(1 << 22)
             .max_trace_insts(16_000_000);
-        Rewriter::new(&mut self.img).rewrite(sweep, &req)
+        Rewriter::new(&self.img).rewrite(sweep, &req)
     }
 
     // ---- execution --------------------------------------------------------
@@ -215,7 +215,7 @@ impl Stencil {
             if let Some(fp) = extra {
                 args = args.ptr(fp);
             }
-            let out = m.call(&mut self.img, func, &args)?;
+            let out = m.call(&self.img, func, &args)?;
             total.merge(&out.stats);
             std::mem::swap(&mut src, &mut dst);
         }
@@ -247,7 +247,7 @@ impl Stencil {
                 .int(self.xs)
                 .int(self.ys)
                 .ptr(apply_fn);
-            let out = m.call(&mut self.img, sweep, &args)?;
+            let out = m.call(&self.img, sweep, &args)?;
             total.merge(&out.stats);
             std::mem::swap(&mut src, &mut dst);
         }

@@ -19,7 +19,7 @@ use brew_x86::prelude::*;
 /// code shape as [`build_packed_sweep`] but one point at a time — the
 /// baseline that isolates the pure SIMD factor from scheduling quality.
 /// Signature `void sweep(double* m1, double* m2)`.
-pub fn build_scalar_handtuned_sweep(img: &mut Image, xs: i64, ys: i64) -> u64 {
+pub fn build_scalar_handtuned_sweep(img: &Image, xs: i64, ys: i64) -> u64 {
     assert!(xs >= 3 && ys >= 3);
     let quarter = img.alloc_data_bytes(&0.25f64.to_bits().to_le_bytes(), 8);
     let row_bytes = xs * 8;
@@ -139,7 +139,7 @@ pub fn build_scalar_handtuned_sweep(img: &mut Image, xs: i64, ys: i64) -> u64 {
 /// matrices with the standard coefficients, signature
 /// `void sweep(double* m1, double* m2)`. Requires even `xs` (the interior
 /// width must pair up). Returns the entry address.
-pub fn build_packed_sweep(img: &mut Image, xs: i64, ys: i64) -> u64 {
+pub fn build_packed_sweep(img: &Image, xs: i64, ys: i64) -> u64 {
     assert!(xs % 2 == 0 && xs >= 4 && ys >= 3, "interior must pair up");
     let quarter = img.alloc_data_bytes(
         &{
@@ -298,12 +298,12 @@ mod tests {
     #[test]
     fn packed_sweep_matches_host_reference() {
         let (xs, ys, iters) = (12i64, 9i64, 3u32);
-        let mut s = Stencil::new(xs, ys);
-        let packed = build_packed_sweep(&mut s.img, xs, ys);
+        let s = Stencil::new(xs, ys);
+        let packed = build_packed_sweep(&s.img, xs, ys);
         let mut m = Machine::new();
         let (mut src, mut dst) = (s.m1, s.m2);
         for _ in 0..iters {
-            m.call(&mut s.img, packed, &CallArgs::new().ptr(src).ptr(dst))
+            m.call(&s.img, packed, &CallArgs::new().ptr(src).ptr(dst))
                 .unwrap();
             std::mem::swap(&mut src, &mut dst);
         }
@@ -313,12 +313,12 @@ mod tests {
     #[test]
     fn scalar_handtuned_matches_host_reference() {
         let (xs, ys, iters) = (11i64, 9i64, 2u32);
-        let mut s = Stencil::new(xs, ys);
-        let f = build_scalar_handtuned_sweep(&mut s.img, xs, ys);
+        let s = Stencil::new(xs, ys);
+        let f = build_scalar_handtuned_sweep(&s.img, xs, ys);
         let mut m = Machine::new();
         let (mut src, mut dst) = (s.m1, s.m2);
         for _ in 0..iters {
-            m.call(&mut s.img, f, &CallArgs::new().ptr(src).ptr(dst))
+            m.call(&s.img, f, &CallArgs::new().ptr(src).ptr(dst))
                 .unwrap();
             std::mem::swap(&mut src, &mut dst);
         }
@@ -328,17 +328,17 @@ mod tests {
     #[test]
     fn packed_halves_scalar_handtuned_fp_ops() {
         let (xs, ys) = (16i64, 10i64);
-        let mut s1 = Stencil::new(xs, ys);
-        let sc = build_scalar_handtuned_sweep(&mut s1.img, xs, ys);
+        let s1 = Stencil::new(xs, ys);
+        let sc = build_scalar_handtuned_sweep(&s1.img, xs, ys);
         let mut m = Machine::new();
         let scalar = m
-            .call(&mut s1.img, sc, &CallArgs::new().ptr(s1.m1).ptr(s1.m2))
+            .call(&s1.img, sc, &CallArgs::new().ptr(s1.m1).ptr(s1.m2))
             .unwrap()
             .stats;
-        let mut s2 = Stencil::new(xs, ys);
-        let pk = build_packed_sweep(&mut s2.img, xs, ys);
+        let s2 = Stencil::new(xs, ys);
+        let pk = build_packed_sweep(&s2.img, xs, ys);
         let packed = m
-            .call(&mut s2.img, pk, &CallArgs::new().ptr(s2.m1).ptr(s2.m2))
+            .call(&s2.img, pk, &CallArgs::new().ptr(s2.m1).ptr(s2.m2))
             .unwrap()
             .stats;
         // Identical code shape, half the iterations: the pure SIMD factor.
@@ -354,11 +354,11 @@ mod tests {
     #[test]
     fn packed_sweep_halves_fp_work() {
         let (xs, ys) = (16i64, 10i64);
-        let mut s = Stencil::new(xs, ys);
-        let packed = build_packed_sweep(&mut s.img, xs, ys);
+        let s = Stencil::new(xs, ys);
+        let packed = build_packed_sweep(&s.img, xs, ys);
         let mut m = Machine::new();
         let packed_stats = m
-            .call(&mut s.img, packed, &CallArgs::new().ptr(s.m1).ptr(s.m2))
+            .call(&s.img, packed, &CallArgs::new().ptr(s.m1).ptr(s.m2))
             .unwrap()
             .stats;
 

@@ -93,13 +93,13 @@ mod tests {
     #[test]
     fn accepts_faithful_rewrites() {
         let mut img = Image::new();
-        brew_minic::compile_into("int f(int a, int b) { return a * b + 1; }", &mut img).unwrap();
+        brew_minic::compile_into("int f(int a, int b) { return a * b + 1; }", &img).unwrap();
         let f = img.lookup("f").unwrap();
         let req = SpecRequest::new()
             .unknown_int()
             .known_int(9)
             .ret(RetKind::Int);
-        let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+        let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
         let probes: Vec<Vec<ArgValue>> = (-3..3)
             .map(|a| vec![ArgValue::Int(a), ArgValue::Int(9)])
             .collect();
@@ -111,13 +111,13 @@ mod tests {
         // Probing with values that violate BREW_KNOWN exposes the baked
         // constant — verify_rewrite reports the divergence.
         let mut img = Image::new();
-        brew_minic::compile_into("int f(int a, int b) { return a * b; }", &mut img).unwrap();
+        brew_minic::compile_into("int f(int a, int b) { return a * b; }", &img).unwrap();
         let f = img.lookup("f").unwrap();
         let req = SpecRequest::new()
             .unknown_int()
             .known_int(9)
             .ret(RetKind::Int);
-        let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+        let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
         let bad_probe = vec![vec![ArgValue::Int(2), ArgValue::Int(5)]]; // b != 9
         let err = verify_rewrite(&mut img, f, res.entry, RetKind::Int, &bad_probe).unwrap_err();
         assert!(err.what.contains("10") && err.what.contains("18"), "{err}");

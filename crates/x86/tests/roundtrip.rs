@@ -308,6 +308,134 @@ proptest! {
     }
 }
 
+/// Packed-double subset only (the vectorizer's working set).
+fn arb_pd_op() -> impl Strategy<Value = SseOp> {
+    prop_oneof![
+        Just(SseOp::Addpd),
+        Just(SseOp::Subpd),
+        Just(SseOp::Mulpd),
+        Just(SseOp::Divpd),
+        Just(SseOp::Xorpd),
+        Just(SseOp::Unpcklpd),
+    ]
+}
+
+/// An 8-byte-aligned absolute address in the positive-disp32 range, the
+/// shape of every literal-pool slot emitted variants load from.
+fn arb_pool_addr() -> impl Strategy<Value = i32> {
+    (0x10_0000i32..0x7FF0_0000).prop_map(|a| a & !7)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// PD ops against a literal-pool operand roundtrip exactly, and the
+    /// encoding is placement-independent: absolute `[disp32]` bytes must
+    /// be identical wherever the instruction lands — the proof that the
+    /// subset never silently substitutes a rip-relative form.
+    #[test]
+    fn pd_literal_pool_roundtrips_placement_independent(
+        op in arb_pd_op(),
+        d in 0u8..16,
+        addr in arb_pool_addr(),
+    ) {
+        let inst = Inst::Sse {
+            op,
+            dst: Xmm::from_number(d),
+            src: Operand::Mem(MemRef::abs(addr)),
+        };
+        let mut bytes = Vec::new();
+        let n = encode(&inst, BASE, &mut bytes).unwrap();
+        let dec = decode(&bytes, BASE).unwrap();
+        prop_assert_eq!(&dec.inst, &inst, "bytes {:02x?}", bytes);
+        prop_assert_eq!(dec.len, n);
+
+        let mut elsewhere = Vec::new();
+        encode(&inst, BASE + 0x1_2345, &mut elsewhere).unwrap();
+        prop_assert_eq!(bytes, elsewhere, "[abs32] must not depend on placement");
+    }
+
+    /// The literal-pool movs (packed and scalar, load and store)
+    /// roundtrip and stay placement-independent too.
+    #[test]
+    fn literal_pool_movs_roundtrip(
+        d in 0u8..16,
+        addr in arb_pool_addr(),
+        packed in any::<bool>(),
+        load in any::<bool>(),
+    ) {
+        let xmm = Operand::Xmm(Xmm::from_number(d));
+        let mem = Operand::Mem(MemRef::abs(addr));
+        let inst = match (packed, load) {
+            (true, true) => Inst::MovUpd { dst: xmm, src: mem },
+            (true, false) => Inst::MovUpd { dst: mem, src: xmm },
+            (false, true) => Inst::MovSd { dst: xmm, src: mem },
+            (false, false) => Inst::MovSd { dst: mem, src: xmm },
+        };
+        let mut bytes = Vec::new();
+        encode(&inst, BASE, &mut bytes).unwrap();
+        let dec = decode(&bytes, BASE).unwrap();
+        prop_assert_eq!(&dec.inst, &inst, "bytes {:02x?}", bytes);
+        let mut elsewhere = Vec::new();
+        encode(&inst, BASE + 0x6_7890, &mut elsewhere).unwrap();
+        prop_assert_eq!(bytes, elsewhere);
+    }
+
+    /// Indexed literal-pool access (`[index*scale + disp32]`, the table
+    /// form) roundtrips for PD operands.
+    #[test]
+    fn pd_indexed_pool_roundtrip(
+        op in arb_pd_op(),
+        d in 0u8..16,
+        idx in arb_gpr().prop_filter("rsp can't index", |r| *r != Gpr::Rsp),
+        scale in 0u8..4,
+        addr in arb_pool_addr(),
+    ) {
+        let inst = Inst::Sse {
+            op,
+            dst: Xmm::from_number(d),
+            src: Operand::Mem(MemRef {
+                base: None,
+                index: Some((idx, 1u8 << scale)),
+                disp: addr,
+            }),
+        };
+        let mut bytes = Vec::new();
+        encode(&inst, BASE, &mut bytes).unwrap();
+        let dec = decode(&bytes, BASE).unwrap();
+        prop_assert_eq!(&dec.inst, &inst, "bytes {:02x?}", bytes);
+    }
+
+    /// The subset rejects rip-relative (`mod=00 rm=101`) by design; a PD
+    /// instruction in that form must *fail* to decode, never misdecode
+    /// as something else (e.g. as an absolute access).
+    #[test]
+    fn rip_relative_pd_forms_reject_not_misread(
+        op in arb_pd_op(),
+        d in 0u8..8, // xmm0-7: no REX prefix, fixed byte layout
+        addr in arb_pool_addr(),
+    ) {
+        let inst = Inst::Sse {
+            op,
+            dst: Xmm::from_number(d),
+            src: Operand::Mem(MemRef::abs(addr)),
+        };
+        let mut bytes = Vec::new();
+        encode(&inst, BASE, &mut bytes).unwrap();
+        // 66 0F <op> <modrm mod=00 reg rm=100> <sib 0x25> <disp32>
+        prop_assert_eq!(bytes.len(), 9);
+        prop_assert_eq!(bytes[3] & 0xC7, 0x04, "absolute form uses mod=00 rm=100");
+        prop_assert_eq!(bytes[4], 0x25, "SIB base=101, no index");
+        // Rewrite into the rip-relative encoding of the same disp.
+        let mut rip = bytes.clone();
+        rip[3] = (rip[3] & 0x38) | 0x05; // mod=00 rm=101
+        rip.remove(4); // drop the SIB byte
+        let err = decode(&rip, BASE).unwrap_err();
+        let msg = format!("{err:?}").to_lowercase();
+        prop_assert!(msg.contains("rip"), "wrong rejection: {}", msg);
+    }
+}
+
 #[test]
 fn w8_mov_forms_roundtrip() {
     for inst in [

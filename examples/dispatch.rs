@@ -14,7 +14,7 @@ use brew_suite::prelude::*;
 use std::collections::HashMap;
 
 fn main() {
-    let mut img = Image::new();
+    let img = Image::new();
     let prog = compile_into(
         r#"
         int poly(int x, int n) {
@@ -23,7 +23,7 @@ fn main() {
             return r;
         }
         "#,
-        &mut img,
+        &img,
     )
     .unwrap();
     let poly = prog.func("poly").unwrap();
@@ -47,9 +47,7 @@ fn main() {
     let mut base_cycles = 0;
     let mut expect = Vec::new();
     for &(x, n) in &profile {
-        let out = m
-            .call(&mut img, poly, &CallArgs::new().int(x).int(n))
-            .unwrap();
+        let out = m.call(&img, poly, &CallArgs::new().int(x).int(n)).unwrap();
         base_cycles += out.stats.cycles;
         expect.push(out.ret_int);
     }
@@ -57,7 +55,7 @@ fn main() {
     // Every call whose n has been seen often enough *requests* a
     // specialization. Only the first request per value pays for a rewrite;
     // the manager answers the rest from its variant cache.
-    let mut mgr = SpecializationManager::new();
+    let mgr = SpecializationManager::new();
     let mut seen: HashMap<i64, u32> = HashMap::new();
     for &(_, n) in &profile {
         let count = seen.entry(n).or_insert(0);
@@ -67,7 +65,7 @@ fn main() {
                 .unknown_int()
                 .known_int(n)
                 .ret(RetKind::Int);
-            mgr.get_or_rewrite(&mut img, poly, &req).unwrap();
+            mgr.get_or_rewrite(&img, poly, &req).unwrap();
         }
     }
     let st = mgr.stats();
@@ -82,7 +80,7 @@ fn main() {
 
     // One stub guards all cached variants; unknown n falls through to the
     // original, so the stub is a drop-in replacement for poly.
-    let dispatch = mgr.build_dispatcher(&mut img, poly, poly).unwrap();
+    let dispatch = mgr.build_dispatcher(&img, poly, poly).unwrap();
     println!(
         "dispatch stub at {:#x} over {} variants ({} code bytes resident)\n",
         dispatch,
@@ -93,7 +91,7 @@ fn main() {
     let mut spec_cycles = 0;
     for (i, &(x, n)) in profile.iter().enumerate() {
         let out = m
-            .call(&mut img, dispatch, &CallArgs::new().int(x).int(n))
+            .call(&img, dispatch, &CallArgs::new().int(x).int(n))
             .unwrap();
         assert_eq!(out.ret_int, expect[i], "dispatcher must match the original");
         spec_cycles += out.stats.cycles;

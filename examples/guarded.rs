@@ -15,7 +15,7 @@
 use brew_suite::prelude::*;
 
 fn main() {
-    let mut img = Image::new();
+    let img = Image::new();
     let prog = compile_into(
         r#"
         int poly(int x, int n) {
@@ -27,7 +27,7 @@ fn main() {
         }
         int driver(int x, int n) { return poly(x, n); }
         "#,
-        &mut img,
+        &img,
     )
     .unwrap();
     let poly = prog.func("poly").unwrap();
@@ -41,7 +41,7 @@ fn main() {
         m.set_call_observer(Box::new(|_site, target, cpu| profile.record(target, cpu)));
         for i in 0..200 {
             let n = if i % 10 == 0 { (i % 7) as i64 } else { 42 };
-            m.call(&mut img, driver, &CallArgs::new().int(2).int(n))
+            m.call(&img, driver, &CallArgs::new().int(2).int(n))
                 .unwrap();
         }
     }
@@ -54,7 +54,7 @@ fn main() {
         .unknown_int()
         .known_int(hot as i64)
         .ret(RetKind::Int);
-    let mut rw = Rewriter::new(&mut img);
+    let mut rw = Rewriter::new(&img);
     let spec = rw.rewrite(poly, &req).expect("rewrite");
     let guard = rw.guard(1, hot as i64, spec.entry, poly).expect("guard");
     println!(
@@ -65,14 +65,10 @@ fn main() {
     // Phase 3: the guard is a drop-in replacement for poly.
     let mut m = Machine::new();
     let hot_path = m
-        .call(&mut img, guard, &CallArgs::new().int(2).int(42))
+        .call(&img, guard, &CallArgs::new().int(2).int(42))
         .unwrap();
-    let cold_path = m
-        .call(&mut img, guard, &CallArgs::new().int(2).int(5))
-        .unwrap();
-    let orig = m
-        .call(&mut img, poly, &CallArgs::new().int(2).int(42))
-        .unwrap();
+    let cold_path = m.call(&img, guard, &CallArgs::new().int(2).int(5)).unwrap();
+    let orig = m.call(&img, poly, &CallArgs::new().int(2).int(42)).unwrap();
     println!(
         "poly(2, 42) via guard : {:>20} in {:>4} cycles (hot path)",
         hot_path.ret_int, hot_path.stats.cycles

@@ -1,35 +1,68 @@
-//! Domain-decomposed stencil across simulated nodes.
+//! Domain-decomposed stencil across worker threads sharing one manager.
 //!
 //! The paper's motivation is HPC: codes that distribute data, exchange
 //! halos, and need their per-node inner loops to be fast. This example
-//! decomposes the matrix into row slabs, gives every worker thread its own
-//! process image with its own BREW-specialized sweep (runtime rewriting is
-//! per-process — each "node" specializes for its own slab geometry), runs
-//! the workers with scoped threads, and exchanges halo rows through the
-//! host between iterations.
+//! decomposes the matrix into row slabs and runs the workers as scoped
+//! threads over **one shared process image and one shared
+//! `SpecializationManager`**: every worker requests a sweep specialized
+//! for its own slab geometry, workers with the same geometry coalesce on
+//! (or hit) the same cached variant instead of tracing it again, and each
+//! worker executes on a private emulator stack. Halo rows are exchanged
+//! through the host between iterations.
 //!
 //! ```sh
 //! cargo run --release --example parallel
 //! ```
 
 use brew_suite::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 struct Worker {
-    stencil: Stencil,
-    entry: u64,
     /// First global interior row this worker owns.
     start: usize,
     /// One past the last global row this worker owns.
     end: usize,
-    cycles: u64,
+    /// Slab height including the two halo rows.
+    slab_ys: i64,
+    /// Slab matrices allocated in the *shared* image.
+    m1: u64,
+    m2: u64,
+    cycles: AtomicU64,
+}
+
+/// The whole-sweep request for one slab geometry (the Figure-5 recipe with
+/// the slab's height baked in). Same geometry => same fingerprint => the
+/// shared manager rewrites it once for all workers that need it.
+fn slab_request(sweep: u64, s5: u64, xs: i64, slab_ys: i64) -> SpecRequest {
+    SpecRequest::new()
+        .unknown_int() // src matrix
+        .unknown_int() // dst matrix
+        .known_int(xs)
+        .known_int(slab_ys)
+        .known_mem(s5..s5 + brew_stencil::S_SIZE)
+        .ret(RetKind::Void)
+        .func(sweep, |o| {
+            o.branch_unknown = true;
+            o.max_variants = 2;
+        })
+        .max_code_bytes(1 << 22)
+        .max_trace_insts(16_000_000)
 }
 
 fn main() {
     let (xs, ys, iters, nworkers) = (48usize, 49usize, 4u32, 4usize);
     println!(
-        "{xs}x{ys} stencil, {iters} iterations, {nworkers} simulated nodes \
-         (row-slab decomposition, halo exchange via host)\n"
+        "{xs}x{ys} stencil, {iters} iterations, {nworkers} workers \
+         (row-slab decomposition, one shared image + shared manager)\n"
     );
+
+    // One shared image: program, descriptor and every worker's slabs.
+    let img = Image::new();
+    let prog = compile_into(brew_stencil::programs::STENCIL_PROGRAM, &img)
+        .expect("stencil program compiles");
+    let sweep = prog.func("sweep_generic").expect("sweep_generic");
+    let s5 = prog.global("s5").expect("s5");
+    let mgr = SpecializationManager::new();
 
     // Host-side global matrices.
     let init = |x: usize, y: usize| -> f64 {
@@ -44,81 +77,70 @@ fn main() {
         .collect();
     let mut next = cur.clone();
 
-    // Partition interior rows [1, ys-1) into slabs.
+    // Partition interior rows [1, ys-1) into slabs, each with two halo
+    // rows, and give every worker its own matrices in the shared heap.
     let interior = ys - 2;
     let per = interior.div_ceil(nworkers);
-    let mut workers: Vec<Worker> = (0..nworkers)
+    let workers: Vec<Worker> = (0..nworkers)
         .filter_map(|w| {
             let start = 1 + w * per;
             let end = (start + per).min(ys - 1);
             if start >= end {
                 return None;
             }
-            let slab_ys = end - start + 2; // plus two halo rows
-            let mut stencil = Stencil::new(xs as i64, slab_ys as i64);
-            let entry = stencil
-                .specialize_sweep(2)
-                .expect("each node rewrites its own sweep")
-                .entry;
+            let slab_ys = (end - start + 2) as i64;
+            let bytes = (xs as i64 * slab_ys * 8) as u64;
             Some(Worker {
-                stencil,
-                entry,
                 start,
                 end,
-                cycles: 0,
+                slab_ys,
+                m1: img.alloc_heap(bytes, 16),
+                m2: img.alloc_heap(bytes, 16),
+                cycles: AtomicU64::new(0),
             })
         })
         .collect();
-    println!("each node rewrote its sweep for its own slab geometry:");
-    for (i, w) in workers.iter().enumerate() {
-        println!(
-            "  node {i}: rows {}..{} (slab of {} rows)",
-            w.start,
-            w.end,
-            w.end - w.start + 2
-        );
-    }
 
     for _ in 0..iters {
-        // Parallel phase: every node computes its slab with its own image,
-        // machine and specialized code.
+        // Parallel phase: scoped threads share the image and the manager;
+        // each requests the variant for its slab geometry (a rewrite only
+        // the first time any worker asks for that geometry) and runs it on
+        // a private emulator stack.
         std::thread::scope(|scope| {
-            let cur = &cur;
             let next_slabs: Vec<_> = workers
-                .iter_mut()
-                .map(|w| {
+                .iter()
+                .enumerate()
+                .map(|(tid, w)| {
+                    let (img, mgr, cur) = (&img, &mgr, &cur);
                     scope.spawn(move || {
-                        // Scatter: slab rows (with halos) into the node's m1.
+                        // Scatter: slab rows (with halos) into this slab's m1.
                         for (sy, gy) in (w.start - 1..=w.end).enumerate() {
                             for x in 0..xs {
-                                w.stencil
-                                    .img
-                                    .write_f64(
-                                        w.stencil.m1 + ((sy * xs + x) * 8) as u64,
-                                        cur[gy * xs + x],
-                                    )
+                                img.write_f64(w.m1 + ((sy * xs + x) * 8) as u64, cur[gy * xs + x])
                                     .unwrap();
                             }
                         }
+                        let req = slab_request(sweep, s5, xs as i64, w.slab_ys);
+                        let v = mgr.get_or_rewrite(img, sweep, &req).expect("slab rewrite");
                         let mut m = Machine::new();
-                        let st = w
-                            .stencil
-                            .run(&mut m, Variant::SpecializedSweep(w.entry), 1)
-                            .expect("node sweep");
-                        w.cycles += st.cycles;
-                        // Gather: interior slab rows from the node's m2.
-                        let mut out = vec![0.0f64; (w.end - w.start) * xs];
-                        for (sy, gy) in (w.start..w.end).enumerate() {
-                            let _ = gy;
+                        m.set_stack_top(img.stack_top() - (tid as u64) * 0x4_0000);
+                        let args = CallArgs::new()
+                            .ptr(w.m1)
+                            .ptr(w.m2)
+                            .int(xs as i64)
+                            .int(w.slab_ys);
+                        let out = m.call(img, v.entry, &args).expect("slab sweep");
+                        w.cycles.fetch_add(out.stats.cycles, Ordering::Relaxed);
+                        // Gather: interior slab rows from this slab's m2.
+                        let mut out_rows = vec![0.0f64; (w.end - w.start) * xs];
+                        for sy in 0..w.end - w.start {
                             for x in 0..xs {
-                                out[sy * xs + x] = w
-                                    .stencil
-                                    .img
-                                    .read_f64(w.stencil.m2 + (((sy + 1) * xs + x) * 8) as u64)
+                                out_rows[sy * xs + x] = img
+                                    .read_f64(w.m2 + (((sy + 1) * xs + x) * 8) as u64)
                                     .unwrap();
                             }
                         }
-                        (w.start, w.end, out)
+                        (w.start, w.end, out_rows)
                     })
                 })
                 .collect();
@@ -134,6 +156,23 @@ fn main() {
         std::mem::swap(&mut cur, &mut next);
         next.copy_from_slice(&cur);
     }
+
+    let st = mgr.stats();
+    let geometries: std::collections::BTreeSet<i64> = workers.iter().map(|w| w.slab_ys).collect();
+    println!(
+        "shared manager: {} distinct slab geometries -> {} traces \
+         ({} hits, {} coalesced across {} requests)",
+        geometries.len(),
+        st.misses,
+        st.hits,
+        st.coalesced,
+        st.hits + st.coalesced + st.misses,
+    );
+    assert_eq!(
+        st.misses,
+        geometries.len() as u64,
+        "single-flight: one trace per geometry"
+    );
 
     // Sequential host reference.
     let mut a: Vec<f64> = (0..ys)
@@ -152,15 +191,22 @@ fn main() {
     }
     assert_eq!(cur, a, "decomposed result equals the sequential reference");
 
-    println!("\nresult matches the sequential host reference bit-for-bit");
-    let total: u64 = workers.iter().map(|w| w.cycles).sum();
-    let max: u64 = workers.iter().map(|w| w.cycles).max().unwrap_or(1);
-    println!("per-node model cycles:");
-    for (i, w) in workers.iter().enumerate() {
-        println!("  node {i}: {:>9}", w.cycles);
+    println!("result matches the sequential host reference bit-for-bit\n");
+    let cycles: Vec<u64> = workers
+        .iter()
+        .map(|w| w.cycles.load(Ordering::Relaxed))
+        .collect();
+    let total: u64 = cycles.iter().sum();
+    let max: u64 = cycles.iter().copied().max().unwrap_or(1);
+    println!("per-worker model cycles:");
+    for (i, (w, c)) in workers.iter().zip(&cycles).enumerate() {
+        println!(
+            "  worker {i}: rows {:>2}..{:<2} (slab_ys {:>2})  {:>9}",
+            w.start, w.end, w.slab_ys, c
+        );
     }
     println!(
-        "total {total}, critical path {max} -> parallel efficiency {:.0}% on {} nodes",
+        "total {total}, critical path {max} -> parallel efficiency {:.0}% on {} workers",
         total as f64 / (max as f64 * workers.len() as f64) * 100.0,
         workers.len()
     );

@@ -12,7 +12,7 @@ use brew_suite::prelude::*;
 fn main() {
     // A process image stands in for the live process: code, data, heap,
     // stack, and a JIT region for rewritten functions.
-    let mut img = Image::new();
+    let img = Image::new();
 
     // `func` from Figure 2, compiled by the mini-C substrate the way a
     // static compiler would have produced it.
@@ -24,7 +24,7 @@ fn main() {
             return acc;
         }
         "#,
-        &mut img,
+        &img,
     )
     .expect("compiles");
     let func = prog.func("func").unwrap();
@@ -32,7 +32,7 @@ fn main() {
     // Call the original: int x = func(3, 10);
     let mut machine = Machine::new();
     let x = machine
-        .call(&mut img, func, &CallArgs::new().int(3).int(10))
+        .call(&img, func, &CallArgs::new().int(3).int(10))
         .unwrap();
     println!(
         "func(3, 10)            = {:4}   [{} insts, {} cycles]",
@@ -50,14 +50,14 @@ fn main() {
         .unknown_int() // a: varies at runtime
         .known_int(10) // b: baked in
         .ret(RetKind::Int);
-    let newfunc = Rewriter::new(&mut img)
+    let newfunc = Rewriter::new(&img)
         .rewrite(func, &req)
         .expect("rewrite succeeds");
 
     // The new function is a drop-in replacement: same signature. The loop
     // bound 10 is baked in — the loop is fully unrolled and folded.
     let x2 = machine
-        .call(&mut img, newfunc.entry, &CallArgs::new().int(3).int(10))
+        .call(&img, newfunc.entry, &CallArgs::new().int(3).int(10))
         .unwrap();
     println!(
         "newfunc(3, 10)         = {:4}   [{} insts, {} cycles]",

@@ -1,20 +1,46 @@
 #!/usr/bin/env sh
 # The CI gate, runnable locally. Everything is offline by design:
 # dev-dependencies resolve to in-tree stubs (DESIGN.md §6).
+#
+#   scripts/check.sh          # everything
+#   scripts/check.sh check    # fmt + clippy + debug build/test
+#   scripts/check.sh stress   # examples + release concurrency/differential
+#
+# The stress stage reruns the timing-sensitive suites under `--release`
+# so single-flight/eviction races get exercised with optimization on.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
+stage="${1:-all}"
 
-echo "==> cargo clippy (warnings are errors)"
-cargo clippy --workspace --all-targets --offline -- -D warnings
+if [ "$stage" = "all" ] || [ "$stage" = "check" ]; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all --check
 
-echo "==> cargo build --release (offline)"
-cargo build --release --workspace --offline
+    echo "==> cargo clippy (warnings are errors)"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> cargo test (offline)"
-cargo test --workspace --offline -q
+    echo "==> cargo build --release (offline)"
+    cargo build --release --workspace --offline
 
-echo "All checks passed."
+    echo "==> cargo test (offline)"
+    cargo test --workspace --offline -q
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "stress" ]; then
+    echo "==> examples (release)"
+    cargo build --release --offline --examples
+    for ex in quickstart stencil pgas guarded dispatch parallel; do
+        echo "--> example $ex"
+        cargo run --release --offline --example "$ex" >/dev/null
+    done
+
+    echo "==> concurrency stress (release)"
+    cargo test --release --offline -q -p brew-core --test concurrent
+
+    echo "==> differential suite (release, includes the manager path)"
+    cargo test --release --offline -q -p brew-suite --test differential
+fi
+
+echo "All checks passed ($stage)."

@@ -9,6 +9,37 @@
 
 use brew_suite::prelude::*;
 use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Run `req` through the `SpecializationManager` three ways — cold miss,
+/// warm hit, and re-request after a forced eviction — and return the
+/// specialized entries the caller must probe for bit-identical behavior.
+/// The warm hit must be pointer-equal to the cold variant (no re-trace);
+/// the post-eviction entry is a genuinely fresh rewrite.
+fn manager_entries(img: &Image, f: u64, req: &SpecRequest) -> Vec<u64> {
+    let mgr = SpecializationManager::new();
+    let cold = mgr.get_or_rewrite(img, f, req).unwrap();
+    let warm = mgr.get_or_rewrite(img, f, req).unwrap();
+    assert!(
+        Arc::ptr_eq(&cold, &warm),
+        "warm hit must return the cached variant"
+    );
+    let st = mgr.stats();
+    assert_eq!((st.hits, st.misses), (1, 1));
+
+    // Budget for exactly one variant, then alternate two fingerprints of
+    // the same semantics (`max_trace_insts` is fingerprinted but does not
+    // change this trace) to force an eviction and a re-trace.
+    let tiny = SpecializationManager::with_budget(cold.code_len);
+    tiny.get_or_rewrite(img, f, req).unwrap();
+    let alt = req.clone().max_trace_insts(3_999_999);
+    tiny.get_or_rewrite(img, f, &alt).unwrap();
+    assert!(tiny.stats().evictions >= 1, "tiny budget must evict");
+    let again = tiny.get_or_rewrite(img, f, req).unwrap();
+    assert_eq!(tiny.stats().misses, 3, "post-eviction re-request re-traces");
+
+    vec![cold.entry, again.entry]
+}
 
 /// A tiny expression AST rendered to mini-C over variables a, b, c, t.
 #[derive(Debug, Clone)]
@@ -136,8 +167,8 @@ impl Prog {
 /// which parameters are known (pinned to `pins`), compare on `probes`.
 fn check(prog: &Prog, spec_mask: u8, pins: [i64; 3], probes: &[[i64; 3]]) {
     let src = prog.render();
-    let mut img = Image::new();
-    let compiled = match compile_into(&src, &mut img) {
+    let img = Image::new();
+    let compiled = match compile_into(&src, &img) {
         Ok(c) => c,
         Err(e) => panic!("generated program failed to compile: {e}\n{src}"),
     };
@@ -151,13 +182,17 @@ fn check(prog: &Prog, spec_mask: u8, pins: [i64; 3], probes: &[[i64; 3]]) {
             req.unknown_int()
         };
     }
-    let res = match Rewriter::new(&mut img).rewrite(f, &req) {
+    let res = match Rewriter::new(&img).rewrite(f, &req) {
         Ok(r) => r,
         // Failure is a legitimate outcome (the caller keeps the original);
         // a division fault during tracing is the expected cause here.
         Err(RewriteError::TraceFault { .. }) => return,
         Err(e) => panic!("unexpected rewrite failure: {e}\n{src}"),
     };
+    // The same request through the manager: cold, warm-hit, and
+    // post-eviction variants must all agree with the direct rewrite.
+    let mut entries = vec![res.entry];
+    entries.extend(manager_entries(&img, f, &req));
 
     let mut m = Machine::new();
     for probe in probes {
@@ -169,19 +204,21 @@ fn check(prog: &Prog, spec_mask: u8, pins: [i64; 3], probes: &[[i64; 3]]) {
             }
         }
         let call = CallArgs::new().int(vals[0]).int(vals[1]).int(vals[2]);
-        let orig = m.call(&mut img, f, &call);
-        let spec = m.call(&mut img, res.entry, &call);
-        match (orig, spec) {
-            (Ok(o), Ok(s)) => {
-                assert_eq!(
-                    o.ret_int, s.ret_int,
-                    "mismatch for {vals:?} (mask {spec_mask:#b})\n{src}"
-                );
+        let orig = m.call(&img, f, &call);
+        for &entry in &entries {
+            let spec = m.call(&img, entry, &call);
+            match (&orig, spec) {
+                (Ok(o), Ok(s)) => {
+                    assert_eq!(
+                        o.ret_int, s.ret_int,
+                        "mismatch for {vals:?} (mask {spec_mask:#b})\n{src}"
+                    );
+                }
+                // If the original faults (e.g. idiv overflow), the
+                // rewritten version must fault too.
+                (Err(_), Err(_)) => {}
+                (o, s) => panic!("divergent fault behavior: {o:?} vs {s:?}\n{src}"),
             }
-            // If the original faults (e.g. idiv overflow), the rewritten
-            // version must fault too.
-            (Err(_), Err(_)) => {}
-            (o, s) => panic!("divergent fault behavior: {o:?} vs {s:?}\n{src}"),
         }
     }
 }
@@ -207,7 +244,7 @@ proptest! {
     ) {
         let src = prog.render();
         let mut img = Image::new();
-        let compiled = compile_into(&src, &mut img).unwrap();
+        let compiled = compile_into(&src, &img).unwrap();
         let f = compiled.func("f").unwrap();
         let req = SpecRequest::new()
             .known_int(pins[0])
@@ -215,7 +252,7 @@ proptest! {
             .unknown_int()
             .ret(RetKind::Int)
             .func(f, |o| o.fresh_unknown = true);
-        let res = match Rewriter::new(&mut img).rewrite(f, &req) {
+        let res = match Rewriter::new(&img).rewrite(f, &req) {
             Ok(r) => r,
             Err(RewriteError::TraceFault { .. }) => return Ok(()),
             Err(e) => panic!("unexpected rewrite failure: {e}\n{src}"),
@@ -223,8 +260,8 @@ proptest! {
         let mut m = Machine::new();
         for probe in &probes {
             let call = CallArgs::new().int(pins[0]).int(probe[1]).int(probe[2]);
-            let orig = m.call(&mut img, f, &call);
-            let spec = m.call(&mut img, res.entry, &call);
+            let orig = m.call(&img, f, &call);
+            let spec = m.call(&img, res.entry, &call);
             match (orig, spec) {
                 (Ok(o), Ok(s)) => prop_assert_eq!(o.ret_int, s.ret_int, "{}", src),
                 (Err(_), Err(_)) => {}
@@ -241,7 +278,7 @@ proptest! {
     ) {
         let src = prog.render();
         let mut img = Image::new();
-        let compiled = compile_into(&src, &mut img).unwrap();
+        let compiled = compile_into(&src, &img).unwrap();
         let f = compiled.func("f").unwrap();
         let req = SpecRequest::new()
             .unknown_int()
@@ -252,7 +289,7 @@ proptest! {
                 o.branch_unknown = true;
                 o.max_variants = 3;
             });
-        let res = match Rewriter::new(&mut img).rewrite(f, &req) {
+        let res = match Rewriter::new(&img).rewrite(f, &req) {
             Ok(r) => r,
             Err(RewriteError::TraceFault { .. }) => return Ok(()),
             Err(e) => panic!("unexpected rewrite failure: {e}\n{src}"),
@@ -260,8 +297,8 @@ proptest! {
         let mut m = Machine::new();
         for probe in &probes {
             let call = CallArgs::new().int(probe[0]).int(pins[1]).int(probe[2]);
-            let orig = m.call(&mut img, f, &call);
-            let spec = m.call(&mut img, res.entry, &call);
+            let orig = m.call(&img, f, &call);
+            let spec = m.call(&img, res.entry, &call);
             match (orig, spec) {
                 (Ok(o), Ok(s)) => prop_assert_eq!(o.ret_int, s.ret_int, "{}", src),
                 (Err(_), Err(_)) => {}
@@ -285,16 +322,16 @@ proptest! {
             }
         "#;
         let mut img = Image::new();
-        let compiled = compile_into(src, &mut img).unwrap();
+        let compiled = compile_into(src, &img).unwrap();
         let f = compiled.func("f").unwrap();
         let mut req = SpecRequest::new().unknown_f64().unknown_f64().ret(RetKind::F64);
         req = if known { req.known_f64(k) } else { req.unknown_f64() };
-        let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+        let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
         let mut m = Machine::new();
         for (x, y) in &probes {
             let call = CallArgs::new().f64(*x).f64(*y).f64(k);
-            let o = m.call(&mut img, f, &call).unwrap();
-            let s = m.call(&mut img, res.entry, &call).unwrap();
+            let o = m.call(&img, f, &call).unwrap();
+            let s = m.call(&img, res.entry, &call).unwrap();
             prop_assert_eq!(o.ret_f64.to_bits(), s.ret_f64.to_bits());
         }
     }
@@ -362,7 +399,7 @@ proptest! {
     ) {
         let src = prog.render();
         let mut img = Image::new();
-        let compiled = match compile_into(&src, &mut img) {
+        let compiled = match compile_into(&src, &img) {
             Ok(c) => c,
             Err(e) => panic!("generated program failed to compile: {e}\n{src}"),
         };
@@ -382,11 +419,14 @@ proptest! {
         if know_table {
             req = req.known_mem(table..table + 64);
         }
-        let res = match Rewriter::new(&mut img).rewrite(f, &req) {
+        let res = match Rewriter::new(&img).rewrite(f, &req) {
             Ok(r) => r,
             Err(RewriteError::TraceFault { .. }) => return Ok(()),
             Err(e) => panic!("unexpected rewrite failure: {e}\n{src}"),
         };
+        let mut entries = vec![res.entry];
+        entries.extend(manager_entries(&img, f, &req));
+
         let mut m = Machine::new();
         for probe in &probes {
             let mut vals = *probe;
@@ -396,16 +436,153 @@ proptest! {
                 }
             }
             let call = CallArgs::new().int(vals[0]).int(vals[1]).int(vals[2]);
-            let orig = m.call(&mut img, f, &call);
-            let spec = m.call(&mut img, res.entry, &call);
-            match (orig, spec) {
-                (Ok(o), Ok(s)) => prop_assert_eq!(
-                    o.ret_int, s.ret_int,
-                    "{:?} mask={:#b} inline={} know={}\n{}",
-                    vals, spec_mask, inline_helper, know_table, src
-                ),
-                (Err(_), Err(_)) => {}
-                (o, s) => panic!("divergent fault behavior: {o:?} vs {s:?}\n{src}"),
+            let orig = m.call(&img, f, &call);
+            for &entry in &entries {
+                let spec = m.call(&img, entry, &call);
+                match (&orig, spec) {
+                    (Ok(o), Ok(s)) => prop_assert_eq!(
+                        o.ret_int, s.ret_int,
+                        "{:?} mask={:#b} inline={} know={}\n{}",
+                        vals, spec_mask, inline_helper, know_table, src
+                    ),
+                    (Err(_), Err(_)) => {}
+                    (o, s) => panic!("divergent fault behavior: {o:?} vs {s:?}\n{src}"),
+                }
+            }
+        }
+    }
+}
+
+/// Third-generation programs widening the ABI surface: a double
+/// parameter, an int parameter, and a pointer-to-struct parameter whose
+/// fields feed both integer control flow and double arithmetic.
+#[derive(Debug, Clone)]
+struct Prog3 {
+    /// Struct field values baked into the global instance.
+    u: i16,
+    v: i16,
+    w_num: i16,
+    /// Integer expression over `a` (param), `b`/`c` (struct fields), `t`.
+    iexpr: E,
+    /// Second integer expression steering a branch.
+    cexpr: E,
+    loop_n: u8,
+}
+
+fn arb_prog3() -> impl Strategy<Value = Prog3> {
+    (
+        any::<i16>(),
+        any::<i16>(),
+        -300i16..300,
+        arb_expr(),
+        arb_expr(),
+        0u8..5,
+    )
+        .prop_map(|(u, v, w_num, iexpr, cexpr, loop_n)| Prog3 {
+            u,
+            v,
+            w_num,
+            iexpr,
+            cexpr,
+            loop_n,
+        })
+}
+
+impl Prog3 {
+    fn render(&self) -> String {
+        format!(
+            r#"
+            struct Pt {{ double w; int u; int v; }};
+            struct Pt pt = {{{w:?}, {u}, {v}}};
+            double f(int a, double x, struct Pt* p) {{
+                int b = p->u;
+                int c = p->v;
+                int t = 0;
+                t = {iexpr};
+                double acc = x;
+                if (t < b) {{
+                    acc = acc * p->w + x;
+                }} else {{
+                    acc = acc - p->w;
+                }}
+                for (int i = 0; i < {n}; i++) {{
+                    acc = acc * 0.5 + p->w;
+                }}
+                if ({cexpr} < t) {{
+                    acc = acc + 1.0;
+                }}
+                return acc;
+            }}
+            "#,
+            w = self.w_num as f64 / 16.0,
+            u = self.u,
+            v = self.v,
+            iexpr = self.iexpr.render(),
+            cexpr = self.cexpr.render(),
+            n = self.loop_n,
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mixed-ABI differential: int + double + pointer-to-struct
+    /// parameters, under every combination of known/unknown marking,
+    /// through both the direct rewrite and the manager (cold / warm /
+    /// post-eviction) paths.
+    #[test]
+    fn doubles_and_struct_pointers_differential(
+        prog in arb_prog3(),
+        know_a in any::<bool>(),
+        know_x in any::<bool>(),
+        know_p in any::<bool>(),
+        a_pin in -40i64..40,
+        x_pin in -16.0f64..16.0,
+        probes in proptest::collection::vec((-50i64..50, -24.0f64..24.0), 4),
+    ) {
+        let src = prog.render();
+        let mut img = Image::new();
+        let compiled = match compile_into(&src, &img) {
+            Ok(c) => c,
+            Err(e) => panic!("generated program failed to compile: {e}\n{src}"),
+        };
+        let f = compiled.func("f").unwrap();
+        let pt = compiled.global("pt").unwrap();
+
+        let mut req = SpecRequest::new().ret(RetKind::F64);
+        req = if know_a { req.known_int(a_pin) } else { req.unknown_int() };
+        req = if know_x { req.known_f64(x_pin) } else { req.unknown_f64() };
+        req = if know_p {
+            req.ptr_to_known(pt, 24)
+        } else {
+            req.unknown_int()
+        };
+        let res = match Rewriter::new(&img).rewrite(f, &req) {
+            Ok(r) => r,
+            Err(RewriteError::TraceFault { .. }) => return Ok(()),
+            Err(e) => panic!("unexpected rewrite failure: {e}\n{src}"),
+        };
+        let mut entries = vec![res.entry];
+        entries.extend(manager_entries(&img, f, &req));
+
+        let mut m = Machine::new();
+        for (pa, px) in &probes {
+            let a = if know_a { a_pin } else { *pa };
+            let x = if know_x { x_pin } else { *px };
+            let call = CallArgs::new().int(a).f64(x).ptr(pt);
+            let orig = m.call(&img, f, &call);
+            for &entry in &entries {
+                let spec = m.call(&img, entry, &call);
+                match (&orig, spec) {
+                    (Ok(o), Ok(s)) => prop_assert_eq!(
+                        o.ret_f64.to_bits(), s.ret_f64.to_bits(),
+                        "f({}, {}, pt) diverged (know a={} x={} p={})\n{}",
+                        a, x, know_a, know_x, know_p, src
+                    ),
+                    (Err(_), Err(_)) => {}
+                    (o, s) => panic!("divergent fault behavior: {o:?} vs {s:?}\n{src}"),
+                }
             }
         }
     }
@@ -445,7 +622,7 @@ proptest! {
             init = inits.join(", "),
         );
         let mut img = Image::new();
-        let prog = compile_into(&src, &mut img).unwrap();
+        let prog = compile_into(&src, &img).unwrap();
         let apply = prog.func("apply").unwrap();
         let st = prog.global("st").unwrap();
         let xs = 5i64;
@@ -455,7 +632,7 @@ proptest! {
             .known_int(xs)
             .ptr_to_known(st, 8 + n as u64 * 24)
             .ret(RetKind::F64);
-        let res = Rewriter::new(&mut img).rewrite(apply, &req).unwrap();
+        let res = Rewriter::new(&img).rewrite(apply, &req).unwrap();
 
         // Random 5x5 matrix; probe all interior points.
         let m0 = img.alloc_heap(25 * 8, 8);
@@ -469,8 +646,8 @@ proptest! {
             for x in 1..4i64 {
                 let center = m0 + ((y * xs + x) * 8) as u64;
                 let args = CallArgs::new().ptr(center).int(xs).ptr(st);
-                let orig = m.call(&mut img, apply, &args).unwrap();
-                let spec = m.call(&mut img, res.entry, &args).unwrap();
+                let orig = m.call(&img, apply, &args).unwrap();
+                let spec = m.call(&img, res.entry, &args).unwrap();
                 prop_assert_eq!(orig.ret_f64.to_bits(), spec.ret_f64.to_bits(),
                     "at ({},{}) stencil {:?}", x, y, points);
                 // Structure: loop unrolled, one multiply per point.

@@ -99,13 +99,13 @@ fn e2_shape_figure6_structure() {
 #[test]
 fn profile_guided_guarded_specialization_workflow() {
     // §III.D full circle: profile → hot value → rewrite → guard → dispatch.
-    let mut img = Image::new();
+    let img = Image::new();
     let prog = compile_into(
         r#"
         int f(int x, int k) { int s = 0; for (int i = 0; i < k; i++) s += x + i; return s; }
         int driver(int x, int k) { return f(x, k); }
         "#,
-        &mut img,
+        &img,
     )
     .unwrap();
     let f = prog.func("f").unwrap();
@@ -119,7 +119,7 @@ fn profile_guided_guarded_specialization_workflow() {
         m.set_call_observer(Box::new(|_, t, cpu| profile.record(t, cpu)));
         for i in 0..50 {
             let k = if i % 5 == 0 { i } else { 12 };
-            m.call(&mut img, driver, &CallArgs::new().int(i).int(k))
+            m.call(&img, driver, &CallArgs::new().int(i).int(k))
                 .unwrap();
         }
     }
@@ -130,16 +130,14 @@ fn profile_guided_guarded_specialization_workflow() {
         .unknown_int()
         .known_int(12)
         .ret(RetKind::Int);
-    let mut rw = Rewriter::new(&mut img);
+    let mut rw = Rewriter::new(&img);
     let spec = rw.rewrite(f, &req).unwrap();
     let guard = rw.guard(1, 12, spec.entry, f).unwrap();
 
     let mut m = Machine::new();
     for (x, k) in [(3i64, 12i64), (7, 12), (3, 5), (0, 0)] {
-        let via_guard = m
-            .call(&mut img, guard, &CallArgs::new().int(x).int(k))
-            .unwrap();
-        let direct = m.call(&mut img, f, &CallArgs::new().int(x).int(k)).unwrap();
+        let via_guard = m.call(&img, guard, &CallArgs::new().int(x).int(k)).unwrap();
+        let direct = m.call(&img, f, &CallArgs::new().int(x).int(k)).unwrap();
         assert_eq!(via_guard.ret_int, direct.ret_int, "f({x},{k})");
     }
 }
@@ -168,12 +166,8 @@ fn pgas_workflow() {
 fn rewritten_code_is_itself_rewritable() {
     // §III.A: "the result of a rewriting step itself can be used as input
     // for further rewriting, this approach is composable."
-    let mut img = Image::new();
-    let prog = compile_into(
-        "int f(int a, int b, int c) { return a * b + c * 2; }",
-        &mut img,
-    )
-    .unwrap();
+    let img = Image::new();
+    let prog = compile_into("int f(int a, int b, int c) { return a * b + c * 2; }", &img).unwrap();
     let f = prog.func("f").unwrap();
 
     // Stage 1: bake b = 10.
@@ -182,7 +176,7 @@ fn rewritten_code_is_itself_rewritable() {
         .known_int(10)
         .unknown_int()
         .ret(RetKind::Int);
-    let r1 = Rewriter::new(&mut img).rewrite(f, &req1).unwrap();
+    let r1 = Rewriter::new(&img).rewrite(f, &req1).unwrap();
 
     // Stage 2: rewrite the rewritten function, baking c = 7 as well.
     let req2 = SpecRequest::new()
@@ -190,12 +184,12 @@ fn rewritten_code_is_itself_rewritable() {
         .unknown_int()
         .known_int(7)
         .ret(RetKind::Int);
-    let r2 = Rewriter::new(&mut img).rewrite(r1.entry, &req2).unwrap();
+    let r2 = Rewriter::new(&img).rewrite(r1.entry, &req2).unwrap();
 
     let mut m = Machine::new();
     for a in [0i64, 1, -3, 999] {
         let out = m
-            .call(&mut img, r2.entry, &CallArgs::new().int(a).int(10).int(7))
+            .call(&img, r2.entry, &CallArgs::new().int(a).int(10).int(7))
             .unwrap();
         assert_eq!(out.ret_int as i64, a * 10 + 14);
     }
@@ -237,8 +231,8 @@ fn makedynamic_e5_shape() {
     // §V.C: the transformed loop still fully unrolls; as-written it stays
     // bounded because makeDynamic's result is opaque.
     use brew_suite::stencil::programs::MAKE_DYNAMIC_PROGRAM;
-    let mut img = Image::new();
-    let prog = compile_into(MAKE_DYNAMIC_PROGRAM, &mut img).unwrap();
+    let img = Image::new();
+    let prog = compile_into(MAKE_DYNAMIC_PROGRAM, &img).unwrap();
     let s5 = prog.global("s5").unwrap();
     let md = prog.func("makeDynamic").unwrap();
     let (xs, ys) = (16i64, 16i64);
@@ -256,7 +250,7 @@ fn makedynamic_e5_shape() {
             .func(md, |o| o.inline = false)
             .max_trace_insts(8_000_000)
             .max_code_bytes(1 << 22);
-        let r = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+        let r = Rewriter::new(&img).rewrite(f, &req).unwrap();
         results.push(r.stats.blocks);
     }
     let (as_written, transformed) = (results[0], results[1]);

@@ -27,9 +27,9 @@ fn asm(img: &mut Image, insts: &[Inst]) -> u64 {
 
 #[test]
 fn undecodable_instruction() {
-    let mut img = Image::new();
+    let img = Image::new();
     let junk = img.alloc_code(&[0x0F, 0xFF, 0x00]);
-    let err = Rewriter::new(&mut img)
+    let err = Rewriter::new(&img)
         .rewrite(junk, &SpecRequest::new())
         .unwrap_err();
     assert!(matches!(err, RewriteError::Undecodable { addr, .. } if addr == junk));
@@ -37,13 +37,20 @@ fn undecodable_instruction() {
 
 #[test]
 fn unsupported_instruction_form() {
-    let mut img = Image::new();
+    let img = Image::new();
     // RIP-relative mov: valid x86-64, outside the subset.
     let f = img.alloc_code(&[0x48, 0x8B, 0x05, 0x00, 0x00, 0x00, 0x00, 0xC3]);
-    let err = Rewriter::new(&mut img)
+    let err = Rewriter::new(&img)
         .rewrite(f, &SpecRequest::new())
         .unwrap_err();
-    assert!(matches!(err, RewriteError::Undecodable { .. }));
+    let RewriteError::Undecodable { addr, err } = err else {
+        panic!("wrong error kind")
+    };
+    assert_eq!(addr, f, "points at the unsupported instruction");
+    assert!(
+        format!("{err:?}").to_lowercase().contains("rip"),
+        "decoder diagnosis names the unsupported form: {err:?}"
+    );
 }
 
 #[test]
@@ -56,7 +63,7 @@ fn indirect_unknown_jump() {
             src: Operand::Reg(Gpr::Rax),
         }],
     );
-    let err = Rewriter::new(&mut img)
+    let err = Rewriter::new(&img)
         .rewrite(f, &SpecRequest::new())
         .unwrap_err();
     assert!(matches!(err, RewriteError::IndirectUnknownJump { addr } if addr == f));
@@ -88,9 +95,9 @@ fn indirect_known_jump_is_followed() {
         ],
     );
     let req = SpecRequest::new().ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
-    let out = m.call(&mut img, res.entry, &CallArgs::new()).unwrap();
+    let out = m.call(&img, res.entry, &CallArgs::new()).unwrap();
     assert_eq!(out.ret_int, 7);
 }
 
@@ -98,10 +105,10 @@ fn indirect_known_jump_is_followed() {
 fn trap_instruction() {
     let mut img = Image::new();
     let f = asm(&mut img, &[Inst::Ud2]);
-    let err = Rewriter::new(&mut img)
+    let err = Rewriter::new(&img)
         .rewrite(f, &SpecRequest::new())
         .unwrap_err();
-    assert!(matches!(err, RewriteError::TraceFault { what: "ud2", .. }));
+    assert!(matches!(err, RewriteError::TraceFault { addr, what: "ud2" } if addr == f));
 }
 
 #[test]
@@ -117,33 +124,41 @@ fn stack_imbalance() {
             Inst::Ret,
         ],
     );
-    let err = Rewriter::new(&mut img)
+    let err = Rewriter::new(&img)
         .rewrite(f, &SpecRequest::new())
         .unwrap_err();
-    assert!(matches!(err, RewriteError::StackImbalance { .. }));
+    // `push rax` is one byte, so the offending `ret` sits at f+1.
+    assert!(matches!(err, RewriteError::StackImbalance { addr } if addr == f + 1));
 }
 
 #[test]
 fn division_fault_during_tracing() {
-    let mut img = Image::new();
-    let prog = compile_into("int f(int a) { return 1 / a; }", &mut img).unwrap();
+    let img = Image::new();
+    let prog = compile_into("int f(int a) { return 1 / a; }", &img).unwrap();
     let f = prog.func("f").unwrap();
     let req = SpecRequest::new().known_int(0).ret(RetKind::Int);
     // Tracing with the known value 0 divides by zero at rewrite time.
-    let err = Rewriter::new(&mut img).rewrite(f, &req).unwrap_err();
-    assert!(matches!(err, RewriteError::TraceFault { .. }));
+    let err = Rewriter::new(&img).rewrite(f, &req).unwrap_err();
+    let RewriteError::TraceFault { addr, what } = err else {
+        panic!("wrong error kind")
+    };
+    assert!(what.contains("division"), "names the fault: {what}");
+    assert!(
+        addr >= f && addr < f + 0x80,
+        "fault address {addr:#x} falls inside f ({f:#x})"
+    );
     // The original function still works for valid inputs.
     let mut m = Machine::new();
-    let out = m.call(&mut img, f, &CallArgs::new().int(2)).unwrap();
+    let out = m.call(&img, f, &CallArgs::new().int(2)).unwrap();
     assert_eq!(out.ret_int, 0); // 1/2 == 0
 }
 
 #[test]
 fn code_space_budget() {
-    let mut img = Image::new();
+    let img = Image::new();
     let prog = compile_into(
         "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
-        &mut img,
+        &img,
     )
     .unwrap();
     let f = prog.func("f").unwrap();
@@ -151,16 +166,16 @@ fn code_space_budget() {
         .known_int(100)
         .ret(RetKind::Int)
         .max_code_bytes(16); // absurd limit
-    let err = Rewriter::new(&mut img).rewrite(f, &req).unwrap_err();
+    let err = Rewriter::new(&img).rewrite(f, &req).unwrap_err();
     assert!(matches!(err, RewriteError::OutOfCodeSpace));
 }
 
 #[test]
 fn block_budget() {
-    let mut img = Image::new();
+    let img = Image::new();
     let prog = compile_into(
         "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
-        &mut img,
+        &img,
     )
     .unwrap();
     let f = prog.func("f").unwrap();
@@ -169,7 +184,7 @@ fn block_budget() {
         .ret(RetKind::Int)
         .max_blocks(8)
         .default_opts(|o| o.max_variants = u32::MAX);
-    let err = Rewriter::new(&mut img).rewrite(f, &req).unwrap_err();
+    let err = Rewriter::new(&img).rewrite(f, &req).unwrap_err();
     assert!(matches!(err, RewriteError::BlockBudget));
 }
 
@@ -214,14 +229,14 @@ fn bad_config_extra_args_without_specs() {
 fn bad_config_func_opts_for_non_code_address() {
     // Options keyed on an address outside any code segment are a config
     // error (usually a typo'd or stale symbol), not silently ignored.
-    let mut img = Image::new();
-    let prog = compile_into("int f(int a) { return a; }", &mut img).unwrap();
+    let img = Image::new();
+    let prog = compile_into("int f(int a) { return a; }", &img).unwrap();
     let f = prog.func("f").unwrap();
     let req = SpecRequest::new()
         .unknown_int()
         .ret(RetKind::Int)
         .func(0xdead_0000, |o| o.inline = false);
-    let err = Rewriter::new(&mut img).rewrite(f, &req).unwrap_err();
+    let err = Rewriter::new(&img).rewrite(f, &req).unwrap_err();
     let RewriteError::BadConfig(msg) = err else {
         panic!("wrong error kind")
     };
@@ -233,21 +248,27 @@ fn bad_config_func_opts_for_non_code_address() {
 
 #[test]
 fn bad_config_hook_with_branch_unknown() {
-    let mut img = Image::new();
-    let prog = compile_into("int f(int a) { return a; }", &mut img).unwrap();
+    let img = Image::new();
+    let prog = compile_into("int f(int a) { return a; }", &img).unwrap();
     let f = prog.func("f").unwrap();
     let req = SpecRequest::new()
         .unknown_int()
         .mem_access_hook(0x400000)
         .func(f, |o| o.branch_unknown = true);
-    let err = Rewriter::new(&mut img).rewrite(f, &req).unwrap_err();
-    assert!(matches!(err, RewriteError::BadConfig(_)));
+    let err = Rewriter::new(&img).rewrite(f, &req).unwrap_err();
+    let RewriteError::BadConfig(msg) = err else {
+        panic!("wrong error kind")
+    };
+    assert!(
+        msg.contains("branch_unknown") && msg.contains("hook"),
+        "names the conflicting options: {msg}"
+    );
 }
 
 #[test]
 fn bad_config_ptr_to_known_on_f64() {
-    let mut img = Image::new();
-    let prog = compile_into("double f(double x) { return x; }", &mut img).unwrap();
+    let img = Image::new();
+    let prog = compile_into("double f(double x) { return x; }", &img).unwrap();
     let f = prog.func("f").unwrap();
     // ptr_to_known only binds integer-class values; drive the same error
     // through the adoption path with an F64 value against a pointer spec.
@@ -256,18 +277,24 @@ fn bad_config_ptr_to_known_on_f64() {
         .set_ret(RetKind::F64);
     let req =
         SpecRequest::from_config(&cfg, &[ArgValue::F64(0.0)], &PassConfig::default()).unwrap();
-    let err = Rewriter::new(&mut img).rewrite(f, &req).unwrap_err();
-    assert!(matches!(err, RewriteError::BadConfig(_)));
+    let err = Rewriter::new(&img).rewrite(f, &req).unwrap_err();
+    let RewriteError::BadConfig(msg) = err else {
+        panic!("wrong error kind")
+    };
+    assert!(
+        msg.contains("parameter 0"),
+        "names the offending index: {msg}"
+    );
 }
 
 #[test]
 fn failure_then_fallback_to_original_is_the_contract() {
     // The paper's robustness story end-to-end: try to rewrite, fail, keep
     // using the original.
-    let mut img = Image::new();
+    let img = Image::new();
     let prog = compile_into(
         "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i * i; return s; }",
-        &mut img,
+        &img,
     )
     .unwrap();
     let f = prog.func("f").unwrap();
@@ -277,12 +304,12 @@ fn failure_then_fallback_to_original_is_the_contract() {
         .ret(RetKind::Int)
         .max_trace_insts(50); // unrealistically small budget
 
-    let chosen = match Rewriter::new(&mut img).rewrite(f, &req) {
+    let chosen = match Rewriter::new(&img).rewrite(f, &req) {
         Ok(r) => r.entry,
         Err(_) => f, // the documented fallback
     };
     let mut m = Machine::new();
-    let out = m.call(&mut img, chosen, &CallArgs::new().int(10)).unwrap();
+    let out = m.call(&img, chosen, &CallArgs::new().int(10)).unwrap();
     assert_eq!(out.ret_int, 285);
 }
 
@@ -312,12 +339,15 @@ fn stale_flags_from_elided_address_arithmetic() {
         Inst::Ret,
     ];
     let f = asm(&mut img, &insts);
-    let err = Rewriter::new(&mut img)
+    let err = Rewriter::new(&img)
         .rewrite(f, &SpecRequest::new())
         .unwrap_err();
+    let RewriteError::UntrustedFlags { addr } = err else {
+        panic!("branching on stale flags must fail: {err:?}")
+    };
     assert!(
-        matches!(err, RewriteError::UntrustedFlags { .. }),
-        "branching on stale flags must fail: {err:?}"
+        addr >= f && addr < f + 16,
+        "offending address {addr:#x} falls inside the snippet ({f:#x})"
     );
 }
 
@@ -325,10 +355,10 @@ fn stale_flags_from_elided_address_arithmetic() {
 fn flags_from_emitted_writer_are_fine_after_elided_ops() {
     // Same shape, but a real (emitted) compare refreshes the flags before
     // the branch: rewrite succeeds and behaves like the original.
-    let mut img = Image::new();
+    let img = Image::new();
     let prog = compile_into(
         "int f(int a, int b) { int t = a + 1; if (b < t) return 1; return 2; }",
-        &mut img,
+        &img,
     )
     .unwrap();
     let f = prog.func("f").unwrap();
@@ -336,14 +366,12 @@ fn flags_from_emitted_writer_are_fine_after_elided_ops() {
         .known_int(10)
         .unknown_int()
         .ret(RetKind::Int);
-    let res = Rewriter::new(&mut img).rewrite(f, &req).unwrap();
+    let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
     let mut m = Machine::new();
     for b in [-5i64, 10, 11, 12] {
-        let orig = m
-            .call(&mut img, f, &CallArgs::new().int(10).int(b))
-            .unwrap();
+        let orig = m.call(&img, f, &CallArgs::new().int(10).int(b)).unwrap();
         let spec = m
-            .call(&mut img, res.entry, &CallArgs::new().int(10).int(b))
+            .call(&img, res.entry, &CallArgs::new().int(10).int(b))
             .unwrap();
         assert_eq!(orig.ret_int, spec.ret_int, "b={b}");
     }
