@@ -1,8 +1,10 @@
 //! C1: variant-cache amortization — a cached re-request vs the cold
-//! rewrite it memoizes (the A6 cost, paid once).
+//! rewrite it memoizes (the A6 cost, paid once) — plus the dispatch-stub
+//! counting overhead (plain vs self-counting stub on the same stream).
 
 use brew_bench::cache_study;
-use brew_core::SpecializationManager;
+use brew_core::{RetKind, SpecRequest, SpecializationManager};
+use brew_emu::{CallArgs, Machine};
 use brew_stencil::Stencil;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -31,6 +33,40 @@ fn bench(c: &mut Criterion) {
     g.bench_function("skewed_replay_1000", |b| {
         b.iter(|| cache_study(32, 32, 1_000).cached_avg_ns);
     });
+
+    // Dispatch-stub counting overhead: identical 3-variant chains, one
+    // plain and one incrementing its counter page, replayed on the same
+    // skewed call stream.
+    let img = brew_image::Image::new();
+    let prog = brew_minic::compile_into(
+        "int poly(int x, int n) { int r = 1; for (int i = 0; i < n; i++) r *= x; return r; }",
+        &img,
+    )
+    .unwrap();
+    let poly = prog.func("poly").unwrap();
+    let mgr = SpecializationManager::new();
+    for n in [16i64, 8, 4] {
+        let req = SpecRequest::new()
+            .unknown_int()
+            .known_int(n)
+            .ret(RetKind::Int);
+        mgr.get_or_rewrite(&img, poly, &req).unwrap();
+    }
+    let plain = mgr.build_dispatcher(&img, poly, poly).unwrap();
+    let (counting, _page) = mgr.build_dispatcher_counting(&img, poly, poly).unwrap();
+    for (name, entry) in [("dispatch_plain", plain), ("dispatch_counting", counting)] {
+        g.bench_function(name, |b| {
+            let mut m = Machine::new();
+            let mut i = 0u64;
+            b.iter(|| {
+                let n: i64 = if i % 10 < 7 { 16 } else { 5 };
+                i += 1;
+                m.call(&img, entry, &CallArgs::new().int(3).int(n))
+                    .unwrap()
+                    .ret_int
+            });
+        });
+    }
     g.finish();
 }
 

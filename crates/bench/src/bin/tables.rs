@@ -20,6 +20,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).filter(|a| a != "--exp").collect();
     let all = [
         "e1", "e2", "e3", "e4", "e5", "a1", "a2", "a3", "a4", "a5", "a6", "p1", "cache", "conc",
+        "obs",
     ];
     let wanted: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -94,6 +95,10 @@ fn run_experiment(exp: &str) -> String {
         "conc" => render_conc(
             "C2 — shared manager under concurrency (single-flight + sharded hit path)",
             &conc_study(XS, YS, 2_000, &[1, 2, 4, 8]),
+        ),
+        "obs" => render_obs(
+            "OBS — end-to-end telemetry (registry, self-counting stubs, explain report)",
+            &obs_study(XS, YS),
         ),
         other => format!("unknown experiment `{other}`\n"),
     }

@@ -7,6 +7,10 @@
 
 #![warn(missing_docs)]
 
+mod obs;
+
+pub use obs::{guard_overhead_rows, obs_study, render_obs, ObsReport};
+
 use brew_core::PassConfig;
 use brew_emu::{Machine, Stats};
 use brew_pgas::PgasArray;

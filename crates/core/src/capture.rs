@@ -139,6 +139,34 @@ impl RewriteStats {
     pub fn total_ns(&self) -> u64 {
         self.trace_ns + self.pass_ns + self.emit_ns
     }
+
+    /// Dependency-free JSON object with every field plus the derived
+    /// `total_ns` — all values are unsigned integers, so no escaping is
+    /// needed. The output passes [`crate::telemetry::validate_json`].
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"traced\":{},\"emitted\":{},\"elided\":{},\"blocks\":{},\
+             \"migrations\":{},\"inlined_calls\":{},\"kept_calls\":{},\
+             \"pass_removed\":{},\"pool_bytes\":{},\"code_bytes\":{},\
+             \"hooks_injected\":{},\"trace_ns\":{},\"pass_ns\":{},\
+             \"emit_ns\":{},\"total_ns\":{}}}",
+            self.traced,
+            self.emitted,
+            self.elided,
+            self.blocks,
+            self.migrations,
+            self.inlined_calls,
+            self.kept_calls,
+            self.pass_removed,
+            self.pool_bytes,
+            self.code_bytes,
+            self.hooks_injected,
+            self.trace_ns,
+            self.pass_ns,
+            self.emit_ns,
+            self.total_ns(),
+        )
+    }
 }
 
 impl std::fmt::Display for RewriteStats {
@@ -146,8 +174,8 @@ impl std::fmt::Display for RewriteStats {
         write!(
             f,
             "traced {} guest insts -> emitted {} ({} evaluated away, {} removed by passes) \
-             in {} blocks ({} migrations, {} inlined / {} kept calls), {} bytes; \
-             {}us trace + {}us passes + {}us emit",
+             in {} blocks ({} migrations, {} inlined / {} kept calls), {} bytes \
+             (+{} pool, {} hooks); {}us trace + {}us passes + {}us emit",
             self.traced,
             self.emitted,
             self.elided,
@@ -157,6 +185,8 @@ impl std::fmt::Display for RewriteStats {
             self.inlined_calls,
             self.kept_calls,
             self.code_bytes,
+            self.pool_bytes,
+            self.hooks_injected,
             self.trace_ns / 1_000,
             self.pass_ns / 1_000,
             self.emit_ns / 1_000,
@@ -167,6 +197,23 @@ impl std::fmt::Display for RewriteStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_json_is_valid_and_complete() {
+        let s = RewriteStats {
+            traced: 10,
+            trace_ns: 3,
+            pass_ns: 4,
+            emit_ns: 5,
+            ..Default::default()
+        };
+        let j = s.to_json();
+        crate::telemetry::validate_json(&j).unwrap();
+        assert!(j.contains("\"traced\":10"));
+        assert!(j.contains("\"total_ns\":12"));
+        assert!(j.contains("\"pool_bytes\":0"));
+        assert!(j.contains("\"hooks_injected\":0"));
+    }
 
     #[test]
     fn successors() {

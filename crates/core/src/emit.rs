@@ -66,6 +66,19 @@ pub fn layout_and_emit(
     img: &Image,
     max_bytes: usize,
 ) -> Result<(u64, usize), RewriteError> {
+    layout_and_emit_traced(blocks, entry, img, max_bytes, None)
+}
+
+/// [`layout_and_emit`] with optional span recording: `cat:"emit-step"`
+/// spans for block layout, encoding/relocation and the final commit.
+pub fn layout_and_emit_traced(
+    blocks: &[CapturedBlock],
+    entry: BlockId,
+    img: &Image,
+    max_bytes: usize,
+    mut rec: Option<&mut crate::telemetry::SpanRecorder>,
+) -> Result<(u64, usize), RewriteError> {
+    let t_layout = rec.as_ref().map(|r| r.now_ns());
     let order = layout(blocks, entry);
     debug_assert_eq!(order.first(), Some(&entry));
 
@@ -109,9 +122,21 @@ pub fn layout_and_emit(
     if total > max_bytes {
         return Err(RewriteError::OutOfCodeSpace);
     }
+    if let (Some(r), Some(t0)) = (rec.as_deref_mut(), t_layout) {
+        r.complete(
+            "layout",
+            "emit-step",
+            t0,
+            vec![
+                ("blocks".into(), order.len().to_string()),
+                ("bytes".into(), total.to_string()),
+            ],
+        );
+    }
 
     // Atomically claim the region (race-free against concurrent emitters),
     // then encode with final addresses.
+    let t_encode = rec.as_ref().map(|r| r.now_ns());
     let base = img
         .try_alloc_jit(total as u64)
         .ok_or(RewriteError::OutOfCodeSpace)?;
@@ -156,8 +181,20 @@ pub fn layout_and_emit(
         }
     }
     debug_assert_eq!(bytes.len(), total);
+    if let (Some(r), Some(t0)) = (rec.as_deref_mut(), t_encode) {
+        r.complete(
+            "encode+relocate",
+            "emit-step",
+            t0,
+            vec![("base".into(), format!("{base:#x}"))],
+        );
+    }
+    let t_commit = rec.as_ref().map(|r| r.now_ns());
     img.write_bytes(base, &bytes)
         .map_err(|_| RewriteError::OutOfCodeSpace)?;
+    if let (Some(r), Some(t0)) = (rec, t_commit) {
+        r.complete("commit", "emit-step", t0, vec![]);
+    }
     Ok((base, total))
 }
 

@@ -1371,6 +1371,14 @@ impl Tracer<'_> {
                     if !cx.wrote_flags {
                         cx.reads_flags_on_entry = true;
                     }
+                    self.rec_decision(
+                        "fork",
+                        vec![
+                            ("at".into(), format!("{addr:#x}")),
+                            ("taken".into(), format!("{target:#x}")),
+                            ("fall".into(), format!("{next:#x}")),
+                        ],
+                    );
                     let taken = self.enqueue(*target, cx.w.clone(), false)?;
                     let fall = self.enqueue(next, cx.w.clone(), false)?;
                     Ok(Step::End(Terminator::Jcc {
@@ -1393,6 +1401,10 @@ impl Tracer<'_> {
                         self.emit_mem(cx, Inst::CallInd { src: s }, None, fl);
                         self.clobber_after_call(cx);
                         self.stats.kept_calls += 1;
+                        self.rec_decision(
+                            "call-kept",
+                            vec![("callee".into(), "indirect (unknown target)".into())],
+                        );
                         Ok(Step::Continue(next))
                     }
                 }
@@ -1941,14 +1953,32 @@ impl Tracer<'_> {
             });
             cx.w.cur_fn = target;
             self.stats.inlined_calls += 1;
+            self.rec_decision(
+                "inline",
+                vec![
+                    ("callee".into(), self.callee_label(target)),
+                    ("depth".into(), cx.w.inline_stack.len().to_string()),
+                ],
+            );
             Ok(Step::Continue(target))
         } else {
             self.materialize_call_args(cx)?;
             self.emit(cx, Inst::CallRel { target });
             self.clobber_after_call(cx);
             self.stats.kept_calls += 1;
+            self.rec_decision(
+                "call-kept",
+                vec![("callee".into(), self.callee_label(target))],
+            );
             Ok(Step::Continue(next))
         }
+    }
+
+    /// Human-readable callee label for decision events: symbol if known.
+    fn callee_label(&self, target: u64) -> String {
+        self.img
+            .symbol_at(target)
+            .unwrap_or_else(|| format!("{target:#x}"))
     }
 
     /// §III.G: "Calls configured to not be inlined are kept, generating

@@ -20,10 +20,90 @@
 //!   guarding one variant. A case whose compares all match tail-jumps to
 //!   its variant; any mismatch falls to the next case; the last case falls
 //!   through to the original function.
+//!
+//! Both shapes also come in *self-counting* variants
+//! ([`make_guard_counting`], [`make_guard_chain_counting`]): the stub
+//! additionally increments a per-case slot of a [`CounterPage`] in the
+//! data segment (`inc qword [slot]`) on the path it takes, so runtime
+//! hit / fall-through rates are observable and a
+//! [`brew_emu::ValueProfile`]-style prediction can be validated against
+//! reality. The increment sits *after* every compare of its case (or on
+//! the fall-through path), immediately before the tail jump — the flags
+//! it clobbers are dead at a SysV function boundary, so a counting stub
+//! is behaviorally identical to its plain twin.
 
 use crate::error::RewriteError;
-use brew_image::Image;
+use brew_image::{Image, MemFault};
 use brew_x86::prelude::*;
+
+/// The counter page of a self-counting dispatch stub: one 8-byte slot
+/// per case plus a final fall-through slot, allocated in the image's
+/// data segment (addresses below 2³¹, so the stub can address them with
+/// an absolute disp32 — the same trick the specializer plays for known
+/// data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterPage {
+    /// Address of slot 0.
+    pub base: u64,
+    /// Number of dispatch cases (slots `0..cases`); slot `cases` counts
+    /// fall-throughs to the original.
+    pub cases: usize,
+}
+
+impl CounterPage {
+    /// Allocate a zeroed page for `cases` dispatch cases.
+    pub fn alloc(img: &Image, cases: usize) -> Self {
+        CounterPage {
+            base: img.alloc_data(8 * (cases as u64 + 1), 8),
+            cases,
+        }
+    }
+
+    /// Address of slot `i` (`i == cases` is the fall-through slot).
+    pub fn slot_addr(&self, i: usize) -> u64 {
+        self.base + 8 * i as u64
+    }
+
+    /// Times case `i` dispatched to its variant.
+    pub fn case_hits(&self, img: &Image, i: usize) -> Result<u64, MemFault> {
+        img.read_u64(self.slot_addr(i))
+    }
+
+    /// Times the chain fell through to the original function.
+    pub fn fallthrough_hits(&self, img: &Image) -> Result<u64, MemFault> {
+        img.read_u64(self.slot_addr(self.cases))
+    }
+
+    /// All slots in order: case hits, fall-through last.
+    pub fn snapshot(&self, img: &Image) -> Result<Vec<u64>, MemFault> {
+        (0..=self.cases).map(|i| self.case_hits(img, i)).collect()
+    }
+
+    /// Sum over every slot — equals the number of calls through the stub.
+    pub fn total(&self, img: &Image) -> Result<u64, MemFault> {
+        Ok(self.snapshot(img)?.iter().sum())
+    }
+
+    /// Zero every slot.
+    pub fn reset(&self, img: &Image) -> Result<(), MemFault> {
+        for i in 0..=self.cases {
+            img.write_u64(self.slot_addr(i), 0)?;
+        }
+        Ok(())
+    }
+}
+
+/// `inc qword [slot]` — the self-counting instrumentation instruction.
+fn count_inst(slot: u64) -> Result<Inst, RewriteError> {
+    let mem = MemRef::abs_u64(slot).ok_or_else(|| {
+        RewriteError::BadConfig(format!("counter slot {slot:#x} beyond disp32 range"))
+    })?;
+    Ok(Inst::Unary {
+        op: UnOp::Inc,
+        w: Width::W64,
+        dst: Operand::Mem(mem),
+    })
+}
 
 /// One case of a dispatch chain: jump to `target` when every listed
 /// integer argument register equals its expected value.
@@ -144,12 +224,58 @@ pub fn make_guard_chain(
     cases: &[GuardCase],
     original: u64,
 ) -> Result<u64, RewriteError> {
+    chain_impl(img, cases, original, None)
+}
+
+/// [`make_guard_chain`] with self-counting instrumentation: allocates a
+/// [`CounterPage`] and emits an `inc qword [slot]` on every dispatch
+/// path (after the case's compares, before its tail jump), so each
+/// call through the stub bumps exactly one slot. Dispatch behavior is
+/// bit-identical to the plain chain.
+///
+/// Returns `(entry address, counter page)`.
+pub fn make_guard_chain_counting(
+    img: &Image,
+    cases: &[GuardCase],
+    original: u64,
+) -> Result<(u64, CounterPage), RewriteError> {
+    let page = CounterPage::alloc(img, cases.len());
+    let entry = chain_impl(img, cases, original, Some(&page))?;
+    Ok((entry, page))
+}
+
+/// [`make_guard`] with self-counting instrumentation: slot 0 counts
+/// dispatches to the specialized variant, slot 1 (the fall-through
+/// slot) counts calls routed to the original.
+pub fn make_guard_counting(
+    img: &Image,
+    param: usize,
+    expected: i64,
+    specialized: u64,
+    original: u64,
+) -> Result<(u64, CounterPage), RewriteError> {
+    make_guard_chain_counting(
+        img,
+        &[GuardCase {
+            conds: vec![(param, expected)],
+            target: specialized,
+        }],
+        original,
+    )
+}
+
+fn chain_impl(
+    img: &Image,
+    cases: &[GuardCase],
+    original: u64,
+    counters: Option<&CounterPage>,
+) -> Result<u64, RewriteError> {
     // Pass one: build every case's instructions with placeholder targets
     // and compute case start offsets from the (target-independent) lengths.
     let mut case_insts: Vec<Vec<Inst>> = Vec::with_capacity(cases.len());
     let mut case_off: Vec<usize> = Vec::with_capacity(cases.len() + 1);
     let mut off = 0usize;
-    for case in cases {
+    for (ci, case) in cases.iter().enumerate() {
         if case.conds.is_empty() {
             return Err(RewriteError::BadConfig(
                 "dispatch case with no conditions would shadow every later \
@@ -160,6 +286,11 @@ pub fn make_guard_chain(
         let mut insts = Vec::new();
         for &(param, expected) in &case.conds {
             insts.extend(cond_insts(param, expected)?);
+        }
+        if let Some(page) = counters {
+            // Every compare of the case has passed; flags are dead at the
+            // tail jump to a function entry, so the `inc` is invisible.
+            insts.push(count_inst(page.slot_addr(ci))?);
         }
         insts.push(Inst::JmpRel {
             target: case.target,
@@ -172,7 +303,16 @@ pub fn make_guard_chain(
         case_insts.push(insts);
     }
     case_off.push(off); // fall-through label
-    let total = off + encoded_len(&Inst::JmpRel { target: original }).unwrap_or(16);
+    let mut tail = Vec::new();
+    if let Some(page) = counters {
+        tail.push(count_inst(page.slot_addr(cases.len()))?);
+    }
+    tail.push(Inst::JmpRel { target: original });
+    let total = off
+        + tail
+            .iter()
+            .map(|i| encoded_len(i).unwrap_or(16))
+            .sum::<usize>();
     let base = img
         .try_alloc_jit(total as u64)
         .ok_or(RewriteError::OutOfCodeSpace)?;
@@ -196,8 +336,10 @@ pub fn make_guard_chain(
             encode(inst, addr, &mut bytes)?;
         }
     }
-    let addr = base + bytes.len() as u64;
-    encode(&Inst::JmpRel { target: original }, addr, &mut bytes)?;
+    for inst in &tail {
+        let addr = base + bytes.len() as u64;
+        encode(inst, addr, &mut bytes)?;
+    }
     debug_assert_eq!(bytes.len(), total);
 
     img.write_bytes(base, &bytes)
@@ -356,6 +498,76 @@ mod tests {
         );
         assert_eq!(insts[10].1, Inst::JmpRel { target: 0x90_3000 });
         assert_eq!(insts[11].1, Inst::JmpRel { target: 0x40_0000 });
+    }
+
+    #[test]
+    fn counting_chain_increments_before_every_tail_jump() {
+        let img = Image::new();
+        let cases = [
+            GuardCase {
+                conds: vec![(0, 4)],
+                target: 0x90_1000,
+            },
+            GuardCase {
+                conds: vec![(0, 9)],
+                target: 0x90_2000,
+            },
+        ];
+        let (g, page) = make_guard_chain_counting(&img, &cases, 0x40_0000).unwrap();
+        assert_eq!(page.cases, 2);
+        let win = img.code_window(g, 256).unwrap();
+        let (insts, _) = decode_all(&win, g);
+
+        // cmp; jne; inc [slot0]; jmp v0; cmp; jne; inc [slot1]; jmp v1;
+        // inc [slot2]; jmp orig
+        assert!(insts.len() >= 10);
+        let inc_at = |i: usize, slot: usize| {
+            let Inst::Unary {
+                op: UnOp::Inc,
+                w: Width::W64,
+                dst: Operand::Mem(m),
+            } = insts[i].1
+            else {
+                panic!("expected inc at {i}, got {:?}", insts[i].1)
+            };
+            assert_eq!(m, MemRef::abs_u64(page.slot_addr(slot)).unwrap());
+        };
+        inc_at(2, 0);
+        assert_eq!(insts[3].1, Inst::JmpRel { target: 0x90_1000 });
+        inc_at(6, 1);
+        assert_eq!(insts[7].1, Inst::JmpRel { target: 0x90_2000 });
+        inc_at(8, 2);
+        assert_eq!(insts[9].1, Inst::JmpRel { target: 0x40_0000 });
+
+        // `jne` targets land on the next case's first compare, past the inc.
+        assert_eq!(
+            insts[1].1,
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: insts[4].0
+            }
+        );
+        assert_eq!(
+            insts[5].1,
+            Inst::Jcc {
+                cond: Cond::Ne,
+                target: insts[8].0
+            }
+        );
+    }
+
+    #[test]
+    fn counter_page_starts_zeroed_and_resets() {
+        let img = Image::new();
+        let (_, page) = make_guard_counting(&img, 0, 7, 0x90_0100, 0x40_0000).unwrap();
+        assert_eq!(page.snapshot(&img).unwrap(), vec![0, 0]);
+        img.write_u64(page.slot_addr(0), 5).unwrap();
+        img.write_u64(page.slot_addr(1), 2).unwrap();
+        assert_eq!(page.case_hits(&img, 0).unwrap(), 5);
+        assert_eq!(page.fallthrough_hits(&img).unwrap(), 2);
+        assert_eq!(page.total(&img).unwrap(), 7);
+        page.reset(&img).unwrap();
+        assert_eq!(page.total(&img).unwrap(), 0);
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub mod manager;
 pub mod passes;
 pub mod promote;
 pub mod request;
+pub mod telemetry;
 pub mod tracer;
 pub mod value;
 pub mod world;
@@ -76,12 +77,16 @@ pub mod world;
 pub use capture::RewriteStats;
 pub use config::{ArgValue, FuncOpts, ParamSpec, RetKind, RewriteConfig};
 pub use error::RewriteError;
-pub use guard::{make_guard, make_guard_chain, GuardCase};
+pub use guard::{
+    make_guard, make_guard_chain, make_guard_chain_counting, make_guard_counting, CounterPage,
+    GuardCase,
+};
 pub use manager::{
     CacheKey, CacheStats, Dispatch, Event, EventSink, RecordingSink, SpecializationManager, Variant,
 };
 pub use passes::PassConfig;
 pub use request::SpecRequest;
+pub use telemetry::{explain_report, validate_json, MetricsRegistry, SpanRecorder};
 
 use brew_image::{Image, SegKind};
 use brew_x86::prelude::*;
@@ -115,7 +120,22 @@ impl<'a> Rewriter<'a> {
     /// `func` as described by `req` — each parameter's treatment and trace
     /// value bound together, plus configuration and pass selection.
     pub fn rewrite(&mut self, func: u64, req: &SpecRequest) -> Result<RewriteResult, RewriteError> {
-        self.rewrite_parts(&req.cfg, func, &req.args, &req.passes)
+        self.rewrite_parts(&req.cfg, func, &req.args, &req.passes, None)
+    }
+
+    /// [`Rewriter::rewrite`] with a structured trace attached: the
+    /// returned [`telemetry::SpanRecorder`] holds the span tree of the
+    /// rewrite (phases, per-block traces, migration/inlining decisions,
+    /// per-pass and per-emit-step timings), exportable as chrome://tracing
+    /// JSON or rendered through [`telemetry::explain_report`].
+    pub fn rewrite_with_trace(
+        &mut self,
+        func: u64,
+        req: &SpecRequest,
+    ) -> Result<(RewriteResult, telemetry::SpanRecorder), RewriteError> {
+        let mut rec = telemetry::SpanRecorder::new();
+        let res = self.rewrite_parts(&req.cfg, func, &req.args, &req.passes, Some(&mut rec))?;
+        Ok((res, rec))
     }
 
     /// [`Rewriter::rewrite`] addressing the function by its image symbol.
@@ -180,13 +200,15 @@ impl<'a> Rewriter<'a> {
         self.rewrite(func, &req)
     }
 
-    /// The rewrite pipeline proper, over validated parts.
+    /// The rewrite pipeline proper, over validated parts. `rec` (optional)
+    /// collects the span tree of the run.
     fn rewrite_parts(
         &mut self,
         cfg: &RewriteConfig,
         func: u64,
         args: &[ArgValue],
         pc: &PassConfig,
+        mut rec: Option<&mut telemetry::SpanRecorder>,
     ) -> Result<RewriteResult, RewriteError> {
         if cfg.mem_access_hook.is_some()
             && (cfg.func_opts.values().any(|o| o.branch_unknown) || cfg.default_opts.branch_unknown)
@@ -238,7 +260,9 @@ impl<'a> Rewriter<'a> {
         let world = entry_world(cfg, func, args)?;
 
         let t_trace = Instant::now();
+        let span_trace = rec.as_ref().map(|r| r.now_ns());
         let mut tracer = tracer::Tracer::new(self.img, cfg, known_mem);
+        tracer.recorder = rec.as_deref_mut();
         let mut entry_block = tracer.run(func, world)?;
 
         let mut blocks = std::mem::take(&mut tracer.blocks);
@@ -246,6 +270,18 @@ impl<'a> Rewriter<'a> {
         let mut stats = tracer.stats;
         drop(tracer);
         stats.trace_ns = t_trace.elapsed().as_nanos() as u64;
+        if let (Some(r), Some(t0)) = (rec.as_deref_mut(), span_trace) {
+            r.complete(
+                "trace",
+                "phase",
+                t0,
+                vec![
+                    ("blocks".into(), stats.blocks.to_string()),
+                    ("guest_insts".into(), stats.traced.to_string()),
+                    ("migrations".into(), stats.migrations.to_string()),
+                ],
+            );
+        }
 
         // §III.D: inject the profiling call at function begin as a
         // synthetic block in front of the traced entry.
@@ -261,17 +297,51 @@ impl<'a> Rewriter<'a> {
             blocks.push(b);
             entry_block = capture::BlockId(blocks.len() - 1);
             stats.hooks_injected += 1;
+            if let Some(r) = rec.as_deref_mut() {
+                r.instant(
+                    "entry-hook",
+                    "decision",
+                    vec![("func".into(), format!("{func:#x}"))],
+                );
+            }
         }
 
         let t_pass = Instant::now();
-        stats.pass_removed = passes::run_passes(&mut blocks, pc, escaped);
+        let span_pass = rec.as_ref().map(|r| r.now_ns());
+        stats.pass_removed =
+            passes::run_passes_traced(&mut blocks, pc, escaped, rec.as_deref_mut());
         stats.pass_ns = t_pass.elapsed().as_nanos() as u64;
+        if let (Some(r), Some(t0)) = (rec.as_deref_mut(), span_pass) {
+            r.complete(
+                "passes",
+                "phase",
+                t0,
+                vec![("removed".into(), stats.pass_removed.to_string())],
+            );
+        }
 
         let t_emit = Instant::now();
-        let (entry, code_len) =
-            emit::layout_and_emit(&blocks, entry_block, self.img, cfg.max_code_bytes)?;
+        let span_emit = rec.as_ref().map(|r| r.now_ns());
+        let (entry, code_len) = emit::layout_and_emit_traced(
+            &blocks,
+            entry_block,
+            self.img,
+            cfg.max_code_bytes,
+            rec.as_deref_mut(),
+        )?;
         stats.emit_ns = t_emit.elapsed().as_nanos() as u64;
         stats.code_bytes = code_len as u64;
+        if let (Some(r), Some(t0)) = (rec, span_emit) {
+            r.complete(
+                "emit",
+                "phase",
+                t0,
+                vec![
+                    ("entry".into(), format!("{entry:#x}")),
+                    ("bytes".into(), code_len.to_string()),
+                ],
+            );
+        }
         Ok(RewriteResult {
             entry,
             code_len,

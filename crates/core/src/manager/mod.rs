@@ -42,7 +42,11 @@
 //!   counters (coalesced, deferred, published) and per-phase rewrite
 //!   timings are aggregated in [`CacheStats`] and streamed to a pluggable
 //!   [`EventSink`], which must be `Send + Sync` because events now come
-//!   from many threads.
+//!   from many threads. Independently of any sink, every event is folded
+//!   into a lock-free [`crate::telemetry::MetricsRegistry`] (shared via
+//!   [`metrics`](SpecializationManager::metrics)), so counters, gauges
+//!   and rewrite-phase histograms are *always* populated — an absent sink
+//!   no longer means silent event loss.
 
 mod inflight;
 mod shards;
@@ -50,8 +54,9 @@ mod worker;
 
 use crate::capture::RewriteStats;
 use crate::error::RewriteError;
-use crate::guard::{self, GuardCase};
+use crate::guard::{self, CounterPage, GuardCase};
 use crate::request::SpecRequest;
+use crate::telemetry::{metrics::Ctr, metrics::Gge, MetricsRegistry};
 use crate::Rewriter;
 use brew_image::{layout, Image};
 use inflight::{InflightTable, Join};
@@ -274,6 +279,7 @@ pub struct SpecializationManager {
     queue: JobQueue,
     budget_bytes: usize,
     counters: Counters,
+    metrics: Arc<MetricsRegistry>,
     sink: RwLock<Option<Box<dyn EventSink>>>,
 }
 
@@ -304,8 +310,16 @@ impl SpecializationManager {
             queue: JobQueue::new(),
             budget_bytes,
             counters: Counters::default(),
+            metrics: Arc::new(MetricsRegistry::new()),
             sink: RwLock::new(None),
         }
+    }
+
+    /// The always-on metrics registry every manager event is folded into.
+    /// Clone the `Arc` to export from another thread (e.g. a Prometheus
+    /// scrape endpoint) while the manager keeps recording.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
     }
 
     /// Attach an event sink (replacing any previous one).
@@ -355,12 +369,25 @@ impl SpecializationManager {
     /// Drop every cached variant (counters are kept).
     pub fn clear(&self) {
         self.cache.clear();
+        self.sync_resident_gauges();
     }
 
     fn emit(&self, ev: Event) {
+        // The registry comes first and unconditionally: metrics must not
+        // depend on a sink being attached.
+        self.metrics.record_event(&ev);
         if let Some(sink) = self.sink.read().unwrap().as_ref() {
             sink.event(&ev);
         }
+    }
+
+    /// Refresh the cache-residency gauges from the authoritative cache
+    /// accounting (called after inserts and evictions).
+    fn sync_resident_gauges(&self) {
+        self.metrics
+            .gauge_set(Gge::ResidentBytes, self.cache.resident_bytes() as i64);
+        self.metrics
+            .gauge_set(Gge::ResidentVariants, self.cache.len() as i64);
     }
 
     fn note_hit(&self, func: u64, v: &Arc<Variant>) {
@@ -509,7 +536,10 @@ impl SpecializationManager {
                 }
                 self.counters.misses.fetch_add(1, Ordering::AcqRel);
                 self.emit(Event::Miss { func });
-                match Rewriter::new(img).rewrite(func, req) {
+                self.metrics.gauge_add(Gge::InflightRewrites, 1);
+                let rewritten = Rewriter::new(img).rewrite(func, req);
+                self.metrics.gauge_add(Gge::InflightRewrites, -1);
+                match rewritten {
                     Ok(res) => {
                         self.counters
                             .traced_total
@@ -534,10 +564,12 @@ impl SpecializationManager {
                         // flight: anyone past the flight sees the cache.
                         self.cache.insert(key, Arc::clone(&variant));
                         self.evict_to_budget(key);
+                        self.sync_resident_gauges();
                         lease.resolve(Ok(Arc::clone(&variant)));
                         Ok((variant, Outcome::Rewrote))
                     }
                     Err(e) => {
+                        self.metrics.count(Ctr::RewriteFailures, 1);
                         lease.resolve(Err(e.clone()));
                         Err(e)
                     }
@@ -590,8 +622,34 @@ impl SpecializationManager {
         func: u64,
         original: u64,
     ) -> Result<u64, RewriteError> {
-        let cases: Vec<GuardCase> = self
-            .variants_of(func)
+        let cases = self.dispatch_cases(func);
+        let entry = guard::make_guard_chain(img, &cases, original)?;
+        self.note_dispatcher(func, entry, cases.len());
+        Ok(entry)
+    }
+
+    /// [`build_dispatcher`](Self::build_dispatcher) emitting a
+    /// *self-counting* stub: each case — and the fall-through to the
+    /// original — increments its slot of the returned [`CounterPage`] on
+    /// every call, so predicted hot values can be validated against the
+    /// dispatch rates the stub actually sees. Dispatch behavior is
+    /// bit-identical to the plain stub.
+    pub fn build_dispatcher_counting(
+        &self,
+        img: &Image,
+        func: u64,
+        original: u64,
+    ) -> Result<(u64, CounterPage), RewriteError> {
+        let cases = self.dispatch_cases(func);
+        let (entry, page) = guard::make_guard_chain_counting(img, &cases, original)?;
+        self.note_dispatcher(func, entry, cases.len());
+        Ok((entry, page))
+    }
+
+    /// Guardable cached variants of `func` as dispatch cases, hottest
+    /// first.
+    fn dispatch_cases(&self, func: u64) -> Vec<GuardCase> {
+        self.variants_of(func)
             .iter()
             .filter_map(|v| {
                 v.guards.as_ref().map(|g| GuardCase {
@@ -599,17 +657,18 @@ impl SpecializationManager {
                     target: v.entry,
                 })
             })
-            .collect();
-        let entry = guard::make_guard_chain(img, &cases, original)?;
+            .collect()
+    }
+
+    fn note_dispatcher(&self, func: u64, entry: u64, variants: usize) {
         self.counters
             .dispatchers_built
             .fetch_add(1, Ordering::AcqRel);
         self.emit(Event::DispatcherBuilt {
             func,
             entry,
-            variants: cases.len(),
+            variants,
         });
-        Ok(entry)
     }
 }
 

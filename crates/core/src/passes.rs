@@ -55,38 +55,68 @@ impl PassConfig {
 /// `frame_escaped` disables frame dead-store elimination (an escaped frame
 /// address means unknown loads may legally alias the frame).
 pub fn run_passes(blocks: &mut [CapturedBlock], pc: &PassConfig, frame_escaped: bool) -> u64 {
+    run_passes_traced(blocks, pc, frame_escaped, None)
+}
+
+/// [`run_passes`] with optional span recording: each enabled pass gets a
+/// `cat:"pass"` span carrying its removal count.
+pub fn run_passes_traced(
+    blocks: &mut [CapturedBlock],
+    pc: &PassConfig,
+    frame_escaped: bool,
+    mut rec: Option<&mut crate::telemetry::SpanRecorder>,
+) -> u64 {
     let mut removed = 0;
-    if pc.redundant_load_elim {
-        for b in blocks.iter_mut() {
-            removed += forward_loads(b);
+    let staged = |rec: &mut Option<&mut crate::telemetry::SpanRecorder>,
+                  name: &'static str,
+                  f: &mut dyn FnMut() -> u64|
+     -> u64 {
+        let t0 = rec.as_ref().map(|r| r.now_ns());
+        let n = f();
+        if let (Some(r), Some(t0)) = (rec.as_deref_mut(), t0) {
+            r.complete(name, "pass", t0, vec![("removed".into(), n.to_string())]);
         }
+        n
+    };
+    if pc.redundant_load_elim {
+        removed += staged(&mut rec, "redundant-load-elim", &mut || {
+            blocks.iter_mut().map(forward_loads).sum()
+        });
     }
     if pc.dead_store_elim && !frame_escaped {
-        removed += dead_frame_stores(blocks);
+        removed += staged(&mut rec, "dead-store-elim", &mut || {
+            dead_frame_stores(blocks)
+        });
     }
     if pc.slot_promotion {
         // Converts memory moves to register moves (not removals, but the
         // conversions enable the peephole below to drop self-moves).
-        crate::promote::promote_slots(blocks, frame_escaped);
+        staged(&mut rec, "slot-promotion", &mut || {
+            crate::promote::promote_slots(blocks, frame_escaped);
+            0
+        });
     }
     if pc.peephole {
         // First peephole round: cancel adjacent stack-temp pairs so frame
         // compression sees the minimal push population.
-        for b in blocks.iter_mut() {
-            removed += peephole(b);
-        }
+        removed += staged(&mut rec, "peephole", &mut || {
+            blocks.iter_mut().map(peephole).sum()
+        });
     }
     if pc.frame_compression {
-        removed += crate::frame::compress_frames(blocks);
+        removed += staged(&mut rec, "frame-compression", &mut || {
+            crate::frame::compress_frames(blocks)
+        });
     }
     if pc.peephole {
         // Second round: merge the RSP bumps frame compression introduced
         // and drop register writes orphaned by removed consumers.
-        for b in blocks.iter_mut() {
-            removed += peephole(b);
-            removed += dead_reg_writes(b);
-            removed += peephole(b);
-        }
+        removed += staged(&mut rec, "peephole-2", &mut || {
+            blocks
+                .iter_mut()
+                .map(|b| peephole(b) + dead_reg_writes(b) + peephole(b))
+                .sum()
+        });
     }
     removed
 }

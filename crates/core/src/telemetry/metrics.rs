@@ -1,0 +1,534 @@
+//! The lock-free metrics registry.
+//!
+//! Every metric is a plain atomic — no locks anywhere on the update path,
+//! so the registry is safe to hammer from the manager's sharded hit path
+//! and the deferred worker pool alike. A disabled registry (see
+//! [`MetricsRegistry::set_enabled`]) reduces every update to one relaxed
+//! load-and-branch.
+
+use crate::manager::Event;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (or be set outright).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite with `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (inclusive, in nanoseconds) of the fixed histogram
+/// buckets: powers of four from 1µs to ~4s, the range a rewrite phase can
+/// plausibly land in. One shared layout keeps exposition simple and the
+/// observation path branch-free beyond the bucket scan.
+pub const NS_BUCKET_BOUNDS: [u64; 12] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_000_000,
+    4_000_000,
+    16_000_000,
+    64_000_000,
+    256_000_000,
+    1_000_000_000,
+    4_000_000_000,
+];
+
+/// A fixed-bucket histogram over [`NS_BUCKET_BOUNDS`] plus an overflow
+/// bucket, with sum and count — the Prometheus histogram shape.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NS_BUCKET_BOUNDS.len() + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = NS_BUCKET_BOUNDS
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(NS_BUCKET_BOUNDS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts, overflow bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Counter identifiers. The order defines the exposition order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Ctr {
+    CacheHits,
+    CacheMisses,
+    CacheCoalesced,
+    CacheDeferred,
+    CachePublished,
+    CacheEvictions,
+    CacheEvictedBytes,
+    Rewrites,
+    RewriteFailures,
+    TracedInsts,
+    JitCodeBytes,
+    DispatchersBuilt,
+    GuardHits,
+    GuardFallthrough,
+}
+
+impl Ctr {
+    /// Every counter, in exposition order.
+    pub const ALL: [Ctr; 14] = [
+        Ctr::CacheHits,
+        Ctr::CacheMisses,
+        Ctr::CacheCoalesced,
+        Ctr::CacheDeferred,
+        Ctr::CachePublished,
+        Ctr::CacheEvictions,
+        Ctr::CacheEvictedBytes,
+        Ctr::Rewrites,
+        Ctr::RewriteFailures,
+        Ctr::TracedInsts,
+        Ctr::JitCodeBytes,
+        Ctr::DispatchersBuilt,
+        Ctr::GuardHits,
+        Ctr::GuardFallthrough,
+    ];
+
+    /// Prometheus metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ctr::CacheHits => "brew_cache_hits_total",
+            Ctr::CacheMisses => "brew_cache_misses_total",
+            Ctr::CacheCoalesced => "brew_cache_coalesced_total",
+            Ctr::CacheDeferred => "brew_cache_deferred_total",
+            Ctr::CachePublished => "brew_cache_published_total",
+            Ctr::CacheEvictions => "brew_cache_evictions_total",
+            Ctr::CacheEvictedBytes => "brew_cache_evicted_bytes_total",
+            Ctr::Rewrites => "brew_rewrites_total",
+            Ctr::RewriteFailures => "brew_rewrite_failures_total",
+            Ctr::TracedInsts => "brew_traced_insts_total",
+            Ctr::JitCodeBytes => "brew_jit_code_bytes_total",
+            Ctr::DispatchersBuilt => "brew_dispatchers_built_total",
+            Ctr::GuardHits => "brew_guard_hits_total",
+            Ctr::GuardFallthrough => "brew_guard_fallthrough_total",
+        }
+    }
+
+    /// One-line help string for the exposition.
+    pub fn help(self) -> &'static str {
+        match self {
+            Ctr::CacheHits => "Specialization requests answered from the variant cache",
+            Ctr::CacheMisses => "Requests that led a rewrite (single-flight leaders)",
+            Ctr::CacheCoalesced => "Requests that subscribed to an in-flight rewrite",
+            Ctr::CacheDeferred => "Misses answered with the original while a worker rewrites",
+            Ctr::CachePublished => "Variants published by deferred workers",
+            Ctr::CacheEvictions => "Variants evicted under byte-budget pressure",
+            Ctr::CacheEvictedBytes => "Code bytes dropped by evictions",
+            Ctr::Rewrites => "Completed rewrites",
+            Ctr::RewriteFailures => "Rewrites that returned an error",
+            Ctr::TracedInsts => "Guest instructions visited while tracing",
+            Ctr::JitCodeBytes => "Code bytes emitted into the JIT segment by rewrites",
+            Ctr::DispatchersBuilt => "Guarded dispatch stubs emitted",
+            Ctr::GuardHits => "Dispatch-stub cases taken (from counting stubs)",
+            Ctr::GuardFallthrough => "Dispatch-stub fall-throughs to the original",
+        }
+    }
+}
+
+/// Gauge identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Gge {
+    InflightRewrites,
+    ResidentBytes,
+    ResidentVariants,
+}
+
+impl Gge {
+    /// Every gauge, in exposition order.
+    pub const ALL: [Gge; 3] = [
+        Gge::InflightRewrites,
+        Gge::ResidentBytes,
+        Gge::ResidentVariants,
+    ];
+
+    /// Prometheus metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gge::InflightRewrites => "brew_inflight_rewrites",
+            Gge::ResidentBytes => "brew_cache_resident_bytes",
+            Gge::ResidentVariants => "brew_cache_resident_variants",
+        }
+    }
+
+    /// One-line help string for the exposition.
+    pub fn help(self) -> &'static str {
+        match self {
+            Gge::InflightRewrites => "Rewrites currently being traced",
+            Gge::ResidentBytes => "Code bytes currently resident in the variant cache",
+            Gge::ResidentVariants => "Variants currently resident in the cache",
+        }
+    }
+}
+
+/// Histogram identifiers — the per-phase rewrite-time distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Hst {
+    TraceNs,
+    PassNs,
+    EmitNs,
+    TotalNs,
+}
+
+impl Hst {
+    /// Every histogram, in exposition order.
+    pub const ALL: [Hst; 4] = [Hst::TraceNs, Hst::PassNs, Hst::EmitNs, Hst::TotalNs];
+
+    /// Prometheus metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hst::TraceNs => "brew_rewrite_trace_ns",
+            Hst::PassNs => "brew_rewrite_pass_ns",
+            Hst::EmitNs => "brew_rewrite_emit_ns",
+            Hst::TotalNs => "brew_rewrite_total_ns",
+        }
+    }
+
+    /// One-line help string for the exposition.
+    pub fn help(self) -> &'static str {
+        match self {
+            Hst::TraceNs => "Nanoseconds per rewrite spent decoding and tracing",
+            Hst::PassNs => "Nanoseconds per rewrite spent in optimization passes",
+            Hst::EmitNs => "Nanoseconds per rewrite spent on layout, encoding, relocation",
+            Hst::TotalNs => "Nanoseconds per rewrite across all instrumented phases",
+        }
+    }
+}
+
+/// The registry: every metric the pipeline produces, behind atomics.
+/// `Send + Sync` by construction; share it in an `Arc`.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    enabled: AtomicBool,
+    counters: [Counter; Ctr::ALL.len()],
+    gauges: [Gauge; Gge::ALL.len()],
+    hists: [Histogram; Hst::ALL.len()],
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh, enabled registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            enabled: AtomicBool::new(true),
+            counters: std::array::from_fn(|_| Counter::default()),
+            gauges: std::array::from_fn(|_| Gauge::default()),
+            hists: std::array::from_fn(|_| Histogram::default()),
+        }
+    }
+
+    /// Turn recording on or off. Off, every update path reduces to one
+    /// relaxed load; existing values are kept.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the registry records updates.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The counter for `c`.
+    pub fn counter(&self, c: Ctr) -> &Counter {
+        &self.counters[c as usize]
+    }
+
+    /// The gauge for `g`.
+    pub fn gauge(&self, g: Gge) -> &Gauge {
+        &self.gauges[g as usize]
+    }
+
+    /// The histogram for `h`.
+    pub fn histogram(&self, h: Hst) -> &Histogram {
+        &self.hists[h as usize]
+    }
+
+    /// Increment counter `c` by `n`, if enabled.
+    pub fn count(&self, c: Ctr, n: u64) {
+        if self.enabled() {
+            self.counter(c).add(n);
+        }
+    }
+
+    /// Set gauge `g` to `v`, if enabled.
+    pub fn gauge_set(&self, g: Gge, v: i64) {
+        if self.enabled() {
+            self.gauge(g).set(v);
+        }
+    }
+
+    /// Add `d` to gauge `g`, if enabled.
+    pub fn gauge_add(&self, g: Gge, d: i64) {
+        if self.enabled() {
+            self.gauge(g).add(d);
+        }
+    }
+
+    /// Record `v` in histogram `h`, if enabled.
+    pub fn observe(&self, h: Hst, v: u64) {
+        if self.enabled() {
+            self.histogram(h).observe(v);
+        }
+    }
+
+    /// Fold one manager [`Event`] into the registry. Called by the
+    /// manager on *every* event, sink or no sink — the counters here can
+    /// never silently lose an event the way an absent sink drops it.
+    pub fn record_event(&self, ev: &Event) {
+        if !self.enabled() {
+            return;
+        }
+        match ev {
+            Event::Hit { .. } => self.counter(Ctr::CacheHits).inc(),
+            Event::Miss { .. } => self.counter(Ctr::CacheMisses).inc(),
+            Event::Coalesced { .. } => self.counter(Ctr::CacheCoalesced).inc(),
+            Event::Deferred { .. } => self.counter(Ctr::CacheDeferred).inc(),
+            Event::Published { .. } => self.counter(Ctr::CachePublished).inc(),
+            Event::Evicted { code_len, .. } => {
+                self.counter(Ctr::CacheEvictions).inc();
+                self.counter(Ctr::CacheEvictedBytes).add(*code_len as u64);
+            }
+            Event::Rewritten {
+                code_len, stats, ..
+            } => {
+                self.counter(Ctr::Rewrites).inc();
+                self.counter(Ctr::TracedInsts).add(stats.traced);
+                self.counter(Ctr::JitCodeBytes).add(*code_len as u64);
+                self.histogram(Hst::TraceNs).observe(stats.trace_ns);
+                self.histogram(Hst::PassNs).observe(stats.pass_ns);
+                self.histogram(Hst::EmitNs).observe(stats.emit_ns);
+                self.histogram(Hst::TotalNs).observe(stats.total_ns());
+            }
+            Event::DispatcherBuilt { .. } => self.counter(Ctr::DispatchersBuilt).inc(),
+        }
+    }
+
+    /// Render the registry in the Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` headers, cumulative `_bucket{le=...}` series
+    /// plus `_sum` / `_count` for histograms).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for c in Ctr::ALL {
+            out.push_str(&format!("# HELP {} {}\n", c.name(), c.help()));
+            out.push_str(&format!("# TYPE {} counter\n", c.name()));
+            out.push_str(&format!("{} {}\n", c.name(), self.counter(c).get()));
+        }
+        for g in Gge::ALL {
+            out.push_str(&format!("# HELP {} {}\n", g.name(), g.help()));
+            out.push_str(&format!("# TYPE {} gauge\n", g.name()));
+            out.push_str(&format!("{} {}\n", g.name(), self.gauge(g).get()));
+        }
+        for h in Hst::ALL {
+            let hist = self.histogram(h);
+            out.push_str(&format!("# HELP {} {}\n", h.name(), h.help()));
+            out.push_str(&format!("# TYPE {} histogram\n", h.name()));
+            let mut cum = 0u64;
+            for (i, n) in hist.bucket_counts().iter().enumerate() {
+                cum += n;
+                let le = NS_BUCKET_BOUNDS
+                    .get(i)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "+Inf".into());
+                out.push_str(&format!("{}_bucket{{le=\"{le}\"}} {cum}\n", h.name()));
+            }
+            out.push_str(&format!("{}_sum {}\n", h.name(), hist.sum()));
+            out.push_str(&format!("{}_count {}\n", h.name(), hist.count()));
+        }
+        out
+    }
+
+    /// Render the registry as one JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:{"bounds":[...],
+    /// "buckets":[...],"sum":n,"count":n}}}`.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, c) in Ctr::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", c.name(), self.counter(*c).get()));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, g) in Gge::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", g.name(), self.gauge(*g).get()));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in Hst::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let hist = self.histogram(*h);
+            let bounds: Vec<String> = NS_BUCKET_BOUNDS.iter().map(|b| b.to_string()).collect();
+            let buckets: Vec<String> = hist.bucket_counts().iter().map(|n| n.to_string()).collect();
+            out.push_str(&format!(
+                "\"{}\":{{\"bounds\":[{}],\"buckets\":[{}],\"sum\":{},\"count\":{}}}",
+                h.name(),
+                bounds.join(","),
+                buckets.join(","),
+                hist.sum(),
+                hist.count()
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let m = MetricsRegistry::new();
+        m.count(Ctr::CacheHits, 3);
+        m.counter(Ctr::CacheHits).inc();
+        assert_eq!(m.counter(Ctr::CacheHits).get(), 4);
+        m.gauge_set(Gge::ResidentBytes, 128);
+        m.gauge_add(Gge::ResidentBytes, -28);
+        assert_eq!(m.gauge(Gge::ResidentBytes).get(), 100);
+    }
+
+    #[test]
+    fn disabled_registry_drops_updates() {
+        let m = MetricsRegistry::new();
+        m.set_enabled(false);
+        m.count(Ctr::CacheHits, 5);
+        m.observe(Hst::TraceNs, 1_000);
+        m.record_event(&Event::Miss { func: 1 });
+        assert_eq!(m.counter(Ctr::CacheHits).get(), 0);
+        assert_eq!(m.counter(Ctr::CacheMisses).get(), 0);
+        assert_eq!(m.histogram(Hst::TraceNs).count(), 0);
+        m.set_enabled(true);
+        m.record_event(&Event::Miss { func: 1 });
+        assert_eq!(m.counter(Ctr::CacheMisses).get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_range() {
+        let h = Histogram::default();
+        h.observe(0); // below the first bound
+        h.observe(1_000); // exactly on a bound → that bucket
+        h.observe(5_000_000_000); // beyond the last bound → overflow
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 2);
+        assert_eq!(*counts.last().unwrap(), 1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 5_000_001_000);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let m = MetricsRegistry::new();
+        m.count(Ctr::Rewrites, 1);
+        m.observe(Hst::TotalNs, 2_000);
+        let text = m.render_prometheus();
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# HELP ")
+                    || line.starts_with("# TYPE ")
+                    || line.split_once(' ').is_some_and(|(name, val)| {
+                        name.starts_with("brew_") && val.parse::<i64>().is_ok()
+                    }),
+                "malformed exposition line: {line}"
+            );
+        }
+        assert!(text.contains("brew_rewrites_total 1"));
+        // Histogram buckets are cumulative and end with +Inf == count.
+        assert!(text.contains("brew_rewrite_total_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("brew_rewrite_total_ns_count 1"));
+    }
+
+    #[test]
+    fn json_snapshot_is_valid() {
+        let m = MetricsRegistry::new();
+        m.record_event(&Event::Hit { func: 1, entry: 2 });
+        let s = m.snapshot_json();
+        crate::telemetry::validate_json(&s).unwrap();
+        assert!(s.contains("\"brew_cache_hits_total\":1"));
+    }
+}

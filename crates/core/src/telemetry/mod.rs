@@ -1,0 +1,62 @@
+//! Observability for the rewriting pipeline.
+//!
+//! The paper's evaluation (§V) is an exercise in measurement: where does
+//! rewrite time go, how much code is generated, do guarded variants
+//! actually get hit? This module is that measurement layer, built from
+//! three dependency-free pieces:
+//!
+//! - [`metrics`] — a lock-free [`MetricsRegistry`](metrics::MetricsRegistry)
+//!   of atomic counters, gauges and fixed-bucket histograms. The
+//!   [`SpecializationManager`](crate::manager::SpecializationManager)
+//!   feeds it on *every* event, independent of whether an
+//!   [`EventSink`](crate::manager::EventSink) is installed, so cache and
+//!   rewrite-phase metrics are never silently lost. Exported as
+//!   Prometheus text exposition and as a JSON snapshot.
+//! - [`span`] — a [`SpanRecorder`](span::SpanRecorder) capturing the
+//!   rewrite as a span tree (trace → per-block → migration / inlining
+//!   decisions → passes → layout / encode / commit), renderable as
+//!   chrome://tracing JSON.
+//! - [`explain`] — a human-readable report over a recorded rewrite:
+//!   phase timings, the decision log, and an annotated disassembly of
+//!   the generated code (the paper's Figure 6, reproduced automatically).
+//!
+//! [`json`] is a tiny strict JSON syntax checker used by tests and the
+//! CI `obs` stage to reject malformed exporter output.
+
+pub mod explain;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use explain::explain_report;
+pub use json::validate_json;
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use span::{SpanEvent, SpanKind, SpanRecorder};
+
+/// Escape a string for embedding in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

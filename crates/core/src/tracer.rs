@@ -50,6 +50,9 @@ pub struct Tracer<'a> {
     /// The function being rewritten (passed to entry/exit hooks).
     pub(crate) entry_fn: u64,
     budget: u64,
+    /// Optional span recorder for structured rewrite traces (per-block
+    /// spans plus migration / inlining / compensation decision events).
+    pub(crate) recorder: Option<&'a mut crate::telemetry::SpanRecorder>,
 }
 
 impl<'a> Tracer<'a> {
@@ -68,6 +71,14 @@ impl<'a> Tracer<'a> {
             escaped: false,
             entry_fn: 0,
             budget: cfg.max_trace_insts,
+            recorder: None,
+        }
+    }
+
+    /// Record an instant decision event, if a recorder is attached.
+    pub(crate) fn rec_decision(&mut self, name: &'static str, args: Vec<(String, String)>) {
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.instant(name, "decision", args);
         }
     }
 
@@ -149,6 +160,13 @@ impl<'a> Tracer<'a> {
 
         // --- world migration (§III.F) ---
         self.stats.migrations += 1;
+        self.rec_decision(
+            "migration",
+            vec![
+                ("addr".into(), format!("{addr:#x}")),
+                ("variants".into(), count.to_string()),
+            ],
+        );
 
         // 1. Try an existing compatible variant, preferring the one needing
         //    the least compensation.
@@ -294,12 +312,20 @@ impl<'a> Tracer<'a> {
             }));
         }
         let bid = BlockId(self.blocks.len());
+        let n_moves = insts.len();
         let mut b = CapturedBlock::pending(0);
         b.insts = insts;
         b.term = Terminator::Jmp(target);
         b.traced = true;
         self.blocks.push(b);
         self.stats.blocks += 1;
+        self.rec_decision(
+            "compensation",
+            vec![
+                ("target_block".into(), target.0.to_string()),
+                ("moves".into(), n_moves.to_string()),
+            ],
+        );
         Ok(bid)
     }
 
@@ -310,6 +336,8 @@ impl<'a> Tracer<'a> {
             wrote_flags: false,
             reads_flags_on_entry: false,
         };
+        let span_start = self.recorder.as_ref().map(|r| r.now_ns());
+        let traced_before = self.stats.traced;
         let mut rip = p.addr;
         let term = loop {
             if self.budget == 0 {
@@ -334,8 +362,23 @@ impl<'a> Tracer<'a> {
         b.term = term;
         b.reads_flags_on_entry = cx.reads_flags_on_entry;
         b.traced = true;
+        let emitted = b.insts.len();
         if b.entered_untrusted && b.reads_flags_on_entry {
             return Err(RewriteError::UntrustedFlags { addr: p.addr });
+        }
+        if let (Some(r), Some(t0)) = (self.recorder.as_deref_mut(), span_start) {
+            r.complete(
+                format!("block@{:#x}", p.addr),
+                "block",
+                t0,
+                vec![
+                    ("insts".into(), emitted.to_string()),
+                    (
+                        "traced".into(),
+                        (self.stats.traced - traced_before).to_string(),
+                    ),
+                ],
+            );
         }
         Ok(())
     }

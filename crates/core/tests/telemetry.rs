@@ -1,0 +1,221 @@
+//! End-to-end telemetry: the always-on metrics registry, self-counting
+//! dispatch stubs, the rewrite span tree and the export formats.
+
+use brew_core::telemetry::metrics::{Ctr, Gge, Hst};
+use brew_core::{
+    explain_report, validate_json, RetKind, Rewriter, SpecRequest, SpecializationManager,
+};
+use brew_emu::{CallArgs, Machine};
+use brew_image::Image;
+
+const PROG: &str = r#"
+    int poly(int x, int n) {
+        int r = 1;
+        for (int i = 0; i < n; i++) r *= x;
+        return r;
+    }
+"#;
+
+fn setup() -> (Image, u64) {
+    let img = Image::new();
+    let prog = brew_minic::compile_into(PROG, &img).unwrap();
+    (img, prog.func("poly").unwrap())
+}
+
+fn poly_req(n: i64) -> SpecRequest {
+    SpecRequest::new()
+        .unknown_int()
+        .known_int(n)
+        .ret(RetKind::Int)
+}
+
+#[test]
+fn registry_is_fed_without_any_sink() {
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
+    assert!(mgr.take_sink().is_none(), "no sink attached");
+
+    let v = mgr.get_or_rewrite(&img, poly, &poly_req(5)).unwrap();
+    mgr.get_or_rewrite(&img, poly, &poly_req(5)).unwrap();
+    mgr.get_or_rewrite(&img, poly, &poly_req(5)).unwrap();
+    mgr.build_dispatcher(&img, poly, poly).unwrap();
+
+    // Satellite fix: events land in the metrics registry even though no
+    // EventSink was ever attached.
+    let m = mgr.metrics();
+    assert_eq!(m.counter(Ctr::CacheMisses).get(), 1);
+    assert_eq!(m.counter(Ctr::CacheHits).get(), 2);
+    assert_eq!(m.counter(Ctr::Rewrites).get(), 1);
+    assert_eq!(m.counter(Ctr::RewriteFailures).get(), 0);
+    assert_eq!(m.counter(Ctr::DispatchersBuilt).get(), 1);
+    assert_eq!(m.counter(Ctr::TracedInsts).get(), v.stats.traced);
+    assert_eq!(m.counter(Ctr::JitCodeBytes).get(), v.code_len as u64);
+    assert_eq!(m.gauge(Gge::ResidentBytes).get(), v.code_len as i64);
+    assert_eq!(m.gauge(Gge::ResidentVariants).get(), 1);
+    assert_eq!(m.gauge(Gge::InflightRewrites).get(), 0, "balanced inc/dec");
+    // The rewrite's phase timings landed in every histogram.
+    for h in [Hst::TraceNs, Hst::PassNs, Hst::EmitNs, Hst::TotalNs] {
+        assert_eq!(m.histogram(h).count(), 1, "{}", h.name());
+    }
+    assert_eq!(
+        m.histogram(Hst::TotalNs).sum(),
+        v.stats.total_ns(),
+        "total histogram sums the rewrite's phase total"
+    );
+}
+
+#[test]
+fn registry_counts_failures() {
+    let (img, _) = setup();
+    let mgr = SpecializationManager::new();
+    // A non-code address fails to rewrite.
+    assert!(mgr.get_or_rewrite(&img, 0x10, &poly_req(1)).is_err());
+    let m = mgr.metrics();
+    assert_eq!(m.counter(Ctr::RewriteFailures).get(), 1);
+    assert_eq!(m.counter(Ctr::Rewrites).get(), 0);
+    assert_eq!(m.gauge(Gge::InflightRewrites).get(), 0);
+}
+
+#[test]
+fn counting_dispatcher_counters_match_call_totals() {
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
+    for n in [3i64, 5, 8] {
+        mgr.get_or_rewrite(&img, poly, &poly_req(n)).unwrap();
+    }
+    let (dispatch, page) = mgr.build_dispatcher_counting(&img, poly, poly).unwrap();
+    assert_eq!(page.cases, 3);
+    assert_eq!(page.total(&img).unwrap(), 0, "page starts zeroed");
+
+    // Drive a known call mix through the stub: variants are chained
+    // hottest-first, but every case guards a distinct n so the per-value
+    // totals are exact regardless of chain order.
+    let mut m = Machine::new();
+    let mix = [(3i64, 7u64), (5, 4), (8, 2)];
+    let mut fallthrough = 0u64;
+    for &(n, times) in &mix {
+        for _ in 0..times {
+            m.call(&img, dispatch, &CallArgs::new().int(2).int(n))
+                .unwrap();
+        }
+    }
+    for n in [0i64, 1, 4] {
+        m.call(&img, dispatch, &CallArgs::new().int(2).int(n))
+            .unwrap();
+        fallthrough += 1;
+    }
+
+    let total_calls = mix.iter().map(|&(_, t)| t).sum::<u64>() + fallthrough;
+    assert_eq!(page.total(&img).unwrap(), total_calls);
+    assert_eq!(page.fallthrough_hits(&img).unwrap(), fallthrough);
+
+    // Map each case's slot back to the variant it guards and check the
+    // per-value counts.
+    let variants = mgr.variants_of(poly);
+    for (ci, v) in variants.iter().enumerate() {
+        let guards = v.guards.as_ref().unwrap();
+        let n = guards[0].1;
+        let want = mix.iter().find(|&&(mn, _)| mn == n).unwrap().1;
+        assert_eq!(
+            page.case_hits(&img, ci).unwrap(),
+            want,
+            "case {ci} guards n={n}"
+        );
+    }
+
+    // Reset zeroes the page; further calls count again.
+    page.reset(&img).unwrap();
+    m.call(&img, dispatch, &CallArgs::new().int(2).int(3))
+        .unwrap();
+    assert_eq!(page.total(&img).unwrap(), 1);
+}
+
+#[test]
+fn counting_stub_is_behaviorally_identical_to_plain() {
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
+    for n in [2i64, 6] {
+        mgr.get_or_rewrite(&img, poly, &poly_req(n)).unwrap();
+    }
+    let plain = mgr.build_dispatcher(&img, poly, poly).unwrap();
+    let (counting, page) = mgr.build_dispatcher_counting(&img, poly, poly).unwrap();
+
+    let mut m = Machine::new();
+    let mut calls = 0u64;
+    for x in [-5i64, -1, 0, 1, 2, 3, 100] {
+        for n in [0i64, 1, 2, 3, 6, 7] {
+            let args = CallArgs::new().int(x).int(n);
+            let a = m.call(&img, plain, &args).unwrap().ret_int;
+            let b = m.call(&img, counting, &args).unwrap().ret_int;
+            let orig = m.call(&img, poly, &args).unwrap().ret_int;
+            assert_eq!(a, b, "poly({x},{n}) diverged between stub flavors");
+            assert_eq!(b, orig, "poly({x},{n}) diverged from the original");
+            calls += 1;
+        }
+    }
+    assert_eq!(
+        page.total(&img).unwrap(),
+        calls,
+        "every call through the counting stub bumped exactly one slot"
+    );
+}
+
+#[test]
+fn exports_are_well_formed_and_cover_the_run() {
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
+    mgr.get_or_rewrite(&img, poly, &poly_req(4)).unwrap();
+    mgr.get_or_rewrite(&img, poly, &poly_req(4)).unwrap();
+
+    let m = mgr.metrics();
+    let prom = m.render_prometheus();
+    for needle in [
+        "# HELP brew_cache_hits_total",
+        "# TYPE brew_cache_hits_total counter",
+        "brew_cache_hits_total 1",
+        "brew_cache_misses_total 1",
+        "brew_rewrite_trace_ns_bucket{le=\"+Inf\"} 1",
+        "brew_rewrite_trace_ns_count 1",
+        "brew_cache_resident_variants 1",
+    ] {
+        assert!(prom.contains(needle), "missing {needle:?} in:\n{prom}");
+    }
+    validate_json(&m.snapshot_json()).expect("snapshot JSON is valid");
+}
+
+#[test]
+fn trace_spans_chrome_json_and_explain_report() {
+    let (img, poly) = setup();
+    let (res, rec) = Rewriter::new(&img)
+        .rewrite_with_trace(poly, &poly_req(6))
+        .unwrap();
+
+    // The three pipeline phases are present and plausibly ordered.
+    for phase in ["trace", "passes", "emit"] {
+        assert!(rec.span_ns(phase) > 0, "phase {phase} missing or empty");
+    }
+    assert!(!rec.events_in("block").is_empty(), "per-block spans");
+    assert!(!rec.events_in("pass").is_empty(), "per-pass spans");
+    assert!(!rec.events_in("emit-step").is_empty(), "emit-step spans");
+
+    let chrome = rec.to_chrome_json();
+    validate_json(&chrome).expect("chrome trace JSON is valid");
+    assert!(chrome.contains("\"ph\":\"X\""), "complete events present");
+
+    let report = explain_report(&img, poly, &res, &rec);
+    for needle in [
+        "poly",
+        "### phases",
+        "### blocks",
+        "### generated code",
+        &format!("{:#x}", res.entry),
+    ] {
+        assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+    }
+
+    // The trace result itself still behaves.
+    let out = Machine::new()
+        .call(&img, res.entry, &CallArgs::new().int(3).int(6))
+        .unwrap();
+    assert_eq!(out.ret_int, 729);
+}

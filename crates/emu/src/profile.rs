@@ -33,6 +33,12 @@ impl ValueProfile {
         }
     }
 
+    /// How many leading integer parameters are histogrammed (clamped to
+    /// the 6 SysV integer argument registers).
+    pub fn params_tracked(&self) -> usize {
+        self.params_tracked
+    }
+
     /// Record one call. Matches the [`crate::machine::CallObserver`] shape.
     pub fn record(&mut self, target: u64, cpu: &CpuState) {
         *self.calls.entry(target).or_insert(0) += 1;
@@ -111,6 +117,54 @@ mod tests {
         let p = ValueProfile::new(1);
         assert_eq!(p.call_count(0x1), 0);
         assert_eq!(p.hot_value(0x1, 0, 0.5), None);
+    }
+
+    #[test]
+    fn tie_at_exactly_min_share_qualifies() {
+        // 50/50 split with min_share = 0.5: `n >= min_share * total` holds
+        // for both values, so *a* hot value is reported (which of the two
+        // is a HashMap iteration detail).
+        let mut p = ValueProfile::new(1);
+        for _ in 0..5 {
+            p.record(0x400000, &cpu_with_args(7, 0));
+        }
+        for _ in 0..5 {
+            p.record(0x400000, &cpu_with_args(9, 0));
+        }
+        let hot = p.hot_value(0x400000, 0, 0.5);
+        assert!(hot == Some(7) || hot == Some(9), "got {hot:?}");
+        // Just above the tie threshold neither value qualifies.
+        assert_eq!(p.hot_value(0x400000, 0, 0.51), None);
+    }
+
+    #[test]
+    fn single_call_is_fully_dominant() {
+        let mut p = ValueProfile::new(1);
+        p.record(0x400000, &cpu_with_args(3, 0));
+        // One observation is 100% of the calls — even min_share = 1.0.
+        assert_eq!(p.hot_value(0x400000, 0, 1.0), Some(3));
+    }
+
+    #[test]
+    fn params_tracked_clamps_at_six() {
+        assert_eq!(ValueProfile::new(0).params_tracked(), 0);
+        assert_eq!(ValueProfile::new(4).params_tracked(), 4);
+        assert_eq!(ValueProfile::new(6).params_tracked(), 6);
+        assert_eq!(ValueProfile::new(17).params_tracked(), 6);
+    }
+
+    #[test]
+    fn untracked_param_has_no_hot_value() {
+        let mut p = ValueProfile::new(1);
+        for _ in 0..10 {
+            p.record(0x400000, &cpu_with_args(42, 42));
+        }
+        // Param 0 is tracked; param 1 is beyond params_tracked — no
+        // histogram exists even though the register always held 42.
+        assert_eq!(p.hot_value(0x400000, 0, 0.9), Some(42));
+        assert_eq!(p.hot_value(0x400000, 1, 0.1), None);
+        // Way out of ABI range is equally silent.
+        assert_eq!(p.hot_value(0x400000, 9, 0.1), None);
     }
 
     #[test]

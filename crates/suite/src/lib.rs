@@ -31,9 +31,10 @@ pub mod prelude {
     pub use crate::verify::{verify_rewrite, Divergence};
     pub use brew_core::Variant as SpecVariant;
     pub use brew_core::{
-        disasm_result, make_guard, make_guard_chain, ArgValue, CacheStats, Event, EventSink,
-        FuncOpts, GuardCase, ParamSpec, PassConfig, RetKind, RewriteConfig, RewriteError,
-        RewriteResult, Rewriter, SpecRequest, SpecializationManager,
+        disasm_result, explain_report, make_guard, make_guard_chain, make_guard_chain_counting,
+        make_guard_counting, validate_json, ArgValue, CacheStats, CounterPage, Event, EventSink,
+        FuncOpts, GuardCase, MetricsRegistry, ParamSpec, PassConfig, RetKind, RewriteConfig,
+        RewriteError, RewriteResult, Rewriter, SpanRecorder, SpecRequest, SpecializationManager,
     };
     pub use brew_emu::{CallArgs, CallOutcome, CostModel, EmuError, Machine, Stats, ValueProfile};
     pub use brew_image::Image;

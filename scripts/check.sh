@@ -5,9 +5,14 @@
 #   scripts/check.sh          # everything
 #   scripts/check.sh check    # fmt + clippy + debug build/test
 #   scripts/check.sh stress   # examples + release concurrency/differential
+#   scripts/check.sh obs      # observability gate: exports well-formed
 #
 # The stress stage reruns the timing-sensitive suites under `--release`
 # so single-flight/eviction races get exercised with optimization on.
+# The obs stage runs the OBS experiment and the telemetry example; both
+# self-validate their JSON/exposition payloads (brew_core::validate_json
+# and exposition-shape asserts), so a malformed export fails the stage,
+# and the grep below catches a silently missing metric family.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,7 +36,7 @@ fi
 if [ "$stage" = "all" ] || [ "$stage" = "stress" ]; then
     echo "==> examples (release)"
     cargo build --release --offline --examples
-    for ex in quickstart stencil pgas guarded dispatch parallel; do
+    for ex in quickstart stencil pgas guarded dispatch parallel telemetry; do
         echo "--> example $ex"
         cargo run --release --offline --example "$ex" >/dev/null
     done
@@ -41,6 +46,25 @@ if [ "$stage" = "all" ] || [ "$stage" = "stress" ]; then
 
     echo "==> differential suite (release, includes the manager path)"
     cargo test --release --offline -q -p brew-suite --test differential
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "obs" ]; then
+    echo "==> observability gate (tables --exp obs + telemetry example)"
+    obs_out="$(cargo run --release --offline -p brew-bench --bin tables -- --exp obs)"
+    for metric in brew_cache_hits_total brew_cache_misses_total \
+        brew_rewrite_trace_ns_bucket brew_guard_hits_total \
+        brew_guard_fallthrough_total brew_cache_resident_bytes; do
+        if ! printf '%s' "$obs_out" | grep -q "$metric"; then
+            echo "FAIL: metric $metric missing from tables --exp obs" >&2
+            exit 1
+        fi
+    done
+    if ! printf '%s' "$obs_out" | grep -q '### Explain report'; then
+        echo "FAIL: explain report missing from tables --exp obs" >&2
+        exit 1
+    fi
+    cargo run --release --offline --example telemetry >/dev/null
+    echo "observability exports well-formed"
 fi
 
 echo "All checks passed ($stage)."
