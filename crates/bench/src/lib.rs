@@ -408,6 +408,118 @@ pub fn render_cache(title: &str, r: &CacheReport) -> String {
     s
 }
 
+/// C3 numbers: cost of rediscovering a failing specialization (a full
+/// doomed trace) vs a negative-cache denial, plus the cost of a staleness
+/// sweep.
+#[derive(Debug, Clone)]
+pub struct LifecycleReport {
+    /// Wall-clock ns of the initial failing request — the rewrite runs
+    /// until the trace budget blows.
+    pub cold_fail_ns: u64,
+    /// Average wall-clock ns of one denied re-request (a shard lookup).
+    pub denied_avg_ns: u64,
+    /// Denied re-requests replayed.
+    pub denials: u32,
+    /// Wall-clock ns of one `revalidate` sweep over the resident variants
+    /// (all snapshots re-hashed, none stale).
+    pub revalidate_clean_ns: u64,
+    /// Variants resident during the sweep.
+    pub resident: usize,
+    /// Variants dropped after one folded byte was mutated.
+    pub dropped_after_mutation: usize,
+    /// Manager counters at the end.
+    pub stats: brew_core::CacheStats,
+}
+
+/// C3: failure-path amortization and staleness sweeps. A doomed request
+/// (code-size budget too small for the specialized apply) pays the full
+/// pipeline once, then is replayed through the negative cache;
+/// `revalidate` is timed over the healthy variants, and one byte of the
+/// folded descriptor is mutated to show the sweep dropping exactly the
+/// dependent variants.
+pub fn lifecycle_study(xs: i64, ys: i64, denials: u32) -> LifecycleReport {
+    use brew_core::{NegativePolicy, SpecializationManager};
+    use std::time::Instant;
+
+    let s = Stencil::new(xs, ys);
+    let func = s.prog.func("apply").unwrap();
+    let hot = s.apply_request();
+    // Doomed at the *end* of the pipeline: the full trace, passes and
+    // encoding all run before the code-size budget rejects the result —
+    // the expensive way a specialization attempt actually fails.
+    let doomed = s.apply_request().max_code_bytes(16);
+
+    let mgr = SpecializationManager::new().with_negative_policy(NegativePolicy {
+        base_backoff: u64::MAX / 2,
+        attempt_cap: 10,
+    });
+    // Two healthy variants for the sweep to re-hash.
+    mgr.get_or_rewrite(&s.img, func, &hot).unwrap();
+    mgr.get_or_rewrite(&s.img, func, &hot.clone().passes(PassConfig::none()))
+        .unwrap();
+
+    let t0 = Instant::now();
+    mgr.get_or_rewrite(&s.img, func, &doomed).unwrap_err();
+    let cold_fail_ns = (t0.elapsed().as_nanos() as u64).max(1);
+
+    let t1 = Instant::now();
+    for _ in 0..denials {
+        let e = mgr.get_or_rewrite(&s.img, func, &doomed).unwrap_err();
+        std::hint::black_box(e);
+    }
+    let denied_avg_ns = (t1.elapsed().as_nanos() as u64) / u64::from(denials.max(1));
+
+    let resident = mgr.len();
+    let t2 = Instant::now();
+    assert_eq!(mgr.revalidate(&s.img), 0, "nothing was mutated yet");
+    let revalidate_clean_ns = (t2.elapsed().as_nanos() as u64).max(1);
+
+    // Flip one folded byte of the stencil descriptor: both variants baked
+    // it, so the sweep drops both.
+    let s5 = s.s5();
+    let saved = s.img.read_u64(s5).unwrap();
+    s.img.write_u64(s5, saved ^ 1).unwrap();
+    let dropped_after_mutation = mgr.revalidate(&s.img);
+    s.img.write_u64(s5, saved).unwrap();
+
+    LifecycleReport {
+        cold_fail_ns,
+        denied_avg_ns,
+        denials,
+        revalidate_clean_ns,
+        resident,
+        dropped_after_mutation,
+        stats: mgr.stats(),
+    }
+}
+
+/// Render the C3 failure-path/lifecycle report.
+pub fn render_lifecycle(title: &str, r: &LifecycleReport) -> String {
+    let ratio = r.cold_fail_ns as f64 / r.denied_avg_ns.max(1) as f64;
+    let mut s = format!("## {title}\n\n");
+    s.push_str(&format!(
+        "cold failing request    : {:>10} ns   (full trace+passes+emit before the budget rejects)\n",
+        r.cold_fail_ns,
+    ));
+    s.push_str(&format!(
+        "denied re-request (avg) : {:>10} ns   ({ratio:.0}x cheaper, over {} denials)\n",
+        r.denied_avg_ns, r.denials,
+    ));
+    s.push_str(&format!(
+        "revalidate, all clean   : {:>10} ns   ({} variants re-hashed, 0 dropped)\n",
+        r.revalidate_clean_ns, r.resident,
+    ));
+    s.push_str(&format!(
+        "after 1-byte mutation   : {:>10} variants dropped by the sweep\n",
+        r.dropped_after_mutation,
+    ));
+    s.push_str(&format!(
+        "lifecycle counters      : {} denied, {} stale, {} invalidated, {} misses total\n",
+        r.stats.denied, r.stats.stale, r.stats.invalidated, r.stats.misses,
+    ));
+    s
+}
+
 /// One C2 row: request-path throughput at a given thread count.
 #[derive(Debug, Clone)]
 pub struct ConcRow {

@@ -60,6 +60,11 @@ pub enum RewriteError {
     Unencodable(EncodeError),
     /// A configuration error (e.g. a known parameter index out of range).
     BadConfig(String),
+    /// The rewrite pipeline panicked; the panic was contained at the
+    /// manager boundary and converted into this error so one pathological
+    /// function cannot kill a worker pool or wedge followers on the
+    /// in-flight table. The payload is the panic message.
+    Internal(String),
 }
 
 impl fmt::Display for RewriteError {
@@ -86,6 +91,7 @@ impl fmt::Display for RewriteError {
             RewriteError::OutOfCodeSpace => write!(f, "out of JIT code space"),
             RewriteError::Unencodable(e) => write!(f, "cannot encode rewritten instruction: {e}"),
             RewriteError::BadConfig(s) => write!(f, "bad rewriter configuration: {s}"),
+            RewriteError::Internal(s) => write!(f, "internal rewriter panic: {s}"),
         }
     }
 }

@@ -138,7 +138,12 @@ impl Tracer<'_> {
                         return self
                             .img
                             .read_u64(a)
-                            .map(Value::Const)
+                            .map(|v| {
+                                // The fold bakes these bytes into the code:
+                                // record them for the staleness snapshot.
+                                self.read_set.borrow_mut().record(a, 8);
+                                Value::Const(v)
+                            })
                             .unwrap_or(Value::Unknown);
                     }
                     Value::Unknown
@@ -152,7 +157,10 @@ impl Tracer<'_> {
                         return self
                             .img
                             .read_uint(a, size)
-                            .map(Value::Const)
+                            .map(|v| {
+                                self.read_set.borrow_mut().record(a, size);
+                                Value::Const(v)
+                            })
                             .unwrap_or(Value::Unknown);
                     }
                     Value::Unknown
@@ -409,7 +417,13 @@ impl Tracer<'_> {
                 let (mm, off) = self.subst_mem(cx, m)?;
                 Ok((Operand::Mem(mm), off))
             }
-            Operand::Xmm(_) => unreachable!("xmm operand in integer substitution"),
+            // Decode never pairs an xmm operand with an integer opcode,
+            // but guest bytes are untrusted: fail the rewrite, not the
+            // process (§III.G).
+            Operand::Xmm(_) => Err(RewriteError::TraceFault {
+                addr: 0,
+                what: "xmm operand in integer substitution",
+            }),
         }
     }
 
@@ -453,7 +467,10 @@ impl Tracer<'_> {
                 let (mm, off) = self.subst_mem(cx, m)?;
                 Ok((Operand::Mem(mm), off))
             }
-            _ => unreachable!("bad sse operand"),
+            _ => Err(RewriteError::TraceFault {
+                addr: 0,
+                what: "non-xmm, non-memory operand in sse substitution",
+            }),
         }
     }
 
@@ -466,7 +483,9 @@ impl Tracer<'_> {
                 let addr = self.addr_value(w, m);
                 self.load_known(w, addr, width.bytes())
             }
-            Operand::Xmm(_) => unreachable!("xmm in integer context"),
+            // Malformed operand class: unknown is always sound — the
+            // instruction is emitted unmodified instead of folded.
+            Operand::Xmm(_) => Value::Unknown,
         }
     }
 
@@ -478,7 +497,7 @@ impl Tracer<'_> {
                 let addr = self.addr_value(w, m);
                 self.load_known(w, addr, 8)
             }
-            _ => unreachable!("bad sse64 operand"),
+            _ => Value::Unknown,
         }
     }
 
@@ -495,7 +514,7 @@ impl Tracer<'_> {
                 };
                 [lo, hi]
             }
-            _ => unreachable!("bad sse128 operand"),
+            _ => [Value::Unknown, Value::Unknown],
         }
     }
 

@@ -69,6 +69,7 @@ pub mod manager;
 pub mod passes;
 pub mod promote;
 pub mod request;
+pub mod snapshot;
 pub mod telemetry;
 pub mod tracer;
 pub mod value;
@@ -82,10 +83,12 @@ pub use guard::{
     GuardCase,
 };
 pub use manager::{
-    CacheKey, CacheStats, Dispatch, Event, EventSink, RecordingSink, SpecializationManager, Variant,
+    CacheKey, CacheStats, Dispatch, Event, EventSink, NegativePolicy, RecordingSink,
+    SpecializationManager, Variant,
 };
 pub use passes::PassConfig;
 pub use request::SpecRequest;
+pub use snapshot::KnownSnapshot;
 pub use telemetry::{explain_report, validate_json, MetricsRegistry, SpanRecorder};
 
 use brew_image::{Image, SegKind};
@@ -94,7 +97,7 @@ use std::time::Instant;
 use world::{RegState, World, XmmState};
 
 /// Result of a successful rewrite.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RewriteResult {
     /// Entry address of the rewritten function (drop-in replacement).
     pub entry: u64,
@@ -102,6 +105,10 @@ pub struct RewriteResult {
     pub code_len: usize,
     /// Rewrite statistics.
     pub stats: RewriteStats,
+    /// The known-memory bytes this rewrite folded into constants, as a
+    /// compact re-checkable snapshot — the basis for staleness detection
+    /// and invalidation in the [`manager`].
+    pub snapshot: KnownSnapshot,
 }
 
 /// The rewriter. Borrows the image: it reads original code and known data
@@ -268,6 +275,7 @@ impl<'a> Rewriter<'a> {
         let mut blocks = std::mem::take(&mut tracer.blocks);
         let escaped = tracer.escaped;
         let mut stats = tracer.stats;
+        let read_set = tracer.read_set.take();
         drop(tracer);
         stats.trace_ns = t_trace.elapsed().as_nanos() as u64;
         if let (Some(r), Some(t0)) = (rec.as_deref_mut(), span_trace) {
@@ -346,6 +354,7 @@ impl<'a> Rewriter<'a> {
             entry,
             code_len,
             stats,
+            snapshot: read_set.snapshot(self.img),
         })
     }
 

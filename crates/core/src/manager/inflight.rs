@@ -16,7 +16,14 @@
 use super::{CacheKey, Variant};
 use crate::error::RewriteError;
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Recover the guard from a poisoned lock: flight state transitions are
+/// single-statement, so another thread's panic cannot leave them torn —
+/// and a wedged flight table would hang every follower forever.
+fn unpoison<G>(r: Result<G, PoisonError<G>>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
 
 pub(super) type FlightResult = Result<Arc<Variant>, RewriteError>;
 
@@ -35,15 +42,15 @@ impl Flight {
     }
 
     fn resolve(&self, res: FlightResult) {
-        *self.done.lock().unwrap() = Some(res);
+        *unpoison(self.done.lock()) = Some(res);
         self.cv.notify_all();
     }
 
     /// Block until the leader resolves, then clone its result.
     pub fn wait(&self) -> FlightResult {
-        let mut g = self.done.lock().unwrap();
+        let mut g = unpoison(self.done.lock());
         while g.is_none() {
-            g = self.cv.wait(g).unwrap();
+            g = unpoison(self.cv.wait(g));
         }
         g.as_ref().unwrap().clone()
     }
@@ -74,7 +81,7 @@ impl FlightLease<'_> {
     }
 
     fn finish(&mut self, res: FlightResult) {
-        self.table.flights.lock().unwrap().remove(&self.key);
+        unpoison(self.table.flights.lock()).remove(&self.key);
         self.flight.resolve(res);
         self.resolved = true;
     }
@@ -83,7 +90,7 @@ impl FlightLease<'_> {
 impl Drop for FlightLease<'_> {
     fn drop(&mut self) {
         if !self.resolved {
-            self.finish(Err(RewriteError::BadConfig(
+            self.finish(Err(RewriteError::Internal(
                 "specialization leader abandoned its flight".into(),
             )));
         }
@@ -99,7 +106,7 @@ impl InflightTable {
     /// Join the flight for `key`, creating it (and becoming leader) if
     /// none is open.
     pub fn join(&self, key: CacheKey) -> Join<'_> {
-        let mut m = self.flights.lock().unwrap();
+        let mut m = unpoison(self.flights.lock());
         if let Some(f) = m.get(&key) {
             Join::Follower(Arc::clone(f))
         } else {
@@ -151,7 +158,7 @@ mod tests {
             panic!()
         };
         drop(lease); // simulated leader panic
-        assert!(matches!(f.wait(), Err(RewriteError::BadConfig(_))));
+        assert!(matches!(f.wait(), Err(RewriteError::Internal(_))));
         assert!(matches!(t.join(key(9)), Join::Leader(_)));
     }
 

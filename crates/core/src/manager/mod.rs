@@ -47,8 +47,33 @@
 //!   [`metrics`](SpecializationManager::metrics)), so counters, gauges
 //!   and rewrite-phase histograms are *always* populated — an absent sink
 //!   no longer means silent event loss.
+//! - **Negative caching** — a failed rewrite is memoized per key (see
+//!   [`negative`]): repeats of the same doomed request are *denied* at
+//!   shard-lookup cost instead of re-tracing to rediscover the failure,
+//!   with a decaying backoff that periodically lets one retry through
+//!   (failures can be data-dependent) and a hard attempt cap after which
+//!   the key is written off. [`request`](SpecializationManager::request)
+//!   answers a denial with the original entry; the synchronous path
+//!   returns the memoized error. Deferred jobs respect the same backoff
+//!   because they run through the ordinary `obtain` path.
+//! - **Staleness tracking & invalidation** — every rewrite records which
+//!   known-memory bytes it folded into constants
+//!   ([`crate::snapshot::KnownSnapshot`], carried by the [`Variant`]).
+//!   [`invalidate`](SpecializationManager::invalidate) drops all variants
+//!   of a function, [`invalidate_data`](SpecializationManager::invalidate_data)
+//!   drops variants whose folded ranges overlap a mutated range, and
+//!   [`revalidate`](SpecializationManager::revalidate) re-hashes every
+//!   snapshot against the image and drops (and, inside a deferred scope,
+//!   re-enqueues) exactly the variants whose folded bytes changed.
+//! - **Panic containment** — the trace/encode pipeline runs under
+//!   `catch_unwind` on both the synchronous and worker paths; a panic
+//!   becomes [`RewriteError::Internal`], is negatively cached like any
+//!   other failure, and fails one request instead of killing the worker
+//!   pool or poisoning the shared state. All manager locks recover from
+//!   poisoning for the same reason.
 
 mod inflight;
+pub mod negative;
 mod shards;
 mod worker;
 
@@ -56,14 +81,38 @@ use crate::capture::RewriteStats;
 use crate::error::RewriteError;
 use crate::guard::{self, CounterPage, GuardCase};
 use crate::request::SpecRequest;
+use crate::snapshot::KnownSnapshot;
 use crate::telemetry::{metrics::Ctr, metrics::Gge, MetricsRegistry};
 use crate::Rewriter;
 use brew_image::{layout, Image};
 use inflight::{InflightTable, Join};
+pub use negative::NegativePolicy;
+use negative::{NegativeCache, Verdict};
 use shards::ShardedCache;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use worker::{Enqueue, Job, JobQueue};
+
+/// Recover the guard from a poisoned lock. Panics are contained at the
+/// rewrite boundary, but a sink or hook can still panic while a manager
+/// lock is held; all manager-internal state is consistent between
+/// statements, so serving the next caller beats wedging everyone.
+fn unpoison<G>(r: Result<G, PoisonError<G>>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Best-effort text of a contained panic payload.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Key of the variant cache: which function, specialized how.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,6 +138,10 @@ pub struct Variant {
     /// Dispatch conditions `(integer parameter index, expected value)`, or
     /// `None` when the variant can't be guarded by register compares.
     pub guards: Option<Vec<(usize, i64)>>,
+    /// The known-memory bytes the rewrite folded into constants — what
+    /// [`SpecializationManager::revalidate`] re-checks and
+    /// [`SpecializationManager::invalidate_data`] intersects against.
+    pub snapshot: KnownSnapshot,
 }
 
 /// Aggregated manager counters; cheap to copy, comparable in tests.
@@ -118,6 +171,20 @@ pub struct CacheStats {
     pub rewrite_ns_total: u64,
     /// Dispatch stubs built.
     pub dispatchers_built: u64,
+    /// Requests denied from the negative cache — each one a full trace
+    /// *not* repeated for a key already known to fail.
+    pub denied: u64,
+    /// Variants dropped by invalidation (explicit or via revalidate).
+    pub invalidated: u64,
+    /// Variants found stale by [`SpecializationManager::revalidate`]
+    /// (their folded known-memory bytes had changed).
+    pub stale: u64,
+    /// Rewrite-pipeline panics converted into
+    /// [`RewriteError::Internal`] instead of unwinding into the caller
+    /// or worker pool.
+    pub panics_contained: u64,
+    /// Live entries in the negative cache.
+    pub negative_entries: usize,
 }
 
 /// One manager event, streamed to the [`EventSink`].
@@ -184,6 +251,31 @@ pub enum Event {
         /// Number of variants chained.
         variants: usize,
     },
+    /// A request was denied from the negative cache: the same key already
+    /// failed and is inside its backoff window (or past the attempt cap).
+    Denied {
+        /// Original function.
+        func: u64,
+        /// Failed attempts memoized for the key so far.
+        attempts: u32,
+    },
+    /// [`SpecializationManager::revalidate`] found a variant whose folded
+    /// known-memory bytes no longer match its snapshot. Always followed
+    /// by an `Invalidated` event for the same variant.
+    Stale {
+        /// Original function.
+        func: u64,
+        /// The stale specialized entry.
+        entry: u64,
+    },
+    /// A variant was dropped by invalidation; subsequent requests miss
+    /// and re-specialize against current data.
+    Invalidated {
+        /// Original function.
+        func: u64,
+        /// The dropped specialized entry.
+        entry: u64,
+    },
 }
 
 /// Receiver for manager [`Event`]s — plug in a logger, a metrics counter,
@@ -204,18 +296,18 @@ pub struct RecordingSink {
 impl RecordingSink {
     /// Copy of everything received so far.
     pub fn snapshot(&self) -> Vec<Event> {
-        self.events.lock().unwrap().clone()
+        unpoison(self.events.lock()).clone()
     }
 
     /// Drain and return everything received so far.
     pub fn take(&self) -> Vec<Event> {
-        std::mem::take(&mut *self.events.lock().unwrap())
+        std::mem::take(&mut *unpoison(self.events.lock()))
     }
 }
 
 impl EventSink for RecordingSink {
     fn event(&self, ev: &Event) {
-        self.events.lock().unwrap().push(ev.clone());
+        unpoison(self.events.lock()).push(ev.clone());
     }
 }
 
@@ -267,6 +359,10 @@ struct Counters {
     traced_total: AtomicU64,
     rewrite_ns_total: AtomicU64,
     dispatchers_built: AtomicU64,
+    denied: AtomicU64,
+    invalidated: AtomicU64,
+    stale: AtomicU64,
+    panics_contained: AtomicU64,
 }
 
 /// The memoizing, thread-safe specialization layer over [`Rewriter`]. All
@@ -275,6 +371,7 @@ struct Counters {
 /// design.
 pub struct SpecializationManager {
     cache: ShardedCache,
+    negative: NegativeCache,
     inflight: InflightTable,
     queue: JobQueue,
     budget_bytes: usize,
@@ -306,6 +403,7 @@ impl SpecializationManager {
     pub fn with_budget_and_shards(budget_bytes: usize, shards: usize) -> Self {
         SpecializationManager {
             cache: ShardedCache::new(shards),
+            negative: NegativeCache::new(shards, NegativePolicy::default()),
             inflight: InflightTable::default(),
             queue: JobQueue::new(),
             budget_bytes,
@@ -313,6 +411,14 @@ impl SpecializationManager {
             metrics: Arc::new(MetricsRegistry::new()),
             sink: RwLock::new(None),
         }
+    }
+
+    /// Replace the negative-cache policy (backoff base, attempt cap).
+    /// Existing negative entries are dropped — the new policy starts from
+    /// a clean slate.
+    pub fn with_negative_policy(mut self, policy: NegativePolicy) -> Self {
+        self.negative = NegativeCache::new(shards::DEFAULT_SHARDS, policy);
+        self
     }
 
     /// The always-on metrics registry every manager event is folded into.
@@ -324,12 +430,12 @@ impl SpecializationManager {
 
     /// Attach an event sink (replacing any previous one).
     pub fn set_sink(&self, sink: Box<dyn EventSink>) {
-        *self.sink.write().unwrap() = Some(sink);
+        *unpoison(self.sink.write()) = Some(sink);
     }
 
     /// Detach and return the current sink.
     pub fn take_sink(&self) -> Option<Box<dyn EventSink>> {
-        self.sink.write().unwrap().take()
+        unpoison(self.sink.write()).take()
     }
 
     /// Aggregated counters (a consistent-enough snapshot: each field is
@@ -348,6 +454,11 @@ impl SpecializationManager {
             traced_total: c.traced_total.load(Ordering::Acquire),
             rewrite_ns_total: c.rewrite_ns_total.load(Ordering::Acquire),
             dispatchers_built: c.dispatchers_built.load(Ordering::Acquire),
+            denied: c.denied.load(Ordering::Acquire),
+            invalidated: c.invalidated.load(Ordering::Acquire),
+            stale: c.stale.load(Ordering::Acquire),
+            panics_contained: c.panics_contained.load(Ordering::Acquire),
+            negative_entries: self.negative.len(),
         }
     }
 
@@ -376,7 +487,7 @@ impl SpecializationManager {
         // The registry comes first and unconditionally: metrics must not
         // depend on a sink being attached.
         self.metrics.record_event(&ev);
-        if let Some(sink) = self.sink.read().unwrap().as_ref() {
+        if let Some(sink) = unpoison(self.sink.read()).as_ref() {
             sink.event(&ev);
         }
     }
@@ -390,12 +501,33 @@ impl SpecializationManager {
             .gauge_set(Gge::ResidentVariants, self.cache.len() as i64);
     }
 
+    /// Refresh the negative-cache gauge from the authoritative count.
+    fn sync_negative_gauge(&self) {
+        self.metrics
+            .gauge_set(Gge::NegativeEntries, self.negative.len() as i64);
+    }
+
     fn note_hit(&self, func: u64, v: &Arc<Variant>) {
         self.counters.hits.fetch_add(1, Ordering::AcqRel);
         self.emit(Event::Hit {
             func,
             entry: v.entry,
         });
+    }
+
+    fn note_denied(&self, func: u64, key: &CacheKey) {
+        self.counters.denied.fetch_add(1, Ordering::AcqRel);
+        self.emit(Event::Denied {
+            func,
+            attempts: self.negative.attempts(key).unwrap_or(0),
+        });
+    }
+
+    fn note_panic_contained(&self) {
+        self.counters
+            .panics_contained
+            .fetch_add(1, Ordering::AcqRel);
+        self.metrics.count(Ctr::PanicsContained, 1);
     }
 
     /// The synchronous memoized entry point: return the cached variant
@@ -445,6 +577,17 @@ impl SpecializationManager {
             self.note_hit(func, &v);
             return Ok(Dispatch::Specialized(v));
         }
+        // A key already known to fail is answered with the original entry
+        // at shard-lookup cost: no queueing, no tracing, no error — the
+        // caller asked "what should I call" and the answer is "the
+        // original, same as when the rewrite first failed".
+        if let Verdict::Deny(_) = self.negative.consult(&key) {
+            self.note_denied(func, &key);
+            return Ok(Dispatch::Original {
+                func,
+                deferred: false,
+            });
+        }
         match self.queue.push(Job {
             key,
             func,
@@ -489,17 +632,27 @@ impl SpecializationManager {
     /// Worker loop: pop jobs until the queue is closed and drained. Jobs
     /// go through the ordinary single-flight path, so a synchronous
     /// caller racing a worker coalesces rather than double-tracing.
+    /// Each job runs under `catch_unwind`: `obtain` already contains
+    /// rewrite-pipeline panics, but a panicking *sink* (or any other
+    /// manager hook) would otherwise unwind through `std::thread::scope`
+    /// and abort the whole batch — here it fails one job and is counted.
     fn drain_jobs(&self, img: &Image) {
         while let Some(job) = self.queue.pop() {
             // A failed deferred rewrite is dropped silently here — the
-            // Miss event already fired, and later synchronous requests
-            // for the key will surface the error to a caller.
-            if let Ok((v, Outcome::Rewrote)) = self.obtain(img, job.func, &job.req) {
-                self.counters.published.fetch_add(1, Ordering::AcqRel);
-                self.emit(Event::Published {
-                    func: job.func,
-                    entry: v.entry,
-                });
+            // Miss event already fired, the failure is negatively cached,
+            // and later synchronous requests for the key surface the
+            // error to a caller.
+            let contained = catch_unwind(AssertUnwindSafe(|| {
+                if let Ok((v, Outcome::Rewrote)) = self.obtain(img, job.func, &job.req) {
+                    self.counters.published.fetch_add(1, Ordering::AcqRel);
+                    self.emit(Event::Published {
+                        func: job.func,
+                        entry: v.entry,
+                    });
+                }
+            }));
+            if contained.is_err() {
+                self.note_panic_contained();
             }
         }
     }
@@ -520,6 +673,14 @@ impl SpecializationManager {
             self.note_hit(func, &v);
             return Ok((v, Outcome::Hit));
         }
+        // Denial path: a key already known to fail answers with the
+        // memoized error at shard-lookup cost. `Retry` means the backoff
+        // window elapsed; the request falls through to the single-flight
+        // path, so concurrent retriers still trace at most once.
+        if let Verdict::Deny(e) = self.negative.consult(&key) {
+            self.note_denied(func, &key);
+            return Err(e);
+        }
         match self.inflight.join(key) {
             Join::Follower(flight) => {
                 self.counters.coalesced.fetch_add(1, Ordering::AcqRel);
@@ -537,10 +698,23 @@ impl SpecializationManager {
                 self.counters.misses.fetch_add(1, Ordering::AcqRel);
                 self.emit(Event::Miss { func });
                 self.metrics.gauge_add(Gge::InflightRewrites, 1);
-                let rewritten = Rewriter::new(img).rewrite(func, req);
+                // Contain pipeline panics at this boundary: one
+                // pathological function fails its own request (as
+                // `Internal`, negatively cached like any other failure)
+                // instead of unwinding into the caller or worker pool —
+                // the lease would resolve via `Drop`, but every follower
+                // and retrier would then re-trace the same panic.
+                let rewritten =
+                    catch_unwind(AssertUnwindSafe(|| Rewriter::new(img).rewrite(func, req)))
+                        .unwrap_or_else(|p| {
+                            self.note_panic_contained();
+                            Err(RewriteError::Internal(panic_message(p.as_ref())))
+                        });
                 self.metrics.gauge_add(Gge::InflightRewrites, -1);
                 match rewritten {
                     Ok(res) => {
+                        self.negative.forget(&key);
+                        self.sync_negative_gauge();
                         self.counters
                             .traced_total
                             .fetch_add(res.stats.traced, Ordering::AcqRel);
@@ -559,10 +733,11 @@ impl SpecializationManager {
                             code_len: res.code_len,
                             stats: res.stats,
                             guards: req.guard_conditions(),
+                            snapshot: res.snapshot,
                         });
                         // Publish to the cache *before* resolving the
                         // flight: anyone past the flight sees the cache.
-                        self.cache.insert(key, Arc::clone(&variant));
+                        self.cache.insert(key, Arc::clone(&variant), req.clone());
                         self.evict_to_budget(key);
                         self.sync_resident_gauges();
                         lease.resolve(Ok(Arc::clone(&variant)));
@@ -570,6 +745,8 @@ impl SpecializationManager {
                     }
                     Err(e) => {
                         self.metrics.count(Ctr::RewriteFailures, 1);
+                        self.negative.record_failure(&key, &e);
+                        self.sync_negative_gauge();
                         lease.resolve(Err(e.clone()));
                         Err(e)
                     }
@@ -593,6 +770,87 @@ impl SpecializationManager {
                 code_len: v.code_len,
             });
         }
+    }
+
+    /// Drop every cached variant of `func` and every negative entry for
+    /// it (its failures may have been data-dependent too). Returns the
+    /// number of variants dropped. Subsequent requests miss and
+    /// re-specialize against current data.
+    pub fn invalidate(&self, func: u64) -> usize {
+        let dropped = self.cache.remove_matching(|v| v.func == func);
+        self.negative.forget_func(func);
+        self.note_invalidated(&dropped);
+        dropped.len()
+    }
+
+    /// Drop every cached variant whose folded known-memory ranges overlap
+    /// `range` — the precise invalidation for "I just mutated these
+    /// bytes". Variants that never folded the range are untouched, no
+    /// image access happens, and the cost is one pass over the cache.
+    /// Returns the number of variants dropped.
+    pub fn invalidate_data(&self, range: Range<u64>) -> usize {
+        let dropped = self.cache.remove_matching(|v| v.snapshot.overlaps(&range));
+        self.note_invalidated(&dropped);
+        dropped.len()
+    }
+
+    /// Re-hash every variant's snapshot against the current image and
+    /// drop exactly the variants whose folded bytes changed — the
+    /// conservative sweep for "something may have been mutated, I don't
+    /// know what". Each stale variant fires a [`Event::Stale`] followed by
+    /// [`Event::Invalidated`]; inside a deferred scope its rewrite is
+    /// re-enqueued (from the retained producing request), so the fresh
+    /// variant is published without the original caller's help. Returns
+    /// the number of variants dropped.
+    pub fn revalidate(&self, img: &Image) -> usize {
+        let dropped = self.cache.remove_matching(|v| !v.snapshot.matches(img));
+        for (_, _, v) in &dropped {
+            self.counters.stale.fetch_add(1, Ordering::AcqRel);
+            self.emit(Event::Stale {
+                func: v.func,
+                entry: v.entry,
+            });
+        }
+        self.note_invalidated(&dropped);
+        for (key, req, v) in &dropped {
+            // `Closed` outside a deferred scope — then the next request
+            // for the key simply re-specializes synchronously.
+            self.queue.push(Job {
+                key: *key,
+                func: v.func,
+                req: req.clone(),
+            });
+        }
+        dropped.len()
+    }
+
+    /// Shared invalidation bookkeeping: count, emit, resync gauges.
+    fn note_invalidated(&self, dropped: &[(CacheKey, SpecRequest, Arc<Variant>)]) {
+        for (_, _, v) in dropped {
+            self.counters.invalidated.fetch_add(1, Ordering::AcqRel);
+            self.emit(Event::Invalidated {
+                func: v.func,
+                entry: v.entry,
+            });
+        }
+        if !dropped.is_empty() {
+            self.sync_resident_gauges();
+        }
+        self.sync_negative_gauge();
+    }
+
+    /// The memoized failure for `(func, req)`, if the negative cache
+    /// holds one.
+    pub fn failure_of(&self, func: u64, req: &SpecRequest) -> Option<RewriteError> {
+        self.negative.failure_of(&CacheKey {
+            func,
+            fingerprint: req.fingerprint(),
+        })
+    }
+
+    /// Live entries in the negative cache.
+    pub fn negative_len(&self) -> usize {
+        self.negative.len()
     }
 
     /// Cached variants of `func`, hottest (most hits, then most recent)
@@ -689,7 +947,9 @@ mod tests {
                 code_len: 16,
                 stats: RewriteStats::default(),
                 guards: None,
+                snapshot: KnownSnapshot::default(),
             }),
+            SpecRequest::new(),
         );
         for _ in 0..hits {
             m.cache.lookup(&key);

@@ -10,9 +10,18 @@
 //! `N` independent ones.
 
 use super::{CacheKey, Variant};
+use crate::request::SpecRequest;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Recover the guard from a poisoned lock. Every shard mutex protects a
+/// plain map whose invariants hold between statements, so a panic on
+/// another thread (contained at the manager boundary anyway) must not
+/// wedge the cache for everyone else.
+fn unpoison<G>(r: Result<G, PoisonError<G>>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Default shard count; enough that 8-16 threads rarely collide.
 pub(super) const DEFAULT_SHARDS: usize = 8;
@@ -20,6 +29,9 @@ pub(super) const DEFAULT_SHARDS: usize = 8;
 pub(super) struct CacheEntry {
     pub variant: Arc<Variant>,
     pub key: CacheKey,
+    /// The request that produced the variant — kept so invalidation can
+    /// re-enqueue the rewrite without the original caller's help.
+    pub req: SpecRequest,
     pub last_used: u64,
     pub hits: u64,
 }
@@ -76,7 +88,7 @@ impl ShardedCache {
     /// Fetch a variant, bumping its recency and hit count.
     pub fn lookup(&self, key: &CacheKey) -> Option<Arc<Variant>> {
         let now = self.now();
-        let mut s = self.shard(key).lock().unwrap();
+        let mut s = unpoison(self.shard(key).lock());
         let e = s.get_mut(key)?;
         e.last_used = now;
         e.hits += 1;
@@ -84,14 +96,15 @@ impl ShardedCache {
     }
 
     /// Insert (or replace) a variant; byte accounting is adjusted globally.
-    pub fn insert(&self, key: CacheKey, variant: Arc<Variant>) {
+    pub fn insert(&self, key: CacheKey, variant: Arc<Variant>, req: SpecRequest) {
         let now = self.now();
         let code_len = variant.code_len;
-        let prev = self.shard(&key).lock().unwrap().insert(
+        let prev = unpoison(self.shard(&key).lock()).insert(
             key,
             CacheEntry {
                 variant,
                 key,
+                req,
                 last_used: now,
                 hits: 0,
             },
@@ -116,7 +129,7 @@ impl ShardedCache {
         let now = self.tick.load(Ordering::Relaxed);
         let mut best: Option<(u128, std::cmp::Reverse<u64>, CacheKey)> = None;
         for shard in &self.shards {
-            let s = shard.lock().unwrap();
+            let s = unpoison(shard.lock());
             for e in s.values() {
                 if e.key == keep {
                     continue;
@@ -128,17 +141,45 @@ impl ShardedCache {
             }
         }
         let (_, _, victim) = best?;
-        let e = self.shard(&victim).lock().unwrap().remove(&victim)?;
+        let e = unpoison(self.shard(&victim).lock()).remove(&victim)?;
         self.resident
             .fetch_sub(e.variant.code_len, Ordering::AcqRel);
         self.count.fetch_sub(1, Ordering::AcqRel);
         Some(e.variant)
     }
 
+    /// Remove every entry whose variant satisfies `pred`; returns the
+    /// removed `(key, producing request, variant)` triples so the caller
+    /// can emit events and optionally re-enqueue the rewrites. Shards are
+    /// locked one at a time (never nested).
+    pub fn remove_matching(
+        &self,
+        pred: impl Fn(&Variant) -> bool,
+    ) -> Vec<(CacheKey, SpecRequest, Arc<Variant>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let mut s = unpoison(shard.lock());
+            let doomed: Vec<CacheKey> = s
+                .values()
+                .filter(|e| pred(&e.variant))
+                .map(|e| e.key)
+                .collect();
+            for key in doomed {
+                if let Some(e) = s.remove(&key) {
+                    self.resident
+                        .fetch_sub(e.variant.code_len, Ordering::AcqRel);
+                    self.count.fetch_sub(1, Ordering::AcqRel);
+                    out.push((key, e.req, e.variant));
+                }
+            }
+        }
+        out
+    }
+
     /// Drop every entry and reset byte accounting.
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut s = shard.lock().unwrap();
+            let mut s = unpoison(shard.lock());
             for (_, e) in s.drain() {
                 self.resident
                     .fetch_sub(e.variant.code_len, Ordering::AcqRel);
@@ -152,7 +193,7 @@ impl ShardedCache {
     pub fn snapshot_func(&self, func: u64) -> Vec<(u64, u64, u64, Arc<Variant>)> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            let s = shard.lock().unwrap();
+            let s = unpoison(shard.lock());
             for e in s.values() {
                 if e.variant.func == func {
                     out.push((
@@ -181,11 +222,13 @@ mod tests {
                 code_len,
                 stats: RewriteStats::default(),
                 guards: None,
+                snapshot: crate::snapshot::KnownSnapshot::default(),
             }),
             key: CacheKey {
                 func,
                 fingerprint: entry,
             },
+            req: SpecRequest::new(),
             last_used: 0,
             hits: 0,
         }
@@ -211,7 +254,7 @@ mod tests {
         let c = ShardedCache::new(4);
         for e in [10u64, 20, 30] {
             let d = dummy_entry(1, e, 100);
-            c.insert(d.key, d.variant);
+            c.insert(d.key, d.variant, d.req);
         }
         assert_eq!(c.len(), 3);
         assert_eq!(c.resident_bytes(), 300);
@@ -234,10 +277,24 @@ mod tests {
         let c = ShardedCache::new(4);
         let d = dummy_entry(1, 10, 100);
         let key = d.key;
-        c.insert(key, d.variant);
+        c.insert(key, d.variant, d.req);
         let d2 = dummy_entry(1, 10, 40);
-        c.insert(key, d2.variant);
+        c.insert(key, d2.variant, d2.req);
         assert_eq!(c.len(), 1);
         assert_eq!(c.resident_bytes(), 40);
+    }
+
+    #[test]
+    fn remove_matching_filters_and_accounts() {
+        let c = ShardedCache::new(4);
+        for (func, entry) in [(1u64, 10u64), (1, 20), (2, 30)] {
+            let d = dummy_entry(func, entry, 100);
+            c.insert(d.key, d.variant, d.req);
+        }
+        let removed = c.remove_matching(|v| v.func == 1);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.resident_bytes(), 100);
+        assert!(c.remove_matching(|v| v.func == 1).is_empty());
     }
 }

@@ -17,7 +17,15 @@
 use super::CacheKey;
 use crate::request::SpecRequest;
 use std::collections::{HashSet, VecDeque};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Recover the guard from a poisoned lock. The queue invariants (dedupe
+/// set mirrors the deque) are re-established before every unlock, and a
+/// queue wedged by one panicking worker would deadlock `run_deferred`'s
+/// close-and-drain protocol for the rest.
+fn unpoison<G>(r: Result<G, PoisonError<G>>) -> G {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A queued rewrite: everything a worker needs to reproduce the request.
 pub(super) struct Job {
@@ -61,17 +69,17 @@ impl JobQueue {
     }
 
     pub fn open(&self) {
-        self.state.lock().unwrap().open = true;
+        unpoison(self.state.lock()).open = true;
     }
 
     /// Stop accepting jobs and wake every worker so it can drain and exit.
     pub fn close(&self) {
-        self.state.lock().unwrap().open = false;
+        unpoison(self.state.lock()).open = false;
         self.cv.notify_all();
     }
 
     pub fn push(&self, job: Job) -> Enqueue {
-        let mut s = self.state.lock().unwrap();
+        let mut s = unpoison(self.state.lock());
         if !s.open {
             return Enqueue::Closed;
         }
@@ -87,7 +95,7 @@ impl JobQueue {
     /// Blocking pop: waits while the queue is open and empty; returns
     /// `None` once it is closed *and* drained.
     pub fn pop(&self) -> Option<Job> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = unpoison(self.state.lock());
         loop {
             if let Some(job) = s.jobs.pop_front() {
                 s.queued.remove(&job.key);
@@ -96,7 +104,7 @@ impl JobQueue {
             if !s.open {
                 return None;
             }
-            s = self.cv.wait(s).unwrap();
+            s = unpoison(self.cv.wait(s));
         }
     }
 }

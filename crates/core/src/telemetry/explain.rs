@@ -223,6 +223,7 @@ mod tests {
             entry: base,
             code_len: bytes.len(),
             stats: RewriteStats::default(),
+            snapshot: crate::snapshot::KnownSnapshot::default(),
         };
         let lines = annotated_disasm(&img, &res);
         assert_eq!(lines.len(), 2);
@@ -241,6 +242,7 @@ mod tests {
             entry: base,
             code_len: bytes.len(),
             stats: RewriteStats::default(),
+            snapshot: crate::snapshot::KnownSnapshot::default(),
         };
         let mut rec = SpanRecorder::new();
         let t = rec.now_ns();

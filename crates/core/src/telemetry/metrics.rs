@@ -138,11 +138,15 @@ pub enum Ctr {
     DispatchersBuilt,
     GuardHits,
     GuardFallthrough,
+    NegativeHits,
+    CacheStale,
+    CacheInvalidated,
+    PanicsContained,
 }
 
 impl Ctr {
     /// Every counter, in exposition order.
-    pub const ALL: [Ctr; 14] = [
+    pub const ALL: [Ctr; 18] = [
         Ctr::CacheHits,
         Ctr::CacheMisses,
         Ctr::CacheCoalesced,
@@ -157,6 +161,10 @@ impl Ctr {
         Ctr::DispatchersBuilt,
         Ctr::GuardHits,
         Ctr::GuardFallthrough,
+        Ctr::NegativeHits,
+        Ctr::CacheStale,
+        Ctr::CacheInvalidated,
+        Ctr::PanicsContained,
     ];
 
     /// Prometheus metric name.
@@ -176,6 +184,10 @@ impl Ctr {
             Ctr::DispatchersBuilt => "brew_dispatchers_built_total",
             Ctr::GuardHits => "brew_guard_hits_total",
             Ctr::GuardFallthrough => "brew_guard_fallthrough_total",
+            Ctr::NegativeHits => "brew_negative_hits_total",
+            Ctr::CacheStale => "brew_cache_stale_total",
+            Ctr::CacheInvalidated => "brew_cache_invalidated_total",
+            Ctr::PanicsContained => "brew_rewrite_panics_total",
         }
     }
 
@@ -196,6 +208,10 @@ impl Ctr {
             Ctr::DispatchersBuilt => "Guarded dispatch stubs emitted",
             Ctr::GuardHits => "Dispatch-stub cases taken (from counting stubs)",
             Ctr::GuardFallthrough => "Dispatch-stub fall-throughs to the original",
+            Ctr::NegativeHits => "Requests denied from the negative cache without re-tracing",
+            Ctr::CacheStale => "Variants found stale by revalidate (folded bytes changed)",
+            Ctr::CacheInvalidated => "Variants dropped by invalidation",
+            Ctr::PanicsContained => "Rewrite-pipeline panics converted into errors",
         }
     }
 }
@@ -207,14 +223,16 @@ pub enum Gge {
     InflightRewrites,
     ResidentBytes,
     ResidentVariants,
+    NegativeEntries,
 }
 
 impl Gge {
     /// Every gauge, in exposition order.
-    pub const ALL: [Gge; 3] = [
+    pub const ALL: [Gge; 4] = [
         Gge::InflightRewrites,
         Gge::ResidentBytes,
         Gge::ResidentVariants,
+        Gge::NegativeEntries,
     ];
 
     /// Prometheus metric name.
@@ -223,6 +241,7 @@ impl Gge {
             Gge::InflightRewrites => "brew_inflight_rewrites",
             Gge::ResidentBytes => "brew_cache_resident_bytes",
             Gge::ResidentVariants => "brew_cache_resident_variants",
+            Gge::NegativeEntries => "brew_negative_entries",
         }
     }
 
@@ -232,6 +251,7 @@ impl Gge {
             Gge::InflightRewrites => "Rewrites currently being traced",
             Gge::ResidentBytes => "Code bytes currently resident in the variant cache",
             Gge::ResidentVariants => "Variants currently resident in the cache",
+            Gge::NegativeEntries => "Keys currently memoized as failing in the negative cache",
         }
     }
 }
@@ -381,6 +401,9 @@ impl MetricsRegistry {
                 self.histogram(Hst::TotalNs).observe(stats.total_ns());
             }
             Event::DispatcherBuilt { .. } => self.counter(Ctr::DispatchersBuilt).inc(),
+            Event::Denied { .. } => self.counter(Ctr::NegativeHits).inc(),
+            Event::Stale { .. } => self.counter(Ctr::CacheStale).inc(),
+            Event::Invalidated { .. } => self.counter(Ctr::CacheInvalidated).inc(),
         }
     }
 

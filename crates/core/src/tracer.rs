@@ -44,6 +44,11 @@ pub struct Tracer<'a> {
     pool8: HashMap<u64, u64>,
     pool16: HashMap<(u64, u64), u64>,
     pub(crate) stats: RewriteStats,
+    /// Every known-memory load folded into a constant, recorded for the
+    /// variant's staleness snapshot. `RefCell` because the fold sites sit
+    /// on `&self` value-reading paths; the tracer is single-threaded per
+    /// rewrite.
+    pub(crate) read_set: std::cell::RefCell<crate::snapshot::ReadSet>,
     /// Any traced path leaked a frame address (disables frame dead-store
     /// elimination).
     pub(crate) escaped: bool,
@@ -68,6 +73,7 @@ impl<'a> Tracer<'a> {
             pool8: HashMap::new(),
             pool16: HashMap::new(),
             stats: RewriteStats::default(),
+            read_set: std::cell::RefCell::new(crate::snapshot::ReadSet::default()),
             escaped: false,
             entry_fn: 0,
             budget: cfg.max_trace_insts,
@@ -415,7 +421,12 @@ pub(crate) fn materialize_gpr_inst(r: Gpr, v: Value, rsp_off: i64) -> Result<Ins
                 src: MemRef::base_disp(Gpr::Rsp, disp),
             })
         }
-        Value::Unknown => unreachable!("materializing unknown value"),
+        // Callers guard on `is_known()`, but keep the failure typed: a
+        // violated invariant must fail the rewrite, not the process.
+        Value::Unknown => Err(RewriteError::TraceFault {
+            addr: 0,
+            what: "cannot materialize an unknown value",
+        }),
     }
 }
 

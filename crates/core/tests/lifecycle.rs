@@ -1,0 +1,409 @@
+//! Variant lifecycle: negative caching of failed rewrites, staleness
+//! detection over folded known memory, invalidation, and panic/poison
+//! containment in the manager.
+
+use brew_core::{
+    Dispatch, Event, EventSink, NegativePolicy, RetKind, RewriteError, SpecRequest,
+    SpecializationManager,
+};
+use brew_emu::{CallArgs, Machine};
+use brew_image::Image;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const PROG: &str = r#"
+    int poly(int x, int n) {
+        int r = 1;
+        for (int i = 0; i < n; i++) r *= x;
+        return r;
+    }
+    int divit(int* p) {
+        return 1000 / p[0];
+    }
+    int dot(int* c, int x) {
+        return c[0] * x + c[1];
+    }
+"#;
+
+fn setup() -> (Image, brew_minic::Compiled) {
+    let img = Image::new();
+    let prog = brew_minic::compile_into(PROG, &img).unwrap();
+    (img, prog)
+}
+
+fn poly_req(n: i64) -> SpecRequest {
+    SpecRequest::new()
+        .unknown_int()
+        .known_int(n)
+        .ret(RetKind::Int)
+}
+
+/// A request doomed to fail: the loop blows a four-instruction trace
+/// budget every time.
+fn doomed_req() -> SpecRequest {
+    poly_req(64).max_trace_insts(4)
+}
+
+#[test]
+fn negative_cache_denies_repeats_without_retracing() {
+    let (img, prog) = setup();
+    let poly = prog.func("poly").unwrap();
+    // A backoff too large to elapse in this test: every repeat is denied.
+    let mgr = SpecializationManager::new().with_negative_policy(NegativePolicy {
+        base_backoff: 1_000_000,
+        attempt_cap: 10,
+    });
+
+    let req = doomed_req();
+    let first = mgr.get_or_rewrite(&img, poly, &req);
+    assert!(matches!(first, Err(RewriteError::TraceBudget)), "{first:?}");
+    let st = mgr.stats();
+    assert_eq!((st.misses, st.negative_entries), (1, 1));
+    assert!(
+        matches!(mgr.failure_of(poly, &req), Some(RewriteError::TraceBudget)),
+        "the failure is memoized"
+    );
+
+    // Every repeat is answered from the negative cache: the error comes
+    // back, but nothing is traced and no new miss is led.
+    for _ in 0..100 {
+        assert!(matches!(
+            mgr.get_or_rewrite(&img, poly, &req),
+            Err(RewriteError::TraceBudget)
+        ));
+    }
+    let st = mgr.stats();
+    assert_eq!(st.misses, 1, "one trace total, 100 denials: {st:?}");
+    assert_eq!(st.denied, 100);
+
+    // The non-blocking path degrades to the original entry instead of an
+    // error — callers asked where to dispatch, and the answer is "the
+    // original, same as when the rewrite first failed".
+    match mgr.request(&img, poly, &req).unwrap() {
+        Dispatch::Original { func, deferred } => {
+            assert_eq!(func, poly);
+            assert!(!deferred, "a denied request must not queue a job");
+        }
+        d => panic!("expected Original, got {d:?}"),
+    }
+    assert_eq!(mgr.stats().misses, 1);
+
+    // A different (healthy) request for the same function is unaffected.
+    let v = mgr.get_or_rewrite(&img, poly, &poly_req(3)).unwrap();
+    let out = Machine::new()
+        .call(&img, v.entry, &CallArgs::new().int(2).int(0))
+        .unwrap();
+    assert_eq!(out.ret_int, 8);
+
+    // Denials are visible in the always-on metrics registry (100 from
+    // the synchronous repeats, one more from `request`).
+    let json = mgr.metrics().snapshot_json();
+    assert!(json.contains("\"brew_negative_hits_total\":101"), "{json}");
+    assert!(json.contains("\"brew_negative_entries\":1"), "{json}");
+}
+
+#[test]
+fn backoff_retries_and_succeeds_once_the_failure_cause_is_removed() {
+    let (img, prog) = setup();
+    let divit = prog.func("divit").unwrap();
+    let p = img.alloc_heap(8, 8);
+    img.write_u64(p, 0).unwrap(); // division by known zero: trace faults
+    let mgr = SpecializationManager::new().with_negative_policy(NegativePolicy {
+        base_backoff: 2,
+        attempt_cap: 10,
+    });
+    // PTR_TO_KNOWN fingerprints the pointer, not the pointee — fixing the
+    // data keeps the same cache key, which is exactly what lets a decayed
+    // retry succeed where the original attempt failed.
+    let req = SpecRequest::new().ptr_to_known(p, 8).ret(RetKind::Int);
+
+    let first = mgr.get_or_rewrite(&img, divit, &req);
+    assert!(
+        matches!(first, Err(RewriteError::TraceFault { .. })),
+        "{first:?}"
+    );
+    assert_eq!(mgr.stats().misses, 1);
+
+    // Two denials (base backoff), then the window elapses and the retry
+    // re-traces — and fails again, because the data is still bad.
+    for _ in 0..2 {
+        assert!(mgr.get_or_rewrite(&img, divit, &req).is_err());
+    }
+    assert_eq!(mgr.stats().misses, 1, "denials do not trace");
+    assert!(mgr.get_or_rewrite(&img, divit, &req).is_err());
+    assert_eq!(mgr.stats().misses, 2, "the elapsed backoff retried");
+
+    // Remove the failure cause. The second failure doubled the window to
+    // four denials; the retry after them succeeds and clears the entry.
+    img.write_u64(p, 5).unwrap();
+    for _ in 0..4 {
+        assert!(mgr.get_or_rewrite(&img, divit, &req).is_err());
+    }
+    let v = mgr.get_or_rewrite(&img, divit, &req).unwrap();
+    assert_eq!(mgr.stats().misses, 3);
+    assert_eq!(mgr.stats().negative_entries, 0, "success forgets the key");
+    assert!(mgr.failure_of(divit, &req).is_none());
+    let out = Machine::new()
+        .call(&img, v.entry, &CallArgs::new().ptr(p))
+        .unwrap();
+    assert_eq!(out.ret_int, 200);
+
+    // And the now-healthy key is served from the positive cache.
+    let again = mgr.get_or_rewrite(&img, divit, &req).unwrap();
+    assert!(Arc::ptr_eq(&v, &again));
+}
+
+#[test]
+fn revalidate_drops_exactly_the_stale_variant() {
+    let (img, prog) = setup();
+    let dot = prog.func("dot").unwrap();
+    let poly = prog.func("poly").unwrap();
+    let c = img.alloc_heap(16, 8);
+    img.write_u64(c, 3).unwrap();
+    img.write_u64(c + 8, 7).unwrap();
+    let mgr = SpecializationManager::new();
+    let dot_req = SpecRequest::new()
+        .ptr_to_known(c, 16)
+        .unknown_int()
+        .ret(RetKind::Int);
+
+    let v1 = mgr.get_or_rewrite(&img, dot, &dot_req).unwrap();
+    assert_eq!(
+        v1.snapshot.byte_len(),
+        16,
+        "the rewrite recorded both folded loads: {:?}",
+        v1.snapshot.ranges()
+    );
+    // A variant that folded no known memory rides along as a control.
+    let vp = mgr.get_or_rewrite(&img, poly, &poly_req(3)).unwrap();
+    assert!(vp.snapshot.is_empty());
+
+    let mut m = Machine::new();
+    let run = |m: &mut Machine, entry: u64| {
+        m.call(&img, entry, &CallArgs::new().ptr(c).int(10))
+            .unwrap()
+            .ret_int
+    };
+    assert_eq!(run(&mut m, v1.entry), 37);
+
+    // Mutate a folded byte. The fingerprint doesn't change (PTR_TO_KNOWN
+    // hashes the pointer), so — by the paper's contract — the cache keeps
+    // serving the now-stale constants baked into v1.
+    img.write_u64(c, 5).unwrap();
+    let stale = mgr.get_or_rewrite(&img, dot, &dot_req).unwrap();
+    assert!(Arc::ptr_eq(&v1, &stale), "same key -> same cached variant");
+    assert_eq!(run(&mut m, stale.entry), 37, "stale: still the old fold");
+
+    // revalidate() re-hashes every snapshot and drops only the mismatch.
+    let sink = Arc::new(brew_core::RecordingSink::default());
+    mgr.set_sink(Box::new(SharedSink(Arc::clone(&sink))));
+    assert_eq!(mgr.revalidate(&img), 1);
+    let st = mgr.stats();
+    assert_eq!((st.stale, st.invalidated), (1, 1), "{st:?}");
+    assert_eq!(mgr.len(), 1, "the empty-snapshot variant survived");
+    let evs = sink.take();
+    assert!(
+        matches!(evs[0], Event::Stale { func, entry } if func == dot && entry == v1.entry),
+        "{evs:?}"
+    );
+    assert!(
+        matches!(evs[1], Event::Invalidated { func, .. } if func == dot),
+        "{evs:?}"
+    );
+
+    // The next request re-specializes against current data and agrees
+    // with the original function (differential check).
+    let v2 = mgr.get_or_rewrite(&img, dot, &dot_req).unwrap();
+    assert!(!Arc::ptr_eq(&v1, &v2));
+    assert_eq!(run(&mut m, v2.entry), 57);
+    assert_eq!(run(&mut m, dot), 57, "specialized == original");
+
+    // A second revalidate finds nothing stale.
+    assert_eq!(mgr.revalidate(&img), 0);
+}
+
+#[test]
+fn invalidate_data_intersects_folded_ranges_precisely() {
+    let (img, prog) = setup();
+    let dot = prog.func("dot").unwrap();
+    let a = img.alloc_heap(16, 8);
+    let b = img.alloc_heap(16, 8);
+    for (p, v0, v1) in [(a, 2u64, 5u64), (b, 4, 9)] {
+        img.write_u64(p, v0).unwrap();
+        img.write_u64(p + 8, v1).unwrap();
+    }
+    let mgr = SpecializationManager::new();
+    let req_of = |p: u64| {
+        SpecRequest::new()
+            .ptr_to_known(p, 16)
+            .unknown_int()
+            .ret(RetKind::Int)
+    };
+    let va = mgr.get_or_rewrite(&img, dot, &req_of(a)).unwrap();
+    let vb = mgr.get_or_rewrite(&img, dot, &req_of(b)).unwrap();
+    assert_eq!(mgr.len(), 2);
+
+    // A range that touches only block `a` drops only `a`'s variant —
+    // no image access, no hashing, pure range intersection.
+    assert_eq!(mgr.invalidate_data(a + 8..a + 9), 1);
+    assert_eq!(mgr.len(), 1);
+    let still = mgr.get_or_rewrite(&img, dot, &req_of(b)).unwrap();
+    assert!(Arc::ptr_eq(&vb, &still), "b's variant was untouched");
+
+    // A range adjacent to (but not overlapping) `b`'s fold is a no-op.
+    assert_eq!(mgr.invalidate_data(b + 16..b + 32), 0);
+
+    // Re-specializing `a` after its data changed picks up fresh values.
+    img.write_u64(a, 10).unwrap();
+    let va2 = mgr.get_or_rewrite(&img, dot, &req_of(a)).unwrap();
+    assert!(!Arc::ptr_eq(&va, &va2));
+    let out = Machine::new()
+        .call(&img, va2.entry, &CallArgs::new().ptr(a).int(3))
+        .unwrap();
+    assert_eq!(out.ret_int, 35);
+
+    // invalidate(func) sweeps every variant of the function and any
+    // negative entries it accumulated.
+    mgr.get_or_rewrite(&img, prog.func("poly").unwrap(), &doomed_req())
+        .unwrap_err();
+    assert_eq!(mgr.invalidate(dot), 2);
+    assert_eq!(mgr.invalidate(prog.func("poly").unwrap()), 0);
+    assert_eq!(mgr.negative_len(), 0, "poly's negative entry was dropped");
+    assert!(mgr.is_empty());
+}
+
+/// Forwards to a shared recording sink (the manager owns its sink box).
+struct SharedSink(Arc<brew_core::RecordingSink>);
+
+impl EventSink for SharedSink {
+    fn event(&self, ev: &Event) {
+        self.0.event(ev);
+    }
+}
+
+/// A sink that panics on every `Published` event — simulating a buggy
+/// observer plugged into the worker pool.
+struct PanickingSink(AtomicU64);
+
+impl EventSink for PanickingSink {
+    fn event(&self, ev: &Event) {
+        if matches!(ev, Event::Published { .. }) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+            panic!("sink exploded on publish");
+        }
+    }
+}
+
+#[test]
+fn panicking_sink_fails_jobs_not_the_worker_pool() {
+    let (img, prog) = setup();
+    let poly = prog.func("poly").unwrap();
+    let mgr = SpecializationManager::new();
+    mgr.set_sink(Box::new(PanickingSink(AtomicU64::new(0))));
+
+    // Without containment the first panic would unwind through
+    // `std::thread::scope` and abort the whole batch (and this test).
+    mgr.run_deferred(&img, 2, || {
+        for n in 2..7 {
+            let d = mgr.request(&img, poly, &poly_req(n)).unwrap();
+            assert!(!d.is_specialized(), "first request answers original");
+        }
+    });
+
+    let st = mgr.stats();
+    assert_eq!(mgr.len(), 5, "every variant was still cached: {st:?}");
+    assert!(
+        st.panics_contained >= 1,
+        "sink panics were contained and counted: {st:?}"
+    );
+    // The manager remains fully usable: sink swap, hits, new rewrites.
+    assert!(mgr.take_sink().is_some());
+    let v = mgr.get_or_rewrite(&img, poly, &poly_req(3)).unwrap();
+    let out = Machine::new()
+        .call(&img, v.entry, &CallArgs::new().int(2).int(0))
+        .unwrap();
+    assert_eq!(out.ret_int, 8);
+    assert_eq!(mgr.stats().hits, 1, "served from cache after the storm");
+}
+
+#[test]
+fn deferred_jobs_respect_the_negative_backoff() {
+    let (img, prog) = setup();
+    let poly = prog.func("poly").unwrap();
+    let mgr = SpecializationManager::new().with_negative_policy(NegativePolicy {
+        base_backoff: 1_000_000,
+        attempt_cap: 10,
+    });
+    let req = doomed_req();
+
+    // First scope: the miss queues one job; the worker traces it, fails,
+    // and memoizes the failure (run_deferred drains before returning).
+    mgr.run_deferred(&img, 2, || {
+        let d = mgr.request(&img, poly, &req).unwrap();
+        assert!(matches!(d, Dispatch::Original { deferred: true, .. }));
+    });
+    let st = mgr.stats();
+    assert_eq!((st.misses, st.negative_entries), (1, 1), "{st:?}");
+
+    // Second scope: every request for the doomed key is denied up front —
+    // no job is queued, no worker traces, nothing is published.
+    mgr.run_deferred(&img, 2, || {
+        for _ in 0..50 {
+            let d = mgr.request(&img, poly, &req).unwrap();
+            assert!(
+                matches!(
+                    d,
+                    Dispatch::Original {
+                        deferred: false,
+                        ..
+                    }
+                ),
+                "denied, not re-queued: {d:?}"
+            );
+        }
+    });
+    let st = mgr.stats();
+    assert_eq!(st.misses, 1, "the backoff kept workers idle: {st:?}");
+    assert_eq!(st.denied, 50);
+    assert_eq!(st.published, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// After any mutation of the known block and a revalidate, the served
+    /// variant always agrees with the original function on current data.
+    #[test]
+    fn revalidate_never_leaves_a_stale_answer(
+        c0 in 0u64..50, c1 in 0u64..50, x in 0i64..50,
+        m0 in 0u64..50, m1 in 0u64..50,
+    ) {
+        let (img, prog) = setup();
+        let dot = prog.func("dot").unwrap();
+        let c = img.alloc_heap(16, 8);
+        img.write_u64(c, c0).unwrap();
+        img.write_u64(c + 8, c1).unwrap();
+        let mgr = SpecializationManager::new();
+        let req = SpecRequest::new()
+            .ptr_to_known(c, 16)
+            .unknown_int()
+            .ret(RetKind::Int);
+        mgr.get_or_rewrite(&img, dot, &req).unwrap();
+
+        // Mutate (possibly to the same values: revalidate must then keep
+        // the variant), sweep, and re-request.
+        img.write_u64(c, m0).unwrap();
+        img.write_u64(c + 8, m1).unwrap();
+        let dropped = mgr.revalidate(&img);
+        let unchanged = (m0, m1) == (c0, c1);
+        prop_assert_eq!(dropped, if unchanged { 0 } else { 1 });
+
+        let v = mgr.get_or_rewrite(&img, dot, &req).unwrap();
+        let mut m = Machine::new();
+        let spec = m.call(&img, v.entry, &CallArgs::new().ptr(c).int(x)).unwrap().ret_int;
+        let orig = m.call(&img, dot, &CallArgs::new().ptr(c).int(x)).unwrap().ret_int;
+        prop_assert_eq!(spec, orig);
+        prop_assert_eq!(spec, m0 * x as u64 + m1);
+    }
+}

@@ -124,7 +124,7 @@ fn encode_mem(out: &mut Vec<u8>, reg3: u8, m: &MemRef) -> Result<(), EncodeError
         (None, Some((idx, scale))) => {
             // [index*scale + disp32]: mod=00 rm=100, SIB base=101.
             out.push(reg3 << 3 | 0b100);
-            out.push(scale_bits(scale) << 6 | (idx.number() & 7) << 3 | 0b101);
+            out.push(scale_bits(scale)? << 6 | (idx.number() & 7) << 3 | 0b101);
             out.extend_from_slice(&m.disp.to_le_bytes());
         }
         (Some(base), index) => {
@@ -143,7 +143,7 @@ fn encode_mem(out: &mut Vec<u8>, reg3: u8, m: &MemRef) -> Result<(), EncodeError
             if needs_sib {
                 out.push(modbits << 6 | reg3 << 3 | 0b100);
                 let (idx3, scale) = match index {
-                    Some((idx, s)) => (idx.number() & 7, scale_bits(s)),
+                    Some((idx, s)) => (idx.number() & 7, scale_bits(s)?),
                     None => (0b100, 0), // no index
                 };
                 out.push(scale << 6 | idx3 << 3 | base3);
@@ -156,13 +156,15 @@ fn encode_mem(out: &mut Vec<u8>, reg3: u8, m: &MemRef) -> Result<(), EncodeError
     Ok(())
 }
 
-fn scale_bits(s: u8) -> u8 {
+fn scale_bits(s: u8) -> Result<u8, EncodeError> {
     match s {
-        1 => 0,
-        2 => 1,
-        4 => 2,
-        8 => 3,
-        _ => panic!("invalid scale {s}"),
+        1 => Ok(0),
+        2 => Ok(1),
+        4 => Ok(2),
+        8 => Ok(3),
+        // A synthesized MemRef can carry any scale; reject it as an
+        // encoding error rather than aborting the process.
+        _ => Err(EncodeError::BadOperands("invalid SIB scale")),
     }
 }
 
@@ -264,7 +266,11 @@ pub fn encode(inst: &Inst, addr: u64, out: &mut Vec<u8>) -> Result<usize, Encode
             }
             (Operand::Mem(m), s @ Operand::Reg(_)) => {
                 let force = byte_reg_forces_rex(s);
-                let Operand::Reg(sr) = s else { unreachable!() };
+                let Operand::Reg(sr) = s else {
+                    return Err(EncodeError::BadOperands(
+                        "byte store needs a register source",
+                    ));
+                };
                 emit(
                     out,
                     None,

@@ -2,10 +2,11 @@
 # The CI gate, runnable locally. Everything is offline by design:
 # dev-dependencies resolve to in-tree stubs (DESIGN.md §6).
 #
-#   scripts/check.sh          # everything
-#   scripts/check.sh check    # fmt + clippy + debug build/test
-#   scripts/check.sh stress   # examples + release concurrency/differential
-#   scripts/check.sh obs      # observability gate: exports well-formed
+#   scripts/check.sh            # everything
+#   scripts/check.sh check      # fmt + clippy + debug build/test
+#   scripts/check.sh stress     # examples + release concurrency/differential
+#   scripts/check.sh obs        # observability gate: exports well-formed
+#   scripts/check.sh lifecycle  # failure/staleness gate: tests + C3 ratio
 #
 # The stress stage reruns the timing-sensitive suites under `--release`
 # so single-flight/eviction races get exercised with optimization on.
@@ -65,6 +66,29 @@ if [ "$stage" = "all" ] || [ "$stage" = "obs" ]; then
     fi
     cargo run --release --offline --example telemetry >/dev/null
     echo "observability exports well-formed"
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "lifecycle" ]; then
+    echo "==> lifecycle gate (negative cache, invalidation, panic containment)"
+    cargo test --release --offline -q -p brew-core --test lifecycle
+
+    # The C3 experiment must show the denied path amortizing the doomed
+    # rewrite by >= 100x (the lifecycle acceptance bar, EXPERIMENTS.md C3).
+    life_out="$(cargo run --release --offline -p brew-bench --bin tables -- --exp life)"
+    ratio="$(printf '%s' "$life_out" | sed -n 's/.*(\([0-9][0-9]*\)x cheaper.*/\1/p')"
+    if [ -z "$ratio" ]; then
+        echo "FAIL: no amortization ratio in tables --exp life output" >&2
+        exit 1
+    fi
+    if [ "$ratio" -lt 100 ]; then
+        echo "FAIL: denied re-request only ${ratio}x cheaper than re-tracing (need >= 100x)" >&2
+        exit 1
+    fi
+    if ! printf '%s' "$life_out" | grep -q '2 variants dropped by the sweep'; then
+        echo "FAIL: revalidate sweep did not drop the mutated variants" >&2
+        exit 1
+    fi
+    echo "lifecycle gate passed (denied path ${ratio}x cheaper)"
 fi
 
 echo "All checks passed ($stage)."
