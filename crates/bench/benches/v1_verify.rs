@@ -1,0 +1,66 @@
+//! V1: wall-clock cost of translation-validating a variant — the price of
+//! `verify_on_publish`, paid once per cold rewrite and amortized exactly
+//! like the rewrite itself (C1).
+
+use brew_core::{RetKind, Rewriter, SpecRequest};
+use brew_image::Image;
+use brew_verify::{verify, VerifyOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let img = Image::new();
+    let prog = brew_minic::compile_into(
+        r#"
+        int poly(int x, int n) {
+            int r = 1;
+            for (int i = 0; i < n; i++) r *= x;
+            return r;
+        }
+        "#,
+        &img,
+    )
+    .unwrap();
+    let poly = prog.func("poly").unwrap();
+    let req = SpecRequest::new()
+        .unknown_int()
+        .known_int(8)
+        .ret(RetKind::Int);
+    let res = Rewriter::new(&img).rewrite(poly, &req).unwrap();
+    let opts = VerifyOptions {
+        strict_provenance: true,
+        ..VerifyOptions::default()
+    };
+
+    let mut st = brew_stencil::Stencil::new(32, 32);
+    let apply = st.prog.func("apply").unwrap();
+    let apply_req = st.apply_request();
+    let apply_res = st.specialize_apply().unwrap();
+
+    let mut g = c.benchmark_group("v1_verify");
+    g.bench_function("verify_poly", |b| {
+        b.iter(|| {
+            let report = verify(&img, poly, &req, &res, &opts);
+            assert!(report.passed());
+            report
+        });
+    });
+    g.bench_function("verify_stencil_apply", |b| {
+        b.iter(|| {
+            let report = verify(&st.img, apply, &apply_req, &apply_res, &opts);
+            assert!(report.passed());
+            report
+        });
+    });
+    g.bench_function("rewrite_plus_verify_poly", |b| {
+        b.iter(|| {
+            let r = Rewriter::new(&img).rewrite(poly, &req).unwrap();
+            let report = verify(&img, poly, &req, &r, &opts);
+            assert!(report.passed());
+            report
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -20,7 +20,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).filter(|a| a != "--exp").collect();
     let all = [
         "e1", "e2", "e3", "e4", "e5", "a1", "a2", "a3", "a4", "a5", "a6", "p1", "cache", "conc",
-        "obs", "life",
+        "obs", "life", "verify",
     ];
     let wanted: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -99,6 +99,10 @@ fn run_experiment(exp: &str) -> String {
         "obs" => render_obs(
             "OBS — end-to-end telemetry (registry, self-counting stubs, explain report)",
             &obs_study(XS, YS),
+        ),
+        "verify" => render_verify(
+            "V1 — static variant verifier (translation validation at publish time)",
+            &verify_study(),
         ),
         "life" => render_lifecycle(
             "C3 — failure-path amortization & staleness sweeps (negative cache, revalidate)",

@@ -8,8 +8,10 @@
 #![warn(missing_docs)]
 
 mod obs;
+mod verify;
 
 pub use obs::{guard_overhead_rows, obs_study, render_obs, ObsReport};
+pub use verify::{render_verify, verify_study, CleanRow, KindRow, VerifyV1Report};
 
 use brew_core::PassConfig;
 use brew_emu::{Machine, Stats};

@@ -65,6 +65,16 @@ pub enum RewriteError {
     /// function cannot kill a worker pool or wedge followers on the
     /// in-flight table. The payload is the panic message.
     Internal(String),
+    /// A publish gate (static verification) rejected the finished variant.
+    /// The variant is never published: the manager treats this like any
+    /// other failed rewrite, so dispatch falls back to the original code
+    /// and the failure is negatively cached.
+    VerifyRejected {
+        /// Number of error-severity findings the verifier reported.
+        findings: usize,
+        /// The first finding, rendered for operators.
+        first: String,
+    },
 }
 
 impl fmt::Display for RewriteError {
@@ -92,6 +102,12 @@ impl fmt::Display for RewriteError {
             RewriteError::Unencodable(e) => write!(f, "cannot encode rewritten instruction: {e}"),
             RewriteError::BadConfig(s) => write!(f, "bad rewriter configuration: {s}"),
             RewriteError::Internal(s) => write!(f, "internal rewriter panic: {s}"),
+            RewriteError::VerifyRejected { findings, first } => {
+                write!(
+                    f,
+                    "static verification rejected variant ({findings} findings; first: {first})"
+                )
+            }
         }
     }
 }

@@ -26,7 +26,7 @@
 //! additionally increments a per-case slot of a [`CounterPage`] in the
 //! data segment (`inc qword [slot]`) on the path it takes, so runtime
 //! hit / fall-through rates are observable and a
-//! [`brew_emu::ValueProfile`]-style prediction can be validated against
+//! `brew_emu::ValueProfile`-style prediction can be validated against
 //! reality. The increment sits *after* every compare of its case (or on
 //! the fall-through path), immediately before the tail jump — the flags
 //! it clobbers are dead at a SysV function boundary, so a counting stub

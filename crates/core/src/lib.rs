@@ -83,8 +83,8 @@ pub use guard::{
     GuardCase,
 };
 pub use manager::{
-    CacheKey, CacheStats, Dispatch, Event, EventSink, NegativePolicy, RecordingSink,
-    SpecializationManager, Variant,
+    CacheKey, CacheStats, Dispatch, Event, EventSink, NegativePolicy, PublishGate,
+    PublishRejection, RecordingSink, SpecializationManager, Variant,
 };
 pub use passes::PassConfig;
 pub use request::SpecRequest;

@@ -12,18 +12,18 @@
 //!   `(function, request fingerprint)` (see [`SpecRequest::fingerprint`]);
 //!   the cache is split into fingerprint-selected shards, each with its
 //!   own lock, so warm hits from many threads proceed without contending
-//!   (see [`shards`]). A repeated request returns the cached [`Variant`]
+//!   (see the sharded store). A repeated request returns the cached [`Variant`]
 //!   without tracing a single guest instruction.
 //! - **Single-flight rewriting** — concurrent misses on the same key
 //!   coalesce onto one in-progress trace instead of duplicating it: the
 //!   first requester leads, the rest block on the flight and share its
-//!   result (see [`inflight`]). Each distinct fingerprint is traced
+//!   result (see the in-flight table). Each distinct fingerprint is traced
 //!   exactly once no matter how many threads race for it.
 //! - **Deferred mode** — inside [`run_deferred`](SpecializationManager::run_deferred),
 //!   [`request`](SpecializationManager::request) answers a miss with the
 //!   *original* entry immediately and queues the rewrite for a bounded
 //!   scoped worker pool; the variant is published for subsequent calls —
-//!   the paper's "delayed step" (§V.C) made literal (see [`worker`]).
+//!   the paper's "delayed step" (§V.C) made literal (see the worker module).
 //! - **Cost-aware LRU eviction** — the cache is bounded by a JIT-segment
 //!   byte budget with *global* accounting across shards. When over
 //!   budget, the entry with the highest `staleness x code bytes /
@@ -82,7 +82,7 @@ use crate::error::RewriteError;
 use crate::guard::{self, CounterPage, GuardCase};
 use crate::request::SpecRequest;
 use crate::snapshot::KnownSnapshot;
-use crate::telemetry::{metrics::Ctr, metrics::Gge, MetricsRegistry};
+use crate::telemetry::{metrics::Ctr, metrics::Gge, metrics::Hst, MetricsRegistry};
 use crate::Rewriter;
 use brew_image::{layout, Image};
 use inflight::{InflightTable, Join};
@@ -311,6 +311,54 @@ impl EventSink for RecordingSink {
     }
 }
 
+/// Why a publish gate refused a variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublishRejection {
+    /// Number of error-severity findings.
+    pub findings: usize,
+    /// The first finding, rendered for operators.
+    pub summary: String,
+}
+
+/// Pre-publish inspection of a finished rewrite (the `verify_on_publish`
+/// policy). The gate sees the finished-but-unpublished variant on both the
+/// synchronous and deferred paths; returning `Err` means the variant is
+/// *never* published — the manager converts the rejection into
+/// [`RewriteError::VerifyRejected`], caches it negatively, and dispatch
+/// falls back to the original function, exactly like any failed rewrite.
+///
+/// `brew-verify` provides the static translation validator implementing
+/// this trait; closures with the matching signature implement it too, for
+/// tests and custom policies.
+pub trait PublishGate: Send + Sync {
+    /// Inspect `res` (the rewrite of `func` under `req`, already emitted
+    /// into `img`'s JIT segment but not yet published).
+    fn inspect(
+        &self,
+        img: &Image,
+        func: u64,
+        req: &SpecRequest,
+        res: &crate::RewriteResult,
+    ) -> Result<(), PublishRejection>;
+}
+
+impl<F> PublishGate for F
+where
+    F: Fn(&Image, u64, &SpecRequest, &crate::RewriteResult) -> Result<(), PublishRejection>
+        + Send
+        + Sync,
+{
+    fn inspect(
+        &self,
+        img: &Image,
+        func: u64,
+        req: &SpecRequest,
+        res: &crate::RewriteResult,
+    ) -> Result<(), PublishRejection> {
+        self(img, func, req, res)
+    }
+}
+
 /// What [`SpecializationManager::request`] answered with.
 #[derive(Debug, Clone)]
 pub enum Dispatch {
@@ -378,6 +426,7 @@ pub struct SpecializationManager {
     counters: Counters,
     metrics: Arc<MetricsRegistry>,
     sink: RwLock<Option<Box<dyn EventSink>>>,
+    gate: RwLock<Option<Box<dyn PublishGate>>>,
 }
 
 impl Default for SpecializationManager {
@@ -410,6 +459,7 @@ impl SpecializationManager {
             counters: Counters::default(),
             metrics: Arc::new(MetricsRegistry::new()),
             sink: RwLock::new(None),
+            gate: RwLock::new(None),
         }
     }
 
@@ -436,6 +486,18 @@ impl SpecializationManager {
     /// Detach and return the current sink.
     pub fn take_sink(&self) -> Option<Box<dyn EventSink>> {
         unpoison(self.sink.write()).take()
+    }
+
+    /// Enable `verify_on_publish`: every finished rewrite (synchronous or
+    /// deferred) must pass `gate` before it becomes visible. Replaces any
+    /// previous gate.
+    pub fn set_publish_gate(&self, gate: Box<dyn PublishGate>) {
+        *unpoison(self.gate.write()) = Some(gate);
+    }
+
+    /// Detach and return the current publish gate.
+    pub fn take_publish_gate(&self) -> Option<Box<dyn PublishGate>> {
+        unpoison(self.gate.write()).take()
     }
 
     /// Aggregated counters (a consistent-enough snapshot: each field is
@@ -711,6 +773,12 @@ impl SpecializationManager {
                             Err(RewriteError::Internal(panic_message(p.as_ref())))
                         });
                 self.metrics.gauge_add(Gge::InflightRewrites, -1);
+                // The publish gate inspects the finished-but-unpublished
+                // variant; a rejection becomes a rewrite failure like any
+                // other (negatively cached, followers see the error,
+                // dispatch falls back to the original).
+                let rewritten =
+                    rewritten.and_then(|res| self.gate_check(img, func, req, &res).map(|()| res));
                 match rewritten {
                     Ok(res) => {
                         self.negative.forget(&key);
@@ -751,6 +819,46 @@ impl SpecializationManager {
                         Err(e)
                     }
                 }
+            }
+        }
+    }
+
+    /// Run the configured publish gate (if any) over a finished rewrite.
+    /// Gate panics are contained here like rewrite panics: the variant
+    /// fails its own request instead of unwinding into the caller.
+    fn gate_check(
+        &self,
+        img: &Image,
+        func: u64,
+        req: &SpecRequest,
+        res: &crate::RewriteResult,
+    ) -> Result<(), RewriteError> {
+        let gate = unpoison(self.gate.read());
+        let Some(gate) = gate.as_ref() else {
+            return Ok(());
+        };
+        let t0 = std::time::Instant::now();
+        let verdict = catch_unwind(AssertUnwindSafe(|| gate.inspect(img, func, req, res)));
+        self.metrics
+            .observe(Hst::VerifyNs, t0.elapsed().as_nanos() as u64);
+        match verdict {
+            Ok(Ok(())) => {
+                self.metrics.count(Ctr::VerifyPassed, 1);
+                Ok(())
+            }
+            Ok(Err(r)) => {
+                self.metrics.count(Ctr::VerifyRejected, 1);
+                Err(RewriteError::VerifyRejected {
+                    findings: r.findings,
+                    first: r.summary,
+                })
+            }
+            Err(p) => {
+                self.note_panic_contained();
+                Err(RewriteError::Internal(format!(
+                    "publish gate panicked: {}",
+                    panic_message(p.as_ref())
+                )))
             }
         }
     }

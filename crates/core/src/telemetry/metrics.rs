@@ -142,11 +142,13 @@ pub enum Ctr {
     CacheStale,
     CacheInvalidated,
     PanicsContained,
+    VerifyPassed,
+    VerifyRejected,
 }
 
 impl Ctr {
     /// Every counter, in exposition order.
-    pub const ALL: [Ctr; 18] = [
+    pub const ALL: [Ctr; 20] = [
         Ctr::CacheHits,
         Ctr::CacheMisses,
         Ctr::CacheCoalesced,
@@ -165,6 +167,8 @@ impl Ctr {
         Ctr::CacheStale,
         Ctr::CacheInvalidated,
         Ctr::PanicsContained,
+        Ctr::VerifyPassed,
+        Ctr::VerifyRejected,
     ];
 
     /// Prometheus metric name.
@@ -188,6 +192,8 @@ impl Ctr {
             Ctr::CacheStale => "brew_cache_stale_total",
             Ctr::CacheInvalidated => "brew_cache_invalidated_total",
             Ctr::PanicsContained => "brew_rewrite_panics_total",
+            Ctr::VerifyPassed => "brew_verify_passed_total",
+            Ctr::VerifyRejected => "brew_verify_rejected_total",
         }
     }
 
@@ -212,6 +218,8 @@ impl Ctr {
             Ctr::CacheStale => "Variants found stale by revalidate (folded bytes changed)",
             Ctr::CacheInvalidated => "Variants dropped by invalidation",
             Ctr::PanicsContained => "Rewrite-pipeline panics converted into errors",
+            Ctr::VerifyPassed => "Variants that passed the publish gate's static verification",
+            Ctr::VerifyRejected => "Variants rejected (and never published) by the publish gate",
         }
     }
 }
@@ -264,11 +272,18 @@ pub enum Hst {
     PassNs,
     EmitNs,
     TotalNs,
+    VerifyNs,
 }
 
 impl Hst {
     /// Every histogram, in exposition order.
-    pub const ALL: [Hst; 4] = [Hst::TraceNs, Hst::PassNs, Hst::EmitNs, Hst::TotalNs];
+    pub const ALL: [Hst; 5] = [
+        Hst::TraceNs,
+        Hst::PassNs,
+        Hst::EmitNs,
+        Hst::TotalNs,
+        Hst::VerifyNs,
+    ];
 
     /// Prometheus metric name.
     pub fn name(self) -> &'static str {
@@ -277,6 +292,7 @@ impl Hst {
             Hst::PassNs => "brew_rewrite_pass_ns",
             Hst::EmitNs => "brew_rewrite_emit_ns",
             Hst::TotalNs => "brew_rewrite_total_ns",
+            Hst::VerifyNs => "brew_verify_ns",
         }
     }
 
@@ -287,6 +303,7 @@ impl Hst {
             Hst::PassNs => "Nanoseconds per rewrite spent in optimization passes",
             Hst::EmitNs => "Nanoseconds per rewrite spent on layout, encoding, relocation",
             Hst::TotalNs => "Nanoseconds per rewrite across all instrumented phases",
+            Hst::VerifyNs => "Nanoseconds per variant spent in publish-gate verification",
         }
     }
 }

@@ -5,14 +5,14 @@
 //! actually get hit? This module is that measurement layer, built from
 //! three dependency-free pieces:
 //!
-//! - [`metrics`] — a lock-free [`MetricsRegistry`](metrics::MetricsRegistry)
+//! - [`metrics`] — a lock-free [`MetricsRegistry`]
 //!   of atomic counters, gauges and fixed-bucket histograms. The
 //!   [`SpecializationManager`](crate::manager::SpecializationManager)
 //!   feeds it on *every* event, independent of whether an
 //!   [`EventSink`](crate::manager::EventSink) is installed, so cache and
 //!   rewrite-phase metrics are never silently lost. Exported as
 //!   Prometheus text exposition and as a JSON snapshot.
-//! - [`span`] — a [`SpanRecorder`](span::SpanRecorder) capturing the
+//! - [`span`] — a [`SpanRecorder`] capturing the
 //!   rewrite as a span tree (trace → per-block → migration / inlining
 //!   decisions → passes → layout / encode / commit), renderable as
 //!   chrome://tracing JSON.

@@ -86,7 +86,7 @@ pub struct World {
     pub frame_escaped: bool,
     /// Inline call stack (innermost last).
     pub inline_stack: Vec<InlineFrame>,
-    /// The function currently being traced (its [`FuncOpts`] apply).
+    /// The function currently being traced (its [`FuncOpts`](crate::FuncOpts) apply).
     pub cur_fn: u64,
 }
 

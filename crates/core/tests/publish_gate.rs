@@ -1,0 +1,146 @@
+//! The `verify_on_publish` policy: a publish gate inspects every finished
+//! rewrite before it becomes visible, on both the synchronous and the
+//! deferred path. A rejected variant is never published — it is denied,
+//! negatively cached, counted, and dispatch falls back to the original.
+
+use brew_core::telemetry::metrics::{Ctr, Hst};
+use brew_core::{
+    Dispatch, NegativePolicy, PublishRejection, RetKind, RewriteError, SpecRequest,
+    SpecializationManager,
+};
+use brew_image::Image;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const PROG: &str = r#"
+    int poly(int x, int n) {
+        int r = 1;
+        for (int i = 0; i < n; i++) r *= x;
+        return r;
+    }
+"#;
+
+fn setup() -> (Image, u64) {
+    let img = Image::new();
+    let prog = brew_minic::compile_into(PROG, &img).unwrap();
+    let poly = prog.func("poly").unwrap();
+    (img, poly)
+}
+
+fn poly_req(n: i64) -> SpecRequest {
+    SpecRequest::new()
+        .unknown_int()
+        .known_int(n)
+        .ret(RetKind::Int)
+}
+
+#[test]
+fn accepting_gate_publishes_and_counts() {
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
+    let seen = Arc::new(AtomicUsize::new(0));
+    let seen2 = Arc::clone(&seen);
+    mgr.set_publish_gate(Box::new(
+        move |_img: &Image, func: u64, _req: &SpecRequest, res: &brew_core::RewriteResult| {
+            assert!(res.code_len > 0);
+            assert!(func > 0);
+            seen2.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        },
+    ));
+    let v = mgr.get_or_rewrite(&img, poly, &poly_req(5)).unwrap();
+    assert!(v.code_len > 0);
+    assert_eq!(seen.load(Ordering::SeqCst), 1);
+    // A cache hit must not re-run the gate.
+    mgr.get_or_rewrite(&img, poly, &poly_req(5)).unwrap();
+    assert_eq!(seen.load(Ordering::SeqCst), 1);
+    let m = mgr.metrics();
+    assert_eq!(m.counter(Ctr::VerifyPassed).get(), 1);
+    assert_eq!(m.counter(Ctr::VerifyRejected).get(), 0);
+    assert_eq!(m.histogram(Hst::VerifyNs).count(), 1);
+}
+
+#[test]
+fn rejected_variant_is_never_published_and_denied_after() {
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new().with_negative_policy(NegativePolicy {
+        base_backoff: 1_000_000,
+        attempt_cap: 10,
+    });
+    mgr.set_publish_gate(Box::new(
+        |_: &Image, _: u64, _: &SpecRequest, _: &brew_core::RewriteResult| {
+            Err(PublishRejection {
+                findings: 3,
+                summary: "wild jump at 0x900000".into(),
+            })
+        },
+    ));
+    let err = mgr.get_or_rewrite(&img, poly, &poly_req(5)).unwrap_err();
+    match &err {
+        RewriteError::VerifyRejected { findings, first } => {
+            assert_eq!(*findings, 3);
+            assert!(first.contains("wild jump"));
+        }
+        other => panic!("expected VerifyRejected, got {other:?}"),
+    }
+    assert!(mgr.is_empty(), "rejected variant must not be cached");
+    assert_eq!(mgr.metrics().counter(Ctr::VerifyRejected).get(), 1);
+
+    // The rejection is negatively cached: dispatch falls back to the
+    // original without re-tracing (and without re-running the gate).
+    let d = mgr.request(&img, poly, &poly_req(5)).unwrap();
+    match d {
+        Dispatch::Original { func, .. } => assert_eq!(func, poly),
+        Dispatch::Specialized(_) => panic!("denied key must dispatch to the original"),
+    }
+    assert_eq!(mgr.stats().denied, 1);
+    assert_eq!(mgr.stats().misses, 1, "no second trace for the denied key");
+}
+
+#[test]
+fn gate_panic_is_contained() {
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
+    mgr.set_publish_gate(Box::new(
+        |_: &Image,
+         _: u64,
+         _: &SpecRequest,
+         _: &brew_core::RewriteResult|
+         -> Result<(), PublishRejection> { panic!("verifier bug") },
+    ));
+    let err = mgr.get_or_rewrite(&img, poly, &poly_req(5)).unwrap_err();
+    assert!(matches!(err, RewriteError::Internal(ref s) if s.contains("verifier bug")));
+    assert_eq!(mgr.stats().panics_contained, 1);
+    assert!(mgr.is_empty());
+}
+
+#[test]
+fn deferred_path_runs_the_gate() {
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
+    mgr.set_publish_gate(Box::new(
+        |_: &Image, _: u64, _: &SpecRequest, _: &brew_core::RewriteResult| {
+            Err(PublishRejection {
+                findings: 1,
+                summary: "stack imbalance".into(),
+            })
+        },
+    ));
+    mgr.run_deferred(&img, 2, || {
+        let d = mgr.request(&img, poly, &poly_req(7)).unwrap();
+        assert!(!d.is_specialized());
+    });
+    // The worker drained the job; the gate rejected it, so nothing was
+    // published and the key is negatively cached.
+    assert!(mgr.is_empty(), "rejected deferred variant must not publish");
+    assert_eq!(mgr.stats().published, 0);
+    assert_eq!(mgr.metrics().counter(Ctr::VerifyRejected).get(), 1);
+
+    // Detaching the gate restores the default publish-everything policy.
+    assert!(mgr.take_publish_gate().is_some());
+    let mgr2 = SpecializationManager::new();
+    mgr2.run_deferred(&img, 2, || {
+        mgr2.request(&img, poly, &poly_req(7)).unwrap();
+    });
+    assert_eq!(mgr2.len(), 1);
+}

@@ -1,0 +1,388 @@
+//! Differential check of the def/use model against the emulator.
+//!
+//! `brew_x86::defuse` is load-bearing twice over: the rewriter's
+//! optimization passes trust its read/write sets for liveness and dead-store
+//! elimination, and the static verifier trusts `for_each_write` to spot
+//! unmodeled RSP writes. A stale entry there silently corrupts variants, so
+//! this test cross-examines the model against ground truth — the emulator:
+//!
+//! * **write soundness** — every architectural register the emulator
+//!   actually changed must appear in `defuse::writes`;
+//! * **read soundness** — perturbing every register *outside*
+//!   `reads ∪ writes` must not change the instruction's effect (written
+//!   register values, flags, or touched memory).
+
+use brew_emu::{Machine, Stats};
+use brew_image::layout;
+use brew_image::Image;
+use brew_x86::defuse::{self, Loc};
+use brew_x86::{
+    encode, AluOp, Cond, Flags, Gpr, Inst, MemRef, Operand, ShOp, ShiftCount, SseOp, UnOp, Width,
+    Xmm,
+};
+use proptest::prelude::*;
+
+/// Registers safe to use as explicit operands (RSP stays pinned to the
+/// stack; RBX is the designated memory base).
+const OPERAND_GPRS: [Gpr; 10] = [
+    Gpr::Rax,
+    Gpr::Rcx,
+    Gpr::Rdx,
+    Gpr::Rsi,
+    Gpr::Rdi,
+    Gpr::R8,
+    Gpr::R9,
+    Gpr::R10,
+    Gpr::R11,
+    Gpr::R12,
+];
+
+fn gpr() -> impl Strategy<Value = Gpr> {
+    proptest::sample::select(&OPERAND_GPRS[..])
+}
+
+fn xmm() -> impl Strategy<Value = Xmm> {
+    proptest::sample::select(&Xmm::ALL[..8])
+}
+
+fn width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::W32), Just(Width::W64)]
+}
+
+/// A memory operand guaranteed to land inside the 128-byte scratch buffer
+/// (RBX points at its midpoint; packed 16-byte accesses still fit).
+fn mem() -> impl Strategy<Value = MemRef> {
+    (-64i32..=48).prop_map(|disp| MemRef {
+        base: Some(Gpr::Rbx),
+        index: None,
+        disp,
+    })
+}
+
+fn int_rm() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        gpr().prop_map(Operand::Reg),
+        mem().prop_map(Operand::Mem),
+        (-1000i64..1000).prop_map(Operand::Imm),
+    ]
+}
+
+fn xmm_rm() -> impl Strategy<Value = Operand> {
+    prop_oneof![xmm().prop_map(Operand::Xmm), mem().prop_map(Operand::Mem),]
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Cmp),
+    ]
+}
+
+fn sse_op() -> impl Strategy<Value = SseOp> {
+    prop_oneof![
+        Just(SseOp::Addsd),
+        Just(SseOp::Subsd),
+        Just(SseOp::Mulsd),
+        Just(SseOp::Divsd),
+        Just(SseOp::Addpd),
+        Just(SseOp::Mulpd),
+        Just(SseOp::Xorpd),
+        Just(SseOp::Unpcklpd),
+    ]
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    proptest::sample::select(&Cond::ALL[..])
+}
+
+/// Every non-control, non-faulting instruction shape the subset supports.
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (width(), gpr(), int_rm()).prop_map(|(w, d, src)| Inst::Mov {
+            w,
+            dst: Operand::Reg(d),
+            src,
+        }),
+        (width(), mem(), gpr()).prop_map(|(w, m, s)| Inst::Mov {
+            w,
+            dst: Operand::Mem(m),
+            src: Operand::Reg(s),
+        }),
+        (gpr(), any::<u64>()).prop_map(|(d, imm)| Inst::MovAbs { dst: d, imm }),
+        (gpr(), int_rm())
+            .prop_filter("movsxd needs r/m", |(_, s)| !matches!(s, Operand::Imm(_)))
+            .prop_map(|(d, src)| Inst::Movsxd { dst: d, src }),
+        (width(), gpr(), gpr()).prop_map(|(w, d, s)| Inst::Movzx8 {
+            w,
+            dst: d,
+            src: Operand::Reg(s),
+        }),
+        (gpr(), mem()).prop_map(|(d, m)| Inst::Lea { dst: d, src: m }),
+        (gpr(), gpr(), gpr(), 0u8..4, -64i32..=48).prop_map(|(d, b, i, s, disp)| Inst::Lea {
+            dst: d,
+            src: MemRef {
+                base: Some(b),
+                index: Some((i, 1 << s)),
+                disp,
+            },
+        }),
+        (alu_op(), width(), gpr(), int_rm()).prop_map(|(op, w, d, src)| Inst::Alu {
+            op,
+            w,
+            dst: Operand::Reg(d),
+            src,
+        }),
+        (alu_op(), width(), mem(), gpr()).prop_map(|(op, w, m, s)| Inst::Alu {
+            op,
+            w,
+            dst: Operand::Mem(m),
+            src: Operand::Reg(s),
+        }),
+        (width(), gpr(), gpr()).prop_map(|(w, a, b)| Inst::Test {
+            w,
+            a: Operand::Reg(a),
+            b: Operand::Reg(b),
+        }),
+        (width(), gpr(), int_rm())
+            .prop_filter("imul needs r/m", |(_, _, s)| !matches!(s, Operand::Imm(_)))
+            .prop_map(|(w, d, src)| Inst::Imul { w, dst: d, src }),
+        (width(), gpr(), gpr(), -1000i32..1000).prop_map(|(w, d, s, imm)| Inst::ImulImm {
+            w,
+            dst: d,
+            src: Operand::Reg(s),
+            imm,
+        }),
+        (
+            prop_oneof![
+                Just(UnOp::Neg),
+                Just(UnOp::Not),
+                Just(UnOp::Inc),
+                Just(UnOp::Dec)
+            ],
+            width(),
+            gpr()
+        )
+            .prop_map(|(op, w, d)| Inst::Unary {
+                op,
+                w,
+                dst: Operand::Reg(d),
+            }),
+        (
+            prop_oneof![Just(ShOp::Shl), Just(ShOp::Shr), Just(ShOp::Sar)],
+            width(),
+            gpr(),
+            prop_oneof![(0u8..64).prop_map(ShiftCount::Imm), Just(ShiftCount::Cl)]
+        )
+            .prop_map(|(op, w, d, count)| Inst::Shift {
+                op,
+                w,
+                dst: Operand::Reg(d),
+                count,
+            }),
+        width().prop_map(|w| Inst::Cqo { w }),
+        gpr().prop_map(|r| Inst::Push {
+            src: Operand::Reg(r)
+        }),
+        gpr().prop_map(|r| Inst::Pop {
+            dst: Operand::Reg(r)
+        }),
+        (cond(), gpr()).prop_map(|(c, d)| Inst::Setcc {
+            cond: c,
+            dst: Operand::Reg(d),
+        }),
+        (xmm(), xmm_rm()).prop_map(|(d, src)| Inst::MovSd {
+            dst: Operand::Xmm(d),
+            src,
+        }),
+        (mem(), xmm()).prop_map(|(m, s)| Inst::MovSd {
+            dst: Operand::Mem(m),
+            src: Operand::Xmm(s),
+        }),
+        (xmm(), xmm_rm()).prop_map(|(d, src)| Inst::MovUpd {
+            dst: Operand::Xmm(d),
+            src,
+        }),
+        (mem(), xmm()).prop_map(|(m, s)| Inst::MovUpd {
+            dst: Operand::Mem(m),
+            src: Operand::Xmm(s),
+        }),
+        (sse_op(), xmm(), xmm_rm()).prop_map(|(op, d, src)| Inst::Sse { op, dst: d, src }),
+        (xmm(), xmm_rm()).prop_map(|(a, b)| Inst::Ucomisd { a, b }),
+        (width(), xmm(), gpr()).prop_map(|(w, d, s)| Inst::Cvtsi2sd {
+            w,
+            dst: d,
+            src: Operand::Reg(s),
+        }),
+        (width(), gpr(), xmm()).prop_map(|(w, d, s)| Inst::Cvttsd2si {
+            w,
+            dst: d,
+            src: Operand::Xmm(s),
+        }),
+        Just(Inst::Nop),
+    ]
+}
+
+struct MemSnapshot {
+    scratch: [u8; 128],
+    stack: [u8; 32],
+}
+
+struct Fixture {
+    img: Image,
+    code: u64,
+    scratch: u64,
+    rsp: u64,
+}
+
+impl Fixture {
+    fn new(inst: &Inst) -> Option<Fixture> {
+        let img = Image::new();
+        let scratch = img.alloc_heap(128, 16);
+        let code = layout::JIT_BASE;
+        let mut buf = Vec::new();
+        encode(inst, code, &mut buf).ok()?;
+        img.write_bytes(code, &buf).unwrap();
+        Some(Fixture {
+            img,
+            code,
+            scratch,
+            rsp: layout::STACK_TOP - 0x200,
+        })
+    }
+
+    fn snapshot(&self) -> MemSnapshot {
+        let mut s = MemSnapshot {
+            scratch: [0; 128],
+            stack: [0; 32],
+        };
+        self.img.read_bytes(self.scratch, &mut s.scratch).unwrap();
+        self.img.read_bytes(self.rsp - 16, &mut s.stack).unwrap();
+        s
+    }
+
+    fn restore(&self, s: &MemSnapshot) {
+        self.img.write_bytes(self.scratch, &s.scratch).unwrap();
+        self.img.write_bytes(self.rsp - 16, &s.stack).unwrap();
+    }
+
+    /// Install the base register file: random values with RSP and the
+    /// memory base RBX pinned to mapped regions.
+    fn init(&self, m: &mut Machine, gprs: &[u64; 16], xmms: &[[u64; 2]; 8], flags: Flags) {
+        m.cpu.gpr = *gprs;
+        m.cpu.set(Gpr::Rsp, self.rsp);
+        m.cpu.set(Gpr::Rbx, self.scratch + 64);
+        for (i, v) in xmms.iter().enumerate() {
+            m.cpu.xmm[i] = *v;
+        }
+        m.cpu.flags = flags;
+        m.cpu.rip = self.code;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    #[test]
+    fn defuse_matches_emulator_effects(
+        inst in inst(),
+        gprs in proptest::array::uniform16(any::<u64>()),
+        xmms in proptest::array::uniform8(proptest::array::uniform2(any::<u64>())),
+        flag_bits in 0u8..32,
+    ) {
+        let Some(fx) = Fixture::new(&inst) else {
+            // The encoder rejects this operand combination — nothing the
+            // rewriter could ever emit, so nothing to cross-check.
+            return Ok(());
+        };
+        let flags = Flags {
+            cf: flag_bits & 1 != 0,
+            zf: flag_bits & 2 != 0,
+            sf: flag_bits & 4 != 0,
+            of: flag_bits & 8 != 0,
+            pf: flag_bits & 16 != 0,
+        };
+        let reads = defuse::reads(&inst);
+        let writes = defuse::writes(&inst);
+
+        let before_mem = fx.snapshot();
+        let mut m = Machine::new();
+        fx.init(&mut m, &gprs, &xmms, flags);
+        let before_cpu = m.cpu.clone();
+        let mut stats = Stats::default();
+        if m.step(&fx.img, &mut stats).is_err() {
+            // Faulting corner (e.g. an unrepresentable conversion): the
+            // def/use contract only covers completed instructions.
+            return Ok(());
+        }
+
+        // Write soundness: any register the emulator changed is declared.
+        for g in Gpr::ALL {
+            if m.cpu.get(g) != before_cpu.get(g) {
+                prop_assert!(
+                    writes.contains(&Loc::Gpr(g)),
+                    "{inst}: emulator changed {g:?} but defuse::writes omits it"
+                );
+            }
+        }
+        for (i, x) in Xmm::ALL.iter().enumerate() {
+            if m.cpu.xmm[i] != before_cpu.xmm[i] {
+                prop_assert!(
+                    writes.contains(&Loc::Xmm(*x)),
+                    "{inst}: emulator changed {x:?} but defuse::writes omits it"
+                );
+            }
+        }
+        let after_cpu = m.cpu.clone();
+        let after_mem = fx.snapshot();
+
+        // Read soundness: scramble every register outside reads ∪ writes
+        // (the declared frame) and re-run; the effect must be identical.
+        fx.restore(&before_mem);
+        fx.init(&mut m, &gprs, &xmms, flags);
+        for g in OPERAND_GPRS {
+            if !reads.contains(&Loc::Gpr(g)) && !writes.contains(&Loc::Gpr(g)) {
+                m.cpu.set(g, m.cpu.get(g) ^ 0x5A5A_5A5A_5A5A_5A5A);
+            }
+        }
+        for (i, x) in Xmm::ALL.iter().enumerate().take(8) {
+            if !reads.contains(&Loc::Xmm(*x)) && !writes.contains(&Loc::Xmm(*x)) {
+                m.cpu.xmm[i][0] ^= 0xA5A5_A5A5_A5A5_A5A5;
+                m.cpu.xmm[i][1] ^= 0xA5A5_A5A5_A5A5_A5A5;
+            }
+        }
+        prop_assert!(m.step(&fx.img, &mut stats).is_ok());
+        prop_assert_eq!(m.cpu.rip, after_cpu.rip);
+        prop_assert_eq!(m.cpu.flags, after_cpu.flags,
+            "{}: flags depend on a register defuse::reads omits", inst);
+        for loc in &writes {
+            match loc {
+                Loc::Gpr(g) => prop_assert_eq!(
+                    m.cpu.get(*g),
+                    after_cpu.get(*g),
+                    "{}: result in {:?} depends on a register defuse::reads omits",
+                    inst,
+                    g
+                ),
+                Loc::Xmm(x) => prop_assert_eq!(
+                    m.cpu.xmm[x.number() as usize],
+                    after_cpu.xmm[x.number() as usize],
+                    "{}: result in {:?} depends on a register defuse::reads omits",
+                    inst,
+                    x
+                ),
+            }
+        }
+        let final_mem = fx.snapshot();
+        prop_assert_eq!(
+            &final_mem.scratch[..],
+            &after_mem.scratch[..],
+            "{}: memory effect depends on a register defuse::reads omits",
+            inst
+        );
+        prop_assert_eq!(&final_mem.stack[..], &after_mem.stack[..]);
+    }
+}

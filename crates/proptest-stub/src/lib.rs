@@ -405,7 +405,7 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Sizes accepted by [`vec`]/[`btree_map`]: an exact count or a range.
+    /// Sizes accepted by [`vec()`]/[`btree_map`]: an exact count or a range.
     pub trait IntoSizeRange {
         /// Pick a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -488,19 +488,59 @@ pub mod collection {
 pub mod array {
     use super::{Strategy, TestRng};
 
-    /// Strategy for `[T; 3]` from one element strategy.
-    pub struct Uniform3<S>(S);
+    /// Strategy for `[T; N]` from one element strategy.
+    pub struct UniformArray<S, const N: usize>(S);
 
-    impl<S: Strategy> Strategy for Uniform3<S> {
-        type Value = [S::Value; 3];
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
         fn sample(&self, rng: &mut TestRng) -> Self::Value {
-            [self.0.sample(rng), self.0.sample(rng), self.0.sample(rng)]
+            std::array::from_fn(|_| self.0.sample(rng))
         }
+    }
+
+    /// Strategy for `[T; 3]` from one element strategy.
+    pub type Uniform3<S> = UniformArray<S, 3>;
+
+    /// `proptest::array::uniform2(element)`.
+    pub fn uniform2<S: Strategy>(elem: S) -> UniformArray<S, 2> {
+        UniformArray(elem)
     }
 
     /// `proptest::array::uniform3(element)`.
     pub fn uniform3<S: Strategy>(elem: S) -> Uniform3<S> {
-        Uniform3(elem)
+        UniformArray(elem)
+    }
+
+    /// `proptest::array::uniform8(element)`.
+    pub fn uniform8<S: Strategy>(elem: S) -> UniformArray<S, 8> {
+        UniformArray(elem)
+    }
+
+    /// `proptest::array::uniform16(element)`.
+    pub fn uniform16<S: Strategy>(elem: S) -> UniformArray<S, 16> {
+        UniformArray(elem)
+    }
+}
+
+/// Choose-from-a-slice strategies (`proptest::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding uniformly-chosen elements of a fixed slice.
+    pub struct Select<T: 'static>(&'static [T]);
+
+    impl<T: Clone + std::fmt::Debug + 'static> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "select from empty slice");
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+
+    /// `proptest::sample::select(&slice)` — the stub supports `'static`
+    /// slices only (the common case: a `const` table of variants).
+    pub fn select<T: Clone + std::fmt::Debug + 'static>(options: &'static [T]) -> Select<T> {
+        Select(options)
     }
 }
 

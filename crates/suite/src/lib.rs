@@ -9,7 +9,9 @@
 //! * [`minic`] — the mini-C compiler producing rewriter input,
 //! * [`core`] — the BREW rewriter itself (the paper's contribution),
 //! * [`stencil`] — the §V stencil evaluation workload,
-//! * [`pgas`] — the PGAS use case (§V intro, §VI, §VIII).
+//! * [`pgas`] — the PGAS use case (§V intro, §VI, §VIII),
+//! * [`static_verify`] — static translation validation of emitted
+//!   variants (the `verify_on_publish` gate).
 //!
 //! See `examples/quickstart.rs` for the Figure-2 experience in thirty
 //! lines.
@@ -22,13 +24,14 @@ pub use brew_image as image;
 pub use brew_minic as minic;
 pub use brew_pgas as pgas;
 pub use brew_stencil as stencil;
+pub use brew_verify as static_verify;
 pub use brew_x86 as x86;
 
 pub mod verify;
 
 /// Everything a typical example needs.
 pub mod prelude {
-    pub use crate::verify::{verify_rewrite, Divergence};
+    pub use crate::verify::{probes_for, verify_rewrite, Divergence};
     pub use brew_core::Variant as SpecVariant;
     pub use brew_core::{
         disasm_result, explain_report, make_guard, make_guard_chain, make_guard_chain_counting,
@@ -41,4 +44,8 @@ pub mod prelude {
     pub use brew_minic::{compile_into, disasm, Compiled};
     pub use brew_pgas::PgasArray;
     pub use brew_stencil::{Stencil, Variant};
+    pub use brew_verify::{
+        publish_gate, publish_gate_with, Finding, Rule, Severity, VerifyGate, VerifyOptions,
+        VerifyReport,
+    };
 }

@@ -7,7 +7,7 @@
 //! observed equivalence (useful while a `RewriteConfig` is being developed,
 //! or as a canary in production-style deployments).
 
-use brew_core::{ArgValue, RetKind};
+use brew_core::{ArgValue, ParamSpec, RetKind, SpecRequest};
 use brew_emu::{CallArgs, Machine};
 use brew_image::Image;
 
@@ -28,13 +28,47 @@ impl std::fmt::Display for Divergence {
 
 impl std::error::Error for Divergence {}
 
+/// Deterministic probe generator honoring the request's `BREW_KNOWN`
+/// contract: known and pointer-to-known parameters are pinned to their
+/// baked argument values (the variant's behavior for other values is
+/// unspecified), unknown parameters sweep a seeded pseudo-random range.
+/// Feed the result straight into [`verify_rewrite`].
+pub fn probes_for(req: &SpecRequest, count: usize, seed: u64) -> Vec<Vec<ArgValue>> {
+    // splitmix64: tiny, deterministic, and plenty for probe diversity.
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..count)
+        .map(|_| {
+            req.config()
+                .params
+                .iter()
+                .zip(req.args())
+                .map(|(spec, baked)| match spec {
+                    ParamSpec::Known | ParamSpec::PtrToKnown { .. } => *baked,
+                    ParamSpec::Unknown => match baked {
+                        ArgValue::Int(_) => ArgValue::Int((next() % 201) as i64 - 100),
+                        ArgValue::F64(_) => ArgValue::F64((next() % 4001) as f64 / 100.0 - 20.0),
+                    },
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Run `original` and `rewritten` on every probe argument list and compare
 /// results (bit-exact for doubles). Fault behavior must match too: if the
 /// original faults on a probe, the rewritten version must fault as well.
 ///
 /// Probes should respect the rewrite's `BREW_KNOWN` contract — pass the
 /// baked values for known parameters (the rewritten function's behavior
-/// for other values is unspecified, exactly as in the paper).
+/// for other values is unspecified, exactly as in the paper);
+/// [`probes_for`] generates such probes automatically.
 pub fn verify_rewrite(
     img: &mut Image,
     original: u64,
@@ -104,6 +138,38 @@ mod tests {
             .map(|a| vec![ArgValue::Int(a), ArgValue::Int(9)])
             .collect();
         verify_rewrite(&mut img, f, res.entry, RetKind::Int, &probes).unwrap();
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn generated_probes_accept_faithful_rewrites(
+            k in -40i64..40,
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let mut img = Image::new();
+            brew_minic::compile_into(
+                "int f(int a, int b, int c) { return a * b + c * c - a; }",
+                &img,
+            )
+            .unwrap();
+            let f = img.lookup("f").unwrap();
+            let req = SpecRequest::new()
+                .unknown_int()
+                .known_int(k)
+                .unknown_int()
+                .ret(RetKind::Int);
+            let res = Rewriter::new(&img).rewrite(f, &req).unwrap();
+            let probes = probes_for(&req, 8, seed);
+            proptest::prop_assert_eq!(probes.len(), 8);
+            for p in &probes {
+                // Known slots stay pinned to the baked value.
+                proptest::prop_assert_eq!(&p[1], &ArgValue::Int(k));
+            }
+            let v = verify_rewrite(&mut img, f, res.entry, RetKind::Int, &probes);
+            proptest::prop_assert!(v.is_ok(), "{:?}", v);
+        }
     }
 
     #[test]

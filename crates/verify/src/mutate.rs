@@ -1,0 +1,457 @@
+//! Seeded-corruption harness: length-preserving, in-place byte mutations
+//! of a published variant, one per failure class the verifier claims to
+//! catch. The V1 experiment applies every applicable mutation to every
+//! corpus variant and requires 100% detection (EXPERIMENTS.md).
+//!
+//! Every mutation is applied by re-encoding a modified instruction with
+//! the canonical encoder at the same address and requiring the same
+//! length, so a mutant differs from the clean variant in *semantics*, not
+//! in layout — exactly the corruption class a miscompiling pass or a
+//! clobbered code buffer produces. Mutations that find no applicable site
+//! in a given variant return `None` and are skipped by the harness.
+
+use brew_core::RewriteResult;
+use brew_image::{layout, Image};
+use brew_x86::{decode, encode, AluOp, Gpr, Inst, MemRef, Operand};
+
+use crate::Rule;
+
+/// One corruption kind. `ALL` spans all five rule families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// First opcode byte replaced with an undefined one (0x06).
+    UnknownOpcode,
+    /// Final `ret` replaced with a bare REX prefix: the region now ends
+    /// mid-instruction.
+    TruncatedTail,
+    /// An internal branch target nudged onto a mid-instruction address.
+    BranchOffByTwo,
+    /// A branch retargeted outside every mapped segment (or outside the
+    /// variant when only a short encoding fits).
+    WildJump,
+    /// A call retargeted into the Data segment.
+    CallIntoData,
+    /// A `push` replaced by NOPs, leaving its `pop` unmatched.
+    DroppedPush,
+    /// A `pop` replaced by NOPs, leaving its `push` unmatched.
+    DroppedPop,
+    /// A frame `sub/add rsp, imm` skewed by 8 bytes.
+    FrameSkew,
+    /// An absolute store redirected into the folded-known read-set.
+    StoreIntoKnown,
+    /// An absolute store redirected onto the variant's own code.
+    StoreIntoJit,
+    /// A large (folded) immediate perturbed by one.
+    FoldedImmTweak,
+    /// An absolute load redirected to unmapped memory.
+    DanglingDataRef,
+    /// An absolute load redirected into the Code segment.
+    LoadFromCode,
+}
+
+impl Mutation {
+    /// Every mutation kind, grouped by the rule family expected to
+    /// catch it.
+    pub const ALL: [Mutation; 13] = [
+        Mutation::UnknownOpcode,
+        Mutation::TruncatedTail,
+        Mutation::BranchOffByTwo,
+        Mutation::WildJump,
+        Mutation::CallIntoData,
+        Mutation::DroppedPush,
+        Mutation::DroppedPop,
+        Mutation::FrameSkew,
+        Mutation::StoreIntoKnown,
+        Mutation::StoreIntoJit,
+        Mutation::FoldedImmTweak,
+        Mutation::DanglingDataRef,
+        Mutation::LoadFromCode,
+    ];
+
+    /// Short stable name (used in the V1 table).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::UnknownOpcode => "unknown-opcode",
+            Mutation::TruncatedTail => "truncated-tail",
+            Mutation::BranchOffByTwo => "branch-off-by-two",
+            Mutation::WildJump => "wild-jump",
+            Mutation::CallIntoData => "call-into-data",
+            Mutation::DroppedPush => "dropped-push",
+            Mutation::DroppedPop => "dropped-pop",
+            Mutation::FrameSkew => "frame-skew",
+            Mutation::StoreIntoKnown => "store-into-known",
+            Mutation::StoreIntoJit => "store-into-jit",
+            Mutation::FoldedImmTweak => "folded-imm-tweak",
+            Mutation::DanglingDataRef => "dangling-data-ref",
+            Mutation::LoadFromCode => "load-from-code",
+        }
+    }
+
+    /// The rule family this corruption is designed to exercise. (A
+    /// mutant may legitimately be caught by a different rule first; the
+    /// harness only requires that *some* rule catches it.)
+    pub fn rule(self) -> Rule {
+        match self {
+            Mutation::UnknownOpcode | Mutation::TruncatedTail => Rule::Roundtrip,
+            Mutation::BranchOffByTwo | Mutation::WildJump | Mutation::CallIntoData => {
+                Rule::CfgClosure
+            }
+            Mutation::DroppedPush | Mutation::DroppedPop | Mutation::FrameSkew => {
+                Rule::StackDiscipline
+            }
+            Mutation::StoreIntoKnown | Mutation::StoreIntoJit => Rule::WriteContainment,
+            Mutation::FoldedImmTweak | Mutation::DanglingDataRef | Mutation::LoadFromCode => {
+                Rule::Provenance
+            }
+        }
+    }
+}
+
+/// A mutation applied to the image; holds the original bytes for
+/// [`Applied::revert`].
+pub struct Applied {
+    /// Which corruption was applied.
+    pub kind: Mutation,
+    /// Address of the patched bytes.
+    pub addr: u64,
+    old: Vec<u8>,
+}
+
+impl Applied {
+    /// Restore the clean variant bytes.
+    pub fn revert(&self, img: &Image) {
+        img.write_bytes(self.addr, &self.old)
+            .expect("reverting a mutation cannot fault");
+    }
+}
+
+/// An address in the unmapped gap below the JIT segment.
+fn unmapped_gap() -> u64 {
+    layout::JIT_BASE - 0x1_0000
+}
+
+/// Apply `kind` to the emitted region of `res` inside `img`, if a
+/// suitable site exists. The patch preserves instruction layout
+/// (identical length at the same address).
+pub fn apply(img: &Image, res: &RewriteResult, kind: Mutation) -> Option<Applied> {
+    let insts = decode_list(img, res.entry, res.code_len)?;
+    let region = res.entry..res.entry + res.code_len as u64;
+    match kind {
+        Mutation::UnknownOpcode => {
+            let (addr, _, len) = insts.first()?;
+            let mut bytes = read(img, *addr, *len)?;
+            bytes[0] = 0x06;
+            patch(img, *addr, &bytes, kind)
+        }
+        Mutation::TruncatedTail => {
+            let (addr, inst, _) = insts.last()?;
+            matches!(inst, Inst::Ret).then_some(())?;
+            patch(img, *addr, &[0x48], kind)
+        }
+        Mutation::BranchOffByTwo => insts.iter().find_map(|(addr, inst, len)| {
+            let target = inst.static_target()?;
+            (!matches!(inst, Inst::CallRel { .. }) && region.contains(&target)).then_some(())?;
+            for delta in [2u64, 1, 3] {
+                let t = target.wrapping_add(delta);
+                if !region.contains(&t) || is_boundary(&insts, t) {
+                    continue;
+                }
+                let mut m = *inst;
+                m.set_static_target(t);
+                if let Some(bytes) = encode_same_len(&m, *addr, *len) {
+                    return patch(img, *addr, &bytes, kind);
+                }
+            }
+            None
+        }),
+        Mutation::WildJump => insts.iter().find_map(|(addr, inst, len)| {
+            matches!(inst, Inst::JmpRel { .. } | Inst::Jcc { .. }).then_some(())?;
+            // Prefer a target in the unmapped gap; short encodings that
+            // cannot reach it get one just past the region instead (still
+            // an illegal escape).
+            for t in [unmapped_gap(), region.end + 0x20] {
+                if region.contains(&t) {
+                    continue;
+                }
+                let mut m = *inst;
+                m.set_static_target(t);
+                if let Some(bytes) = encode_same_len(&m, *addr, *len) {
+                    return patch(img, *addr, &bytes, kind);
+                }
+            }
+            None
+        }),
+        Mutation::CallIntoData => insts.iter().find_map(|(addr, inst, len)| {
+            matches!(inst, Inst::CallRel { .. }).then_some(())?;
+            let mut m = *inst;
+            m.set_static_target(layout::DATA_BASE + 0x10);
+            let bytes = encode_same_len(&m, *addr, *len)?;
+            patch(img, *addr, &bytes, kind)
+        }),
+        Mutation::DroppedPush => insts.iter().find_map(|(addr, inst, len)| {
+            matches!(
+                inst,
+                Inst::Push {
+                    src: Operand::Reg(_)
+                }
+            )
+            .then_some(())?;
+            patch(img, *addr, &vec![0x90; *len], kind)
+        }),
+        Mutation::DroppedPop => insts.iter().find_map(|(addr, inst, len)| {
+            matches!(
+                inst,
+                Inst::Pop {
+                    dst: Operand::Reg(_)
+                }
+            )
+            .then_some(())?;
+            patch(img, *addr, &vec![0x90; *len], kind)
+        }),
+        Mutation::FrameSkew => insts.iter().find_map(|(addr, inst, len)| {
+            for skew in [8i64, -8] {
+                let m = match inst {
+                    Inst::Alu {
+                        op: op @ (AluOp::Sub | AluOp::Add),
+                        w,
+                        dst: dst @ Operand::Reg(Gpr::Rsp),
+                        src: Operand::Imm(imm),
+                    } => Inst::Alu {
+                        op: *op,
+                        w: *w,
+                        dst: *dst,
+                        src: Operand::Imm(imm + skew),
+                    },
+                    Inst::Lea {
+                        dst: Gpr::Rsp,
+                        src:
+                            MemRef {
+                                base: Some(Gpr::Rsp),
+                                index: None,
+                                disp,
+                            },
+                    } => Inst::Lea {
+                        dst: Gpr::Rsp,
+                        src: MemRef {
+                            base: Some(Gpr::Rsp),
+                            index: None,
+                            disp: disp + skew as i32,
+                        },
+                    },
+                    _ => return None,
+                };
+                if let Some(bytes) = encode_same_len(&m, *addr, *len) {
+                    return patch(img, *addr, &bytes, kind);
+                }
+            }
+            None
+        }),
+        Mutation::StoreIntoKnown => {
+            let known = res.snapshot.ranges().first()?.start;
+            retarget_abs(img, &insts, kind, AbsSite::Store, known)
+        }
+        Mutation::StoreIntoJit => retarget_abs(img, &insts, kind, AbsSite::Store, res.entry),
+        Mutation::FoldedImmTweak => insts.iter().find_map(|(addr, inst, len)| {
+            let m = tweak_large_imm(inst)?;
+            let bytes = encode_same_len(&m, *addr, *len)?;
+            patch(img, *addr, &bytes, kind)
+        }),
+        Mutation::DanglingDataRef => retarget_abs(img, &insts, kind, AbsSite::Load, unmapped_gap()),
+        Mutation::LoadFromCode => {
+            retarget_abs(img, &insts, kind, AbsSite::Load, layout::CODE_BASE + 8)
+        }
+    }
+}
+
+fn decode_list(img: &Image, entry: u64, code_len: usize) -> Option<Vec<(u64, Inst, usize)>> {
+    let bytes = img.code_window(entry, code_len).ok()?;
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let addr = entry + off as u64;
+        let d = decode(&bytes[off..], addr).ok()?;
+        out.push((addr, d.inst, d.len));
+        off += d.len;
+    }
+    Some(out)
+}
+
+fn is_boundary(insts: &[(u64, Inst, usize)], addr: u64) -> bool {
+    insts.binary_search_by_key(&addr, |(a, _, _)| *a).is_ok()
+}
+
+fn read(img: &Image, addr: u64, len: usize) -> Option<Vec<u8>> {
+    let mut v = vec![0u8; len];
+    img.read_bytes(addr, &mut v).ok()?;
+    Some(v)
+}
+
+fn patch(img: &Image, addr: u64, new: &[u8], kind: Mutation) -> Option<Applied> {
+    let old = read(img, addr, new.len())?;
+    if old == new {
+        return None;
+    }
+    img.write_bytes(addr, new).ok()?;
+    Some(Applied { kind, addr, old })
+}
+
+fn encode_same_len(inst: &Inst, addr: u64, len: usize) -> Option<Vec<u8>> {
+    let mut v = Vec::new();
+    let n = encode(inst, addr, &mut v).ok()?;
+    (n == len).then_some(v)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum AbsSite {
+    Load,
+    Store,
+}
+
+/// Redirect the first absolute-addressed load/store to `target`.
+fn retarget_abs(
+    img: &Image,
+    insts: &[(u64, Inst, usize)],
+    kind: Mutation,
+    site: AbsSite,
+    target: u64,
+) -> Option<Applied> {
+    let disp = i32::try_from(target as i64).ok()?;
+    insts.iter().find_map(|(addr, inst, len)| {
+        let m = match site {
+            AbsSite::Load => inst.mem_load(),
+            AbsSite::Store => inst.mem_store(),
+        }?;
+        (m.base.is_none() && m.index.is_none()).then_some(())?;
+        let replaced = replace_abs_mem(inst, site, MemRef { disp, ..m })?;
+        let bytes = encode_same_len(&replaced, *addr, *len)?;
+        patch(img, *addr, &bytes, kind)
+    })
+}
+
+/// Rebuild `inst` with its absolute memory operand swapped for `m`.
+/// Covers the operand shapes the emitter produces; other shapes are
+/// simply unusable as mutation sites.
+fn replace_abs_mem(inst: &Inst, site: AbsSite, m: MemRef) -> Option<Inst> {
+    let mem = Operand::Mem(m);
+    Some(match (site, *inst) {
+        (
+            AbsSite::Store,
+            Inst::Mov {
+                w,
+                dst: Operand::Mem(_),
+                src,
+            },
+        ) => Inst::Mov { w, dst: mem, src },
+        (
+            AbsSite::Store,
+            Inst::Unary {
+                op,
+                w,
+                dst: Operand::Mem(_),
+            },
+        ) => Inst::Unary { op, w, dst: mem },
+        (
+            AbsSite::Store,
+            Inst::MovSd {
+                dst: Operand::Mem(_),
+                src,
+            },
+        ) => Inst::MovSd { dst: mem, src },
+        (
+            AbsSite::Store,
+            Inst::Alu {
+                op,
+                w,
+                dst: Operand::Mem(_),
+                src,
+            },
+        ) if op.writes_dst() => Inst::Alu {
+            op,
+            w,
+            dst: mem,
+            src,
+        },
+        (
+            AbsSite::Load,
+            Inst::Mov {
+                w,
+                dst,
+                src: Operand::Mem(_),
+            },
+        ) if !dst.is_mem() => Inst::Mov { w, dst, src: mem },
+        (
+            AbsSite::Load,
+            Inst::MovSd {
+                dst,
+                src: Operand::Mem(_),
+            },
+        ) if !dst.is_mem() => Inst::MovSd { dst, src: mem },
+        (
+            AbsSite::Load,
+            Inst::Sse {
+                op,
+                dst,
+                src: Operand::Mem(_),
+            },
+        ) => Inst::Sse { op, dst, src: mem },
+        (
+            AbsSite::Load,
+            Inst::Movsxd {
+                dst,
+                src: Operand::Mem(_),
+            },
+        ) => Inst::Movsxd { dst, src: mem },
+        (
+            AbsSite::Load,
+            Inst::Movzx8 {
+                w,
+                dst,
+                src: Operand::Mem(_),
+            },
+        ) => Inst::Movzx8 { w, dst, src: mem },
+        _ => return None,
+    })
+}
+
+/// A copy of `inst` with one large immediate corrupted by a multi-bit
+/// flip (XOR with a 24-bit pattern, which keeps any i32 immediate in
+/// range). A multi-bit flip rather than ±1 so the corrupted value cannot
+/// masquerade as a nearby legitimate fold.
+fn tweak_large_imm(inst: &Inst) -> Option<Inst> {
+    const BIG: u64 = 65_536;
+    const FLIP: i64 = 0x00A5_5A5A;
+    let flip = |v: i64| -> Option<i64> { (v.unsigned_abs() >= BIG).then_some(v ^ FLIP) };
+    Some(match *inst {
+        Inst::MovAbs { dst, imm } => Inst::MovAbs {
+            dst,
+            imm: flip(imm as i64)? as u64,
+        },
+        Inst::Mov {
+            w,
+            dst,
+            src: Operand::Imm(v),
+        } => Inst::Mov {
+            w,
+            dst,
+            src: Operand::Imm(flip(v)?),
+        },
+        Inst::Alu {
+            op,
+            w,
+            dst,
+            src: Operand::Imm(v),
+        } => Inst::Alu {
+            op,
+            w,
+            dst,
+            src: Operand::Imm(flip(v)?),
+        },
+        Inst::ImulImm { w, dst, src, imm } => Inst::ImulImm {
+            w,
+            dst,
+            src,
+            imm: i32::try_from(flip(i64::from(imm))?).ok()?,
+        },
+        _ => return None,
+    })
+}

@@ -1,0 +1,60 @@
+//! Figure-6-style rendering: the variant's annotated disassembly
+//! (reusing `brew_core::telemetry::explain`) with the verifier's findings
+//! interleaved under the instructions they refer to.
+
+use crate::{Severity, VerifyReport};
+use brew_core::{telemetry::explain::annotated_disasm, RewriteResult};
+use brew_image::Image;
+
+/// Render `report` as annotated disassembly. Each finding appears on its
+/// own `!!`/`--` line directly below the offending instruction;
+/// region-level findings (and findings on addresses the disassembler
+/// could not reach) are appended at the end.
+pub fn render_report(img: &Image, res: &RewriteResult, report: &VerifyReport) -> Vec<String> {
+    let disasm = annotated_disasm(img, res);
+    let mut out = Vec::with_capacity(disasm.len() + report.findings.len() + 2);
+    let mut placed = vec![false; report.findings.len()];
+    for line in &disasm {
+        out.push(line.clone());
+        let Some(addr) = line
+            .split(':')
+            .next()
+            .and_then(|s| u64::from_str_radix(s.trim().trim_start_matches("0x"), 16).ok())
+        else {
+            continue;
+        };
+        for (i, f) in report.findings.iter().enumerate() {
+            if !placed[i] && f.addr == addr {
+                placed[i] = true;
+                out.push(format!("          {} {f}", marker(f.severity)));
+            }
+        }
+    }
+    for (i, f) in report.findings.iter().enumerate() {
+        if !placed[i] {
+            out.push(format!("          {} {f}", marker(f.severity)));
+        }
+    }
+    out.push(if report.passed() {
+        format!(
+            "verdict: PASS ({} instructions, {} findings)",
+            report.insts,
+            report.findings.len()
+        )
+    } else {
+        format!(
+            "verdict: REJECT ({} errors in {} findings)",
+            report.error_count(),
+            report.findings.len()
+        )
+    });
+    out
+}
+
+fn marker(s: Severity) -> &'static str {
+    match s {
+        Severity::Error => "!!",
+        Severity::Warn => "??",
+        Severity::Info => "--",
+    }
+}

@@ -1,0 +1,146 @@
+//! R3: abstract RSP-offset analysis. Every path from the variant entry
+//! must reach `ret` (or a tail escape) with the stack pointer exactly
+//! where it started, and RSP may only move by `push`/`pop`/`sub`/`add`
+//! with immediate operands — anything else is unanalyzable and rejected.
+
+use crate::{Finding, Region, Rule, Severity, VerifyReport};
+use brew_x86::{defuse, AluOp, Gpr, Inst, MemRef, Operand};
+use std::collections::HashMap;
+
+/// The RSP displacement of a frame-adjusting `lea rsp, [rsp+disp]`, the
+/// emitter's preferred frame idiom (it leaves flags untouched).
+fn lea_rsp_disp(inst: &Inst) -> Option<i64> {
+    match inst {
+        Inst::Lea {
+            dst: Gpr::Rsp,
+            src:
+                MemRef {
+                    base: Some(Gpr::Rsp),
+                    index: None,
+                    disp,
+                },
+        } => Some(i64::from(*disp)),
+        _ => None,
+    }
+}
+
+pub(crate) fn check_stack(region: &Region, report: &mut VerifyReport) {
+    let mut err = |addr, detail: String| {
+        report.findings.push(Finding {
+            rule: Rule::StackDiscipline,
+            severity: Severity::Error,
+            addr,
+            detail,
+        })
+    };
+    // Depth (bytes RSP sits *below* its entry value) at each instruction
+    // boundary reached so far. A worklist walk: conflicting depths at a
+    // join mean some path mis-balances.
+    let mut depth: HashMap<u64, i64> = HashMap::new();
+    let mut work: Vec<(u64, i64)> = vec![(region.entry, 0)];
+    while let Some((addr, d)) = work.pop() {
+        match depth.get(&addr) {
+            Some(&seen) => {
+                if seen != d {
+                    err(
+                        addr,
+                        format!("conflicting stack depths at join ({seen} vs {d} bytes)"),
+                    );
+                }
+                continue;
+            }
+            None => {
+                depth.insert(addr, d);
+            }
+        }
+        // Mid-instruction targets are already R2 errors; don't walk them.
+        let Ok(idx) = region.insts.binary_search_by_key(&addr, |(a, _, _)| *a) else {
+            continue;
+        };
+        let (_, inst, len) = &region.insts[idx];
+        let next = addr + *len as u64;
+        match inst {
+            Inst::Push { .. } => work.push((next, d + 8)),
+            Inst::Pop { .. } => {
+                if d < 8 {
+                    err(addr, "pop below the caller's stack frame".into());
+                }
+                work.push((next, d - 8));
+            }
+            Inst::Alu {
+                op: op @ (AluOp::Add | AluOp::Sub),
+                dst: Operand::Reg(Gpr::Rsp),
+                src: Operand::Imm(imm),
+                ..
+            } => {
+                let d2 = if *op == AluOp::Sub { d + imm } else { d - imm };
+                if d2 < 0 {
+                    err(
+                        addr,
+                        "stack pointer adjusted above the caller's frame".into(),
+                    );
+                }
+                work.push((next, d2));
+            }
+            _ if lea_rsp_disp(inst).is_some() => {
+                // `lea rsp, [rsp+disp]`: rsp += disp, so depth -= disp.
+                let d2 = d - lea_rsp_disp(inst).unwrap();
+                if d2 < 0 {
+                    err(
+                        addr,
+                        "stack pointer adjusted above the caller's frame".into(),
+                    );
+                }
+                work.push((next, d2));
+            }
+            Inst::Ret => {
+                if d != 0 {
+                    err(addr, format!("ret with {d} bytes still on the stack"));
+                }
+            }
+            Inst::JmpRel { target } => {
+                if region.contains(*target) {
+                    work.push((*target, d));
+                } else if d != 0 {
+                    err(
+                        addr,
+                        format!("tail escape to {target:#x} with {d} bytes still on the stack"),
+                    );
+                }
+            }
+            Inst::Jcc { target, .. } => {
+                if region.contains(*target) {
+                    work.push((*target, d));
+                } else if d != 0 {
+                    err(
+                        addr,
+                        format!(
+                            "conditional escape to {target:#x} with {d} bytes still on the stack"
+                        ),
+                    );
+                }
+                work.push((next, d));
+            }
+            // Calls are depth-neutral: the pushed return address is
+            // consumed by the callee's `ret`.
+            Inst::CallRel { .. } => work.push((next, d)),
+            // Indirect transfers are R2 errors; nothing sound to follow.
+            Inst::CallInd { .. } | Inst::JmpInd { .. } | Inst::Ud2 => {}
+            _ => {
+                let mut touches_rsp = false;
+                defuse::for_each_write(inst, &mut |loc| {
+                    if loc == defuse::Loc::Gpr(Gpr::Rsp) {
+                        touches_rsp = true;
+                    }
+                });
+                if touches_rsp {
+                    err(
+                        addr,
+                        format!("`{inst}` modifies RSP in a way the verifier cannot model"),
+                    );
+                }
+                work.push((next, d));
+            }
+        }
+    }
+}

@@ -245,6 +245,9 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
             _ => break,
         }
     }
+    if p66 && pf2 {
+        return Err(c.unsupported("conflicting 66 and F2 prefixes"));
+    }
 
     // REX.
     let mut rex = Rex::default();
@@ -262,6 +265,13 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
     }
 
     let op = c.u8()?;
+    // A legacy 66/F2 prefix is only meaningful on the SSE opcodes of the
+    // 0x0F map. Anywhere else it would change operand size (66) or
+    // semantics (F2) on real hardware, so decoding the unprefixed form
+    // would misrepresent the instruction — reject instead.
+    if (p66 || pf2) && op != 0x0F {
+        return Err(c.unsupported("66/F2 prefix outside the SSE subset"));
+    }
     let inst = match op {
         // ALU, store and load forms.
         0x01 | 0x09 | 0x21 | 0x29 | 0x31 | 0x39 => {
@@ -532,6 +542,12 @@ pub fn decode(bytes: &[u8], addr: u64) -> Result<Decoded, DecodeError> {
         }
         0x0F => {
             let op2 = c.u8()?;
+            // Same rule on the 0x0F map: the non-SSE opcodes here never
+            // take a 66/F2 prefix in the subset (66 0F AF would be a
+            // 16-bit imul, for example).
+            if (p66 || pf2) && matches!(op2, 0x0B | 0x80..=0x8F | 0x90..=0x9F | 0xAF | 0xB6) {
+                return Err(c.unsupported("66/F2 prefix outside the SSE subset"));
+            }
             match op2 {
                 0x0B => Inst::Ud2,
                 0x10 | 0x11 => {
@@ -904,6 +920,36 @@ mod tests {
         // F3-prefixed (movss) unsupported.
         assert!(matches!(
             decode(&[0xF3, 0x0F, 0x10, 0xC1], 0),
+            Err(DecodeError::UnsupportedForm { .. })
+        ));
+    }
+
+    #[test]
+    fn unconsumed_prefixes_rejected() {
+        // 66 01 C8 is a 16-bit add — the subset has no 16-bit ALU, and
+        // decoding it as the 32-bit form would be a silent mis-decode.
+        assert!(matches!(
+            decode(&[0x66, 0x01, 0xC8], 0),
+            Err(DecodeError::UnsupportedForm { .. })
+        ));
+        // F2 on a non-SSE opcode (inc eax).
+        assert!(matches!(
+            decode(&[0xF2, 0xFF, 0xC0], 0),
+            Err(DecodeError::UnsupportedForm { .. })
+        ));
+        // 66 0F AF C1 is a 16-bit imul.
+        assert!(matches!(
+            decode(&[0x66, 0x0F, 0xAF, 0xC1], 0),
+            Err(DecodeError::UnsupportedForm { .. })
+        ));
+        // Conflicting 66 and F2 prefixes.
+        assert!(matches!(
+            decode(&[0x66, 0xF2, 0x0F, 0x58, 0xC1], 0),
+            Err(DecodeError::UnsupportedForm { .. })
+        ));
+        // 66 on a plain conditional branch.
+        assert!(matches!(
+            decode(&[0x66, 0x0F, 0x84, 0, 0, 0, 0], 0),
             Err(DecodeError::UnsupportedForm { .. })
         ));
     }

@@ -56,9 +56,17 @@ fn operand_write(op: &Operand, f: &mut impl FnMut(Loc)) {
 /// address registers of memory operands and implicit operands).
 pub fn for_each_read(inst: &Inst, f: &mut impl FnMut(Loc)) {
     match inst {
-        Inst::Mov { dst, src, .. } => {
+        Inst::Mov { w, dst, src } => {
             operand_reads(src, f);
             operand_addr_reads(dst, f);
+            // A byte-wide register write merges into the low byte; the
+            // other 56 bits of the old value survive, so the destination
+            // is semantically read.
+            if *w == crate::reg::Width::W8 {
+                if let Operand::Reg(r) = dst {
+                    f(Loc::Gpr(*r));
+                }
+            }
         }
         Inst::MovAbs { .. } => {}
         Inst::Movsxd { src, .. } | Inst::Movzx8 { src, .. } => operand_reads(src, f),
@@ -111,8 +119,23 @@ pub fn for_each_read(inst: &Inst, f: &mut impl FnMut(Loc)) {
             operand_reads(src, f);
         }
         Inst::JmpRel { .. } | Inst::Jcc { .. } | Inst::Nop | Inst::Ud2 => {}
-        Inst::Setcc { dst, .. } => operand_addr_reads(dst, f),
-        Inst::MovSd { dst, src } | Inst::MovUpd { dst, src } => {
+        Inst::Setcc { dst, .. } => {
+            operand_addr_reads(dst, f);
+            // setcc writes only the low byte of a register destination.
+            if let Operand::Reg(r) = dst {
+                f(Loc::Gpr(*r));
+            }
+        }
+        Inst::MovSd { dst, src } => {
+            operand_reads(src, f);
+            operand_addr_reads(dst, f);
+            // Register-to-register movsd keeps the destination's high
+            // lane (a memory load zeroes it instead).
+            if let (Operand::Xmm(d), Operand::Xmm(_)) = (dst, src) {
+                f(Loc::Xmm(*d));
+            }
+        }
+        Inst::MovUpd { dst, src } => {
             operand_reads(src, f);
             operand_addr_reads(dst, f);
         }
@@ -124,7 +147,12 @@ pub fn for_each_read(inst: &Inst, f: &mut impl FnMut(Loc)) {
             f(Loc::Xmm(*a));
             operand_reads(b, f);
         }
-        Inst::Cvtsi2sd { src, .. } | Inst::Cvttsd2si { src, .. } => operand_reads(src, f),
+        Inst::Cvtsi2sd { src, dst, .. } => {
+            operand_reads(src, f);
+            // cvtsi2sd writes only the low lane; the high lane survives.
+            f(Loc::Xmm(*dst));
+        }
+        Inst::Cvttsd2si { src, .. } => operand_reads(src, f),
     }
 }
 
@@ -270,6 +298,50 @@ mod tests {
         };
         assert!(reads(&i).contains(&Loc::Xmm(Xmm::Xmm0)));
         assert_eq!(writes(&i), vec![Loc::Xmm(Xmm::Xmm0)]);
+    }
+
+    #[test]
+    fn partial_register_writes_read_their_destination() {
+        use crate::cond::Cond;
+        use crate::reg::Xmm;
+        // mov r8b, al merges into rbx's low byte.
+        let i = Inst::Mov {
+            w: Width::W8,
+            dst: Gpr::Rbx.into(),
+            src: Gpr::Rax.into(),
+        };
+        assert!(reads(&i).contains(&Loc::Gpr(Gpr::Rbx)));
+        // A full-width register mov does not read its destination.
+        let i = Inst::Mov {
+            w: Width::W64,
+            dst: Gpr::Rbx.into(),
+            src: Gpr::Rax.into(),
+        };
+        assert!(!reads(&i).contains(&Loc::Gpr(Gpr::Rbx)));
+        // setcc writes only the low byte.
+        let i = Inst::Setcc {
+            cond: Cond::E,
+            dst: Gpr::Rsi.into(),
+        };
+        assert!(reads(&i).contains(&Loc::Gpr(Gpr::Rsi)));
+        // Register movsd keeps the high lane; a load zeroes it.
+        let i = Inst::MovSd {
+            dst: Xmm::Xmm2.into(),
+            src: Xmm::Xmm3.into(),
+        };
+        assert!(reads(&i).contains(&Loc::Xmm(Xmm::Xmm2)));
+        let i = Inst::MovSd {
+            dst: Xmm::Xmm2.into(),
+            src: MemRef::abs(0x601000).into(),
+        };
+        assert!(!reads(&i).contains(&Loc::Xmm(Xmm::Xmm2)));
+        // cvtsi2sd writes only the low lane.
+        let i = Inst::Cvtsi2sd {
+            w: Width::W64,
+            dst: Xmm::Xmm4,
+            src: Gpr::Rax.into(),
+        };
+        assert!(reads(&i).contains(&Loc::Xmm(Xmm::Xmm4)));
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Decoder robustness under arbitrary input: random byte soup must decode
+//! to `Ok` or a clean `Err` — never panic, never loop, never report a
+//! length that runs past the input. The static verifier re-decodes every
+//! emitted variant, so the decoder is on the hot path for untrusted-looking
+//! bytes (a corrupted JIT region looks exactly like random soup).
+
+use brew_x86::decode::{decode, decode_all};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn decode_never_panics_and_lengths_are_sane(
+        bytes in proptest::collection::vec(any::<u8>(), 0..32),
+        addr in any::<u32>(),
+    ) {
+        let addr = addr as u64;
+        if let Ok(d) = decode(&bytes, addr) {
+            prop_assert!(d.len > 0, "zero-length decode would loop forever");
+            prop_assert!(
+                d.len <= bytes.len(),
+                "decoded length {} overruns the {}-byte input",
+                d.len,
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn decode_all_terminates_and_accounts_for_every_byte(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+        addr in any::<u32>(),
+    ) {
+        let addr = addr as u64;
+        let (insts, err) = decode_all(&bytes, addr);
+        // Addresses must be strictly increasing and inside the input.
+        let mut prev = None;
+        for (at, _) in &insts {
+            prop_assert!(*at >= addr && *at < addr + bytes.len() as u64);
+            if let Some(p) = prev {
+                prop_assert!(*at > p, "decode_all did not advance");
+            }
+            prev = Some(*at);
+        }
+        // Error-free decodes must consume the entire input: re-decoding
+        // from each reported address reproduces the same instruction.
+        if err.is_none() {
+            let mut pos = 0usize;
+            for (at, inst) in &insts {
+                prop_assert_eq!(*at, addr + pos as u64);
+                let d = decode(&bytes[pos..], *at).expect("reported address must re-decode");
+                prop_assert_eq!(&d.inst, inst);
+                pos += d.len;
+            }
+            prop_assert_eq!(pos, bytes.len(), "error-free decode must cover the input");
+        }
+    }
+
+    #[test]
+    fn prefix_soup_never_hangs(
+        prefixes in proptest::collection::vec(prop_oneof![Just(0x66u8), Just(0xF2u8)], 0..16),
+        tail in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        // Runs of understood prefixes with no opcode are the classic
+        // decoder hang; they must produce a clean truncation error.
+        let mut bytes = prefixes;
+        bytes.extend(tail);
+        let _ = decode(&bytes, 0x40_0000);
+    }
+}

@@ -7,6 +7,8 @@
 #   scripts/check.sh stress     # examples + release concurrency/differential
 #   scripts/check.sh obs        # observability gate: exports well-formed
 #   scripts/check.sh lifecycle  # failure/staleness gate: tests + C3 ratio
+#   scripts/check.sh verify     # static-verifier gate: 100% mutant
+#                               # detection, zero false positives, docs clean
 #
 # The stress stage reruns the timing-sensitive suites under `--release`
 # so single-flight/eviction races get exercised with optimization on.
@@ -89,6 +91,39 @@ if [ "$stage" = "all" ] || [ "$stage" = "lifecycle" ]; then
         exit 1
     fi
     echo "lifecycle gate passed (denied path ${ratio}x cheaper)"
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "verify" ]; then
+    echo "==> static-verifier gate (translation validation, V1)"
+    cargo test --release --offline -q -p brew-verify
+
+    # The V1 experiment is the acceptance bar: every seeded mutant caught,
+    # no clean variant rejected, and the manager gate publishing everything.
+    ver_out="$(cargo run --release --offline -p brew-bench --bin tables -- --exp verify)"
+    if ! printf '%s' "$ver_out" | grep -q 'mutant escape count       : 0'; then
+        echo "FAIL: a seeded mutant escaped the verifier" >&2
+        printf '%s\n' "$ver_out" >&2
+        exit 1
+    fi
+    if ! printf '%s' "$ver_out" | grep -q ' 0 false positives'; then
+        echo "FAIL: the verifier rejected a clean variant" >&2
+        printf '%s\n' "$ver_out" >&2
+        exit 1
+    fi
+    if ! printf '%s' "$ver_out" | grep -q 'across 13/13 kinds'; then
+        echo "FAIL: the corpus no longer exercises every mutation kind" >&2
+        printf '%s\n' "$ver_out" >&2
+        exit 1
+    fi
+    if ! printf '%s' "$ver_out" | grep -q ', 0 rejected,'; then
+        echo "FAIL: the publish gate rejected a clean variant" >&2
+        printf '%s\n' "$ver_out" >&2
+        exit 1
+    fi
+
+    echo "==> cargo doc (warnings are errors)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline >/dev/null
+    echo "static-verifier gate passed (100% detection, 0 false positives)"
 fi
 
 echo "All checks passed ($stage)."

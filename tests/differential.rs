@@ -16,8 +16,13 @@ use std::sync::Arc;
 /// specialized entries the caller must probe for bit-identical behavior.
 /// The warm hit must be pointer-equal to the cold variant (no re-trace);
 /// the post-eviction entry is a genuinely fresh rewrite.
+///
+/// Every manager here runs with the static verifier as its publish gate,
+/// so each variant that reaches a caller has also passed translation
+/// validation — a rejection would surface as a rewrite error below.
 fn manager_entries(img: &Image, f: u64, req: &SpecRequest) -> Vec<u64> {
     let mgr = SpecializationManager::new();
+    mgr.set_publish_gate(publish_gate());
     let cold = mgr.get_or_rewrite(img, f, req).unwrap();
     let warm = mgr.get_or_rewrite(img, f, req).unwrap();
     assert!(
@@ -31,6 +36,7 @@ fn manager_entries(img: &Image, f: u64, req: &SpecRequest) -> Vec<u64> {
     // the same semantics (`max_trace_insts` is fingerprinted but does not
     // change this trace) to force an eviction and a re-trace.
     let tiny = SpecializationManager::with_budget(cold.code_len);
+    tiny.set_publish_gate(publish_gate());
     tiny.get_or_rewrite(img, f, req).unwrap();
     let alt = req.clone().max_trace_insts(3_999_999);
     tiny.get_or_rewrite(img, f, &alt).unwrap();
