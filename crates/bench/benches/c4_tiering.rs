@@ -1,0 +1,57 @@
+//! C4: adaptive tiering wall-clock — the full drifting-zipf study (the
+//! closed counter→specialization loop re-converging per phase), one
+//! tick's sampling cost over a warm resident set, and the end-to-end
+//! convergence of a single phase from cold.
+
+use brew_bench::tier_study;
+use brew_core::{RetKind, SpecRequest, SpecializationManager, TieringConfig};
+use brew_image::Image;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c4_tiering");
+    g.sample_size(10);
+
+    // Wall-clock of one tick over a warm manager: 16 resident variants'
+    // heat sampled, decayed, and judged (no promotions or demotions fire).
+    g.bench_function("tick_16_resident", |b| {
+        let img = Image::new();
+        let prog = brew_minic::compile_into(
+            "int poly(int x, int n) { int r = 1; for (int i = 0; i < n; i++) r *= x; return r; }",
+            &img,
+        )
+        .unwrap();
+        let poly = prog.func("poly").unwrap();
+        let mgr = SpecializationManager::builder()
+            .tiering(TieringConfig {
+                promote_heat: f64::MAX,
+                demote_heat: 0.0,
+                decay: 0.5,
+                cooldown_ticks: u64::MAX,
+            })
+            .build();
+        for n in 0..16 {
+            let req = SpecRequest::new()
+                .unknown_int()
+                .known_int(n)
+                .ret(RetKind::Int);
+            mgr.get_or_rewrite(&img, poly, &req).unwrap();
+        }
+        b.iter(|| std::hint::black_box(mgr.tick(&img)).tracked);
+    });
+
+    // One drift phase from cold: 12 rounds x 256 draws converging onto a
+    // 10-variant hot set.
+    g.bench_function("one_phase_cold_convergence", |b| {
+        b.iter(|| tier_study(1, 12, 256).all_converged);
+    });
+
+    // The headline study: four drift phases, no operator input.
+    g.bench_function("drifting_zipf_4_phases", |b| {
+        b.iter(|| tier_study(4, 12, 256).all_converged);
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

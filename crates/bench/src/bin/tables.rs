@@ -20,7 +20,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).filter(|a| a != "--exp").collect();
     let all = [
         "e1", "e2", "e3", "e4", "e5", "a1", "a2", "a3", "a4", "a5", "a6", "p1", "cache", "conc",
-        "obs", "life", "verify",
+        "obs", "life", "verify", "tier",
     ];
     let wanted: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -107,6 +107,10 @@ fn run_experiment(exp: &str) -> String {
         "life" => render_lifecycle(
             "C3 — failure-path amortization & staleness sweeps (negative cache, revalidate)",
             &lifecycle_study(XS, YS, 1_000),
+        ),
+        "tier" => render_tier(
+            "C4 — adaptive tiering under a drifting zipf workload (no operator input)",
+            &tier_study(4, 12, 256),
         ),
         other => format!("unknown experiment `{other}`\n"),
     }

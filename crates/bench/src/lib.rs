@@ -8,9 +8,11 @@
 #![warn(missing_docs)]
 
 mod obs;
+mod tier;
 mod verify;
 
 pub use obs::{guard_overhead_rows, obs_study, render_obs, ObsReport};
+pub use tier::{render_tier, tier_study, TierPhase, TierReport, FPS, HEAD_MASS_PCT, HOT};
 pub use verify::{render_verify, verify_study, CleanRow, KindRow, VerifyV1Report};
 
 use brew_core::PassConfig;
@@ -440,7 +442,7 @@ pub struct LifecycleReport {
 /// folded descriptor is mutated to show the sweep dropping exactly the
 /// dependent variants.
 pub fn lifecycle_study(xs: i64, ys: i64, denials: u32) -> LifecycleReport {
-    use brew_core::{NegativePolicy, SpecializationManager};
+    use brew_core::{Invalidation, NegativePolicy, SpecializationManager};
     use std::time::Instant;
 
     let s = Stencil::new(xs, ys);
@@ -451,10 +453,12 @@ pub fn lifecycle_study(xs: i64, ys: i64, denials: u32) -> LifecycleReport {
     // the expensive way a specialization attempt actually fails.
     let doomed = s.apply_request().max_code_bytes(16);
 
-    let mgr = SpecializationManager::new().with_negative_policy(NegativePolicy {
-        base_backoff: u64::MAX / 2,
-        attempt_cap: 10,
-    });
+    let mgr = SpecializationManager::builder()
+        .negative_policy(NegativePolicy {
+            base_backoff: u64::MAX / 2,
+            attempt_cap: 10,
+        })
+        .build();
     // Two healthy variants for the sweep to re-hash.
     mgr.get_or_rewrite(&s.img, func, &hot).unwrap();
     mgr.get_or_rewrite(&s.img, func, &hot.clone().passes(PassConfig::none()))
@@ -473,7 +477,11 @@ pub fn lifecycle_study(xs: i64, ys: i64, denials: u32) -> LifecycleReport {
 
     let resident = mgr.len();
     let t2 = Instant::now();
-    assert_eq!(mgr.revalidate(&s.img), 0, "nothing was mutated yet");
+    assert_eq!(
+        mgr.apply_invalidation(Invalidation::Revalidate(&s.img)),
+        0,
+        "nothing was mutated yet"
+    );
     let revalidate_clean_ns = (t2.elapsed().as_nanos() as u64).max(1);
 
     // Flip one folded byte of the stencil descriptor: both variants baked
@@ -481,7 +489,7 @@ pub fn lifecycle_study(xs: i64, ys: i64, denials: u32) -> LifecycleReport {
     let s5 = s.s5();
     let saved = s.img.read_u64(s5).unwrap();
     s.img.write_u64(s5, saved ^ 1).unwrap();
-    let dropped_after_mutation = mgr.revalidate(&s.img);
+    let dropped_after_mutation = mgr.apply_invalidation(Invalidation::Revalidate(&s.img));
     s.img.write_u64(s5, saved).unwrap();
 
     LifecycleReport {

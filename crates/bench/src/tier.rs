@@ -1,0 +1,302 @@
+//! C4 — long-horizon adaptive tiering under a drifting workload.
+//!
+//! A kernel is driven by a zipfian draw distribution over 32 distinct
+//! fingerprints whose hot set is reshuffled every phase. The manager gets
+//! **no operator input**: it sees only its own counter pages (fed by a
+//! counting dispatcher) and the miss observations from `request`, and its
+//! tiering policy must promote the new hot set and demote the old one,
+//! phase after phase. The study reports, per phase, how many rounds the
+//! resident set needs to re-converge onto the oracle hot set, plus the
+//! steady-state dispatch cost of the converged adaptive manager against a
+//! pre-warmed oracle that was *told* the hot set up front.
+
+use brew_core::{SpecRequest, SpecializationManager, TieringConfig};
+use brew_emu::{CallArgs, Machine};
+use brew_image::Image;
+use brew_minic::compile_into;
+
+/// The C4 kernel: a loop whose trip count is the specialization axis, so
+/// each known `b` unrolls to a distinct straight-line variant.
+const PROG: &str = r#"
+    int madd(int x, int b) {
+        int acc = 0;
+        for (int i = 0; i < b; i++) acc = acc + x + i;
+        return acc;
+    }
+"#;
+
+/// Distinct fingerprints (`b = 1..=FPS`) the draw distribution covers.
+pub const FPS: u64 = 32;
+/// Hot-set size: the zipf head carrying [`HEAD_MASS_PCT`] of the draws.
+pub const HOT: usize = 10;
+/// Percentage of draws landing in the hot head.
+pub const HEAD_MASS_PCT: u64 = 90;
+
+/// Per-phase convergence outcome.
+#[derive(Debug, Clone)]
+pub struct TierPhase {
+    /// Which drift phase (0-based).
+    pub phase: usize,
+    /// First round (1-based, within the phase) at which the resident set
+    /// overlapped the oracle hot set by >= 90%; `None` = never converged.
+    pub converged_round: Option<u32>,
+    /// `|resident ∩ oracle hot set| / HOT` at phase end.
+    pub final_overlap: f64,
+    /// Variants resident at phase end (for this function).
+    pub resident: usize,
+}
+
+/// The C4 report.
+#[derive(Debug, Clone)]
+pub struct TierReport {
+    /// One row per drift phase.
+    pub phases: Vec<TierPhase>,
+    /// Tick rounds per phase.
+    pub rounds_per_phase: u32,
+    /// Draws per round.
+    pub draws_per_round: u32,
+    /// Mean emulated cycles per draw through the converged adaptive
+    /// manager's dispatcher, final phase.
+    pub adaptive_cycles_per_draw: f64,
+    /// Mean emulated cycles per draw through the oracle's dispatcher
+    /// (pre-warmed with the exact hot set, same draws).
+    pub oracle_cycles_per_draw: f64,
+    /// Tiering promotions over the whole run.
+    pub promoted: u64,
+    /// Tiering demotions over the whole run.
+    pub demoted: u64,
+    /// Manager counters at the end.
+    pub stats: brew_core::CacheStats,
+    /// Whether every phase converged within its round budget.
+    pub all_converged: bool,
+}
+
+/// Deterministic 64-bit mixer (splitmix64) — the study's only RNG.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fresh pseudorandom permutation of `1..=FPS`; the first [`HOT`]
+/// entries are the phase's hot set.
+fn shuffled_bs(rng: &mut u64) -> Vec<i64> {
+    let mut bs: Vec<i64> = (1..=FPS as i64).collect();
+    for i in (1..bs.len()).rev() {
+        let j = (splitmix64(rng) as usize) % (i + 1);
+        bs.swap(i, j);
+    }
+    bs
+}
+
+/// Draw one `b` from the phase distribution: [`HEAD_MASS_PCT`]% of draws
+/// hit the 10-value zipf head (rank r weighted 1/(r+1)), the rest spread
+/// uniformly over the 22-value tail.
+fn draw(rng: &mut u64, bs: &[i64]) -> i64 {
+    if splitmix64(rng) % 100 < HEAD_MASS_PCT {
+        // Inverse-CDF over harmonic weights 1/1..1/HOT, in 1e6 fixed point.
+        let total: u64 = (1..=HOT as u64).map(|r| 1_000_000 / r).sum();
+        let mut pick = splitmix64(rng) % total;
+        for (r, &b) in bs.iter().enumerate().take(HOT) {
+            let w = 1_000_000 / (r as u64 + 1);
+            if pick < w {
+                return b;
+            }
+            pick -= w;
+        }
+        bs[HOT - 1]
+    } else {
+        bs[HOT + (splitmix64(rng) as usize) % (bs.len() - HOT)]
+    }
+}
+
+fn req_of(b: i64) -> SpecRequest {
+    SpecRequest::new()
+        .unknown_int()
+        .known_int(b)
+        .ret(brew_core::RetKind::Int)
+}
+
+/// `madd(x, b)` on the original semantics — the emulated ground truth.
+fn madd(x: i64, b: i64) -> i64 {
+    (0..b).map(|i| x + i).sum()
+}
+
+/// Resident-set overlap with the phase's hot set, in `0.0..=1.0`.
+fn overlap(mgr: &SpecializationManager, func: u64, hot: &[i64]) -> f64 {
+    let n = hot
+        .iter()
+        .filter(|&&b| mgr.is_resident(func, req_of(b).fingerprint()))
+        .count();
+    n as f64 / hot.len() as f64
+}
+
+/// Mean emulated cycles per draw calling `entry` over one round of the
+/// phase distribution (fresh RNG stream per caller for a fair A/B).
+fn dispatch_cost(img: &Image, entry: u64, bs: &[i64], draws: u32, mut rng: u64) -> f64 {
+    let mut m = Machine::new();
+    let mut cycles = 0u64;
+    for i in 0..draws {
+        let b = draw(&mut rng, bs);
+        let x = (i as i64) % 7;
+        let out = m
+            .call(img, entry, &CallArgs::new().int(x).int(b))
+            .expect("dispatch");
+        assert_eq!(out.ret_int as i64, madd(x, b), "madd({x},{b}) diverged");
+        cycles += out.stats.cycles;
+    }
+    cycles as f64 / draws as f64
+}
+
+/// C4: drive the drifting zipf workload for `phases` phases of
+/// `rounds_per_phase` rounds x `draws_per_round` draws, ticking the
+/// tiering policy once per round, and measure convergence of the resident
+/// set onto each phase's (undisclosed) hot set.
+pub fn tier_study(phases: usize, rounds_per_phase: u32, draws_per_round: u32) -> TierReport {
+    let img = Image::new();
+    let prog = compile_into(PROG, &img).expect("compile madd");
+    let func = prog.func("madd").expect("madd symbol");
+
+    // Probe one variant's footprint, then budget for ~1.5 hot sets so the
+    // transition (old set not yet demoted, new set already promoted) fits
+    // without LRU eviction fighting the tiering policy for the verdict.
+    let probe = SpecializationManager::new()
+        .get_or_rewrite(&img, func, &req_of(FPS as i64))
+        .unwrap()
+        .code_len;
+    let mgr = SpecializationManager::builder()
+        .budget(probe * (HOT * 3 / 2))
+        // The promote bar sits *between* one round's input for the coldest
+        // hot rank (~8 draws) and its steady-state heat (~16): no key can
+        // promote off a single round's burst, so the resident set is earned
+        // over several ticks and convergence is a visible trajectory.
+        .tiering(TieringConfig {
+            promote_heat: 12.0,
+            demote_heat: 3.0,
+            decay: 0.5,
+            cooldown_ticks: 1,
+        })
+        .build();
+
+    let mut rng: u64 = 0xC4_5EED;
+    let mut phase_rows = Vec::new();
+    let mut last_bs: Vec<i64> = Vec::new();
+
+    for phase in 0..phases {
+        let bs = shuffled_bs(&mut rng);
+        let hot = &bs[..HOT];
+        let mut converged_round = None;
+
+        for round in 1..=rounds_per_phase {
+            // Rebuild the counting dispatcher from the current resident
+            // set; building it registers the counter page as a heat
+            // source, so stub traffic below feeds the next tick.
+            let (stub, _page) = mgr
+                .build_dispatcher_counting(&img, func, func)
+                .expect("dispatcher");
+            let mut m = Machine::new();
+            for i in 0..draws_per_round {
+                let b = draw(&mut rng, &bs);
+                let x = (i as i64) % 5;
+                let out = m
+                    .call(&img, stub, &CallArgs::new().int(x).int(b))
+                    .expect("stub call");
+                assert_eq!(out.ret_int as i64, madd(x, b));
+                // Fallthrough draws report the miss so the tiering layer
+                // can attribute heat to the *fingerprint* (the shared
+                // fallthrough counter slot cannot).
+                if !mgr.is_resident(func, req_of(b).fingerprint()) {
+                    mgr.request(&img, func, &req_of(b)).expect("request");
+                }
+            }
+            mgr.tick(&img);
+            if converged_round.is_none() && overlap(&mgr, func, hot) >= 0.9 {
+                converged_round = Some(round);
+            }
+        }
+
+        phase_rows.push(TierPhase {
+            phase,
+            converged_round,
+            final_overlap: overlap(&mgr, func, hot),
+            resident: mgr.variants_of(func).len(),
+        });
+        last_bs = bs;
+    }
+
+    // Steady-state dispatch cost, final phase: the converged adaptive
+    // manager vs an oracle warmed with the exact hot set up front.
+    let (adaptive_stub, _) = mgr
+        .build_dispatcher_counting(&img, func, func)
+        .expect("adaptive dispatcher");
+    let oracle = SpecializationManager::new();
+    for &b in &last_bs[..HOT] {
+        oracle.get_or_rewrite(&img, func, &req_of(b)).unwrap();
+    }
+    let oracle_stub = oracle
+        .build_dispatcher(&img, func, func)
+        .expect("oracle dispatcher");
+    let cost_rng = splitmix64(&mut rng);
+    let adaptive_cycles_per_draw =
+        dispatch_cost(&img, adaptive_stub, &last_bs, draws_per_round, cost_rng);
+    let oracle_cycles_per_draw =
+        dispatch_cost(&img, oracle_stub, &last_bs, draws_per_round, cost_rng);
+
+    use brew_core::telemetry::metrics::Ctr;
+    let m = mgr.metrics();
+    let all_converged = phase_rows.iter().all(|p| p.converged_round.is_some());
+    TierReport {
+        phases: phase_rows,
+        rounds_per_phase,
+        draws_per_round,
+        adaptive_cycles_per_draw,
+        oracle_cycles_per_draw,
+        promoted: m.counter(Ctr::TierPromoted).get(),
+        demoted: m.counter(Ctr::TierDemoted).get(),
+        stats: mgr.stats(),
+        all_converged,
+    }
+}
+
+/// Render the C4 adaptive-tiering report.
+pub fn render_tier(title: &str, r: &TierReport) -> String {
+    let mut s = format!("## {title}\n\n");
+    s.push_str(&format!(
+        "{} fingerprints, {}-value zipf head ({}% of draws), {} draws/round, {} rounds/phase\n\n",
+        FPS, HOT, HEAD_MASS_PCT, r.draws_per_round, r.rounds_per_phase,
+    ));
+    s.push_str("phase   converged-at-round   final-overlap   resident\n");
+    for p in &r.phases {
+        let conv = match p.converged_round {
+            Some(n) => format!("{n}"),
+            None => "never".to_string(),
+        };
+        s.push_str(&format!(
+            "{:>5}   {:>18}   {:>12.0}%   {:>8}\n",
+            p.phase,
+            conv,
+            p.final_overlap * 100.0,
+            p.resident,
+        ));
+    }
+    let slowdown = r.adaptive_cycles_per_draw / r.oracle_cycles_per_draw.max(1.0);
+    s.push_str(&format!(
+        "\nsteady-state dispatch   : {:.1} cycles/draw adaptive vs {:.1} oracle ({slowdown:.2}x)\n",
+        r.adaptive_cycles_per_draw, r.oracle_cycles_per_draw,
+    ));
+    s.push_str(&format!(
+        "tiering actions         : {} promoted, {} demoted (no operator input)\n",
+        r.promoted, r.demoted,
+    ));
+    s.push_str(&format!(
+        "lifecycle counters      : {} misses, {} hits, {} evictions\n",
+        r.stats.misses, r.stats.hits, r.stats.evictions,
+    ));
+    s.push_str(&format!(
+        "all phases converged: {}\n",
+        if r.all_converged { "yes" } else { "NO" },
+    ));
+    s
+}

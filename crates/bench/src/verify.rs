@@ -227,8 +227,9 @@ pub fn verify_study() -> VerifyV1Report {
     }
 
     // --- section 3: the manager gate (verify_on_publish) ---
-    let mgr = SpecializationManager::new();
-    mgr.set_publish_gate(publish_gate());
+    let mgr = SpecializationManager::builder()
+        .publish_gate(publish_gate())
+        .build();
     for (_, func, req, _) in &variants {
         mgr.get_or_rewrite(&img, *func, req).expect("gated publish");
     }

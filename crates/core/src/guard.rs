@@ -41,6 +41,29 @@ use brew_x86::prelude::*;
 /// data segment (addresses below 2³¹, so the stub can address them with
 /// an absolute disp32 — the same trick the specializer plays for known
 /// data).
+///
+/// # Read-back tolerance (the memory-ordering contract)
+///
+/// The stub's `inc qword [slot]` carries no `lock` prefix — adding one
+/// would put an atomic RMW on the hottest dispatch path to buy precision
+/// nobody needs. Readers must therefore treat every slot as a *relaxed,
+/// advisory* counter:
+///
+/// - Under concurrent callers an increment can be lost (plain
+///   load-add-store races) and a multi-slot [`snapshot`](Self::snapshot)
+///   is only per-slot consistent: slots are read one at a time while the
+///   stub keeps running, so the cross-slot sum can disagree with the true
+///   call count by the number of in-flight calls.
+/// - A reader may also observe a slot mid-update ("torn" relative to its
+///   neighbours) or just after a [`reset`](Self::reset) it did not issue.
+///
+/// Every consumer in this crate is delta-based and clamps:
+/// [`delta_since`](Self::delta_since) saturates per slot at zero, so a
+/// wrapped, reset or torn-low value yields a `0` delta — never a negative
+/// (or absurdly large) heat contribution. The tiering layer additionally
+/// decays scores every tick, so a lost or phantom increment washes out
+/// instead of compounding. Tests `delta_since_saturates_instead_of_going_negative`
+/// and the heat-wrap test in `tests/tiering.rs` pin this down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterPage {
     /// Address of slot 0.
@@ -90,6 +113,25 @@ impl CounterPage {
             img.write_u64(self.slot_addr(i), 0)?;
         }
         Ok(())
+    }
+
+    /// Snapshot the page and diff it against `prev` (a previous
+    /// [`snapshot`](Self::snapshot), or zeros/empty for "since the
+    /// beginning"): returns `(new snapshot, per-slot deltas)`.
+    ///
+    /// Deltas saturate at zero: a slot that wrapped, was reset, or was
+    /// read torn below its previous value contributes `0`, never a
+    /// negative — the guarantee the tiering heat scores build on (see the
+    /// type-level docs on read-back tolerance). Slots missing from `prev`
+    /// are treated as previously zero.
+    pub fn delta_since(&self, img: &Image, prev: &[u64]) -> Result<(Vec<u64>, Vec<u64>), MemFault> {
+        let snap = self.snapshot(img)?;
+        let deltas = snap
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v.saturating_sub(prev.get(i).copied().unwrap_or(0)))
+            .collect();
+        Ok((snap, deltas))
     }
 }
 
@@ -568,6 +610,40 @@ mod tests {
         assert_eq!(page.total(&img).unwrap(), 7);
         page.reset(&img).unwrap();
         assert_eq!(page.total(&img).unwrap(), 0);
+    }
+
+    #[test]
+    fn delta_since_tracks_increments() {
+        let img = Image::new();
+        let (_, page) = make_guard_counting(&img, 0, 7, 0x90_0100, 0x40_0000).unwrap();
+        let (snap, deltas) = page.delta_since(&img, &[]).unwrap();
+        assert_eq!(snap, vec![0, 0]);
+        assert_eq!(deltas, vec![0, 0]);
+        img.write_u64(page.slot_addr(0), 5).unwrap();
+        img.write_u64(page.slot_addr(1), 3).unwrap();
+        let (snap2, deltas2) = page.delta_since(&img, &snap).unwrap();
+        assert_eq!(deltas2, vec![5, 3]);
+        img.write_u64(page.slot_addr(0), 9).unwrap();
+        let (_, deltas3) = page.delta_since(&img, &snap2).unwrap();
+        assert_eq!(deltas3, vec![4, 0]);
+    }
+
+    #[test]
+    fn delta_since_saturates_instead_of_going_negative() {
+        let img = Image::new();
+        let (_, page) = make_guard_counting(&img, 0, 7, 0x90_0100, 0x40_0000).unwrap();
+        // A slot observed near wrap-around...
+        img.write_u64(page.slot_addr(0), u64::MAX).unwrap();
+        let (snap, deltas) = page.delta_since(&img, &[0, 0]).unwrap();
+        assert_eq!(deltas[0], u64::MAX);
+        // ...then wrapped (or reset by someone else): the delta clamps to
+        // zero instead of underflowing into a giant bogus count.
+        img.write_u64(page.slot_addr(0), 2).unwrap();
+        let (_, deltas2) = page.delta_since(&img, &snap).unwrap();
+        assert_eq!(deltas2, vec![0, 0]);
+        // A `prev` shorter than the page reads as zeros, never a panic.
+        let (_, deltas3) = page.delta_since(&img, &[1]).unwrap();
+        assert_eq!(deltas3, vec![1, 0]);
     }
 
     #[test]

@@ -83,8 +83,9 @@ pub use guard::{
     GuardCase,
 };
 pub use manager::{
-    CacheKey, CacheStats, Dispatch, Event, EventSink, NegativePolicy, PublishGate,
-    PublishRejection, RecordingSink, SpecializationManager, Variant,
+    CacheKey, CacheStats, DecayedThreshold, DeferredConfig, Dispatch, Event, EventSink,
+    Invalidation, ManagerBuilder, NegativePolicy, PublishGate, PublishRejection, RecordingSink,
+    SpecializationManager, TickSummary, TierAction, TieringConfig, TieringPolicy, Variant,
 };
 pub use passes::PassConfig;
 pub use request::SpecRequest;

@@ -59,22 +59,40 @@
 //! - **Staleness tracking & invalidation** — every rewrite records which
 //!   known-memory bytes it folded into constants
 //!   ([`crate::snapshot::KnownSnapshot`], carried by the [`Variant`]).
-//!   [`invalidate`](SpecializationManager::invalidate) drops all variants
-//!   of a function, [`invalidate_data`](SpecializationManager::invalidate_data)
-//!   drops variants whose folded ranges overlap a mutated range, and
-//!   [`revalidate`](SpecializationManager::revalidate) re-hashes every
-//!   snapshot against the image and drops (and, inside a deferred scope,
-//!   re-enqueues) exactly the variants whose folded bytes changed.
+//!   One entry point,
+//!   [`apply_invalidation`](SpecializationManager::apply_invalidation),
+//!   takes an [`Invalidation`]: [`Invalidation::Func`] drops all variants
+//!   of a function, [`Invalidation::Data`] drops variants whose folded
+//!   ranges overlap a mutated range, and [`Invalidation::Revalidate`]
+//!   re-hashes every snapshot against the image and drops (and, inside a
+//!   deferred scope, re-enqueues) exactly the variants whose folded bytes
+//!   changed. With tiering enabled the re-enqueue is *heat-gated*: only
+//!   stale variants whose decayed heat clears the policy's bar are
+//!   re-specialized; cold stale variants just die.
+//! - **Adaptive tiering** — a manager built with
+//!   [`ManagerBuilder::tiering`] closes the counter → specialization
+//!   loop: [`tick`](SpecializationManager::tick) reads dispatch-stub
+//!   [`CounterPage`]s and cache hit counts into decayed per-key heat
+//!   scores and lets a [`TieringPolicy`] promote hot fingerprints
+//!   (enqueue their rewrite), demote cold resident variants (reclaim
+//!   budget ahead of LRU pressure) and gate re-specialization after
+//!   invalidation. See the [`tiering`] module docs for the state machine.
 //! - **Panic containment** — the trace/encode pipeline runs under
 //!   `catch_unwind` on both the synchronous and worker paths; a panic
 //!   becomes [`RewriteError::Internal`], is negatively cached like any
 //!   other failure, and fails one request instead of killing the worker
 //!   pool or poisoning the shared state. All manager locks recover from
 //!   poisoning for the same reason.
+//!
+//! Construction goes through [`ManagerBuilder`] (one fluent chain, typed
+//! config structs); the accreted `with_*`/`set_*` surface lives on as
+//! deprecated shims in [`crate::compat`].
 
+mod builder;
 mod inflight;
 pub mod negative;
 mod shards;
+pub mod tiering;
 mod worker;
 
 use crate::capture::RewriteStats;
@@ -84,15 +102,19 @@ use crate::request::SpecRequest;
 use crate::snapshot::KnownSnapshot;
 use crate::telemetry::{metrics::Ctr, metrics::Gge, metrics::Hst, MetricsRegistry};
 use crate::Rewriter;
-use brew_image::{layout, Image};
+use brew_image::Image;
+pub use builder::{DeferredConfig, ManagerBuilder};
 use inflight::{InflightTable, Join};
 pub use negative::NegativePolicy;
 use negative::{NegativeCache, Verdict};
 use shards::ShardedCache;
+use std::collections::HashMap;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use tiering::Tiering;
+pub use tiering::{DecayedThreshold, TickSummary, TierAction, TieringConfig, TieringPolicy};
 use worker::{Enqueue, Job, JobQueue};
 
 /// Recover the guard from a poisoned lock. Panics are contained at the
@@ -139,8 +161,8 @@ pub struct Variant {
     /// `None` when the variant can't be guarded by register compares.
     pub guards: Option<Vec<(usize, i64)>>,
     /// The known-memory bytes the rewrite folded into constants — what
-    /// [`SpecializationManager::revalidate`] re-checks and
-    /// [`SpecializationManager::invalidate_data`] intersects against.
+    /// [`Invalidation::Revalidate`] re-checks and [`Invalidation::Data`]
+    /// intersects against.
     pub snapshot: KnownSnapshot,
 }
 
@@ -276,6 +298,38 @@ pub enum Event {
         /// The dropped specialized entry.
         entry: u64,
     },
+    /// The tiering layer promoted a hot non-resident fingerprint: its
+    /// rewrite was enqueued (or, outside a deferred scope, run inline).
+    Promoted {
+        /// Original function.
+        func: u64,
+        /// Request fingerprint being specialized.
+        fingerprint: u64,
+        /// The heat score that crossed the promote threshold.
+        heat: f64,
+    },
+    /// The tiering layer demoted a cold resident variant: it was removed
+    /// from the cache, reclaiming its byte-budget share.
+    Demoted {
+        /// Original function.
+        func: u64,
+        /// Request fingerprint of the demoted variant.
+        fingerprint: u64,
+        /// The heat score that fell below the demote threshold.
+        heat: f64,
+        /// Code bytes reclaimed from the resident set.
+        code_len: usize,
+    },
+    /// Invalidation found a stale variant hot enough to re-specialize:
+    /// its rewrite was re-enqueued without the original caller's help.
+    Respecialized {
+        /// Original function.
+        func: u64,
+        /// Request fingerprint being re-specialized.
+        fingerprint: u64,
+        /// The heat score that cleared the re-specialization bar.
+        heat: f64,
+    },
 }
 
 /// Receiver for manager [`Event`]s — plug in a logger, a metrics counter,
@@ -359,6 +413,30 @@ where
     }
 }
 
+/// What to invalidate — the selector consumed by
+/// [`SpecializationManager::apply_invalidation`]. One entry point, three
+/// precisions:
+///
+/// - [`Func`](Invalidation::Func) — "this function changed": drop every
+///   variant of it and every negative entry for it (its failures may have
+///   been data-dependent too).
+/// - [`Data`](Invalidation::Data) — "I just mutated these bytes": drop
+///   exactly the variants whose folded known-memory ranges overlap the
+///   mutated range; no image access, one pass over the cache.
+/// - [`Revalidate`](Invalidation::Revalidate) — "something may have
+///   changed, I don't know what": re-hash every variant's snapshot
+///   against the image and drop exactly the stale ones, re-enqueueing
+///   rewrites for those still worth having.
+#[derive(Debug, Clone)]
+pub enum Invalidation<'a> {
+    /// Drop all variants of this function (entry address).
+    Func(u64),
+    /// Drop variants whose folded ranges overlap this address range.
+    Data(Range<u64>),
+    /// Re-hash every snapshot against this image; drop what changed.
+    Revalidate(&'a Image),
+}
+
 /// What [`SpecializationManager::request`] answered with.
 #[derive(Debug, Clone)]
 pub enum Dispatch {
@@ -423,6 +501,8 @@ pub struct SpecializationManager {
     inflight: InflightTable,
     queue: JobQueue,
     budget_bytes: usize,
+    deferred_cfg: DeferredConfig,
+    tiering: Option<Tiering>,
     counters: Counters,
     metrics: Arc<MetricsRegistry>,
     sink: RwLock<Option<Box<dyn EventSink>>>,
@@ -435,40 +515,22 @@ impl Default for SpecializationManager {
     }
 }
 
+/// Heat entries below this score with no resident variant are pruned at
+/// the end of a tick — after a few quiet ticks a dead key costs nothing.
+const MIN_TRACKED_HEAT: f64 = 1e-3;
+
 impl SpecializationManager {
-    /// Manager with the default budget (a quarter of the JIT segment) and
-    /// shard count.
+    /// Manager with every knob at its default — shorthand for
+    /// [`builder()`](Self::builder)`.build()`.
     pub fn new() -> Self {
-        Self::with_budget((layout::JIT_SIZE / 4) as usize)
+        Self::builder().build()
     }
 
-    /// Manager bounded by `budget_bytes` of cached code.
-    pub fn with_budget(budget_bytes: usize) -> Self {
-        Self::with_budget_and_shards(budget_bytes, shards::DEFAULT_SHARDS)
-    }
-
-    /// Manager bounded by `budget_bytes`, with `shards` cache shards
-    /// (rounded up to a power of two).
-    pub fn with_budget_and_shards(budget_bytes: usize, shards: usize) -> Self {
-        SpecializationManager {
-            cache: ShardedCache::new(shards),
-            negative: NegativeCache::new(shards, NegativePolicy::default()),
-            inflight: InflightTable::default(),
-            queue: JobQueue::new(),
-            budget_bytes,
-            counters: Counters::default(),
-            metrics: Arc::new(MetricsRegistry::new()),
-            sink: RwLock::new(None),
-            gate: RwLock::new(None),
-        }
-    }
-
-    /// Replace the negative-cache policy (backoff base, attempt cap).
-    /// Existing negative entries are dropped — the new policy starts from
-    /// a clean slate.
-    pub fn with_negative_policy(mut self, policy: NegativePolicy) -> Self {
-        self.negative = NegativeCache::new(shards::DEFAULT_SHARDS, policy);
-        self
+    /// The one construction surface: a [`ManagerBuilder`] with typed
+    /// config structs for budget, shards, negative caching, deferred mode
+    /// and adaptive tiering.
+    pub fn builder() -> ManagerBuilder {
+        ManagerBuilder::new()
     }
 
     /// The always-on metrics registry every manager event is folded into.
@@ -478,8 +540,9 @@ impl SpecializationManager {
         Arc::clone(&self.metrics)
     }
 
-    /// Attach an event sink (replacing any previous one).
-    pub fn set_sink(&self, sink: Box<dyn EventSink>) {
+    /// Attach an event sink, replacing any previous one (the deprecated
+    /// `set_sink` shim and [`ManagerBuilder::event_sink`] land here).
+    pub(crate) fn install_sink(&self, sink: Box<dyn EventSink>) {
         *unpoison(self.sink.write()) = Some(sink);
     }
 
@@ -488,11 +551,16 @@ impl SpecializationManager {
         unpoison(self.sink.write()).take()
     }
 
-    /// Enable `verify_on_publish`: every finished rewrite (synchronous or
-    /// deferred) must pass `gate` before it becomes visible. Replaces any
-    /// previous gate.
-    pub fn set_publish_gate(&self, gate: Box<dyn PublishGate>) {
+    /// Install a publish gate, replacing any previous one (the deprecated
+    /// `set_publish_gate` shim lands here).
+    pub(crate) fn install_gate(&self, gate: Box<dyn PublishGate>) {
         *unpoison(self.gate.write()) = Some(gate);
+    }
+
+    /// Replace the negative-cache policy, dropping existing entries (the
+    /// deprecated `with_negative_policy` shim lands here).
+    pub(crate) fn replace_negative_policy(&mut self, policy: NegativePolicy) {
+        self.negative = NegativeCache::new(shards::DEFAULT_SHARDS, policy);
     }
 
     /// Detach and return the current publish gate.
@@ -639,6 +707,21 @@ impl SpecializationManager {
             self.note_hit(func, &v);
             return Ok(Dispatch::Specialized(v));
         }
+        // With tiering enabled a miss is an *observation*, not an order:
+        // the request is recorded as heat input and the caller runs the
+        // original. Specialization happens when the policy promotes the
+        // key in a later tick — the whole point is that the profile, not
+        // the first unlucky caller, decides what is worth rewriting.
+        if let Some(t) = &self.tiering {
+            t.observe_miss(key, req);
+            if let Verdict::Deny(_) = self.negative.consult(&key) {
+                self.note_denied(func, &key);
+            }
+            return Ok(Dispatch::Original {
+                func,
+                deferred: false,
+            });
+        }
         // A key already known to fail is answered with the original entry
         // at shard-lookup cost: no queueing, no tracing, no error — the
         // caller asked "what should I call" and the answer is "the
@@ -673,6 +756,19 @@ impl SpecializationManager {
         }
     }
 
+    /// [`run_deferred`](Self::run_deferred) with the worker count taken
+    /// from the builder's [`DeferredConfig`] — the configured way to open
+    /// a deferred scope.
+    pub fn deferred_scope<R>(&self, img: &Image, f: impl FnOnce() -> R) -> R {
+        self.run_deferred(img, self.deferred_cfg.workers, f)
+    }
+
+    /// Deferred rewrite jobs currently queued and not yet picked up by a
+    /// worker.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.pending()
+    }
+
     /// Run `f` with `workers` background rewrite threads attached (scoped,
     /// bounded; no detached threads survive this call). While active,
     /// [`request`](Self::request) defers misses to the pool. On exit the
@@ -685,9 +781,17 @@ impl SpecializationManager {
             for _ in 0..workers {
                 s.spawn(|| self.drain_jobs(img));
             }
-            let r = f();
-            self.queue.close();
-            r
+            // Close on unwind too: workers block in `pop` until the close,
+            // so a panicking closure would otherwise deadlock the scope's
+            // join and turn the caller's panic into a hang.
+            struct CloseOnDrop<'a>(&'a JobQueue);
+            impl Drop for CloseOnDrop<'_> {
+                fn drop(&mut self) {
+                    self.0.close();
+                }
+            }
+            let _close = CloseOnDrop(&self.queue);
+            f()
         })
     }
 
@@ -868,9 +972,15 @@ impl SpecializationManager {
     /// may transiently exceed the budget rather than thrash.
     fn evict_to_budget(&self, keep: CacheKey) {
         while self.cache.resident_bytes() > self.budget_bytes && self.cache.len() > 1 {
-            let Some(v) = self.cache.evict_victim(keep) else {
+            let Some((key, req, v)) = self.cache.evict_victim(keep) else {
                 break;
             };
+            // Keep the producing request around: if the key heats back up
+            // the tiering layer can re-promote it without a caller ever
+            // reconstructing the original SpecRequest.
+            if let Some(t) = &self.tiering {
+                t.retain_request(key, req);
+            }
             self.counters.evictions.fetch_add(1, Ordering::AcqRel);
             self.emit(Event::Evicted {
                 func: v.func,
@@ -880,37 +990,240 @@ impl SpecializationManager {
         }
     }
 
-    /// Drop every cached variant of `func` and every negative entry for
-    /// it (its failures may have been data-dependent too). Returns the
-    /// number of variants dropped. Subsequent requests miss and
-    /// re-specialize against current data.
-    pub fn invalidate(&self, func: u64) -> usize {
-        let dropped = self.cache.remove_matching(|v| v.func == func);
-        self.negative.forget_func(func);
-        self.note_invalidated(&dropped);
-        dropped.len()
+    /// One turn of the tiering loop: sample every registered counter page
+    /// and the cache hit counters, fold the deltas (plus miss observations
+    /// recorded since the last tick) into decayed per-key heat, and apply
+    /// the [`TieringPolicy`] — demote cold resident variants, enqueue
+    /// rewrites for hot absent fingerprints (inline when no deferred
+    /// scope is open). Returns what happened; with tiering disabled this
+    /// is a no-op returning the default (zero) summary.
+    ///
+    /// Call it from wherever the host already has a periodic hook — a
+    /// scheduler tick, an iteration boundary, a maintenance thread. The
+    /// critical section is one pass over small maps; sampling tolerates
+    /// the stubs' relaxed counters by construction (see
+    /// [`CounterPage`]'s read-back contract).
+    pub fn tick(&self, img: &Image) -> TickSummary {
+        let Some(t) = &self.tiering else {
+            return TickSummary::default();
+        };
+        // Sample resident hit counts *before* crediting page deltas into
+        // the cache: the credit lands after this snapshot, so it is never
+        // observed again as a hit delta (the `credited` bookkeeping below
+        // subtracts it from the next tick's baseline instead).
+        let resident: HashMap<CacheKey, u64> = self.cache.snapshot_hits().into_iter().collect();
+
+        let mut st = unpoison(t.state.lock());
+        // Every resident key gets a heat entry even if it never missed or
+        // dispatched — otherwise a variant inserted synchronously could
+        // not decay toward demotion.
+        for key in resident.keys() {
+            st.heat.entry(*key).or_default();
+        }
+        // Fold counter-page deltas into pending heat and back into the
+        // cache's LRU accounting (stub traffic never touches `lookup`, so
+        // without the credit byte-pressure eviction would see hot stub
+        // targets as idle). The fall-through slot has no fingerprint to
+        // attribute, so it is not folded here — fall-through callers reach
+        // `request`, which records the miss with the request attached.
+        let mut sources = std::mem::take(&mut st.sources);
+        for src in sources.values_mut() {
+            let Ok((snap, deltas)) = src.page.delta_since(img, &src.last) else {
+                continue;
+            };
+            for (i, key) in src.keys.iter().enumerate() {
+                let d = deltas[i];
+                if d == 0 {
+                    continue;
+                }
+                let credited = self.cache.credit(key, d);
+                let e = st.heat.entry(*key).or_default();
+                e.pending += d;
+                if credited {
+                    e.credited += d;
+                }
+            }
+            src.last = snap;
+        }
+        st.sources = sources;
+
+        st.tick += 1;
+        let tick = st.tick;
+        let decay = t.cfg.decay;
+        let mut sampled = 0u64;
+        let mut promote: Vec<(CacheKey, SpecRequest, f64)> = Vec::new();
+        let mut demote: Vec<(CacheKey, f64, usize)> = Vec::new();
+        for (key, e) in st.heat.iter_mut() {
+            let is_resident = resident.contains_key(key);
+            let hit_delta = match resident.get(key) {
+                Some(&h) => {
+                    let d = h.saturating_sub(e.last_hits);
+                    // The baseline absorbs this tick's page credit so it
+                    // is not re-counted as a hit next tick.
+                    e.last_hits = h + e.credited;
+                    e.credited = 0;
+                    d
+                }
+                None => {
+                    e.last_hits = 0;
+                    e.credited = 0;
+                    0
+                }
+            };
+            let input = e.pending + hit_delta;
+            e.pending = 0;
+            sampled += input;
+            e.heat = e.heat * decay + input as f64;
+            let since = tick.saturating_sub(e.last_action_tick);
+            match t.policy.decide(e.heat, is_resident, since) {
+                TierAction::Promote if !is_resident => {
+                    // No request retained means the key was only ever seen
+                    // through a counter page — nothing to replay yet.
+                    let Some(req) = e.req.clone() else {
+                        continue;
+                    };
+                    // A key inside its negative backoff window is not
+                    // promoted: the probe does not spend the window, so
+                    // real requests still govern the retry schedule.
+                    if self.negative.would_deny(key) {
+                        continue;
+                    }
+                    e.last_action_tick = tick;
+                    promote.push((*key, req, e.heat));
+                }
+                TierAction::Demote if is_resident => {
+                    if let Some((req, v)) = self.cache.remove_key(key) {
+                        e.req = Some(req);
+                        e.last_hits = 0;
+                        e.credited = 0;
+                        e.last_action_tick = tick;
+                        demote.push((*key, e.heat, v.code_len));
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Dead keys cost nothing after a few quiet ticks.
+        st.heat
+            .retain(|key, e| resident.contains_key(key) || e.heat >= MIN_TRACKED_HEAT);
+        let tracked = st.heat.len();
+        let (mut heat_max, mut heat_sum) = (0.0f64, 0.0f64);
+        for e in st.heat.values() {
+            heat_max = heat_max.max(e.heat);
+            heat_sum += e.heat;
+        }
+        drop(st);
+
+        self.metrics.gauge_set(Gge::HeatTracked, tracked as i64);
+        self.metrics
+            .gauge_set(Gge::HeatMax, (heat_max * 1000.0) as i64);
+        let heat_mean = if tracked == 0 {
+            0
+        } else {
+            (heat_sum / tracked as f64 * 1000.0) as i64
+        };
+        self.metrics.gauge_set(Gge::HeatMean, heat_mean);
+
+        // Effects run outside the tiering lock: event sinks are arbitrary
+        // user code, and an inline promotion re-enters `obtain`.
+        if !demote.is_empty() {
+            self.sync_resident_gauges();
+        }
+        for (key, heat, code_len) in &demote {
+            self.emit(Event::Demoted {
+                func: key.func,
+                fingerprint: key.fingerprint,
+                heat: *heat,
+                code_len: *code_len,
+            });
+        }
+        let promoted = promote.len();
+        for (key, req, heat) in promote {
+            self.emit(Event::Promoted {
+                func: key.func,
+                fingerprint: key.fingerprint,
+                heat,
+            });
+            if let Enqueue::Closed = self.queue.push(Job {
+                key,
+                func: key.func,
+                req: req.clone(),
+            }) {
+                // No deferred scope open: pay the rewrite on the tick
+                // thread — the dispatch path stays non-blocking either
+                // way, and a failure is negatively cached as usual.
+                let _ = self.obtain(img, key.func, &req);
+            }
+        }
+        TickSummary {
+            tick,
+            sampled,
+            tracked,
+            promoted,
+            demoted: demote.len(),
+        }
     }
 
-    /// Drop every cached variant whose folded known-memory ranges overlap
-    /// `range` — the precise invalidation for "I just mutated these
-    /// bytes". Variants that never folded the range are untouched, no
-    /// image access happens, and the cost is one pass over the cache.
-    /// Returns the number of variants dropped.
-    pub fn invalidate_data(&self, range: Range<u64>) -> usize {
-        let dropped = self.cache.remove_matching(|v| v.snapshot.overlaps(&range));
-        self.note_invalidated(&dropped);
-        dropped.len()
+    /// Whether a variant for `(func, fingerprint)` is resident, without
+    /// touching its LRU/hit accounting — observing the resident set (as
+    /// the C4 convergence experiment does every round) must not perturb
+    /// the heat the tiering loop samples.
+    pub fn is_resident(&self, func: u64, fingerprint: u64) -> bool {
+        self.cache.peek(&CacheKey { func, fingerprint }).is_some()
     }
 
-    /// Re-hash every variant's snapshot against the current image and
-    /// drop exactly the variants whose folded bytes changed — the
-    /// conservative sweep for "something may have been mutated, I don't
-    /// know what". Each stale variant fires a [`Event::Stale`] followed by
-    /// [`Event::Invalidated`]; inside a deferred scope its rewrite is
-    /// re-enqueued (from the retained producing request), so the fresh
-    /// variant is published without the original caller's help. Returns
-    /// the number of variants dropped.
-    pub fn revalidate(&self, img: &Image) -> usize {
+    /// Current decayed heat of `(func, fingerprint)`; `None` when tiering
+    /// is disabled.
+    pub fn heat_of(&self, func: u64, fingerprint: u64) -> Option<f64> {
+        self.tiering
+            .as_ref()
+            .map(|t| t.heat_of(&CacheKey { func, fingerprint }))
+    }
+
+    /// The one invalidation entry point: drop exactly the cached variants
+    /// `inv` names and return how many were dropped. See [`Invalidation`]
+    /// for the three selectors; the deprecated `invalidate`,
+    /// `invalidate_data` and `revalidate` methods in [`crate::compat`]
+    /// delegate here.
+    pub fn apply_invalidation(&self, inv: Invalidation<'_>) -> usize {
+        match inv {
+            Invalidation::Func(func) => {
+                let dropped = self.cache.remove_matching(|v| v.func == func);
+                self.negative.forget_func(func);
+                self.tier_retain(&dropped);
+                self.note_invalidated(&dropped);
+                dropped.len()
+            }
+            Invalidation::Data(range) => {
+                let dropped = self.cache.remove_matching(|v| v.snapshot.overlaps(&range));
+                self.tier_retain(&dropped);
+                self.note_invalidated(&dropped);
+                dropped.len()
+            }
+            Invalidation::Revalidate(img) => self.revalidate_sweep(img),
+        }
+    }
+
+    /// Keep dropped variants' producing requests in the tiering layer so
+    /// a key that stays hot after invalidation can be re-promoted without
+    /// any caller reconstructing its request.
+    fn tier_retain(&self, dropped: &[(CacheKey, SpecRequest, Arc<Variant>)]) {
+        if let Some(t) = &self.tiering {
+            for (key, req, _) in dropped {
+                t.retain_request(*key, req.clone());
+            }
+        }
+    }
+
+    /// The [`Invalidation::Revalidate`] sweep: re-hash every variant's
+    /// snapshot against the current image and drop exactly the variants
+    /// whose folded bytes changed. Each stale variant fires
+    /// [`Event::Stale`] then [`Event::Invalidated`]; its rewrite is
+    /// re-enqueued (from the retained producing request) so the fresh
+    /// variant is published without the original caller's help — with
+    /// tiering enabled the re-enqueue is heat-gated by
+    /// [`TieringPolicy::respecialize`], so cold stale variants just die.
+    fn revalidate_sweep(&self, img: &Image) -> usize {
         let dropped = self.cache.remove_matching(|v| !v.snapshot.matches(img));
         for (_, _, v) in &dropped {
             self.counters.stale.fetch_add(1, Ordering::AcqRel);
@@ -921,6 +1234,21 @@ impl SpecializationManager {
         }
         self.note_invalidated(&dropped);
         for (key, req, v) in &dropped {
+            if let Some(t) = &self.tiering {
+                // The request is retained either way — a cold key may heat
+                // back up and earn a promotion later — but only a variant
+                // still hot *now* gets its rewrite paid immediately.
+                t.retain_request(*key, req.clone());
+                let heat = t.heat_of(key);
+                if !t.policy.respecialize(heat) {
+                    continue;
+                }
+                self.emit(Event::Respecialized {
+                    func: v.func,
+                    fingerprint: key.fingerprint,
+                    heat,
+                });
+            }
             // `Closed` outside a deferred scope — then the next request
             // for the key simply re-specializes synchronously.
             self.queue.push(Job {
@@ -997,17 +1325,22 @@ impl SpecializationManager {
     /// [`build_dispatcher`](Self::build_dispatcher) emitting a
     /// *self-counting* stub: each case — and the fall-through to the
     /// original — increments its slot of the returned [`CounterPage`] on
-    /// every call, so predicted hot values can be validated against the
-    /// dispatch rates the stub actually sees. Dispatch behavior is
-    /// bit-identical to the plain stub.
+    /// every call. Dispatch behavior is bit-identical to the plain stub.
+    /// With tiering enabled the page is also registered as a heat source:
+    /// subsequent [`tick`](Self::tick)s sample its slots, so traffic that
+    /// only ever flows through the stub still drives promote/demote
+    /// decisions.
     pub fn build_dispatcher_counting(
         &self,
         img: &Image,
         func: u64,
         original: u64,
     ) -> Result<(u64, CounterPage), RewriteError> {
-        let cases = self.dispatch_cases(func);
+        let (cases, keys) = self.dispatch_cases_keyed(func);
         let (entry, page) = guard::make_guard_chain_counting(img, &cases, original)?;
+        if let Some(t) = &self.tiering {
+            t.register_source(img, func, page, keys);
+        }
         self.note_dispatcher(func, entry, cases.len());
         Ok((entry, page))
     }
@@ -1015,15 +1348,28 @@ impl SpecializationManager {
     /// Guardable cached variants of `func` as dispatch cases, hottest
     /// first.
     fn dispatch_cases(&self, func: u64) -> Vec<GuardCase> {
-        self.variants_of(func)
-            .iter()
-            .filter_map(|v| {
-                v.guards.as_ref().map(|g| GuardCase {
-                    conds: g.clone(),
-                    target: v.entry,
-                })
-            })
-            .collect()
+        self.dispatch_cases_keyed(func).0
+    }
+
+    /// Like [`dispatch_cases`](Self::dispatch_cases), also returning each
+    /// case's [`CacheKey`] in slot order — what the tiering layer needs to
+    /// attribute a [`CounterPage`] slot back to a fingerprint.
+    fn dispatch_cases_keyed(&self, func: u64) -> (Vec<GuardCase>, Vec<CacheKey>) {
+        let mut entries = self.cache.snapshot_func(func);
+        entries.sort_by(|(ah, al, af, _), (bh, bl, bf, _)| (bh, bl, af).cmp(&(ah, al, bf)));
+        let mut cases = Vec::new();
+        let mut keys = Vec::new();
+        for (_, _, fingerprint, v) in entries {
+            let Some(g) = v.guards.as_ref() else {
+                continue;
+            };
+            cases.push(GuardCase {
+                conds: g.clone(),
+                target: v.entry,
+            });
+            keys.push(CacheKey { func, fingerprint });
+        }
+        (cases, keys)
     }
 
     fn note_dispatcher(&self, func: u64, entry: u64, variants: usize) {
@@ -1083,7 +1429,7 @@ mod tests {
 
     #[test]
     fn eviction_never_picks_the_kept_key() {
-        let m = SpecializationManager::with_budget(16);
+        let m = SpecializationManager::builder().budget(16).build();
         insert_dummy(&m, 1, 100, 0);
         insert_dummy(&m, 1, 200, 0);
         let keep = CacheKey {

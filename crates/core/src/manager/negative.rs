@@ -118,6 +118,18 @@ impl NegativeCache {
         Verdict::Retry
     }
 
+    /// Non-mutating probe: would [`consult`](Self::consult) deny `key`
+    /// right now? Unlike `consult`, a `true` answer does *not* count
+    /// against the backoff window — for policy layers (tiering promotion)
+    /// that need to know whether enqueueing is futile without spending
+    /// the denial budget real requests decay on.
+    pub fn would_deny(&self, key: &CacheKey) -> bool {
+        let map = unpoison(self.shard(key).lock());
+        map.get(key).is_some_and(|e| {
+            e.attempts >= self.policy.attempt_cap || e.denials < self.backoff(e.attempts)
+        })
+    }
+
     /// Memoize a failed attempt for `key`: bump the attempt count, reset
     /// the denial window, remember the newest error.
     pub fn record_failure(&self, key: &CacheKey, err: &RewriteError) {
@@ -236,6 +248,30 @@ mod tests {
             assert!(matches!(neg.consult(&k), Verdict::Deny(_)));
         }
         assert_eq!(neg.attempts(&k), Some(2));
+    }
+
+    #[test]
+    fn would_deny_probes_without_spending_the_window() {
+        let neg = NegativeCache::new(
+            1,
+            NegativePolicy {
+                base_backoff: 2,
+                attempt_cap: 10,
+            },
+        );
+        let k = key(0x1000, 42);
+        assert!(!neg.would_deny(&k));
+        neg.record_failure(&k, &RewriteError::TraceBudget);
+        // Probing any number of times never advances the denial count...
+        for _ in 0..50 {
+            assert!(neg.would_deny(&k));
+        }
+        // ...so real requests still get the full window: two denials,
+        // then the retry slot opens and the probe agrees.
+        assert!(matches!(neg.consult(&k), Verdict::Deny(_)));
+        assert!(matches!(neg.consult(&k), Verdict::Deny(_)));
+        assert!(!neg.would_deny(&k));
+        assert!(matches!(neg.consult(&k), Verdict::Retry));
     }
 
     #[test]

@@ -95,6 +95,56 @@ impl ShardedCache {
         Some(Arc::clone(&e.variant))
     }
 
+    /// Fetch a variant *without* touching recency or hit accounting —
+    /// for observers (the tiering layer) that must not distort the very
+    /// signal they read.
+    pub fn peek(&self, key: &CacheKey) -> Option<Arc<Variant>> {
+        let s = unpoison(self.shard(key).lock());
+        s.get(key).map(|e| Arc::clone(&e.variant))
+    }
+
+    /// Remove one entry by key, returning its producing request and
+    /// variant — the demotion primitive. Byte accounting is adjusted
+    /// globally; a concurrent dispatch holding the `Arc` keeps the code
+    /// itself alive and callable (the JIT segment is a bump allocator, so
+    /// the bytes are never reused).
+    pub fn remove_key(&self, key: &CacheKey) -> Option<(SpecRequest, Arc<Variant>)> {
+        let e = unpoison(self.shard(key).lock()).remove(key)?;
+        self.resident
+            .fetch_sub(e.variant.code_len, Ordering::AcqRel);
+        self.count.fetch_sub(1, Ordering::AcqRel);
+        Some((e.req, e.variant))
+    }
+
+    /// Snapshot every entry's `(key, hits)` pair, unordered — the tiering
+    /// layer diffs consecutive snapshots into per-tick hit deltas. Shards
+    /// are locked one at a time, so the snapshot is per-entry exact but
+    /// only cross-entry consistent up to in-flight lookups (which land in
+    /// the next delta).
+    pub fn snapshot_hits(&self) -> Vec<(CacheKey, u64)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let s = unpoison(shard.lock());
+            out.extend(s.values().map(|e| (e.key, e.hits)));
+        }
+        out
+    }
+
+    /// Credit `n` external hits (dispatch-stub counter deltas) to an
+    /// entry: bumps recency and hit count as if `n` lookups had occurred,
+    /// so LRU eviction sees stub traffic too. Returns whether the key was
+    /// resident.
+    pub fn credit(&self, key: &CacheKey, n: u64) -> bool {
+        let now = self.now();
+        let mut s = unpoison(self.shard(key).lock());
+        let Some(e) = s.get_mut(key) else {
+            return false;
+        };
+        e.last_used = now;
+        e.hits += n;
+        true
+    }
+
     /// Insert (or replace) a variant; byte accounting is adjusted globally.
     pub fn insert(&self, key: CacheKey, variant: Arc<Variant>, req: SpecRequest) {
         let now = self.now();
@@ -122,10 +172,12 @@ impl ShardedCache {
     }
 
     /// Remove and return the globally highest-score entry other than
-    /// `keep`. Shards are scanned and locked one at a time (never nested),
-    /// so a concurrent hit may rescue a candidate between scoring and
-    /// removal — in that case the next round picks a new victim.
-    pub fn evict_victim(&self, keep: CacheKey) -> Option<Arc<Variant>> {
+    /// `keep` as a `(key, producing request, variant)` triple, so the
+    /// caller can hand the request to the tiering layer for possible
+    /// re-promotion. Shards are scanned and locked one at a time (never
+    /// nested), so a concurrent hit may rescue a candidate between scoring
+    /// and removal — in that case the next round picks a new victim.
+    pub fn evict_victim(&self, keep: CacheKey) -> Option<(CacheKey, SpecRequest, Arc<Variant>)> {
         let now = self.tick.load(Ordering::Relaxed);
         let mut best: Option<(u128, std::cmp::Reverse<u64>, CacheKey)> = None;
         for shard in &self.shards {
@@ -145,7 +197,7 @@ impl ShardedCache {
         self.resident
             .fetch_sub(e.variant.code_len, Ordering::AcqRel);
         self.count.fetch_sub(1, Ordering::AcqRel);
-        Some(e.variant)
+        Some((victim, e.req, e.variant))
     }
 
     /// Remove every entry whose variant satisfies `pred`; returns the
@@ -263,8 +315,9 @@ mod tests {
             func: 1,
             fingerprint: 30,
         };
-        let v = c.evict_victim(keep).unwrap();
+        let (vk, _, v) = c.evict_victim(keep).unwrap();
         assert_ne!(v.entry, 30, "`keep` is never the victim");
+        assert_eq!(vk.fingerprint, v.entry);
         assert_eq!(c.resident_bytes(), 200);
 
         c.clear();
@@ -282,6 +335,38 @@ mod tests {
         c.insert(key, d2.variant, d2.req);
         assert_eq!(c.len(), 1);
         assert_eq!(c.resident_bytes(), 40);
+    }
+
+    #[test]
+    fn peek_does_not_bump_credit_does() {
+        let c = ShardedCache::new(4);
+        let d = dummy_entry(1, 10, 100);
+        let key = d.key;
+        c.insert(key, d.variant, d.req);
+        c.peek(&key).unwrap();
+        assert_eq!(c.snapshot_hits(), vec![(key, 0)], "peek left hits alone");
+        assert!(c.credit(&key, 5));
+        assert_eq!(c.snapshot_hits(), vec![(key, 5)]);
+        assert!(!c.credit(
+            &CacheKey {
+                func: 1,
+                fingerprint: 99
+            },
+            1
+        ));
+    }
+
+    #[test]
+    fn remove_key_returns_request_and_accounts() {
+        let c = ShardedCache::new(4);
+        let d = dummy_entry(1, 10, 100);
+        let key = d.key;
+        c.insert(key, d.variant, d.req);
+        let (_, v) = c.remove_key(&key).unwrap();
+        assert_eq!(v.entry, 10);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.resident_bytes(), 0);
+        assert!(c.remove_key(&key).is_none());
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! Adaptive tiering: the policy layer that closes the counter →
+//! specialization loop.
+//!
+//! PR 3 gave dispatch stubs self-counting slots
+//! ([`crate::guard::CounterPage`]); until now nothing read them back — the
+//! profile-to-decision loop of "Profile-Guided, Multi-Version Binary
+//! Rewriting" stayed open. This module maintains a *decayed heat score*
+//! per `(function, request fingerprint)` and turns it into three actions,
+//! all driven through machinery earlier PRs built:
+//!
+//! - **Promote** — a fingerprint seen hot at dispatch but not resident is
+//!   enqueued for a deferred rewrite, so a later call dispatches into a
+//!   specialized variant without any operator input.
+//! - **Demote** — a resident variant whose heat decays below the demote
+//!   threshold is removed from the cache ahead of LRU byte pressure,
+//!   reclaiming its budget share for fingerprints that still earn it.
+//! - **Re-specialize** — after invalidation, only variants whose heat
+//!   clears the policy's bar are re-enqueued; cold stale variants just
+//!   die instead of paying a rewrite nobody will call.
+//!
+//! ## Heat bookkeeping
+//!
+//! Heat for key `k` evolves per [`SpecializationManager::tick`]:
+//!
+//! ```text
+//! heat(k) ← heat(k) * decay + input(k)
+//! ```
+//!
+//! where `input(k)` sums, since the previous tick:
+//!
+//! 1. the key's dispatch-stub counter delta (its [`CounterPage`] slot),
+//! 2. its variant-cache hit delta (requests answered from the cache), and
+//! 3. miss observations recorded by
+//!    [`SpecializationManager::request`] for non-resident keys.
+//!
+//! With a constant per-tick rate `r` the score converges to
+//! `r / (1 - decay)` — twice the rate at the default `decay = 0.5` — so
+//! thresholds read naturally as "sustained calls per tick". Between
+//! samples heat only decays (the proptest in `tests/tiering.rs` pins
+//! this), so one burst cannot hold a variant resident forever.
+//!
+//! Counter-page deltas are additionally *credited back* into the cache's
+//! LRU accounting ([`SpecializationManager`]'s sharded store): traffic
+//! that only ever flows through a stub still counts as recency/hits, so
+//! byte-pressure eviction and tiering agree about what is hot.
+//!
+//! The decision itself is pluggable ([`TieringPolicy`]);
+//! [`DecayedThreshold`] is the default: two thresholds forming a
+//! hysteresis band (`demote_heat < promote_heat`, so a key oscillating
+//! inside the band does nothing) plus a per-key cooldown of
+//! [`TieringConfig::cooldown_ticks`] between actions, which prevents
+//! promote/demote flapping even under an adversarial call stream.
+//!
+//! [`SpecializationManager`]: super::SpecializationManager
+//! [`SpecializationManager::tick`]: super::SpecializationManager::tick
+//! [`SpecializationManager::request`]: super::SpecializationManager::request
+//! [`CounterPage`]: crate::guard::CounterPage
+
+use super::{unpoison, CacheKey};
+use crate::guard::CounterPage;
+use crate::request::SpecRequest;
+use brew_image::Image;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Tuning knobs for the tiering layer. `decay` and `cooldown_ticks` are
+/// mechanics applied by the manager's tick; the two thresholds are
+/// consumed by the default [`DecayedThreshold`] policy (a custom
+/// [`TieringPolicy`] may ignore them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TieringConfig {
+    /// Heat at or above which a non-resident fingerprint is promoted
+    /// (its rewrite enqueued).
+    pub promote_heat: f64,
+    /// Heat at or below which a resident variant is demoted (evicted).
+    /// Must sit below `promote_heat`; the gap is the hysteresis band.
+    pub demote_heat: f64,
+    /// Multiplier applied to every heat score at each tick, in `(0, 1)`.
+    pub decay: f64,
+    /// Ticks a key must wait after a promote/demote before the policy may
+    /// act on it again — the anti-flap guard.
+    pub cooldown_ticks: u64,
+}
+
+impl Default for TieringConfig {
+    fn default() -> Self {
+        TieringConfig {
+            promote_heat: 8.0,
+            demote_heat: 1.0,
+            decay: 0.5,
+            cooldown_ticks: 2,
+        }
+    }
+}
+
+/// What the policy wants done with one key at one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierAction {
+    /// Leave the key as it is.
+    Stay,
+    /// Enqueue a deferred rewrite for the (non-resident) key.
+    Promote,
+    /// Remove the (resident) key's variant from the cache.
+    Demote,
+}
+
+/// The pluggable tiering decision. Implementations see one key at a time
+/// with its current (already decayed and fed) heat, whether a variant is
+/// resident, and how many ticks have passed since the layer last acted on
+/// the key. They must be `Send + Sync`: decisions run under the manager's
+/// tiering lock from whichever thread calls `tick`.
+pub trait TieringPolicy: Send + Sync {
+    /// Decide the key's fate this tick. The manager guards the obvious
+    /// contradictions (promoting a resident key, demoting an absent one)
+    /// regardless of what this returns.
+    fn decide(&self, heat: f64, resident: bool, ticks_since_action: u64) -> TierAction;
+
+    /// After invalidation found a variant stale: is its heat worth a
+    /// re-specialization, or should the variant die cold?
+    fn respecialize(&self, heat: f64) -> bool;
+}
+
+/// Default policy: decayed thresholds with a hysteresis band and cooldown.
+///
+/// - below `demote_heat` and resident → [`TierAction::Demote`]
+/// - at or above `promote_heat` and not resident → [`TierAction::Promote`]
+/// - inside the band, or within `cooldown_ticks` of the last action →
+///   [`TierAction::Stay`]
+///
+/// Stale variants re-specialize when their heat is strictly above the
+/// demote threshold — the same bar residency has to clear.
+#[derive(Debug, Clone, Copy)]
+pub struct DecayedThreshold {
+    promote_heat: f64,
+    demote_heat: f64,
+    cooldown_ticks: u64,
+}
+
+impl DecayedThreshold {
+    /// Policy reading its thresholds from `cfg`.
+    pub fn new(cfg: TieringConfig) -> Self {
+        DecayedThreshold {
+            promote_heat: cfg.promote_heat,
+            demote_heat: cfg.demote_heat,
+            cooldown_ticks: cfg.cooldown_ticks,
+        }
+    }
+}
+
+impl From<TieringConfig> for DecayedThreshold {
+    fn from(cfg: TieringConfig) -> Self {
+        Self::new(cfg)
+    }
+}
+
+impl TieringPolicy for DecayedThreshold {
+    fn decide(&self, heat: f64, resident: bool, ticks_since_action: u64) -> TierAction {
+        if ticks_since_action < self.cooldown_ticks {
+            return TierAction::Stay;
+        }
+        if !resident && heat >= self.promote_heat {
+            TierAction::Promote
+        } else if resident && heat <= self.demote_heat {
+            TierAction::Demote
+        } else {
+            TierAction::Stay
+        }
+    }
+
+    fn respecialize(&self, heat: f64) -> bool {
+        heat > self.demote_heat
+    }
+}
+
+/// What one [`SpecializationManager::tick`] did — returned to the caller
+/// so drivers (and the C4 experiment) can watch convergence.
+///
+/// [`SpecializationManager::tick`]: super::SpecializationManager::tick
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickSummary {
+    /// The tick's sequence number (1-based; 0 means tiering is disabled).
+    pub tick: u64,
+    /// Heat inputs consumed this tick: counter-page deltas + cache-hit
+    /// deltas + miss observations.
+    pub sampled: u64,
+    /// Keys with live heat entries after the tick.
+    pub tracked: usize,
+    /// Promotions issued this tick (rewrites enqueued or run inline).
+    pub promoted: usize,
+    /// Resident variants demoted (removed from the cache) this tick.
+    pub demoted: usize,
+}
+
+/// Per-key tiering state.
+#[derive(Default)]
+pub(super) struct HeatEntry {
+    /// The decayed score.
+    pub heat: f64,
+    /// Inputs accumulated since the last tick (miss observations and
+    /// counter-page deltas folded in between ticks).
+    pub pending: u64,
+    /// The cache entry's hit counter as of the last tick — deltas against
+    /// it feed heat without re-counting history.
+    pub last_hits: u64,
+    /// Hits credited into the cache from counter pages this tick; folded
+    /// into `last_hits` so the credit is not re-observed as a hit delta.
+    pub credited: u64,
+    /// Tick of the last promote/demote for cooldown accounting.
+    pub last_action_tick: u64,
+    /// The request to replay on promotion. Captured from miss
+    /// observations, demotions and evictions; `None` means the key was
+    /// only ever seen through a counter page and cannot be promoted yet.
+    pub req: Option<SpecRequest>,
+}
+
+/// One registered self-counting dispatch stub: the page, the cache key
+/// behind each case slot, and the last-sampled slot values.
+pub(super) struct CounterSource {
+    pub page: CounterPage,
+    pub keys: Vec<CacheKey>,
+    pub last: Vec<u64>,
+}
+
+/// Mutable tiering state, all under one mutex — critical sections are a
+/// single pass over small maps and never block on I/O or rewriting.
+#[derive(Default)]
+pub(super) struct TierState {
+    pub tick: u64,
+    pub heat: HashMap<CacheKey, HeatEntry>,
+    pub sources: HashMap<u64, CounterSource>,
+}
+
+/// The tiering layer owned by a [`SpecializationManager`] built with
+/// [`ManagerBuilder::tiering`].
+///
+/// [`SpecializationManager`]: super::SpecializationManager
+/// [`ManagerBuilder::tiering`]: super::ManagerBuilder::tiering
+pub(super) struct Tiering {
+    pub cfg: TieringConfig,
+    pub policy: Box<dyn TieringPolicy>,
+    pub state: Mutex<TierState>,
+}
+
+impl Tiering {
+    pub fn new(cfg: TieringConfig, policy: Box<dyn TieringPolicy>) -> Self {
+        Tiering {
+            cfg,
+            policy,
+            state: Mutex::new(TierState::default()),
+        }
+    }
+
+    /// Record a request miss for `key`: one unit of pending heat plus the
+    /// request itself, so a later promotion can replay it.
+    pub fn observe_miss(&self, key: CacheKey, req: &SpecRequest) {
+        let mut st = unpoison(self.state.lock());
+        let e = st.heat.entry(key).or_default();
+        e.pending += 1;
+        if e.req.is_none() {
+            e.req = Some(req.clone());
+        }
+    }
+
+    /// Remember `req` for `key` (demotion/eviction path) so the key stays
+    /// promotable, and reset its hit baseline — the cache entry is gone.
+    pub fn retain_request(&self, key: CacheKey, req: SpecRequest) {
+        let mut st = unpoison(self.state.lock());
+        let e = st.heat.entry(key).or_default();
+        e.req = Some(req);
+        e.last_hits = 0;
+        e.credited = 0;
+    }
+
+    /// Register (or replace) the counter page behind `func`'s dispatch
+    /// stub. Residual deltas of a replaced page are folded into pending
+    /// heat first, so calls between the last tick and a dispatcher rebuild
+    /// are not lost.
+    pub fn register_source(&self, img: &Image, func: u64, page: CounterPage, keys: Vec<CacheKey>) {
+        let mut st = unpoison(self.state.lock());
+        if let Some(old) = st.sources.remove(&func) {
+            if let Ok((_, deltas)) = old.page.delta_since(img, &old.last) {
+                for (i, key) in old.keys.iter().enumerate() {
+                    if deltas[i] > 0 {
+                        st.heat.entry(*key).or_default().pending += deltas[i];
+                    }
+                }
+            }
+        }
+        let last = vec![0; keys.len() + 1];
+        st.sources.insert(func, CounterSource { page, keys, last });
+    }
+
+    /// Current heat of `key` (0.0 when untracked).
+    pub fn heat_of(&self, key: &CacheKey) -> f64 {
+        unpoison(self.state.lock())
+            .heat
+            .get(key)
+            .map(|e| e.heat)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decayed_threshold_hysteresis_band() {
+        let p = DecayedThreshold::new(TieringConfig {
+            promote_heat: 8.0,
+            demote_heat: 2.0,
+            decay: 0.5,
+            cooldown_ticks: 0,
+        });
+        // Below the band, resident → demote; non-resident → stay.
+        assert_eq!(p.decide(1.0, true, 10), TierAction::Demote);
+        assert_eq!(p.decide(1.0, false, 10), TierAction::Stay);
+        // Inside the band nothing moves in either direction.
+        assert_eq!(p.decide(5.0, true, 10), TierAction::Stay);
+        assert_eq!(p.decide(5.0, false, 10), TierAction::Stay);
+        // Above the band, non-resident → promote; resident → stay.
+        assert_eq!(p.decide(9.0, false, 10), TierAction::Promote);
+        assert_eq!(p.decide(9.0, true, 10), TierAction::Stay);
+    }
+
+    #[test]
+    fn cooldown_blocks_actions() {
+        let p = DecayedThreshold::new(TieringConfig {
+            promote_heat: 8.0,
+            demote_heat: 2.0,
+            decay: 0.5,
+            cooldown_ticks: 3,
+        });
+        assert_eq!(p.decide(9.0, false, 2), TierAction::Stay);
+        assert_eq!(p.decide(9.0, false, 3), TierAction::Promote);
+        assert_eq!(p.decide(0.0, true, 2), TierAction::Stay);
+        assert_eq!(p.decide(0.0, true, 3), TierAction::Demote);
+    }
+
+    #[test]
+    fn respecialize_uses_demote_bar() {
+        let p = DecayedThreshold::from(TieringConfig::default());
+        assert!(!p.respecialize(0.0));
+        assert!(!p.respecialize(1.0)); // exactly at demote_heat: dies
+        assert!(p.respecialize(1.5));
+    }
+
+    #[test]
+    fn observe_miss_accumulates_and_keeps_first_request() {
+        let t = Tiering::new(
+            TieringConfig::default(),
+            Box::new(DecayedThreshold::from(TieringConfig::default())),
+        );
+        let key = CacheKey {
+            func: 0x40_0000,
+            fingerprint: 7,
+        };
+        t.observe_miss(key, &SpecRequest::new());
+        t.observe_miss(key, &SpecRequest::new());
+        let st = unpoison(t.state.lock());
+        let e = &st.heat[&key];
+        assert_eq!(e.pending, 2);
+        assert!(e.req.is_some());
+        assert_eq!(e.heat, 0.0, "heat only moves at ticks");
+    }
+}

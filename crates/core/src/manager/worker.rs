@@ -92,6 +92,11 @@ impl JobQueue {
         Enqueue::Queued
     }
 
+    /// Jobs currently waiting (not yet popped by a worker).
+    pub fn pending(&self) -> usize {
+        unpoison(self.state.lock()).jobs.len()
+    }
+
     /// Blocking pop: waits while the queue is open and empty; returns
     /// `None` once it is closed *and* drained.
     pub fn pop(&self) -> Option<Job> {

@@ -144,11 +144,14 @@ pub enum Ctr {
     PanicsContained,
     VerifyPassed,
     VerifyRejected,
+    TierPromoted,
+    TierDemoted,
+    TierRespecialized,
 }
 
 impl Ctr {
     /// Every counter, in exposition order.
-    pub const ALL: [Ctr; 20] = [
+    pub const ALL: [Ctr; 23] = [
         Ctr::CacheHits,
         Ctr::CacheMisses,
         Ctr::CacheCoalesced,
@@ -169,6 +172,9 @@ impl Ctr {
         Ctr::PanicsContained,
         Ctr::VerifyPassed,
         Ctr::VerifyRejected,
+        Ctr::TierPromoted,
+        Ctr::TierDemoted,
+        Ctr::TierRespecialized,
     ];
 
     /// Prometheus metric name.
@@ -194,6 +200,9 @@ impl Ctr {
             Ctr::PanicsContained => "brew_rewrite_panics_total",
             Ctr::VerifyPassed => "brew_verify_passed_total",
             Ctr::VerifyRejected => "brew_verify_rejected_total",
+            Ctr::TierPromoted => "brew_tier_promoted_total",
+            Ctr::TierDemoted => "brew_tier_demoted_total",
+            Ctr::TierRespecialized => "brew_tier_respecialized_total",
         }
     }
 
@@ -220,6 +229,13 @@ impl Ctr {
             Ctr::PanicsContained => "Rewrite-pipeline panics converted into errors",
             Ctr::VerifyPassed => "Variants that passed the publish gate's static verification",
             Ctr::VerifyRejected => "Variants rejected (and never published) by the publish gate",
+            Ctr::TierPromoted => {
+                "Hot fingerprints promoted (rewrite enqueued) by the tiering layer"
+            }
+            Ctr::TierDemoted => "Cold resident variants demoted (evicted) by the tiering layer",
+            Ctr::TierRespecialized => {
+                "Stale variants re-enqueued because their heat cleared the bar"
+            }
         }
     }
 }
@@ -232,15 +248,21 @@ pub enum Gge {
     ResidentBytes,
     ResidentVariants,
     NegativeEntries,
+    HeatTracked,
+    HeatMax,
+    HeatMean,
 }
 
 impl Gge {
     /// Every gauge, in exposition order.
-    pub const ALL: [Gge; 4] = [
+    pub const ALL: [Gge; 7] = [
         Gge::InflightRewrites,
         Gge::ResidentBytes,
         Gge::ResidentVariants,
         Gge::NegativeEntries,
+        Gge::HeatTracked,
+        Gge::HeatMax,
+        Gge::HeatMean,
     ];
 
     /// Prometheus metric name.
@@ -250,6 +272,9 @@ impl Gge {
             Gge::ResidentBytes => "brew_cache_resident_bytes",
             Gge::ResidentVariants => "brew_cache_resident_variants",
             Gge::NegativeEntries => "brew_negative_entries",
+            Gge::HeatTracked => "brew_tier_heat_tracked",
+            Gge::HeatMax => "brew_tier_heat_max_milli",
+            Gge::HeatMean => "brew_tier_heat_mean_milli",
         }
     }
 
@@ -260,6 +285,9 @@ impl Gge {
             Gge::ResidentBytes => "Code bytes currently resident in the variant cache",
             Gge::ResidentVariants => "Variants currently resident in the cache",
             Gge::NegativeEntries => "Keys currently memoized as failing in the negative cache",
+            Gge::HeatTracked => "Keys with live tiering heat scores as of the last tick",
+            Gge::HeatMax => "Hottest tiering heat score (x1000) as of the last tick",
+            Gge::HeatMean => "Mean tiering heat score (x1000) as of the last tick",
         }
     }
 }
@@ -421,6 +449,9 @@ impl MetricsRegistry {
             Event::Denied { .. } => self.counter(Ctr::NegativeHits).inc(),
             Event::Stale { .. } => self.counter(Ctr::CacheStale).inc(),
             Event::Invalidated { .. } => self.counter(Ctr::CacheInvalidated).inc(),
+            Event::Promoted { .. } => self.counter(Ctr::TierPromoted).inc(),
+            Event::Demoted { .. } => self.counter(Ctr::TierDemoted).inc(),
+            Event::Respecialized { .. } => self.counter(Ctr::TierRespecialized).inc(),
         }
     }
 

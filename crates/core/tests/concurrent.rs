@@ -66,9 +66,10 @@ impl EventSink for SharedSink {
 #[test]
 fn skewed_mix_traces_each_fingerprint_exactly_once() {
     let (img, poly) = setup();
-    let mgr = SpecializationManager::new();
     let events = Arc::new(Mutex::new(Vec::new()));
-    mgr.set_sink(Box::new(SharedSink(Arc::clone(&events))));
+    let mgr = SpecializationManager::builder()
+        .event_sink(Box::new(SharedSink(Arc::clone(&events))))
+        .build();
     let budget = mgr.budget_bytes();
 
     std::thread::scope(|s| {
@@ -122,7 +123,7 @@ fn concurrent_eviction_respects_global_budget() {
         .unwrap()
         .code_len;
     let budget = probe * 3 + probe / 2;
-    let mgr = SpecializationManager::with_budget(budget);
+    let mgr = SpecializationManager::builder().budget(budget).build();
 
     std::thread::scope(|s| {
         for tid in 0..THREADS {

@@ -3,7 +3,7 @@
 //! containment in the manager.
 
 use brew_core::{
-    Dispatch, Event, EventSink, NegativePolicy, RetKind, RewriteError, SpecRequest,
+    Dispatch, Event, EventSink, Invalidation, NegativePolicy, RetKind, RewriteError, SpecRequest,
     SpecializationManager,
 };
 use brew_emu::{CallArgs, Machine};
@@ -50,10 +50,12 @@ fn negative_cache_denies_repeats_without_retracing() {
     let (img, prog) = setup();
     let poly = prog.func("poly").unwrap();
     // A backoff too large to elapse in this test: every repeat is denied.
-    let mgr = SpecializationManager::new().with_negative_policy(NegativePolicy {
-        base_backoff: 1_000_000,
-        attempt_cap: 10,
-    });
+    let mgr = SpecializationManager::builder()
+        .negative_policy(NegativePolicy {
+            base_backoff: 1_000_000,
+            attempt_cap: 10,
+        })
+        .build();
 
     let req = doomed_req();
     let first = mgr.get_or_rewrite(&img, poly, &req);
@@ -109,10 +111,12 @@ fn backoff_retries_and_succeeds_once_the_failure_cause_is_removed() {
     let divit = prog.func("divit").unwrap();
     let p = img.alloc_heap(8, 8);
     img.write_u64(p, 0).unwrap(); // division by known zero: trace faults
-    let mgr = SpecializationManager::new().with_negative_policy(NegativePolicy {
-        base_backoff: 2,
-        attempt_cap: 10,
-    });
+    let mgr = SpecializationManager::builder()
+        .negative_policy(NegativePolicy {
+            base_backoff: 2,
+            attempt_cap: 10,
+        })
+        .build();
     // PTR_TO_KNOWN fingerprints the pointer, not the pointee — fixing the
     // data keeps the same cache key, which is exactly what lets a decayed
     // retry succeed where the original attempt failed.
@@ -162,7 +166,10 @@ fn revalidate_drops_exactly_the_stale_variant() {
     let c = img.alloc_heap(16, 8);
     img.write_u64(c, 3).unwrap();
     img.write_u64(c + 8, 7).unwrap();
-    let mgr = SpecializationManager::new();
+    let sink = Arc::new(brew_core::RecordingSink::default());
+    let mgr = SpecializationManager::builder()
+        .event_sink(Box::new(SharedSink(Arc::clone(&sink))))
+        .build();
     let dot_req = SpecRequest::new()
         .ptr_to_known(c, 16)
         .unknown_int()
@@ -195,10 +202,11 @@ fn revalidate_drops_exactly_the_stale_variant() {
     assert!(Arc::ptr_eq(&v1, &stale), "same key -> same cached variant");
     assert_eq!(run(&mut m, stale.entry), 37, "stale: still the old fold");
 
-    // revalidate() re-hashes every snapshot and drops only the mismatch.
-    let sink = Arc::new(brew_core::RecordingSink::default());
-    mgr.set_sink(Box::new(SharedSink(Arc::clone(&sink))));
-    assert_eq!(mgr.revalidate(&img), 1);
+    // The Revalidate sweep re-hashes every snapshot and drops only the
+    // mismatch. Drain the setup-phase events first so the assertions
+    // below see exactly the sweep's output.
+    sink.take();
+    assert_eq!(mgr.apply_invalidation(Invalidation::Revalidate(&img)), 1);
     let st = mgr.stats();
     assert_eq!((st.stale, st.invalidated), (1, 1), "{st:?}");
     assert_eq!(mgr.len(), 1, "the empty-snapshot variant survived");
@@ -220,7 +228,7 @@ fn revalidate_drops_exactly_the_stale_variant() {
     assert_eq!(run(&mut m, dot), 57, "specialized == original");
 
     // A second revalidate finds nothing stale.
-    assert_eq!(mgr.revalidate(&img), 0);
+    assert_eq!(mgr.apply_invalidation(Invalidation::Revalidate(&img)), 0);
 }
 
 #[test]
@@ -246,13 +254,16 @@ fn invalidate_data_intersects_folded_ranges_precisely() {
 
     // A range that touches only block `a` drops only `a`'s variant —
     // no image access, no hashing, pure range intersection.
-    assert_eq!(mgr.invalidate_data(a + 8..a + 9), 1);
+    assert_eq!(mgr.apply_invalidation(Invalidation::Data(a + 8..a + 9)), 1);
     assert_eq!(mgr.len(), 1);
     let still = mgr.get_or_rewrite(&img, dot, &req_of(b)).unwrap();
     assert!(Arc::ptr_eq(&vb, &still), "b's variant was untouched");
 
     // A range adjacent to (but not overlapping) `b`'s fold is a no-op.
-    assert_eq!(mgr.invalidate_data(b + 16..b + 32), 0);
+    assert_eq!(
+        mgr.apply_invalidation(Invalidation::Data(b + 16..b + 32)),
+        0
+    );
 
     // Re-specializing `a` after its data changed picks up fresh values.
     img.write_u64(a, 10).unwrap();
@@ -267,8 +278,11 @@ fn invalidate_data_intersects_folded_ranges_precisely() {
     // negative entries it accumulated.
     mgr.get_or_rewrite(&img, prog.func("poly").unwrap(), &doomed_req())
         .unwrap_err();
-    assert_eq!(mgr.invalidate(dot), 2);
-    assert_eq!(mgr.invalidate(prog.func("poly").unwrap()), 0);
+    assert_eq!(mgr.apply_invalidation(Invalidation::Func(dot)), 2);
+    assert_eq!(
+        mgr.apply_invalidation(Invalidation::Func(prog.func("poly").unwrap())),
+        0
+    );
     assert_eq!(mgr.negative_len(), 0, "poly's negative entry was dropped");
     assert!(mgr.is_empty());
 }
@@ -299,8 +313,9 @@ impl EventSink for PanickingSink {
 fn panicking_sink_fails_jobs_not_the_worker_pool() {
     let (img, prog) = setup();
     let poly = prog.func("poly").unwrap();
-    let mgr = SpecializationManager::new();
-    mgr.set_sink(Box::new(PanickingSink(AtomicU64::new(0))));
+    let mgr = SpecializationManager::builder()
+        .event_sink(Box::new(PanickingSink(AtomicU64::new(0))))
+        .build();
 
     // Without containment the first panic would unwind through
     // `std::thread::scope` and abort the whole batch (and this test).
@@ -331,10 +346,12 @@ fn panicking_sink_fails_jobs_not_the_worker_pool() {
 fn deferred_jobs_respect_the_negative_backoff() {
     let (img, prog) = setup();
     let poly = prog.func("poly").unwrap();
-    let mgr = SpecializationManager::new().with_negative_policy(NegativePolicy {
-        base_backoff: 1_000_000,
-        attempt_cap: 10,
-    });
+    let mgr = SpecializationManager::builder()
+        .negative_policy(NegativePolicy {
+            base_backoff: 1_000_000,
+            attempt_cap: 10,
+        })
+        .build();
     let req = doomed_req();
 
     // First scope: the miss queues one job; the worker traces it, fails,
@@ -395,7 +412,7 @@ proptest! {
         // the variant), sweep, and re-request.
         img.write_u64(c, m0).unwrap();
         img.write_u64(c + 8, m1).unwrap();
-        let dropped = mgr.revalidate(&img);
+        let dropped = mgr.apply_invalidation(Invalidation::Revalidate(&img));
         let unchanged = (m0, m1) == (c0, c1);
         prop_assert_eq!(dropped, if unchanged { 0 } else { 1 });
 

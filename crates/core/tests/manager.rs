@@ -80,7 +80,9 @@ fn eviction_under_tight_byte_budget_keeps_recent_variant() {
         .get_or_rewrite(&img, poly, &poly_req(2))
         .unwrap()
         .code_len;
-    let mgr = SpecializationManager::with_budget(probe * 2 + probe / 2);
+    let mgr = SpecializationManager::builder()
+        .budget(probe * 2 + probe / 2)
+        .build();
 
     for n in 2..8 {
         mgr.get_or_rewrite(&img, poly, &poly_req(n)).unwrap();
@@ -153,8 +155,9 @@ impl EventSink for SharedSink {
 fn event_sink_streams_miss_rewrite_hit_and_dispatch() {
     let (img, poly) = setup();
     let events = Arc::new(Mutex::new(Vec::new()));
-    let mgr = SpecializationManager::new();
-    mgr.set_sink(Box::new(SharedSink(Arc::clone(&events))));
+    let mgr = SpecializationManager::builder()
+        .event_sink(Box::new(SharedSink(Arc::clone(&events))))
+        .build();
 
     let v = mgr.get_or_rewrite(&img, poly, &poly_req(6)).unwrap();
     mgr.get_or_rewrite(&img, poly, &poly_req(6)).unwrap();

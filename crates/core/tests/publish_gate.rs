@@ -37,17 +37,18 @@ fn poly_req(n: i64) -> SpecRequest {
 #[test]
 fn accepting_gate_publishes_and_counts() {
     let (img, poly) = setup();
-    let mgr = SpecializationManager::new();
     let seen = Arc::new(AtomicUsize::new(0));
     let seen2 = Arc::clone(&seen);
-    mgr.set_publish_gate(Box::new(
-        move |_img: &Image, func: u64, _req: &SpecRequest, res: &brew_core::RewriteResult| {
-            assert!(res.code_len > 0);
-            assert!(func > 0);
-            seen2.fetch_add(1, Ordering::SeqCst);
-            Ok(())
-        },
-    ));
+    let mgr = SpecializationManager::builder()
+        .publish_gate(Box::new(
+            move |_img: &Image, func: u64, _req: &SpecRequest, res: &brew_core::RewriteResult| {
+                assert!(res.code_len > 0);
+                assert!(func > 0);
+                seen2.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            },
+        ))
+        .build();
     let v = mgr.get_or_rewrite(&img, poly, &poly_req(5)).unwrap();
     assert!(v.code_len > 0);
     assert_eq!(seen.load(Ordering::SeqCst), 1);
@@ -63,18 +64,20 @@ fn accepting_gate_publishes_and_counts() {
 #[test]
 fn rejected_variant_is_never_published_and_denied_after() {
     let (img, poly) = setup();
-    let mgr = SpecializationManager::new().with_negative_policy(NegativePolicy {
-        base_backoff: 1_000_000,
-        attempt_cap: 10,
-    });
-    mgr.set_publish_gate(Box::new(
-        |_: &Image, _: u64, _: &SpecRequest, _: &brew_core::RewriteResult| {
-            Err(PublishRejection {
-                findings: 3,
-                summary: "wild jump at 0x900000".into(),
-            })
-        },
-    ));
+    let mgr = SpecializationManager::builder()
+        .negative_policy(NegativePolicy {
+            base_backoff: 1_000_000,
+            attempt_cap: 10,
+        })
+        .publish_gate(Box::new(
+            |_: &Image, _: u64, _: &SpecRequest, _: &brew_core::RewriteResult| {
+                Err(PublishRejection {
+                    findings: 3,
+                    summary: "wild jump at 0x900000".into(),
+                })
+            },
+        ))
+        .build();
     let err = mgr.get_or_rewrite(&img, poly, &poly_req(5)).unwrap_err();
     match &err {
         RewriteError::VerifyRejected { findings, first } => {
@@ -100,14 +103,15 @@ fn rejected_variant_is_never_published_and_denied_after() {
 #[test]
 fn gate_panic_is_contained() {
     let (img, poly) = setup();
-    let mgr = SpecializationManager::new();
-    mgr.set_publish_gate(Box::new(
-        |_: &Image,
-         _: u64,
-         _: &SpecRequest,
-         _: &brew_core::RewriteResult|
-         -> Result<(), PublishRejection> { panic!("verifier bug") },
-    ));
+    let mgr = SpecializationManager::builder()
+        .publish_gate(Box::new(
+            |_: &Image,
+             _: u64,
+             _: &SpecRequest,
+             _: &brew_core::RewriteResult|
+             -> Result<(), PublishRejection> { panic!("verifier bug") },
+        ))
+        .build();
     let err = mgr.get_or_rewrite(&img, poly, &poly_req(5)).unwrap_err();
     assert!(matches!(err, RewriteError::Internal(ref s) if s.contains("verifier bug")));
     assert_eq!(mgr.stats().panics_contained, 1);
@@ -117,15 +121,16 @@ fn gate_panic_is_contained() {
 #[test]
 fn deferred_path_runs_the_gate() {
     let (img, poly) = setup();
-    let mgr = SpecializationManager::new();
-    mgr.set_publish_gate(Box::new(
-        |_: &Image, _: u64, _: &SpecRequest, _: &brew_core::RewriteResult| {
-            Err(PublishRejection {
-                findings: 1,
-                summary: "stack imbalance".into(),
-            })
-        },
-    ));
+    let mgr = SpecializationManager::builder()
+        .publish_gate(Box::new(
+            |_: &Image, _: u64, _: &SpecRequest, _: &brew_core::RewriteResult| {
+                Err(PublishRejection {
+                    findings: 1,
+                    summary: "stack imbalance".into(),
+                })
+            },
+        ))
+        .build();
     mgr.run_deferred(&img, 2, || {
         let d = mgr.request(&img, poly, &poly_req(7)).unwrap();
         assert!(!d.is_specialized());

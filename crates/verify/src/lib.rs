@@ -303,7 +303,7 @@ impl PublishGate for VerifyGate {
 }
 
 /// A boxed [`VerifyGate`] with default options, ready for
-/// [`brew_core::SpecializationManager::set_publish_gate`].
+/// [`brew_core::ManagerBuilder::publish_gate`].
 pub fn publish_gate() -> Box<dyn PublishGate> {
     Box::new(VerifyGate::default())
 }

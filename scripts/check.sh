@@ -9,6 +9,8 @@
 #   scripts/check.sh lifecycle  # failure/staleness gate: tests + C3 ratio
 #   scripts/check.sh verify     # static-verifier gate: 100% mutant
 #                               # detection, zero false positives, docs clean
+#   scripts/check.sh tier       # adaptive-tiering gate: tests + C4
+#                               # convergence onto the oracle hot set
 #
 # The stress stage reruns the timing-sensitive suites under `--release`
 # so single-flight/eviction races get exercised with optimization on.
@@ -124,6 +126,27 @@ if [ "$stage" = "all" ] || [ "$stage" = "verify" ]; then
     echo "==> cargo doc (warnings are errors)"
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline >/dev/null
     echo "static-verifier gate passed (100% detection, 0 false positives)"
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "tier" ]; then
+    echo "==> adaptive-tiering gate (tiering tests + C4 convergence)"
+    cargo test --release --offline -q -p brew-core --test tiering
+
+    # The C4 experiment must re-converge the resident set onto the oracle
+    # hot set (>= 90% overlap) within every drift phase's round budget,
+    # with no operator input (the tiering acceptance bar, EXPERIMENTS.md C4).
+    tier_out="$(cargo run --release --offline -p brew-bench --bin tables -- --exp tier)"
+    if ! printf '%s' "$tier_out" | grep -q 'all phases converged: yes'; then
+        echo "FAIL: tiering did not re-converge on every drift phase" >&2
+        printf '%s\n' "$tier_out" >&2
+        exit 1
+    fi
+    if printf '%s' "$tier_out" | grep -q 'never'; then
+        echo "FAIL: a drift phase never reached 90% oracle overlap" >&2
+        printf '%s\n' "$tier_out" >&2
+        exit 1
+    fi
+    echo "adaptive-tiering gate passed (resident set tracks the drifting hot set)"
 fi
 
 echo "All checks passed ($stage)."

@@ -21,8 +21,9 @@ use std::sync::Arc;
 /// so each variant that reaches a caller has also passed translation
 /// validation — a rejection would surface as a rewrite error below.
 fn manager_entries(img: &Image, f: u64, req: &SpecRequest) -> Vec<u64> {
-    let mgr = SpecializationManager::new();
-    mgr.set_publish_gate(publish_gate());
+    let mgr = SpecializationManager::builder()
+        .publish_gate(publish_gate())
+        .build();
     let cold = mgr.get_or_rewrite(img, f, req).unwrap();
     let warm = mgr.get_or_rewrite(img, f, req).unwrap();
     assert!(
@@ -35,8 +36,10 @@ fn manager_entries(img: &Image, f: u64, req: &SpecRequest) -> Vec<u64> {
     // Budget for exactly one variant, then alternate two fingerprints of
     // the same semantics (`max_trace_insts` is fingerprinted but does not
     // change this trace) to force an eviction and a re-trace.
-    let tiny = SpecializationManager::with_budget(cold.code_len);
-    tiny.set_publish_gate(publish_gate());
+    let tiny = SpecializationManager::builder()
+        .budget(cold.code_len)
+        .publish_gate(publish_gate())
+        .build();
     tiny.get_or_rewrite(img, f, req).unwrap();
     let alt = req.clone().max_trace_insts(3_999_999);
     tiny.get_or_rewrite(img, f, &alt).unwrap();
