@@ -1,0 +1,25 @@
+//! C5: serving wall-clock — cold start vs gated warm start of the
+//! persisted variant set, and the zipfian dispatch torture through the
+//! epoch-pinned read path (with and without writer churn).
+
+use brew_bench::serve_study;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("c5_serve");
+    g.sample_size(10);
+
+    // The full study: cold, checkpoint, warm, serving rows, corruption
+    // sweep — the gates must hold on every iteration.
+    g.bench_function("full_study_small", |b| {
+        b.iter(|| {
+            let r = serve_study(500, &[1, 2]);
+            assert!(r.gates_hold(), "C5 gates regressed");
+            r.warm_ns
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,454 @@
+//! C5 — wait-free serving read path + verified variant persistence under
+//! a zipfian dispatch torture.
+//!
+//! Four phases over one kernel family (`madd`, specialized per known trip
+//! count, so every key is a distinct straight-line variant):
+//!
+//! 1. **Cold start**: a gated manager rewrites every key from scratch —
+//!    trace, passes, emit, publish-gate verification. Wall-clock.
+//! 2. **Checkpoint + warm start**: the resident set is serialized with
+//!    [`brew_core::persist`] and re-materialized into a *fresh* process
+//!    image through a manager carrying the same publish gate — every
+//!    entry re-verified before publication. The headline gate: warm start
+//!    must be >= 5x faster than cold.
+//! 3. **Serving**: reader threads hammer `request` with a zipfian draw
+//!    over the warm keys and record per-dispatch latency (p50/p99). Every
+//!    dispatch must come back `Specialized` — a hit through the
+//!    epoch-pinned, lock-free shard read path. One extra row runs the
+//!    same measurement while a writer thread churns the index
+//!    (publish + invalidate on a sibling function) to show the RCU swap
+//!    keeps reader tail latency bounded.
+//! 4. **Corruption sweep**: every entry of the checkpoint is bit-flipped
+//!    in turn (plus a truncation and a version skew) and offered to a
+//!    fresh gated manager; each corruption must be rejected with zero
+//!    false accepts.
+
+use brew_core::persist;
+use brew_core::telemetry::metrics::Ctr;
+use brew_core::{Invalidation, RetKind, SpecRequest, SpecializationManager};
+use brew_image::Image;
+use brew_minic::compile_into;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// The serving kernels: `madd` is the served family (one variant per
+/// known `b`); `churn` is the sibling the writer thread republishes and
+/// invalidates to keep the shard index swapping during measurement.
+const PROG: &str = r#"
+    int madd(int x, int b) {
+        int acc = 0;
+        for (int i = 0; i < b; i++) {
+            int k = (i * 3 + b) * (i * 5 + 7);
+            acc = acc + x + k + i;
+        }
+        return acc;
+    }
+    int churn(int x, int b) {
+        int acc = 0;
+        for (int i = 0; i < b; i++) acc = acc + x * 2 + i;
+        return acc;
+    }
+"#;
+
+/// Distinct served fingerprints (`b = B_OFF+1..=B_OFF+KEYS`).
+pub const KEYS: u64 = 24;
+/// Trip-count offset: larger known `b` means more traced guest
+/// instructions and more optimization-pass work per cold rewrite, the
+/// cost the warm start amortizes away.
+const B_OFF: i64 = 40;
+/// Zipf head size carrying [`SERVE_HEAD_MASS_PCT`] of the draws.
+const HOT: usize = 8;
+/// Percentage of draws landing in the hot head.
+pub const SERVE_HEAD_MASS_PCT: u64 = 90;
+/// Churn-function fingerprints the writer cycles through.
+const CHURN_KEYS: i64 = 6;
+
+/// One serving measurement row.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Reader threads dispatching concurrently.
+    pub threads: u32,
+    /// Whether a writer thread churned the shard index during the row.
+    pub churn: bool,
+    /// Total dispatches measured across all readers.
+    pub dispatches: u64,
+    /// Median per-dispatch latency in ns (request + fingerprint + hit).
+    pub p50_ns: u64,
+    /// 99th-percentile per-dispatch latency in ns.
+    pub p99_ns: u64,
+    /// Whether every dispatch returned a specialized variant (pure hit
+    /// path — no miss, no fallback to the original).
+    pub all_specialized: bool,
+}
+
+/// The C5 report.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Variants in the served set.
+    pub keys: u64,
+    /// Wall-clock ns of the gated cold start (all keys rewritten).
+    pub cold_ns: u64,
+    /// Checkpoint size in bytes.
+    pub checkpoint_bytes: usize,
+    /// Wall-clock ns of the gated warm start (decode + re-place +
+    /// re-verify + publish all keys into a fresh image).
+    pub warm_ns: u64,
+    /// Entries the warm start published (must equal `keys`).
+    pub warm_published: usize,
+    /// One row per serving configuration.
+    pub serving: Vec<ServeRow>,
+    /// Epoch snapshots published by index writers over the run.
+    pub epoch_published: u64,
+    /// Epoch snapshots reclaimed after their grace period.
+    pub epoch_reclaimed: u64,
+    /// Corruption cases offered to the load path.
+    pub corrupted_total: usize,
+    /// Corruption cases rejected (typed error, variant not published).
+    pub corrupted_rejected: usize,
+    /// Corrupted entries that loaded anyway — must be zero.
+    pub false_accepts: usize,
+}
+
+impl ServeReport {
+    /// cold / warm wall-clock ratio.
+    pub fn warm_speedup(&self) -> f64 {
+        self.cold_ns as f64 / self.warm_ns.max(1) as f64
+    }
+
+    /// The three gates the CI stage greps for.
+    pub fn gates_hold(&self) -> bool {
+        self.warm_speedup() >= 5.0
+            && self.serving.iter().all(|r| r.all_specialized)
+            && self.false_accepts == 0
+            && self.corrupted_rejected == self.corrupted_total
+    }
+}
+
+/// Deterministic 64-bit mixer (splitmix64) — the study's only RNG.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draw one served `b`: [`SERVE_HEAD_MASS_PCT`]% of draws hit the
+/// [`HOT`]-value zipf head (rank r weighted 1/(r+1)), the rest spread
+/// uniformly over the tail.
+fn draw(rng: &mut u64) -> i64 {
+    if splitmix64(rng) % 100 < SERVE_HEAD_MASS_PCT {
+        let total: u64 = (1..=HOT as u64).map(|r| 1_000_000 / r).sum();
+        let mut pick = splitmix64(rng) % total;
+        for r in 0..HOT {
+            let w = 1_000_000 / (r as u64 + 1);
+            if pick < w {
+                return B_OFF + r as i64 + 1;
+            }
+            pick -= w;
+        }
+        B_OFF + HOT as i64
+    } else {
+        B_OFF + HOT as i64 + 1 + (splitmix64(rng) % (KEYS - HOT as u64)) as i64
+    }
+}
+
+fn req_of(b: i64) -> SpecRequest {
+    SpecRequest::new()
+        .unknown_int()
+        .known_int(b)
+        .ret(RetKind::Int)
+}
+
+/// Fresh image + compiled kernels. The compile is deterministic, so every
+/// "process restart" lands functions and JIT regions at identical
+/// addresses — the property the placement re-reservation relies on.
+fn boot() -> (Image, u64, u64) {
+    let img = Image::new();
+    let prog = compile_into(PROG, &img).expect("compile serving kernels");
+    let madd = prog.func("madd").expect("madd symbol");
+    let churn = prog.func("churn").expect("churn symbol");
+    (img, madd, churn)
+}
+
+fn gated_manager() -> SpecializationManager {
+    SpecializationManager::builder()
+        .publish_gate(brew_verify::publish_gate())
+        .build()
+}
+
+/// One serving row: `threads` readers each measure `draws` dispatch
+/// latencies through the hit path; with `churn`, a writer concurrently
+/// publishes and invalidates `churn`-function variants so every reader
+/// lookup races index swaps and epoch reclamation.
+fn serving_row(
+    img: &Image,
+    mgr: &SpecializationManager,
+    madd: u64,
+    churn_fn: Option<u64>,
+    threads: u32,
+    draws: u32,
+    seed: u64,
+) -> ServeRow {
+    let stop = AtomicBool::new(false);
+    let mut lat: Vec<u64> = Vec::with_capacity(threads as usize * draws as usize);
+    let mut all_specialized = true;
+    std::thread::scope(|scope| {
+        if let Some(cf) = churn_fn {
+            let (stop, mgr) = (&stop, &mgr);
+            scope.spawn(move || {
+                let mut i = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let b = B_OFF + KEYS as i64 + 1 + i % CHURN_KEYS;
+                    let _ = mgr.get_or_rewrite(img, cf, &req_of(b));
+                    mgr.apply_invalidation(Invalidation::Func(cf));
+                    i += 1;
+                }
+            });
+        }
+        let readers: Vec<_> = (0..threads)
+            .map(|tid| {
+                let mgr = &mgr;
+                scope.spawn(move || {
+                    let mut rng = seed ^ (0xC5 + u64::from(tid)).wrapping_mul(0x9E37);
+                    let mut lats = Vec::with_capacity(draws as usize);
+                    let mut pure = true;
+                    for _ in 0..draws {
+                        let req = req_of(draw(&mut rng));
+                        let t = Instant::now();
+                        let d = mgr.request(img, madd, &req).expect("dispatch");
+                        lats.push(t.elapsed().as_nanos() as u64);
+                        pure &= d.is_specialized();
+                    }
+                    (lats, pure)
+                })
+            })
+            .collect();
+        for r in readers {
+            let (lats, pure) = r.join().expect("reader");
+            lat.extend(lats);
+            all_specialized &= pure;
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    lat.sort_unstable();
+    let pct = |p: usize| lat[(lat.len() - 1) * p / 100];
+    ServeRow {
+        threads,
+        churn: churn_fn.is_some(),
+        dispatches: lat.len() as u64,
+        p50_ns: pct(50),
+        p99_ns: pct(99),
+        all_specialized,
+    }
+}
+
+/// C5: cold start, checkpoint, gated warm start, zipfian serving torture,
+/// and the corruption sweep. `draws_per_thread` scales the serving rows;
+/// `thread_counts` picks the reader parallelism (the last count is
+/// repeated with writer churn).
+pub fn serve_study(draws_per_thread: u32, thread_counts: &[u32]) -> ServeReport {
+    // Both wall-clock phases take the minimum over a few fresh attempts:
+    // a single descheduling or page-fault burst otherwise dominates a
+    // millisecond-scale measurement, and the min is the honest estimate
+    // of what the work itself costs.
+    const ATTEMPTS: usize = 3;
+
+    // Phase 1 — cold: every key pays trace + passes + emit + gate.
+    let mut cold_ns = u64::MAX;
+    let mut checkpoint: Option<(Image, u64, Vec<u8>)> = None;
+    for _ in 0..ATTEMPTS {
+        let (img, madd, _) = boot();
+        let mgr = gated_manager();
+        let t0 = Instant::now();
+        for b in B_OFF + 1..=B_OFF + KEYS as i64 {
+            mgr.get_or_rewrite(&img, madd, &req_of(b))
+                .expect("cold rewrite");
+        }
+        cold_ns = cold_ns.min((t0.elapsed().as_nanos() as u64).max(1));
+        if checkpoint.is_none() {
+            let bytes = mgr.save_variant_bytes(&img);
+            checkpoint = Some((img, madd, bytes));
+        }
+    }
+    let (_cold_img, madd, bytes) = checkpoint.expect("one cold attempt ran");
+
+    // Phase 2 — warm start the checkpoint into a fresh "process".
+    let mut warm_ns = u64::MAX;
+    let mut warm: Option<(Image, u64, u64, SpecializationManager, usize)> = None;
+    for _ in 0..ATTEMPTS {
+        let (img2, madd2, churn2) = boot();
+        assert_eq!(madd, madd2, "deterministic layout across restarts");
+        let mgr2 = gated_manager();
+        let t1 = Instant::now();
+        let report = mgr2
+            .load_variant_bytes(&img2, &bytes)
+            .expect("warm start decodes");
+        warm_ns = warm_ns.min((t1.elapsed().as_nanos() as u64).max(1));
+        assert_eq!(report.published, KEYS as usize, "all keys republished");
+        if warm.is_none() {
+            warm = Some((img2, madd2, churn2, mgr2, report.published));
+        }
+    }
+    let (img2, madd2, churn2, mgr2, warm_published) = warm.expect("one warm attempt ran");
+
+    // Every republished variant must compute the original semantics —
+    // call each one through the emulator against the host ground truth.
+    let mut m = brew_emu::Machine::new();
+    for b in B_OFF + 1..=B_OFF + KEYS as i64 {
+        let d = mgr2
+            .request(&img2, madd2, &req_of(b))
+            .expect("warm dispatch");
+        assert!(d.is_specialized(), "warm key must be resident");
+        for x in [0i64, 3, -7] {
+            let out = m
+                .call(&img2, d.entry(), &brew_emu::CallArgs::new().int(x).int(b))
+                .expect("warm variant call");
+            let host: i64 = (0..b).map(|i| x + (i * 3 + b) * (i * 5 + 7) + i).sum();
+            assert_eq!(
+                out.ret_int as i64, host,
+                "madd({x},{b}) diverged after warm start"
+            );
+        }
+    }
+
+    // Phase 3 — serving rows; last thread count repeats with churn.
+    let mut serving = Vec::new();
+    let mut seed = 0xC5_5EED_u64;
+    for &threads in thread_counts {
+        let s = splitmix64(&mut seed);
+        serving.push(serving_row(
+            &img2,
+            &mgr2,
+            madd2,
+            None,
+            threads,
+            draws_per_thread,
+            s,
+        ));
+    }
+    if let Some(&max_threads) = thread_counts.last() {
+        let s = splitmix64(&mut seed);
+        serving.push(serving_row(
+            &img2,
+            &mgr2,
+            madd2,
+            Some(churn2),
+            max_threads,
+            draws_per_thread,
+            s,
+        ));
+    }
+    let m = mgr2.metrics();
+    let epoch_published = m.counter(Ctr::EpochPublished).get();
+    let epoch_reclaimed = m.counter(Ctr::EpochReclaimed).get();
+
+    // Phase 4 — corruption sweep: flip one code byte per entry, plus a
+    // truncation and a version skew; every case must be rejected.
+    let spans = persist::entry_code_spans(&bytes).expect("spans of a clean checkpoint");
+    let mut corrupted_total = 0usize;
+    let mut corrupted_rejected = 0usize;
+    let mut false_accepts = 0usize;
+    for span in &spans {
+        let mut evil = bytes.clone();
+        evil[span.start] ^= 0x40;
+        corrupted_total += 1;
+        let (img3, _, _) = boot();
+        let mgr3 = gated_manager();
+        match mgr3.load_variant_bytes(&img3, &evil) {
+            Ok(r) => {
+                if r.published == KEYS as usize - 1 && r.rejected.len() == 1 {
+                    corrupted_rejected += 1;
+                } else if r.published > KEYS as usize - 1 {
+                    false_accepts += 1;
+                }
+            }
+            // A whole-file rejection also never publishes the bad entry.
+            Err(_) => corrupted_rejected += 1,
+        }
+    }
+    for evil in [bytes[..bytes.len() / 2].to_vec(), {
+        let mut b = bytes.clone();
+        b[8] = b[8].wrapping_add(1); // format-version byte
+        b
+    }] {
+        corrupted_total += 1;
+        let (img3, _, _) = boot();
+        let mgr3 = gated_manager();
+        match mgr3.load_variant_bytes(&img3, &evil) {
+            Err(_) => corrupted_rejected += 1,
+            Ok(r) if r.published == 0 => corrupted_rejected += 1,
+            Ok(_) => false_accepts += 1,
+        }
+    }
+
+    ServeReport {
+        keys: KEYS,
+        cold_ns,
+        checkpoint_bytes: bytes.len(),
+        warm_ns,
+        warm_published,
+        serving,
+        epoch_published,
+        epoch_reclaimed,
+        corrupted_total,
+        corrupted_rejected,
+        false_accepts,
+    }
+}
+
+/// Render the C5 serving report (the `serve` CI stage greps the three
+/// gate lines).
+pub fn render_serve(title: &str, r: &ServeReport) -> String {
+    let mut s = format!("## {title}\n\n");
+    s.push_str(&format!(
+        "cold start (gated)      : {:>10} ns   ({} variants rewritten + verified; {} ns/variant)\n",
+        r.cold_ns,
+        r.keys,
+        r.cold_ns / r.keys.max(1),
+    ));
+    s.push_str(&format!(
+        "checkpoint              : {:>10} bytes ({} variants, code + request + snapshot + checksum)\n",
+        r.checkpoint_bytes, r.keys,
+    ));
+    s.push_str(&format!(
+        "warm start (gated)      : {:>10} ns   ({} republished through the same gate; {:.1}x faster)\n",
+        r.warm_ns,
+        r.warm_published,
+        r.warm_speedup(),
+    ));
+    s.push_str(&format!(
+        "warm start >= 5x faster than cold: {}\n\n",
+        if r.warm_speedup() >= 5.0 { "yes" } else { "NO" },
+    ));
+    s.push_str(&format!(
+        "serving: zipf draws over {} keys ({}-value head, {}% of draws)\n",
+        r.keys, HOT, SERVE_HEAD_MASS_PCT,
+    ));
+    s.push_str("threads  writer-churn  dispatches   p50 ns   p99 ns   pure-hit-path\n");
+    for row in &r.serving {
+        s.push_str(&format!(
+            "{:>7}  {:>12}  {:>10}  {:>7}  {:>7}   {}\n",
+            row.threads,
+            if row.churn { "yes" } else { "no" },
+            row.dispatches,
+            row.p50_ns,
+            row.p99_ns,
+            if row.all_specialized { "yes" } else { "NO" },
+        ));
+    }
+    let pure = r.serving.iter().all(|row| row.all_specialized);
+    s.push_str(&format!(
+        "all serving dispatches hit the lock-free read path: {}\n",
+        if pure { "yes" } else { "NO" },
+    ));
+    s.push_str(&format!(
+        "epoch lifecycle         : {} index snapshots published, {} reclaimed after grace\n\n",
+        r.epoch_published, r.epoch_reclaimed,
+    ));
+    s.push_str(&format!(
+        "corruption sweep        : {}/{} rejected, {} false accepts\n",
+        r.corrupted_rejected, r.corrupted_total, r.false_accepts,
+    ));
+    s
+}

@@ -86,7 +86,7 @@ impl Default for FuncOpts {
 }
 
 /// The rewriting configuration (`rConf` in the paper).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RewriteConfig {
     /// Parameter treatment by index (0-based).
     pub params: Vec<ParamSpec>,

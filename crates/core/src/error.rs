@@ -75,6 +75,28 @@ pub enum RewriteError {
         /// The first finding, rendered for operators.
         first: String,
     },
+    /// `run_deferred`/`deferred_scope` was entered while another deferred
+    /// scope on the same manager is still open — nesting scopes would
+    /// let the inner scope's drop close the queue under the outer one,
+    /// silently dropping its jobs.
+    DeferredScopeActive,
+    /// The previous deferred scope was closed by an unwind (a panic
+    /// escaped the scope closure) and discarded queued jobs. Returned
+    /// once, by the next `run_deferred`, so the caller learns work was
+    /// lost instead of the jobs vanishing silently; the scope after that
+    /// starts clean.
+    DeferredScopeUnwound {
+        /// Jobs discarded when the unwinding scope drained the queue.
+        lost: usize,
+    },
+    /// A persisted variant failed a structural load check (placement
+    /// conflict, fingerprint mismatch, stale snapshot) before it ever
+    /// reached the publish gate. Never published; negatively cached like
+    /// any other failed rewrite.
+    PersistRejected {
+        /// What the load check found.
+        what: String,
+    },
 }
 
 impl fmt::Display for RewriteError {
@@ -107,6 +129,18 @@ impl fmt::Display for RewriteError {
                     f,
                     "static verification rejected variant ({findings} findings; first: {first})"
                 )
+            }
+            RewriteError::DeferredScopeActive => {
+                write!(f, "a deferred scope is already open on this manager")
+            }
+            RewriteError::DeferredScopeUnwound { lost } => {
+                write!(
+                    f,
+                    "previous deferred scope unwound and discarded {lost} queued job(s)"
+                )
+            }
+            RewriteError::PersistRejected { what } => {
+                write!(f, "persisted variant rejected on load: {what}")
             }
         }
     }

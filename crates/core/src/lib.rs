@@ -67,6 +67,7 @@ pub mod frame;
 pub mod guard;
 pub mod manager;
 pub mod passes;
+pub mod persist;
 pub mod promote;
 pub mod request;
 pub mod snapshot;
@@ -84,10 +85,12 @@ pub use guard::{
 };
 pub use manager::{
     CacheKey, CacheStats, DecayedThreshold, DeferredConfig, Dispatch, Event, EventSink,
-    Invalidation, ManagerBuilder, NegativePolicy, PublishGate, PublishRejection, RecordingSink,
-    SpecializationManager, TickSummary, TierAction, TieringConfig, TieringPolicy, Variant,
+    Invalidation, LoadReport, ManagerBuilder, NegativePolicy, PublishGate, PublishRejection,
+    RecordingSink, SaveReport, SpecializationManager, TickSummary, TierAction, TieringConfig,
+    TieringPolicy, Variant,
 };
 pub use passes::PassConfig;
+pub use persist::{PersistError, PersistedVariant};
 pub use request::SpecRequest;
 pub use snapshot::KnownSnapshot;
 pub use telemetry::{explain_report, validate_json, MetricsRegistry, SpanRecorder};

@@ -57,6 +57,7 @@ pub struct ManagerBuilder {
     tiering: Option<(TieringConfig, Option<Box<dyn TieringPolicy>>)>,
     sink: Option<Box<dyn EventSink>>,
     gate: Option<Box<dyn PublishGate>>,
+    persist_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ManagerBuilder {
@@ -69,6 +70,7 @@ impl Default for ManagerBuilder {
             tiering: None,
             sink: None,
             gate: None,
+            persist_path: None,
         }
     }
 }
@@ -134,6 +136,15 @@ impl ManagerBuilder {
         self
     }
 
+    /// Default variant-persistence file for
+    /// [`SpecializationManager::warm_start`] /
+    /// [`SpecializationManager::checkpoint`]. Setting a path does not by
+    /// itself read or write anything — persistence stays explicit.
+    pub fn persist_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.persist_path = Some(path.into());
+        self
+    }
+
     /// Construct the manager.
     ///
     /// # Panics
@@ -158,8 +169,12 @@ impl ManagerBuilder {
             let policy = policy.unwrap_or_else(|| Box::new(DecayedThreshold::new(cfg)));
             Tiering::new(cfg, policy)
         });
+        // The cache holds a clone of the registry so the epoch machinery
+        // can count snapshot publications/reclamations without a back
+        // reference to the manager.
+        let metrics = Arc::new(MetricsRegistry::new());
         SpecializationManager {
-            cache: ShardedCache::new(self.shards),
+            cache: ShardedCache::new(self.shards, Arc::clone(&metrics)),
             negative: NegativeCache::new(self.shards, self.negative),
             inflight: InflightTable::default(),
             queue: JobQueue::new(),
@@ -167,9 +182,10 @@ impl ManagerBuilder {
             deferred_cfg: self.deferred,
             tiering,
             counters: Counters::default(),
-            metrics: Arc::new(MetricsRegistry::new()),
+            metrics,
             sink: RwLock::new(self.sink),
             gate: RwLock::new(self.gate),
+            persist_path: self.persist_path,
         }
     }
 }

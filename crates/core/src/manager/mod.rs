@@ -98,6 +98,7 @@ mod worker;
 use crate::capture::RewriteStats;
 use crate::error::RewriteError;
 use crate::guard::{self, CounterPage, GuardCase};
+use crate::persist::{self, PersistError, PersistedVariant};
 use crate::request::SpecRequest;
 use crate::snapshot::KnownSnapshot;
 use crate::telemetry::{metrics::Ctr, metrics::Gge, metrics::Hst, MetricsRegistry};
@@ -467,6 +468,28 @@ impl Dispatch {
     }
 }
 
+/// What [`SpecializationManager::save_variants`] wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaveReport {
+    /// Variants serialized.
+    pub saved: usize,
+    /// Total file size in bytes.
+    pub bytes: usize,
+}
+
+/// What [`SpecializationManager::load_variants`] did with each persisted
+/// entry: re-verified-and-published, or rejected with a typed reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Entries that survived every load check (including the publish
+    /// gate) and are now resident.
+    pub published: usize,
+    /// Rejected entries as `(func, fingerprint, why)`; entries whose
+    /// checksum failed decode as `(0, 0, why)` because nothing inside
+    /// them can be trusted, not even the key.
+    pub rejected: Vec<(u64, u64, PersistError)>,
+}
+
 /// How a request was ultimately satisfied (internal).
 enum Outcome {
     Hit,
@@ -507,6 +530,7 @@ pub struct SpecializationManager {
     metrics: Arc<MetricsRegistry>,
     sink: RwLock<Option<Box<dyn EventSink>>>,
     gate: RwLock<Option<Box<dyn PublishGate>>>,
+    persist_path: Option<std::path::PathBuf>,
 }
 
 impl Default for SpecializationManager {
@@ -759,7 +783,7 @@ impl SpecializationManager {
     /// [`run_deferred`](Self::run_deferred) with the worker count taken
     /// from the builder's [`DeferredConfig`] — the configured way to open
     /// a deferred scope.
-    pub fn deferred_scope<R>(&self, img: &Image, f: impl FnOnce() -> R) -> R {
+    pub fn deferred_scope<R>(&self, img: &Image, f: impl FnOnce() -> R) -> Result<R, RewriteError> {
         self.run_deferred(img, self.deferred_cfg.workers, f)
     }
 
@@ -771,28 +795,260 @@ impl SpecializationManager {
 
     /// Run `f` with `workers` background rewrite threads attached (scoped,
     /// bounded; no detached threads survive this call). While active,
-    /// [`request`](Self::request) defers misses to the pool. On exit the
-    /// queue closes and the workers drain it, so every rewrite queued
-    /// inside `f` is published before `run_deferred` returns.
-    pub fn run_deferred<R>(&self, img: &Image, workers: usize, f: impl FnOnce() -> R) -> R {
+    /// [`request`](Self::request) defers misses to the pool. On a normal
+    /// exit the queue closes and the workers drain it, so every rewrite
+    /// queued inside `f` is published before `run_deferred` returns.
+    ///
+    /// Errors are the queue's history, reported *before* `f` runs: opening
+    /// a scope inside a still-open scope returns
+    /// [`RewriteError::DeferredScopeActive`], and the first call after a
+    /// scope that was closed by an unwind (a panic escaped `f`) returns
+    /// [`RewriteError::DeferredScopeUnwound`] with the number of queued
+    /// jobs the unwind discarded — once acknowledged, the next call starts
+    /// clean. Without this, a panicking scope would silently drop its
+    /// queued jobs and the next scope would run as if nothing was lost.
+    pub fn run_deferred<R>(
+        &self,
+        img: &Image,
+        workers: usize,
+        f: impl FnOnce() -> R,
+    ) -> Result<R, RewriteError> {
         let workers = workers.max(1);
-        self.queue.open();
-        std::thread::scope(|s| {
+        self.queue.begin_scope()?;
+        Ok(std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| self.drain_jobs(img));
             }
             // Close on unwind too: workers block in `pop` until the close,
             // so a panicking closure would otherwise deadlock the scope's
-            // join and turn the caller's panic into a hang.
+            // join and turn the caller's panic into a hang. An unwinding
+            // close cannot wait for a drain (the scope is dying), so it
+            // discards queued jobs and records the count for the next
+            // `begin_scope` to report.
             struct CloseOnDrop<'a>(&'a JobQueue);
             impl Drop for CloseOnDrop<'_> {
                 fn drop(&mut self) {
-                    self.0.close();
+                    if std::thread::panicking() {
+                        self.0.close_unwound();
+                    } else {
+                        self.0.close();
+                    }
                 }
             }
             let _close = CloseOnDrop(&self.queue);
             f()
+        }))
+    }
+
+    /// Serialize every resident variant to the on-disk format (see
+    /// [`crate::persist`]): emitted code bytes read back from `img`, the
+    /// producing request, the folded-memory snapshot and the rewrite
+    /// stats. Entries are written sorted by ascending JIT entry address
+    /// so a fresh process can re-reserve their regions in one monotone
+    /// sweep of the bump allocator.
+    pub fn save_variant_bytes(&self, img: &Image) -> Vec<u8> {
+        let mut entries = self.cache.snapshot_all();
+        entries.sort_by_key(|(_, _, v)| v.entry);
+        let mut vars = Vec::with_capacity(entries.len());
+        for (key, req, v) in entries {
+            let mut code = vec![0u8; v.code_len];
+            if img.read_bytes(v.entry, &mut code).is_err() {
+                // A variant whose code cannot be read back (foreign image)
+                // is silently skipped: persistence is best-effort on save,
+                // strict on load.
+                continue;
+            }
+            vars.push(PersistedVariant {
+                func: key.func,
+                fingerprint: key.fingerprint,
+                entry: v.entry,
+                code,
+                snapshot: v.snapshot.clone(),
+                stats: v.stats,
+                req,
+            });
+        }
+        self.metrics.count(Ctr::PersistSaved, vars.len() as u64);
+        persist::encode_variants(&vars)
+    }
+
+    /// [`save_variant_bytes`](Self::save_variant_bytes) written to `path`.
+    pub fn save_variants(
+        &self,
+        img: &Image,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<SaveReport, PersistError> {
+        let bytes = self.save_variant_bytes(img);
+        // The entry count sits right after magic + version in the header.
+        let saved = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        std::fs::write(path, &bytes).map_err(|e| PersistError::Io(e.to_string()))?;
+        Ok(SaveReport {
+            saved,
+            bytes: bytes.len(),
         })
+    }
+
+    /// Re-materialize persisted variants into `img` and this manager's
+    /// cache. **Nothing in `bytes` is trusted**: beyond the codec's
+    /// framing and checksum validation, every entry must (1) hash its
+    /// decoded request back to the stored fingerprint, (2) re-reserve its
+    /// exact JIT region from the image's bump allocator, (3) still match
+    /// its [`KnownSnapshot`] against the live image, and (4) pass the
+    /// configured publish gate over the re-written code — the same gate a
+    /// fresh rewrite would face. A failed entry is rejected (counted in
+    /// `brew_persist_rejected_total`), negatively cached so the key
+    /// cold-starts through the ordinary backoff, and never published.
+    ///
+    /// File-level corruption (magic, version, framing) fails the whole
+    /// call; per-entry failures are collected in the report. Note: with
+    /// no publish gate configured only the structural checks (1)–(3) run;
+    /// install one (e.g. `brew_verify::publish_gate()`) to get the full
+    /// translation-validation story on load.
+    pub fn load_variant_bytes(
+        &self,
+        img: &Image,
+        bytes: &[u8],
+    ) -> Result<LoadReport, PersistError> {
+        let decoded = persist::decode_variants(bytes).inspect_err(|_| {
+            // File-level corruption (magic, version, framing) rejects the
+            // whole checkpoint — count it like any other load rejection.
+            self.metrics.count(Ctr::PersistRejected, 1);
+        })?;
+        let mut report = LoadReport {
+            published: 0,
+            rejected: Vec::new(),
+        };
+        let mut entries = Vec::with_capacity(decoded.len());
+        for item in decoded {
+            match item {
+                Ok(pv) => entries.push(pv),
+                Err(e) => {
+                    self.metrics.count(Ctr::PersistRejected, 1);
+                    report.rejected.push((0, 0, e));
+                }
+            }
+        }
+        // Ascending entry order makes placement a single monotone sweep.
+        entries.sort_by_key(|pv| pv.entry);
+        for pv in entries {
+            let key = CacheKey {
+                func: pv.func,
+                fingerprint: pv.fingerprint,
+            };
+            match self.load_one(img, &pv) {
+                Ok(variant) => {
+                    self.negative.forget(&key);
+                    self.metrics.count(Ctr::PersistLoaded, 1);
+                    self.emit(Event::Published {
+                        func: pv.func,
+                        entry: variant.entry,
+                    });
+                    self.cache.insert(key, variant, pv.req.clone());
+                    self.evict_to_budget(key);
+                    report.published += 1;
+                }
+                Err(e) => {
+                    self.metrics.count(Ctr::PersistRejected, 1);
+                    self.negative.record_failure(&key, &e.as_rewrite_error());
+                    report.rejected.push((pv.func, pv.fingerprint, e));
+                }
+            }
+        }
+        self.sync_resident_gauges();
+        self.sync_negative_gauge();
+        Ok(report)
+    }
+
+    /// [`load_variant_bytes`](Self::load_variant_bytes) read from `path`.
+    pub fn load_variants(
+        &self,
+        img: &Image,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<LoadReport, PersistError> {
+        let bytes = std::fs::read(path).map_err(|e| PersistError::Io(e.to_string()))?;
+        self.load_variant_bytes(img, &bytes)
+    }
+
+    /// Validate one decoded entry against the live process and publish
+    /// gate; on success the code is resident in `img` at its recorded
+    /// entry and the returned [`Variant`] is ready to insert.
+    fn load_one(&self, img: &Image, pv: &PersistedVariant) -> Result<Arc<Variant>, PersistError> {
+        let computed = pv.req.fingerprint();
+        if computed != pv.fingerprint {
+            return Err(PersistError::Fingerprint {
+                stored: pv.fingerprint,
+                computed,
+            });
+        }
+        if !pv.snapshot.matches(img) {
+            return Err(PersistError::StaleSnapshot);
+        }
+        // Re-reserve the exact region `entry..entry+code_len` from the
+        // JIT bump allocator: the next allocation starts at the 16-aligned
+        // cursor, so claiming `end - align16(cursor)` bytes lands exactly
+        // on `end`. Entries arrive sorted ascending, so a cursor already
+        // past `entry` means a genuine conflict (earlier allocations or
+        // overlapping entries), not ordering.
+        use brew_image::layout;
+        let end = pv.entry + pv.code.len() as u64;
+        let cursor = layout::JIT_BASE + layout::JIT_SIZE - img.jit_remaining();
+        let aligned = (cursor + 15) & !15;
+        if aligned > pv.entry || end < aligned {
+            return Err(PersistError::Placement { entry: pv.entry });
+        }
+        match img.try_alloc_jit(end - aligned) {
+            Some(start) if start == aligned => {}
+            _ => return Err(PersistError::Placement { entry: pv.entry }),
+        }
+        if img.write_bytes(pv.entry, &pv.code).is_err() {
+            return Err(PersistError::Placement { entry: pv.entry });
+        }
+        // The gate sees exactly what a fresh rewrite would hand it.
+        let res = crate::RewriteResult {
+            entry: pv.entry,
+            code_len: pv.code.len(),
+            stats: pv.stats,
+            snapshot: pv.snapshot.clone(),
+        };
+        self.gate_check(img, pv.func, &pv.req, &res)
+            .map_err(|e| match e {
+                RewriteError::VerifyRejected { first, .. } => PersistError::Gate { summary: first },
+                other => PersistError::Gate {
+                    summary: other.to_string(),
+                },
+            })?;
+        Ok(Arc::new(Variant {
+            func: pv.func,
+            entry: pv.entry,
+            code_len: pv.code.len(),
+            stats: pv.stats,
+            guards: pv.req.guard_conditions(),
+            snapshot: pv.snapshot.clone(),
+        }))
+    }
+
+    /// Warm-start from the builder-configured
+    /// [`persist_path`](ManagerBuilder::persist_path): load the file if it
+    /// exists, do nothing (`Ok(None)`) when no path is configured or no
+    /// file is there yet — first boot is not an error.
+    pub fn warm_start(&self, img: &Image) -> Result<Option<LoadReport>, PersistError> {
+        let Some(path) = &self.persist_path else {
+            return Ok(None);
+        };
+        if !path.exists() {
+            return Ok(None);
+        }
+        self.load_variants(img, path).map(Some)
+    }
+
+    /// Checkpoint the resident variants to the builder-configured
+    /// [`persist_path`](ManagerBuilder::persist_path); `Ok(None)` when no
+    /// path is configured.
+    pub fn checkpoint(&self, img: &Image) -> Result<Option<SaveReport>, PersistError> {
+        let Some(path) = &self.persist_path else {
+            return Ok(None);
+        };
+        self.save_variants(img, path).map(Some)
     }
 
     /// Worker loop: pop jobs until the queue is closed and drained. Jobs

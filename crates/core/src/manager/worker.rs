@@ -15,6 +15,7 @@
 //! published by the time it returns.
 
 use super::CacheKey;
+use crate::error::RewriteError;
 use crate::request::SpecRequest;
 use std::collections::{HashSet, VecDeque};
 use std::sync::{Condvar, Mutex, PoisonError};
@@ -49,6 +50,10 @@ struct QState {
     jobs: VecDeque<Job>,
     queued: HashSet<CacheKey>,
     open: bool,
+    /// Jobs discarded by an unwind-close ([`JobQueue::close_unwound`]);
+    /// reported (then cleared) by the next [`JobQueue::begin_scope`] so
+    /// lost work surfaces as a typed error instead of vanishing.
+    lost: Option<usize>,
 }
 
 pub(super) struct JobQueue {
@@ -63,18 +68,55 @@ impl JobQueue {
                 jobs: VecDeque::new(),
                 queued: HashSet::new(),
                 open: false,
+                lost: None,
             }),
             cv: Condvar::new(),
         }
     }
 
+    #[cfg(test)]
     pub fn open(&self) {
         unpoison(self.state.lock()).open = true;
+    }
+
+    /// Open the queue for a new deferred scope, surfacing queue history as
+    /// typed errors: a still-open scope means nesting (which would let the
+    /// inner scope's close drop the outer scope's jobs), and a pending
+    /// unwind record means the previous scope discarded jobs. The unwind
+    /// record is acknowledge-and-clear — returned once, then the next
+    /// `begin_scope` starts clean.
+    pub fn begin_scope(&self) -> Result<(), RewriteError> {
+        let mut s = unpoison(self.state.lock());
+        if s.open {
+            return Err(RewriteError::DeferredScopeActive);
+        }
+        if let Some(lost) = s.lost.take() {
+            return Err(RewriteError::DeferredScopeUnwound { lost });
+        }
+        s.open = true;
+        Ok(())
     }
 
     /// Stop accepting jobs and wake every worker so it can drain and exit.
     pub fn close(&self) {
         unpoison(self.state.lock()).open = false;
+        self.cv.notify_all();
+    }
+
+    /// Close during an unwind: the scope's workers are being torn down by
+    /// a panic, so jobs still waiting will never run. Discard them, but
+    /// *count* them into the `lost` record so the next [`Self::begin_scope`]
+    /// reports the loss instead of silently proceeding.
+    pub fn close_unwound(&self) {
+        let mut s = unpoison(self.state.lock());
+        s.open = false;
+        let lost = s.jobs.len();
+        s.jobs.clear();
+        s.queued.clear();
+        if lost > 0 {
+            *s.lost.get_or_insert(0) += lost;
+        }
+        drop(s);
         self.cv.notify_all();
     }
 
@@ -165,5 +207,28 @@ mod tests {
             assert_eq!(h.join().unwrap().unwrap().key.fingerprint, 5);
             q.close();
         });
+    }
+
+    #[test]
+    fn unwound_close_records_and_begin_scope_reports_once() {
+        let q = JobQueue::new();
+        q.begin_scope().unwrap();
+        q.push(job(1));
+        q.push(job(2));
+        q.push(job(3));
+        q.close_unwound();
+        assert_eq!(q.pending(), 0, "unwind discards queued jobs");
+        let err = q.begin_scope().unwrap_err();
+        assert!(
+            matches!(err, RewriteError::DeferredScopeUnwound { lost: 3 }),
+            "got {err:?}"
+        );
+        // Acknowledge-and-clear: the next scope opens clean.
+        q.begin_scope().unwrap();
+        assert!(matches!(
+            q.begin_scope().unwrap_err(),
+            RewriteError::DeferredScopeActive
+        ));
+        q.close();
     }
 }

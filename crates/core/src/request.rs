@@ -35,7 +35,7 @@ use std::ops::Range;
 
 /// A complete, self-contained specialization request: per-parameter
 /// treatment *and* trace value, plus the rewrite configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpecRequest {
     pub(crate) cfg: RewriteConfig,
     pub(crate) args: Vec<ArgValue>,

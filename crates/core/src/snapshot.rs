@@ -106,6 +106,15 @@ pub struct KnownSnapshot {
 }
 
 impl KnownSnapshot {
+    /// Reassemble a snapshot from serialized parts (the persistence
+    /// decoder). The recorded `hash` is *claimed*, not recomputed: load
+    /// validation calls [`Self::matches`] against the live image, which
+    /// is exactly the stale-snapshot check — a forged or bit-rotted hash
+    /// fails it.
+    pub(crate) fn from_parts(ranges: Vec<Range<u64>>, hash: u64) -> Self {
+        KnownSnapshot { ranges, hash }
+    }
+
     /// The coalesced, sorted ranges of folded known memory.
     pub fn ranges(&self) -> &[Range<u64>] {
         &self.ranges

@@ -147,11 +147,16 @@ pub enum Ctr {
     TierPromoted,
     TierDemoted,
     TierRespecialized,
+    EpochPublished,
+    EpochReclaimed,
+    PersistSaved,
+    PersistLoaded,
+    PersistRejected,
 }
 
 impl Ctr {
     /// Every counter, in exposition order.
-    pub const ALL: [Ctr; 23] = [
+    pub const ALL: [Ctr; 28] = [
         Ctr::CacheHits,
         Ctr::CacheMisses,
         Ctr::CacheCoalesced,
@@ -175,6 +180,11 @@ impl Ctr {
         Ctr::TierPromoted,
         Ctr::TierDemoted,
         Ctr::TierRespecialized,
+        Ctr::EpochPublished,
+        Ctr::EpochReclaimed,
+        Ctr::PersistSaved,
+        Ctr::PersistLoaded,
+        Ctr::PersistRejected,
     ];
 
     /// Prometheus metric name.
@@ -203,6 +213,11 @@ impl Ctr {
             Ctr::TierPromoted => "brew_tier_promoted_total",
             Ctr::TierDemoted => "brew_tier_demoted_total",
             Ctr::TierRespecialized => "brew_tier_respecialized_total",
+            Ctr::EpochPublished => "brew_read_epoch_published_total",
+            Ctr::EpochReclaimed => "brew_read_epoch_reclaimed_total",
+            Ctr::PersistSaved => "brew_persist_saved_total",
+            Ctr::PersistLoaded => "brew_persist_loaded_total",
+            Ctr::PersistRejected => "brew_persist_rejected_total",
         }
     }
 
@@ -236,6 +251,13 @@ impl Ctr {
             Ctr::TierRespecialized => {
                 "Stale variants re-enqueued because their heat cleared the bar"
             }
+            Ctr::EpochPublished => "Shard snapshots published (rebuild + pointer swap)",
+            Ctr::EpochReclaimed => "Retired shard snapshots freed by epoch advances",
+            Ctr::PersistSaved => "Variants serialized to the persistence file",
+            Ctr::PersistLoaded => "Persisted variants re-verified and published on load",
+            Ctr::PersistRejected => {
+                "Persisted variants rejected on load (corrupt, stale, or gate-failed)"
+            }
         }
     }
 }
@@ -251,11 +273,13 @@ pub enum Gge {
     HeatTracked,
     HeatMax,
     HeatMean,
+    ReadEpoch,
+    EpochLimbo,
 }
 
 impl Gge {
     /// Every gauge, in exposition order.
-    pub const ALL: [Gge; 7] = [
+    pub const ALL: [Gge; 9] = [
         Gge::InflightRewrites,
         Gge::ResidentBytes,
         Gge::ResidentVariants,
@@ -263,6 +287,8 @@ impl Gge {
         Gge::HeatTracked,
         Gge::HeatMax,
         Gge::HeatMean,
+        Gge::ReadEpoch,
+        Gge::EpochLimbo,
     ];
 
     /// Prometheus metric name.
@@ -275,6 +301,8 @@ impl Gge {
             Gge::HeatTracked => "brew_tier_heat_tracked",
             Gge::HeatMax => "brew_tier_heat_max_milli",
             Gge::HeatMean => "brew_tier_heat_mean_milli",
+            Gge::ReadEpoch => "brew_read_epoch",
+            Gge::EpochLimbo => "brew_read_epoch_limbo",
         }
     }
 
@@ -288,6 +316,8 @@ impl Gge {
             Gge::HeatTracked => "Keys with live tiering heat scores as of the last tick",
             Gge::HeatMax => "Hottest tiering heat score (x1000) as of the last tick",
             Gge::HeatMean => "Mean tiering heat score (x1000) as of the last tick",
+            Gge::ReadEpoch => "Sum of per-shard reclamation epochs of the variant cache",
+            Gge::EpochLimbo => "Retired shard snapshots awaiting epoch reclamation",
         }
     }
 }

@@ -184,7 +184,8 @@ fn deferred_mode_eventually_publishes_every_hot_variant() {
                 });
             }
         });
-    });
+    })
+    .unwrap();
 
     // The scope drained its queue: every hot fingerprint is resident.
     assert_eq!(mgr.len(), DISTINCT, "all hot variants published");
@@ -217,4 +218,71 @@ fn request_outside_deferred_scope_is_synchronous() {
     assert!(d.is_specialized());
     assert_eq!(mgr.stats().misses, 1);
     assert_eq!(mgr.stats().deferred, 0);
+}
+
+/// Regression (companion to the PR 6 unwind test in lifecycle.rs): when a
+/// panic escapes a deferred scope's closure, jobs still queued are
+/// discarded by the unwinding close — they must surface as a typed
+/// `DeferredScopeUnwound { lost }` from the *next* `run_deferred`, not
+/// vanish silently. Acknowledging the error clears it, so the scope after
+/// that runs normally.
+#[test]
+fn run_deferred_after_unwound_scope_reports_lost_jobs_once() {
+    use brew_core::RewriteError;
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
+
+    // Pin the single worker on a deliberately slow first job (a 5000-fold
+    // unrolled trace), queue quick ones behind it, then unwind out of the
+    // scope with `resume_unwind` — it skips the panic hook (message
+    // formatting, backtrace capture), so the unwinding close runs in
+    // microseconds while the worker is still mid-trace and the quick jobs
+    // are still queued to be counted as lost.
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        mgr.run_deferred(&img, 1, || {
+            let _ = mgr.request(&img, poly, &poly_req(5000));
+            for n in 2..12 {
+                let _ = mgr.request(&img, poly, &poly_req(n));
+            }
+            std::panic::resume_unwind(Box::new("scope dies with jobs queued"));
+        })
+        .unwrap();
+    }));
+    assert!(caught.is_err(), "the panic propagates out of run_deferred");
+
+    // The next scope reports the unwind as a typed error (don't pin the
+    // exact count — the worker may have drained some jobs pre-panic).
+    let err = mgr
+        .run_deferred(&img, 1, || unreachable!("must not run after unwind"))
+        .unwrap_err();
+    assert!(
+        matches!(err, RewriteError::DeferredScopeUnwound { .. }),
+        "typed unwind error, got {err:?}"
+    );
+
+    // Acknowledged: the scope after that is clean and fully functional.
+    mgr.run_deferred(&img, 2, || {
+        let d = mgr.request(&img, poly, &poly_req(3)).unwrap();
+        let _ = d.entry();
+    })
+    .unwrap();
+    assert!(
+        mgr.is_resident(poly, poly_req(3).fingerprint()),
+        "post-acknowledgement scope publishes normally"
+    );
+}
+
+/// Nested deferred scopes are a typed error, not a silent queue close.
+#[test]
+fn nested_deferred_scope_is_rejected() {
+    use brew_core::RewriteError;
+    let (img, _poly) = setup();
+    let mgr = SpecializationManager::new();
+    mgr.run_deferred(&img, 1, || {
+        let err = mgr.run_deferred(&img, 1, || ()).unwrap_err();
+        assert!(matches!(err, RewriteError::DeferredScopeActive));
+    })
+    .unwrap();
+    // The outer scope closed normally; a fresh scope opens fine.
+    mgr.run_deferred(&img, 1, || ()).unwrap();
 }

@@ -324,7 +324,8 @@ fn panicking_sink_fails_jobs_not_the_worker_pool() {
             let d = mgr.request(&img, poly, &poly_req(n)).unwrap();
             assert!(!d.is_specialized(), "first request answers original");
         }
-    });
+    })
+    .unwrap();
 
     let st = mgr.stats();
     assert_eq!(mgr.len(), 5, "every variant was still cached: {st:?}");
@@ -359,7 +360,8 @@ fn deferred_jobs_respect_the_negative_backoff() {
     mgr.run_deferred(&img, 2, || {
         let d = mgr.request(&img, poly, &req).unwrap();
         assert!(matches!(d, Dispatch::Original { deferred: true, .. }));
-    });
+    })
+    .unwrap();
     let st = mgr.stats();
     assert_eq!((st.misses, st.negative_entries), (1, 1), "{st:?}");
 
@@ -379,7 +381,8 @@ fn deferred_jobs_respect_the_negative_backoff() {
                 "denied, not re-queued: {d:?}"
             );
         }
-    });
+    })
+    .unwrap();
     let st = mgr.stats();
     assert_eq!(st.misses, 1, "the backoff kept workers idle: {st:?}");
     assert_eq!(st.denied, 50);

@@ -134,7 +134,8 @@ fn deferred_path_runs_the_gate() {
     mgr.run_deferred(&img, 2, || {
         let d = mgr.request(&img, poly, &poly_req(7)).unwrap();
         assert!(!d.is_specialized());
-    });
+    })
+    .unwrap();
     // The worker drained the job; the gate rejected it, so nothing was
     // published and the key is negatively cached.
     assert!(mgr.is_empty(), "rejected deferred variant must not publish");
@@ -146,6 +147,7 @@ fn deferred_path_runs_the_gate() {
     let mgr2 = SpecializationManager::new();
     mgr2.run_deferred(&img, 2, || {
         mgr2.request(&img, poly, &poly_req(7)).unwrap();
-    });
+    })
+    .unwrap();
     assert_eq!(mgr2.len(), 1);
 }

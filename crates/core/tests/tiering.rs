@@ -376,7 +376,8 @@ fn respecialization_is_heat_gated() {
     img.write_u64(b, 40).unwrap();
     mgr.deferred_scope(&img, || {
         assert_eq!(mgr.apply_invalidation(Invalidation::Revalidate(&img)), 2);
-    });
+    })
+    .unwrap();
     assert!(
         mgr.is_resident(dot, hot.fingerprint()),
         "hot stale variant was re-specialized by the workers"

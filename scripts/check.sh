@@ -11,6 +11,8 @@
 #                               # detection, zero false positives, docs clean
 #   scripts/check.sh tier       # adaptive-tiering gate: tests + C4
 #                               # convergence onto the oracle hot set
+#   scripts/check.sh serve      # serving gate: RCU torture + persistence
+#                               # corruption suites + C5 warm-start ratio
 #
 # The stress stage reruns the timing-sensitive suites under `--release`
 # so single-flight/eviction races get exercised with optimization on.
@@ -147,6 +149,35 @@ if [ "$stage" = "all" ] || [ "$stage" = "tier" ]; then
         exit 1
     fi
     echo "adaptive-tiering gate passed (resident set tracks the drifting hot set)"
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "serve" ]; then
+    echo "==> serving gate (RCU torture, persistence corruption, C5)"
+    cargo test --release --offline -q -p brew-core --test serving
+    cargo test --release --offline -q -p brew-verify --test persist_corruption
+    cargo test --release --offline -q -p brew-suite --test persist_roundtrip
+
+    # The C5 experiment is the acceptance bar (EXPERIMENTS.md C5): warm
+    # start >= 5x faster than the gated cold start, every serving dispatch
+    # a lock-free hit, and the corruption sweep rejecting 100% of the
+    # tampered checkpoints with zero false accepts.
+    serve_out="$(cargo run --release --offline -p brew-bench --bin tables -- --exp serve)"
+    if ! printf '%s' "$serve_out" | grep -q 'warm start >= 5x faster than cold: yes'; then
+        echo "FAIL: warm start no longer amortizes the cold gated rewrite" >&2
+        printf '%s\n' "$serve_out" >&2
+        exit 1
+    fi
+    if ! printf '%s' "$serve_out" | grep -q 'all serving dispatches hit the lock-free read path: yes'; then
+        echo "FAIL: a serving dispatch fell off the hit path" >&2
+        printf '%s\n' "$serve_out" >&2
+        exit 1
+    fi
+    if ! printf '%s' "$serve_out" | grep -q '26/26 rejected, 0 false accepts'; then
+        echo "FAIL: the corruption sweep accepted or missed a tampered checkpoint" >&2
+        printf '%s\n' "$serve_out" >&2
+        exit 1
+    fi
+    echo "serving gate passed (warm start amortized, hit path lock-free, corruption rejected)"
 fi
 
 echo "All checks passed ($stage)."
