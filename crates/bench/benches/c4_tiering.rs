@@ -28,6 +28,7 @@ fn bench(c: &mut Criterion) {
                 demote_heat: 0.0,
                 decay: 0.5,
                 cooldown_ticks: u64::MAX,
+                cycle_weight: 0.0,
             })
             .build();
         for n in 0..16 {

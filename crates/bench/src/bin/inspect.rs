@@ -1,0 +1,321 @@
+//! `brew-inspect` — render a flight-recorder dump as an aligned timeline,
+//! cross-referenced against a perf map of the JIT'd variants.
+//!
+//! ```sh
+//! brew-inspect <flight.dump> [--map <perf.map>]   # inspect saved artifacts
+//! brew-inspect --demo                             # self-contained smoke run
+//! ```
+//!
+//! The dump format is what `FlightDump::render_text` emits (a `# brew
+//! flight dump v1 ...` header, then `ts=<ns> tid=<n> kind=<LABEL> k=v ...`
+//! lines); the map format is `/tmp/perf-<pid>.map` (`STARTADDR SIZE name`,
+//! hex without `0x`). Every hex argument that lands inside a mapped range
+//! is symbolized in place, so a timeline line reads
+//! `entry=0x900040(brew::0x400000@0x2a#1)` instead of bare hex.
+//!
+//! `--demo` drives a small dispatcher workload through a real manager,
+//! writes the dump and map to temp files, and then inspects them through
+//! the same file path a user would — the CI smoke test greps its output.
+
+use std::collections::BTreeMap;
+use std::process::exit;
+
+/// One perf-map range: `[start, start+len)` named `name`.
+struct MapSym {
+    start: u64,
+    len: u64,
+    name: String,
+}
+
+/// One parsed dump line.
+struct Event {
+    ts_ns: u64,
+    tid: u64,
+    kind: String,
+    /// Remaining `k=v` tokens, in dump order.
+    args: Vec<(String, String)>,
+}
+
+/// Dump-header accounting (zeros if the header line is absent).
+#[derive(Default)]
+struct Header {
+    recorded: u64,
+    dropped: u64,
+    torn: u64,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("brew-inspect: {msg}");
+    exit(2);
+}
+
+fn main() {
+    let mut dump_path: Option<String> = None;
+    let mut map_path: Option<String> = None;
+    let mut demo = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--demo" => demo = true,
+            "--map" => {
+                map_path = Some(args.next().unwrap_or_else(|| fail("--map needs a path")));
+            }
+            "-h" | "--help" => {
+                println!("usage: brew-inspect <flight.dump> [--map <perf.map>] | --demo");
+                return;
+            }
+            other if other.starts_with('-') => fail(&format!("unknown flag `{other}`")),
+            other => {
+                if dump_path.replace(other.to_string()).is_some() {
+                    fail("more than one dump path given");
+                }
+            }
+        }
+    }
+
+    if demo {
+        let (d, m) = demo_artifacts();
+        println!("demo artifacts: dump={} map={}\n", d.display(), m.display());
+        dump_path = Some(d.display().to_string());
+        map_path = Some(m.display().to_string());
+    }
+    let Some(dump_path) = dump_path else {
+        fail("no dump file given (or use --demo); see --help");
+    };
+
+    let dump_text = std::fs::read_to_string(&dump_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read `{dump_path}`: {e}")));
+    let map = match &map_path {
+        Some(p) => parse_map(
+            &std::fs::read_to_string(p)
+                .unwrap_or_else(|e| fail(&format!("cannot read `{p}`: {e}"))),
+        ),
+        None => Vec::new(),
+    };
+    let (header, events) = parse_dump(&dump_text);
+    print!("{}", render(&header, &events, &map, map_path.is_some()));
+}
+
+/// Parse `STARTADDR SIZE name` lines; malformed lines are skipped.
+fn parse_map(text: &str) -> Vec<MapSym> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let mut it = line.split_whitespace();
+        let (Some(start), Some(len), Some(name)) = (it.next(), it.next(), it.next()) else {
+            continue;
+        };
+        let (Ok(start), Ok(len)) = (u64::from_str_radix(start, 16), u64::from_str_radix(len, 16))
+        else {
+            continue;
+        };
+        out.push(MapSym {
+            start,
+            len,
+            name: name.to_string(),
+        });
+    }
+    out.sort_by_key(|s| s.start);
+    out
+}
+
+/// Parse the dump text: header accounting plus one [`Event`] per line.
+fn parse_dump(text: &str) -> (Header, Vec<Event>) {
+    let mut header = Header::default();
+    let mut events = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if rest.trim_start().starts_with("brew flight dump") {
+                for (k, v) in rest.split_whitespace().filter_map(|t| t.split_once('=')) {
+                    let v = v.parse().unwrap_or(0);
+                    match k {
+                        "recorded" => header.recorded = v,
+                        "dropped" => header.dropped = v,
+                        "torn" => header.torn = v,
+                        _ => {}
+                    }
+                }
+            }
+            continue;
+        }
+        let mut ts = None;
+        let mut tid = None;
+        let mut kind = None;
+        let mut args = Vec::new();
+        for tok in line.split_whitespace() {
+            let Some((k, v)) = tok.split_once('=') else {
+                fail(&format!("line {}: bare token `{tok}`", ln + 1));
+            };
+            match k {
+                "ts" => ts = v.parse().ok(),
+                "tid" => tid = v.parse().ok(),
+                "kind" => kind = Some(v.to_string()),
+                _ => args.push((k.to_string(), v.to_string())),
+            }
+        }
+        let (Some(ts_ns), Some(tid), Some(kind)) = (ts, tid, kind) else {
+            fail(&format!("line {}: missing ts/tid/kind", ln + 1));
+        };
+        events.push(Event {
+            ts_ns,
+            tid,
+            kind,
+            args,
+        });
+    }
+    (header, events)
+}
+
+/// The symbol covering `addr`, rendered `name` or `name+0x<off>`.
+fn symbolize(map: &[MapSym], addr: u64) -> Option<String> {
+    let i = map.partition_point(|s| s.start <= addr).checked_sub(1)?;
+    let s = &map[i];
+    if addr >= s.start + s.len {
+        return None;
+    }
+    if addr == s.start {
+        Some(s.name.clone())
+    } else {
+        Some(format!("{}+{:#x}", s.name, addr - s.start))
+    }
+}
+
+/// Render the timeline and the cross-reference summary.
+fn render(header: &Header, events: &[Event], map: &[MapSym], have_map: bool) -> String {
+    let t0 = events.first().map(|e| e.ts_ns).unwrap_or(0);
+    let mut out = format!(
+        "# flight timeline ({} entries, recorded={}, dropped={}, torn={})\n\n",
+        events.len(),
+        header.recorded,
+        header.dropped,
+        header.torn
+    );
+    out.push_str(&format!(
+        "{:>12} {:>4}  {:<11} details\n",
+        "Δt(ms)", "tid", "kind"
+    ));
+
+    let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut hex_total = 0u64;
+    let mut hex_resolved = 0u64;
+    // Live symbol set reconstructed from SYM_PUB/SYM_RET events.
+    let mut live: BTreeMap<u64, u64> = BTreeMap::new(); // entry -> publishes live
+    let mut published = 0u64;
+    let mut retired = 0u64;
+
+    for e in events {
+        *by_kind.entry(&e.kind).or_default() += 1;
+        let mut details = String::new();
+        for (k, v) in &e.args {
+            if !details.is_empty() {
+                details.push(' ');
+            }
+            details.push_str(k);
+            details.push('=');
+            details.push_str(v);
+            if let Some(hex) = v.strip_prefix("0x") {
+                if let Ok(addr) = u64::from_str_radix(hex, 16) {
+                    hex_total += 1;
+                    if let Some(name) = symbolize(map, addr) {
+                        hex_resolved += 1;
+                        details.push_str(&format!("({name})"));
+                    }
+                    if e.kind == "SYM_PUB" && k == "entry" {
+                        *live.entry(addr).or_default() += 1;
+                        published += 1;
+                    }
+                    if e.kind == "SYM_RET" && k == "entry" {
+                        retired += 1;
+                        if let Some(n) = live.get_mut(&addr) {
+                            *n -= 1;
+                            if *n == 0 {
+                                live.remove(&addr);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.push_str(&format!(
+            "{:>12.3} {:>4}  {:<11} {}\n",
+            (e.ts_ns - t0) as f64 / 1e6,
+            e.tid,
+            e.kind,
+            details
+        ));
+    }
+
+    out.push_str("\n## cross-reference\n\nevents by kind:\n");
+    let mut kinds: Vec<_> = by_kind.into_iter().collect();
+    kinds.sort_by_key(|(k, n)| (std::cmp::Reverse(*n), *k));
+    for (k, n) in kinds {
+        out.push_str(&format!("  {k:<12} {n:>6}\n"));
+    }
+    if have_map {
+        let matched = live
+            .keys()
+            .filter(|a| map.iter().any(|s| s.start == **a))
+            .count();
+        out.push_str(&format!(
+            "symbols      : {published} published, {retired} retired, {} live in dump; \
+             perf map lists {}; {matched}/{} live publishes match a map line\n",
+            live.len(),
+            map.len(),
+            live.len(),
+        ));
+        out.push_str(&format!(
+            "symbolization: {hex_resolved} of {hex_total} hex arguments resolved against the map\n"
+        ));
+    } else {
+        out.push_str("symbols      : no perf map given (--map) — addresses left bare\n");
+    }
+    out
+}
+
+/// Drive a small dispatcher workload through a real manager and write its
+/// flight dump + perf map to temp files for the normal inspect path.
+fn demo_artifacts() -> (std::path::PathBuf, std::path::PathBuf) {
+    use brew_core::{RetKind, SpecRequest, SpecializationManager};
+    use brew_emu::{CallArgs, Machine};
+
+    let src = "int poly(int x, int n) { int r = 1; for (int i = 0; i < n; i++) r *= x; return r; }";
+    let img = brew_image::Image::new();
+    let prog = brew_minic::compile_into(src, &img).expect("demo compile");
+    let poly = prog.func("poly").expect("poly");
+    let mgr = SpecializationManager::builder().build();
+    for n in [8i64, 4] {
+        let req = SpecRequest::new()
+            .unknown_int()
+            .known_int(n)
+            .ret(RetKind::Int);
+        mgr.get_or_rewrite(&img, poly, &req).expect("demo rewrite");
+    }
+    let (entry, page) = mgr
+        .build_dispatcher_counting(&img, poly, poly)
+        .expect("demo dispatcher");
+    let mut prof = mgr.profile_dispatcher(poly, page);
+    prof.prime(&img).expect("prime");
+    let mut m = Machine::new();
+    let mut sum = 0u64;
+    for i in 0..40u32 {
+        let n: i64 = if i % 3 == 0 { 4 } else { 8 };
+        let out = m
+            .call(&img, entry, &CallArgs::new().int(2).int(n))
+            .expect("demo call");
+        sum = sum.wrapping_add(out.ret_int);
+        prof.observe(&img, out.stats.cycles).expect("observe");
+    }
+    std::hint::black_box(sum);
+    mgr.tick(&img);
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let dump_path = dir.join(format!("brew-inspect-demo-{pid}.dump"));
+    let map_path = dir.join(format!("brew-inspect-demo-{pid}.map"));
+    std::fs::write(&dump_path, mgr.flight().dump().render_text()).expect("write dump");
+    std::fs::write(&map_path, mgr.symbols().render_perf_map()).expect("write map");
+    (dump_path, map_path)
+}

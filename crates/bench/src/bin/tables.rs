@@ -20,7 +20,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).filter(|a| a != "--exp").collect();
     let all = [
         "e1", "e2", "e3", "e4", "e5", "a1", "a2", "a3", "a4", "a5", "a6", "p1", "cache", "conc",
-        "obs", "life", "verify", "tier", "serve",
+        "obs", "life", "verify", "tier", "serve", "prof",
     ];
     let wanted: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -111,6 +111,10 @@ fn run_experiment(exp: &str) -> String {
         "tier" => render_tier(
             "C4 — adaptive tiering under a drifting zipf workload (no operator input)",
             &tier_study(4, 12, 256),
+        ),
+        "prof" => render_prof(
+            "PROF — flight recorder, variant self-time attribution & symbolization",
+            &prof_study(XS, YS),
         ),
         "serve" => render_serve(
             "C5 — wait-free serving read path & verified persistence (zipfian torture)",

@@ -8,11 +8,13 @@
 #![warn(missing_docs)]
 
 mod obs;
+mod prof;
 mod serve;
 mod tier;
 mod verify;
 
 pub use obs::{guard_overhead_rows, obs_study, render_obs, ObsReport};
+pub use prof::{prof_study, render_prof, ProfReport, SelfRow, FLIGHT_OVERHEAD_GATE_NS};
 pub use serve::{render_serve, serve_study, ServeReport, ServeRow, KEYS, SERVE_HEAD_MASS_PCT};
 pub use tier::{render_tier, tier_study, TierPhase, TierReport, FPS, HEAD_MASS_PCT, HOT};
 pub use verify::{render_verify, verify_study, CleanRow, KindRow, VerifyV1Report};

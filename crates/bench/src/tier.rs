@@ -177,6 +177,7 @@ pub fn tier_study(phases: usize, rounds_per_phase: u32, draws_per_round: u32) ->
             demote_heat: 3.0,
             decay: 0.5,
             cooldown_ticks: 1,
+            cycle_weight: 0.0,
         })
         .build();
 

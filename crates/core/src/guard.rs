@@ -75,9 +75,19 @@ pub struct CounterPage {
 
 impl CounterPage {
     /// Allocate a zeroed page for `cases` dispatch cases.
+    ///
+    /// The page carries two parallel banks of `cases + 1` slots each:
+    /// the *count* bank at `base` (incremented by the stub itself) and a
+    /// *cycle* bank right behind it (written host-side by
+    /// [`telemetry::profile::DispatchProfiler`](crate::telemetry::DispatchProfiler),
+    /// which attributes each call's measured model cycles to the case
+    /// that took it — rdtsc-style entry/exit accounting folded into the
+    /// same page so `tick()` can weigh *time* per variant, not just
+    /// calls). The stub's emitted code never touches the cycle bank, so
+    /// per-call guest overhead is unchanged (~5 model cycles).
     pub fn alloc(img: &Image, cases: usize) -> Self {
         CounterPage {
-            base: img.alloc_data(8 * (cases as u64 + 1), 8),
+            base: img.alloc_data(16 * (cases as u64 + 1), 8),
             cases,
         }
     }
@@ -107,10 +117,11 @@ impl CounterPage {
         Ok(self.snapshot(img)?.iter().sum())
     }
 
-    /// Zero every slot.
+    /// Zero every slot in both banks (counts and cycles).
     pub fn reset(&self, img: &Image) -> Result<(), MemFault> {
         for i in 0..=self.cases {
             img.write_u64(self.slot_addr(i), 0)?;
+            img.write_u64(self.cycle_slot_addr(i), 0)?;
         }
         Ok(())
     }
@@ -126,6 +137,47 @@ impl CounterPage {
     /// are treated as previously zero.
     pub fn delta_since(&self, img: &Image, prev: &[u64]) -> Result<(Vec<u64>, Vec<u64>), MemFault> {
         let snap = self.snapshot(img)?;
+        let deltas = snap
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v.saturating_sub(prev.get(i).copied().unwrap_or(0)))
+            .collect();
+        Ok((snap, deltas))
+    }
+
+    /// Address of cycle slot `i` (`i == cases` is the fall-through /
+    /// original-time slot). The cycle bank sits directly behind the
+    /// count bank.
+    pub fn cycle_slot_addr(&self, i: usize) -> u64 {
+        self.base + 8 * (self.cases as u64 + 1) + 8 * i as u64
+    }
+
+    /// Accumulated model cycles attributed to case `i`.
+    pub fn case_cycles(&self, img: &Image, i: usize) -> Result<u64, MemFault> {
+        img.read_u64(self.cycle_slot_addr(i))
+    }
+
+    /// Fold `cycles` into case `i`'s cycle slot (host-side
+    /// read-modify-write; same relaxed/advisory contract as the count
+    /// bank).
+    pub fn add_cycles(&self, img: &Image, i: usize, cycles: u64) -> Result<(), MemFault> {
+        let cur = img.read_u64(self.cycle_slot_addr(i))?;
+        img.write_u64(self.cycle_slot_addr(i), cur.wrapping_add(cycles))
+    }
+
+    /// All cycle slots in order: per-case first, fall-through last.
+    pub fn cycle_snapshot(&self, img: &Image) -> Result<Vec<u64>, MemFault> {
+        (0..=self.cases).map(|i| self.case_cycles(img, i)).collect()
+    }
+
+    /// Snapshot the cycle bank and diff against `prev`, saturating per
+    /// slot at zero exactly like [`delta_since`](Self::delta_since).
+    pub fn cycle_delta_since(
+        &self,
+        img: &Image,
+        prev: &[u64],
+    ) -> Result<(Vec<u64>, Vec<u64>), MemFault> {
+        let snap = self.cycle_snapshot(img)?;
         let deltas = snap
             .iter()
             .enumerate()
@@ -644,6 +696,40 @@ mod tests {
         // A `prev` shorter than the page reads as zeros, never a panic.
         let (_, deltas3) = page.delta_since(&img, &[1]).unwrap();
         assert_eq!(deltas3, vec![1, 0]);
+    }
+
+    #[test]
+    fn cycle_bank_sits_behind_count_bank() {
+        let img = Image::new();
+        let page = CounterPage::alloc(&img, 2);
+        // Count slots 0..=2, then cycle slots 0..=2 directly behind.
+        assert_eq!(page.cycle_slot_addr(0), page.slot_addr(2) + 8);
+        assert_eq!(page.cycle_slot_addr(2), page.base + 8 * 3 + 8 * 2);
+        page.add_cycles(&img, 0, 120).unwrap();
+        page.add_cycles(&img, 0, 30).unwrap();
+        page.add_cycles(&img, 2, 7).unwrap();
+        assert_eq!(page.case_cycles(&img, 0).unwrap(), 150);
+        assert_eq!(page.cycle_snapshot(&img).unwrap(), vec![150, 0, 7]);
+        // Cycle writes never alias the count bank.
+        assert_eq!(page.snapshot(&img).unwrap(), vec![0, 0, 0]);
+        page.reset(&img).unwrap();
+        assert_eq!(page.cycle_snapshot(&img).unwrap(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn cycle_delta_saturates_like_counts() {
+        let img = Image::new();
+        let page = CounterPage::alloc(&img, 1);
+        page.add_cycles(&img, 0, 40).unwrap();
+        let (snap, deltas) = page.cycle_delta_since(&img, &[]).unwrap();
+        assert_eq!(deltas, vec![40, 0]);
+        page.add_cycles(&img, 1, 9).unwrap();
+        let (snap2, deltas2) = page.cycle_delta_since(&img, &snap).unwrap();
+        assert_eq!(deltas2, vec![0, 9]);
+        // Reset under the reader's feet clamps to zero, never underflows.
+        page.reset(&img).unwrap();
+        let (_, deltas3) = page.cycle_delta_since(&img, &snap2).unwrap();
+        assert_eq!(deltas3, vec![0, 0]);
     }
 
     #[test]

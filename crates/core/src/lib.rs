@@ -93,7 +93,10 @@ pub use passes::PassConfig;
 pub use persist::{PersistError, PersistedVariant};
 pub use request::SpecRequest;
 pub use snapshot::KnownSnapshot;
-pub use telemetry::{explain_report, validate_json, MetricsRegistry, SpanRecorder};
+pub use telemetry::{
+    explain_report, validate_json, DispatchProfiler, FlightDump, FlightKind, FlightRecorder,
+    JitSymbol, MetricsRegistry, SpanRecorder, SymbolKind, SymbolTable,
+};
 
 use brew_image::{Image, SegKind};
 use brew_x86::prelude::*;

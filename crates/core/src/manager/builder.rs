@@ -28,9 +28,10 @@ use super::shards::{ShardedCache, DEFAULT_SHARDS};
 use super::tiering::{DecayedThreshold, Tiering, TieringConfig, TieringPolicy};
 use super::worker::JobQueue;
 use super::{Counters, EventSink, InflightTable, PublishGate, SpecializationManager};
-use crate::telemetry::MetricsRegistry;
+use crate::telemetry::flight::DEFAULT_FLIGHT_CAPACITY;
+use crate::telemetry::{FlightRecorder, MetricsRegistry, SymbolTable};
 use brew_image::layout;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Deferred-mode configuration: how many scoped worker threads a
 /// [`SpecializationManager::deferred_scope`] attaches.
@@ -58,6 +59,7 @@ pub struct ManagerBuilder {
     sink: Option<Box<dyn EventSink>>,
     gate: Option<Box<dyn PublishGate>>,
     persist_path: Option<std::path::PathBuf>,
+    flight_capacity: usize,
 }
 
 impl Default for ManagerBuilder {
@@ -71,6 +73,7 @@ impl Default for ManagerBuilder {
             sink: None,
             gate: None,
             persist_path: None,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -145,6 +148,14 @@ impl ManagerBuilder {
         self
     }
 
+    /// Capacity (in events, rounded up to a power of two) of the flight
+    /// recorder's ring journal. The default keeps the last
+    /// [`DEFAULT_FLIGHT_CAPACITY`] manager events.
+    pub fn flight_capacity(mut self, events: usize) -> Self {
+        self.flight_capacity = events;
+        self
+    }
+
     /// Construct the manager.
     ///
     /// # Panics
@@ -173,8 +184,12 @@ impl ManagerBuilder {
         // can count snapshot publications/reclamations without a back
         // reference to the manager.
         let metrics = Arc::new(MetricsRegistry::new());
+        // The cache also holds a clone of the flight recorder so the
+        // epoch machinery can journal snapshot publish/reclaim from
+        // inside the shard writers.
+        let flight = Arc::new(FlightRecorder::new(self.flight_capacity));
         SpecializationManager {
-            cache: ShardedCache::new(self.shards, Arc::clone(&metrics)),
+            cache: ShardedCache::new(self.shards, Arc::clone(&metrics), Arc::clone(&flight)),
             negative: NegativeCache::new(self.shards, self.negative),
             inflight: InflightTable::default(),
             queue: JobQueue::new(),
@@ -183,6 +198,9 @@ impl ManagerBuilder {
             tiering,
             counters: Counters::default(),
             metrics,
+            flight,
+            symbols: Arc::new(SymbolTable::new()),
+            last_panic: Mutex::new(None),
             sink: RwLock::new(self.sink),
             gate: RwLock::new(self.gate),
             persist_path: self.persist_path,
@@ -229,6 +247,7 @@ mod tests {
                 demote_heat: 2.0,
                 decay: 0.5,
                 cooldown_ticks: 0,
+                cycle_weight: 0.0,
             })
             .build();
     }
@@ -242,6 +261,7 @@ mod tests {
                 demote_heat: 1.0,
                 decay: 1.5,
                 cooldown_ticks: 0,
+                cycle_weight: 0.0,
             })
             .build();
     }

@@ -101,7 +101,10 @@ use crate::guard::{self, CounterPage, GuardCase};
 use crate::persist::{self, PersistError, PersistedVariant};
 use crate::request::SpecRequest;
 use crate::snapshot::KnownSnapshot;
-use crate::telemetry::{metrics::Ctr, metrics::Gge, metrics::Hst, MetricsRegistry};
+use crate::telemetry::flight::{milli, FlightKind};
+use crate::telemetry::{
+    metrics::Ctr, metrics::Gge, metrics::Hst, FlightRecorder, MetricsRegistry, SymbolTable,
+};
 use crate::Rewriter;
 use brew_image::Image;
 pub use builder::{DeferredConfig, ManagerBuilder};
@@ -528,6 +531,10 @@ pub struct SpecializationManager {
     tiering: Option<Tiering>,
     counters: Counters,
     metrics: Arc<MetricsRegistry>,
+    flight: Arc<FlightRecorder>,
+    symbols: Arc<SymbolTable>,
+    /// Rendered flight dump captured by the most recent contained panic.
+    last_panic: Mutex<Option<String>>,
     sink: RwLock<Option<Box<dyn EventSink>>>,
     gate: RwLock<Option<Box<dyn PublishGate>>>,
     persist_path: Option<std::path::PathBuf>,
@@ -562,6 +569,27 @@ impl SpecializationManager {
     /// scrape endpoint) while the manager keeps recording.
     pub fn metrics(&self) -> Arc<MetricsRegistry> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The flight recorder journaling every manager decision. Clone the
+    /// `Arc` to dump from another thread (e.g. a crash handler or the
+    /// worker pool) while the manager keeps recording.
+    pub fn flight(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.flight)
+    }
+
+    /// The live JIT symbol table (perf-map / jitdump source), kept
+    /// consistent with the variant cache across publish, unpublish and
+    /// warm start.
+    pub fn symbols(&self) -> Arc<SymbolTable> {
+        Arc::clone(&self.symbols)
+    }
+
+    /// The flight-recorder dump captured when the most recent rewrite
+    /// panic was contained — the events leading up to the blast, frozen
+    /// at containment time. `None` until a panic has been contained.
+    pub fn last_panic_dump(&self) -> Option<String> {
+        unpoison(self.last_panic.lock()).clone()
     }
 
     /// Attach an event sink, replacing any previous one (the deprecated
@@ -631,9 +659,13 @@ impl SpecializationManager {
         self.cache.len() == 0
     }
 
-    /// Drop every cached variant (counters are kept).
+    /// Drop every cached variant (counters are kept). Their JIT symbols
+    /// are retired with them; dispatch-stub symbols survive (the stub
+    /// placements do too).
     pub fn clear(&self) {
-        self.cache.clear();
+        for entry in self.cache.clear() {
+            self.retire_symbol(entry);
+        }
         self.sync_resident_gauges();
     }
 
@@ -641,8 +673,108 @@ impl SpecializationManager {
         // The registry comes first and unconditionally: metrics must not
         // depend on a sink being attached.
         self.metrics.record_event(&ev);
+        let (kind, args) = self.flight_of(&ev);
+        self.flight.record(kind, args);
         if let Some(sink) = unpoison(self.sink.read()).as_ref() {
             sink.event(&ev);
+        }
+    }
+
+    /// Map a manager [`Event`] to its flight-recorder encoding. Tiering
+    /// verdicts carry the threshold that justified them alongside the
+    /// heat score, so a dump answers "why" without the config at hand.
+    fn flight_of(&self, ev: &Event) -> (FlightKind, [u64; 4]) {
+        let bar = |demote: bool| -> u64 {
+            self.tiering
+                .as_ref()
+                .map(|t| {
+                    milli(if demote {
+                        t.cfg.demote_heat
+                    } else {
+                        t.cfg.promote_heat
+                    })
+                })
+                .unwrap_or(0)
+        };
+        match ev {
+            Event::Hit { func, entry } => (FlightKind::Hit, [*func, *entry, 0, 0]),
+            Event::Miss { func } => (FlightKind::Miss, [*func, 0, 0, 0]),
+            Event::Coalesced { func } => (FlightKind::Coalesced, [*func, 0, 0, 0]),
+            Event::Deferred { func } => (FlightKind::Deferred, [*func, 0, 0, 0]),
+            Event::Rewritten {
+                func,
+                entry,
+                code_len,
+                stats,
+            } => (
+                FlightKind::Rewritten,
+                [*func, *entry, *code_len as u64, stats.total_ns()],
+            ),
+            Event::Published { func, entry } => (FlightKind::Published, [*func, *entry, 0, 0]),
+            Event::Evicted {
+                func,
+                entry,
+                code_len,
+            } => (FlightKind::Evicted, [*func, *entry, *code_len as u64, 0]),
+            Event::DispatcherBuilt {
+                func,
+                entry,
+                variants,
+            } => (
+                FlightKind::DispatcherBuilt,
+                [*func, *entry, *variants as u64, 0],
+            ),
+            Event::Denied { func, attempts } => {
+                (FlightKind::Denied, [*func, *attempts as u64, 0, 0])
+            }
+            Event::Stale { func, entry } => (FlightKind::Stale, [*func, *entry, 0, 0]),
+            Event::Invalidated { func, entry } => (FlightKind::Invalidated, [*func, *entry, 0, 0]),
+            Event::Promoted {
+                func,
+                fingerprint,
+                heat,
+            } => (
+                FlightKind::Promoted,
+                [*func, *fingerprint, milli(*heat), bar(false)],
+            ),
+            Event::Demoted {
+                func,
+                fingerprint,
+                heat,
+                ..
+            } => (
+                FlightKind::Demoted,
+                [*func, *fingerprint, milli(*heat), bar(true)],
+            ),
+            Event::Respecialized {
+                func,
+                fingerprint,
+                heat,
+            } => (
+                FlightKind::Respecialized,
+                [*func, *fingerprint, milli(*heat), 0],
+            ),
+        }
+    }
+
+    /// Register a freshly published variant's JIT placement in the
+    /// symbol table (perf map / jitdump) and journal it.
+    fn publish_symbol(&self, key: &CacheKey, v: &Variant) {
+        let sym =
+            self.symbols
+                .publish_variant(key.func, key.fingerprint, v.entry, v.code_len as u64);
+        self.flight.record(
+            FlightKind::SymbolPublish,
+            [sym.entry, sym.len, sym.generation, 0],
+        );
+    }
+
+    /// Retire the symbol of an unpublished variant (eviction, demotion,
+    /// invalidation, clear) and journal it.
+    fn retire_symbol(&self, v: Arc<Variant>) {
+        if self.symbols.retire(v.entry).is_some() {
+            self.flight
+                .record(FlightKind::SymbolRetire, [v.entry, 0, 0, 0]);
         }
     }
 
@@ -682,6 +814,12 @@ impl SpecializationManager {
             .panics_contained
             .fetch_add(1, Ordering::AcqRel);
         self.metrics.count(Ctr::PanicsContained, 1);
+        // Freeze the flight recorder's view of the events leading up to
+        // the blast: journal the containment, then capture the dump for
+        // post-mortem retrieval via `last_panic_dump()`.
+        self.flight.record(FlightKind::PanicContained, [0; 4]);
+        let dump = self.flight.dump().render_text();
+        *unpoison(self.last_panic.lock()) = Some(dump);
     }
 
     /// The synchronous memoized entry point: return the cached variant
@@ -869,7 +1007,12 @@ impl SpecializationManager {
             });
         }
         self.metrics.count(Ctr::PersistSaved, vars.len() as u64);
-        persist::encode_variants(&vars)
+        let bytes = persist::encode_variants(&vars);
+        self.flight.record(
+            FlightKind::PersistSave,
+            [vars.len() as u64, bytes.len() as u64, 0, 0],
+        );
+        bytes
     }
 
     /// [`save_variant_bytes`](Self::save_variant_bytes) written to `path`.
@@ -943,6 +1086,9 @@ impl SpecializationManager {
                         func: pv.func,
                         entry: variant.entry,
                     });
+                    // Warm-started variants get the same profiler-facing
+                    // symbol a fresh publish would.
+                    self.publish_symbol(&key, &variant);
                     self.cache.insert(key, variant, pv.req.clone());
                     self.evict_to_budget(key);
                     report.published += 1;
@@ -956,6 +1102,10 @@ impl SpecializationManager {
         }
         self.sync_resident_gauges();
         self.sync_negative_gauge();
+        self.flight.record(
+            FlightKind::PersistLoad,
+            [report.published as u64, report.rejected.len() as u64, 0, 0],
+        );
         Ok(report)
     }
 
@@ -1165,6 +1315,7 @@ impl SpecializationManager {
                         });
                         // Publish to the cache *before* resolving the
                         // flight: anyone past the flight sees the cache.
+                        self.publish_symbol(&key, &variant);
                         self.cache.insert(key, Arc::clone(&variant), req.clone());
                         self.evict_to_budget(key);
                         self.sync_resident_gauges();
@@ -1204,10 +1355,16 @@ impl SpecializationManager {
         match verdict {
             Ok(Ok(())) => {
                 self.metrics.count(Ctr::VerifyPassed, 1);
+                self.flight.record(
+                    FlightKind::VerifyPass,
+                    [func, t0.elapsed().as_nanos() as u64, 0, 0],
+                );
                 Ok(())
             }
             Ok(Err(r)) => {
                 self.metrics.count(Ctr::VerifyRejected, 1);
+                self.flight
+                    .record(FlightKind::VerifyReject, [func, r.findings as u64, 0, 0]);
                 Err(RewriteError::VerifyRejected {
                     findings: r.findings,
                     first: r.summary,
@@ -1243,6 +1400,7 @@ impl SpecializationManager {
                 entry: v.entry,
                 code_len: v.code_len,
             });
+            self.retire_symbol(v);
         }
     }
 
@@ -1263,6 +1421,10 @@ impl SpecializationManager {
         let Some(t) = &self.tiering else {
             return TickSummary::default();
         };
+        self.flight.record(
+            FlightKind::TickBegin,
+            [unpoison(t.state.lock()).tick + 1, 0, 0, 0],
+        );
         // Sample resident hit counts *before* crediting page deltas into
         // the cache: the credit lands after this snapshot, so it is never
         // observed again as a hit delta (the `credited` bookkeeping below
@@ -1283,17 +1445,40 @@ impl SpecializationManager {
         // attribute, so it is not folded here — fall-through callers reach
         // `request`, which records the miss with the request attached.
         let mut sources = std::mem::take(&mut st.sources);
+        // Fall-through (original-body) cycle deltas have no fingerprint
+        // to heat up, but they *are* drained from the bank — counted into
+        // the summary so attribution totals reconcile with the banks.
+        let mut unattributed_cycles = 0u64;
         for src in sources.values_mut() {
             let Ok((snap, deltas)) = src.page.delta_since(img, &src.last) else {
                 continue;
             };
+            // The cycle bank rides the same sampling pass: attributed
+            // time per case (written host-side by a `DispatchProfiler`)
+            // becomes pending cycle heat, weighed by `cycle_weight` in
+            // the fold below. Sampled even at weight 0 so the baseline
+            // stays fresh if the weight is raised later.
+            let cycle_deltas = src
+                .page
+                .cycle_delta_since(img, &src.last_cycles)
+                .map(|(snap, deltas)| {
+                    src.last_cycles = snap;
+                    deltas
+                })
+                .unwrap_or_default();
+            unattributed_cycles += cycle_deltas.iter().skip(src.keys.len()).sum::<u64>();
             for (i, key) in src.keys.iter().enumerate() {
                 let d = deltas[i];
+                let cd = cycle_deltas.get(i).copied().unwrap_or(0);
+                if d == 0 && cd == 0 {
+                    continue;
+                }
+                let e = st.heat.entry(*key).or_default();
+                e.pending_cycles += cd;
                 if d == 0 {
                     continue;
                 }
                 let credited = self.cache.credit(key, d);
-                let e = st.heat.entry(*key).or_default();
                 e.pending += d;
                 if credited {
                     e.credited += d;
@@ -1306,9 +1491,11 @@ impl SpecializationManager {
         st.tick += 1;
         let tick = st.tick;
         let decay = t.cfg.decay;
+        let cycle_weight = t.cfg.cycle_weight;
         let mut sampled = 0u64;
+        let mut cycles_sampled = unattributed_cycles;
         let mut promote: Vec<(CacheKey, SpecRequest, f64)> = Vec::new();
-        let mut demote: Vec<(CacheKey, f64, usize)> = Vec::new();
+        let mut demote: Vec<(CacheKey, f64, Arc<Variant>)> = Vec::new();
         for (key, e) in st.heat.iter_mut() {
             let is_resident = resident.contains_key(key);
             let hit_delta = match resident.get(key) {
@@ -1328,8 +1515,14 @@ impl SpecializationManager {
             };
             let input = e.pending + hit_delta;
             e.pending = 0;
+            let cyc = e.pending_cycles;
+            e.pending_cycles = 0;
             sampled += input;
-            e.heat = e.heat * decay + input as f64;
+            cycles_sampled += cyc;
+            // Calls and (weighted) attributed time both feed heat: at
+            // the default `cycle_weight` of 0 this reduces exactly to
+            // the PR 6 call-weighted fold.
+            e.heat = e.heat * decay + input as f64 + cyc as f64 * cycle_weight;
             let since = tick.saturating_sub(e.last_action_tick);
             match t.policy.decide(e.heat, is_resident, since) {
                 TierAction::Promote if !is_resident => {
@@ -1353,7 +1546,7 @@ impl SpecializationManager {
                         e.last_hits = 0;
                         e.credited = 0;
                         e.last_action_tick = tick;
-                        demote.push((*key, e.heat, v.code_len));
+                        demote.push((*key, e.heat, v));
                     }
                 }
                 _ => {}
@@ -1385,13 +1578,14 @@ impl SpecializationManager {
         if !demote.is_empty() {
             self.sync_resident_gauges();
         }
-        for (key, heat, code_len) in &demote {
+        for (key, heat, v) in &demote {
             self.emit(Event::Demoted {
                 func: key.func,
                 fingerprint: key.fingerprint,
                 heat: *heat,
-                code_len: *code_len,
+                code_len: v.code_len,
             });
+            self.retire_symbol(Arc::clone(v));
         }
         let promoted = promote.len();
         for (key, req, heat) in promote {
@@ -1411,13 +1605,24 @@ impl SpecializationManager {
                 let _ = self.obtain(img, key.func, &req);
             }
         }
-        TickSummary {
+        let summary = TickSummary {
             tick,
             sampled,
+            cycles_sampled,
             tracked,
             promoted,
             demoted: demote.len(),
-        }
+        };
+        self.flight.record(
+            FlightKind::TickEnd,
+            [
+                tick,
+                sampled,
+                summary.promoted as u64,
+                summary.demoted as u64,
+            ],
+        );
+        summary
     }
 
     /// Whether a variant for `(func, fingerprint)` is resident, without
@@ -1516,7 +1721,8 @@ impl SpecializationManager {
         dropped.len()
     }
 
-    /// Shared invalidation bookkeeping: count, emit, resync gauges.
+    /// Shared invalidation bookkeeping: count, emit, retire symbols,
+    /// resync gauges.
     fn note_invalidated(&self, dropped: &[(CacheKey, SpecRequest, Arc<Variant>)]) {
         for (_, _, v) in dropped {
             self.counters.invalidated.fetch_add(1, Ordering::AcqRel);
@@ -1524,6 +1730,7 @@ impl SpecializationManager {
                 func: v.func,
                 entry: v.entry,
             });
+            self.retire_symbol(Arc::clone(v));
         }
         if !dropped.is_empty() {
             self.sync_resident_gauges();
@@ -1573,8 +1780,10 @@ impl SpecializationManager {
         original: u64,
     ) -> Result<u64, RewriteError> {
         let cases = self.dispatch_cases(func);
+        let before = img.jit_remaining();
         let entry = guard::make_guard_chain(img, &cases, original)?;
-        self.note_dispatcher(func, entry, cases.len());
+        let len = before.saturating_sub(img.jit_remaining());
+        self.note_dispatcher(func, entry, cases.len(), len);
         Ok(entry)
     }
 
@@ -1593,12 +1802,34 @@ impl SpecializationManager {
         original: u64,
     ) -> Result<(u64, CounterPage), RewriteError> {
         let (cases, keys) = self.dispatch_cases_keyed(func);
+        let before = img.jit_remaining();
         let (entry, page) = guard::make_guard_chain_counting(img, &cases, original)?;
+        let len = before.saturating_sub(img.jit_remaining());
         if let Some(t) = &self.tiering {
             t.register_source(img, func, page, keys);
         }
-        self.note_dispatcher(func, entry, cases.len());
+        self.note_dispatcher(func, entry, cases.len(), len);
         Ok((entry, page))
+    }
+
+    /// A [`DispatchProfiler`](crate::telemetry::DispatchProfiler) over
+    /// `func`'s counting dispatcher `page`, wired to this manager's
+    /// metrics registry: every observed call feeds the page's cycle bank
+    /// *and* the per-(func, fingerprint) self-time histograms. The case
+    /// order is the stub's (hottest first), captured at call time — build
+    /// the profiler right after the dispatcher from the same snapshot.
+    pub fn profile_dispatcher(
+        &self,
+        func: u64,
+        page: CounterPage,
+    ) -> crate::telemetry::DispatchProfiler {
+        let (_, keys) = self.dispatch_cases_keyed(func);
+        crate::telemetry::DispatchProfiler::new(
+            func,
+            page,
+            keys.into_iter().map(|k| k.fingerprint).collect(),
+            Some(Arc::clone(&self.metrics)),
+        )
     }
 
     /// Guardable cached variants of `func` as dispatch cases, hottest
@@ -1628,7 +1859,7 @@ impl SpecializationManager {
         (cases, keys)
     }
 
-    fn note_dispatcher(&self, func: u64, entry: u64, variants: usize) {
+    fn note_dispatcher(&self, func: u64, entry: u64, variants: usize, len: u64) {
         self.counters
             .dispatchers_built
             .fetch_add(1, Ordering::AcqRel);
@@ -1637,6 +1868,13 @@ impl SpecializationManager {
             entry,
             variants,
         });
+        // Stubs are live JIT placements too — symbolize them so profiler
+        // samples inside the dispatch chain don't read as bare hex.
+        let sym = self.symbols.publish_stub(func, entry, len);
+        self.flight.record(
+            FlightKind::SymbolPublish,
+            [sym.entry, sym.len, sym.generation, 0],
+        );
     }
 }
 

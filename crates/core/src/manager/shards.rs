@@ -63,8 +63,9 @@
 
 use super::{CacheKey, Variant};
 use crate::request::SpecRequest;
+use crate::telemetry::flight::FlightKind;
 use crate::telemetry::metrics::{Ctr, Gge};
-use crate::telemetry::MetricsRegistry;
+use crate::telemetry::{FlightRecorder, MetricsRegistry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -131,6 +132,8 @@ struct WriterState {
 }
 
 struct Shard {
+    /// Shard index, stamped into flight-recorder epoch events.
+    id: usize,
     write: Mutex<WriterState>,
     /// The published immutable snapshot readers probe.
     snap: AtomicPtr<Snap>,
@@ -142,8 +145,9 @@ struct Shard {
 }
 
 impl Shard {
-    fn new() -> Self {
+    fn new(id: usize) -> Self {
         Shard {
+            id,
             write: Mutex::new(WriterState {
                 map: HashMap::new(),
                 limbo: [Vec::new(), Vec::new()],
@@ -167,18 +171,21 @@ pub(super) struct ShardedCache {
     tick: AtomicU64,
     /// Epoch/publication telemetry (`brew_read_epoch_*`).
     metrics: Arc<MetricsRegistry>,
+    /// Flight journal for epoch publish/reclaim events.
+    flight: Arc<FlightRecorder>,
 }
 
 impl ShardedCache {
-    pub fn new(shards: usize, metrics: Arc<MetricsRegistry>) -> Self {
+    pub fn new(shards: usize, metrics: Arc<MetricsRegistry>, flight: Arc<FlightRecorder>) -> Self {
         let n = shards.max(1).next_power_of_two();
         ShardedCache {
-            shards: (0..n).map(|_| Shard::new()).collect(),
+            shards: (0..n).map(Shard::new).collect(),
             mask: n - 1,
             resident: AtomicUsize::new(0),
             count: AtomicUsize::new(0),
             tick: AtomicU64::new(0),
             metrics,
+            flight,
         }
     }
 
@@ -229,6 +236,8 @@ impl ShardedCache {
         w.limbo[(e & 1) as usize].push(Retired(old));
         self.metrics.count(Ctr::EpochPublished, 1);
         self.metrics.gauge_add(Gge::EpochLimbo, 1);
+        self.flight
+            .record(FlightKind::EpochPublish, [shard.id as u64, e, 0, 0]);
         // Advance gate: parity (e+1)&1 holds only snapshots retired at
         // epochs <= e-1; with no reader pinned there, nothing can still
         // hold them (module docs) and the bin is freed.
@@ -246,6 +255,10 @@ impl ShardedCache {
             if freed > 0 {
                 self.metrics.count(Ctr::EpochReclaimed, freed as u64);
                 self.metrics.gauge_add(Gge::EpochLimbo, -(freed as i64));
+                self.flight.record(
+                    FlightKind::EpochReclaim,
+                    [shard.id as u64, freed as u64, 0, 0],
+                );
             }
         }
     }
@@ -359,25 +372,31 @@ impl ShardedCache {
     /// `keep` as a `(key, producing request, variant)` triple, so the
     /// caller can hand the request to the tiering layer for possible
     /// re-promotion. Shards are scanned and locked one at a time (never
-    /// nested), so a concurrent hit may rescue a candidate between scoring
-    /// and removal — in that case the next round picks a new victim.
+    /// nested), so a concurrent eviction may remove a candidate between
+    /// scoring and removal — the scan then retries with a fresh victim
+    /// (terminates: each lost race means the entry set shrank), so `None`
+    /// reliably means "nothing but `keep` is left".
     pub fn evict_victim(&self, keep: CacheKey) -> Option<(CacheKey, SpecRequest, Arc<Variant>)> {
-        let now = self.tick.load(Ordering::Relaxed);
-        let mut best: Option<(u128, std::cmp::Reverse<u64>, CacheKey)> = None;
-        for shard in &self.shards {
-            let w = unpoison(shard.write.lock());
-            for e in w.map.values() {
-                if e.key == keep {
-                    continue;
-                }
-                let cand = (e.score(now), std::cmp::Reverse(e.key.fingerprint), e.key);
-                if best.as_ref().is_none_or(|b| (cand.0, cand.1) > (b.0, b.1)) {
-                    best = Some(cand);
+        loop {
+            let now = self.tick.load(Ordering::Relaxed);
+            let mut best: Option<(u128, std::cmp::Reverse<u64>, CacheKey)> = None;
+            for shard in &self.shards {
+                let w = unpoison(shard.write.lock());
+                for e in w.map.values() {
+                    if e.key == keep {
+                        continue;
+                    }
+                    let cand = (e.score(now), std::cmp::Reverse(e.key.fingerprint), e.key);
+                    if best.as_ref().is_none_or(|b| (cand.0, cand.1) > (b.0, b.1)) {
+                        best = Some(cand);
+                    }
                 }
             }
+            let (_, _, victim) = best?;
+            if let Some((req, v)) = self.remove_key(&victim) {
+                return Some((victim, req, v));
+            }
         }
-        let (_, _, victim) = best?;
-        self.remove_key(&victim).map(|(req, v)| (victim, req, v))
     }
 
     /// Remove every entry whose variant satisfies `pred`; returns the
@@ -415,8 +434,10 @@ impl ShardedCache {
         out
     }
 
-    /// Drop every entry and reset byte accounting.
-    pub fn clear(&self) {
+    /// Drop every entry and reset byte accounting. Returns the drained
+    /// variants so the caller can retire their symbol-table records.
+    pub fn clear(&self) -> Vec<Arc<Variant>> {
+        let mut dropped = Vec::new();
         for shard in &self.shards {
             let mut w = unpoison(shard.write.lock());
             if w.map.is_empty() {
@@ -426,9 +447,11 @@ impl ShardedCache {
                 self.resident
                     .fetch_sub(e.variant.code_len, Ordering::AcqRel);
                 self.count.fetch_sub(1, Ordering::AcqRel);
+                dropped.push(Arc::clone(&e.variant));
             }
             self.publish(shard, &mut w);
         }
+        dropped
     }
 
     /// Snapshot `(hits, last_used, fingerprint, variant)` of every cached
@@ -491,7 +514,11 @@ mod tests {
     use crate::capture::RewriteStats;
 
     fn cache(shards: usize) -> ShardedCache {
-        ShardedCache::new(shards, Arc::new(MetricsRegistry::new()))
+        ShardedCache::new(
+            shards,
+            Arc::new(MetricsRegistry::new()),
+            Arc::new(FlightRecorder::new(64)),
+        )
     }
 
     fn dummy(func: u64, entry: u64, code_len: usize) -> (CacheKey, Arc<Variant>, SpecRequest) {
@@ -636,7 +663,7 @@ mod tests {
         // With no reader pinned, every publish advances the epoch, so the
         // limbo population stays bounded (<= 1 generation per shard here).
         let m = Arc::new(MetricsRegistry::new());
-        let c = ShardedCache::new(1, Arc::clone(&m));
+        let c = ShardedCache::new(1, Arc::clone(&m), Arc::new(FlightRecorder::new(64)));
         for e in 0..64u64 {
             let (key, v, req) = dummy(1, e, 8);
             c.insert(key, v, req);

@@ -96,6 +96,13 @@ pub struct TieringConfig {
     /// Ticks a key must wait after a promote/demote before the policy may
     /// act on it again — the anti-flap guard.
     pub cooldown_ticks: u64,
+    /// Heat contributed per measured model cycle attributed to a key by
+    /// the counter page's cycle bank (see
+    /// [`DispatchProfiler`](crate::telemetry::DispatchProfiler)). At the
+    /// default `0.0` time attribution is journaled and exported but does
+    /// not steer tiering; a small positive weight (e.g. `1e-4`) makes
+    /// *expensive* callers promote faster than merely *frequent* ones.
+    pub cycle_weight: f64,
 }
 
 impl Default for TieringConfig {
@@ -105,6 +112,7 @@ impl Default for TieringConfig {
             demote_heat: 1.0,
             decay: 0.5,
             cooldown_ticks: 2,
+            cycle_weight: 0.0,
         }
     }
 }
@@ -205,6 +213,9 @@ pub struct TickSummary {
     pub promoted: usize,
     /// Resident variants demoted (removed from the cache) this tick.
     pub demoted: usize,
+    /// Model cycles drained from counter-page cycle banks this tick
+    /// (summed across every registered source, before `cycle_weight`).
+    pub cycles_sampled: u64,
 }
 
 /// Per-key tiering state.
@@ -221,6 +232,9 @@ pub(super) struct HeatEntry {
     /// Hits credited into the cache from counter pages this tick; folded
     /// into `last_hits` so the credit is not re-observed as a hit delta.
     pub credited: u64,
+    /// Model cycles attributed since the last tick (cycle-bank deltas);
+    /// folded into heat scaled by [`TieringConfig::cycle_weight`].
+    pub pending_cycles: u64,
     /// Tick of the last promote/demote for cooldown accounting.
     pub last_action_tick: u64,
     /// The request to replay on promotion. Captured from miss
@@ -235,6 +249,8 @@ pub(super) struct CounterSource {
     pub page: CounterPage,
     pub keys: Vec<CacheKey>,
     pub last: Vec<u64>,
+    /// Last-sampled cycle-bank values (same layout as `last`).
+    pub last_cycles: Vec<u64>,
 }
 
 /// Mutable tiering state, all under one mutex — critical sections are a
@@ -301,9 +317,28 @@ impl Tiering {
                     }
                 }
             }
+            // Residual cycle deltas of the replaced page fold in too, so
+            // time attributed between the last tick and a dispatcher
+            // rebuild is not lost.
+            if let Ok((_, cyc)) = old.page.cycle_delta_since(img, &old.last_cycles) {
+                for (i, key) in old.keys.iter().enumerate() {
+                    if cyc[i] > 0 {
+                        st.heat.entry(*key).or_default().pending_cycles += cyc[i];
+                    }
+                }
+            }
         }
         let last = vec![0; keys.len() + 1];
-        st.sources.insert(func, CounterSource { page, keys, last });
+        let last_cycles = last.clone();
+        st.sources.insert(
+            func,
+            CounterSource {
+                page,
+                keys,
+                last,
+                last_cycles,
+            },
+        );
     }
 
     /// Current heat of `key` (0.0 when untracked).
@@ -327,6 +362,7 @@ mod tests {
             demote_heat: 2.0,
             decay: 0.5,
             cooldown_ticks: 0,
+            cycle_weight: 0.0,
         });
         // Below the band, resident → demote; non-resident → stay.
         assert_eq!(p.decide(1.0, true, 10), TierAction::Demote);
@@ -346,6 +382,7 @@ mod tests {
             demote_heat: 2.0,
             decay: 0.5,
             cooldown_ticks: 3,
+            cycle_weight: 0.0,
         });
         assert_eq!(p.decide(9.0, false, 2), TierAction::Stay);
         assert_eq!(p.decide(9.0, false, 3), TierAction::Promote);

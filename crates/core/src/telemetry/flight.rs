@@ -1,0 +1,594 @@
+//! Flight recorder: a lock-free, allocation-free MPSC ring journal of
+//! manager activity.
+//!
+//! The metrics registry answers "how many"; the flight recorder answers
+//! "what happened, in what order, and why" — a fixed-capacity ring of
+//! seqlock-stamped event records that every manager path (dispatch
+//! outcomes, tiering decisions with their heat score and threshold,
+//! epoch publish/reclaim, persistence, panic containment) writes into
+//! with monotonic nanosecond timestamps. Think of an aircraft flight
+//! recorder: it is always on, it never blocks or allocates on the hot
+//! path, and when something goes wrong the last `capacity` events are
+//! right there to dump.
+//!
+//! # Record-path contract
+//!
+//! [`FlightRecorder::record`] is **lock-free and allocation-free**: one
+//! `fetch_add` claims a ring slot (ticket mod capacity), then the slot's
+//! sequence word is stamped odd, the payload words are stored, and the
+//! sequence word is stamped even — a per-slot seqlock. Writers never wait
+//! for readers or for each other; two writers racing for the same slot
+//! (a full lap apart) resolve by the later ticket overwriting, which is
+//! the drop-oldest policy. Overwritten events are *counted*, never
+//! blocked on: `head - capacity` is exactly the number of records lost
+//! to wraparound.
+//!
+//! Every payload word is an `AtomicU64`, so a torn read is impossible at
+//! the language level; the seqlock stamps only decide whether a slot's
+//! words belong to one consistent record. [`FlightRecorder::dump`]
+//! validates each slot's stamp before and after reading the payload and
+//! skips (and counts) slots caught mid-write — dumping concurrently with
+//! writers is safe and wait-free for both sides. One residue of the
+//! full-lap race is visible at rest: if the *older* of two racing
+//! writers stores its final stamp last, the slot stays stamped for the
+//! lapped ticket (and is counted torn) until the ring next reaches it —
+//! bounded by one slot per concurrent writer, exercised by the
+//! `flight.rs` torture test.
+//!
+//! # Timestamps
+//!
+//! All timestamps come from one process-global monotonic epoch
+//! ([`now_ns`]), so events recorded by different threads sort onto a
+//! single timeline and per-thread order is monotone by construction.
+//! Thread ids are compact (first flight-recorder use on a thread assigns
+//! the next integer), so dumps stay readable.
+//!
+//! # Exports
+//!
+//! - [`FlightDump::render_text`] — the line-oriented dump format
+//!   (`ts=<ns> tid=<n> kind=<NAME> k=v ...`) that `brew-inspect` parses
+//!   and panic dumps use;
+//! - [`FlightDump::to_chrome_json`] — instant events in the
+//!   chrome://tracing format;
+//! - [`merged_chrome_json`] — one timeline merging a rewrite's
+//!   [`SpanRecorder`] span tree with the flight
+//!   events around it. Both exports pass the strict
+//!   [`validate_json`](super::validate_json) gate.
+
+use super::span::SpanKind;
+use super::{json_escape, SpanRecorder};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process-global monotonic epoch every flight timestamp is relative
+/// to — first use pins it.
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-global flight epoch. Monotonic across
+/// threads (one shared clock), so per-thread event order is monotone and
+/// cross-thread timestamps are directly comparable.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Compact id of the calling thread: the first flight-recorder use on a
+/// thread assigns the next integer (starting at 1).
+pub fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// How one argument of a [`FlightKind`] renders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgFmt {
+    /// Hexadecimal (addresses, fingerprints).
+    Hex,
+    /// Plain decimal.
+    Dec,
+    /// A fixed-point milli value (`1234` renders `1.234`) — heat scores
+    /// and thresholds survive the integer payload this way.
+    Milli,
+}
+
+macro_rules! flight_kinds {
+    ($( $name:ident = $disc:literal, $label:literal, [ $( ($arg:literal, $fmt:ident) ),* ] ;)*) => {
+        /// Every event kind the flight recorder records. Discriminants are
+        /// stable (they appear in dumps and the wire word), names match
+        /// the manager [`Event`](crate::manager::Event) variants where one
+        /// exists.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[repr(u8)]
+        pub enum FlightKind {
+            $(
+                #[allow(missing_docs)]
+                $name = $disc,
+            )*
+        }
+
+        impl FlightKind {
+            /// Every kind, for iteration and decode.
+            pub const ALL: &'static [FlightKind] = &[ $( FlightKind::$name, )* ];
+
+            /// The dump-format label (`kind=<label>`).
+            pub fn label(self) -> &'static str {
+                match self { $( FlightKind::$name => $label, )* }
+            }
+
+            /// Names and formats of the meaningful payload words (up to 4).
+            pub fn args(self) -> &'static [(&'static str, ArgFmt)] {
+                match self { $( FlightKind::$name => &[ $( ($arg, ArgFmt::$fmt) ),* ], )* }
+            }
+
+            /// Decode a stored discriminant.
+            pub fn from_u8(v: u8) -> Option<FlightKind> {
+                match v {
+                    $( $disc => Some(FlightKind::$name), )*
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+flight_kinds! {
+    Hit            = 1,  "HIT",        [("func", Hex), ("entry", Hex)];
+    Miss           = 2,  "MISS",       [("func", Hex)];
+    Coalesced      = 3,  "COALESCED",  [("func", Hex)];
+    Deferred       = 4,  "DEFERRED",   [("func", Hex)];
+    Rewritten      = 5,  "REWRITTEN",  [("func", Hex), ("entry", Hex), ("len", Dec), ("ns", Dec)];
+    Published      = 6,  "PUBLISHED",  [("func", Hex), ("entry", Hex)];
+    Evicted        = 7,  "EVICTED",    [("func", Hex), ("entry", Hex), ("len", Dec)];
+    DispatcherBuilt= 8,  "DISPATCHER", [("func", Hex), ("entry", Hex), ("variants", Dec)];
+    Denied         = 9,  "DENIED",     [("func", Hex), ("attempts", Dec)];
+    Stale          = 10, "STALE",      [("func", Hex), ("entry", Hex)];
+    Invalidated    = 11, "INVALIDATED",[("func", Hex), ("entry", Hex)];
+    Promoted       = 12, "PROMOTED",   [("func", Hex), ("fp", Hex), ("heat", Milli), ("bar", Milli)];
+    Demoted        = 13, "DEMOTED",    [("func", Hex), ("fp", Hex), ("heat", Milli), ("bar", Milli)];
+    Respecialized  = 14, "RESPEC",     [("func", Hex), ("fp", Hex), ("heat", Milli)];
+    TickBegin      = 15, "TICK_BEGIN", [("tick", Dec)];
+    TickEnd        = 16, "TICK_END",   [("tick", Dec), ("sampled", Dec), ("promoted", Dec), ("demoted", Dec)];
+    EpochPublish   = 17, "EPOCH_PUB",  [("shard", Dec), ("epoch", Dec)];
+    EpochReclaim   = 18, "EPOCH_FREE", [("shard", Dec), ("freed", Dec)];
+    PersistSave    = 19, "SAVE",       [("variants", Dec), ("bytes", Dec)];
+    PersistLoad    = 20, "LOAD",       [("published", Dec), ("rejected", Dec)];
+    PanicContained = 21, "PANIC",      [];
+    VerifyPass     = 22, "VERIFY_OK",  [("func", Hex), ("ns", Dec)];
+    VerifyReject   = 23, "VERIFY_REJ", [("func", Hex), ("findings", Dec)];
+    SymbolPublish  = 24, "SYM_PUB",    [("entry", Hex), ("len", Dec), ("gen", Dec)];
+    SymbolRetire   = 25, "SYM_RET",    [("entry", Hex)];
+}
+
+/// Convert a heat score to the milli fixed-point payload word.
+pub fn milli(v: f64) -> u64 {
+    (v.max(0.0) * 1000.0) as u64
+}
+
+/// One decoded flight-recorder entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Nanoseconds since the process flight epoch ([`now_ns`]).
+    pub ts_ns: u64,
+    /// Compact recorder thread id ([`thread_id`]).
+    pub tid: u64,
+    /// What happened.
+    pub kind: FlightKind,
+    /// Raw payload words; `kind.args()` names the meaningful prefix.
+    pub args: [u64; 4],
+}
+
+impl FlightEntry {
+    /// Render as one dump line: `ts=<ns> tid=<n> kind=<NAME> k=v ...`.
+    pub fn render_line(&self) -> String {
+        let mut out = format!(
+            "ts={} tid={} kind={}",
+            self.ts_ns,
+            self.tid,
+            self.kind.label()
+        );
+        for (i, (name, fmt)) in self.kind.args().iter().enumerate() {
+            let v = self.args[i];
+            match fmt {
+                ArgFmt::Hex => out.push_str(&format!(" {name}={v:#x}")),
+                ArgFmt::Dec => out.push_str(&format!(" {name}={v}")),
+                ArgFmt::Milli => out.push_str(&format!(" {name}={}.{:03}", v / 1000, v % 1000)),
+            }
+        }
+        out
+    }
+}
+
+/// Payload words per slot: packed kind+tid, timestamp, four arguments.
+const SLOT_WORDS: usize = 6;
+
+struct Slot {
+    /// Seqlock stamp: `0` = never written, `2t+1` = ticket `t` writing,
+    /// `2t+2` = ticket `t` complete.
+    seq: AtomicU64,
+    words: [AtomicU64; SLOT_WORDS],
+}
+
+/// The ring journal. Construction allocates the slots once; recording
+/// never allocates or locks again. Share it in an `Arc`.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    mask: u64,
+    /// Ticket counter; slot = ticket & mask. `head - capacity` (when
+    /// positive) is the number of overwritten (dropped-oldest) records.
+    head: AtomicU64,
+    enabled: AtomicBool,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.head.load(Ordering::Relaxed))
+            .field("enabled", &self.enabled.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Default ring capacity (slots) used by the manager builder.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with `capacity` slots (rounded up to a power of two,
+    /// minimum 64). This is the only allocation the recorder ever makes.
+    pub fn new(capacity: usize) -> Self {
+        let n = capacity.max(64).next_power_of_two();
+        let slots = (0..n)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                words: std::array::from_fn(|_| AtomicU64::new(0)),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        FlightRecorder {
+            slots,
+            mask: (n - 1) as u64,
+            head: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Ring capacity in slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Turn recording on or off; off reduces [`record`](Self::record) to
+    /// one relaxed load.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the recorder accepts events.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Total records accepted so far (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Records lost to drop-oldest wraparound so far.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Record one event. Lock-free, allocation-free, never blocks: one
+    /// ticket `fetch_add`, one clock read, eight atomic stores. Unused
+    /// argument positions should be 0.
+    pub fn record(&self, kind: FlightKind, args: [u64; 4]) {
+        if !self.enabled() {
+            return;
+        }
+        let ts = now_ns();
+        let tid = thread_id();
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket & self.mask) as usize];
+        // Seqlock write protocol: stamp odd, fence, payload, stamp even
+        // (release). A reader that observes any payload word of this
+        // write and then acquires observes the odd stamp (fence pairing),
+        // so a mid-write slot can never pass the reader's stamp check.
+        slot.seq.store(ticket * 2 + 1, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::Release);
+        slot.words[0].store((kind as u64) | (tid << 8), Ordering::Relaxed);
+        slot.words[1].store(ts, Ordering::Relaxed);
+        for (i, a) in args.iter().enumerate() {
+            slot.words[2 + i].store(*a, Ordering::Relaxed);
+        }
+        slot.seq.store(ticket * 2 + 2, Ordering::Release);
+    }
+
+    /// Snapshot the ring into a [`FlightDump`]: up to `capacity` most
+    /// recent records, oldest first. Wait-free for both sides — writers
+    /// keep recording; a slot overwritten or caught mid-write while we
+    /// read it fails its stamp check and is counted in
+    /// [`FlightDump::torn`] instead of surfacing garbage.
+    pub fn dump(&self) -> FlightDump {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut entries = Vec::with_capacity((head - start) as usize);
+        let mut torn = 0u64;
+        for ticket in start..head {
+            let slot = &self.slots[(ticket & self.mask) as usize];
+            let s1 = slot.seq.load(Ordering::Acquire);
+            let words: [u64; SLOT_WORDS] =
+                std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
+            std::sync::atomic::fence(Ordering::Acquire);
+            let s2 = slot.seq.load(Ordering::Relaxed);
+            // Consistent iff both stamps agree, are even, and belong to
+            // the ticket we expect (an older or newer lap means the write
+            // we wanted is gone or still in flight).
+            if s1 != s2 || s1 == 0 || !s1.is_multiple_of(2) || (s1 - 2) / 2 != ticket {
+                torn += 1;
+                continue;
+            }
+            let Some(kind) = FlightKind::from_u8((words[0] & 0xff) as u8) else {
+                torn += 1;
+                continue;
+            };
+            entries.push(FlightEntry {
+                ts_ns: words[1],
+                tid: words[0] >> 8,
+                kind,
+                args: [words[2], words[3], words[4], words[5]],
+            });
+        }
+        // Tickets are claimed before timestamps are read, so ring order
+        // can locally disagree with clock order; the timeline sorts by
+        // time (stable, so equal stamps keep ring order).
+        entries.sort_by_key(|e| e.ts_ns);
+        FlightDump {
+            entries,
+            dropped: start,
+            torn,
+            recorded: head,
+        }
+    }
+}
+
+/// A decoded snapshot of the flight ring: the surviving entries plus the
+/// loss accounting that makes the snapshot honest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDump {
+    /// Consistent records, oldest first (sorted by timestamp).
+    pub entries: Vec<FlightEntry>,
+    /// Records overwritten by drop-oldest before this dump.
+    pub dropped: u64,
+    /// Slots skipped because a writer was mid-update (or lapped us)
+    /// while we read them.
+    pub torn: u64,
+    /// Total records accepted by the recorder up to the dump.
+    pub recorded: u64,
+}
+
+impl FlightDump {
+    /// Render the dump in the line-oriented text format `brew-inspect`
+    /// consumes: a header line, then one line per entry.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "# brew flight dump v1 entries={} recorded={} dropped={} torn={}\n",
+            self.entries.len(),
+            self.recorded,
+            self.dropped,
+            self.torn
+        );
+        for e in &self.entries {
+            out.push_str(&e.render_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as chrome://tracing JSON: every entry an instant event on
+    /// its recorder thread. Validated by the strict JSON gate like every
+    /// telemetry export.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_flight_event(&mut out, e);
+        }
+        out.push_str("]}");
+        super::json::checked_export("flight chrome export", out)
+    }
+}
+
+/// Append one flight entry as a chrome instant event (pid 1, tid = 100 +
+/// recorder tid so flight threads sort after the span track).
+fn push_flight_event(out: &mut String, e: &FlightEntry) {
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"cat\":\"flight\",\"pid\":1,\"tid\":{},\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3}",
+        json_escape(e.kind.label()),
+        100 + e.tid,
+        e.ts_ns as f64 / 1_000.0
+    ));
+    let specs = e.kind.args();
+    if !specs.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (name, fmt)) in specs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let v = e.args[i];
+            let rendered = match fmt {
+                ArgFmt::Hex => format!("{v:#x}"),
+                ArgFmt::Dec => format!("{v}"),
+                ArgFmt::Milli => format!("{}.{:03}", v / 1000, v % 1000),
+            };
+            out.push_str(&format!("\"{}\":\"{}\"", json_escape(name), rendered));
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Merge a rewrite's span tree and a flight dump onto **one**
+/// chrome://tracing timeline: spans keep their tid 1 track, flight events
+/// land on per-thread tracks (tid 100+), and span timestamps are shifted
+/// by the recorder's flight-epoch offset so both clocks agree. Open the
+/// output in Perfetto to see manager decisions interleaved with the
+/// rewrite phases they triggered.
+pub fn merged_chrome_json(spans: &SpanRecorder, dump: &FlightDump) -> String {
+    let base = spans.flight_epoch_ns();
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for e in spans.events() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let ts = (base + e.start_ns) as f64 / 1_000.0;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"pid\":1,\"tid\":1,\"ts\":{ts:.3}",
+            json_escape(&e.name),
+            e.cat
+        ));
+        match e.kind {
+            SpanKind::Complete => {
+                out.push_str(&format!(
+                    ",\"ph\":\"X\",\"dur\":{:.3}",
+                    e.dur_ns as f64 / 1_000.0
+                ));
+            }
+            SpanKind::Instant => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+        }
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (k, v)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    for e in &dump.entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_flight_event(&mut out, e);
+    }
+    out.push_str("]}");
+    super::json::checked_export("merged chrome export", out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_dump_roundtrip() {
+        let r = FlightRecorder::new(64);
+        r.record(FlightKind::Miss, [0x40_0000, 0, 0, 0]);
+        r.record(FlightKind::Rewritten, [0x40_0000, 0x90_0040, 128, 55_000]);
+        let d = r.dump();
+        assert_eq!(d.entries.len(), 2);
+        assert_eq!(d.dropped, 0);
+        assert_eq!(d.torn, 0);
+        assert_eq!(d.entries[0].kind, FlightKind::Miss);
+        assert_eq!(d.entries[1].args[2], 128);
+        assert!(d.entries[0].ts_ns <= d.entries[1].ts_ns);
+        let text = d.render_text();
+        assert!(text.starts_with("# brew flight dump v1"));
+        assert!(text.contains("kind=REWRITTEN func=0x400000 entry=0x900040 len=128 ns=55000"));
+    }
+
+    #[test]
+    fn drop_oldest_counts_without_blocking() {
+        let r = FlightRecorder::new(64); // rounds to 64 slots
+        for i in 0..100u64 {
+            r.record(FlightKind::Hit, [i, i, 0, 0]);
+        }
+        let d = r.dump();
+        assert_eq!(d.recorded, 100);
+        assert_eq!(d.dropped, 36);
+        assert_eq!(d.entries.len(), 64);
+        // The survivors are exactly the newest 64, in order.
+        let firsts: Vec<u64> = d.entries.iter().map(|e| e.args[0]).collect();
+        assert_eq!(firsts, (36..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disabled_recorder_drops_events() {
+        let r = FlightRecorder::new(64);
+        r.set_enabled(false);
+        r.record(FlightKind::Hit, [1, 2, 0, 0]);
+        assert_eq!(r.recorded(), 0);
+        r.set_enabled(true);
+        r.record(FlightKind::Hit, [1, 2, 0, 0]);
+        assert_eq!(r.dump().entries.len(), 1);
+    }
+
+    #[test]
+    fn milli_renders_fixed_point() {
+        let e = FlightEntry {
+            ts_ns: 5,
+            tid: 1,
+            kind: FlightKind::Promoted,
+            args: [0x40, 0x7, milli(9.5), milli(8.0)],
+        };
+        let line = e.render_line();
+        assert!(line.contains("heat=9.500"), "{line}");
+        assert!(line.contains("bar=8.000"), "{line}");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_merges_with_spans() {
+        let mut spans = SpanRecorder::new();
+        let t = spans.now_ns();
+        spans.complete("trace", "phase", t, vec![]);
+        let r = FlightRecorder::new(64);
+        r.record(FlightKind::Published, [0x40_0000, 0x90_0040, 0, 0]);
+        let d = r.dump();
+        let solo = d.to_chrome_json();
+        crate::telemetry::validate_json(&solo).unwrap();
+        let merged = merged_chrome_json(&spans, &d);
+        crate::telemetry::validate_json(&merged).unwrap();
+        assert!(merged.contains("\"name\":\"trace\""));
+        assert!(merged.contains("\"name\":\"PUBLISHED\""));
+        assert!(merged.contains("\"cat\":\"flight\""));
+    }
+
+    #[test]
+    fn timestamps_are_globally_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+        let t1 = std::thread::spawn(now_ns).join().unwrap();
+        let t2 = now_ns();
+        assert!(t2 >= t1 || t2 + 1_000_000 > t1); // shared epoch, no per-thread reset
+    }
+
+    #[test]
+    fn kind_discriminants_roundtrip() {
+        for k in FlightKind::ALL {
+            assert_eq!(FlightKind::from_u8(*k as u8), Some(*k));
+            assert!(k.args().len() <= 4);
+        }
+        assert_eq!(FlightKind::from_u8(0), None);
+        assert_eq!(FlightKind::from_u8(200), None);
+    }
+}

@@ -6,6 +6,21 @@
 //! example and the CI `obs` stage all run exporter output through
 //! [`validate_json`] and fail loudly on malformed text.
 
+/// Gate a telemetry export through [`validate_json`] before handing it
+/// out: returns `out` unchanged if it is well-formed, panics with a
+/// clear diagnosis otherwise. Every inline export (metrics snapshot,
+/// chrome://tracing span export, flight-recorder exports, merged
+/// timeline) routes through this, so a concatenation bug fails at the
+/// producer — loudly, with the byte offset — instead of corrupting
+/// downstream tooling. Inputs are escaped internally, so a failure here
+/// is always a construction bug, never bad user data.
+pub(crate) fn checked_export(what: &str, out: String) -> String {
+    if let Err(e) = validate_json(&out) {
+        panic!("{what} produced invalid JSON: {e}");
+    }
+    out
+}
+
 /// Check that `s` is exactly one well-formed JSON value (RFC 8259
 /// grammar; no trailing garbage). Returns the byte offset and a message
 /// on the first error.

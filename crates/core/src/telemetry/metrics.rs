@@ -7,7 +7,9 @@
 //! load-and-branch.
 
 use crate::manager::Event;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -118,6 +120,75 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+}
+
+/// Upper bounds (inclusive, in model cycles) of the per-variant
+/// self-time histogram buckets: powers of four from 4 to ~16M cycles.
+pub const CYCLE_BUCKET_BOUNDS: [u64; 12] = [
+    4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216,
+];
+
+/// Sentinel fingerprint labelling time spent in the *original* function
+/// (dispatch fall-through) rather than any specialized variant.
+pub const ORIGINAL_FP: u64 = u64::MAX;
+
+/// Lock-free per-(func, fingerprint) self-time cell: a cycle histogram
+/// over [`CYCLE_BUCKET_BOUNDS`] plus an exemplar (the costliest single
+/// call seen, with its timestamp).
+#[derive(Debug)]
+struct SelfTimeCell {
+    buckets: [AtomicU64; CYCLE_BUCKET_BOUNDS.len() + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+    exemplar_cycles: AtomicU64,
+    exemplar_ts_ns: AtomicU64,
+}
+
+impl Default for SelfTimeCell {
+    fn default() -> Self {
+        SelfTimeCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            exemplar_cycles: AtomicU64::new(0),
+            exemplar_ts_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SelfTimeCell {
+    fn observe(&self, cycles: u64) {
+        let idx = CYCLE_BUCKET_BOUNDS
+            .iter()
+            .position(|&b| cycles <= b)
+            .unwrap_or(CYCLE_BUCKET_BOUNDS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(cycles, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if cycles > self.exemplar_cycles.fetch_max(cycles, Ordering::Relaxed) {
+            self.exemplar_ts_ns
+                .store(super::flight::now_ns(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// A read-out of one variant's self-time cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfTimeSnapshot {
+    /// Original function address.
+    pub func: u64,
+    /// Argument fingerprint ([`ORIGINAL_FP`] = the original body).
+    pub fingerprint: u64,
+    /// Calls attributed.
+    pub count: u64,
+    /// Total attributed model cycles.
+    pub sum_cycles: u64,
+    /// Per-bucket counts over [`CYCLE_BUCKET_BOUNDS`], overflow last.
+    pub buckets: Vec<u64>,
+    /// Costliest single attributed call.
+    pub exemplar_cycles: u64,
+    /// Flight-epoch timestamp of the exemplar.
+    pub exemplar_ts_ns: u64,
 }
 
 /// Counter identifiers. The order defines the exposition order.
@@ -374,6 +445,10 @@ pub struct MetricsRegistry {
     counters: [Counter; Ctr::ALL.len()],
     gauges: [Gauge; Gge::ALL.len()],
     hists: [Histogram; Hst::ALL.len()],
+    /// Per-(func, fingerprint) self-time cells. The write lock is taken
+    /// only when a *new* variant first reports time; steady-state
+    /// observation is a read-lock + atomics.
+    self_times: RwLock<HashMap<(u64, u64), Arc<SelfTimeCell>>>,
 }
 
 impl Default for MetricsRegistry {
@@ -390,6 +465,7 @@ impl MetricsRegistry {
             counters: std::array::from_fn(|_| Counter::default()),
             gauges: std::array::from_fn(|_| Gauge::default()),
             hists: std::array::from_fn(|_| Histogram::default()),
+            self_times: RwLock::new(HashMap::new()),
         }
     }
 
@@ -445,6 +521,50 @@ impl MetricsRegistry {
         if self.enabled() {
             self.histogram(h).observe(v);
         }
+    }
+
+    /// Attribute `cycles` of self-time to the variant `(func,
+    /// fingerprint)` (use [`ORIGINAL_FP`] for the original body). Fed by
+    /// [`DispatchProfiler`](super::DispatchProfiler); steady state is a
+    /// read-lock plus relaxed atomics.
+    pub fn observe_self_time(&self, func: u64, fingerprint: u64, cycles: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let key = (func, fingerprint);
+        let cell = {
+            let map = self.self_times.read().unwrap_or_else(|e| e.into_inner());
+            map.get(&key).cloned()
+        };
+        let cell = cell.unwrap_or_else(|| {
+            let mut map = self.self_times.write().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(map.entry(key).or_default())
+        });
+        cell.observe(cycles);
+    }
+
+    /// Snapshot every self-time cell, sorted by (func, fingerprint) for
+    /// deterministic output.
+    pub fn self_times(&self) -> Vec<SelfTimeSnapshot> {
+        let map = self.self_times.read().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<SelfTimeSnapshot> = map
+            .iter()
+            .map(|(&(func, fingerprint), cell)| SelfTimeSnapshot {
+                func,
+                fingerprint,
+                count: cell.count.load(Ordering::Relaxed),
+                sum_cycles: cell.sum.load(Ordering::Relaxed),
+                buckets: cell
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect(),
+                exemplar_cycles: cell.exemplar_cycles.load(Ordering::Relaxed),
+                exemplar_ts_ns: cell.exemplar_ts_ns.load(Ordering::Relaxed),
+            })
+            .collect();
+        out.sort_by_key(|s| (s.func, s.fingerprint));
+        out
     }
 
     /// Fold one manager [`Event`] into the registry. Called by the
@@ -516,12 +636,42 @@ impl MetricsRegistry {
             out.push_str(&format!("{}_sum {}\n", h.name(), hist.sum()));
             out.push_str(&format!("{}_count {}\n", h.name(), hist.count()));
         }
+        let st = self.self_times();
+        if !st.is_empty() {
+            let name = "brew_variant_self_cycles";
+            out.push_str(&format!(
+                "# HELP {name} Model cycles attributed per (func, fingerprint) variant\n"
+            ));
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            for s in &st {
+                let fp = if s.fingerprint == ORIGINAL_FP {
+                    "original".to_string()
+                } else {
+                    format!("{:#x}", s.fingerprint)
+                };
+                let labels = format!("func=\"{:#x}\",fp=\"{fp}\"", s.func);
+                let mut cum = 0u64;
+                for (i, n) in s.buckets.iter().enumerate() {
+                    cum += n;
+                    let le = CYCLE_BUCKET_BOUNDS
+                        .get(i)
+                        .map(|b| b.to_string())
+                        .unwrap_or_else(|| "+Inf".into());
+                    out.push_str(&format!("{name}_bucket{{{labels},le=\"{le}\"}} {cum}\n"));
+                }
+                out.push_str(&format!("{name}_sum{{{labels}}} {}\n", s.sum_cycles));
+                out.push_str(&format!("{name}_count{{{labels}}} {}\n", s.count));
+                out.push_str(&format!("{name}_max{{{labels}}} {}\n", s.exemplar_cycles));
+            }
+        }
         out
     }
 
     /// Render the registry as one JSON object:
     /// `{"counters":{...},"gauges":{...},"histograms":{name:{"bounds":[...],
-    /// "buckets":[...],"sum":n,"count":n}}}`.
+    /// "buckets":[...],"sum":n,"count":n}},"self_time":[...]}` — the
+    /// `self_time` array carries one entry per (func, fingerprint)
+    /// variant with attributed cycles, sorted for determinism.
     pub fn snapshot_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, c) in Ctr::ALL.iter().enumerate() {
@@ -554,8 +704,26 @@ impl MetricsRegistry {
                 hist.count()
             ));
         }
-        out.push_str("}}");
-        out
+        out.push_str("},\"self_time\":[");
+        for (i, s) in self.self_times().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> = s.buckets.iter().map(|n| n.to_string()).collect();
+            out.push_str(&format!(
+                "{{\"func\":{},\"fingerprint\":{},\"original\":{},\"count\":{},\"sum_cycles\":{},\"buckets\":[{}],\"exemplar_cycles\":{},\"exemplar_ts_ns\":{}}}",
+                s.func,
+                s.fingerprint,
+                s.fingerprint == ORIGINAL_FP,
+                s.count,
+                s.sum_cycles,
+                buckets.join(","),
+                s.exemplar_cycles,
+                s.exemplar_ts_ns
+            ));
+        }
+        out.push_str("]}");
+        super::json::checked_export("metrics JSON snapshot", out)
     }
 }
 
@@ -631,5 +799,102 @@ mod tests {
         let s = m.snapshot_json();
         crate::telemetry::validate_json(&s).unwrap();
         assert!(s.contains("\"brew_cache_hits_total\":1"));
+    }
+
+    #[test]
+    fn bucket_boundaries_exact_powers_and_neighbours() {
+        // Every exact bound must land in its own bucket (inclusive upper
+        // bound), and bound + 1 must land in the next one — scanned for
+        // the whole power-of-4 ladder so any off-by-one in the selection
+        // shows up at the exact boundary, not mid-range.
+        for (i, &bound) in NS_BUCKET_BOUNDS.iter().enumerate() {
+            let h = Histogram::default();
+            h.observe(bound);
+            let counts = h.bucket_counts();
+            assert_eq!(counts[i], 1, "bound {bound} must fill bucket {i}");
+            assert_eq!(counts.iter().sum::<u64>(), 1);
+
+            let h2 = Histogram::default();
+            h2.observe(bound + 1);
+            let counts2 = h2.bucket_counts();
+            assert_eq!(
+                counts2[i + 1],
+                1,
+                "bound {bound} + 1 must spill into bucket {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_extremes_zero_and_u64_max() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(u64::MAX);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1, "0 belongs in the first bucket");
+        assert_eq!(
+            *counts.last().unwrap(),
+            1,
+            "u64::MAX belongs in the overflow bucket"
+        );
+        assert_eq!(h.count(), 2);
+        // Sum wraps per u64 arithmetic; count stays exact.
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn cycle_bucket_boundaries_exact_powers() {
+        // The self-time ladder gets the same boundary scan as the ns
+        // ladder.
+        for (i, &bound) in CYCLE_BUCKET_BOUNDS.iter().enumerate() {
+            let m = MetricsRegistry::new();
+            m.observe_self_time(0x40, 0x1, bound);
+            m.observe_self_time(0x40, 0x1, bound + 1);
+            let st = m.self_times();
+            assert_eq!(st[0].buckets[i], 1, "bound {bound} in bucket {i}");
+            assert_eq!(
+                st[0].buckets[i + 1],
+                1,
+                "bound {bound}+1 in bucket {}",
+                i + 1
+            );
+        }
+        let m = MetricsRegistry::new();
+        m.observe_self_time(0x40, 0x1, u64::MAX);
+        let st = m.self_times();
+        assert_eq!(*st[0].buckets.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn self_time_cells_track_exemplars_and_export() {
+        let m = MetricsRegistry::new();
+        m.observe_self_time(0x40_0000, 0x7, 100);
+        m.observe_self_time(0x40_0000, 0x7, 900);
+        m.observe_self_time(0x40_0000, 0x7, 50);
+        m.observe_self_time(0x40_0000, ORIGINAL_FP, 5_000);
+        let st = m.self_times();
+        assert_eq!(st.len(), 2);
+        let spec = &st[0];
+        assert_eq!((spec.func, spec.fingerprint), (0x40_0000, 0x7));
+        assert_eq!(spec.count, 3);
+        assert_eq!(spec.sum_cycles, 1_050);
+        assert_eq!(spec.exemplar_cycles, 900);
+        let text = m.render_prometheus();
+        assert!(text.contains("brew_variant_self_cycles_sum{func=\"0x400000\",fp=\"0x7\"} 1050"));
+        assert!(text.contains("fp=\"original\""));
+        assert!(text.contains("brew_variant_self_cycles_max{func=\"0x400000\",fp=\"0x7\"} 900"));
+        let json = m.snapshot_json();
+        crate::telemetry::validate_json(&json).unwrap();
+        assert!(json.contains("\"sum_cycles\":1050"));
+        assert!(json.contains("\"original\":true"));
+    }
+
+    #[test]
+    fn disabled_registry_drops_self_time() {
+        let m = MetricsRegistry::new();
+        m.set_enabled(false);
+        m.observe_self_time(1, 2, 300);
+        assert!(m.self_times().is_empty());
     }
 }

@@ -20,18 +20,40 @@
 //!   phase timings, the decision log, and an annotated disassembly of
 //!   the generated code (the paper's Figure 6, reproduced automatically).
 //!
-//! [`json`] is a tiny strict JSON syntax checker used by tests and the
-//! CI `obs` stage to reject malformed exporter output.
+//! PR 8 adds the time dimension on top:
+//!
+//! - [`flight`] — a lock-free, allocation-free [`FlightRecorder`] ring
+//!   journal of every manager decision (tiering verdicts with the heat
+//!   and threshold that justified them, epoch publish/reclaim, persist
+//!   save/load, panics), dumpable on demand or on panic and exportable
+//!   merged with the span tree on one chrome://tracing timeline.
+//! - [`profile`] — [`DispatchProfiler`] attributes measured model
+//!   cycles to the dispatch case that took each call (via the counter
+//!   page's new cycle bank), feeding per-variant self-time histograms.
+//! - [`symbolize`] — a [`SymbolTable`] of live JIT placements rendered
+//!   as `/tmp/perf-<pid>.map` and jitdump records so external profilers
+//!   can symbolize variant PCs.
+//!
+//! [`json`] is a tiny strict JSON syntax checker; every export above is
+//! routed through it and fails loudly on malformed output.
 
 pub mod explain;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod span;
+pub mod symbolize;
 
 pub use explain::explain_report;
+pub use flight::{merged_chrome_json, ArgFmt, FlightDump, FlightEntry, FlightKind, FlightRecorder};
 pub use json::validate_json;
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use metrics::{
+    Counter, Gauge, Histogram, MetricsRegistry, SelfTimeSnapshot, CYCLE_BUCKET_BOUNDS, ORIGINAL_FP,
+};
+pub use profile::DispatchProfiler;
 pub use span::{SpanEvent, SpanKind, SpanRecorder};
+pub use symbolize::{JitSymbol, SymbolKind, SymbolTable};
 
 /// Escape a string for embedding in a JSON string literal.
 pub(crate) fn json_escape(s: &str) -> String {

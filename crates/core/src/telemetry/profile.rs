@@ -1,0 +1,193 @@
+//! Variant-attributed time profiling.
+//!
+//! PR 3's counting dispatch stubs answer *how many* calls each variant
+//! took; this module answers *where the cycles went*. The
+//! [`CounterPage`] now carries a second bank of slots — one cycle
+//! accumulator per dispatch case plus fall-through — and a
+//! [`DispatchProfiler`] folds each call's measured model cycles
+//! (rdtsc-style entry/exit accounting: the embedder snapshots the
+//! machine's cycle counter around the call) into the slot of whichever
+//! case actually dispatched it.
+//!
+//! The attribution trick: the stub already increments exactly one count
+//! slot per call, so diffing the count bank across a call reveals which
+//! case took it — no extra guest instrumentation, so the stub's per-call
+//! overhead stays at PR 3's ~5 model cycles. The cycle bank is written
+//! host-side, under the same relaxed/advisory read-back contract as the
+//! count bank.
+//!
+//! Attributed time flows two ways:
+//!
+//! - into the [`CounterPage`] cycle bank, where `tick()` folds
+//!   `cycle_delta × cycle_weight` into tiering heat (time-weighted
+//!   promotion, not just call-weighted);
+//! - into [`MetricsRegistry`] per-(func, fingerprint) self-time
+//!   histograms + exemplars ([`MetricsRegistry::observe_self_time`]),
+//!   surfaced in the Prometheus and JSON exports and the `tables --exp
+//!   prof` study.
+
+use super::metrics::{MetricsRegistry, ORIGINAL_FP};
+use crate::guard::CounterPage;
+use brew_image::{Image, MemFault};
+use std::sync::Arc;
+
+/// Attributes per-call cycle measurements to the dispatch case that took
+/// each call, by diffing the counting stub's count bank around the call.
+///
+/// One profiler instance per counting dispatcher; `observe` after every
+/// call through the stub.
+#[derive(Debug)]
+pub struct DispatchProfiler {
+    func: u64,
+    page: CounterPage,
+    /// Fingerprint per dispatch case, in stub case order. The
+    /// fall-through (original) pseudo-case is implicit.
+    keys: Vec<u64>,
+    last_counts: Vec<u64>,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl DispatchProfiler {
+    /// A profiler over `func`'s counting dispatcher. `keys` are the
+    /// per-case fingerprints in stub order (as returned by the manager's
+    /// keyed dispatch-case listing); pass `metrics` to also feed the
+    /// per-variant self-time histograms.
+    pub fn new(
+        func: u64,
+        page: CounterPage,
+        keys: Vec<u64>,
+        metrics: Option<Arc<MetricsRegistry>>,
+    ) -> Self {
+        DispatchProfiler {
+            func,
+            page,
+            keys,
+            last_counts: Vec::new(),
+            metrics,
+        }
+    }
+
+    /// The underlying counter page.
+    pub fn page(&self) -> &CounterPage {
+        &self.page
+    }
+
+    /// Prime the count snapshot to the page's current state so the next
+    /// [`observe`](Self::observe) only sees calls made after this point.
+    pub fn prime(&mut self, img: &Image) -> Result<(), MemFault> {
+        self.last_counts = self.page.snapshot(img)?;
+        Ok(())
+    }
+
+    /// Attribute one call's measured `cycles` to whichever case
+    /// dispatched it, by diffing the count bank since the last
+    /// observation. Returns the case index (`page.cases` means
+    /// fall-through to the original), or `None` if no count moved (the
+    /// call did not go through this stub).
+    ///
+    /// If several slots moved (concurrent callers), the cycles go to the
+    /// slot with the largest delta — attribution stays advisory, like
+    /// every counter-page read.
+    pub fn observe(&mut self, img: &Image, cycles: u64) -> Result<Option<usize>, MemFault> {
+        let (snap, deltas) = self.page.delta_since(img, &self.last_counts)?;
+        self.last_counts = snap;
+        let case = deltas
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0)
+            .max_by_key(|(_, &d)| d)
+            .map(|(i, _)| i);
+        if let Some(i) = case {
+            self.attribute(img, i, cycles)?;
+        }
+        Ok(case)
+    }
+
+    /// Directly attribute `cycles` to case `i` (`i == page.cases` is the
+    /// original / fall-through), bypassing count diffing — for callers
+    /// that already know which body ran (e.g. direct variant calls in
+    /// the stencil study).
+    pub fn attribute(&self, img: &Image, i: usize, cycles: u64) -> Result<(), MemFault> {
+        self.page.add_cycles(img, i, cycles)?;
+        if let Some(m) = &self.metrics {
+            let fp = if i < self.keys.len() {
+                self.keys[i]
+            } else {
+                ORIGINAL_FP
+            };
+            m.observe_self_time(self.func, fp, cycles);
+        }
+        Ok(())
+    }
+
+    /// Per-case accumulated cycles (fall-through last), straight from
+    /// the page's cycle bank.
+    pub fn cycle_totals(&self, img: &Image) -> Result<Vec<u64>, MemFault> {
+        self.page.cycle_snapshot(img)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(img: &Image, cases: usize) -> CounterPage {
+        CounterPage::alloc(img, cases)
+    }
+
+    #[test]
+    fn observe_attributes_to_the_moved_slot() {
+        let img = Image::new();
+        let p = page(&img, 2);
+        let mut prof = DispatchProfiler::new(0x40_0000, p, vec![0x7, 0x9], None);
+        prof.prime(&img).unwrap();
+        // Simulate the stub taking case 1, then the embedder reporting
+        // the call cost 500 cycles.
+        img.write_u64(p.slot_addr(1), 1).unwrap();
+        assert_eq!(prof.observe(&img, 500).unwrap(), Some(1));
+        assert_eq!(p.case_cycles(&img, 1).unwrap(), 500);
+        assert_eq!(p.case_cycles(&img, 0).unwrap(), 0);
+        // Fall-through call.
+        img.write_u64(p.slot_addr(2), 1).unwrap();
+        assert_eq!(prof.observe(&img, 900).unwrap(), Some(2));
+        assert_eq!(p.case_cycles(&img, 2).unwrap(), 900);
+        // No movement → no attribution.
+        assert_eq!(prof.observe(&img, 123).unwrap(), None);
+        assert_eq!(prof.cycle_totals(&img).unwrap(), vec![0, 500, 900]);
+    }
+
+    #[test]
+    fn observe_feeds_self_time_metrics() {
+        let img = Image::new();
+        let p = page(&img, 1);
+        let m = Arc::new(MetricsRegistry::new());
+        let mut prof = DispatchProfiler::new(0x40_0000, p, vec![0x7], Some(Arc::clone(&m)));
+        prof.prime(&img).unwrap();
+        img.write_u64(p.slot_addr(0), 1).unwrap();
+        prof.observe(&img, 640).unwrap();
+        img.write_u64(p.slot_addr(1), 1).unwrap(); // fall-through
+        prof.observe(&img, 8_000).unwrap();
+        let st = m.self_times();
+        assert_eq!(st.len(), 2);
+        let spec = st.iter().find(|s| s.fingerprint == 0x7).unwrap();
+        assert_eq!(spec.count, 1);
+        assert_eq!(spec.sum_cycles, 640);
+        let orig = st.iter().find(|s| s.fingerprint == ORIGINAL_FP).unwrap();
+        assert_eq!(orig.sum_cycles, 8_000);
+        assert_eq!(orig.exemplar_cycles, 8_000);
+    }
+
+    #[test]
+    fn concurrent_style_multi_delta_picks_largest() {
+        let img = Image::new();
+        let p = page(&img, 2);
+        let mut prof = DispatchProfiler::new(0x40_0000, p, vec![1, 2], None);
+        prof.prime(&img).unwrap();
+        // Two slots moved since last observe (racing callers): the
+        // larger delta wins the attribution.
+        img.write_u64(p.slot_addr(0), 1).unwrap();
+        img.write_u64(p.slot_addr(1), 3).unwrap();
+        assert_eq!(prof.observe(&img, 100).unwrap(), Some(1));
+        assert_eq!(p.case_cycles(&img, 1).unwrap(), 100);
+    }
+}

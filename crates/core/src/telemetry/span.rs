@@ -43,6 +43,9 @@ pub struct SpanEvent {
 #[derive(Debug)]
 pub struct SpanRecorder {
     t0: Instant,
+    /// Flight-recorder clock reading at creation, so span-relative
+    /// timestamps can be shifted onto the shared flight timeline.
+    t0_flight_ns: u64,
     events: Vec<SpanEvent>,
 }
 
@@ -57,8 +60,17 @@ impl SpanRecorder {
     pub fn new() -> Self {
         SpanRecorder {
             t0: Instant::now(),
+            t0_flight_ns: super::flight::now_ns(),
             events: Vec::new(),
         }
+    }
+
+    /// The flight-recorder clock reading ([`super::flight::now_ns`]) at
+    /// the moment this recorder was created. Adding it to any event's
+    /// `start_ns` maps the span onto the flight timeline — how
+    /// [`super::flight::merged_chrome_json`] lands both on one track.
+    pub fn flight_epoch_ns(&self) -> u64 {
+        self.t0_flight_ns
     }
 
     /// Nanoseconds since the recorder was created — capture this before
@@ -129,7 +141,9 @@ impl SpanRecorder {
 
     /// Render as chrome://tracing JSON (`{"traceEvents":[...]}`): load
     /// the output in `chrome://tracing` or Perfetto to see the span tree.
-    /// Timestamps are microseconds with nanosecond fractions.
+    /// Timestamps are microseconds with nanosecond fractions. The output
+    /// is gated through the same strict RFC-8259 validation as every
+    /// other telemetry export and panics (construction bug) if invalid.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::from("{\"traceEvents\":[");
         let mut sorted: Vec<&SpanEvent> = self.events.iter().collect();
@@ -166,7 +180,7 @@ impl SpanRecorder {
             out.push('}');
         }
         out.push_str("]}");
-        out
+        super::json::checked_export("span chrome export", out)
     }
 }
 

@@ -1,0 +1,314 @@
+//! Symbolization of JIT'd variants for external profilers.
+//!
+//! A rewritten variant lives at an address `perf`, VTune, or a debugger
+//! has never heard of — samples landing inside it show up as bare hex.
+//! This module keeps a [`SymbolTable`] of every *currently published*
+//! JIT placement (variants and dispatch stubs) and renders it in the two
+//! formats external profilers already understand:
+//!
+//! - **perf map** ([`SymbolTable::render_perf_map`]): the
+//!   `/tmp/perf-<pid>.map` text format (`STARTADDR SIZE name` per line,
+//!   hex without `0x`) that `perf report` picks up automatically for
+//!   JIT'd code;
+//! - **jitdump** ([`SymbolTable::render_jitdump`]): a minimal
+//!   `JIT_CODE_LOAD`-only jitdump byte stream (the `perf inject`
+//!   format), including the variant code bytes read back from the
+//!   [`Image`].
+//!
+//! Symbol names are `brew::<func>@<fingerprint>#<generation>`: the
+//! function address and argument fingerprint identify *which* variant,
+//! and the generation counts how many times that (func, fingerprint)
+//! pair has been (re)published — so a respecialized variant is
+//! distinguishable from its ancestor in a profile even if the JIT
+//! allocator hands back a recycled address range.
+//!
+//! The manager owns one table and keeps it consistent with the variant
+//! cache across publish, unpublish (evict / demote / invalidate /
+//! clear), and warm start: every resident variant has exactly one live
+//! symbol, checked by the `prof` study's perf-map/variant-count gate.
+
+use brew_image::Image;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What a JIT symbol covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymbolKind {
+    /// A specialized variant body.
+    Variant,
+    /// A guarded dispatch stub.
+    Stub,
+}
+
+/// One live JIT symbol: an address range with a stable profiler-facing
+/// name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JitSymbol {
+    /// First byte of the placement.
+    pub entry: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Profiler-facing name, `brew::<func>@<fingerprint>#<generation>`.
+    pub name: String,
+    /// Original function address the symbol specializes or dispatches.
+    pub func: u64,
+    /// Argument fingerprint (0 for stubs).
+    pub fingerprint: u64,
+    /// Publication generation of this (func, fingerprint) pair.
+    pub generation: u64,
+    /// Variant body or dispatch stub.
+    pub kind: SymbolKind,
+}
+
+/// The live-symbol table. All mutation goes through short critical
+/// sections on one mutex — symbol churn happens on the (already
+/// serialized) publish/unpublish paths, never on the dispatch hot path.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    by_entry: Mutex<HashMap<u64, JitSymbol>>,
+    /// Monotone publication counter per (func, fingerprint).
+    generations: Mutex<HashMap<(u64, u64), u64>>,
+    published: AtomicU64,
+    retired: AtomicU64,
+}
+
+fn unpoison<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a published variant placement and return its symbol.
+    /// Re-publishing the same (func, fingerprint) bumps the generation;
+    /// re-registering a live entry address replaces the old symbol.
+    pub fn publish_variant(&self, func: u64, fingerprint: u64, entry: u64, len: u64) -> JitSymbol {
+        self.publish(func, fingerprint, entry, len, SymbolKind::Variant)
+    }
+
+    /// Register a dispatch stub placement (fingerprint 0, named
+    /// `brew::<func>::dispatch#<generation>`).
+    pub fn publish_stub(&self, func: u64, entry: u64, len: u64) -> JitSymbol {
+        self.publish(func, 0, entry, len, SymbolKind::Stub)
+    }
+
+    fn publish(
+        &self,
+        func: u64,
+        fingerprint: u64,
+        entry: u64,
+        len: u64,
+        kind: SymbolKind,
+    ) -> JitSymbol {
+        let generation = {
+            let mut gens = unpoison(self.generations.lock());
+            let g = gens.entry((func, fingerprint)).or_insert(0);
+            *g += 1;
+            *g
+        };
+        let name = match kind {
+            SymbolKind::Variant => format!("brew::{func:#x}@{fingerprint:#x}#{generation}"),
+            SymbolKind::Stub => format!("brew::{func:#x}::dispatch#{generation}"),
+        };
+        let sym = JitSymbol {
+            entry,
+            len,
+            name,
+            func,
+            fingerprint,
+            generation,
+            kind,
+        };
+        unpoison(self.by_entry.lock()).insert(entry, sym.clone());
+        self.published.fetch_add(1, Ordering::Relaxed);
+        sym
+    }
+
+    /// Retire the symbol at `entry` (unpublish). Returns it if one was
+    /// live. Idempotent: retiring an unknown address is a no-op.
+    pub fn retire(&self, entry: u64) -> Option<JitSymbol> {
+        let out = unpoison(self.by_entry.lock()).remove(&entry);
+        if out.is_some() {
+            self.retired.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Retire every symbol of `kind`, returning how many were live.
+    /// `clear()`-style bulk unpublish uses this for variants while
+    /// leaving stub symbols (whose placements survive) alone.
+    pub fn retire_kind(&self, kind: SymbolKind) -> usize {
+        let mut map = unpoison(self.by_entry.lock());
+        let before = map.len();
+        map.retain(|_, s| s.kind != kind);
+        let n = before - map.len();
+        self.retired.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
+    /// Number of live symbols of `kind`.
+    pub fn live_count(&self, kind: SymbolKind) -> usize {
+        unpoison(self.by_entry.lock())
+            .values()
+            .filter(|s| s.kind == kind)
+            .count()
+    }
+
+    /// Total symbols ever published / retired (for accounting checks).
+    pub fn totals(&self) -> (u64, u64) {
+        (
+            self.published.load(Ordering::Relaxed),
+            self.retired.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Snapshot of live symbols, sorted by entry address.
+    pub fn live(&self) -> Vec<JitSymbol> {
+        let mut v: Vec<JitSymbol> = unpoison(self.by_entry.lock()).values().cloned().collect();
+        v.sort_by_key(|s| s.entry);
+        v
+    }
+
+    /// The symbol covering address `pc`, if any.
+    pub fn resolve(&self, pc: u64) -> Option<JitSymbol> {
+        unpoison(self.by_entry.lock())
+            .values()
+            .find(|s| pc >= s.entry && pc < s.entry + s.len)
+            .cloned()
+    }
+
+    /// Render the live table in `/tmp/perf-<pid>.map` format: one
+    /// `STARTADDR SIZE name` line per symbol (hex, no `0x`), sorted by
+    /// address.
+    pub fn render_perf_map(&self) -> String {
+        let mut out = String::new();
+        for s in self.live() {
+            out.push_str(&format!("{:x} {:x} {}\n", s.entry, s.len, s.name));
+        }
+        out
+    }
+
+    /// The conventional path `perf` looks for: `/tmp/perf-<pid>.map`.
+    pub fn perf_map_path() -> std::path::PathBuf {
+        std::path::PathBuf::from(format!("/tmp/perf-{}.map", std::process::id()))
+    }
+
+    /// Render the live table as a minimal jitdump byte stream: file
+    /// header + one `JIT_CODE_LOAD` record per symbol, code bytes read
+    /// back from `img`. Follows the perf jitdump layout (magic
+    /// `0x4A695444`, version 1, 40-byte header; per-record fixed header
+    /// + name + code).
+    pub fn render_jitdump(&self, img: &Image) -> Vec<u8> {
+        let mut out = Vec::new();
+        // File header: magic, version, total_size, elf_mach (EM_X86_64 =
+        // 62), pad, pid, timestamp, flags.
+        out.extend_from_slice(&0x4A69_5444u32.to_le_bytes());
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&40u32.to_le_bytes());
+        out.extend_from_slice(&62u32.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&std::process::id().to_le_bytes());
+        out.extend_from_slice(&super::flight::now_ns().to_le_bytes());
+        out.extend_from_slice(&0u64.to_le_bytes());
+        for (index, s) in self.live().iter().enumerate() {
+            let mut code = vec![0u8; s.len as usize];
+            if img.read_bytes(s.entry, &mut code).is_err() {
+                continue; // placement no longer mapped; skip record
+            }
+            let name = s.name.as_bytes();
+            // Record: id=0 (JIT_CODE_LOAD), total_size, timestamp, then
+            // pid, tid, vma, code_addr, code_size, code_index, name\0,
+            // code bytes.
+            let total = 16 + 4 * 2 + 8 * 4 + name.len() + 1 + code.len();
+            out.extend_from_slice(&0u32.to_le_bytes());
+            out.extend_from_slice(&(total as u32).to_le_bytes());
+            out.extend_from_slice(&super::flight::now_ns().to_le_bytes());
+            out.extend_from_slice(&std::process::id().to_le_bytes());
+            out.extend_from_slice(&std::process::id().to_le_bytes());
+            out.extend_from_slice(&s.entry.to_le_bytes());
+            out.extend_from_slice(&s.entry.to_le_bytes());
+            out.extend_from_slice(&s.len.to_le_bytes());
+            out.extend_from_slice(&(index as u64).to_le_bytes());
+            out.extend_from_slice(name);
+            out.push(0);
+            out.extend_from_slice(&code);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_retire_and_generations() {
+        let t = SymbolTable::new();
+        let a = t.publish_variant(0x40_0000, 0x7, 0x90_0040, 64);
+        assert_eq!(a.generation, 1);
+        assert_eq!(a.name, "brew::0x400000@0x7#1");
+        // Republishing the same pair at a new address bumps generation.
+        let b = t.publish_variant(0x40_0000, 0x7, 0x90_0100, 64);
+        assert_eq!(b.generation, 2);
+        assert_eq!(t.live_count(SymbolKind::Variant), 2);
+        assert!(t.retire(0x90_0040).is_some());
+        assert!(t.retire(0x90_0040).is_none()); // idempotent
+        assert_eq!(t.live_count(SymbolKind::Variant), 1);
+        assert_eq!(t.totals(), (2, 1));
+    }
+
+    #[test]
+    fn perf_map_format() {
+        let t = SymbolTable::new();
+        t.publish_variant(0x40_0000, 0x2a, 0x90_0040, 128);
+        t.publish_stub(0x40_0000, 0x90_0200, 32);
+        let map = t.render_perf_map();
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "900040 80 brew::0x400000@0x2a#1");
+        assert_eq!(lines[1], "900200 20 brew::0x400000::dispatch#1");
+    }
+
+    #[test]
+    fn resolve_covers_range() {
+        let t = SymbolTable::new();
+        t.publish_variant(0x40_0000, 1, 0x90_0040, 64);
+        assert!(t.resolve(0x90_003f).is_none());
+        assert_eq!(t.resolve(0x90_0040).unwrap().fingerprint, 1);
+        assert_eq!(t.resolve(0x90_007f).unwrap().fingerprint, 1);
+        assert!(t.resolve(0x90_0080).is_none());
+    }
+
+    #[test]
+    fn retire_kind_is_selective() {
+        let t = SymbolTable::new();
+        t.publish_variant(0x40_0000, 1, 0x90_0040, 64);
+        t.publish_variant(0x40_0000, 2, 0x90_0080, 64);
+        t.publish_stub(0x40_0000, 0x90_0200, 32);
+        assert_eq!(t.retire_kind(SymbolKind::Variant), 2);
+        assert_eq!(t.live_count(SymbolKind::Variant), 0);
+        assert_eq!(t.live_count(SymbolKind::Stub), 1);
+    }
+
+    #[test]
+    fn jitdump_header_and_records() {
+        let img = Image::new();
+        let entry = img.try_alloc_jit(16).unwrap();
+        img.write_bytes(entry, &[0x90u8; 16]).unwrap();
+        let t = SymbolTable::new();
+        t.publish_variant(0x40_0000, 0x7, entry, 16);
+        let bytes = t.render_jitdump(&img);
+        assert_eq!(&bytes[0..4], &0x4A69_5444u32.to_le_bytes());
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 1);
+        // One JIT_CODE_LOAD record follows the 40-byte header.
+        assert_eq!(u32::from_le_bytes(bytes[40..44].try_into().unwrap()), 0);
+        let total = u32::from_le_bytes(bytes[44..48].try_into().unwrap()) as usize;
+        assert_eq!(bytes.len(), 40 + total);
+        // The record ends with the 16 NOP code bytes.
+        assert_eq!(&bytes[bytes.len() - 16..], &[0x90u8; 16]);
+    }
+}

@@ -141,10 +141,18 @@ fn concurrent_eviction_respects_global_budget() {
 
     let st = mgr.stats();
     assert!(st.evictions > 0, "pressure must evict: {st:?}");
+    // The budget invariant as documented on `evict_to_budget`: the
+    // resident set fits, except that one variant whose code alone
+    // exceeds the budget may stay resident rather than thrash the cache
+    // empty. The mix's largest bodies (n >= 12, 178+ bytes) each beat
+    // the ~3.5-probe budget on their own, so racing evictions can
+    // quiesce with exactly one such survivor.
     assert!(
-        st.resident_bytes <= budget,
-        "quiescent resident {} exceeds budget {budget}",
-        st.resident_bytes
+        st.resident_bytes <= budget || mgr.len() == 1,
+        "quiescent resident {} exceeds budget {budget} ({} variants resident, {} evictions)",
+        st.resident_bytes,
+        mgr.len(),
+        st.evictions
     );
     // The cache still works: a fresh request round-trips correctly.
     let v = mgr.get_or_rewrite(&img, poly, &poly_req(4)).unwrap();

@@ -44,6 +44,7 @@ fn cfg() -> TieringConfig {
         demote_heat: 1.0,
         decay: 0.5,
         cooldown_ticks: 1,
+        cycle_weight: 0.0,
     }
 }
 
@@ -417,6 +418,7 @@ proptest! {
                 demote_heat: 1.0,
                 decay: 0.5,
                 cooldown_ticks: 1,
+                cycle_weight: 0.0,
             })
             .build();
         let req = poly_req(5);

@@ -32,12 +32,14 @@ pub mod verify;
 /// Everything a typical example needs.
 pub mod prelude {
     pub use crate::verify::{probes_for, verify_rewrite, Divergence};
+    pub use brew_core::telemetry::merged_chrome_json;
     pub use brew_core::Variant as SpecVariant;
     pub use brew_core::{
         disasm_result, explain_report, make_guard, make_guard_chain, make_guard_chain_counting,
-        make_guard_counting, validate_json, ArgValue, CacheStats, CounterPage, Event, EventSink,
-        FuncOpts, GuardCase, MetricsRegistry, ParamSpec, PassConfig, RetKind, RewriteConfig,
-        RewriteError, RewriteResult, Rewriter, SpanRecorder, SpecRequest, SpecializationManager,
+        make_guard_counting, validate_json, ArgValue, CacheStats, CounterPage, DispatchProfiler,
+        Event, EventSink, FlightRecorder, FuncOpts, GuardCase, MetricsRegistry, ParamSpec,
+        PassConfig, RetKind, RewriteConfig, RewriteError, RewriteResult, Rewriter, SpanRecorder,
+        SpecRequest, SpecializationManager, SymbolKind, SymbolTable,
     };
     pub use brew_emu::{CallArgs, CallOutcome, CostModel, EmuError, Machine, Stats, ValueProfile};
     pub use brew_image::Image;

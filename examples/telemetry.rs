@@ -1,6 +1,7 @@
 //! End-to-end telemetry: the always-on metrics registry, a self-counting
-//! dispatch stub, and the structured rewrite trace with its explain
-//! report.
+//! dispatch stub, the structured rewrite trace with its explain report,
+//! the flight-recorder timeline, and the perf map external profilers
+//! consume.
 //!
 //! No event sink is attached anywhere in this example — the point is
 //! that the manager's lock-free registry observes everything anyway,
@@ -102,4 +103,45 @@ fn main() {
         chrome.len()
     );
     println!("{}", explain_report(&img, poly, &res, &rec));
+
+    // The flight recorder journaled every decision above — dump the tail
+    // of the timeline (the format `brew-inspect` renders and
+    // cross-references).
+    let dump = mgr.flight().dump();
+    assert_eq!(dump.torn, 0, "at-rest dump must be tear-free");
+    println!(
+        "flight recorder: {} events journaled ({} dropped); last 8:",
+        dump.recorded, dump.dropped
+    );
+    let text = dump.render_text();
+    let lines: Vec<&str> = text.lines().skip(1).collect();
+    for line in &lines[lines.len().saturating_sub(8)..] {
+        println!("  {line}");
+    }
+
+    // Every resident variant has a live symbol an external profiler can
+    // resolve: the perf-map render (plus the dispatch stub).
+    let symbols = mgr.symbols();
+    let map = symbols.render_perf_map();
+    println!(
+        "\nperf map (write to {} for `perf report`):",
+        SymbolTable::perf_map_path().display()
+    );
+    for line in map.lines() {
+        println!("  {line}");
+    }
+    assert_eq!(
+        symbols.live_count(SymbolKind::Variant),
+        mgr.len(),
+        "one live symbol per resident variant"
+    );
+
+    // One timeline: the rewrite's span tree merged with the flight
+    // events around it, strict-validated like every export.
+    let merged = merged_chrome_json(&rec, &dump);
+    validate_json(&merged).expect("merged export must be valid JSON");
+    println!(
+        "\nmerged span+flight chrome trace: {} bytes (open in Perfetto)",
+        merged.len()
+    );
 }

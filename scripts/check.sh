@@ -13,6 +13,9 @@
 #                               # convergence onto the oracle hot set
 #   scripts/check.sh serve      # serving gate: RCU torture + persistence
 #                               # corruption suites + C5 warm-start ratio
+#   scripts/check.sh prof       # profiling gate: flight-recorder torture,
+#                               # PROF overhead/attribution/symbolization
+#                               # gates, brew-inspect smoke
 #
 # The stress stage reruns the timing-sensitive suites under `--release`
 # so single-flight/eviction races get exercised with optimization on.
@@ -178,6 +181,52 @@ if [ "$stage" = "all" ] || [ "$stage" = "serve" ]; then
         exit 1
     fi
     echo "serving gate passed (warm start amortized, hit path lock-free, corruption rejected)"
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "prof" ]; then
+    echo "==> profiling gate (flight torture, PROF gates, brew-inspect smoke)"
+    cargo test --release --offline -q -p brew-core --test flight
+
+    # The PROF experiment carries its own machine-checkable gate lines
+    # (EXPERIMENTS.md PROF): always-on recorder overhead under the bar,
+    # a tear-free at-rest dump, one perf-map symbol per resident variant,
+    # and a strict-validated merged chrome export.
+    prof_out="$(cargo run --release --offline -p brew-bench --bin tables -- --exp prof)"
+    if ! printf '%s' "$prof_out" | grep -q 'gate <= 100: ok'; then
+        echo "FAIL: flight record overhead exceeds the 100 ns/event gate" >&2
+        printf '%s\n' "$prof_out" >&2
+        exit 1
+    fi
+    if ! printf '%s' "$prof_out" | grep -q 'torn entries in dump    :          0'; then
+        echo "FAIL: the at-rest flight dump has torn entries" >&2
+        printf '%s\n' "$prof_out" >&2
+        exit 1
+    fi
+    if ! printf '%s' "$prof_out" | grep -q 'match: yes'; then
+        echo "FAIL: perf-map symbols disagree with the resident variant set" >&2
+        printf '%s\n' "$prof_out" >&2
+        exit 1
+    fi
+    if ! printf '%s' "$prof_out" | grep -q 'bytes of valid JSON'; then
+        echo "FAIL: merged span+flight chrome export missing" >&2
+        printf '%s\n' "$prof_out" >&2
+        exit 1
+    fi
+
+    # brew-inspect smoke: the demo generates a dump + perf map through a
+    # real manager and must cross-reference every live publish.
+    inspect_out="$(cargo run --release --offline -p brew-bench --bin brew-inspect -- --demo)"
+    if ! printf '%s' "$inspect_out" | grep -q '# flight timeline'; then
+        echo "FAIL: brew-inspect --demo rendered no timeline" >&2
+        printf '%s\n' "$inspect_out" >&2
+        exit 1
+    fi
+    if ! printf '%s' "$inspect_out" | grep -Eq '([1-9][0-9]*)/\1 live publishes match a map line'; then
+        echo "FAIL: brew-inspect cross-reference mismatch (live publishes vs perf map)" >&2
+        printf '%s\n' "$inspect_out" >&2
+        exit 1
+    fi
+    echo "profiling gate passed (recorder under the bar, symbols consistent)"
 fi
 
 echo "All checks passed ($stage)."
