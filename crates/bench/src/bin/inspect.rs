@@ -42,6 +42,7 @@ struct Header {
     recorded: u64,
     dropped: u64,
     torn: u64,
+    lapped: u64,
 }
 
 fn fail(msg: &str) -> ! {
@@ -135,6 +136,7 @@ fn parse_dump(text: &str) -> (Header, Vec<Event>) {
                         "recorded" => header.recorded = v,
                         "dropped" => header.dropped = v,
                         "torn" => header.torn = v,
+                        "lapped" => header.lapped = v,
                         _ => {}
                     }
                 }
@@ -187,11 +189,12 @@ fn symbolize(map: &[MapSym], addr: u64) -> Option<String> {
 fn render(header: &Header, events: &[Event], map: &[MapSym], have_map: bool) -> String {
     let t0 = events.first().map(|e| e.ts_ns).unwrap_or(0);
     let mut out = format!(
-        "# flight timeline ({} entries, recorded={}, dropped={}, torn={})\n\n",
+        "# flight timeline ({} entries, recorded={}, dropped={}, torn={}, lapped={})\n\n",
         events.len(),
         header.recorded,
         header.dropped,
-        header.torn
+        header.torn,
+        header.lapped
     );
     out.push_str(&format!(
         "{:>12} {:>4}  {:<11} details\n",

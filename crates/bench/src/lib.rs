@@ -116,7 +116,7 @@ pub fn passes_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
     let mut m = Machine::new();
     let host = Stencil::new(xs, ys).host_checksum(iters);
     let mut out = Vec::new();
-    let configs: [(&str, PassConfig); 6] = [
+    let configs: [(&str, PassConfig); 7] = [
         ("no passes (paper prototype)", PassConfig::none()),
         (
             "+ peephole",
@@ -126,6 +126,7 @@ pub fn passes_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
                 peephole: true,
                 slot_promotion: false,
                 frame_compression: false,
+                regalloc: false,
             },
         ),
         (
@@ -136,6 +137,7 @@ pub fn passes_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
                 peephole: true,
                 slot_promotion: false,
                 frame_compression: false,
+                regalloc: false,
             },
         ),
         (
@@ -146,6 +148,7 @@ pub fn passes_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
                 peephole: true,
                 slot_promotion: false,
                 frame_compression: false,
+                regalloc: false,
             },
         ),
         (
@@ -156,9 +159,17 @@ pub fn passes_study(xs: i64, ys: i64, iters: u32) -> Vec<Row> {
                 peephole: true,
                 slot_promotion: true,
                 frame_compression: false,
+                regalloc: false,
             },
         ),
-        ("all passes (+ frame compression)", PassConfig::default()),
+        (
+            "+ frame compression",
+            PassConfig {
+                regalloc: false,
+                ..PassConfig::default()
+            },
+        ),
+        ("all passes (+ register allocation)", PassConfig::default()),
     ];
     for (label, pc) in configs {
         let mut s = Stencil::new(xs, ys);

@@ -62,6 +62,8 @@ pub struct ProfReport {
     pub dump_dropped: u64,
     /// Torn (skipped mid-write) slots in that dump — must be 0 at rest.
     pub dump_torn: u64,
+    /// Slots holding another lap's record in that dump — 0 at rest.
+    pub dump_lapped: u64,
     /// First lines of the rendered dump, for the report.
     pub flight_head: String,
     /// The perf-map render of the poly manager's symbol table.
@@ -276,6 +278,7 @@ pub fn prof_study(xs: i64, ys: i64) -> ProfReport {
         dump_entries: dump.entries.len(),
         dump_dropped: dump.dropped,
         dump_torn: dump.torn,
+        dump_lapped: dump.lapped,
         flight_head,
         perf_map,
         map_variants,
@@ -300,8 +303,9 @@ pub fn render_prof(title: &str, r: &ProfReport) -> String {
         },
     ));
     s.push_str(&format!(
-        "torn entries in dump    : {:>10} ({} entries, {} dropped, over {} recorded)\n",
+        "torn entries in dump    : {:>10} ({} lapped, {} entries, {} dropped, over {} recorded)\n",
         r.dump_torn,
+        r.dump_lapped,
         r.dump_entries,
         r.dump_dropped,
         r.dump_entries as u64 + r.dump_dropped,

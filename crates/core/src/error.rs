@@ -97,6 +97,16 @@ pub enum RewriteError {
         /// What the load check found.
         what: String,
     },
+    /// The finished variant's code alone exceeds the manager's global byte
+    /// budget: no amount of eviction could make it resident. Refused at
+    /// publish (dispatch falls back to the original code) and negatively
+    /// cached so retries are answered without re-tracing.
+    OverBudget {
+        /// Emitted code size of the refused variant.
+        code_len: usize,
+        /// The manager's global byte budget.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for RewriteError {
@@ -141,6 +151,12 @@ impl fmt::Display for RewriteError {
             }
             RewriteError::PersistRejected { what } => {
                 write!(f, "persisted variant rejected on load: {what}")
+            }
+            RewriteError::OverBudget { code_len, budget } => {
+                write!(
+                    f,
+                    "variant code ({code_len} bytes) exceeds the global budget ({budget} bytes)"
+                )
             }
         }
     }

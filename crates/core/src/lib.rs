@@ -69,6 +69,7 @@ pub mod manager;
 pub mod passes;
 pub mod persist;
 pub mod promote;
+pub mod regalloc;
 pub mod request;
 pub mod snapshot;
 pub mod telemetry;

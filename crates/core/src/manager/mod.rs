@@ -106,7 +106,7 @@ use crate::telemetry::{
     metrics::Ctr, metrics::Gge, metrics::Hst, FlightRecorder, MetricsRegistry, SymbolTable,
 };
 use crate::Rewriter;
-use brew_image::Image;
+use brew_image::{Image, SegKind};
 pub use builder::{DeferredConfig, ManagerBuilder};
 use inflight::{InflightTable, Join};
 pub use negative::NegativePolicy;
@@ -471,12 +471,23 @@ impl Dispatch {
     }
 }
 
-/// What [`SpecializationManager::save_variants`] wrote.
+/// What [`SpecializationManager::save_variants`] wrote — and, just as
+/// important, what it could *not* write. Per-entry problems never abort
+/// the save (persistence is best-effort on save, strict on load), but
+/// they are never silent either: every non-written entry is accounted
+/// here, failures are counted in `brew_persist_save_failed_total`, and
+/// each failure records a `SAVE_FAIL` flight event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SaveReport {
-    /// Variants serialized.
-    pub saved: usize,
-    /// Total file size in bytes.
+    /// Variants serialized into the checkpoint.
+    pub written: usize,
+    /// Variants skipped because their entry address is not in this
+    /// image's JIT segment (a foreign image — legitimately not ours).
+    pub skipped: usize,
+    /// Variants whose code read-back failed even though their entry is
+    /// in this image's JIT segment — a genuine per-entry I/O error.
+    pub failed: usize,
+    /// Total checkpoint size in bytes.
     pub bytes: usize,
 }
 
@@ -985,15 +996,35 @@ impl SpecializationManager {
     /// so a fresh process can re-reserve their regions in one monotone
     /// sweep of the bump allocator.
     pub fn save_variant_bytes(&self, img: &Image) -> Vec<u8> {
+        self.save_variant_bytes_report(img).0
+    }
+
+    /// [`save_variant_bytes`](Self::save_variant_bytes) plus the save
+    /// accounting: per-entry problems do not abort the save, but each
+    /// one lands in the [`SaveReport`] as `skipped` (entry not in this
+    /// image — a foreign image) or `failed` (read-back error, counted in
+    /// `brew_persist_save_failed_total` with a `SAVE_FAIL` flight event)
+    /// instead of disappearing.
+    pub fn save_variant_bytes_report(&self, img: &Image) -> (Vec<u8>, SaveReport) {
         let mut entries = self.cache.snapshot_all();
         entries.sort_by_key(|(_, _, v)| v.entry);
         let mut vars = Vec::with_capacity(entries.len());
+        let (mut skipped, mut failed) = (0usize, 0usize);
         for (key, req, v) in entries {
+            if !matches!(img.segment_of(v.entry), Some(SegKind::Jit)) {
+                // Not this image's code (a foreign image): legitimately
+                // not ours to save.
+                skipped += 1;
+                continue;
+            }
             let mut code = vec![0u8; v.code_len];
             if img.read_bytes(v.entry, &mut code).is_err() {
-                // A variant whose code cannot be read back (foreign image)
-                // is silently skipped: persistence is best-effort on save,
-                // strict on load.
+                // In our JIT segment but unreadable: a genuine per-entry
+                // I/O failure. The save goes on, but loudly.
+                failed += 1;
+                self.metrics.count(Ctr::PersistSaveFailed, 1);
+                self.flight
+                    .record(FlightKind::PersistSaveFailed, [key.func, v.entry, 0, 0]);
                 continue;
             }
             vars.push(PersistedVariant {
@@ -1012,23 +1043,51 @@ impl SpecializationManager {
             FlightKind::PersistSave,
             [vars.len() as u64, bytes.len() as u64, 0, 0],
         );
-        bytes
+        let report = SaveReport {
+            written: vars.len(),
+            skipped,
+            failed,
+            bytes: bytes.len(),
+        };
+        (bytes, report)
     }
 
-    /// [`save_variant_bytes`](Self::save_variant_bytes) written to `path`.
+    /// Test-support seam: insert a synthetic cache entry without going
+    /// through publish. Lets the persistence tests exercise the
+    /// save-path accounting (`skipped`/`failed`) for entries whose code
+    /// cannot be read back — states a real publish can never produce
+    /// against its own image, but a save against the wrong image can.
+    #[doc(hidden)]
+    pub fn insert_synthetic_variant_for_tests(
+        &self,
+        func: u64,
+        fingerprint: u64,
+        entry: u64,
+        code_len: usize,
+    ) {
+        let key = CacheKey { func, fingerprint };
+        let v = Arc::new(Variant {
+            func,
+            entry,
+            code_len,
+            stats: RewriteStats::default(),
+            guards: None,
+            snapshot: KnownSnapshot::default(),
+        });
+        self.cache.insert(key, v, SpecRequest::new());
+    }
+
+    /// [`save_variant_bytes`](Self::save_variant_bytes) written to
+    /// `path`, with the full per-entry accounting in the returned
+    /// [`SaveReport`].
     pub fn save_variants(
         &self,
         img: &Image,
         path: impl AsRef<std::path::Path>,
     ) -> Result<SaveReport, PersistError> {
-        let bytes = self.save_variant_bytes(img);
-        // The entry count sits right after magic + version in the header.
-        let saved = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let (bytes, report) = self.save_variant_bytes_report(img);
         std::fs::write(path, &bytes).map_err(|e| PersistError::Io(e.to_string()))?;
-        Ok(SaveReport {
-            saved,
-            bytes: bytes.len(),
-        })
+        Ok(report)
     }
 
     /// Re-materialize persisted variants into `img` and this manager's
@@ -1289,6 +1348,27 @@ impl SpecializationManager {
                 // dispatch falls back to the original).
                 let rewritten =
                     rewritten.and_then(|res| self.gate_check(img, func, req, &res).map(|()| res));
+                // A variant whose code alone exceeds the global budget can
+                // never be made resident by eviction — refuse it here so
+                // `resident_bytes <= budget` is an invariant, not a
+                // steady-state hope. The error flows into the failure arm
+                // below: negatively cached, followers see it, dispatch
+                // falls back to the original code.
+                let rewritten = rewritten.and_then(|res| {
+                    if res.code_len > self.budget_bytes {
+                        self.metrics.count(Ctr::OverBudget, 1);
+                        self.flight.record(
+                            FlightKind::OverBudget,
+                            [func, res.code_len as u64, self.budget_bytes as u64, 0],
+                        );
+                        Err(RewriteError::OverBudget {
+                            code_len: res.code_len,
+                            budget: self.budget_bytes,
+                        })
+                    } else {
+                        Ok(res)
+                    }
+                });
                 match rewritten {
                     Ok(res) => {
                         self.negative.forget(&key);
@@ -1381,8 +1461,10 @@ impl SpecializationManager {
     }
 
     /// Evict highest-score entries until the budget holds. `keep` (the
-    /// entry just inserted) is never evicted: a single oversized variant
-    /// may transiently exceed the budget rather than thrash.
+    /// entry just inserted) is never evicted — it always fits on its own,
+    /// because publish refuses any variant whose code alone exceeds the
+    /// budget ([`RewriteError::OverBudget`]), so `resident_bytes <=
+    /// budget` holds unconditionally after every insert.
     fn evict_to_budget(&self, keep: CacheKey) {
         while self.cache.resident_bytes() > self.budget_bytes && self.cache.len() > 1 {
             let Some((key, req, v)) = self.cache.evict_victim(keep) else {

@@ -23,6 +23,10 @@ pub struct PassConfig {
     /// Remove dead push/pop pairs from inlined frames (§VIII "improved
     /// inlining of small functions and deep call chains").
     pub frame_compression: bool,
+    /// Post-rewrite register allocation: CFG-aware slot promotion plus
+    /// liveness-driven copy coalescing and address folding (paper §IV
+    /// "register renaming").
+    pub regalloc: bool,
 }
 
 impl Default for PassConfig {
@@ -33,6 +37,7 @@ impl Default for PassConfig {
             peephole: true,
             slot_promotion: true,
             frame_compression: true,
+            regalloc: true,
         }
     }
 }
@@ -46,6 +51,7 @@ impl PassConfig {
             peephole: false,
             slot_promotion: false,
             frame_compression: false,
+            regalloc: false,
         }
     }
 }
@@ -106,6 +112,13 @@ pub fn run_passes_traced(
     if pc.frame_compression {
         removed += staged(&mut rec, "frame-compression", &mut || {
             crate::frame::compress_frames(blocks)
+        });
+    }
+    if pc.regalloc {
+        // Register allocation proper: promote surviving slots across the
+        // CFG, then coalesce the copy chains promotion leaves behind.
+        removed += staged(&mut rec, "regalloc", &mut || {
+            crate::regalloc::allocate(blocks, frame_escaped)
         });
     }
     if pc.peephole {
@@ -607,6 +620,7 @@ mod tests {
                 dead_store_elim: true,
                 slot_promotion: false,
                 frame_compression: false,
+                regalloc: false,
             },
             false,
         );
@@ -633,6 +647,7 @@ mod tests {
             redundant_load_elim: true,
             slot_promotion: false,
             frame_compression: false,
+            regalloc: false,
         };
         run_passes(&mut blocks, &pc, false);
         assert_eq!(
@@ -658,6 +673,7 @@ mod tests {
             redundant_load_elim: true,
             slot_promotion: false,
             frame_compression: false,
+            regalloc: false,
         };
         run_passes(&mut blocks, &pc, false);
         assert_eq!(
@@ -687,6 +703,7 @@ mod tests {
             redundant_load_elim: true,
             slot_promotion: false,
             frame_compression: false,
+            regalloc: false,
         };
         run_passes(&mut blocks, &pc, false);
         assert!(matches!(
@@ -710,6 +727,7 @@ mod tests {
             redundant_load_elim: true,
             slot_promotion: false,
             frame_compression: false,
+            regalloc: false,
         };
         let removed = run_passes(&mut blocks, &pc, false);
         assert_eq!(removed, 1);
@@ -737,6 +755,7 @@ mod tests {
             peephole: true,
             slot_promotion: false,
             frame_compression: false,
+            regalloc: false,
         };
         let removed = run_passes(&mut blocks, &pc, false);
         assert_eq!(removed, 3);
@@ -768,6 +787,7 @@ mod tests {
             redundant_load_elim: true,
             slot_promotion: false,
             frame_compression: false,
+            regalloc: false,
         };
         run_passes(&mut blocks, &pc, false);
         assert!(matches!(

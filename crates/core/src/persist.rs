@@ -27,7 +27,7 @@
 //!           default_opts
 //!           max_trace_insts:u64 max_blocks:u64 max_code_bytes:u64
 //!           (flag:u8 addr:u64){3}    (mem_access, entry, exit hooks)
-//!           passes:u8                (5-bit mask)
+//!           passes:u8                (6-bit mask)
 //! opts   := inline:u8 fresh:u8 branch:u8 max_variants:u32
 //! ```
 //!
@@ -336,7 +336,8 @@ fn encode_req(w: &mut Writer, req: &SpecRequest) {
         | (p.redundant_load_elim as u8) << 1
         | (p.peephole as u8) << 2
         | (p.slot_promotion as u8) << 3
-        | (p.frame_compression as u8) << 4);
+        | (p.frame_compression as u8) << 4
+        | (p.regalloc as u8) << 5);
 }
 
 fn decode_req(r: &mut Reader<'_>) -> Result<SpecRequest, PersistError> {
@@ -405,6 +406,7 @@ fn decode_req(r: &mut Reader<'_>) -> Result<SpecRequest, PersistError> {
         peephole: mask & 4 != 0,
         slot_promotion: mask & 8 != 0,
         frame_compression: mask & 16 != 0,
+        regalloc: mask & 32 != 0,
     };
     SpecRequest::from_config(&cfg, &args, &passes).map_err(|e| PersistError::BadEncoding {
         what: e.to_string(),

@@ -313,7 +313,8 @@ impl SpecRequest {
                 | (self.passes.redundant_load_elim as u64) << 1
                 | (self.passes.peephole as u64) << 2
                 | (self.passes.slot_promotion as u64) << 3
-                | (self.passes.frame_compression as u64) << 4,
+                | (self.passes.frame_compression as u64) << 4
+                | (self.passes.regalloc as u64) << 5,
         );
         h.finish()
     }

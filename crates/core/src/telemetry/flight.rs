@@ -14,26 +14,30 @@
 //! # Record-path contract
 //!
 //! [`FlightRecorder::record`] is **lock-free and allocation-free**: one
-//! `fetch_add` claims a ring slot (ticket mod capacity), then the slot's
-//! sequence word is stamped odd, the payload words are stored, and the
-//! sequence word is stamped even — a per-slot seqlock. Writers never wait
-//! for readers or for each other; two writers racing for the same slot
-//! (a full lap apart) resolve by the later ticket overwriting, which is
-//! the drop-oldest policy. Overwritten events are *counted*, never
-//! blocked on: `head - capacity` is exactly the number of records lost
-//! to wraparound.
+//! `fetch_add` claims a ring ticket (slot = ticket mod capacity), one CAS
+//! claims the slot's sequence word odd, the payload words are stored
+//! *exclusively*, and the sequence word is stamped even — a per-slot
+//! seqlock whose write side is owned, never shared. Two writers racing
+//! for the same slot (a full lap apart) resolve at the claim CAS: the
+//! later ticket wins the slot (drop-oldest); if the earlier writer is
+//! already mid-payload, the later one abandons instead of interleaving
+//! stores — so a slot's payload words always belong to exactly one
+//! record. Overwritten events are *counted*, never blocked on:
+//! `head - capacity` is exactly the number of records lost to
+//! wraparound.
 //!
 //! Every payload word is an `AtomicU64`, so a torn read is impossible at
 //! the language level; the seqlock stamps only decide whether a slot's
-//! words belong to one consistent record. [`FlightRecorder::dump`]
-//! validates each slot's stamp before and after reading the payload and
-//! skips (and counts) slots caught mid-write — dumping concurrently with
-//! writers is safe and wait-free for both sides. One residue of the
-//! full-lap race is visible at rest: if the *older* of two racing
-//! writers stores its final stamp last, the slot stays stamped for the
-//! lapped ticket (and is counted torn) until the ring next reaches it —
-//! bounded by one slot per concurrent writer, exercised by the
-//! `flight.rs` torture test.
+//! words belong to one consistent record — and, because writes are
+//! exclusive, a consistent even stamp now *proves* it.
+//! [`FlightRecorder::dump`] validates each slot's stamp before and after
+//! reading the payload and classifies the failures: a slot caught
+//! genuinely mid-write counts as `torn`; a slot that consistently holds
+//! a different lap's record (overwritten during the dump, or its write
+//! abandoned) counts as `lapped`. Dumping concurrently with writers is
+//! safe and wait-free for both sides, and a quiesced ring always dumps
+//! `torn == 0` — both properties are exercised by the `flight.rs`
+//! eight-writer torture and forced-lap regression tests.
 //!
 //! # Timestamps
 //!
@@ -163,6 +167,8 @@ flight_kinds! {
     VerifyReject   = 23, "VERIFY_REJ", [("func", Hex), ("findings", Dec)];
     SymbolPublish  = 24, "SYM_PUB",    [("entry", Hex), ("len", Dec), ("gen", Dec)];
     SymbolRetire   = 25, "SYM_RET",    [("entry", Hex)];
+    PersistSaveFailed = 26, "SAVE_FAIL", [("func", Hex), ("entry", Hex)];
+    OverBudget     = 27, "OVER_BUDGET", [("func", Hex), ("len", Dec), ("budget", Dec)];
 }
 
 /// Convert a heat score to the milli fixed-point payload word.
@@ -291,8 +297,8 @@ impl FlightRecorder {
     }
 
     /// Record one event. Lock-free, allocation-free, never blocks: one
-    /// ticket `fetch_add`, one clock read, eight atomic stores. Unused
-    /// argument positions should be 0.
+    /// ticket `fetch_add`, one clock read, one claim CAS, seven atomic
+    /// stores. Unused argument positions should be 0.
     pub fn record(&self, kind: FlightKind, args: [u64; 4]) {
         if !self.enabled() {
             return;
@@ -301,12 +307,38 @@ impl FlightRecorder {
         let tid = thread_id();
         let ticket = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(ticket & self.mask) as usize];
-        // Seqlock write protocol: stamp odd, fence, payload, stamp even
-        // (release). A reader that observes any payload word of this
-        // write and then acquires observes the odd stamp (fence pairing),
-        // so a mid-write slot can never pass the reader's stamp check.
-        slot.seq.store(ticket * 2 + 1, Ordering::Relaxed);
-        std::sync::atomic::fence(Ordering::Release);
+        // Claim the slot by CAS-ing its stamp to our odd value. The claim
+        // makes the payload stores *exclusive*: once `seq == 2t+1`, every
+        // other writer for this slot abandons (below), so two racing
+        // writers can never interleave payload words under a stamp that
+        // later reads as consistent — the full-lap torn-write race of the
+        // blind-store protocol is structurally closed.
+        let mut seen = slot.seq.load(Ordering::Relaxed);
+        loop {
+            // A stamp at or above ours means a writer a full lap *ahead*
+            // already owns (or finished) the slot; drop-oldest says our
+            // older record loses.
+            if seen > ticket * 2 {
+                return;
+            }
+            // An odd lower stamp is a writer a full lap *behind* us still
+            // mid-payload. Stealing the slot would mix payloads, and
+            // waiting would block the hot path — abandon our record
+            // instead (one ring lap raced an eight-store window; the slot
+            // then reads as a consistent older record, counted `lapped`).
+            if seen % 2 == 1 {
+                return;
+            }
+            match slot.seq.compare_exchange_weak(
+                seen,
+                ticket * 2 + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(s) => seen = s,
+            }
+        }
         slot.words[0].store((kind as u64) | (tid << 8), Ordering::Relaxed);
         slot.words[1].store(ts, Ordering::Relaxed);
         for (i, a) in args.iter().enumerate() {
@@ -317,15 +349,20 @@ impl FlightRecorder {
 
     /// Snapshot the ring into a [`FlightDump`]: up to `capacity` most
     /// recent records, oldest first. Wait-free for both sides — writers
-    /// keep recording; a slot overwritten or caught mid-write while we
-    /// read it fails its stamp check and is counted in
-    /// [`FlightDump::torn`] instead of surfacing garbage.
+    /// keep recording. A slot caught mid-write counts in
+    /// [`FlightDump::torn`]; a slot that consistently holds a *different
+    /// lap's* record (overwritten under us, or the expected write was
+    /// abandoned) counts in [`FlightDump::lapped`]. Every ticket in the
+    /// window lands in exactly one bucket, so `entries + torn + lapped ==
+    /// min(recorded, capacity)` — and a quiesced ring always dumps with
+    /// `torn == 0`.
     pub fn dump(&self) -> FlightDump {
         let head = self.head.load(Ordering::Acquire);
         let cap = self.slots.len() as u64;
         let start = head.saturating_sub(cap);
         let mut entries = Vec::with_capacity((head - start) as usize);
         let mut torn = 0u64;
+        let mut lapped = 0u64;
         for ticket in start..head {
             let slot = &self.slots[(ticket & self.mask) as usize];
             let s1 = slot.seq.load(Ordering::Acquire);
@@ -333,11 +370,20 @@ impl FlightRecorder {
                 std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
             std::sync::atomic::fence(Ordering::Acquire);
             let s2 = slot.seq.load(Ordering::Relaxed);
-            // Consistent iff both stamps agree, are even, and belong to
-            // the ticket we expect (an older or newer lap means the write
-            // we wanted is gone or still in flight).
-            if s1 != s2 || s1 == 0 || !s1.is_multiple_of(2) || (s1 - 2) / 2 != ticket {
+            // Mid-write: the stamps moved under us, the write is odd
+            // (claimed, payload in flight), or the slot was claimed but
+            // never stamped (0). These are the only genuine collisions.
+            if s1 != s2 || s1 == 0 || !s1.is_multiple_of(2) {
                 torn += 1;
+                continue;
+            }
+            // Consistent but the wrong lap: the record we wanted was
+            // overwritten while we read (newer stamp) or its writer
+            // abandoned against a slower full-lap-behind writer (older
+            // stamp). Either way the slot holds one *whole* record — just
+            // not ticket's — so it is lapped, not torn.
+            if (s1 - 2) / 2 != ticket {
+                lapped += 1;
                 continue;
             }
             let Some(kind) = FlightKind::from_u8((words[0] & 0xff) as u8) else {
@@ -359,6 +405,7 @@ impl FlightRecorder {
             entries,
             dropped: start,
             torn,
+            lapped,
             recorded: head,
         }
     }
@@ -372,9 +419,13 @@ pub struct FlightDump {
     pub entries: Vec<FlightEntry>,
     /// Records overwritten by drop-oldest before this dump.
     pub dropped: u64,
-    /// Slots skipped because a writer was mid-update (or lapped us)
-    /// while we read them.
+    /// Slots skipped because a writer was genuinely mid-update while we
+    /// read them. A quiesced ring always dumps `torn == 0`.
     pub torn: u64,
+    /// Slots that consistently held a different lap's record than the
+    /// one this dump expected (overwritten during the dump, or the
+    /// expected write was abandoned against a slower lapped writer).
+    pub lapped: u64,
     /// Total records accepted by the recorder up to the dump.
     pub recorded: u64,
 }
@@ -384,11 +435,12 @@ impl FlightDump {
     /// consumes: a header line, then one line per entry.
     pub fn render_text(&self) -> String {
         let mut out = format!(
-            "# brew flight dump v1 entries={} recorded={} dropped={} torn={}\n",
+            "# brew flight dump v1 entries={} recorded={} dropped={} torn={} lapped={}\n",
             self.entries.len(),
             self.recorded,
             self.dropped,
-            self.torn
+            self.torn,
+            self.lapped
         );
         for e in &self.entries {
             out.push_str(&e.render_line());

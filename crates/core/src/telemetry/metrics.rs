@@ -223,11 +223,13 @@ pub enum Ctr {
     PersistSaved,
     PersistLoaded,
     PersistRejected,
+    PersistSaveFailed,
+    OverBudget,
 }
 
 impl Ctr {
     /// Every counter, in exposition order.
-    pub const ALL: [Ctr; 28] = [
+    pub const ALL: [Ctr; 30] = [
         Ctr::CacheHits,
         Ctr::CacheMisses,
         Ctr::CacheCoalesced,
@@ -256,6 +258,8 @@ impl Ctr {
         Ctr::PersistSaved,
         Ctr::PersistLoaded,
         Ctr::PersistRejected,
+        Ctr::PersistSaveFailed,
+        Ctr::OverBudget,
     ];
 
     /// Prometheus metric name.
@@ -289,6 +293,8 @@ impl Ctr {
             Ctr::PersistSaved => "brew_persist_saved_total",
             Ctr::PersistLoaded => "brew_persist_loaded_total",
             Ctr::PersistRejected => "brew_persist_rejected_total",
+            Ctr::PersistSaveFailed => "brew_persist_save_failed_total",
+            Ctr::OverBudget => "brew_over_budget_total",
         }
     }
 
@@ -328,6 +334,12 @@ impl Ctr {
             Ctr::PersistLoaded => "Persisted variants re-verified and published on load",
             Ctr::PersistRejected => {
                 "Persisted variants rejected on load (corrupt, stale, or gate-failed)"
+            }
+            Ctr::PersistSaveFailed => {
+                "Variants that failed to serialize during a save (I/O or read error)"
+            }
+            Ctr::OverBudget => {
+                "Finished variants refused at publish: code alone exceeds the global budget"
             }
         }
     }

@@ -32,20 +32,21 @@ fn poly_req(n: i64) -> SpecRequest {
         .ret(RetKind::Int)
 }
 
-/// Per-event payload checksum: lets the dumper detect a payload mixing
-/// words from two different writes (the full-lap writer race the module
-/// docs describe) even when the seqlock stamp happens to look clean.
+/// Per-event payload checksum: would let the dumper detect a payload
+/// mixing words from two different writes. With the claim-CAS write
+/// protocol such mixing is structurally impossible, so every decoded
+/// entry must check out — the assertion is exact, not a bound.
 fn chk(w: u64, seq: u64) -> u64 {
     w ^ seq.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15
 }
 
 /// 8 writers hammer a small ring while a dumper snapshots it in a loop.
 /// Every snapshot must be internally consistent: per-writer sequence
-/// numbers monotone (no reordering, no duplication within a dump) and
-/// the slot accounting exact. Full-lap writer races (a writer
-/// descheduled mid-`record` while others lap the whole ring) may leave
-/// a bounded residue of torn or mixed slots — at most one per writer —
-/// which the test bounds instead of ignoring.
+/// numbers monotone (no reordering, no duplication within a dump), the
+/// slot accounting exact (`entries + torn + lapped` covers the window),
+/// and — the PR 9 fix — *zero* mixed payloads: the claim CAS makes
+/// payload stores exclusive, so a clean stamp proves a whole record.
+/// Full-lap races surface as `lapped` slots, never as corruption.
 #[test]
 fn torture_concurrent_writers_and_dumper() {
     const WRITERS: u64 = 8;
@@ -61,33 +62,30 @@ fn torture_concurrent_writers_and_dumper() {
             let mut dumps = 0u64;
             while !stop.load(Ordering::Acquire) {
                 let d = rec.dump();
-                // Each ticket in the window is either decoded or torn.
+                // Each ticket in the window is decoded, torn, or lapped.
                 assert_eq!(
-                    d.entries.len() as u64 + d.torn,
+                    d.entries.len() as u64 + d.torn + d.lapped,
                     d.recorded.min(cap),
                     "slot accounting must be exact"
                 );
                 // Per-writer sequence args must be strictly increasing:
                 // a writer's tickets are program-ordered and the dump's
                 // stable time sort preserves ring order on ties.
-                let mut corrupt = 0u64;
                 let mut last = vec![None::<u64>; WRITERS as usize];
                 for e in &d.entries {
                     assert_eq!(e.kind, FlightKind::Hit);
                     let (w, seq) = (e.args[0], e.args[1]);
-                    if e.args[2] != chk(w, seq) {
-                        corrupt += 1; // mixed-payload lap race
-                        continue;
-                    }
+                    assert_eq!(
+                        e.args[2],
+                        chk(w, seq),
+                        "mixed payload for writer {w} seq {seq}: exclusive \
+                         claim-CAS writes must make this impossible"
+                    );
                     if let Some(prev) = last[w as usize] {
                         assert!(seq > prev, "writer {w}: seq {seq} after {prev}");
                     }
                     last[w as usize] = Some(seq);
                 }
-                assert!(
-                    corrupt <= WRITERS,
-                    "corrupt {corrupt} exceeds lap-race bound"
-                );
                 dumps += 1;
             }
             dumps
@@ -111,26 +109,91 @@ fn torture_concurrent_writers_and_dumper() {
     let dumps = dumper.join().unwrap();
     assert!(dumps > 0, "dumper never ran");
 
-    // At rest: exact accounting, and at most the lap-race residue (a
-    // writer that finished last with an already-lapped ticket leaves its
-    // slot stamped for the older ticket — torn until rewritten).
+    // At rest nothing is mid-write, so torn must be exactly zero and no
+    // payload may be mixed. The only residue a full-lap race can leave
+    // is a slot consistently stamped for an older ticket (a newer write
+    // abandoned against a slower lapped writer) — `lapped`, bounded by
+    // one slot per writer.
     let d = rec.dump();
-    let corrupt = d
-        .entries
-        .iter()
-        .filter(|e| e.args[2] != chk(e.args[0], e.args[1]))
-        .count() as u64;
+    assert_eq!(d.torn, 0, "a quiesced ring can have no mid-write slots");
+    for e in &d.entries {
+        assert_eq!(
+            e.args[2],
+            chk(e.args[0], e.args[1]),
+            "mixed payload at rest"
+        );
+    }
     assert!(
-        d.torn + corrupt <= WRITERS,
-        "residue torn={} corrupt={corrupt} exceeds one slot per writer",
-        d.torn
+        d.lapped <= WRITERS,
+        "lapped residue {} exceeds one slot per writer",
+        d.lapped
     );
     assert_eq!(d.recorded, WRITERS * EVENTS);
-    assert_eq!(d.entries.len() as u64 + d.torn, cap);
+    assert_eq!(d.entries.len() as u64 + d.lapped, cap);
     assert_eq!(d.dropped, WRITERS * EVENTS - cap);
     let text = d.render_text();
     assert!(text.starts_with("# brew flight dump v1"));
     assert_eq!(text.lines().count(), d.entries.len() + 1);
+}
+
+/// Forced-lap regression for the PR 9 classification fix: a tiny ring
+/// against a flat-out writer guarantees slots are overwritten *during*
+/// the dump. Those must surface as `lapped` (a consistent record from
+/// the wrong lap), never as `torn` corruption — and a single-writer ring
+/// at rest must dump perfectly clean (no abandonment is possible without
+/// a second writer).
+#[test]
+fn forced_lap_is_classified_lapped_not_torn() {
+    let rec = Arc::new(FlightRecorder::new(64));
+    let cap = rec.capacity() as u64;
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let rec = Arc::clone(&rec);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                rec.record(FlightKind::Hit, [0, seq, chk(0, seq), 0]);
+                seq += 1;
+            }
+        })
+    };
+    // Don't start sampling until the writer is demonstrably spinning and
+    // has lapped the ring at least once — otherwise the dump loop can
+    // finish against an idle ring before the writer thread is scheduled.
+    while rec.recorded() < cap * 2 {
+        std::hint::spin_loop();
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let mut saw_lapped = false;
+    while std::time::Instant::now() < deadline {
+        let d = rec.dump();
+        assert_eq!(
+            d.entries.len() as u64 + d.torn + d.lapped,
+            d.recorded.min(cap),
+            "slot accounting must be exact under forced laps"
+        );
+        // Whatever survives must be whole records — a lap can hide a
+        // slot, never corrupt one.
+        for e in &d.entries {
+            assert_eq!(e.args[2], chk(e.args[0], e.args[1]), "mixed payload");
+        }
+        if d.lapped > 0 {
+            saw_lapped = true;
+            break;
+        }
+    }
+    stop.store(true, Ordering::Release);
+    writer.join().unwrap();
+    assert!(
+        saw_lapped,
+        "a 64-slot ring against a flat-out writer must lap the dumper"
+    );
+    // Quiesced single-writer ring: nothing mid-write, nothing abandoned.
+    let d = rec.dump();
+    assert_eq!(d.torn, 0);
+    assert_eq!(d.lapped, 0);
+    assert_eq!(d.entries.len() as u64, d.recorded.min(cap));
 }
 
 /// Real manager churn: rewriters, an invalidator, and a flight dumper all
@@ -150,7 +213,10 @@ fn manager_rcu_churn_with_concurrent_dumps() {
             while !stop.load(Ordering::Acquire) {
                 let d = flight.dump();
                 let cap = flight.capacity() as u64;
-                assert_eq!(d.entries.len() as u64 + d.torn, d.recorded.min(cap));
+                assert_eq!(
+                    d.entries.len() as u64 + d.torn + d.lapped,
+                    d.recorded.min(cap)
+                );
                 // Rendering while writers run must stay line-clean.
                 for line in d.render_text().lines().skip(1) {
                     assert!(line.starts_with("ts="), "garbled dump line: {line}");

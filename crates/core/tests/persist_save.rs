@@ -1,0 +1,120 @@
+//! Save-path accounting: `save_variants`/`checkpoint` must report what
+//! they wrote *and* what they could not write. PR 8 and earlier silently
+//! `continue`d over per-entry read-back errors — a checkpoint could claim
+//! success while dropping variants on the floor. Now every non-written
+//! entry lands in the [`SaveReport`] as `skipped` or `failed`, failures
+//! are counted in `brew_persist_save_failed_total`, and each one records
+//! a `SAVE_FAIL` flight event.
+
+use brew_core::telemetry::flight::FlightKind;
+use brew_core::telemetry::metrics::Ctr;
+use brew_core::{RetKind, SpecRequest, SpecializationManager};
+use brew_image::{layout, Image};
+
+const PROG: &str = r#"
+    int poly(int x, int n) {
+        int r = 1;
+        for (int i = 0; i < n; i++) r *= x;
+        return r;
+    }
+"#;
+
+fn setup() -> (Image, u64) {
+    let img = Image::new();
+    let prog = brew_minic::compile_into(PROG, &img).unwrap();
+    (img, prog.func("poly").unwrap())
+}
+
+fn poly_req(n: i64) -> SpecRequest {
+    SpecRequest::new()
+        .unknown_int()
+        .known_int(n)
+        .ret(RetKind::Int)
+}
+
+/// A clean save accounts for every resident variant as written, nothing
+/// skipped or failed, and reports the exact file size. `checkpoint`
+/// propagates the same report through the builder-configured path.
+#[test]
+fn clean_save_reports_all_written() {
+    let (img, poly) = setup();
+    let path = std::env::temp_dir().join(format!("brew_save_clean_{}.bin", std::process::id()));
+    let mgr = SpecializationManager::builder().persist_path(&path).build();
+    for n in 2..6 {
+        mgr.get_or_rewrite(&img, poly, &poly_req(n)).unwrap();
+    }
+
+    let report = mgr.checkpoint(&img).unwrap().expect("path is configured");
+    assert_eq!(report.written, mgr.len());
+    assert_eq!(report.skipped, 0);
+    assert_eq!(report.failed, 0);
+    assert_eq!(
+        report.bytes,
+        std::fs::metadata(&path).unwrap().len() as usize,
+        "report must match the file actually written"
+    );
+    assert_eq!(mgr.metrics().counter(Ctr::PersistSaveFailed).get(), 0);
+    std::fs::remove_file(&path).ok();
+
+    // No configured path: checkpoint is a typed no-op, not an error.
+    let bare = SpecializationManager::new();
+    assert_eq!(bare.checkpoint(&img).unwrap(), None);
+}
+
+/// Per-entry read-back failures must not abort the save — and must not
+/// be silent: the report counts them, `brew_persist_save_failed_total`
+/// counts them, a `SAVE_FAIL` flight event records which entry, and the
+/// surviving bytes still load cleanly.
+#[test]
+fn unreadable_entry_is_counted_failed_not_dropped_silently() {
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
+    mgr.get_or_rewrite(&img, poly, &poly_req(3)).unwrap();
+
+    // An entry inside the JIT segment whose code range crosses the
+    // segment end: `segment_of` says ours, `read_bytes` faults. A real
+    // publish can never produce this against its own image — a save
+    // against the wrong image can.
+    let bad_entry = layout::JIT_BASE + layout::JIT_SIZE - 8;
+    mgr.insert_synthetic_variant_for_tests(0x1234, 0x9999, bad_entry, 64);
+
+    let (bytes, report) = mgr.save_variant_bytes_report(&img);
+    assert_eq!(report.written, 1, "the readable variant still saves");
+    assert_eq!(report.skipped, 0);
+    assert_eq!(report.failed, 1, "the unreadable entry is accounted");
+    assert_eq!(mgr.metrics().counter(Ctr::PersistSaveFailed).get(), 1);
+    let dump = mgr.flight().dump();
+    let fail = dump
+        .entries
+        .iter()
+        .find(|e| e.kind == FlightKind::PersistSaveFailed)
+        .expect("a SAVE_FAIL event must be recorded");
+    assert_eq!(fail.args[0], 0x1234, "event names the failing function");
+    assert_eq!(fail.args[1], bad_entry, "event names the failing entry");
+    assert!(dump.render_text().contains("kind=SAVE_FAIL"));
+
+    // What did get written is a valid checkpoint of the surviving entry.
+    let fresh_img = Image::new();
+    brew_minic::compile_into(PROG, &fresh_img).unwrap();
+    let fresh = SpecializationManager::new();
+    let loaded = fresh.load_variant_bytes(&fresh_img, &bytes).unwrap();
+    assert_eq!(loaded.published, 1);
+    assert!(loaded.rejected.is_empty());
+}
+
+/// An entry whose address is not in this image's JIT segment at all is
+/// `skipped` (legitimately not ours), distinct from `failed`.
+#[test]
+fn foreign_entry_is_counted_skipped() {
+    let (img, poly) = setup();
+    let mgr = SpecializationManager::new();
+    mgr.get_or_rewrite(&img, poly, &poly_req(4)).unwrap();
+    // Address in no segment: clearly another image's code.
+    mgr.insert_synthetic_variant_for_tests(0x5678, 0x7777, 0x10, 16);
+
+    let (_, report) = mgr.save_variant_bytes_report(&img);
+    assert_eq!(report.written, 1);
+    assert_eq!(report.skipped, 1);
+    assert_eq!(report.failed, 0);
+    assert_eq!(mgr.metrics().counter(Ctr::PersistSaveFailed).get(), 0);
+}

@@ -16,6 +16,10 @@
 #   scripts/check.sh prof       # profiling gate: flight-recorder torture,
 #                               # PROF overhead/attribution/symbolization
 #                               # gates, brew-inspect smoke
+#   scripts/check.sh regalloc   # register-allocation gate: differential
+#                               # corpus bit-identical with the pass on/off,
+#                               # verifier clean on allocated variants, E2
+#                               # body <= 40 insts, A2 ladder monotone
 #
 # The stress stage reruns the timing-sensitive suites under `--release`
 # so single-flight/eviction races get exercised with optimization on.
@@ -227,6 +231,52 @@ if [ "$stage" = "all" ] || [ "$stage" = "prof" ]; then
         exit 1
     fi
     echo "profiling gate passed (recorder under the bar, symbols consistent)"
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "regalloc" ]; then
+    echo "==> register-allocation gate (differential corpus, E2 size, A2 monotonicity)"
+    # The soundness contract: every generator-corpus program runs
+    # bit-identically with PassConfig::regalloc on and off, and the static
+    # verifier accepts every allocated variant with zero findings
+    # (including the stencil and grouped §V workload variants).
+    cargo test --release --offline -q -p brew-suite --test regalloc_differential
+    cargo test --release --offline -q -p brew-suite --test differential
+
+    # E2: the allocated stencil body must stay within the issue's budget
+    # (paper ~20 insts; pre-allocation we measured 74, now 31, gate <= 40).
+    e2_out="$(cargo run --release --offline -p brew-bench --bin tables -- --exp e2)"
+    e2_insts="$(printf '%s' "$e2_out" | sed -n 's/^\([0-9][0-9]*\) instructions.*/\1/p' | head -n 1)"
+    if [ -z "$e2_insts" ]; then
+        echo "FAIL: no instruction count in tables --exp e2 output" >&2
+        exit 1
+    fi
+    if [ "$e2_insts" -gt 40 ]; then
+        echo "FAIL: E2 specialized body is ${e2_insts} instructions (gate <= 40)" >&2
+        printf '%s\n' "$e2_out" >&2
+        exit 1
+    fi
+
+    # A2: each added pass may never make the code slower — the ladder's
+    # model-cycle column must be monotone non-increasing, with the
+    # register-allocation row (the last) as the floor.
+    a2_out="$(cargo run --release --offline -p brew-bench --bin tables -- --exp a2)"
+    a2_cycles="$(printf '%s\n' "$a2_out" | awk 'NF >= 4 && $(NF-2) ~ /^[0-9]+$/ { print $(NF-2) }')"
+    rows="$(printf '%s\n' "$a2_cycles" | wc -l)"
+    if [ "$rows" -lt 7 ]; then
+        echo "FAIL: A2 ladder has ${rows} rows (expected 7 incl. register allocation)" >&2
+        printf '%s\n' "$a2_out" >&2
+        exit 1
+    fi
+    prev=""
+    for c in $a2_cycles; do
+        if [ -n "$prev" ] && [ "$c" -gt "$prev" ]; then
+            echo "FAIL: A2 ladder regressed: ${prev} -> ${c} model cycles" >&2
+            printf '%s\n' "$a2_out" >&2
+            exit 1
+        fi
+        prev="$c"
+    done
+    echo "register-allocation gate passed (E2 ${e2_insts} insts, A2 monotone over ${rows} rows)"
 fi
 
 echo "All checks passed ($stage)."
